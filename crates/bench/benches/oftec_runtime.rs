@@ -1,0 +1,32 @@
+//! Criterion bench behind Table 2's runtime column: one full OFTEC run
+//! (Algorithm 1, both optimization phases) per benchmark.
+//!
+//! The paper reports 437 ms average / 693 ms worst on an i7-3770 with a
+//! MATLAB SQP driving a C thermal simulator; absolute numbers differ
+//! here, but the sub-second order of magnitude is the claim under test.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oftec::{CoolingSystem, Oftec};
+use oftec_power::Benchmark;
+use std::hint::black_box;
+
+fn bench_oftec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oftec_algorithm1");
+    group.sample_size(10);
+    // One cool and one hot benchmark bound the runtime range; running all
+    // eight at Criterion's repetition counts would take minutes for no
+    // extra information (the table2 binary prints per-benchmark times).
+    for b in [Benchmark::Crc32, Benchmark::Quicksort] {
+        let system = CoolingSystem::for_benchmark(b);
+        group.bench_function(BenchmarkId::from_parameter(b.name()), |bench| {
+            bench.iter(|| {
+                let outcome = Oftec::default().run(black_box(&system));
+                black_box(outcome.is_feasible())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oftec);
+criterion_main!(benches);

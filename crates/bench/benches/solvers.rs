@@ -1,0 +1,71 @@
+//! Criterion bench behind the §5.2 solver comparison: active-set SQP vs
+//! interior point vs trust region on Optimization 1 for `basicmath`, all
+//! from the same feasible start.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oftec::problems::{CoolingObjective, CoolingProblem};
+use oftec::CoolingSystem;
+use oftec_optim::{ActiveSetSqp, InteriorPoint, SolveOptions, TrustRegion};
+use oftec_power::Benchmark;
+use std::hint::black_box;
+
+fn bench_solvers(c: &mut Criterion) {
+    let system = CoolingSystem::for_benchmark(Benchmark::Basicmath);
+    let opts = SolveOptions {
+        max_iterations: 60,
+        tolerance: 1e-6,
+    };
+    let start = [0.5, 0.5];
+
+    let mut group = c.benchmark_group("optimization1_solvers");
+    group.sample_size(10);
+    group.bench_function("active_set_sqp", |b| {
+        b.iter(|| {
+            let problem = CoolingProblem::new(
+                system.tec_model(),
+                CoolingObjective::Power,
+                system.t_max(),
+            );
+            black_box(
+                ActiveSetSqp::default()
+                    .solve(&problem, black_box(&start), &opts)
+                    .unwrap()
+                    .objective,
+            )
+        })
+    });
+    group.bench_function("interior_point", |b| {
+        b.iter(|| {
+            let problem = CoolingProblem::new(
+                system.tec_model(),
+                CoolingObjective::Power,
+                system.t_max(),
+            );
+            black_box(
+                InteriorPoint::default()
+                    .solve(&problem, black_box(&start), &opts)
+                    .unwrap()
+                    .objective,
+            )
+        })
+    });
+    group.bench_function("trust_region", |b| {
+        b.iter(|| {
+            let problem = CoolingProblem::new(
+                system.tec_model(),
+                CoolingObjective::Power,
+                system.t_max(),
+            );
+            black_box(
+                TrustRegion::default()
+                    .solve(&problem, black_box(&start), &opts)
+                    .unwrap()
+                    .objective,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

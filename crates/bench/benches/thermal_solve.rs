@@ -1,0 +1,64 @@
+//! Criterion benches of the Teculator-substitute hot paths: one steady
+//! solve (the unit of work behind every Figure 6 surface sample and every
+//! optimizer evaluation), the nonlinear-leakage fixed point, and one
+//! backward-Euler transient step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oftec::CoolingSystem;
+use oftec_power::Benchmark;
+use oftec_thermal::{NonlinearOptions, OperatingPoint, TransientOptions};
+use oftec_units::{AngularVelocity, Current};
+use std::hint::black_box;
+
+fn op() -> OperatingPoint {
+    OperatingPoint::new(
+        AngularVelocity::from_rpm(3000.0),
+        Current::from_amperes(1.0),
+    )
+}
+
+fn bench_steady(c: &mut Criterion) {
+    let system = CoolingSystem::for_benchmark(Benchmark::Basicmath);
+    let model = system.tec_model();
+    c.bench_function("steady_solve_16x16", |b| {
+        b.iter(|| black_box(model.solve(black_box(op())).unwrap().objective_power()))
+    });
+}
+
+fn bench_nonlinear(c: &mut Criterion) {
+    let system = CoolingSystem::for_benchmark(Benchmark::Basicmath);
+    let model = system.tec_model();
+    c.bench_function("nonlinear_fixed_point_16x16", |b| {
+        b.iter(|| {
+            let (sol, iters) = model
+                .solve_nonlinear(black_box(op()), &NonlinearOptions::default())
+                .unwrap();
+            black_box((sol.objective_power(), iters))
+        })
+    });
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let system = CoolingSystem::for_benchmark(Benchmark::Basicmath);
+    let model = system.tec_model();
+    let steady = model.solve(op()).unwrap();
+    c.bench_function("transient_10_steps_16x16", |b| {
+        b.iter(|| {
+            let trace = model
+                .simulate_transient(
+                    black_box(op()),
+                    Some(&steady),
+                    10,
+                    &TransientOptions {
+                        dt_seconds: 0.01,
+                        record_every: 10,
+                    },
+                )
+                .unwrap();
+            black_box(trace.last())
+        })
+    });
+}
+
+criterion_group!(benches, bench_steady, bench_nonlinear, bench_transient);
+criterion_main!(benches);

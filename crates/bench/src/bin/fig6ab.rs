@@ -1,0 +1,68 @@
+//! Reproduces **Figure 6(a)(b)**: the maximum-die-temperature and
+//! cooling-power surfaces over the (ω, I_TEC) plane for the `basicmath`
+//! benchmark, including the thermal-runaway ("infinite") region at low ω.
+//!
+//! Writes two CSV files next to the working directory and prints the
+//! qualitative observations the paper derives from the figure.
+//!
+//! ```text
+//! cargo run --release -p oftec-bench --bin fig6ab [out_dir]
+//! ```
+
+use oftec::{CoolingSystem, SweepGrid};
+use oftec_power::Benchmark;
+use std::fs;
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
+    let system = CoolingSystem::for_benchmark(Benchmark::Basicmath);
+    let sweep = SweepGrid {
+        omega_points: 50,
+        current_points: 26,
+    }
+    .run(system.tec_model());
+
+    let csv_path = format!("{out_dir}/fig6ab_basicmath_surface.csv");
+    fs::write(&csv_path, sweep.to_csv()).expect("write surface CSV");
+    println!("surface written to {csv_path}");
+
+    println!(
+        "\nrunaway region: {:.1}% of the plane has no steady state",
+        100.0 * sweep.runaway_fraction()
+    );
+    if let Some(boundary) = sweep.runaway_boundary_rpm() {
+        println!(
+            "first non-runaway fan speed: ω ≈ {boundary:.0} RPM \
+             (paper: \"ω should also be increased to about 150 RPM\")"
+        );
+    }
+    if let Some(cool) = sweep.coolest() {
+        println!(
+            "Fig 6(a) minimum (min 𝒯): {:.2} °C at ω = {:.0} RPM, I = {:.2} A \
+             (paper: \"almost the middle of the (ω-I) plane\")",
+            cool.max_temp_celsius.unwrap(),
+            cool.omega_rpm,
+            cool.current_a
+        );
+    }
+    if let Some(cheap) = sweep.cheapest() {
+        println!(
+            "Fig 6(b) minimum (min 𝒫): {:.2} W at ω = {:.0} RPM, I = {:.2} A \
+             (paper: \"the minimum occurs near the origin\")",
+            cheap.power_watts.unwrap(),
+            cheap.omega_rpm,
+            cheap.current_a
+        );
+    }
+
+    // The paper's observation that at ω = 0 no current can save the chip.
+    let zero_omega_all_runaway = sweep
+        .samples
+        .iter()
+        .filter(|s| s.omega_rpm == 0.0)
+        .all(|s| s.max_temp_celsius.is_none());
+    println!(
+        "at ω = 0, every TEC current ends in runaway: {zero_omega_all_runaway} \
+         (paper: \"increasing I_TEC alone cannot rescue the chip\")"
+    );
+}

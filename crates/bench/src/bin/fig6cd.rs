@@ -1,0 +1,43 @@
+//! Reproduces **Figure 6(c)(d)**: maximum chip temperature and cooling
+//! power after **Optimization 2** (minimize the maximum temperature) for
+//! OFTEC and the two baselines across all eight benchmarks.
+//!
+//! Expected shape (paper): OFTEC meets `T_max` on all eight benchmarks
+//! and sits well below the baselines (≥ 13 °C on average); the baselines
+//! fail five benchmarks; OFTEC has the *highest* power here because the
+//! TECs are working flat out.
+//!
+//! ```text
+//! cargo run --release -p oftec-bench --bin fig6cd
+//! ```
+
+use oftec_bench::{all_systems, compare, print_comparison, ComparisonMode};
+
+fn main() {
+    let rows: Vec<_> = all_systems()
+        .iter()
+        .map(|s| compare(s, ComparisonMode::Optimization2))
+        .collect();
+    print_comparison(&rows, "Figure 6(c)(d): after Optimization 2 (min 𝒯)");
+
+    let failures = rows.iter().filter(|r| !r.var_feasible).count();
+    println!("\nvariable-ω baseline fails {failures} / 8 benchmarks (paper: 5)");
+    let failures_fixed = rows.iter().filter(|r| !r.fixed_feasible).count();
+    println!("fixed-ω baseline fails {failures_fixed} / 8 benchmarks (paper: 5)");
+
+    let deltas: Vec<f64> = rows
+        .iter()
+        .filter_map(|r| Some(r.var_temp_c? - r.oftec_temp_c?))
+        .collect();
+    if !deltas.is_empty() {
+        let avg = deltas.iter().sum::<f64>() / deltas.len() as f64;
+        println!(
+            "OFTEC is on average {avg:.1} °C cooler than the variable-ω baseline \
+             (paper: more than 13 °C)"
+        );
+    }
+    let oftec_all_ok = rows
+        .iter()
+        .all(|r| r.oftec_temp_c.is_some_and(|t| t < 90.0));
+    println!("OFTEC meets T_max on all benchmarks: {oftec_all_ok} (paper: yes)");
+}

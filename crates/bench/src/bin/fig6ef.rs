@@ -1,0 +1,59 @@
+//! Reproduces **Figure 6(e)(f)**: maximum chip temperature and cooling
+//! power after **Optimization 1** (minimize cooling power subject to
+//! `T < T_max`) for OFTEC and the two baselines.
+//!
+//! Expected shape (paper): on the three benchmarks every method can cool
+//! (`basicmath`, `CRC32`, `stringsearch`), OFTEC consumes ~2.6% less
+//! power than the variable-ω baseline and ~8.1% less than the fixed-ω
+//! baseline (5.4% average of the two), while keeping the hottest spot
+//! 3.7 °C / 3.0 °C cooler; baselines have no valid result on the other
+//! five.
+//!
+//! ```text
+//! cargo run --release -p oftec-bench --bin fig6ef
+//! ```
+
+use oftec_bench::{all_systems, compare, print_comparison, ComparisonMode};
+
+fn main() {
+    let rows: Vec<_> = all_systems()
+        .iter()
+        .map(|s| compare(s, ComparisonMode::Optimization1))
+        .collect();
+    print_comparison(&rows, "Figure 6(e)(f): after Optimization 1 (min 𝒫 s.t. T < T_max)");
+
+    // Paper comparison on the commonly-feasible benchmarks.
+    let comparable: Vec<_> = rows
+        .iter()
+        .filter(|r| r.var_feasible && r.fixed_feasible && r.oftec_power_w.is_some())
+        .collect();
+    println!("\ncommonly feasible benchmarks: {}", comparable.len());
+    if !comparable.is_empty() {
+        let n = comparable.len() as f64;
+        let avg = |f: &dyn Fn(&&oftec_bench::ComparisonRow) -> f64| -> f64 {
+            comparable.iter().map(f).sum::<f64>() / n
+        };
+        let oftec_p = avg(&|r| r.oftec_power_w.unwrap());
+        let var_p = avg(&|r| r.var_power_w.unwrap());
+        let fix_p = avg(&|r| r.fixed_power_w.unwrap());
+        println!(
+            "average 𝒫: OFTEC {:.2} W, variable-ω {:.2} W (−{:.1}% vs OFTEC; paper −2.6%), \
+             fixed-ω {:.2} W (−{:.1}%; paper −8.1%)",
+            oftec_p,
+            var_p,
+            100.0 * (var_p - oftec_p) / var_p,
+            fix_p,
+            100.0 * (fix_p - oftec_p) / fix_p,
+        );
+        let oftec_t = avg(&|r| r.oftec_temp_c.unwrap());
+        let var_t = avg(&|r| r.var_temp_c.unwrap());
+        let fix_t = avg(&|r| r.fixed_temp_c.unwrap());
+        println!(
+            "average T_max: OFTEC {:.2} °C, {:.1} °C cooler than variable-ω (paper 3.7), \
+             {:.1} °C cooler than fixed-ω (paper 3.0)",
+            oftec_t,
+            var_t - oftec_t,
+            fix_t - oftec_t,
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! The thermal-runaway experiments behind the paper's motivation:
+//!
+//! 1. TEC-only (ω = 0) "cannot avoid the thermal runaway situation in
+//!    these benchmarks" — probed across the full current range;
+//! 2. the runaway boundary in ω for every benchmark (the "dark red"
+//!    region of Figure 6(a)(b)).
+//!
+//! ```text
+//! cargo run --release -p oftec-bench --bin runaway
+//! ```
+
+use oftec::baselines::tec_only;
+use oftec::CoolingSystem;
+use oftec_power::Benchmark;
+use oftec_thermal::OperatingPoint;
+use oftec_units::{AngularVelocity, Current};
+
+fn main() {
+    println!("TEC-only configuration (ω = 0), currents 0..5 A:");
+    for &b in &Benchmark::ALL {
+        let system = CoolingSystem::for_benchmark(b);
+        let report = tec_only(&system, 10);
+        println!(
+            "{:>14}: {}",
+            b.name(),
+            if report.all_runaway() {
+                "thermal runaway at every current (paper: always)".to_owned()
+            } else {
+                let best = report
+                    .max_temperatures
+                    .iter()
+                    .flatten()
+                    .map(|t| t.celsius())
+                    .fold(f64::INFINITY, f64::min);
+                format!("steady states exist; coolest {best:.1} °C")
+            }
+        );
+    }
+
+    println!("\nrunaway boundary in ω (I = 1 A), bisected to ±1 RPM:");
+    for &b in &Benchmark::ALL {
+        let system = CoolingSystem::for_benchmark(b);
+        let model = system.tec_model();
+        let solvable = |rpm: f64| {
+            model
+                .solve(OperatingPoint::new(
+                    AngularVelocity::from_rpm(rpm),
+                    Current::from_amperes(1.0),
+                ))
+                .is_ok()
+        };
+        let (mut lo, mut hi) = (0.0, 5000.0);
+        if solvable(lo) {
+            println!("{:>14}: no runaway even at ω = 0", b.name());
+            continue;
+        }
+        while hi - lo > 1.0 {
+            let mid = 0.5 * (lo + hi);
+            if solvable(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        println!(
+            "{:>14}: steady state requires ω ≳ {hi:.0} RPM",
+            b.name()
+        );
+    }
+    println!("(paper, for basicmath: \"ω should also be increased to about 150 RPM\")");
+}

@@ -1,0 +1,51 @@
+//! Spectral stability margins across the (ω, I) plane: the smallest
+//! eigenvalue of the folded network matrix, which hits zero exactly at
+//! the thermal-runaway boundary of Figure 6(a)(b).
+//!
+//! ```text
+//! cargo run --release -p oftec-bench --bin runaway_margin [benchmark]
+//! ```
+
+use oftec::CoolingSystem;
+use oftec_power::Benchmark;
+use oftec_thermal::OperatingPoint;
+use oftec_units::{AngularVelocity, Current};
+
+fn main() {
+    let name = std::env::args().nth(1);
+    let benchmark = Benchmark::ALL
+        .iter()
+        .copied()
+        .find(|b| name.as_deref().is_some_and(|n| b.name().eq_ignore_ascii_case(n)))
+        .unwrap_or(Benchmark::Basicmath);
+    let system = CoolingSystem::for_benchmark(benchmark);
+    let model = system.tec_model();
+
+    println!(
+        "smallest eigenvalue (W/K) of the folded network matrix, {}:",
+        benchmark.name()
+    );
+    println!("{:>9} | {:>12} | {:>12} | {:>12}", "ω (RPM)", "I = 0 A", "I = 2 A", "I = 5 A");
+    for rpm in [0.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2000.0, 5000.0] {
+        let margin = |amps: f64| {
+            model
+                .runaway_margin(OperatingPoint::new(
+                    AngularVelocity::from_rpm(rpm),
+                    Current::from_amperes(amps),
+                ))
+                .map_or("runaway".to_owned(), |m| format!("{m:.4}"))
+        };
+        println!(
+            "{:>9.0} | {:>12} | {:>12} | {:>12}",
+            rpm,
+            margin(0.0),
+            margin(2.0),
+            margin(5.0)
+        );
+    }
+    println!(
+        "\nthe margin is ~independent of I (Peltier folding shifts ± symmetric \
+         diagonals) and collapses as ω → 0 — the spectral face of the paper's \
+         runaway region"
+    );
+}

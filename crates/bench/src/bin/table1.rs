@@ -1,0 +1,96 @@
+//! Prints **Table 1** of the paper (the package-stack input
+//! configuration), as materialized by `PackageConfig::dac14()`, plus the
+//! §6.1 scalar constants.
+//!
+//! ```text
+//! cargo run --release -p oftec-bench --bin table1
+//! ```
+
+use oftec_thermal::PackageConfig;
+use oftec_units::AngularVelocity;
+
+fn main() {
+    let c = PackageConfig::dac14();
+    println!("Table 1. Thermal conductivity and dimensions of package layers");
+    println!(
+        "{:>14} | {:>22} | dimensions",
+        "layer", "conductivity W/(m·K)"
+    );
+    let mm = 1e3;
+    let rows = [
+        (
+            "chip",
+            c.chip_conductivity.w_per_m_k(),
+            format!(
+                "15.9 mm × 15.9 mm × {:.0} µm",
+                c.chip_thickness.micrometers()
+            ),
+        ),
+        (
+            "TIM 1",
+            c.tim_conductivity.w_per_m_k(),
+            format!(
+                "15.9 mm × 15.9 mm × {:.0} µm",
+                c.tim1_thickness.micrometers()
+            ),
+        ),
+        (
+            "heat spreader",
+            c.metal_conductivity.w_per_m_k(),
+            format!(
+                "{:.0} mm × {:.0} mm × {:.0} mm",
+                c.spreader_edge.meters() * mm,
+                c.spreader_edge.meters() * mm,
+                c.spreader_thickness.meters() * mm
+            ),
+        ),
+        (
+            "TIM 2",
+            c.tim_conductivity.w_per_m_k(),
+            format!(
+                "{:.0} mm × {:.0} mm × {:.0} µm",
+                c.spreader_edge.meters() * mm,
+                c.spreader_edge.meters() * mm,
+                c.tim2_thickness.micrometers()
+            ),
+        ),
+        (
+            "heat sink",
+            c.metal_conductivity.w_per_m_k(),
+            format!(
+                "{:.0} mm × {:.0} mm × {:.0} mm",
+                c.sink_edge.meters() * mm,
+                c.sink_edge.meters() * mm,
+                c.sink_thickness.meters() * mm
+            ),
+        ),
+    ];
+    for (name, k, dims) in rows {
+        println!("{name:>14} | {k:>22.2} | {dims}");
+    }
+
+    println!("\n§6.1 constants:");
+    println!("  ambient temperature    {:.0} °C", c.ambient.celsius());
+    println!(
+        "  ω_max                  {:.0} rad/s ({:.0} RPM)",
+        c.fan.omega_max.rad_per_s(),
+        c.fan.omega_max.rpm()
+    );
+    println!("  I_TEC,max              5 A");
+    println!("  T_max                  90 °C");
+    println!("  fan power constant c   {:.1e} J·s²", c.fan.c);
+    println!(
+        "  g_HS&fan fit           p = {} W/K, r = {} W/K, q = {} s, g_HS = {} W/K",
+        c.fan.p, c.fan.r, c.fan.q, c.fan.g_hs_still
+    );
+    println!(
+        "  g_HS&fan(2000 RPM)     {:.2} W/K",
+        c.fan
+            .conductance(AngularVelocity::from_rpm(2000.0))
+            .w_per_k()
+    );
+    println!(
+        "  die grid               {} × {} cells",
+        c.die_dims.rows, c.die_dims.cols
+    );
+}

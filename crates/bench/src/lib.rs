@@ -1,0 +1,176 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (Section 6). Each binary under `src/bin/` prints one
+//! artifact; the Criterion benches under `benches/` time the hot paths.
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 (package stack, input configuration) |
+//! | `fig6ab` | Figure 6(a)(b): 𝒯 and 𝒫 surfaces over (ω, I) for basicmath |
+//! | `fig6cd` | Figure 6(c)(d): Optimization 2 comparison, 3 methods × 8 benchmarks |
+//! | `fig6ef` | Figure 6(e)(f): Optimization 1 comparison |
+//! | `table2` | Table 2: per-benchmark `I*`, `ω*`, runtime |
+//! | `solver_comparison` | §5.2: active-set SQP vs interior point vs trust region vs grid search |
+//! | `leakage_ablation` | §4: Taylor linearization vs exponential fixed point |
+//! | `runaway` | §6.2: TEC-only thermal runaway, runaway boundary vs ω |
+//! | `transient_boost` | §6.2: the 1 A / 1 s transient boost |
+
+use oftec::baselines::{self, BaselineOutcome};
+use oftec::{CoolingSystem, Oftec, OftecOutcome};
+use oftec_power::Benchmark;
+use oftec_thermal::PackageConfig;
+use serde::Serialize;
+
+/// One row of a per-benchmark comparison: OFTEC vs the two baselines.
+#[derive(Debug, Clone, Serialize)]
+pub struct ComparisonRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// OFTEC maximum die temperature (°C), if feasible.
+    pub oftec_temp_c: Option<f64>,
+    /// OFTEC cooling power 𝒫 (W), if feasible.
+    pub oftec_power_w: Option<f64>,
+    /// Variable-ω baseline temperature (°C); present even when infeasible
+    /// (the coolest it could get).
+    pub var_temp_c: Option<f64>,
+    /// Variable-ω baseline power (W), only when feasible.
+    pub var_power_w: Option<f64>,
+    /// Whether the variable-ω baseline met `T_max`.
+    pub var_feasible: bool,
+    /// Fixed-ω (2000 RPM) baseline temperature (°C).
+    pub fixed_temp_c: Option<f64>,
+    /// Fixed-ω baseline power (W), only when feasible.
+    pub fixed_power_w: Option<f64>,
+    /// Whether the fixed-ω baseline met `T_max`.
+    pub fixed_feasible: bool,
+}
+
+/// Which paper experiment a comparison reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComparisonMode {
+    /// Figure 6(c)(d): everyone minimizes the maximum temperature.
+    Optimization2,
+    /// Figure 6(e)(f): everyone minimizes cooling power subject to
+    /// `T < T_max`.
+    Optimization1,
+}
+
+/// Builds the eight benchmark systems on the calibrated full grid.
+pub fn all_systems() -> Vec<CoolingSystem> {
+    Benchmark::ALL
+        .iter()
+        .map(|&b| CoolingSystem::for_benchmark(b))
+        .collect()
+}
+
+/// Builds the eight benchmark systems on a custom package config.
+pub fn all_systems_with(config: &PackageConfig) -> Vec<CoolingSystem> {
+    Benchmark::ALL
+        .iter()
+        .map(|&b| CoolingSystem::for_benchmark_with_config(b, config))
+        .collect()
+}
+
+fn baseline_fields(outcome: &BaselineOutcome) -> (Option<f64>, Option<f64>, bool) {
+    (
+        outcome.max_temperature().map(|t| t.celsius()),
+        outcome.cooling_power().map(|p| p.watts()),
+        outcome.is_feasible(),
+    )
+}
+
+/// Runs one benchmark through OFTEC and both baselines in the given mode.
+pub fn compare(system: &CoolingSystem, mode: ComparisonMode) -> ComparisonRow {
+    let optimizer = Oftec::default();
+    let (oftec_temp_c, oftec_power_w) = match mode {
+        ComparisonMode::Optimization1 => match optimizer.run(system) {
+            OftecOutcome::Optimized(sol) => (
+                Some(sol.max_temperature.celsius()),
+                Some(sol.cooling_power.watts()),
+            ),
+            OftecOutcome::Infeasible(report) => {
+                (Some(report.best_temperature.celsius()), None)
+            }
+        },
+        ComparisonMode::Optimization2 => {
+            match optimizer.minimize_temperature(system.tec_model(), system.t_max()) {
+                Some(sol) => (
+                    Some(sol.max_temperature.celsius()),
+                    Some(sol.cooling_power.watts()),
+                ),
+                None => (None, None),
+            }
+        }
+    };
+
+    let minimize_power = mode == ComparisonMode::Optimization1;
+    let var = baselines::variable_speed_fan(system, minimize_power);
+    let fixed = baselines::fixed_speed_fan(system, oftec::fixed_baseline_speed());
+    let (var_temp_c, var_power_w, var_feasible) = baseline_fields(&var);
+    let (fixed_temp_c, fixed_power_w, fixed_feasible) = baseline_fields(&fixed);
+
+    ComparisonRow {
+        benchmark: system.name().to_owned(),
+        oftec_temp_c,
+        oftec_power_w,
+        var_temp_c,
+        var_power_w,
+        var_feasible,
+        fixed_temp_c,
+        fixed_power_w,
+        fixed_feasible,
+    }
+}
+
+/// Formats a float option for a fixed-width table.
+pub fn fmt_opt(v: Option<f64>, width: usize) -> String {
+    match v {
+        Some(v) => format!("{v:>width$.2}"),
+        None => format!("{:>width$}", "—"),
+    }
+}
+
+/// Prints a comparison table (temperatures and powers side by side).
+pub fn print_comparison(rows: &[ComparisonRow], title: &str) {
+    println!("=== {title} ===");
+    println!(
+        "{:>14} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} | var fixed",
+        "benchmark", "OFTEC °C", "var °C", "fix °C", "OFTEC W", "var W", "fix W"
+    );
+    for r in rows {
+        println!(
+            "{:>14} | {} {} {} | {} {} {} | {:>3} {:>5}",
+            r.benchmark,
+            fmt_opt(r.oftec_temp_c, 9),
+            fmt_opt(r.var_temp_c, 9),
+            fmt_opt(r.fixed_temp_c, 9),
+            fmt_opt(r.oftec_power_w, 9),
+            fmt_opt(r.var_power_w, 9),
+            fmt_opt(r.fixed_power_w, 9),
+            if r.var_feasible { "ok" } else { "FAIL" },
+            if r.fixed_feasible { "ok" } else { "FAIL" },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_row_on_coarse_grid() {
+        let system = CoolingSystem::for_benchmark_with_config(
+            Benchmark::Crc32,
+            &PackageConfig::dac14_coarse(),
+        );
+        let row = compare(&system, ComparisonMode::Optimization1);
+        assert_eq!(row.benchmark, "CRC32");
+        assert!(row.oftec_temp_c.is_some());
+        assert!(row.var_feasible && row.fixed_feasible);
+    }
+
+    #[test]
+    fn fmt_opt_handles_none() {
+        assert_eq!(fmt_opt(None, 5).trim(), "—");
+        assert_eq!(fmt_opt(Some(1.234), 6).trim(), "1.23");
+    }
+}

@@ -1,0 +1,305 @@
+//! The paper's comparison systems (§6.1): a variable-speed fan without
+//! TECs, a fixed 2000 RPM fan, and the TEC-only configuration that cannot
+//! avoid thermal runaway.
+
+use crate::{Oftec, OftecOutcome};
+use crate::CoolingSystem;
+use oftec_thermal::{OperatingPoint, ThermalError, ThermalSolution};
+use oftec_units::{AngularVelocity, Current, Power, Temperature};
+
+/// Result of evaluating a baseline on one workload.
+#[derive(Debug, Clone)]
+pub enum BaselineOutcome {
+    /// The baseline meets `T_max`.
+    Feasible {
+        /// Its operating point.
+        operating_point: OperatingPoint,
+        /// Steady state at that point.
+        solution: ThermalSolution,
+    },
+    /// The baseline cannot meet `T_max`; holds the coolest temperature it
+    /// can reach (if a steady state exists at all).
+    Infeasible {
+        /// Coolest achievable maximum die temperature.
+        best_temperature: Option<Temperature>,
+    },
+}
+
+impl BaselineOutcome {
+    /// Returns `true` if the baseline met the constraint.
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, Self::Feasible { .. })
+    }
+
+    /// Cooling power 𝒫, when feasible.
+    pub fn cooling_power(&self) -> Option<Power> {
+        match self {
+            Self::Feasible { solution, .. } => Some(solution.objective_power()),
+            Self::Infeasible { .. } => None,
+        }
+    }
+
+    /// Maximum die temperature: the solution's when feasible, the best
+    /// achievable when not.
+    pub fn max_temperature(&self) -> Option<Temperature> {
+        match self {
+            Self::Feasible { solution, .. } => Some(solution.max_chip_temperature()),
+            Self::Infeasible { best_temperature } => *best_temperature,
+        }
+    }
+}
+
+/// Baseline 1: no TECs, fan speed chosen "using a method similar to OFTEC
+/// with the difference that no TEC current is required to be found".
+///
+/// `minimize_power = true` runs the Optimization 1 analogue (the paper's
+/// Figure 6(e)(f) comparison); `false` runs the Optimization 2 analogue
+/// (coolest possible, Figure 6(c)(d)).
+pub fn variable_speed_fan(system: &CoolingSystem, minimize_power: bool) -> BaselineOutcome {
+    let outcome = Oftec::default().run_on_model(system.fan_model(), system.t_max());
+    match outcome {
+        OftecOutcome::Optimized(sol) => {
+            if minimize_power {
+                BaselineOutcome::Feasible {
+                    operating_point: sol.operating_point,
+                    solution: sol.solution,
+                }
+            } else {
+                // Optimization 2 analogue: sweep to the coolest ω (the 1-D
+                // temperature objective is monotone until fan self-heating
+                // dominates, so a fine sweep is cheap and exact enough).
+                coolest_fan_point(system)
+            }
+        }
+        OftecOutcome::Infeasible(_) => match coolest_fan_point(system) {
+            BaselineOutcome::Feasible {
+                operating_point,
+                solution,
+            } => {
+                // The SQP path may have stopped early; trust the sweep.
+                if solution.max_chip_temperature() < system.t_max() {
+                    BaselineOutcome::Feasible {
+                        operating_point,
+                        solution,
+                    }
+                } else {
+                    BaselineOutcome::Infeasible {
+                        best_temperature: Some(solution.max_chip_temperature()),
+                    }
+                }
+            }
+            other => other,
+        },
+    }
+}
+
+/// The coolest achievable fan-only point (fine ω sweep).
+fn coolest_fan_point(system: &CoolingSystem) -> BaselineOutcome {
+    let model = system.fan_model();
+    let mut best: Option<(OperatingPoint, ThermalSolution)> = None;
+    for step in 1..=100 {
+        let omega = system.package().fan.omega_max * (step as f64 / 100.0);
+        let op = OperatingPoint::fan_only(omega);
+        if let Ok(sol) = model.solve(op) {
+            let better = best
+                .as_ref()
+                .is_none_or(|(_, b)| sol.max_chip_temperature() < b.max_chip_temperature());
+            if better {
+                best = Some((op, sol));
+            }
+        }
+    }
+    match best {
+        Some((operating_point, solution))
+            if solution.max_chip_temperature() < system.t_max() =>
+        {
+            BaselineOutcome::Feasible {
+                operating_point,
+                solution,
+            }
+        }
+        Some((_, solution)) => BaselineOutcome::Infeasible {
+            best_temperature: Some(solution.max_chip_temperature()),
+        },
+        None => BaselineOutcome::Infeasible {
+            best_temperature: None,
+        },
+    }
+}
+
+/// Baseline 2: no TECs, fixed fan speed (the paper fixes ω = 2000 RPM).
+pub fn fixed_speed_fan(system: &CoolingSystem, omega: AngularVelocity) -> BaselineOutcome {
+    let op = OperatingPoint::fan_only(omega);
+    match system.fan_model().solve(op) {
+        Ok(solution) if solution.max_chip_temperature() < system.t_max() => {
+            BaselineOutcome::Feasible {
+                operating_point: op,
+                solution,
+            }
+        }
+        Ok(solution) => BaselineOutcome::Infeasible {
+            best_temperature: Some(solution.max_chip_temperature()),
+        },
+        Err(_) => BaselineOutcome::Infeasible {
+            best_temperature: None,
+        },
+    }
+}
+
+/// The TEC-only configuration (ω = 0): sweeps the current range and
+/// reports what happens. The paper's §6.2 observation is that this system
+/// "cannot avoid the thermal runaway situation in these benchmarks" — the
+/// expected result is runaway at every current.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TecOnlyReport {
+    /// Currents probed (A).
+    pub currents: Vec<f64>,
+    /// Max die temperature per current; `None` = thermal runaway.
+    pub max_temperatures: Vec<Option<Temperature>>,
+}
+
+impl TecOnlyReport {
+    /// Returns `true` if *every* probed current ended in runaway.
+    pub fn all_runaway(&self) -> bool {
+        self.max_temperatures.iter().all(Option::is_none)
+    }
+
+    /// Returns `true` if any probed current met `t_max`.
+    pub fn any_feasible(&self, t_max: Temperature) -> bool {
+        self.max_temperatures
+            .iter()
+            .any(|t| t.is_some_and(|t| t < t_max))
+    }
+}
+
+/// The throttling a fan-only system needs when it cannot meet `T_max`:
+/// the paper notes failing baselines "should be further cooled down using
+/// other thermal management techniques such as reducing the
+/// voltage/frequency of the chip or throttling … which leads to
+/// performance degradation" (§6.2). This quantifies that degradation.
+///
+/// Bisects the uniform dynamic-power scale `s ∈ [0, 1]` to the largest
+/// value at which the variable-ω fan-only baseline meets `T_max`, and
+/// returns the required power cut `1 − s` (a proxy for the
+/// voltage/frequency reduction). Returns `0.0` when no throttling is
+/// needed, to within `resolution` (e.g. `0.01` for 1%).
+///
+/// # Panics
+///
+/// Panics if `resolution` is not in `(0, 1)`.
+pub fn required_fan_only_throttle(system: &CoolingSystem, resolution: f64) -> f64 {
+    assert!(
+        resolution > 0.0 && resolution < 1.0,
+        "resolution must be a fraction in (0, 1)"
+    );
+    let feasible = |scale: f64| {
+        let scaled = system.scaled(scale);
+        matches!(
+            coolest_fan_point(&scaled),
+            BaselineOutcome::Feasible { .. }
+        )
+    };
+    if feasible(1.0) {
+        return 0.0;
+    }
+    let (mut lo, mut hi) = (0.0_f64, 1.0_f64); // lo feasible, hi infeasible
+    while hi - lo > resolution {
+        let mid = 0.5 * (lo + hi);
+        if feasible(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    1.0 - lo
+}
+
+/// Probes the TEC-only system over `steps + 1` evenly spaced currents in
+/// `[0, I_max]`.
+pub fn tec_only(system: &CoolingSystem, steps: usize) -> TecOnlyReport {
+    let model = system.tec_model();
+    let mut currents = Vec::with_capacity(steps + 1);
+    let mut max_temperatures = Vec::with_capacity(steps + 1);
+    for k in 0..=steps {
+        let i = 5.0 * k as f64 / steps.max(1) as f64;
+        currents.push(i);
+        let op = OperatingPoint::new(AngularVelocity::ZERO, Current::from_amperes(i));
+        let t = match model.solve(op) {
+            Ok(sol) => Some(sol.max_chip_temperature()),
+            Err(ThermalError::Runaway(_)) => None,
+            Err(_) => None,
+        };
+        max_temperatures.push(t);
+    }
+    TecOnlyReport {
+        currents,
+        max_temperatures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oftec_power::Benchmark;
+    use oftec_thermal::PackageConfig;
+
+    fn coarse(b: Benchmark) -> CoolingSystem {
+        CoolingSystem::for_benchmark_with_config(b, &PackageConfig::dac14_coarse())
+    }
+
+    #[test]
+    fn fixed_fan_cools_crc32_but_not_bitcount() {
+        let rpm2000 = AngularVelocity::from_rpm(2000.0);
+        let cool = fixed_speed_fan(&coarse(Benchmark::Crc32), rpm2000);
+        assert!(cool.is_feasible(), "CRC32 at 2000 RPM must pass");
+        let hot = fixed_speed_fan(&coarse(Benchmark::BitCount), rpm2000);
+        assert!(!hot.is_feasible(), "bitcount at 2000 RPM must fail");
+    }
+
+    #[test]
+    fn variable_fan_matches_paper_split() {
+        let cool = variable_speed_fan(&coarse(Benchmark::Basicmath), true);
+        assert!(cool.is_feasible());
+        let hot = variable_speed_fan(&coarse(Benchmark::Fft), true);
+        assert!(!hot.is_feasible());
+        // The infeasible case still reports how close it got.
+        assert!(hot.max_temperature().is_some());
+    }
+
+    #[test]
+    fn coolest_fan_point_beats_fixed_speed() {
+        let system = coarse(Benchmark::Basicmath);
+        let coolest = variable_speed_fan(&system, false);
+        let fixed = fixed_speed_fan(&system, AngularVelocity::from_rpm(2000.0));
+        let t_var = coolest.max_temperature().unwrap();
+        let t_fix = fixed.max_temperature().unwrap();
+        assert!(t_var <= t_fix);
+    }
+
+    #[test]
+    fn throttle_zero_for_cool_and_positive_for_hot() {
+        let cool = coarse(Benchmark::Crc32);
+        assert_eq!(required_fan_only_throttle(&cool, 0.05), 0.0);
+        let hot = coarse(Benchmark::Fft);
+        let cut = required_fan_only_throttle(&hot, 0.05);
+        assert!(
+            cut > 0.0 && cut < 0.5,
+            "FFT should need a modest power cut, got {cut}"
+        );
+        // The throttled workload is actually feasible.
+        let throttled = hot.scaled(1.0 - cut);
+        assert!(variable_speed_fan(&throttled, false).is_feasible());
+    }
+
+    #[test]
+    fn tec_only_always_runs_away() {
+        let report = tec_only(&coarse(Benchmark::Basicmath), 10);
+        assert_eq!(report.currents.len(), 11);
+        assert!(
+            report.all_runaway(),
+            "TEC-only must run away even on the coolest benchmark: {:?}",
+            report.max_temperatures
+        );
+        assert!(!report.any_feasible(Temperature::from_celsius(90.0)));
+    }
+}

@@ -1,0 +1,186 @@
+//! `oftec-cli` — command-line front end to the OFTEC library.
+//!
+//! ```text
+//! cargo run --release -p oftec --bin oftec-cli -- <command> [args]
+//!
+//! Commands:
+//!   list                       list bundled benchmarks
+//!   optimize <benchmark>       run Algorithm 1 (Optimization 2 → 1)
+//!   cool <benchmark>           run Optimization 2 to convergence (min 𝒯)
+//!   baseline <benchmark>       evaluate the two fan-only baselines
+//!   sweep <benchmark> [file]   dump the Figure 6(a)(b) surface as CSV
+//!   margin <benchmark> <rpm> <amps>
+//!                              spectral runaway margin at one point
+//! ```
+
+use oftec::baselines::{fixed_speed_fan, variable_speed_fan};
+use oftec::{CoolingSystem, Oftec, OftecOutcome, SweepGrid};
+use oftec_power::Benchmark;
+use oftec_thermal::OperatingPoint;
+use oftec_units::{AngularVelocity, Current};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: oftec-cli <list|optimize|cool|baseline|sweep|margin> [benchmark] [args]\n\
+         run with `list` to see the bundled benchmarks"
+    );
+    ExitCode::FAILURE
+}
+
+fn find_benchmark(name: &str) -> Option<Benchmark> {
+    Benchmark::ALL
+        .iter()
+        .copied()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+
+    if command == "list" {
+        println!("bundled MiBench benchmarks (paper Table 2):");
+        for b in Benchmark::ALL {
+            let system = CoolingSystem::for_benchmark(b);
+            println!(
+                "  {:<14} {:>6.1} W max dynamic power{}",
+                b.name(),
+                system.total_dynamic_power().watts(),
+                if b.is_cool() { "  (cool)" } else { "  (hot)" }
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(bench_name) = args.get(1) else {
+        return usage();
+    };
+    let Some(benchmark) = find_benchmark(bench_name) else {
+        eprintln!("unknown benchmark `{bench_name}`; try `oftec-cli list`");
+        return ExitCode::FAILURE;
+    };
+    let system = CoolingSystem::for_benchmark(benchmark);
+
+    match command.as_str() {
+        "optimize" => match Oftec::default().run(&system) {
+            OftecOutcome::Optimized(sol) => {
+                println!(
+                    "{}: ω* = {:.0} RPM, I* = {:.2} A",
+                    system.name(),
+                    sol.operating_point.fan_speed.rpm(),
+                    sol.operating_point.tec_current.amperes()
+                );
+                let b = sol.solution.breakdown();
+                println!(
+                    "𝒫 = {:.2} W (leakage {:.2} + TEC {:.2} + fan {:.2}), \
+                     T_max = {:.2} °C, {} ms",
+                    b.objective().watts(),
+                    b.leakage.watts(),
+                    b.tec.watts(),
+                    b.fan.watts(),
+                    sol.max_temperature.celsius(),
+                    sol.runtime.as_millis()
+                );
+                ExitCode::SUCCESS
+            }
+            OftecOutcome::Infeasible(report) => {
+                println!(
+                    "{}: INFEASIBLE — best achievable {:.2} °C",
+                    system.name(),
+                    report.best_temperature.celsius()
+                );
+                ExitCode::FAILURE
+            }
+        },
+        "cool" => {
+            match Oftec::default().minimize_temperature(system.tec_model(), system.t_max()) {
+                Some(sol) => {
+                    println!(
+                        "{}: coolest {:.2} °C at ω = {:.0} RPM, I = {:.2} A \
+                         (costs {:.2} W)",
+                        system.name(),
+                        sol.max_temperature.celsius(),
+                        sol.operating_point.fan_speed.rpm(),
+                        sol.operating_point.tec_current.amperes(),
+                        sol.cooling_power.watts()
+                    );
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    println!("{}: every probed point is in thermal runaway", system.name());
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "baseline" => {
+            let var = variable_speed_fan(&system, true);
+            let fixed = fixed_speed_fan(&system, oftec::fixed_baseline_speed());
+            let show = |name: &str, o: &oftec::baselines::BaselineOutcome| {
+                match (o.is_feasible(), o.max_temperature(), o.cooling_power()) {
+                    (true, Some(t), Some(p)) => println!(
+                        "  {name:<12} ok    T = {:.2} °C, 𝒫 = {:.2} W",
+                        t.celsius(),
+                        p.watts()
+                    ),
+                    (false, Some(t), _) => println!(
+                        "  {name:<12} FAIL  best {:.2} °C > T_max",
+                        t.celsius()
+                    ),
+                    _ => println!("  {name:<12} FAIL  thermal runaway"),
+                }
+            };
+            println!("{} without TECs:", system.name());
+            show("variable-ω", &var);
+            show("fixed 2000", &fixed);
+            ExitCode::SUCCESS
+        }
+        "sweep" => {
+            let sweep = SweepGrid::default().run(system.tec_model());
+            let csv = sweep.to_csv();
+            match args.get(2) {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, csv) {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("surface written to {path}");
+                }
+                None => print!("{csv}"),
+            }
+            ExitCode::SUCCESS
+        }
+        "margin" => {
+            let (Some(rpm), Some(amps)) = (
+                args.get(2).and_then(|s| s.parse::<f64>().ok()),
+                args.get(3).and_then(|s| s.parse::<f64>().ok()),
+            ) else {
+                eprintln!("usage: oftec-cli margin <benchmark> <rpm> <amps>");
+                return ExitCode::FAILURE;
+            };
+            let op = OperatingPoint::new(
+                AngularVelocity::from_rpm(rpm),
+                Current::from_amperes(amps),
+            );
+            match system.tec_model().runaway_margin(op) {
+                Some(m) => {
+                    println!(
+                        "{} at ({rpm:.0} RPM, {amps:.2} A): stability margin {m:.5} W/K",
+                        system.name()
+                    );
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    println!(
+                        "{} at ({rpm:.0} RPM, {amps:.2} A): thermal runaway (no margin)",
+                        system.name()
+                    );
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

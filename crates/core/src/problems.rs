@@ -1,0 +1,280 @@
+//! Optimization 1 and Optimization 2 as [`NlpProblem`]s.
+//!
+//! Decision variables are scaled to the unit square:
+//! `x = (ω/ω_max, I/I_max)` (or just `ω/ω_max` for fan-only systems), so
+//! the SQP/BFGS machinery sees well-conditioned steps regardless of the
+//! physical units (rad/s vs amperes).
+//!
+//! Every objective/constraint evaluation is one steady-state thermal
+//! solve; a small memo cache deduplicates the objective + constraint
+//! evaluations the solvers make at the same point. Runaway points
+//! evaluate to `None`, which the solvers treat as prohibitively bad —
+//! the "infinite" region of Figure 6(a)(b).
+
+use oftec_optim::NlpProblem;
+use oftec_thermal::{HybridCoolingModel, OperatingPoint};
+use oftec_units::{AngularVelocity, Current, Temperature};
+use std::cell::RefCell;
+
+/// Which objective is being minimized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoolingObjective {
+    /// Optimization 1: total cooling-related power 𝒫 (Eq. (10)), with the
+    /// `T_i < T_max` inequality as an explicit constraint.
+    Power,
+    /// Optimization 2: maximum die temperature 𝒯 (Eq. (19)), with box
+    /// bounds only.
+    MaxTemperature,
+}
+
+/// Temperature scale (K) used to normalize the thermal constraint.
+const CONSTRAINT_SCALE: f64 = 10.0;
+
+/// Interior margin (K) subtracted from `T_max` in the Optimization 1
+/// constraint. The paper's constraint (15) is strict (`T_i < T_max`) while
+/// SQP rides active constraints to equality; the margin keeps the returned
+/// optimum strictly feasible at a negligible power cost.
+const T_MAX_MARGIN_KELVIN: f64 = 0.1;
+
+/// Memoized evaluation of one operating point.
+#[derive(Debug, Clone, Copy)]
+struct Eval {
+    /// Objective 𝒫 in watts; `None` when the point has no steady state.
+    power: Option<f64>,
+    /// Max chip temperature in Kelvin; `None` on runaway.
+    max_temp: Option<f64>,
+}
+
+/// The shared machinery of both problems.
+#[derive(Debug)]
+pub struct CoolingProblem<'a> {
+    model: &'a HybridCoolingModel,
+    objective: CoolingObjective,
+    t_max: Temperature,
+    with_tec: bool,
+    cache: RefCell<Vec<([f64; 2], Eval)>>,
+    solves: RefCell<usize>,
+}
+
+impl<'a> CoolingProblem<'a> {
+    /// Builds a problem over `(ω, I_TEC)` for a hybrid model, or over `ω`
+    /// alone for a fan-only model (detected from the model).
+    pub fn new(
+        model: &'a HybridCoolingModel,
+        objective: CoolingObjective,
+        t_max: Temperature,
+    ) -> Self {
+        Self {
+            model,
+            objective,
+            t_max,
+            with_tec: model.has_tec(),
+            cache: RefCell::new(Vec::with_capacity(16)),
+            solves: RefCell::new(0),
+        }
+    }
+
+    /// Number of thermal solves performed so far (diagnostics; the paper
+    /// reports solver runtimes that are dominated by these).
+    pub fn thermal_solves(&self) -> usize {
+        *self.solves.borrow()
+    }
+
+    /// Converts scaled decision variables to a physical operating point.
+    pub fn operating_point(&self, x: &[f64]) -> OperatingPoint {
+        let fan = self.model.config().fan.omega_max * x[0].clamp(0.0, 1.0);
+        let current = if self.with_tec {
+            Current::from_amperes(5.0 * x[1].clamp(0.0, 1.0))
+        } else {
+            Current::ZERO
+        };
+        OperatingPoint::new(fan, current)
+    }
+
+    /// Converts a physical operating point to scaled variables.
+    pub fn scale_point(&self, op: OperatingPoint) -> Vec<f64> {
+        let w = op.fan_speed.rad_per_s() / self.model.config().fan.omega_max.rad_per_s();
+        if self.with_tec {
+            vec![w, op.tec_current.amperes() / 5.0]
+        } else {
+            vec![w]
+        }
+    }
+
+    fn key(&self, x: &[f64]) -> [f64; 2] {
+        [x[0], if self.with_tec { x[1] } else { 0.0 }]
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Eval {
+        let key = self.key(x);
+        if let Some((_, e)) = self
+            .cache
+            .borrow()
+            .iter()
+            .find(|(k, _)| k[0] == key[0] && k[1] == key[1])
+        {
+            return *e;
+        }
+        let op = self.operating_point(x);
+        *self.solves.borrow_mut() += 1;
+        let eval = match self.model.solve(op) {
+            Ok(sol) => Eval {
+                power: Some(sol.objective_power().watts()),
+                max_temp: Some(sol.max_chip_temperature().kelvin()),
+            },
+            Err(_) => Eval {
+                power: None,
+                max_temp: None,
+            },
+        };
+        let mut cache = self.cache.borrow_mut();
+        if cache.len() >= 16 {
+            cache.remove(0);
+        }
+        cache.push((key, eval));
+        eval
+    }
+
+    /// Maximum die temperature at scaled point `x` (for early-stop
+    /// predicates), `None` on runaway.
+    pub fn max_temperature(&self, x: &[f64]) -> Option<Temperature> {
+        self.evaluate(x).max_temp.map(Temperature::from_kelvin)
+    }
+
+    /// The fan speed corresponding to `x\[0\] = 1`.
+    pub fn omega_max(&self) -> AngularVelocity {
+        self.model.config().fan.omega_max
+    }
+}
+
+impl NlpProblem for CoolingProblem<'_> {
+    fn dim(&self) -> usize {
+        if self.with_tec {
+            2
+        } else {
+            1
+        }
+    }
+
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        (vec![0.0; self.dim()], vec![1.0; self.dim()])
+    }
+
+    fn objective(&self, x: &[f64]) -> Option<f64> {
+        let e = self.evaluate(x);
+        match self.objective {
+            CoolingObjective::Power => e.power,
+            // Normalize 𝒯 to ~O(1): Kelvin above ambient / scale.
+            CoolingObjective::MaxTemperature => e
+                .max_temp
+                .map(|t| (t - self.model.config().ambient.kelvin()) / CONSTRAINT_SCALE),
+        }
+    }
+
+    fn n_constraints(&self) -> usize {
+        match self.objective {
+            CoolingObjective::Power => 1,
+            CoolingObjective::MaxTemperature => 0,
+        }
+    }
+
+    fn constraints(&self, x: &[f64]) -> Option<Vec<f64>> {
+        match self.objective {
+            CoolingObjective::MaxTemperature => Some(Vec::new()),
+            CoolingObjective::Power => self.evaluate(x).max_temp.map(|t| {
+                vec![(self.t_max.kelvin() - T_MAX_MARGIN_KELVIN - t) / CONSTRAINT_SCALE]
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoolingSystem;
+    use oftec_power::Benchmark;
+    use oftec_thermal::PackageConfig;
+
+    fn system() -> CoolingSystem {
+        CoolingSystem::for_benchmark_with_config(
+            Benchmark::Basicmath,
+            &PackageConfig::dac14_coarse(),
+        )
+    }
+
+    #[test]
+    fn dimensions_follow_model() {
+        let s = system();
+        let p2 = CoolingProblem::new(s.tec_model(), CoolingObjective::Power, s.t_max());
+        assert_eq!(p2.dim(), 2);
+        assert_eq!(p2.n_constraints(), 1);
+        let p1 = CoolingProblem::new(s.fan_model(), CoolingObjective::MaxTemperature, s.t_max());
+        assert_eq!(p1.dim(), 1);
+        assert_eq!(p1.n_constraints(), 0);
+    }
+
+    #[test]
+    fn scaling_round_trip() {
+        let s = system();
+        let p = CoolingProblem::new(s.tec_model(), CoolingObjective::Power, s.t_max());
+        let op = p.operating_point(&[0.5, 0.4]);
+        assert!((op.fan_speed.rpm() - 2500.0).abs() < 1.0);
+        assert!((op.tec_current.amperes() - 2.0).abs() < 1e-9);
+        let back = p.scale_point(op);
+        assert!((back[0] - 0.5).abs() < 1e-12);
+        assert!((back[1] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objective_and_constraint_are_consistent() {
+        let s = system();
+        let p = CoolingProblem::new(s.tec_model(), CoolingObjective::Power, s.t_max());
+        let x = [0.6, 0.2];
+        let f = p.objective(&x).unwrap();
+        assert!(f > 5.0 && f < 60.0, "𝒫 = {f} W");
+        let c = p.constraints(&x).unwrap();
+        // Basicmath at 3000 RPM is comfortably below 90 °C.
+        assert!(c[0] > 0.0);
+        let t = p.max_temperature(&x).unwrap();
+        assert!(
+            (c[0] - (s.t_max().kelvin() - 0.1 - t.kelvin()) / 10.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn cache_deduplicates_solves() {
+        let s = system();
+        let p = CoolingProblem::new(s.tec_model(), CoolingObjective::Power, s.t_max());
+        let x = [0.5, 0.5];
+        let _ = p.objective(&x);
+        let n1 = p.thermal_solves();
+        let _ = p.constraints(&x);
+        let _ = p.objective(&x);
+        assert_eq!(p.thermal_solves(), n1, "repeat evaluations must hit cache");
+    }
+
+    #[test]
+    fn runaway_region_returns_none() {
+        let s = system();
+        let p = CoolingProblem::new(s.tec_model(), CoolingObjective::Power, s.t_max());
+        // ω ≈ 0: still-air; basicmath + leakage feedback has no steady
+        // state (classified by cap or non-PD).
+        let f = p.objective(&[0.0, 0.3]);
+        assert!(f.is_none(), "expected runaway at ω = 0, got {f:?}");
+    }
+
+    #[test]
+    fn max_temp_objective_tracks_kelvin() {
+        let s = system();
+        let p = CoolingProblem::new(
+            s.tec_model(),
+            CoolingObjective::MaxTemperature,
+            s.t_max(),
+        );
+        let x = [0.8, 0.1];
+        let f = p.objective(&x).unwrap();
+        let t = p.max_temperature(&x).unwrap();
+        let expect = (t.kelvin() - s.package().ambient.kelvin()) / 10.0;
+        assert!((f - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,230 @@
+//! Design-space surface sweeps — Figure 6(a)(b) of the paper.
+
+use oftec_thermal::{HybridCoolingModel, OperatingPoint};
+use oftec_units::Current;
+
+/// One sample of the `(ω, I_TEC)` plane.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SweepSample {
+    /// Fan speed (RPM, as plotted by the paper).
+    pub omega_rpm: f64,
+    /// TEC current (A).
+    pub current_a: f64,
+    /// Maximum die temperature 𝒯 (°C); `None` = thermal runaway (the dark
+    /// "infinite" region of Figure 6(a)(b)).
+    pub max_temp_celsius: Option<f64>,
+    /// Cooling power 𝒫 (W); `None` = runaway.
+    pub power_watts: Option<f64>,
+}
+
+/// A rectangular sweep specification.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepGrid {
+    /// Samples along ω.
+    pub omega_points: usize,
+    /// Samples along I.
+    pub current_points: usize,
+}
+
+impl Default for SweepGrid {
+    fn default() -> Self {
+        Self {
+            omega_points: 40,
+            current_points: 26,
+        }
+    }
+}
+
+/// The swept surfaces.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SweepResult {
+    /// Samples in row-major order: `samples[i * current_points + j]` for
+    /// ω index `i`, current index `j`.
+    pub samples: Vec<SweepSample>,
+    /// ω sample count.
+    pub omega_points: usize,
+    /// I sample count.
+    pub current_points: usize,
+}
+
+impl SweepGrid {
+    /// Sweeps the model over `[0, ω_max] × [0, I_max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either resolution is below 2.
+    pub fn run(&self, model: &HybridCoolingModel) -> SweepResult {
+        assert!(
+            self.omega_points >= 2 && self.current_points >= 2,
+            "sweep needs at least a 2×2 grid"
+        );
+        let omega_max = model.config().fan.omega_max;
+        let i_max = 5.0;
+        let mut samples = Vec::with_capacity(self.omega_points * self.current_points);
+        for wi in 0..self.omega_points {
+            let frac_w = wi as f64 / (self.omega_points - 1) as f64;
+            let omega = omega_max * frac_w;
+            for ci in 0..self.current_points {
+                let frac_i = ci as f64 / (self.current_points - 1) as f64;
+                let amps = i_max * frac_i;
+                let op = OperatingPoint::new(omega, Current::from_amperes(amps));
+                let (t, p) = match model.solve(op) {
+                    Ok(sol) => (
+                        Some(sol.max_chip_temperature().celsius()),
+                        Some(sol.objective_power().watts()),
+                    ),
+                    Err(_) => (None, None),
+                };
+                samples.push(SweepSample {
+                    omega_rpm: omega.rpm(),
+                    current_a: amps,
+                    max_temp_celsius: t,
+                    power_watts: p,
+                });
+            }
+        }
+        SweepResult {
+            samples,
+            omega_points: self.omega_points,
+            current_points: self.current_points,
+        }
+    }
+}
+
+impl SweepResult {
+    /// The sample minimizing 𝒯 (Figure 6(a)'s minimum, which the paper
+    /// observes near the middle of the plane).
+    pub fn coolest(&self) -> Option<&SweepSample> {
+        self.samples
+            .iter()
+            .filter(|s| s.max_temp_celsius.is_some())
+            .min_by(|a, b| {
+                a.max_temp_celsius
+                    .partial_cmp(&b.max_temp_celsius)
+                    .unwrap()
+            })
+    }
+
+    /// The sample minimizing 𝒫 (Figure 6(b)'s minimum, near the origin of
+    /// the *feasible* region).
+    pub fn cheapest(&self) -> Option<&SweepSample> {
+        self.samples
+            .iter()
+            .filter(|s| s.power_watts.is_some())
+            .min_by(|a, b| a.power_watts.partial_cmp(&b.power_watts).unwrap())
+    }
+
+    /// Fraction of samples in the runaway region.
+    pub fn runaway_fraction(&self) -> f64 {
+        let n = self.samples.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let bad = self
+            .samples
+            .iter()
+            .filter(|s| s.max_temp_celsius.is_none())
+            .count();
+        bad as f64 / n as f64
+    }
+
+    /// The smallest ω (RPM) with any non-runaway sample — the paper's
+    /// "ω should be increased to about 150 RPM" observation.
+    pub fn runaway_boundary_rpm(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .filter(|s| s.max_temp_celsius.is_some())
+            .map(|s| s.omega_rpm)
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
+    /// Serializes to CSV (`omega_rpm,current_a,max_temp_c,power_w`;
+    /// runaway cells are empty fields).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("omega_rpm,current_a,max_temp_c,power_w\n");
+        for s in &self.samples {
+            let t = s
+                .max_temp_celsius
+                .map_or(String::new(), |v| format!("{v:.3}"));
+            let p = s.power_watts.map_or(String::new(), |v| format!("{v:.4}"));
+            out.push_str(&format!(
+                "{:.1},{:.3},{},{}\n",
+                s.omega_rpm, s.current_a, t, p
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoolingSystem;
+    use oftec_power::Benchmark;
+    use oftec_thermal::PackageConfig;
+
+    fn sweep() -> SweepResult {
+        let system = CoolingSystem::for_benchmark_with_config(
+            Benchmark::Basicmath,
+            &PackageConfig::dac14_coarse(),
+        );
+        SweepGrid {
+            omega_points: 12,
+            current_points: 6,
+        }
+        .run(system.tec_model())
+    }
+
+    #[test]
+    fn shape_and_counts() {
+        let r = sweep();
+        assert_eq!(r.samples.len(), 72);
+        assert_eq!(r.samples[0].omega_rpm, 0.0);
+        assert_eq!(r.samples[0].current_a, 0.0);
+        let last = r.samples.last().unwrap();
+        assert!((last.omega_rpm - 5000.0).abs() < 1.0);
+        assert!((last.current_a - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runaway_region_exists_at_low_omega() {
+        let r = sweep();
+        assert!(r.runaway_fraction() > 0.0, "no runaway region found");
+        assert!(r.runaway_fraction() < 0.9, "almost everything ran away");
+        let boundary = r.runaway_boundary_rpm().unwrap();
+        assert!(
+            boundary > 0.0 && boundary < 2000.0,
+            "runaway boundary at {boundary} RPM"
+        );
+        // Increasing I at ω = 0 cannot rescue the chip (paper: "increasing
+        // I_TEC alone cannot rescue the chip").
+        for s in r.samples.iter().filter(|s| s.omega_rpm == 0.0) {
+            assert!(s.max_temp_celsius.is_none());
+        }
+    }
+
+    #[test]
+    fn minima_locations_match_figure6() {
+        let r = sweep();
+        let coolest = r.coolest().unwrap();
+        let cheapest = r.cheapest().unwrap();
+        // Figure 6(a): the temperature minimum is well inside the plane
+        // (needs real fan and TEC effort); Figure 6(b): the power minimum
+        // sits at low-but-nonzero ω, near the feasible region's origin.
+        assert!(coolest.omega_rpm > 1000.0);
+        assert!(cheapest.omega_rpm < coolest.omega_rpm);
+        assert!(cheapest.power_watts.unwrap() < coolest.power_watts.unwrap());
+        assert!(coolest.max_temp_celsius.unwrap() < cheapest.max_temp_celsius.unwrap());
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let r = sweep();
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 73); // header + samples
+        assert!(lines[0].starts_with("omega_rpm"));
+        // Runaway rows have empty fields.
+        assert!(lines.iter().any(|l| l.ends_with(",,")));
+    }
+}

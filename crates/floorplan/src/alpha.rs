@@ -1,0 +1,107 @@
+//! An Alpha 21264-class floorplan.
+//!
+//! The paper's experiments target the Alpha 21264 with the 15.9 × 15.9 mm
+//! die of its Table 1. The exact unit geometry is not given there, so this
+//! floorplan follows the unit list of HotSpot's classic `ev6.flp`
+//! (the same reference the paper cites for hot-spot behaviour), retiled to
+//! cover the Table 1 die exactly: big first-level caches that never become
+//! hot spots, and integer/floating-point execution clusters that do.
+
+use crate::{Floorplan, FunctionalUnit, Rect};
+use oftec_units::Length;
+
+/// Die edge from Table 1 of the paper, in millimeters.
+pub(crate) const DIE_EDGE_MM: f64 = 15.9;
+
+/// Builds the Alpha 21264-class floorplan used throughout the reproduction.
+///
+/// Fifteen units tile the 15.9 × 15.9 mm die with no gaps or overlaps:
+/// `Icache`/`Dcache` (the cold ~38% of the die left uncovered by TECs in
+/// the paper's deployment), the integer cluster (`IntReg`, `IntMap`,
+/// `IntQ`, `IntExec`), the floating-point cluster (`FPReg`, `FPMap`, `FPQ`,
+/// `FPAdd`, `FPMul`), the memory pipeline (`LdStQ`, `ITB`, `DTB`), and the
+/// branch predictor (`Bpred`).
+///
+/// # Examples
+///
+/// ```
+/// use oftec_floorplan::alpha21264;
+///
+/// let fp = alpha21264();
+/// assert!(fp.validate().is_ok());
+/// assert!(fp.unit_by_name("IntExec").is_some());
+/// ```
+pub fn alpha21264() -> Floorplan {
+    let mm = |v: f64| Length::from_mm(v);
+    let unit = |name: &str, x: f64, y: f64, w: f64, h: f64| {
+        FunctionalUnit::new(name, Rect::new(mm(x), mm(y), mm(w), mm(h)))
+    };
+    let e = DIE_EDGE_MM;
+
+    // Bottom band: first-level caches (y ∈ [0, 6.0)).
+    // Middle band: memory pipe + integer front-end (y ∈ [6.0, 9.0)).
+    // Upper band:  execution units (y ∈ [9.0, 12.5)).
+    // Top band:    FP front-end, TLBs, branch predictor (y ∈ [12.5, 15.9)).
+    let units = vec![
+        unit("Dcache", 0.0, 0.0, e / 2.0, 6.0),
+        unit("Icache", e / 2.0, 0.0, e / 2.0, 6.0),
+        unit("LdStQ", 0.0, 6.0, 4.0, 3.0),
+        unit("IntMap", 4.0, 6.0, 4.0, 3.0),
+        unit("IntQ", 8.0, 6.0, 3.0, 3.0),
+        unit("IntReg", 11.0, 6.0, e - 11.0, 3.0),
+        unit("IntExec", 0.0, 9.0, 6.0, 3.5),
+        unit("FPAdd", 6.0, 9.0, 3.5, 3.5),
+        unit("FPMul", 9.5, 9.0, 3.5, 3.5),
+        unit("FPReg", 13.0, 9.0, e - 13.0, 3.5),
+        unit("FPMap", 0.0, 12.5, 3.0, e - 12.5),
+        unit("FPQ", 3.0, 12.5, 3.0, e - 12.5),
+        unit("ITB", 6.0, 12.5, 2.5, e - 12.5),
+        unit("DTB", 8.5, 12.5, 2.5, e - 12.5),
+        unit("Bpred", 11.0, 12.5, e - 11.0, e - 12.5),
+    ];
+    Floorplan::new("alpha21264", mm(e), mm(e), units)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates() {
+        alpha21264().validate().unwrap();
+    }
+
+    #[test]
+    fn has_fifteen_units() {
+        assert_eq!(alpha21264().units().len(), 15);
+    }
+
+    #[test]
+    fn die_matches_table1() {
+        let fp = alpha21264();
+        assert!((fp.width().millimeters() - 15.9).abs() < 1e-9);
+        assert!((fp.height().millimeters() - 15.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn caches_cover_roughly_the_bottom_third() {
+        let fp = alpha21264();
+        let cache_area: f64 = ["Icache", "Dcache"]
+            .iter()
+            .map(|n| fp.unit_by_name(n).unwrap().rect().area().square_meters())
+            .sum();
+        let frac = cache_area / fp.die_area().square_meters();
+        assert!((0.3..0.45).contains(&frac), "cache fraction {frac}");
+    }
+
+    #[test]
+    fn expected_unit_names_present() {
+        let fp = alpha21264();
+        for name in [
+            "Icache", "Dcache", "IntReg", "IntMap", "IntQ", "IntExec", "FPReg", "FPMap", "FPQ",
+            "FPAdd", "FPMul", "LdStQ", "ITB", "DTB", "Bpred",
+        ] {
+            assert!(fp.unit_by_name(name).is_some(), "missing {name}");
+        }
+    }
+}

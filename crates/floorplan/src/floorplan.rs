@@ -1,0 +1,329 @@
+//! Floorplans: named functional units tiling a die.
+
+use crate::Rect;
+use oftec_units::{Area, Length};
+
+/// A named rectangular functional unit on the die.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FunctionalUnit {
+    name: String,
+    rect: Rect,
+}
+
+impl FunctionalUnit {
+    /// Creates a unit from a name and its rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is empty or contains whitespace (which would
+    /// break the `.flp` text format).
+    pub fn new(name: impl Into<String>, rect: Rect) -> Self {
+        let name = name.into();
+        assert!(
+            !name.is_empty() && !name.chars().any(char::is_whitespace),
+            "unit names must be non-empty and whitespace-free"
+        );
+        Self { name, rect }
+    }
+
+    /// The unit's name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The unit's rectangle.
+    #[inline]
+    pub fn rect(&self) -> &Rect {
+        &self.rect
+    }
+}
+
+/// Validation failures for [`Floorplan::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FloorplanError {
+    /// Two units share a name.
+    DuplicateName(String),
+    /// A unit extends beyond the die outline.
+    OutOfBounds(String),
+    /// Two units overlap; holds both names.
+    Overlap(String, String),
+    /// The union of units does not cover the die; holds the uncovered
+    /// fraction (0..1).
+    IncompleteCoverage(f64),
+    /// The floorplan has no units.
+    Empty,
+}
+
+impl core::fmt::Display for FloorplanError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::DuplicateName(n) => write!(f, "duplicate unit name: {n}"),
+            Self::OutOfBounds(n) => write!(f, "unit extends beyond the die: {n}"),
+            Self::Overlap(a, b) => write!(f, "units overlap: {a} and {b}"),
+            Self::IncompleteCoverage(frac) =>
+
+                write!(f, "floorplan leaves {:.2}% of the die uncovered", frac * 100.0),
+            Self::Empty => write!(f, "floorplan has no units"),
+        }
+    }
+}
+
+impl std::error::Error for FloorplanError {}
+
+/// A die outline plus the functional units tiling it.
+///
+/// # Examples
+///
+/// ```
+/// use oftec_floorplan::{Floorplan, FunctionalUnit, Rect};
+/// use oftec_units::Length;
+///
+/// let mm = Length::from_mm;
+/// let fp = Floorplan::new(
+///     "demo",
+///     mm(2.0),
+///     mm(1.0),
+///     vec![
+///         FunctionalUnit::new("left", Rect::new(mm(0.0), mm(0.0), mm(1.0), mm(1.0))),
+///         FunctionalUnit::new("right", Rect::new(mm(1.0), mm(0.0), mm(1.0), mm(1.0))),
+///     ],
+/// );
+/// fp.validate()?;
+/// assert_eq!(fp.unit_index("right"), Some(1));
+/// # Ok::<(), oftec_floorplan::FloorplanError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Floorplan {
+    name: String,
+    width: Length,
+    height: Length,
+    units: Vec<FunctionalUnit>,
+}
+
+/// Geometric tolerance (meters) for validation: 1 nm absorbs floating-point
+/// noise in hand-built floorplans without masking real errors.
+const GEOM_TOL: f64 = 1e-9;
+
+impl Floorplan {
+    /// Creates a floorplan from the die size and unit list.
+    pub fn new(
+        name: impl Into<String>,
+        width: Length,
+        height: Length,
+        units: Vec<FunctionalUnit>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            width,
+            height,
+            units,
+        }
+    }
+
+    /// The floorplan's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Die width.
+    pub fn width(&self) -> Length {
+        self.width
+    }
+
+    /// Die height.
+    pub fn height(&self) -> Length {
+        self.height
+    }
+
+    /// The die outline as a rectangle at the origin.
+    pub fn die_rect(&self) -> Rect {
+        Rect::new(Length::ZERO, Length::ZERO, self.width, self.height)
+    }
+
+    /// Die area.
+    pub fn die_area(&self) -> Area {
+        self.width * self.height
+    }
+
+    /// The functional units, in insertion order.
+    pub fn units(&self) -> &[FunctionalUnit] {
+        &self.units
+    }
+
+    /// Finds a unit by name.
+    pub fn unit_by_name(&self, name: &str) -> Option<&FunctionalUnit> {
+        self.units.iter().find(|u| u.name() == name)
+    }
+
+    /// Finds the index of a unit by name.
+    pub fn unit_index(&self, name: &str) -> Option<usize> {
+        self.units.iter().position(|u| u.name() == name)
+    }
+
+    /// Fraction of the die covered by the union of units (assumes the
+    /// floorplan passed overlap validation, in which case summing areas is
+    /// exact).
+    pub fn coverage(&self) -> f64 {
+        let total: f64 = self
+            .units
+            .iter()
+            .map(|u| u.rect().area().square_meters())
+            .sum();
+        total / self.die_area().square_meters()
+    }
+
+    /// Checks structural invariants: non-empty, unique names, every unit in
+    /// bounds, pairwise disjoint interiors, and (near-)full die coverage.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`FloorplanError`].
+    pub fn validate(&self) -> Result<(), FloorplanError> {
+        if self.units.is_empty() {
+            return Err(FloorplanError::Empty);
+        }
+        for (i, u) in self.units.iter().enumerate() {
+            for v in &self.units[..i] {
+                if v.name() == u.name() {
+                    return Err(FloorplanError::DuplicateName(u.name().to_owned()));
+                }
+            }
+        }
+        let die = self.die_rect();
+        for u in &self.units {
+            if !die.contains(u.rect(), GEOM_TOL) {
+                return Err(FloorplanError::OutOfBounds(u.name().to_owned()));
+            }
+        }
+        for (i, u) in self.units.iter().enumerate() {
+            for v in &self.units[(i + 1)..] {
+                // Tolerate sliver overlaps below tolerance × die edge.
+                let tol_area = GEOM_TOL * self.width.meters().max(self.height.meters());
+                if u.rect().overlap_area(v.rect()).square_meters() > tol_area {
+                    return Err(FloorplanError::Overlap(
+                        u.name().to_owned(),
+                        v.name().to_owned(),
+                    ));
+                }
+            }
+        }
+        let uncovered = 1.0 - self.coverage();
+        if uncovered.abs() > 1e-6 {
+            return Err(FloorplanError::IncompleteCoverage(uncovered));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mm(v: f64) -> Length {
+        Length::from_mm(v)
+    }
+
+    fn unit(name: &str, x: f64, y: f64, w: f64, h: f64) -> FunctionalUnit {
+        FunctionalUnit::new(name, Rect::new(mm(x), mm(y), mm(w), mm(h)))
+    }
+
+    fn two_by_one() -> Floorplan {
+        Floorplan::new(
+            "2x1",
+            mm(2.0),
+            mm(1.0),
+            vec![unit("a", 0.0, 0.0, 1.0, 1.0), unit("b", 1.0, 0.0, 1.0, 1.0)],
+        )
+    }
+
+    #[test]
+    fn valid_plan_passes() {
+        two_by_one().validate().unwrap();
+        assert!((two_by_one().coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let fp = Floorplan::new("empty", mm(1.0), mm(1.0), vec![]);
+        assert_eq!(fp.validate(), Err(FloorplanError::Empty));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let fp = Floorplan::new(
+            "dup",
+            mm(2.0),
+            mm(1.0),
+            vec![unit("a", 0.0, 0.0, 1.0, 1.0), unit("a", 1.0, 0.0, 1.0, 1.0)],
+        );
+        assert_eq!(
+            fp.validate(),
+            Err(FloorplanError::DuplicateName("a".into()))
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let fp = Floorplan::new(
+            "oob",
+            mm(1.0),
+            mm(1.0),
+            vec![unit("a", 0.5, 0.0, 1.0, 1.0)],
+        );
+        assert_eq!(fp.validate(), Err(FloorplanError::OutOfBounds("a".into())));
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let fp = Floorplan::new(
+            "ovl",
+            mm(2.0),
+            mm(1.0),
+            vec![
+                unit("a", 0.0, 0.0, 1.2, 1.0),
+                unit("b", 1.0, 0.0, 1.0, 1.0),
+            ],
+        );
+        assert_eq!(
+            fp.validate(),
+            Err(FloorplanError::Overlap("a".into(), "b".into()))
+        );
+    }
+
+    #[test]
+    fn incomplete_coverage_rejected() {
+        let fp = Floorplan::new(
+            "gap",
+            mm(2.0),
+            mm(1.0),
+            vec![unit("a", 0.0, 0.0, 1.0, 1.0)],
+        );
+        match fp.validate() {
+            Err(FloorplanError::IncompleteCoverage(frac)) => {
+                assert!((frac - 0.5).abs() < 1e-9);
+            }
+            other => panic!("expected coverage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let fp = two_by_one();
+        assert_eq!(fp.unit_index("b"), Some(1));
+        assert_eq!(fp.unit_by_name("b").unwrap().name(), "b");
+        assert_eq!(fp.unit_index("zzz"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "whitespace-free")]
+    fn whitespace_name_panics() {
+        let _ = unit("bad name", 0.0, 0.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = FloorplanError::Overlap("x".into(), "y".into());
+        assert_eq!(e.to_string(), "units overlap: x and y");
+    }
+}

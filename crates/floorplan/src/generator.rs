@@ -1,0 +1,137 @@
+//! Parametric floorplan generators for studies beyond the bundled
+//! Alpha 21264 (grid-convergence sweeps, synthetic multicore scaling).
+
+use crate::{Floorplan, FunctionalUnit, Rect};
+use oftec_units::Length;
+
+/// A uniform `rows × cols` tiling of the die, with units named
+/// `t<row>_<col>`. Useful as a neutral substrate for discretization and
+/// solver studies.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+///
+/// # Examples
+///
+/// ```
+/// use oftec_floorplan::grid_floorplan;
+/// use oftec_units::Length;
+///
+/// let fp = grid_floorplan("tiles", Length::from_mm(10.0), Length::from_mm(10.0), 4, 4);
+/// assert_eq!(fp.units().len(), 16);
+/// assert!(fp.validate().is_ok());
+/// ```
+pub fn grid_floorplan(
+    name: &str,
+    width: Length,
+    height: Length,
+    rows: usize,
+    cols: usize,
+) -> Floorplan {
+    assert!(rows > 0 && cols > 0, "grid floorplan needs cells");
+    assert!(
+        width.meters() > 0.0 && height.meters() > 0.0,
+        "die must have positive size"
+    );
+    let cw = width.meters() / cols as f64;
+    let ch = height.meters() / rows as f64;
+    let mut units = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            units.push(FunctionalUnit::new(
+                format!("t{r}_{c}"),
+                Rect::from_meters(c as f64 * cw, r as f64 * ch, cw, ch),
+            ));
+        }
+    }
+    Floorplan::new(name, width, height, units)
+}
+
+/// A synthetic symmetric multicore: `n × n` tiles, each split into a core
+/// (named `Core<k>`) taking `core_fraction` of the tile's width and an L2
+/// slice (named `L2_<k>`) taking the rest. Cores are the hot-spot
+/// candidates; L2 slices play the caches' cold-area role.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `core_fraction` is outside `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use oftec_floorplan::multicore_floorplan;
+/// use oftec_units::Length;
+///
+/// let fp = multicore_floorplan(Length::from_mm(16.0), 2, 0.6);
+/// assert_eq!(fp.units().len(), 8); // 4 cores + 4 L2 slices
+/// assert!(fp.validate().is_ok());
+/// assert!(fp.unit_by_name("Core0").is_some());
+/// assert!(fp.unit_by_name("L2_3").is_some());
+/// ```
+pub fn multicore_floorplan(die_edge: Length, n: usize, core_fraction: f64) -> Floorplan {
+    assert!(n > 0, "need at least one core");
+    assert!(
+        (0.0..1.0).contains(&core_fraction) && core_fraction > 0.0,
+        "core fraction must be in (0, 1)"
+    );
+    let edge = die_edge.meters();
+    let tile = edge / n as f64;
+    let core_w = tile * core_fraction;
+    let mut units = Vec::with_capacity(2 * n * n);
+    for r in 0..n {
+        for c in 0..n {
+            let k = r * n + c;
+            let x0 = c as f64 * tile;
+            let y0 = r as f64 * tile;
+            units.push(FunctionalUnit::new(
+                format!("Core{k}"),
+                Rect::from_meters(x0, y0, core_w, tile),
+            ));
+            units.push(FunctionalUnit::new(
+                format!("L2_{k}"),
+                Rect::from_meters(x0 + core_w, y0, tile - core_w, tile),
+            ));
+        }
+    }
+    Floorplan::new(format!("multicore{n}x{n}"), die_edge, die_edge, units)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_tiles_exactly() {
+        let fp = grid_floorplan("g", Length::from_mm(15.9), Length::from_mm(15.9), 5, 7);
+        fp.validate().unwrap();
+        assert_eq!(fp.units().len(), 35);
+        assert!((fp.coverage() - 1.0).abs() < 1e-9);
+        assert!(fp.unit_by_name("t4_6").is_some());
+        assert!(fp.unit_by_name("t5_0").is_none());
+    }
+
+    #[test]
+    fn multicore_tiles_exactly() {
+        for n in [1, 2, 3, 4] {
+            let fp = multicore_floorplan(Length::from_mm(20.0), n, 0.55);
+            fp.validate().unwrap();
+            assert_eq!(fp.units().len(), 2 * n * n);
+        }
+    }
+
+    #[test]
+    fn core_fraction_controls_areas() {
+        let fp = multicore_floorplan(Length::from_mm(10.0), 2, 0.7);
+        let core = fp.unit_by_name("Core0").unwrap().rect().area();
+        let l2 = fp.unit_by_name("L2_0").unwrap().rect().area();
+        let frac = core.square_meters() / (core.square_meters() + l2.square_meters());
+        assert!((frac - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "core fraction")]
+    fn bad_fraction_panics() {
+        let _ = multicore_floorplan(Length::from_mm(10.0), 2, 1.2);
+    }
+}

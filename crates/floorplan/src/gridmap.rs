@@ -1,0 +1,363 @@
+//! Rasterization of a floorplan onto a regular thermal grid.
+
+use crate::{Floorplan, Rect};
+use oftec_units::Length;
+
+/// Grid resolution: `rows × cols` cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct GridDims {
+    /// Number of cell rows (y direction).
+    pub rows: usize,
+    /// Number of cell columns (x direction).
+    pub cols: usize,
+}
+
+impl GridDims {
+    /// Creates grid dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid must have at least one cell");
+        Self { rows, cols }
+    }
+
+    /// Total cell count.
+    #[inline]
+    pub fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Flattens `(row, col)` to a cell index (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn index(&self, row: usize, col: usize) -> usize {
+        assert!(row < self.rows && col < self.cols, "cell out of range");
+        row * self.cols + col
+    }
+
+    /// Inverse of [`GridDims::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn coords(&self, index: usize) -> (usize, usize) {
+        assert!(index < self.cells(), "cell index out of range");
+        (index / self.cols, index % self.cols)
+    }
+}
+
+/// One unit's share of one grid cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellCoverage {
+    /// Index of the covering unit in the floorplan's unit list.
+    pub unit: usize,
+    /// Fraction of the *cell's* area covered by the unit (0..=1).
+    pub cell_fraction: f64,
+    /// Fraction of the *unit's* area falling in this cell (0..=1).
+    pub unit_fraction: f64,
+}
+
+/// Precomputed area-overlap weights between a floorplan's units and a
+/// regular grid over the same die.
+///
+/// Used in both directions:
+/// - unit → cells: spread a per-unit power vector into per-cell powers
+///   ([`GridMap::distribute`]);
+/// - cells → unit: reduce per-cell temperatures to per-unit maxima or
+///   area-weighted means ([`GridMap::unit_max`], [`GridMap::unit_mean`]).
+///
+/// # Examples
+///
+/// ```
+/// use oftec_floorplan::{alpha21264, GridDims, GridMap};
+///
+/// let fp = alpha21264();
+/// let map = GridMap::new(&fp, GridDims::new(16, 16));
+/// let unit_powers = vec![1.0; fp.units().len()];
+/// let cell_powers = map.distribute(&unit_powers);
+/// let total: f64 = cell_powers.iter().sum();
+/// assert!((total - 15.0).abs() < 1e-9); // power is conserved
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridMap {
+    dims: GridDims,
+    cell_width: f64,
+    cell_height: f64,
+    /// Per cell: covering units with fractions.
+    cell_cover: Vec<Vec<CellCoverage>>,
+    /// Per unit: (cell index, unit_fraction).
+    unit_cells: Vec<Vec<(usize, f64)>>,
+}
+
+impl GridMap {
+    /// Rasterizes `floorplan` onto a `dims` grid spanning the full die.
+    pub fn new(floorplan: &Floorplan, dims: GridDims) -> Self {
+        let w = floorplan.width().meters();
+        let h = floorplan.height().meters();
+        let cell_width = w / dims.cols as f64;
+        let cell_height = h / dims.rows as f64;
+        let n_units = floorplan.units().len();
+
+        let mut cell_cover = vec![Vec::new(); dims.cells()];
+        let mut unit_cells = vec![Vec::new(); n_units];
+        let cell_area = cell_width * cell_height;
+
+        for (ui, u) in floorplan.units().iter().enumerate() {
+            let r = u.rect();
+            let unit_area = r.area().square_meters();
+            if unit_area == 0.0 {
+                continue;
+            }
+            // Only visit cells the unit's bounding box can touch.
+            let c_lo = (r.x().meters() / cell_width).floor().max(0.0) as usize;
+            let c_hi = ((r.right().meters() / cell_width).ceil() as usize).min(dims.cols);
+            let r_lo = (r.y().meters() / cell_height).floor().max(0.0) as usize;
+            let r_hi = ((r.top().meters() / cell_height).ceil() as usize).min(dims.rows);
+            for row in r_lo..r_hi {
+                for col in c_lo..c_hi {
+                    let cell = Rect::from_meters(
+                        col as f64 * cell_width,
+                        row as f64 * cell_height,
+                        cell_width,
+                        cell_height,
+                    );
+                    let ov = cell.overlap_area(r).square_meters();
+                    if ov <= 0.0 {
+                        continue;
+                    }
+                    let idx = dims.index(row, col);
+                    cell_cover[idx].push(CellCoverage {
+                        unit: ui,
+                        cell_fraction: ov / cell_area,
+                        unit_fraction: ov / unit_area,
+                    });
+                    unit_cells[ui].push((idx, ov / unit_area));
+                }
+            }
+        }
+        Self {
+            dims,
+            cell_width,
+            cell_height,
+            cell_cover,
+            unit_cells,
+        }
+    }
+
+    /// The grid dimensions.
+    #[inline]
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// Size of one cell.
+    pub fn cell_size(&self) -> (Length, Length) {
+        (
+            Length::from_meters(self.cell_width),
+            Length::from_meters(self.cell_height),
+        )
+    }
+
+    /// Coverage records for one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn cell_coverage(&self, cell: usize) -> &[CellCoverage] {
+        &self.cell_cover[cell]
+    }
+
+    /// The cells (with unit-area fractions) occupied by one unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit` is out of range.
+    pub fn unit_cells(&self, unit: usize) -> &[(usize, f64)] {
+        &self.unit_cells[unit]
+    }
+
+    /// Spreads a per-unit power vector into per-cell powers proportionally
+    /// to area overlap; total power is conserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit_values.len()` differs from the unit count.
+    pub fn distribute(&self, unit_values: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            unit_values.len(),
+            self.unit_cells.len(),
+            "one value per unit required"
+        );
+        let mut out = vec![0.0; self.dims.cells()];
+        for (ui, cells) in self.unit_cells.iter().enumerate() {
+            let p = unit_values[ui];
+            for &(cell, frac) in cells {
+                out[cell] += p * frac;
+            }
+        }
+        out
+    }
+
+    /// Reduces per-cell values to each unit's maximum (over cells where the
+    /// unit covers a non-negligible share).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_values.len()` differs from the cell count.
+    pub fn unit_max(&self, cell_values: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            cell_values.len(),
+            self.dims.cells(),
+            "one value per cell required"
+        );
+        self.unit_cells
+            .iter()
+            .map(|cells| {
+                cells
+                    .iter()
+                    .map(|&(cell, _)| cell_values[cell])
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .collect()
+    }
+
+    /// Reduces per-cell values to each unit's area-weighted mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_values.len()` differs from the cell count.
+    pub fn unit_mean(&self, cell_values: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            cell_values.len(),
+            self.dims.cells(),
+            "one value per cell required"
+        );
+        self.unit_cells
+            .iter()
+            .map(|cells| {
+                cells
+                    .iter()
+                    .map(|&(cell, frac)| cell_values[cell] * frac)
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{alpha21264, Floorplan, FunctionalUnit};
+
+    fn mm(v: f64) -> Length {
+        Length::from_mm(v)
+    }
+
+    fn half_half() -> Floorplan {
+        Floorplan::new(
+            "hh",
+            mm(2.0),
+            mm(2.0),
+            vec![
+                FunctionalUnit::new("left", Rect::new(mm(0.0), mm(0.0), mm(1.0), mm(2.0))),
+                FunctionalUnit::new("right", Rect::new(mm(1.0), mm(0.0), mm(1.0), mm(2.0))),
+            ],
+        )
+    }
+
+    #[test]
+    fn dims_indexing_round_trip() {
+        let d = GridDims::new(3, 5);
+        assert_eq!(d.cells(), 15);
+        for i in 0..15 {
+            let (r, c) = d.coords(i);
+            assert_eq!(d.index(r, c), i);
+        }
+    }
+
+    #[test]
+    fn aligned_grid_gives_exact_fractions() {
+        let map = GridMap::new(&half_half(), GridDims::new(2, 2));
+        // Each unit covers exactly two cells, each holding half its area.
+        for ui in 0..2 {
+            let cells = map.unit_cells(ui);
+            assert_eq!(cells.len(), 2);
+            for &(_, frac) in cells {
+                assert!((frac - 0.5).abs() < 1e-12);
+            }
+        }
+        // Each cell is fully covered by exactly one unit.
+        for cell in 0..4 {
+            let cov = map.cell_coverage(cell);
+            assert_eq!(cov.len(), 1);
+            assert!((cov[0].cell_fraction - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn misaligned_grid_splits_cells() {
+        // 1×1 grid: single cell covered half by each unit.
+        let map = GridMap::new(&half_half(), GridDims::new(1, 1));
+        let cov = map.cell_coverage(0);
+        assert_eq!(cov.len(), 2);
+        for c in cov {
+            assert!((c.cell_fraction - 0.5).abs() < 1e-12);
+            assert!((c.unit_fraction - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn distribute_conserves_power() {
+        let fp = alpha21264();
+        for dims in [GridDims::new(8, 8), GridDims::new(13, 17), GridDims::new(32, 32)] {
+            let map = GridMap::new(&fp, dims);
+            let unit_powers: Vec<f64> = (0..fp.units().len()).map(|i| 1.0 + i as f64).collect();
+            let cells = map.distribute(&unit_powers);
+            let total_in: f64 = unit_powers.iter().sum();
+            let total_out: f64 = cells.iter().sum();
+            assert!(
+                (total_in - total_out).abs() < 1e-9 * total_in,
+                "power not conserved on {dims:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_alpha_cell_fully_covered() {
+        let map = GridMap::new(&alpha21264(), GridDims::new(20, 20));
+        for cell in 0..map.dims().cells() {
+            let total: f64 = map
+                .cell_coverage(cell)
+                .iter()
+                .map(|c| c.cell_fraction)
+                .sum();
+            assert!((total - 1.0).abs() < 1e-9, "cell {cell} covered {total}");
+        }
+    }
+
+    #[test]
+    fn unit_max_and_mean() {
+        let map = GridMap::new(&half_half(), GridDims::new(2, 2));
+        // Cell values: row-major, rows bottom-up: cells 0,2 are left; 1,3 right.
+        let vals = [10.0, 100.0, 30.0, 50.0];
+        let maxes = map.unit_max(&vals);
+        assert_eq!(maxes, vec![30.0, 100.0]);
+        let means = map.unit_mean(&vals);
+        assert!((means[0] - 20.0).abs() < 1e-12);
+        assert!((means[1] - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_size() {
+        let map = GridMap::new(&half_half(), GridDims::new(4, 2));
+        let (w, h) = map.cell_size();
+        assert!((w.millimeters() - 1.0).abs() < 1e-12);
+        assert!((h.millimeters() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,37 @@
+//! Die floorplans for thermal simulation.
+//!
+//! A [`Floorplan`] is a set of named rectangular functional units tiling a
+//! die. The OFTEC evaluation targets the Alpha 21264 (15.9 × 15.9 mm die,
+//! Table 1 of the paper); [`alpha21264`] provides a 15-unit floorplan in the
+//! spirit of HotSpot's `ev6.flp`.
+//!
+//! [`GridMap`] rasterizes a floorplan onto a regular thermal grid, producing
+//! the cell↔unit area-overlap weights the simulator uses to spread unit
+//! power into cells and to reduce cell temperatures back to per-unit
+//! figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use oftec_floorplan::alpha21264;
+//!
+//! let fp = alpha21264();
+//! fp.validate().expect("tiles the die exactly");
+//! assert_eq!(fp.units().len(), 15);
+//! let icache = fp.unit_by_name("Icache").unwrap();
+//! assert!(icache.rect().area().square_millimeters() > 20.0);
+//! ```
+
+mod alpha;
+mod floorplan;
+mod generator;
+mod gridmap;
+mod parser;
+mod rect;
+
+pub use alpha::alpha21264;
+pub use generator::{grid_floorplan, multicore_floorplan};
+pub use floorplan::{Floorplan, FloorplanError, FunctionalUnit};
+pub use gridmap::{CellCoverage, GridDims, GridMap};
+pub use parser::{parse_flp, write_flp, FlpParseError};
+pub use rect::Rect;

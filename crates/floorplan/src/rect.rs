@@ -1,0 +1,217 @@
+//! Axis-aligned rectangles in die coordinates.
+
+use oftec_units::{Area, Length};
+
+/// An axis-aligned rectangle, positioned by its lower-left corner.
+///
+/// Coordinates are stored in meters; the origin is the die's lower-left
+/// corner with x growing right and y growing up (HotSpot convention).
+///
+/// # Examples
+///
+/// ```
+/// use oftec_floorplan::Rect;
+/// use oftec_units::Length;
+///
+/// let r = Rect::new(
+///     Length::ZERO,
+///     Length::ZERO,
+///     Length::from_mm(2.0),
+///     Length::from_mm(3.0),
+/// );
+/// assert!((r.area().square_millimeters() - 6.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Rect {
+    x: f64,
+    y: f64,
+    width: f64,
+    height: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its lower-left corner and size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width or height is negative or non-finite.
+    pub fn new(x: Length, y: Length, width: Length, height: Length) -> Self {
+        let r = Self {
+            x: x.meters(),
+            y: y.meters(),
+            width: width.meters(),
+            height: height.meters(),
+        };
+        assert!(
+            r.width >= 0.0 && r.height >= 0.0 && r.x.is_finite() && r.y.is_finite(),
+            "rectangle must have finite position and non-negative size"
+        );
+        r
+    }
+
+    /// Creates a rectangle directly from meters (internal fast path).
+    pub fn from_meters(x: f64, y: f64, width: f64, height: f64) -> Self {
+        Self::new(
+            Length::from_meters(x),
+            Length::from_meters(y),
+            Length::from_meters(width),
+            Length::from_meters(height),
+        )
+    }
+
+    /// Left edge.
+    #[inline]
+    pub fn x(&self) -> Length {
+        Length::from_meters(self.x)
+    }
+
+    /// Bottom edge.
+    #[inline]
+    pub fn y(&self) -> Length {
+        Length::from_meters(self.y)
+    }
+
+    /// Width.
+    #[inline]
+    pub fn width(&self) -> Length {
+        Length::from_meters(self.width)
+    }
+
+    /// Height.
+    #[inline]
+    pub fn height(&self) -> Length {
+        Length::from_meters(self.height)
+    }
+
+    /// Right edge.
+    #[inline]
+    pub fn right(&self) -> Length {
+        Length::from_meters(self.x + self.width)
+    }
+
+    /// Top edge.
+    #[inline]
+    pub fn top(&self) -> Length {
+        Length::from_meters(self.y + self.height)
+    }
+
+    /// Area.
+    #[inline]
+    pub fn area(&self) -> Area {
+        Area::from_square_meters(self.width * self.height)
+    }
+
+    /// Center point `(x, y)`.
+    pub fn center(&self) -> (Length, Length) {
+        (
+            Length::from_meters(self.x + 0.5 * self.width),
+            Length::from_meters(self.y + 0.5 * self.height),
+        )
+    }
+
+    /// Area of the intersection with `other` (zero if disjoint).
+    pub fn overlap_area(&self, other: &Rect) -> Area {
+        let w = (self.x + self.width).min(other.x + other.width) - self.x.max(other.x);
+        let h = (self.y + self.height).min(other.y + other.height) - self.y.max(other.y);
+        if w > 0.0 && h > 0.0 {
+            Area::from_square_meters(w * h)
+        } else {
+            Area::ZERO
+        }
+    }
+
+    /// Returns `true` if the interiors intersect (shared edges don't count).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.overlap_area(other).square_meters() > 0.0
+    }
+
+    /// Returns `true` if `other` lies entirely inside (or on the boundary
+    /// of) this rectangle, within tolerance `tol` in meters.
+    pub fn contains(&self, other: &Rect, tol: f64) -> bool {
+        other.x >= self.x - tol
+            && other.y >= self.y - tol
+            && other.x + other.width <= self.x + self.width + tol
+            && other.y + other.height <= self.y + self.height + tol
+    }
+
+    /// Returns `true` if the point `(px, py)` is inside (or on the boundary
+    /// of) this rectangle.
+    pub fn contains_point(&self, px: Length, py: Length) -> bool {
+        let (px, py) = (px.meters(), py.meters());
+        px >= self.x && px <= self.x + self.width && py >= self.y && py <= self.y + self.height
+    }
+}
+
+impl core::fmt::Display for Rect {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "[{:.3}, {:.3}] mm + {:.3}×{:.3} mm",
+            self.x * 1e3,
+            self.y * 1e3,
+            self.width * 1e3,
+            self.height * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mm(v: f64) -> Length {
+        Length::from_mm(v)
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let r = Rect::new(mm(1.0), mm(2.0), mm(3.0), mm(4.0));
+        assert!((r.right().millimeters() - 4.0).abs() < 1e-12);
+        assert!((r.top().millimeters() - 6.0).abs() < 1e-12);
+        let (cx, cy) = r.center();
+        assert!((cx.millimeters() - 2.5).abs() < 1e-12);
+        assert!((cy.millimeters() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_of_identical_is_full_area() {
+        let r = Rect::new(mm(0.0), mm(0.0), mm(2.0), mm(2.0));
+        assert!((r.overlap_area(&r).square_millimeters() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_partial_and_disjoint() {
+        let a = Rect::new(mm(0.0), mm(0.0), mm(2.0), mm(2.0));
+        let b = Rect::new(mm(1.0), mm(1.0), mm(2.0), mm(2.0));
+        assert!((a.overlap_area(&b).square_millimeters() - 1.0).abs() < 1e-9);
+        let c = Rect::new(mm(5.0), mm(5.0), mm(1.0), mm(1.0));
+        assert_eq!(a.overlap_area(&c), Area::ZERO);
+        assert!(!a.intersects(&c));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn shared_edge_does_not_intersect() {
+        let a = Rect::new(mm(0.0), mm(0.0), mm(1.0), mm(1.0));
+        let b = Rect::new(mm(1.0), mm(0.0), mm(1.0), mm(1.0));
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn containment() {
+        let die = Rect::new(mm(0.0), mm(0.0), mm(10.0), mm(10.0));
+        let unit = Rect::new(mm(2.0), mm(2.0), mm(3.0), mm(3.0));
+        assert!(die.contains(&unit, 0.0));
+        assert!(!unit.contains(&die, 0.0));
+        let sticking_out = Rect::new(mm(8.0), mm(8.0), mm(3.0), mm(3.0));
+        assert!(!die.contains(&sticking_out, 1e-9));
+        assert!(die.contains_point(mm(10.0), mm(10.0)));
+        assert!(!die.contains_point(mm(10.1), mm(5.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative size")]
+    fn negative_size_panics() {
+        let _ = Rect::new(mm(0.0), mm(0.0), mm(-1.0), mm(1.0));
+    }
+}

@@ -1,0 +1,206 @@
+//! Eigenvalue extremes of symmetric sparse matrices, via power and
+//! inverse-power iteration.
+//!
+//! The thermal simulator uses [`smallest_eigenvalue`] as a *stability
+//! margin*: the folded network matrix is symmetric, and its smallest
+//! eigenvalue measures how far the operating point sits from the
+//! thermal-runaway boundary (λ_min → 0 as leakage feedback eats the
+//! package's conductance).
+
+use crate::{solve_cg, vector, CsrMatrix, IterativeParams, JacobiPreconditioner, LinalgError};
+
+/// Controls for the eigen iterations.
+#[derive(Debug, Clone, Copy)]
+pub struct EigenParams {
+    /// Relative change in the eigenvalue estimate at which to stop.
+    pub rtol: f64,
+    /// Iteration cap.
+    pub max_iter: usize,
+}
+
+impl Default for EigenParams {
+    fn default() -> Self {
+        Self {
+            rtol: 1e-8,
+            max_iter: 500,
+        }
+    }
+}
+
+/// Deterministic pseudo-random start vector (no RNG dependency).
+fn seed_vector(n: usize) -> Vec<f64> {
+    let mut state = 0x243f6a8885a308d3_u64;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        })
+        .collect()
+}
+
+/// Estimates the largest eigenvalue (in magnitude) of a symmetric matrix
+/// by power iteration, returning `(λ, iterations)`.
+///
+/// # Errors
+///
+/// - [`LinalgError::NotSquare`] for rectangular input.
+/// - [`LinalgError::NotConverged`] if the tolerance is not reached.
+pub fn largest_eigenvalue(
+    a: &CsrMatrix,
+    params: &EigenParams,
+) -> Result<(f64, usize), LinalgError> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare(a.rows(), a.cols()));
+    }
+    let n = a.rows();
+    let mut v = seed_vector(n);
+    let norm = vector::norm2(&v);
+    for x in &mut v {
+        *x /= norm;
+    }
+    let mut av = vec![0.0; n];
+    let mut lambda = 0.0;
+    for k in 1..=params.max_iter {
+        a.matvec_into(&v, &mut av);
+        let new_lambda = vector::dot(&v, &av);
+        let norm = vector::norm2(&av);
+        if norm == 0.0 {
+            return Ok((0.0, k));
+        }
+        for (vi, &ai) in v.iter_mut().zip(&av) {
+            *vi = ai / norm;
+        }
+        if (new_lambda - lambda).abs() <= params.rtol * new_lambda.abs().max(1e-300) {
+            return Ok((new_lambda, k));
+        }
+        lambda = new_lambda;
+    }
+    Err(LinalgError::NotConverged {
+        iterations: params.max_iter,
+        residual: f64::NAN,
+    })
+}
+
+/// Estimates the smallest eigenvalue of a symmetric **positive definite**
+/// matrix by inverse power iteration (each step one CG solve), returning
+/// `(λ_min, iterations)`.
+///
+/// # Errors
+///
+/// - [`LinalgError::NotSquare`] for rectangular input.
+/// - [`LinalgError::Breakdown`] (propagated from CG) if the matrix is not
+///   positive definite — which *is* the thermal-runaway signal.
+/// - [`LinalgError::NotConverged`] if the tolerance is not reached.
+pub fn smallest_eigenvalue(
+    a: &CsrMatrix,
+    params: &EigenParams,
+) -> Result<(f64, usize), LinalgError> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare(a.rows(), a.cols()));
+    }
+    let n = a.rows();
+    let precond = JacobiPreconditioner::new(a)?;
+    let cg_params = IterativeParams {
+        rtol: 1e-8,
+        atol: 1e-14,
+        max_iter: 20 * n,
+    };
+    let mut v = seed_vector(n);
+    let norm = vector::norm2(&v);
+    for x in &mut v {
+        *x /= norm;
+    }
+    let mut lambda = f64::INFINITY;
+    let mut av = vec![0.0; n];
+    for k in 1..=params.max_iter {
+        let w = solve_cg(a, &v, Some(&v), &precond, &cg_params)?.x;
+        let norm = vector::norm2(&w);
+        if norm == 0.0 {
+            return Err(LinalgError::Breakdown("inverse iteration collapsed"));
+        }
+        for (vi, &wi) in v.iter_mut().zip(&w) {
+            *vi = wi / norm;
+        }
+        a.matvec_into(&v, &mut av);
+        let new_lambda = vector::dot(&v, &av);
+        if (new_lambda - lambda).abs() <= params.rtol * new_lambda.abs().max(1e-300) {
+            return Ok((new_lambda, k));
+        }
+        lambda = new_lambda;
+    }
+    Err(LinalgError::NotConverged {
+        iterations: params.max_iter,
+        residual: f64::NAN,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Triplets;
+
+    fn diag(values: &[f64]) -> CsrMatrix {
+        let n = values.len();
+        let mut t = Triplets::new(n, n);
+        for (i, &v) in values.iter().enumerate() {
+            t.push(i, i, v);
+        }
+        t.to_csr()
+    }
+
+    fn laplacian(n: usize) -> CsrMatrix {
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.0);
+            if i > 0 {
+                t.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn diagonal_extremes_are_exact() {
+        let a = diag(&[1.0, 5.0, 3.0, 0.25]);
+        let (hi, _) = largest_eigenvalue(&a, &EigenParams::default()).unwrap();
+        assert!((hi - 5.0).abs() < 1e-6);
+        let (lo, _) = smallest_eigenvalue(&a, &EigenParams::default()).unwrap();
+        assert!((lo - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn laplacian_extremes_match_closed_form() {
+        // 1-D Dirichlet Laplacian: λ_k = 2 − 2 cos(kπ/(n+1)).
+        let n = 20;
+        let a = laplacian(n);
+        let exact_min = 2.0 - 2.0 * (std::f64::consts::PI / (n as f64 + 1.0)).cos();
+        let exact_max =
+            2.0 - 2.0 * (n as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+        let (lo, _) = smallest_eigenvalue(&a, &EigenParams::default()).unwrap();
+        let (hi, _) = largest_eigenvalue(&a, &EigenParams::default()).unwrap();
+        assert!((lo - exact_min).abs() < 1e-5, "min {lo} vs {exact_min}");
+        assert!((hi - exact_max).abs() < 1e-4, "max {hi} vs {exact_max}");
+    }
+
+    #[test]
+    fn indefinite_matrix_breaks_inverse_iteration() {
+        let a = diag(&[1.0, -1.0]);
+        assert!(smallest_eigenvalue(&a, &EigenParams::default()).is_err());
+    }
+
+    #[test]
+    fn rectangular_rejected() {
+        let mut t = Triplets::new(2, 3);
+        t.push(0, 0, 1.0);
+        let a = t.to_csr();
+        assert!(matches!(
+            largest_eigenvalue(&a, &EigenParams::default()),
+            Err(LinalgError::NotSquare(2, 3))
+        ));
+    }
+}

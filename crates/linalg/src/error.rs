@@ -1,0 +1,81 @@
+//! Error type shared by every solver in the crate.
+
+/// Errors produced by factorizations and solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// A matrix that must be square was not; holds `(rows, cols)`.
+    NotSquare(usize, usize),
+    /// Operand dimensions do not agree; holds `(expected, actual)`.
+    DimensionMismatch(usize, usize),
+    /// The matrix is singular to working precision; holds the pivot index
+    /// at which elimination broke down.
+    Singular(usize),
+    /// A Cholesky factorization found a non-positive pivot, i.e. the matrix
+    /// is not positive definite; holds the offending row.
+    NotPositiveDefinite(usize),
+    /// An iterative solver did not reach the requested tolerance; holds the
+    /// iteration count and the final residual norm.
+    NotConverged {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Final residual 2-norm.
+        residual: f64,
+    },
+    /// An iterative method broke down (e.g. a zero inner product in
+    /// BiCGSTAB); holds a short description.
+    Breakdown(&'static str),
+}
+
+impl core::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::NotSquare(r, c) => write!(f, "matrix is not square: {r}×{c}"),
+            Self::DimensionMismatch(e, a) => {
+                write!(f, "dimension mismatch: expected {e}, got {a}")
+            }
+            Self::Singular(k) => write!(f, "matrix is singular at pivot {k}"),
+            Self::NotPositiveDefinite(k) => {
+                write!(f, "matrix is not positive definite at row {k}")
+            }
+            Self::NotConverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iterative solver did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            Self::Breakdown(what) => write!(f, "iterative solver breakdown: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            LinalgError::NotSquare(3, 4).to_string(),
+            "matrix is not square: 3×4"
+        );
+        assert!(LinalgError::Singular(2).to_string().contains("pivot 2"));
+        assert!(LinalgError::NotPositiveDefinite(1)
+            .to_string()
+            .contains("positive definite"));
+        assert!(LinalgError::NotConverged {
+            iterations: 10,
+            residual: 1e-3
+        }
+        .to_string()
+        .contains("10 iterations"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

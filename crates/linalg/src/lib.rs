@@ -1,0 +1,59 @@
+// Index-based loops are the clearest notation for the factorization and
+// triangular-solve kernels in this crate; iterator rewrites obscure the
+// textbook algorithms they implement.
+#![allow(clippy::needless_range_loop)]
+
+//! Dense and sparse linear algebra for the OFTEC thermal/optimization stack.
+//!
+//! Everything here is written from scratch: the thermal simulator needs to
+//! factor and solve the (possibly nonsymmetric) network matrix
+//! `G(ω) − A(I_TEC) − D_leak`, and the SQP solver needs small dense
+//! factorizations for its QP subproblems. No external linear-algebra crate
+//! is used.
+//!
+//! # Contents
+//!
+//! - [`Matrix`] / [`vector`] — dense row-major matrices and vector kernels
+//! - [`LuFactor`] — LU with partial pivoting (general square systems)
+//! - [`CholeskyFactor`] — LLᵀ for symmetric positive-definite systems,
+//!   doubling as a positive-definiteness test (thermal-runaway detection)
+//! - [`CsrMatrix`] / [`Triplets`] — compressed sparse row storage
+//! - [`solve_cg`] / [`solve_bicgstab`] — preconditioned Krylov solvers
+//! - [`JacobiPreconditioner`] / [`Ilu0Preconditioner`] — preconditioners
+//! - [`gauss_seidel`] / [`sor`] — stationary smoothers
+//!
+//! # Examples
+//!
+//! ```
+//! use oftec_linalg::{Matrix, LuFactor};
+//!
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+//! let lu = LuFactor::new(&a)?;
+//! let x = lu.solve(&[1.0, 2.0])?;
+//! assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+//! # Ok::<(), oftec_linalg::LinalgError>(())
+//! ```
+
+mod cholesky;
+mod dense;
+mod eigen;
+mod error;
+mod iterative;
+mod lu;
+mod precond;
+mod sparse;
+mod stationary;
+mod tridiag;
+
+pub use cholesky::CholeskyFactor;
+pub use dense::{vector, Matrix};
+pub use eigen::{largest_eigenvalue, smallest_eigenvalue, EigenParams};
+pub use error::LinalgError;
+pub use iterative::{solve_bicgstab, solve_cg, IterativeParams, IterativeSummary};
+pub use lu::LuFactor;
+pub use precond::{
+    IdentityPreconditioner, Ilu0Preconditioner, JacobiPreconditioner, Preconditioner,
+};
+pub use sparse::{CsrMatrix, Triplets};
+pub use stationary::{gauss_seidel, sor, StationaryParams, StationarySummary};
+pub use tridiag::Tridiagonal;

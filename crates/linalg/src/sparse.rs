@@ -1,0 +1,414 @@
+//! Compressed sparse row (CSR) matrices and a COO triplet builder.
+
+use crate::{LinalgError, Matrix};
+
+/// A coordinate-format (COO) accumulator used to assemble sparse matrices.
+///
+/// Duplicate `(row, col)` entries are summed when converting to CSR, which
+/// matches how finite-volume thermal assembly naturally wants to work: each
+/// conductance contributes to four entries, and contributions accumulate.
+///
+/// # Examples
+///
+/// ```
+/// use oftec_linalg::Triplets;
+///
+/// let mut t = Triplets::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 0, 2.0); // accumulates
+/// t.push(1, 1, 5.0);
+/// let csr = t.to_csr();
+/// assert_eq!(csr.get(0, 0), 3.0);
+/// assert_eq!(csr.nnz(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Triplets {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl Triplets {
+    /// Creates an empty accumulator for a `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an empty accumulator with reserved capacity.
+    pub fn with_capacity(rows: usize, cols: usize, capacity: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Adds `value` at `(row, col)`; duplicates accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "triplet index out of bounds: ({row}, {col}) in {}×{}",
+            self.rows,
+            self.cols
+        );
+        self.entries.push((row, col, value));
+    }
+
+    /// Number of raw (pre-deduplication) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Converts to CSR, summing duplicates and dropping explicit zeros that
+    /// result from cancellation only if exactly zero.
+    pub fn to_csr(&self) -> CsrMatrix {
+        // Count entries per row after dedup: first sort a copy.
+        let mut sorted = self.entries.clone();
+        sorted.sort_unstable_by_key(|a| (a.0, a.1));
+
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+
+        let mut iter = sorted.into_iter().peekable();
+        while let Some((r, c, mut v)) = iter.next() {
+            while let Some(&(r2, c2, v2)) = iter.peek() {
+                if r2 == r && c2 == c {
+                    v += v2;
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            col_idx.push(c);
+            values.push(v);
+            row_ptr[r + 1] += 1;
+        }
+        for i in 0..self.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+/// A compressed-sparse-row matrix of `f64`.
+///
+/// The format used for the thermal network matrix `G(ω)` (Eq. (18) of the
+/// paper): thousands of nodes, ~7 nonzeros per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds the `n × n` identity in CSR form.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns the entry at `(row, col)`, zero if not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
+        match self.col_idx[lo..hi].binary_search(&col) {
+            Ok(pos) => self.values[lo + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over `(col, value)` pairs of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row_iter(&self, row: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(row < self.rows, "row out of bounds");
+        let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Matrix-vector product `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix-vector product into a caller-provided buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "output dimension mismatch");
+        for i in 0..self.rows {
+            let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+            let mut sum = 0.0;
+            for k in lo..hi {
+                sum += self.values[k] * x[self.col_idx[k]];
+            }
+            y[i] = sum;
+        }
+    }
+
+    /// Extracts the diagonal (missing entries are zero).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
+    }
+
+    /// Maximum absolute asymmetry `max |A_ij − A_ji|` over stored entries;
+    /// zero for a symmetric matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for rectangular matrices.
+    pub fn asymmetry(&self) -> Result<f64, LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::NotSquare(self.rows, self.cols));
+        }
+        let mut worst: f64 = 0.0;
+        for i in 0..self.rows {
+            for (j, v) in self.row_iter(i) {
+                worst = worst.max((v - self.get(j, i)).abs());
+            }
+        }
+        Ok(worst)
+    }
+
+    /// Reports strict diagonal dominance failure: returns the worst row
+    /// margin `|a_ii| − Σ_{j≠i}|a_ij|` (negative ⇒ not diagonally dominant).
+    pub fn diagonal_dominance_margin(&self) -> f64 {
+        let mut worst = f64::INFINITY;
+        for i in 0..self.rows {
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (j, v) in self.row_iter(i) {
+                if j == i {
+                    diag = v.abs();
+                } else {
+                    off += v.abs();
+                }
+            }
+            worst = worst.min(diag - off);
+        }
+        worst
+    }
+
+    /// Densifies into a [`Matrix`] (for tests and small reference solves).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (j, v) in self.row_iter(i) {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Returns a copy with `delta[i]` added to each diagonal entry `(i, i)`.
+    /// Diagonal entries must already be present in the sparsity pattern
+    /// (always true for assembled thermal networks).
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::NotSquare`] for rectangular matrices.
+    /// - [`LinalgError::DimensionMismatch`] if `delta.len() != rows`.
+    /// - [`LinalgError::Breakdown`] if some diagonal entry is absent from
+    ///   the pattern.
+    pub fn with_diagonal_shift(&self, delta: &[f64]) -> Result<CsrMatrix, LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::NotSquare(self.rows, self.cols));
+        }
+        if delta.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch(self.rows, delta.len()));
+        }
+        let mut out = self.clone();
+        for i in 0..self.rows {
+            let (lo, hi) = (out.row_ptr[i], out.row_ptr[i + 1]);
+            match out.col_idx[lo..hi].binary_search(&i) {
+                Ok(pos) => out.values[lo + pos] += delta[i],
+                Err(_) => {
+                    return Err(LinalgError::Breakdown(
+                        "diagonal entry missing from sparsity pattern",
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Internal accessor for the raw CSR arrays (row pointer, column
+    /// indices, values) — used by preconditioners.
+    pub(crate) fn raw(&self) -> (&[usize], &[usize], &[f64]) {
+        (&self.row_ptr, &self.col_idx, &self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [ 2 -1  0 ]
+        // [-1  2 -1 ]
+        // [ 0 -1  2 ]
+        let mut t = Triplets::new(3, 3);
+        for i in 0..3usize {
+            t.push(i, i, 2.0);
+        }
+        for i in 0..2usize {
+            t.push(i, i + 1, -1.0);
+            t.push(i + 1, i, -1.0);
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn assembly_accumulates_duplicates() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 0, 0.5);
+        t.push(1, 0, -1.0);
+        assert_eq!(t.len(), 3);
+        let m = t.to_csr();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 0), 1.5);
+        assert_eq!(m.get(1, 0), -1.0);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = sample();
+        let x = [1.0, 2.0, 3.0];
+        let y = m.matvec(&x);
+        assert_eq!(y, m.to_dense().matvec(&x));
+        assert_eq!(y, vec![0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn matvec_into_reuses_buffer() {
+        let m = sample();
+        let mut y = vec![9.0; 3];
+        m.matvec_into(&[1.0, 0.0, 0.0], &mut y);
+        assert_eq!(y, vec![2.0, -1.0, 0.0]);
+    }
+
+    #[test]
+    fn diagonal_and_dominance() {
+        let m = sample();
+        assert_eq!(m.diagonal(), vec![2.0, 2.0, 2.0]);
+        // Middle row margin: 2 - 2 = 0 (weakly dominant).
+        assert_eq!(m.diagonal_dominance_margin(), 0.0);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        assert_eq!(sample().asymmetry().unwrap(), 0.0);
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 0.25);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 1.0);
+        assert_eq!(t.to_csr().asymmetry().unwrap(), 0.75);
+    }
+
+    #[test]
+    fn diagonal_shift() {
+        let m = sample();
+        let shifted = m.with_diagonal_shift(&[1.0, -0.5, 0.0]).unwrap();
+        assert_eq!(shifted.get(0, 0), 3.0);
+        assert_eq!(shifted.get(1, 1), 1.5);
+        assert_eq!(shifted.get(2, 2), 2.0);
+        assert_eq!(shifted.get(0, 1), -1.0);
+        // Wrong length rejected.
+        assert!(m.with_diagonal_shift(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn identity_matvec() {
+        let i = CsrMatrix::identity(4);
+        assert_eq!(i.nnz(), 4);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.matvec(&x), x.to_vec());
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let mut t = Triplets::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(2, 2, 1.0);
+        let m = t.to_csr();
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]), vec![1.0, 0.0, 1.0]);
+        assert_eq!(m.row_iter(1).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_push_panics() {
+        let mut t = Triplets::new(2, 2);
+        t.push(2, 0, 1.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Tridiagonal systems (Thomas algorithm).
+//!
+//! One-dimensional layer stacks (depth-only thermal ladders, as in quick
+//! package estimates) produce tridiagonal matrices; the Thomas algorithm
+//! solves them in O(n) without any sparse machinery.
+
+use crate::LinalgError;
+
+/// A tridiagonal matrix stored as three bands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tridiagonal {
+    /// Sub-diagonal `a[1..n]` (length `n`, `a\[0\]` unused and zero).
+    lower: Vec<f64>,
+    /// Diagonal `b[0..n]`.
+    diag: Vec<f64>,
+    /// Super-diagonal `c[0..n-1]` (length `n`, last unused and zero).
+    upper: Vec<f64>,
+}
+
+impl Tridiagonal {
+    /// Builds from bands. `lower\[0\]` and `upper[n-1]` are forced to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the band lengths differ or are empty.
+    pub fn new(mut lower: Vec<f64>, diag: Vec<f64>, mut upper: Vec<f64>) -> Self {
+        let n = diag.len();
+        assert!(n > 0, "empty system");
+        assert_eq!(lower.len(), n, "lower band length");
+        assert_eq!(upper.len(), n, "upper band length");
+        lower[0] = 0.0;
+        upper[n - 1] = 0.0;
+        Self { lower, diag, upper }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(x.len(), n, "matvec length");
+        (0..n)
+            .map(|i| {
+                let mut v = self.diag[i] * x[i];
+                if i > 0 {
+                    v += self.lower[i] * x[i - 1];
+                }
+                if i + 1 < n {
+                    v += self.upper[i] * x[i + 1];
+                }
+                v
+            })
+            .collect()
+    }
+
+    /// Solves `T·x = d` with the Thomas algorithm (no pivoting — intended
+    /// for diagonally dominant thermal ladders).
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::DimensionMismatch`] if `d.len() != self.dim()`.
+    /// - [`LinalgError::Singular`] on a vanishing pivot.
+    pub fn solve(&self, d: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if d.len() != n {
+            return Err(LinalgError::DimensionMismatch(n, d.len()));
+        }
+        let mut c_star = vec![0.0; n];
+        let mut d_star = vec![0.0; n];
+        let mut denom = self.diag[0];
+        if denom.abs() < 1e-300 {
+            return Err(LinalgError::Singular(0));
+        }
+        c_star[0] = self.upper[0] / denom;
+        d_star[0] = d[0] / denom;
+        for i in 1..n {
+            denom = self.diag[i] - self.lower[i] * c_star[i - 1];
+            if denom.abs() < 1e-300 {
+                return Err(LinalgError::Singular(i));
+            }
+            if i + 1 < n {
+                c_star[i] = self.upper[i] / denom;
+            }
+            d_star[i] = (d[i] - self.lower[i] * d_star[i - 1]) / denom;
+        }
+        let mut x = d_star;
+        for i in (0..n - 1).rev() {
+            let next = x[i + 1];
+            x[i] -= c_star[i] * next;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector;
+
+    fn ladder(n: usize) -> Tridiagonal {
+        // [2 -1; -1 2 -1; …] — the 1-D conduction ladder.
+        Tridiagonal::new(
+            vec![-1.0; n],
+            vec![2.0; n],
+            vec![-1.0; n],
+        )
+    }
+
+    #[test]
+    fn solves_ladder() {
+        let t = ladder(50);
+        let d = vec![1.0; 50];
+        let x = t.solve(&d).unwrap();
+        let r = vector::sub(&t.matvec(&x), &d);
+        assert!(vector::norm2(&r) < 1e-10);
+    }
+
+    #[test]
+    fn known_small_system() {
+        // [2 1 0; 1 3 1; 0 1 2]·x = [3, 5, 3] → x = [1, 1, 1].
+        let t = Tridiagonal::new(vec![0.0, 1.0, 1.0], vec![2.0, 3.0, 2.0], vec![1.0, 1.0, 0.0]);
+        let x = t.solve(&[3.0, 5.0, 3.0]).unwrap();
+        for xi in &x {
+            assert!((xi - 1.0).abs() < 1e-12, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn single_element() {
+        let t = Tridiagonal::new(vec![0.0], vec![4.0], vec![0.0]);
+        assert_eq!(t.solve(&[8.0]).unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let t = Tridiagonal::new(vec![0.0, 0.0], vec![0.0, 1.0], vec![0.0, 0.0]);
+        assert!(matches!(t.solve(&[1.0, 1.0]), Err(LinalgError::Singular(0))));
+    }
+
+    #[test]
+    fn dimension_mismatch() {
+        let t = ladder(3);
+        assert!(matches!(
+            t.solve(&[1.0]),
+            Err(LinalgError::DimensionMismatch(3, 1))
+        ));
+    }
+
+    #[test]
+    fn matvec_matches_definition() {
+        let t = ladder(4);
+        assert_eq!(t.matvec(&[1.0, 1.0, 1.0, 1.0]), vec![1.0, 0.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Exhaustive grid search — ground truth for the low-dimensional OFTEC
+//! design space (the numerical counterpart of the paper's Figure 6(a)(b)
+//! surface sweeps).
+
+use crate::{NlpProblem, OptimError, SolveOptions, SolveResult};
+
+/// Dense sampling of the box with feasibility filtering.
+#[derive(Debug, Clone, Copy)]
+pub struct GridSearch {
+    /// Samples per dimension.
+    pub points_per_dim: usize,
+    /// Constraint tolerance for feasibility.
+    pub feasibility_tol: f64,
+}
+
+impl Default for GridSearch {
+    fn default() -> Self {
+        Self {
+            points_per_dim: 64,
+            feasibility_tol: 1e-9,
+        }
+    }
+}
+
+impl GridSearch {
+    /// Finds the best feasible grid point. Only practical for `dim ≤ 3`.
+    ///
+    /// # Errors
+    ///
+    /// - [`OptimError::Subproblem`] if `dim > 3` (the grid would explode),
+    /// - [`OptimError::BadStart`] if no feasible grid point exists.
+    pub fn solve<P: NlpProblem>(
+        &self,
+        problem: &P,
+        _x0: &[f64],
+        _opts: &SolveOptions,
+    ) -> Result<SolveResult, OptimError> {
+        let n = problem.dim();
+        if n > 3 {
+            return Err(OptimError::Subproblem(
+                "grid search is limited to 3 dimensions".into(),
+            ));
+        }
+        let (lo, hi) = problem.bounds();
+        let k = self.points_per_dim.max(2);
+        let coords = |dim: usize, idx: usize| -> f64 {
+            lo[dim] + (hi[dim] - lo[dim]) * idx as f64 / (k - 1) as f64
+        };
+        let total = k.pow(n as u32);
+        let mut best: Option<(Vec<f64>, f64)> = None;
+        let mut evals = 0usize;
+        let mut x = vec![0.0; n];
+        for flat in 0..total {
+            let mut rem = flat;
+            for (d, xd) in x.iter_mut().enumerate() {
+                let _ = d;
+                *xd = coords(d, rem % k);
+                rem /= k;
+            }
+            evals += 2;
+            let Some(c) = problem.constraints(&x) else {
+                continue;
+            };
+            if c.iter().any(|&ci| ci < -self.feasibility_tol) {
+                continue;
+            }
+            let Some(f) = problem.objective(&x) else {
+                continue;
+            };
+            if best.as_ref().is_none_or(|(_, bf)| f < *bf) {
+                best = Some((x.clone(), f));
+            }
+        }
+        match best {
+            Some((x, objective)) => Ok(SolveResult {
+                x,
+                objective,
+                iterations: total,
+                evaluations: evals,
+                converged: true,
+            }),
+            None => Err(OptimError::BadStart(
+                "no feasible grid point found".into(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnProblem;
+
+    #[test]
+    fn finds_corner_optimum() {
+        let p = FnProblem::new(
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            |x| Some(x[0] + x[1]),
+            0,
+            |_| Some(Vec::new()),
+        );
+        let r = GridSearch::default()
+            .solve(&p, &[0.5, 0.5], &SolveOptions::default())
+            .unwrap();
+        assert_eq!(r.x, vec![0.0, 0.0]);
+        assert_eq!(r.objective, 0.0);
+    }
+
+    #[test]
+    fn respects_constraints_and_failures() {
+        // Feasible only for x ≥ 0.5; evaluable only for x ≤ 0.8.
+        let p = FnProblem::new(
+            vec![0.0],
+            vec![1.0],
+            |x| if x[0] > 0.8 { None } else { Some(x[0]) },
+            1,
+            |x| Some(vec![x[0] - 0.5]),
+        );
+        let r = GridSearch {
+            points_per_dim: 101,
+            ..Default::default()
+        }
+        .solve(&p, &[0.0], &SolveOptions::default())
+        .unwrap();
+        assert!((r.x[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_feasible_point_is_an_error() {
+        let p = FnProblem::new(
+            vec![0.0],
+            vec![1.0],
+            |x| Some(x[0]),
+            1,
+            |_| Some(vec![-1.0]),
+        );
+        assert!(matches!(
+            GridSearch::default().solve(&p, &[0.0], &SolveOptions::default()),
+            Err(OptimError::BadStart(_))
+        ));
+    }
+
+    #[test]
+    fn high_dimension_rejected() {
+        let p = FnProblem::new(
+            vec![0.0; 4],
+            vec![1.0; 4],
+            |x| Some(x.iter().sum()),
+            0,
+            |_| Some(Vec::new()),
+        );
+        assert!(matches!(
+            GridSearch::default().solve(&p, &[0.0; 4], &SolveOptions::default()),
+            Err(OptimError::Subproblem(_))
+        ));
+    }
+}

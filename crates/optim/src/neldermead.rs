@@ -1,0 +1,326 @@
+//! Nelder-Mead simplex search — a derivative-free companion to the
+//! gradient-based solvers.
+//!
+//! The OFTEC objective is only available numerically (one thermal solve
+//! per evaluation); finite-difference gradients are accurate here, but a
+//! derivative-free method is a useful robustness baseline and handles
+//! objectives with mild noise (e.g. iterative-solver jitter) gracefully.
+
+use crate::problem::PENALTY_OBJECTIVE;
+use crate::{NlpProblem, OptimError, SolveOptions, SolveResult};
+
+/// The Nelder-Mead downhill-simplex solver.
+///
+/// Box bounds are enforced by projection; inequality constraints through
+/// a quadratic penalty (like [`crate::TrustRegion`]). Evaluation failures
+/// (thermal runaway) count as [`PENALTY_OBJECTIVE`] and repel the simplex.
+#[derive(Debug, Clone, Copy)]
+pub struct NelderMead {
+    /// Reflection coefficient (standard: 1).
+    pub alpha: f64,
+    /// Expansion coefficient (standard: 2).
+    pub gamma: f64,
+    /// Contraction coefficient (standard: 0.5).
+    pub rho: f64,
+    /// Shrink coefficient (standard: 0.5).
+    pub sigma: f64,
+    /// Constraint penalty weight.
+    pub penalty_weight: f64,
+    /// Initial simplex edge, as a fraction of each coordinate's range.
+    pub initial_step_fraction: f64,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        Self {
+            alpha: 1.0,
+            gamma: 2.0,
+            rho: 0.5,
+            sigma: 0.5,
+            penalty_weight: 1e4,
+            initial_step_fraction: 0.1,
+        }
+    }
+}
+
+impl NelderMead {
+    /// Solves the problem from `x0`.
+    ///
+    /// # Errors
+    ///
+    /// - [`OptimError::DimensionMismatch`] if `x0` has the wrong length.
+    /// - [`OptimError::BadStart`] if the merit cannot be evaluated at the
+    ///   (projected) start.
+    pub fn solve<P: NlpProblem>(
+        &self,
+        problem: &P,
+        x0: &[f64],
+        opts: &SolveOptions,
+    ) -> Result<SolveResult, OptimError> {
+        let n = problem.dim();
+        if x0.len() != n {
+            return Err(OptimError::DimensionMismatch(n, x0.len()));
+        }
+        let (lo, hi) = problem.bounds();
+        let mut evals = 0usize;
+
+        let merit = |p: &[f64]| -> f64 {
+            let f = match problem.objective(p) {
+                Some(v) => v,
+                None => return PENALTY_OBJECTIVE,
+            };
+            let Some(c) = problem.constraints(p) else {
+                return PENALTY_OBJECTIVE;
+            };
+            f + self.penalty_weight
+                * c.iter()
+                    .map(|&ci| {
+                        let v = (-ci).max(0.0);
+                        v * v
+                    })
+                    .sum::<f64>()
+        };
+        let project = |p: &mut Vec<f64>| {
+            for ((xi, &l), &h) in p.iter_mut().zip(&lo).zip(&hi) {
+                *xi = xi.clamp(l, h);
+            }
+        };
+
+        // Initial simplex: x0 plus one vertex per coordinate.
+        let mut start = x0.to_vec();
+        project(&mut start);
+        let f_start = merit(&start);
+        evals += 1;
+        if f_start >= PENALTY_OBJECTIVE {
+            return Err(OptimError::BadStart(
+                "merit cannot be evaluated at the starting point".into(),
+            ));
+        }
+        let mut simplex: Vec<(Vec<f64>, f64)> = vec![(start.clone(), f_start)];
+        for i in 0..n {
+            let mut v = start.clone();
+            let span = (hi[i] - lo[i]).max(1e-12);
+            let step = self.initial_step_fraction * span;
+            v[i] = if v[i] + step <= hi[i] {
+                v[i] + step
+            } else {
+                v[i] - step
+            };
+            let f = merit(&v);
+            evals += 1;
+            simplex.push((v, f));
+        }
+
+        let mut iterations = 0;
+        let mut converged = false;
+        for iter in 1..=opts.max_iterations * 4 {
+            iterations = iter;
+            simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            let best = simplex[0].1;
+            let worst = simplex[n].1;
+            // Convergence: simplex small in value and in space.
+            let spatial: f64 = (0..n)
+                .map(|i| {
+                    let (mn, mx) = simplex.iter().fold((f64::MAX, f64::MIN), |(a, b), v| {
+                        (a.min(v.0[i]), b.max(v.0[i]))
+                    });
+                    (mx - mn) / (hi[i] - lo[i]).max(1e-12)
+                })
+                .fold(0.0_f64, f64::max);
+            if (worst - best).abs() <= opts.tolerance * best.abs().max(1.0)
+                && spatial <= opts.tolerance.sqrt()
+            {
+                converged = true;
+                break;
+            }
+
+            // Centroid of all but the worst.
+            let mut centroid = vec![0.0; n];
+            for (v, _) in &simplex[..n] {
+                for (ci, &vi) in centroid.iter_mut().zip(v) {
+                    *ci += vi / n as f64;
+                }
+            }
+            let worst_x = simplex[n].0.clone();
+            let second_worst = simplex[n - 1].1;
+
+            let mut reflect: Vec<f64> = centroid
+                .iter()
+                .zip(&worst_x)
+                .map(|(c, w)| c + self.alpha * (c - w))
+                .collect();
+            project(&mut reflect);
+            let f_reflect = merit(&reflect);
+            evals += 1;
+
+            if f_reflect < best {
+                // Try expansion.
+                let mut expand: Vec<f64> = centroid
+                    .iter()
+                    .zip(&worst_x)
+                    .map(|(c, w)| c + self.gamma * (c - w))
+                    .collect();
+                project(&mut expand);
+                let f_expand = merit(&expand);
+                evals += 1;
+                simplex[n] = if f_expand < f_reflect {
+                    (expand, f_expand)
+                } else {
+                    (reflect, f_reflect)
+                };
+            } else if f_reflect < second_worst {
+                simplex[n] = (reflect, f_reflect);
+            } else {
+                // Contraction toward the better of worst/reflected.
+                let (toward, f_toward) = if f_reflect < worst {
+                    (&reflect, f_reflect)
+                } else {
+                    (&worst_x, worst)
+                };
+                let mut contract: Vec<f64> = centroid
+                    .iter()
+                    .zip(toward)
+                    .map(|(c, t)| c + self.rho * (t - c))
+                    .collect();
+                project(&mut contract);
+                let f_contract = merit(&contract);
+                evals += 1;
+                if f_contract < f_toward {
+                    simplex[n] = (contract, f_contract);
+                } else {
+                    // Shrink everything toward the best vertex.
+                    let best_x = simplex[0].0.clone();
+                    for entry in simplex.iter_mut().skip(1) {
+                        for (vi, &bi) in entry.0.iter_mut().zip(&best_x) {
+                            *vi = bi + self.sigma * (*vi - bi);
+                        }
+                        entry.1 = merit(&entry.0);
+                        evals += 1;
+                    }
+                }
+            }
+        }
+
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let x = simplex.remove(0).0;
+        let objective = problem.objective_or_penalty(&x);
+        evals += 1;
+        Ok(SolveResult {
+            x,
+            objective,
+            iterations,
+            evaluations: evals,
+            converged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnProblem;
+
+    fn opts() -> SolveOptions {
+        SolveOptions {
+            max_iterations: 500,
+            tolerance: 1e-8,
+        }
+    }
+
+    #[test]
+    fn bounded_quadratic() {
+        let p = FnProblem::new(
+            vec![0.0],
+            vec![2.0],
+            |x| Some((x[0] - 3.0).powi(2)),
+            0,
+            |_| Some(Vec::new()),
+        );
+        let r = NelderMead::default().solve(&p, &[0.5], &opts()).unwrap();
+        assert!((r.x[0] - 2.0).abs() < 1e-3, "{:?}", r.x);
+    }
+
+    #[test]
+    fn rosenbrock() {
+        let p = FnProblem::new(
+            vec![-2.0, -2.0],
+            vec![2.0, 2.0],
+            |x| Some((1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)),
+            0,
+            |_| Some(Vec::new()),
+        );
+        let r = NelderMead::default()
+            .solve(&p, &[-1.2, 1.0], &opts())
+            .unwrap();
+        assert!((r.x[0] - 1.0).abs() < 1e-2, "{:?}", r.x);
+        assert!((r.x[1] - 1.0).abs() < 1e-2, "{:?}", r.x);
+    }
+
+    #[test]
+    fn constrained_by_penalty() {
+        let p = FnProblem::new(
+            vec![0.0, 0.0],
+            vec![4.0, 4.0],
+            |x| Some((x[0] - 1.0).powi(2) + (x[1] - 2.0).powi(2)),
+            1,
+            |x| Some(vec![2.0 - x[0] - x[1]]),
+        );
+        let r = NelderMead::default()
+            .solve(&p, &[0.5, 0.5], &opts())
+            .unwrap();
+        assert!((r.x[0] - 0.5).abs() < 2e-2, "{:?}", r.x);
+        assert!((r.x[1] - 1.5).abs() < 2e-2, "{:?}", r.x);
+    }
+
+    #[test]
+    fn tolerates_noisy_objective() {
+        // Deterministic high-frequency ripple on a quadratic: gradient
+        // methods see garbage derivatives, simplex search shrugs.
+        let p = FnProblem::new(
+            vec![-5.0],
+            vec![5.0],
+            |x| {
+                Some((x[0] - 1.5).powi(2) + 0.001 * (1e4 * x[0]).sin())
+            },
+            0,
+            |_| Some(Vec::new()),
+        );
+        let r = NelderMead::default().solve(&p, &[-4.0], &opts()).unwrap();
+        assert!((r.x[0] - 1.5).abs() < 0.05, "{:?}", r.x);
+    }
+
+    #[test]
+    fn avoids_failure_region() {
+        let p = FnProblem::new(
+            vec![0.0],
+            vec![1.0],
+            |x| {
+                if x[0] < 0.3 {
+                    None
+                } else {
+                    Some((x[0] - 0.1).powi(2))
+                }
+            },
+            0,
+            |_| Some(Vec::new()),
+        );
+        let r = NelderMead::default().solve(&p, &[0.8], &opts()).unwrap();
+        assert!(r.x[0] >= 0.3 - 1e-9);
+        assert!(r.x[0] < 0.4, "{:?}", r.x);
+    }
+
+    #[test]
+    fn dimension_mismatch() {
+        let p = FnProblem::new(
+            vec![0.0],
+            vec![1.0],
+            |x| Some(x[0]),
+            0,
+            |_| Some(Vec::new()),
+        );
+        assert!(matches!(
+            NelderMead::default().solve(&p, &[0.1, 0.2], &opts()),
+            Err(OptimError::DimensionMismatch(1, 2))
+        ));
+    }
+}

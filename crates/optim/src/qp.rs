@@ -1,0 +1,279 @@
+//! Primal active-set solver for convex quadratic programs.
+//!
+//! Solves `min ½dᵀHd + gᵀd  s.t.  a_iᵀd ≥ b_i` for symmetric positive
+//! definite `H` — the subproblem at the core of the paper's chosen
+//! "active-set SQP" method (§5.2). The implementation follows Nocedal &
+//! Wright, Algorithm 16.3: equality-constrained KKT solves on a working
+//! set, step blocking, and multiplier-driven constraint release.
+
+use oftec_linalg::{vector, LuFactor, Matrix};
+
+/// Errors from [`solve_qp`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QpError {
+    /// The starting point violates a constraint by more than the
+    /// tolerance.
+    InfeasibleStart(usize),
+    /// Dimension disagreement between `h`, `g`, `rows`, or `d0`.
+    Dimension(String),
+    /// The KKT system was singular even after dropping dependent rows.
+    Singular,
+    /// The iteration cap was exceeded (degenerate cycling).
+    IterationCap,
+}
+
+impl core::fmt::Display for QpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::InfeasibleStart(i) => write!(f, "QP start violates constraint {i}"),
+            Self::Dimension(what) => write!(f, "QP dimension mismatch: {what}"),
+            Self::Singular => write!(f, "QP KKT system is singular"),
+            Self::IterationCap => write!(f, "QP iteration cap exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for QpError {}
+
+const FEAS_TOL: f64 = 1e-8;
+
+/// Solves the convex QP from the feasible start `d0`.
+///
+/// `rows` holds the inequality constraints as `(a_i, b_i)` meaning
+/// `a_iᵀd ≥ b_i`. Returns the minimizer and one Lagrange multiplier per
+/// row (zero for constraints inactive at the solution).
+///
+/// # Errors
+///
+/// See [`QpError`]. `H` is trusted to be positive definite (the SQP layer
+/// guarantees this via damped BFGS); a singular KKT system from dependent
+/// active rows is handled by dropping rows, and only reported if
+/// unresolvable.
+pub fn solve_qp(
+    h: &Matrix,
+    g: &[f64],
+    rows: &[(Vec<f64>, f64)],
+    d0: &[f64],
+) -> Result<(Vec<f64>, Vec<f64>), QpError> {
+    let n = g.len();
+    if h.rows() != n || h.cols() != n {
+        return Err(QpError::Dimension(format!(
+            "H is {}×{}, g has length {n}",
+            h.rows(),
+            h.cols()
+        )));
+    }
+    if d0.len() != n {
+        return Err(QpError::Dimension(format!(
+            "start has length {}, expected {n}",
+            d0.len()
+        )));
+    }
+    for (i, (a, _)) in rows.iter().enumerate() {
+        if a.len() != n {
+            return Err(QpError::Dimension(format!("row {i} has wrong length")));
+        }
+    }
+    let m = rows.len();
+    let residual = |d: &[f64], i: usize| vector::dot(&rows[i].0, d) - rows[i].1;
+    if let Some(violated) = (0..m).find(|&i| residual(d0, i) < -FEAS_TOL) {
+        return Err(QpError::InfeasibleStart(violated));
+    }
+
+    let mut d = d0.to_vec();
+    // Working set: constraints treated as equalities.
+    let mut working: Vec<usize> = Vec::new();
+    for i in 0..m {
+        if residual(&d, i).abs() <= FEAS_TOL && working.len() < n {
+            working.push(i);
+        }
+    }
+
+    let max_iters = 50 * (m + 1).max(4);
+    for _ in 0..max_iters {
+        // Solve the equality-constrained subproblem on the working set:
+        //   [H  −Awᵀ][p]   [−(g + H d)]
+        //   [Aw   0 ][λ] = [ rw        ]
+        let k = working.len();
+        let dim = n + k;
+        let mut kkt = Matrix::zeros(dim, dim);
+        let mut rhs = vec![0.0; dim];
+        let hd = h.matvec(&d);
+        for i in 0..n {
+            for j in 0..n {
+                kkt[(i, j)] = h[(i, j)];
+            }
+            rhs[i] = -(g[i] + hd[i]);
+        }
+        for (wi, &ci) in working.iter().enumerate() {
+            for j in 0..n {
+                kkt[(j, n + wi)] = -rows[ci].0[j];
+                kkt[(n + wi, j)] = rows[ci].0[j];
+            }
+            rhs[n + wi] = -residual(&d, ci);
+        }
+
+        let solved = LuFactor::new(&kkt).and_then(|lu| lu.solve(&rhs));
+        let sol = match solved {
+            Ok(sol) => sol,
+            Err(_) => {
+                // Dependent active rows: drop the most recently added and
+                // retry next iteration.
+                if working.pop().is_none() {
+                    return Err(QpError::Singular);
+                }
+                continue;
+            }
+        };
+        let p = &sol[..n];
+        let lambda_w = &sol[n..];
+
+        if vector::norm_inf(p) <= 1e-11 {
+            // Stationary on the working set: check multipliers.
+            let (mut worst, mut worst_idx) = (0.0_f64, usize::MAX);
+            for (wi, &l) in lambda_w.iter().enumerate() {
+                if l < worst {
+                    worst = l;
+                    worst_idx = wi;
+                }
+            }
+            if worst_idx == usize::MAX || worst >= -1e-9 {
+                let mut lambda = vec![0.0; m];
+                for (wi, &ci) in working.iter().enumerate() {
+                    lambda[ci] = lambda_w[wi].max(0.0);
+                }
+                return Ok((d, lambda));
+            }
+            working.remove(worst_idx);
+            continue;
+        }
+
+        // Step toward p, blocked by inactive constraints.
+        let mut alpha = 1.0;
+        let mut blocker = usize::MAX;
+        for (i, row) in rows.iter().enumerate() {
+            if working.contains(&i) {
+                continue;
+            }
+            let ap = vector::dot(&row.0, p);
+            if ap < -1e-12 {
+                let a_i = -residual(&d, i) / ap;
+                if a_i < alpha {
+                    alpha = a_i.max(0.0);
+                    blocker = i;
+                }
+            }
+        }
+        for (di, &pi) in d.iter_mut().zip(p) {
+            *di += alpha * pi;
+        }
+        if blocker != usize::MAX && working.len() < n + 1 {
+            working.push(blocker);
+        }
+    }
+    Err(QpError::IterationCap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity2() -> Matrix {
+        Matrix::identity(2)
+    }
+
+    #[test]
+    fn unconstrained_newton_step() {
+        // min ½‖d‖² + gᵀd → d = −g.
+        let (d, lambda) = solve_qp(&identity2(), &[1.0, -2.0], &[], &[0.0, 0.0]).unwrap();
+        assert!((d[0] + 1.0).abs() < 1e-10);
+        assert!((d[1] - 2.0).abs() < 1e-10);
+        assert!(lambda.is_empty());
+    }
+
+    #[test]
+    fn single_active_inequality() {
+        // min ½‖d‖² − d₁ s.t. d₁ ≤ 0.5 (−d₁ ≥ −0.5): optimum at d₁ = 0.5.
+        let rows = vec![(vec![-1.0, 0.0], -0.5)];
+        let (d, lambda) =
+            solve_qp(&identity2(), &[-1.0, 0.0], &rows, &[0.0, 0.0]).unwrap();
+        assert!((d[0] - 0.5).abs() < 1e-9, "{d:?}");
+        assert!(d[1].abs() < 1e-9);
+        assert!(lambda[0] > 0.0, "active constraint must have λ > 0");
+    }
+
+    #[test]
+    fn inactive_constraint_has_zero_multiplier() {
+        // Same objective, loose constraint d₁ ≤ 10: unconstrained optimum.
+        let rows = vec![(vec![-1.0, 0.0], -10.0)];
+        let (d, lambda) =
+            solve_qp(&identity2(), &[-1.0, 0.0], &rows, &[0.0, 0.0]).unwrap();
+        assert!((d[0] - 1.0).abs() < 1e-9);
+        assert_eq!(lambda[0], 0.0);
+    }
+
+    #[test]
+    fn corner_solution_with_two_active() {
+        // min ½‖d − (2,2)‖² s.t. d₁ ≤ 1, d₂ ≤ 1: optimum at (1,1).
+        // Expand: ½dᵀd − (2,2)ᵀd + const.
+        let rows = vec![(vec![-1.0, 0.0], -1.0), (vec![0.0, -1.0], -1.0)];
+        let (d, lambda) =
+            solve_qp(&identity2(), &[-2.0, -2.0], &rows, &[0.0, 0.0]).unwrap();
+        assert!((d[0] - 1.0).abs() < 1e-9);
+        assert!((d[1] - 1.0).abs() < 1e-9);
+        assert!(lambda[0] > 0.0 && lambda[1] > 0.0);
+    }
+
+    #[test]
+    fn release_of_wrongly_active_constraint() {
+        // Start ON a constraint that is not active at the optimum:
+        // min ½‖d − (−1, 0)‖² s.t. d₁ ≥ 0 starting at d₁ = 0 — stays at 0;
+        // but with objective pulling to (+1, 0), the start at the bound
+        // must release and move inward.
+        let rows = vec![(vec![1.0, 0.0], 0.0)];
+        let (d, _) = solve_qp(&identity2(), &[-1.0, 0.0], &rows, &[0.0, 0.0]).unwrap();
+        assert!((d[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nonidentity_hessian() {
+        // min ½dᵀHd + gᵀd with H = [[2,0],[0,4]], g = (−2,−4) →
+        // unconstrained d = (1,1); constrain d₁ + d₂ ≥ 3 → on the line,
+        // solution (1.5, 0.75)? KKT: Hd + g = λa → (2d₁−2, 4d₂−4) = λ(1,1),
+        // d₁+d₂ = 3 → 2d₁−2 = 4d₂−4 → d₁ = 2d₂−1 → 3d₂ − 1 = 3 → d₂ = 4/3,
+        // d₁ = 5/3.
+        let h = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]);
+        let rows = vec![(vec![1.0, 1.0], 3.0)];
+        let (d, lambda) = solve_qp(&h, &[-2.0, -4.0], &rows, &[2.0, 1.0]).unwrap();
+        assert!((d[0] - 5.0 / 3.0).abs() < 1e-9, "{d:?}");
+        assert!((d[1] - 4.0 / 3.0).abs() < 1e-9);
+        assert!(lambda[0] > 0.0);
+    }
+
+    #[test]
+    fn infeasible_start_rejected() {
+        let rows = vec![(vec![1.0, 0.0], 1.0)]; // d₁ ≥ 1
+        let err = solve_qp(&identity2(), &[0.0, 0.0], &rows, &[0.0, 0.0]).unwrap_err();
+        assert_eq!(err, QpError::InfeasibleStart(0));
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let err = solve_qp(&Matrix::zeros(2, 3), &[0.0, 0.0], &[], &[0.0, 0.0]).unwrap_err();
+        assert!(matches!(err, QpError::Dimension(_)));
+        let err = solve_qp(&identity2(), &[0.0, 0.0], &[], &[0.0]).unwrap_err();
+        assert!(matches!(err, QpError::Dimension(_)));
+    }
+
+    #[test]
+    fn redundant_constraints_handled() {
+        // Duplicate rows (linearly dependent when both active).
+        let rows = vec![
+            (vec![-1.0, 0.0], -0.5),
+            (vec![-1.0, 0.0], -0.5),
+            (vec![0.0, -1.0], -10.0),
+        ];
+        let (d, _) = solve_qp(&identity2(), &[-1.0, 0.0], &rows, &[0.0, 0.0]).unwrap();
+        assert!((d[0] - 0.5).abs() < 1e-8);
+    }
+}

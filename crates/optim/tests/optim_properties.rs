@@ -1,0 +1,147 @@
+//! Property tests of the NLP stack on randomly generated convex problems
+//! with known solutions.
+
+use oftec_linalg::{vector, LuFactor, Matrix};
+use oftec_optim::{
+    solve_qp, ActiveSetSqp, FnProblem, InteriorPoint, NlpProblem, SolveOptions,
+};
+use proptest::prelude::*;
+
+/// Random SPD 2×2 matrix `BᵀB + I` plus a random linear term.
+fn spd_quadratic() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
+    (
+        proptest::collection::vec(-1.0..1.0f64, 4),
+        proptest::collection::vec(-2.0..2.0f64, 2),
+    )
+        .prop_map(|(raw, g)| {
+            let b = Matrix::from_vec(2, 2, raw);
+            let mut h = b.matmul(&b.transpose());
+            h[(0, 0)] += 1.0;
+            h[(1, 1)] += 1.0;
+            (h, g)
+        })
+}
+
+fn opts() -> SolveOptions {
+    SolveOptions {
+        max_iterations: 300,
+        tolerance: 1e-9,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn qp_unconstrained_matches_newton((h, g) in spd_quadratic()) {
+        let (d, _) = solve_qp(&h, &g, &[], &[0.0, 0.0]).unwrap();
+        let exact = LuFactor::new(&h).unwrap().solve(&g).unwrap();
+        for (di, ei) in d.iter().zip(&exact) {
+            prop_assert!((di + ei).abs() < 1e-8, "{d:?} vs -{exact:?}");
+        }
+    }
+
+    #[test]
+    fn qp_satisfies_kkt((h, g) in spd_quadratic(), bound in 0.05..1.0f64) {
+        // Box |d_i| ≤ bound as four inequality rows.
+        let rows = vec![
+            (vec![1.0, 0.0], -bound),
+            (vec![-1.0, 0.0], -bound),
+            (vec![0.0, 1.0], -bound),
+            (vec![0.0, -1.0], -bound),
+        ];
+        let (d, lambda) = solve_qp(&h, &g, &rows, &[0.0, 0.0]).unwrap();
+        // Primal feasibility.
+        for (a, b) in &rows {
+            prop_assert!(vector::dot(a, &d) >= b - 1e-8);
+        }
+        // Stationarity: H d + g − Σ λ_i a_i = 0.
+        let mut grad = h.matvec(&d);
+        vector::axpy(1.0, &g, &mut grad);
+        for ((a, _), &l) in rows.iter().zip(&lambda) {
+            vector::axpy(-l, a, &mut grad);
+        }
+        prop_assert!(vector::norm2(&grad) < 1e-7, "stationarity {grad:?}");
+        // Dual feasibility + complementary slackness.
+        for ((a, b), &l) in rows.iter().zip(&lambda) {
+            prop_assert!(l >= -1e-10);
+            let slack = vector::dot(a, &d) - b;
+            prop_assert!(l * slack < 1e-6, "λ {l} on slack {slack}");
+        }
+    }
+
+    #[test]
+    fn sqp_finds_quadratic_minimum_in_box((h, g) in spd_quadratic()) {
+        // Wide box: the unconstrained optimum is interior; SQP must find
+        // x* = −H⁻¹g.
+        let h2 = h.clone();
+        let g2 = g.clone();
+        let problem = FnProblem::new(
+            vec![-50.0, -50.0],
+            vec![50.0, 50.0],
+            move |x| {
+                let hx = h2.matvec(x);
+                Some(0.5 * vector::dot(x, &hx) + vector::dot(&g2, x))
+            },
+            0,
+            |_| Some(Vec::new()),
+        );
+        let exact = LuFactor::new(&h).unwrap().solve(&g).unwrap();
+        let x_star: Vec<f64> = exact.iter().map(|v| -v).collect();
+        prop_assume!(x_star.iter().all(|v| v.abs() < 40.0));
+        let r = ActiveSetSqp::default().solve(&problem, &[0.0, 0.0], &opts()).unwrap();
+        for (a, b) in r.x.iter().zip(&x_star) {
+            prop_assert!((a - b).abs() < 1e-4, "{:?} vs {:?}", r.x, x_star);
+        }
+    }
+
+    #[test]
+    fn sqp_respects_halfspace_constraint((h, g) in spd_quadratic(), c in -1.0..1.0f64) {
+        // min quadratic s.t. x₀ + x₁ ≤ c, from a feasible interior start.
+        let h2 = h.clone();
+        let g2 = g.clone();
+        let problem = FnProblem::new(
+            vec![-50.0, -50.0],
+            vec![50.0, 50.0],
+            move |x| {
+                let hx = h2.matvec(x);
+                Some(0.5 * vector::dot(x, &hx) + vector::dot(&g2, x))
+            },
+            1,
+            move |x| Some(vec![c - x[0] - x[1]]),
+        );
+        let start = [c - 2.0, 0.0];
+        let r = ActiveSetSqp::default().solve(&problem, &start, &opts()).unwrap();
+        prop_assert!(r.x[0] + r.x[1] <= c + 1e-6, "violated: {:?}", r.x);
+        // The constrained optimum is no better than unconstrained, no
+        // worse than the start.
+        let f_start = problem.objective(&start).unwrap();
+        prop_assert!(r.objective <= f_start + 1e-9);
+    }
+
+    #[test]
+    fn interior_point_agrees_with_sqp((h, g) in spd_quadratic()) {
+        let mk = |h: Matrix, g: Vec<f64>| {
+            FnProblem::new(
+                vec![-10.0, -10.0],
+                vec![10.0, 10.0],
+                move |x: &[f64]| {
+                    let hx = h.matvec(x);
+                    Some(0.5 * vector::dot(x, &hx) + vector::dot(&g, x))
+                },
+                0,
+                |_| Some(Vec::new()),
+            )
+        };
+        let p1 = mk(h.clone(), g.clone());
+        let p2 = mk(h.clone(), g.clone());
+        let a = ActiveSetSqp::default().solve(&p1, &[0.0, 0.0], &opts()).unwrap();
+        let b = InteriorPoint::default().solve(&p2, &[0.0, 0.0], &opts()).unwrap();
+        prop_assert!(
+            (a.objective - b.objective).abs() < 1e-3 * a.objective.abs().max(1.0),
+            "SQP {} vs IP {}",
+            a.objective,
+            b.objective
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! Exponential temperature-dependent leakage.
+//!
+//! Subthreshold leakage grows exponentially with temperature; over the
+//! 300–400 K window relevant to chip cooling it is well captured by
+//! `P(T) = P_ref · exp(β·(T − T_ref))` with β around 0.02–0.04 K⁻¹
+//! (leakage doubling every 20–35 K), consistent with 22 nm-class silicon.
+//! This is the "ground truth" model that the paper's Eq. (4) linearizes.
+
+use oftec_units::{Power, Temperature};
+
+/// Exponential leakage model of a single heat source (a functional unit or
+/// a grid cell).
+///
+/// # Examples
+///
+/// ```
+/// use oftec_power::ExponentialLeakage;
+/// use oftec_units::{Power, Temperature};
+///
+/// let leak = ExponentialLeakage::new(
+///     Power::from_watts(1.0),
+///     Temperature::from_kelvin(318.15),
+///     0.035,
+/// );
+/// // Doubles roughly every ln(2)/0.035 ≈ 19.8 K.
+/// let hot = leak.power(Temperature::from_kelvin(318.15 + 19.8));
+/// assert!((hot.watts() - 2.0).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ExponentialLeakage {
+    p_ref: Power,
+    t_ref: Temperature,
+    beta: f64,
+}
+
+impl ExponentialLeakage {
+    /// Creates a model with leakage `p_ref` at `t_ref` and exponential
+    /// slope `beta_per_kelvin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_ref` is negative or `beta_per_kelvin` is not finite.
+    pub fn new(p_ref: Power, t_ref: Temperature, beta_per_kelvin: f64) -> Self {
+        assert!(
+            p_ref.watts() >= 0.0 && beta_per_kelvin.is_finite(),
+            "leakage reference power must be non-negative and beta finite"
+        );
+        Self {
+            p_ref,
+            t_ref,
+            beta: beta_per_kelvin,
+        }
+    }
+
+    /// Reference power at the reference temperature.
+    #[inline]
+    pub fn p_ref(&self) -> Power {
+        self.p_ref
+    }
+
+    /// Reference temperature.
+    #[inline]
+    pub fn t_ref(&self) -> Temperature {
+        self.t_ref
+    }
+
+    /// Exponential slope β in K⁻¹.
+    #[inline]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Leakage power at temperature `t`.
+    #[inline]
+    pub fn power(&self, t: Temperature) -> Power {
+        Power::from_watts(
+            self.p_ref.watts() * (self.beta * (t.kelvin() - self.t_ref.kelvin())).exp(),
+        )
+    }
+
+    /// Local slope `dP/dT` at temperature `t`, in W/K. This is the quantity
+    /// that drives thermal runaway: when the summed slopes exceed the
+    /// package's conductance to ambient, no steady state exists.
+    #[inline]
+    pub fn slope_at(&self, t: Temperature) -> f64 {
+        self.beta * self.power(t).watts()
+    }
+
+    /// Returns a copy scaled by `factor` (e.g. to split a unit's leakage
+    /// over grid cells by area).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            p_ref: self.p_ref * factor,
+            t_ref: self.t_ref,
+            beta: self.beta,
+        }
+    }
+}
+
+/// A per-unit leakage model for an entire die.
+///
+/// Wraps one [`ExponentialLeakage`] per functional unit, in floorplan
+/// order.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LeakageModel {
+    units: Vec<ExponentialLeakage>,
+}
+
+impl LeakageModel {
+    /// Creates a model from per-unit components.
+    pub fn new(units: Vec<ExponentialLeakage>) -> Self {
+        Self { units }
+    }
+
+    /// Per-unit models, in floorplan order.
+    pub fn units(&self) -> &[ExponentialLeakage] {
+        &self.units
+    }
+
+    /// Number of units.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Returns `true` if the model has no units.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Total leakage with every unit at the same temperature `t`.
+    pub fn total_power(&self, t: Temperature) -> Power {
+        self.units.iter().map(|u| u.power(t)).sum()
+    }
+
+    /// Total leakage with per-unit temperatures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temps.len() != self.len()`.
+    pub fn total_power_at(&self, temps: &[Temperature]) -> Power {
+        assert_eq!(temps.len(), self.units.len(), "one temperature per unit");
+        self.units
+            .iter()
+            .zip(temps)
+            .map(|(u, &t)| u.power(t))
+            .sum()
+    }
+
+    /// Total runaway slope `Σ dPᵢ/dT` with every unit at temperature `t`.
+    pub fn total_slope_at(&self, t: Temperature) -> f64 {
+        self.units.iter().map(|u| u.slope_at(t)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ExponentialLeakage {
+        ExponentialLeakage::new(
+            Power::from_watts(2.0),
+            Temperature::from_kelvin(318.15),
+            0.035,
+        )
+    }
+
+    #[test]
+    fn reference_point_is_exact() {
+        let m = model();
+        assert_eq!(m.power(m.t_ref()), m.p_ref());
+    }
+
+    #[test]
+    fn grows_exponentially() {
+        let m = model();
+        let t1 = Temperature::from_kelvin(340.0);
+        let t2 = Temperature::from_kelvin(360.0);
+        let ratio = m.power(t2).watts() / m.power(t1).watts();
+        assert!((ratio - (0.035f64 * 20.0).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slope_is_beta_times_power() {
+        let m = model();
+        let t = Temperature::from_kelvin(350.0);
+        // Finite-difference check.
+        let h = 1e-4;
+        let fd = (m.power(Temperature::from_kelvin(350.0 + h)).watts()
+            - m.power(Temperature::from_kelvin(350.0 - h)).watts())
+            / (2.0 * h);
+        assert!((m.slope_at(t) - fd).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scaling_splits_power() {
+        let m = model();
+        let half = m.scaled(0.5);
+        let t = Temperature::from_kelvin(333.0);
+        assert!((half.power(t).watts() - 0.5 * m.power(t).watts()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn die_model_totals() {
+        let die = LeakageModel::new(vec![model(), model().scaled(2.0)]);
+        let t = Temperature::from_kelvin(330.0);
+        assert!(
+            (die.total_power(t).watts() - 3.0 * model().power(t).watts()).abs() < 1e-12
+        );
+        assert!((die.total_slope_at(t) - 0.035 * die.total_power(t).watts()).abs() < 1e-12);
+        let temps = [Temperature::from_kelvin(330.0), Temperature::from_kelvin(318.15)];
+        let expect = model().power(temps[0]).watts() + 2.0 * model().p_ref().watts();
+        assert!((die.total_power_at(&temps).watts() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_reference_power_panics() {
+        let _ = ExponentialLeakage::new(
+            Power::from_watts(-1.0),
+            Temperature::from_kelvin(300.0),
+            0.03,
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! Linear (first-order Taylor) leakage estimation — Eq. (4) of the paper.
+//!
+//! The paper follows reference \[13\]: instead of iterating the exponential
+//! leakage model to a fixed point, sample it at a handful of temperatures,
+//! fit `p = a·(T − T_ref) + b` by linear regression, and fold the linear
+//! term straight into the thermal network's (linear) KCL system. The
+//! paper's setup samples McPAT at **ten temperatures evenly spaced over
+//! 300–390 K**; [`fit_linear_leakage`] reproduces exactly that procedure.
+
+use crate::ExponentialLeakage;
+use oftec_units::{Power, Temperature};
+
+/// The paper's sampling window: 300 K to 390 K.
+pub const FIT_RANGE_KELVIN: (f64, f64) = (300.0, 390.0);
+
+/// The paper's sample count within [`FIT_RANGE_KELVIN`].
+pub const FIT_SAMPLES: usize = 10;
+
+/// Linearized leakage `p(T) = a·(T − T_ref) + b` (Eq. (4)).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LinearLeakage {
+    /// Slope `a` in W/K.
+    pub a: f64,
+    /// Offset `b` in W (the leakage at `T_ref`).
+    pub b: f64,
+    /// Expansion point `T_ref`.
+    pub t_ref: Temperature,
+}
+
+impl LinearLeakage {
+    /// Evaluates the linear model at temperature `t`.
+    #[inline]
+    pub fn power(&self, t: Temperature) -> Power {
+        Power::from_watts(self.a * (t.kelvin() - self.t_ref.kelvin()) + self.b)
+    }
+
+    /// Returns a copy scaled by `factor` (both `a` and `b` scale, the
+    /// expansion point does not).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            a: self.a * factor,
+            b: self.b * factor,
+            t_ref: self.t_ref,
+        }
+    }
+}
+
+/// Fits Eq. (4) to an exponential leakage model by least squares over
+/// `samples` evenly spaced temperatures in `[lo, hi]`, with the expansion
+/// point `t_ref`.
+///
+/// Use [`fit_linear_leakage`] for the paper's exact 10-point, 300–390 K
+/// procedure.
+///
+/// # Panics
+///
+/// Panics if `samples < 2` or `hi <= lo`.
+pub fn fit_linear_leakage_over(
+    model: &ExponentialLeakage,
+    lo: Temperature,
+    hi: Temperature,
+    samples: usize,
+    t_ref: Temperature,
+) -> LinearLeakage {
+    assert!(samples >= 2, "need at least two samples for a line");
+    assert!(hi.kelvin() > lo.kelvin(), "empty fitting range");
+    let n = samples as f64;
+    let step = (hi.kelvin() - lo.kelvin()) / (samples - 1) as f64;
+
+    // Least squares on x = T - t_ref, y = P(T).
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for i in 0..samples {
+        let t_k = lo.kelvin() + step * i as f64;
+        let x = t_k - t_ref.kelvin();
+        let y = model.power(Temperature::from_kelvin(t_k)).watts();
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    let denom = n * sxx - sx * sx;
+    let a = (n * sxy - sx * sy) / denom;
+    let b = (sy - a * sx) / n;
+    LinearLeakage { a, b, t_ref }
+}
+
+/// Fits Eq. (4) with the paper's procedure: ten samples evenly spaced over
+/// 300–390 K.
+///
+/// The expansion point `t_ref` is "usually set as the average temperature
+/// of the chip or a particular functional unit" (paper §4); pass whatever
+/// operating point the caller expects.
+///
+/// # Examples
+///
+/// ```
+/// use oftec_power::{fit_linear_leakage, ExponentialLeakage};
+/// use oftec_units::{Power, Temperature};
+///
+/// let exp = ExponentialLeakage::new(
+///     Power::from_watts(1.0),
+///     Temperature::from_kelvin(318.15),
+///     0.012,
+/// );
+/// let t_op = Temperature::from_kelvin(350.0);
+/// let lin = fit_linear_leakage(&exp, t_op);
+/// // Near the middle of the window the fit tracks the model closely.
+/// let err = (lin.power(t_op).watts() - exp.power(t_op).watts()).abs();
+/// assert!(err / exp.power(t_op).watts() < 0.08);
+/// ```
+pub fn fit_linear_leakage(model: &ExponentialLeakage, t_ref: Temperature) -> LinearLeakage {
+    fit_linear_leakage_over(
+        model,
+        Temperature::from_kelvin(FIT_RANGE_KELVIN.0),
+        Temperature::from_kelvin(FIT_RANGE_KELVIN.1),
+        FIT_SAMPLES,
+        t_ref,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp_model(beta: f64) -> ExponentialLeakage {
+        ExponentialLeakage::new(
+            Power::from_watts(1.5),
+            Temperature::from_kelvin(318.15),
+            beta,
+        )
+    }
+
+    #[test]
+    fn exact_for_linear_ground_truth() {
+        // With beta → 0 the exponential is constant; the fit must return
+        // a ≈ 0, b ≈ p_ref.
+        let lin = fit_linear_leakage(&exp_model(0.0), Temperature::from_kelvin(340.0));
+        assert!(lin.a.abs() < 1e-12);
+        assert!((lin.b - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slope_positive_and_bracketing_for_exponential() {
+        let m = exp_model(0.03);
+        let lin = fit_linear_leakage(&m, Temperature::from_kelvin(345.0));
+        // Secant slope over the window brackets the fitted slope.
+        let lo = m.power(Temperature::from_kelvin(300.0)).watts();
+        let hi = m.power(Temperature::from_kelvin(390.0)).watts();
+        let secant = (hi - lo) / 90.0;
+        assert!(lin.a > 0.0);
+        assert!(lin.a < secant * 1.2 && lin.a > m.slope_at(Temperature::from_kelvin(300.0)));
+    }
+
+    #[test]
+    fn fit_error_small_in_the_hot_region() {
+        // A line cannot track a 23×-varying exponential everywhere; what
+        // matters for OFTEC is the hot end (where thermal constraints and
+        // runaway live). There the relative error must be modest, and
+        // everywhere the absolute error must be a small fraction of the
+        // window maximum.
+        let m = exp_model(0.035);
+        let lin = fit_linear_leakage(&m, Temperature::from_kelvin(345.0));
+        let p_max = m.power(Temperature::from_kelvin(390.0)).watts();
+        for t_k in (0..=9).map(|i| 300.0 + 10.0 * i as f64) {
+            let t = Temperature::from_kelvin(t_k);
+            let abs = (lin.power(t).watts() - m.power(t).watts()).abs();
+            assert!(abs < 0.25 * p_max, "abs error {abs} at {t_k} K");
+        }
+        // A gentler exponential (leakage tripling over the window, closer
+        // to published 22 nm McPAT sweeps) is tracked tightly everywhere.
+        let gentle = exp_model(0.012);
+        let lin2 = fit_linear_leakage(&gentle, Temperature::from_kelvin(345.0));
+        for t_k in (0..=9).map(|i| 300.0 + 10.0 * i as f64) {
+            let t = Temperature::from_kelvin(t_k);
+            let rel = (lin2.power(t).watts() - gentle.power(t).watts()).abs()
+                / gentle.power(t).watts();
+            assert!(rel < 0.16, "rel error {rel} at {t_k} K");
+        }
+    }
+
+    #[test]
+    fn regression_minimizes_residual() {
+        // Perturbing (a, b) must not reduce the summed squared residual.
+        let m = exp_model(0.03);
+        let t_ref = Temperature::from_kelvin(345.0);
+        let lin = fit_linear_leakage(&m, t_ref);
+        let sse = |a: f64, b: f64| -> f64 {
+            (0..FIT_SAMPLES)
+                .map(|i| {
+                    let t_k = 300.0 + 90.0 * i as f64 / (FIT_SAMPLES - 1) as f64;
+                    let x = t_k - t_ref.kelvin();
+                    let y = m.power(Temperature::from_kelvin(t_k)).watts();
+                    let e = a * x + b - y;
+                    e * e
+                })
+                .sum()
+        };
+        let best = sse(lin.a, lin.b);
+        for (da, db) in [(1e-3, 0.0), (-1e-3, 0.0), (0.0, 1e-3), (0.0, -1e-3)] {
+            assert!(sse(lin.a + da, lin.b + db) >= best);
+        }
+    }
+
+    #[test]
+    fn expansion_point_only_shifts_b() {
+        let m = exp_model(0.03);
+        let lin1 = fit_linear_leakage(&m, Temperature::from_kelvin(330.0));
+        let lin2 = fit_linear_leakage(&m, Temperature::from_kelvin(360.0));
+        assert!((lin1.a - lin2.a).abs() < 1e-12);
+        // Same line, different parameterization: predictions agree.
+        let t = Temperature::from_kelvin(350.0);
+        assert!((lin1.power(t).watts() - lin2.power(t).watts()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_model() {
+        let m = exp_model(0.03);
+        let lin = fit_linear_leakage(&m, Temperature::from_kelvin(345.0));
+        let half = lin.scaled(0.5);
+        let t = Temperature::from_kelvin(350.0);
+        assert!((half.power(t).watts() - 0.5 * lin.power(t).watts()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "two samples")]
+    fn single_sample_panics() {
+        let _ = fit_linear_leakage_over(
+            &exp_model(0.03),
+            Temperature::from_kelvin(300.0),
+            Temperature::from_kelvin(390.0),
+            1,
+            Temperature::from_kelvin(345.0),
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Per-unit dynamic power time series.
+
+use oftec_units::Power;
+
+/// A dynamic power trace: one power sample per functional unit per time
+/// step, as a performance/power simulator (PTscalar in the paper) would
+/// emit.
+///
+/// # Examples
+///
+/// ```
+/// use oftec_power::PowerTrace;
+///
+/// let mut trace = PowerTrace::new(vec!["a".into(), "b".into()], 1e-3);
+/// trace.push_sample(vec![1.0, 2.0]);
+/// trace.push_sample(vec![3.0, 1.0]);
+/// assert_eq!(trace.max_per_unit(), vec![3.0, 2.0]);
+/// assert_eq!(trace.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PowerTrace {
+    unit_names: Vec<String>,
+    /// Sampling interval in seconds.
+    dt: f64,
+    /// `samples[t][u]` = power of unit `u` at step `t`, in watts.
+    samples: Vec<Vec<f64>>,
+}
+
+impl PowerTrace {
+    /// Creates an empty trace for the named units with sampling interval
+    /// `dt_seconds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_seconds` is not positive or no units are given.
+    pub fn new(unit_names: Vec<String>, dt_seconds: f64) -> Self {
+        assert!(dt_seconds > 0.0, "sampling interval must be positive");
+        assert!(!unit_names.is_empty(), "trace needs at least one unit");
+        Self {
+            unit_names,
+            dt: dt_seconds,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Appends one sample (a power per unit, in watts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample length differs from the unit count or any
+    /// entry is negative/non-finite.
+    pub fn push_sample(&mut self, sample: Vec<f64>) {
+        assert_eq!(
+            sample.len(),
+            self.unit_names.len(),
+            "one power per unit required"
+        );
+        assert!(
+            sample.iter().all(|p| p.is_finite() && *p >= 0.0),
+            "powers must be finite and non-negative"
+        );
+        self.samples.push(sample);
+    }
+
+    /// The unit names, in column order.
+    pub fn unit_names(&self) -> &[String] {
+        &self.unit_names
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sampling interval in seconds.
+    pub fn dt_seconds(&self) -> f64 {
+        self.dt
+    }
+
+    /// Borrows sample `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn sample(&self, t: usize) -> &[f64] {
+        &self.samples[t]
+    }
+
+    /// Per-unit maximum over the trace — the vector the paper feeds OFTEC
+    /// ("the maximum power consumption for each element ... is selected to
+    /// be passed to OFTEC", §6.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn max_per_unit(&self) -> Vec<f64> {
+        assert!(!self.samples.is_empty(), "empty trace has no maximum");
+        let mut out = self.samples[0].clone();
+        for s in &self.samples[1..] {
+            for (o, &v) in out.iter_mut().zip(s) {
+                *o = o.max(v);
+            }
+        }
+        out
+    }
+
+    /// Per-unit mean over the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn mean_per_unit(&self) -> Vec<f64> {
+        assert!(!self.samples.is_empty(), "empty trace has no mean");
+        let n = self.samples.len() as f64;
+        let mut out = vec![0.0; self.unit_names.len()];
+        for s in &self.samples {
+            for (o, &v) in out.iter_mut().zip(s) {
+                *o += v;
+            }
+        }
+        for o in &mut out {
+            *o /= n;
+        }
+        out
+    }
+
+    /// Total die power at step `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn total_at(&self, t: usize) -> Power {
+        Power::from_watts(self.samples[t].iter().sum())
+    }
+
+    /// Peak total die power over the trace (note: the *sum of per-unit
+    /// maxima* from [`PowerTrace::max_per_unit`] is an upper bound on this,
+    /// reached only if all units peak simultaneously).
+    pub fn peak_total(&self) -> Power {
+        Power::from_watts(
+            (0..self.samples.len())
+                .map(|t| self.samples[t].iter().sum::<f64>())
+                .fold(0.0, f64::max),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> PowerTrace {
+        let mut t = PowerTrace::new(vec!["x".into(), "y".into()], 1e-3);
+        t.push_sample(vec![1.0, 4.0]);
+        t.push_sample(vec![3.0, 2.0]);
+        t.push_sample(vec![2.0, 3.0]);
+        t
+    }
+
+    #[test]
+    fn max_and_mean() {
+        let t = trace();
+        assert_eq!(t.max_per_unit(), vec![3.0, 4.0]);
+        assert_eq!(t.mean_per_unit(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn totals() {
+        let t = trace();
+        assert_eq!(t.total_at(0).watts(), 5.0);
+        assert_eq!(t.peak_total().watts(), 5.0);
+        // Sum of maxima bounds peak total.
+        let bound: f64 = t.max_per_unit().iter().sum();
+        assert!(bound >= t.peak_total().watts());
+    }
+
+    #[test]
+    fn metadata() {
+        let t = trace();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.dt_seconds(), 1e-3);
+        assert_eq!(t.unit_names(), &["x".to_owned(), "y".to_owned()]);
+        assert_eq!(t.sample(1), &[3.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one power per unit")]
+    fn wrong_width_sample_panics() {
+        trace().push_sample(vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_power_panics() {
+        trace().push_sample(vec![-1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_max_panics() {
+        let t = PowerTrace::new(vec!["x".into()], 1.0);
+        let _ = t.max_per_unit();
+    }
+}

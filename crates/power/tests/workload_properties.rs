@@ -1,0 +1,116 @@
+//! Property tests of the workload synthesizer and leakage fits.
+
+use oftec_floorplan::alpha21264;
+use oftec_power::{
+    fit_linear_leakage_over, Benchmark, ExponentialLeakage, WorkloadProfile,
+};
+use oftec_units::{Power, Temperature};
+use proptest::prelude::*;
+
+fn any_benchmark() -> impl Strategy<Value = Benchmark> {
+    prop::sample::select(Benchmark::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn traces_are_deterministic_and_bounded(b in any_benchmark(), samples in 1usize..300) {
+        let fp = alpha21264();
+        let t1 = b.synthesize_trace(&fp, samples);
+        let t2 = b.synthesize_trace(&fp, samples);
+        prop_assert_eq!(&t1, &t2, "same inputs must give identical traces");
+        prop_assert_eq!(t1.len(), samples);
+        // Every sample within the phase × noise envelope of the profile.
+        let nominal = b.profile().nominal_vector(&fp).unwrap();
+        for s in 0..samples {
+            for (p, nom) in t1.sample(s).iter().zip(&nominal) {
+                prop_assert!(*p >= 0.0);
+                prop_assert!(*p <= nom * 1.3 * 1.08 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn per_unit_maxima_bracket_the_nominal(b in any_benchmark(), n in 10usize..200) {
+        // Phase factors live in [0.7, 1.3] and noise in [0.92, 1.08], so
+        // every per-unit maximum is sandwiched between the worst single
+        // sample floor and the envelope ceiling.
+        let fp = alpha21264();
+        let maxes = b.synthesize_trace(&fp, n).max_per_unit();
+        let nominal = b.profile().nominal_vector(&fp).unwrap();
+        for (mx, nom) in maxes.iter().zip(&nominal) {
+            prop_assert!(*mx >= nom * 0.7 * 0.92 - 1e-12);
+            prop_assert!(*mx <= nom * 1.3 * 1.08 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn custom_profiles_conserve_total(
+        weights in proptest::collection::vec(0.01..5.0f64, 15),
+        total in 1.0..80.0f64,
+    ) {
+        let fp = alpha21264();
+        let named: Vec<(&'static str, f64)> = fp
+            .units()
+            .iter()
+            .zip(&weights)
+            .map(|(u, &w)| {
+                // Leak the name to 'static for the test (names live in the
+                // bundled floorplan for the process lifetime anyway).
+                let name: &'static str = Box::leak(u.name().to_owned().into_boxed_str());
+                (name, w)
+            })
+            .collect();
+        let profile = WorkloadProfile::new("custom", Power::from_watts(total), named);
+        let v = profile.nominal_vector(&fp).unwrap();
+        let sum: f64 = v.iter().sum();
+        prop_assert!((sum - total).abs() < 1e-9 * total);
+        prop_assert!(v.iter().all(|p| *p >= 0.0));
+    }
+
+    #[test]
+    fn taylor_fit_is_exact_on_lines(
+        p_ref in 0.1..20.0f64,
+        t_ref in 310.0..370.0f64,
+    ) {
+        // β = 0 means the "exponential" is constant; any line fit through
+        // it must be flat with intercept p_ref, independent of t_ref.
+        let model = ExponentialLeakage::new(
+            Power::from_watts(p_ref),
+            Temperature::from_kelvin(330.0),
+            0.0,
+        );
+        let lin = fit_linear_leakage_over(
+            &model,
+            Temperature::from_kelvin(300.0),
+            Temperature::from_kelvin(390.0),
+            10,
+            Temperature::from_kelvin(t_ref),
+        );
+        prop_assert!(lin.a.abs() < 1e-12);
+        prop_assert!((lin.b - p_ref).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_slope_grows_with_beta(beta1 in 0.001..0.02f64, extra in 0.001..0.02f64) {
+        let mk = |beta: f64| {
+            ExponentialLeakage::new(
+                Power::from_watts(2.0),
+                Temperature::from_kelvin(318.15),
+                beta,
+            )
+        };
+        let fit = |beta: f64| {
+            fit_linear_leakage_over(
+                &mk(beta),
+                Temperature::from_kelvin(300.0),
+                Temperature::from_kelvin(390.0),
+                10,
+                Temperature::from_kelvin(345.0),
+            )
+            .a
+        };
+        prop_assert!(fit(beta1 + extra) > fit(beta1));
+    }
+}

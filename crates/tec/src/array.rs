@@ -1,0 +1,136 @@
+//! Series-wired TEC arrays — the `N` of Eqs. (1)–(3).
+
+use crate::{TecDevice, TecDeviceParams};
+use oftec_units::{Current, Power, Temperature};
+
+/// `N` identical TEC units wired electrically in series (thermally in
+/// parallel), all carrying the same driving current — the deployment the
+/// paper uses ("the deployed TECs are connected electrically in series and
+/// driven by the same current value", §6.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TecArray {
+    device: TecDevice,
+    count: usize,
+}
+
+impl TecArray {
+    /// Creates an array of `count` devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or the parameters are unphysical.
+    pub fn new(params: TecDeviceParams, count: usize) -> Self {
+        assert!(count > 0, "array needs at least one device");
+        Self {
+            device: TecDevice::new(params),
+            count,
+        }
+    }
+
+    /// The underlying device.
+    #[inline]
+    pub fn device(&self) -> &TecDevice {
+        &self.device
+    }
+
+    /// Number of devices `N`.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Total heat absorbed from the cold side (Eq. (1)), with every device
+    /// seeing the same temperatures.
+    pub fn heat_absorbed(&self, t_hot: Temperature, t_cold: Temperature, i: Current) -> Power {
+        self.device.heat_absorbed(t_hot, t_cold, i) * self.count as f64
+    }
+
+    /// Total heat released into the hot side (Eq. (2)).
+    pub fn heat_released(&self, t_hot: Temperature, t_cold: Temperature, i: Current) -> Power {
+        self.device.heat_released(t_hot, t_cold, i) * self.count as f64
+    }
+
+    /// Total electrical power (Eq. (3)): `N·(α·ΔT·I + R·I²)`.
+    pub fn power(&self, t_hot: Temperature, t_cold: Temperature, i: Current) -> Power {
+        self.device.power(t_hot, t_cold, i) * self.count as f64
+    }
+
+    /// Supply voltage across the series string:
+    /// `V = N·(α·ΔT + R·I)` (Seebeck back-EMF plus resistive drop).
+    pub fn supply_voltage(
+        &self,
+        t_hot: Temperature,
+        t_cold: Temperature,
+        i: Current,
+    ) -> oftec_units::Voltage {
+        let p = self.device.params();
+        let back_emf = p.seebeck.back_emf(t_hot - t_cold);
+        let drop = i * p.electrical_resistance;
+        (back_emf + drop) * self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array(n: usize) -> TecArray {
+        TecArray::new(TecDeviceParams::superlattice_thin_film(), n)
+    }
+
+    fn k(v: f64) -> Temperature {
+        Temperature::from_kelvin(v)
+    }
+
+    #[test]
+    fn scales_linearly_with_count() {
+        let one = array(1);
+        let forty = array(40);
+        let (th, tc, i) = (k(360.0), k(352.0), Current::from_amperes(2.0));
+        assert!(
+            (forty.power(th, tc, i).watts() - 40.0 * one.power(th, tc, i).watts()).abs() < 1e-9
+        );
+        assert!(
+            (forty.heat_absorbed(th, tc, i).watts()
+                - 40.0 * one.heat_absorbed(th, tc, i).watts())
+            .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn energy_conservation_for_array() {
+        let arr = array(39);
+        let (th, tc, i) = (k(358.0), k(349.0), Current::from_amperes(2.83));
+        let balance = arr.heat_released(th, tc, i) - arr.heat_absorbed(th, tc, i);
+        assert!((balance.watts() - arr.power(th, tc, i).watts()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_at_table2_operating_points_is_plausible() {
+        // The paper's Fig. 6(f) reports total cooling powers in the
+        // single-digit-to-20 W range at the Table 2 currents. A ~40-unit
+        // array at I* = 2.83 A must land in that range, not at hundreds of
+        // watts.
+        let arr = array(39);
+        let p = arr.power(k(356.0), k(351.0), Current::from_amperes(2.83));
+        assert!(
+            (5.0..30.0).contains(&p.watts()),
+            "array power {p} out of the paper's range"
+        );
+    }
+
+    #[test]
+    fn supply_voltage() {
+        let arr = array(10);
+        let v = arr.supply_voltage(k(355.0), k(350.0), Current::from_amperes(2.0));
+        // 10 × (10e-3·5 + 0.025·2) = 10 × 0.1.
+        assert!((v.volts() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_count_panics() {
+        let _ = array(0);
+    }
+}

@@ -1,0 +1,227 @@
+//! TEC placement over a die — §6.1 of the paper.
+//!
+//! "The entire surface of the processor is tiled with TECs except the
+//! instruction and data caches which are remained uncovered since they do
+//! not show any hot spots." Deployment is expressed on the thermal grid:
+//! each grid cell of the TEC layer is either TEC-covered (active pumping,
+//! pellet conduction) or passive filler.
+
+use crate::TecDeviceParams;
+use oftec_floorplan::{Floorplan, GridDims, GridMap};
+
+/// Fraction of a cell's area that must belong to excluded (cache) units
+/// before the cell is left uncovered. Cells are mostly inside one unit at
+/// practical resolutions, so the exact threshold is not sensitive.
+const EXCLUSION_THRESHOLD: f64 = 0.5;
+
+/// A TEC deployment: which cells of the (die-aligned) TEC layer carry TEC
+/// devices, and how many device-equivalents each cell holds.
+///
+/// # Examples
+///
+/// ```
+/// use oftec_floorplan::{alpha21264, GridDims};
+/// use oftec_tec::{TecDeployment, TecDeviceParams};
+///
+/// let fp = alpha21264();
+/// let dep = TecDeployment::tile_except(
+///     &fp,
+///     GridDims::new(16, 16),
+///     TecDeviceParams::superlattice_thin_film(),
+///     &["Icache", "Dcache"],
+/// );
+/// // Caches occupy ~38% of the die, so ~62% of cells carry TECs.
+/// let frac = dep.covered_cells() as f64 / dep.dims().cells() as f64;
+/// assert!((0.5..0.75).contains(&frac));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TecDeployment {
+    params: TecDeviceParams,
+    dims: GridDims,
+    covered: Vec<bool>,
+    /// Device-equivalents per covered cell (cell area / device footprint).
+    devices_per_cell: f64,
+}
+
+impl TecDeployment {
+    /// Tiles every cell of the die with TECs except cells dominated by the
+    /// named excluded units (the paper excludes `Icache`/`Dcache`).
+    ///
+    /// Unknown names in `excluded_units` are ignored (nothing to exclude).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are unphysical.
+    pub fn tile_except(
+        floorplan: &Floorplan,
+        dims: GridDims,
+        params: TecDeviceParams,
+        excluded_units: &[&str],
+    ) -> Self {
+        params.assert_physical();
+        let excluded_idx: Vec<usize> = excluded_units
+            .iter()
+            .filter_map(|n| floorplan.unit_index(n))
+            .collect();
+        let map = GridMap::new(floorplan, dims);
+        let covered: Vec<bool> = (0..dims.cells())
+            .map(|cell| {
+                let excluded_frac: f64 = map
+                    .cell_coverage(cell)
+                    .iter()
+                    .filter(|c| excluded_idx.contains(&c.unit))
+                    .map(|c| c.cell_fraction)
+                    .sum();
+                excluded_frac < EXCLUSION_THRESHOLD
+            })
+            .collect();
+        let cell_area = floorplan.die_area().square_meters() / dims.cells() as f64;
+        let devices_per_cell = cell_area / params.footprint.square_meters();
+        Self {
+            params,
+            dims,
+            covered,
+            devices_per_cell,
+        }
+    }
+
+    /// Covers every cell (no exclusions) — for experiments on excessive
+    /// deployment.
+    pub fn tile_all(floorplan: &Floorplan, dims: GridDims, params: TecDeviceParams) -> Self {
+        Self::tile_except(floorplan, dims, params, &[])
+    }
+
+    /// The device parameters.
+    #[inline]
+    pub fn params(&self) -> &TecDeviceParams {
+        &self.params
+    }
+
+    /// The deployment grid.
+    #[inline]
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// Whether cell `i` carries TEC devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn is_covered(&self, i: usize) -> bool {
+        self.covered[i]
+    }
+
+    /// Per-cell coverage flags.
+    pub fn coverage(&self) -> &[bool] {
+        &self.covered
+    }
+
+    /// Number of covered cells.
+    pub fn covered_cells(&self) -> usize {
+        self.covered.iter().filter(|c| **c).count()
+    }
+
+    /// Device-equivalents in one covered cell (cell area / footprint);
+    /// module aggregates α, R, K scale by this factor per cell.
+    #[inline]
+    pub fn devices_per_cell(&self) -> f64 {
+        self.devices_per_cell
+    }
+
+    /// Total device count `N` across the die (covered cells ×
+    /// devices-per-cell), the `N` of Eqs. (1)–(3).
+    pub fn device_count(&self) -> f64 {
+        self.covered_cells() as f64 * self.devices_per_cell
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oftec_floorplan::alpha21264;
+
+    fn deployment(dims: GridDims) -> TecDeployment {
+        TecDeployment::tile_except(
+            &alpha21264(),
+            dims,
+            TecDeviceParams::superlattice_thin_film(),
+            &["Icache", "Dcache"],
+        )
+    }
+
+    #[test]
+    fn caches_are_uncovered() {
+        let fp = alpha21264();
+        let dims = GridDims::new(16, 16);
+        let dep = deployment(dims);
+        let map = GridMap::new(&fp, dims);
+        let icache = fp.unit_index("Icache").unwrap();
+        let dcache = fp.unit_index("Dcache").unwrap();
+        for cell in 0..dims.cells() {
+            let cache_frac: f64 = map
+                .cell_coverage(cell)
+                .iter()
+                .filter(|c| c.unit == icache || c.unit == dcache)
+                .map(|c| c.cell_fraction)
+                .sum();
+            if cache_frac > 0.9 {
+                assert!(!dep.is_covered(cell), "cache cell {cell} covered");
+            }
+            if cache_frac < 0.1 {
+                assert!(dep.is_covered(cell), "core cell {cell} uncovered");
+            }
+        }
+    }
+
+    #[test]
+    fn device_count_scales_with_covered_area() {
+        let dep = deployment(GridDims::new(20, 20));
+        let fp = alpha21264();
+        let cache_area: f64 = ["Icache", "Dcache"]
+            .iter()
+            .map(|n| fp.unit_by_name(n).unwrap().rect().area().square_meters())
+            .sum();
+        let covered_area = fp.die_area().square_meters() - cache_area;
+        let expected = covered_area / 4e-6; // 4 mm² footprint
+        let actual = dep.device_count();
+        assert!(
+            (actual - expected).abs() / expected < 0.05,
+            "expected ≈{expected}, got {actual}"
+        );
+    }
+
+    #[test]
+    fn tile_all_covers_everything() {
+        let fp = alpha21264();
+        let dep = TecDeployment::tile_all(
+            &fp,
+            GridDims::new(8, 8),
+            TecDeviceParams::superlattice_thin_film(),
+        );
+        assert_eq!(dep.covered_cells(), 64);
+    }
+
+    #[test]
+    fn unknown_excluded_names_ignored() {
+        let fp = alpha21264();
+        let dep = TecDeployment::tile_except(
+            &fp,
+            GridDims::new(8, 8),
+            TecDeviceParams::superlattice_thin_film(),
+            &["NoSuchUnit"],
+        );
+        assert_eq!(dep.covered_cells(), 64);
+    }
+
+    #[test]
+    fn resolution_independence_of_device_count() {
+        let coarse = deployment(GridDims::new(10, 10)).device_count();
+        let fine = deployment(GridDims::new(40, 40)).device_count();
+        assert!(
+            (coarse - fine).abs() / fine < 0.1,
+            "coarse {coarse} vs fine {fine}"
+        );
+    }
+}

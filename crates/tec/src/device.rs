@@ -1,0 +1,294 @@
+//! Single-device thermoelectric equations — Eqs. (1)–(3) of the paper.
+
+use crate::TecDeviceParams;
+use oftec_units::{Current, Power, Temperature, TemperatureDelta};
+
+/// One TEC unit evaluating the steady-state thermoelectric equations.
+///
+/// Sign conventions follow the paper: `heat_absorbed` is `q̇_c`, the heat
+/// removed per second from the cold (die) side; `heat_released` is `q̇_h`,
+/// the heat dumped into the hot (spreader) side. Both can go negative when
+/// back-conduction or Joule heating dominates — precisely the "too much
+/// current" regime OFTEC's optimizer must avoid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TecDevice {
+    params: TecDeviceParams,
+}
+
+impl TecDevice {
+    /// Wraps device parameters (validated with
+    /// [`TecDeviceParams::assert_physical`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are unphysical.
+    pub fn new(params: TecDeviceParams) -> Self {
+        params.assert_physical();
+        Self { params }
+    }
+
+    /// The device parameters.
+    #[inline]
+    pub fn params(&self) -> &TecDeviceParams {
+        &self.params
+    }
+
+    /// Half of the Thomson heat `τ·I·ΔT` (zero unless the parameters set
+    /// a Thomson coefficient — the paper's equations omit it).
+    fn thomson_half(&self, dt_kelvin: f64, i: Current) -> Power {
+        Power::from_watts(
+            0.5 * self.params.thomson.volts_per_kelvin() * i.amperes() * dt_kelvin,
+        )
+    }
+
+    /// Heat absorbed per second from the cold side (Eq. (1) with N = 1):
+    /// `q̇_c = α·T_c·I − K·ΔT − ½·R·I² (+ ½·τ·I·ΔT)`.
+    ///
+    /// The parenthesized Thomson term is zero with the default parameters,
+    /// matching the paper's Eq. (1) exactly.
+    pub fn heat_absorbed(&self, t_hot: Temperature, t_cold: Temperature, i: Current) -> Power {
+        let dt = t_hot - t_cold;
+        let peltier = self.params.seebeck.peltier_power(t_cold, i);
+        let conduction = self.params.thermal_conductance.heat_flow(dt);
+        let joule = i.joule_power(self.params.electrical_resistance);
+        peltier - conduction - joule * 0.5 + self.thomson_half(dt.kelvin(), i)
+    }
+
+    /// Heat released per second into the hot side (Eq. (2) with N = 1):
+    /// `q̇_h = α·T_h·I − K·ΔT + ½·R·I² (− ½·τ·I·ΔT)`.
+    pub fn heat_released(&self, t_hot: Temperature, t_cold: Temperature, i: Current) -> Power {
+        let dt = t_hot - t_cold;
+        let peltier = self.params.seebeck.peltier_power(t_hot, i);
+        let conduction = self.params.thermal_conductance.heat_flow(dt);
+        let joule = i.joule_power(self.params.electrical_resistance);
+        peltier - conduction + joule * 0.5 - self.thomson_half(dt.kelvin(), i)
+    }
+
+    /// Electrical power drawn (Eq. (3) with N = 1):
+    /// `P = α·ΔT·I + R·I² (− τ·I·ΔT)` — always `q̇_h − q̇_c`.
+    pub fn power(&self, t_hot: Temperature, t_cold: Temperature, i: Current) -> Power {
+        let dt = t_hot - t_cold;
+        Power::from_watts(
+            (self.params.seebeck.volts_per_kelvin()
+                - self.params.thomson.volts_per_kelvin())
+                * dt.kelvin()
+                * i.amperes(),
+        ) + i.joule_power(self.params.electrical_resistance)
+    }
+
+    /// Coefficient of performance `q̇_c / P`.
+    ///
+    /// Returns `None` when the electrical power is zero or negative
+    /// (at `I = 0`, or when the device acts as a generator under a
+    /// negative ΔT), where COP is undefined/meaningless for cooling.
+    pub fn cop(&self, t_hot: Temperature, t_cold: Temperature, i: Current) -> Option<f64> {
+        let p = self.power(t_hot, t_cold, i).watts();
+        if p <= 0.0 {
+            None
+        } else {
+            Some(self.heat_absorbed(t_hot, t_cold, i).watts() / p)
+        }
+    }
+
+    /// The current maximizing `q̇_c` at cold-side temperature `t_cold`:
+    /// `I_opt = α·T_c / R` (where `dq̇_c/dI = 0`).
+    pub fn optimal_current(&self, t_cold: Temperature) -> Current {
+        Current::from_amperes(
+            self.params.seebeck.volts_per_kelvin() * t_cold.kelvin()
+                / self.params.electrical_resistance.ohms(),
+        )
+    }
+
+    /// Maximum pumpable heat at ΔT = 0: `q̇_c,max = α²·T_c² / (2R)`.
+    pub fn max_heat_pumped(&self, t_cold: Temperature) -> Power {
+        let at = self.params.seebeck.volts_per_kelvin() * t_cold.kelvin();
+        Power::from_watts(at * at / (2.0 * self.params.electrical_resistance.ohms()))
+    }
+
+    /// Maximum sustainable temperature difference at `q̇_c = 0` and
+    /// optimal current: `ΔT_max = Z·T_c² / 2`.
+    pub fn max_delta_t(&self, t_cold: Temperature) -> TemperatureDelta {
+        let z = self.params.figure_of_merit();
+        TemperatureDelta::from_kelvin(0.5 * z * t_cold.kelvin() * t_cold.kelvin())
+    }
+
+    /// The current maximizing the coefficient of performance at the given
+    /// junction temperatures (the classic result behind the COP-optimal
+    /// control of the paper's reference \[8\]):
+    /// `I_COP = α·ΔT / (R·(√(1 + Z·T̄) − 1))` with `T̄ = (T_h + T_c)/2`.
+    ///
+    /// Returns `None` when `ΔT ≤ 0` (no pumping needed; COP is unbounded
+    /// as `I → 0`).
+    pub fn cop_optimal_current(
+        &self,
+        t_hot: Temperature,
+        t_cold: Temperature,
+    ) -> Option<Current> {
+        let dt = (t_hot - t_cold).kelvin();
+        if dt <= 0.0 {
+            return None;
+        }
+        let t_mean = 0.5 * (t_hot.kelvin() + t_cold.kelvin());
+        let z = self.params.figure_of_merit();
+        let denom = (1.0 + z * t_mean).sqrt() - 1.0;
+        Some(Current::from_amperes(
+            self.params.seebeck.volts_per_kelvin() * dt
+                / (self.params.electrical_resistance.ohms() * denom),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> TecDevice {
+        TecDevice::new(TecDeviceParams::superlattice_thin_film())
+    }
+
+    fn k(v: f64) -> Temperature {
+        Temperature::from_kelvin(v)
+    }
+
+    fn a(v: f64) -> Current {
+        Current::from_amperes(v)
+    }
+
+    #[test]
+    fn energy_conservation() {
+        let d = device();
+        for (th, tc, i) in [
+            (360.0, 350.0, 1.0),
+            (350.0, 355.0, 2.5),
+            (330.0, 330.0, 5.0),
+            (380.0, 340.0, 0.0),
+        ] {
+            let qh = d.heat_released(k(th), k(tc), a(i));
+            let qc = d.heat_absorbed(k(th), k(tc), a(i));
+            let p = d.power(k(th), k(tc), a(i));
+            assert!(
+                ((qh - qc).watts() - p.watts()).abs() < 1e-12,
+                "balance violated at ({th}, {tc}, {i})"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_current_is_pure_conduction() {
+        let d = device();
+        let qc = d.heat_absorbed(k(360.0), k(350.0), a(0.0));
+        // No Peltier, no Joule: q̇_c = −K·ΔT = −1.0 W/K × 10 K.
+        assert!((qc.watts() + 1.0 * 10.0).abs() < 1e-12);
+        assert_eq!(d.power(k(360.0), k(350.0), a(0.0)), Power::ZERO);
+    }
+
+    #[test]
+    fn cooling_rises_then_falls_with_current() {
+        let d = device();
+        let tc = k(353.0);
+        let th = k(358.0);
+        let i_opt = d.optimal_current(tc);
+        let q_opt = d.heat_absorbed(th, tc, i_opt);
+        // Below and above the optimum, cooling is strictly lower.
+        for frac in [0.25, 0.5, 1.5, 2.0] {
+            let q = d.heat_absorbed(th, tc, i_opt * frac);
+            assert!(q < q_opt, "q({frac}·I_opt) not below optimum");
+        }
+    }
+
+    #[test]
+    fn optimal_current_formula() {
+        let d = device();
+        let tc = k(350.0);
+        let i = d.optimal_current(tc);
+        assert!((i.amperes() - 10e-3 * 350.0 / 0.025).abs() < 1e-9);
+        // q̇_c at I_opt with ΔT = 0 equals the closed form.
+        let q = d.heat_absorbed(tc, tc, i);
+        assert!((q.watts() - d.max_heat_pumped(tc).watts()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_delta_t_stops_cooling() {
+        let d = device();
+        let tc = k(340.0);
+        let dt_max = d.max_delta_t(tc);
+        let th = tc + dt_max;
+        let q = d.heat_absorbed(th, tc, d.optimal_current(tc));
+        assert!(q.watts().abs() < 1e-6, "q̇_c at ΔT_max is {q}");
+    }
+
+    #[test]
+    fn cop_decreases_with_delta_t() {
+        let d = device();
+        let tc = k(350.0);
+        let i = a(2.0);
+        let cop_small = d.cop(tc + TemperatureDelta::from_kelvin(2.0), tc, i).unwrap();
+        let cop_large = d.cop(tc + TemperatureDelta::from_kelvin(15.0), tc, i).unwrap();
+        assert!(cop_small > cop_large);
+    }
+
+    #[test]
+    fn cop_none_when_not_consuming() {
+        let d = device();
+        assert!(d.cop(k(350.0), k(350.0), a(0.0)).is_none());
+        // Negative ΔT large enough to make P ≤ 0 (generator regime).
+        let p = d.power(k(300.0), k(400.0), a(0.1));
+        assert!(p.watts() < 0.0);
+        assert!(d.cop(k(300.0), k(400.0), a(0.1)).is_none());
+    }
+
+    #[test]
+    fn cop_optimal_current_is_a_local_maximum() {
+        let d = device();
+        let (th, tc) = (k(356.0), k(348.0));
+        let i_cop = d.cop_optimal_current(th, tc).unwrap();
+        let cop = |amps: f64| d.cop(th, tc, a(amps)).unwrap();
+        let best = cop(i_cop.amperes());
+        for delta in [-0.05, 0.05] {
+            let nearby = cop(i_cop.amperes() * (1.0 + delta));
+            assert!(
+                nearby <= best + 1e-9,
+                "COP({delta:+}) = {nearby} exceeds optimum {best}"
+            );
+        }
+        // COP-optimal current is well below the max-cooling current.
+        assert!(i_cop < d.optimal_current(tc));
+        // Degenerate ΔT ≤ 0: no finite optimum.
+        assert!(d.cop_optimal_current(tc, th).is_none());
+    }
+
+    #[test]
+    fn thomson_effect_is_negligible() {
+        // The paper drops the Thomson term from Eqs. (1)–(2) "because of
+        // its negligible effect". With a representative τ = 0.1·α, the
+        // cold-side pumping at a realistic operating point changes by
+        // well under 1%.
+        let plain = TecDevice::new(TecDeviceParams::superlattice_thin_film());
+        let thomson = TecDevice::new(TecDeviceParams::superlattice_with_thomson());
+        let (th, tc, i) = (k(360.0), k(352.0), a(2.0));
+        let q0 = plain.heat_absorbed(th, tc, i).watts();
+        let q1 = thomson.heat_absorbed(th, tc, i).watts();
+        let rel = (q1 - q0).abs() / q0.abs();
+        assert!(rel < 0.01, "Thomson changed q̇_c by {:.3}%", 100.0 * rel);
+        // Energy conservation still holds with the Thomson term.
+        let balance = thomson.heat_released(th, tc, i) - thomson.heat_absorbed(th, tc, i);
+        assert!((balance.watts() - thomson.power(th, tc, i).watts()).abs() < 1e-12);
+        // And the Thomson correction has the expected sign: it *helps*
+        // cooling on the cold side when ΔT > 0.
+        assert!(q1 > q0);
+    }
+
+    #[test]
+    fn joule_heating_splits_evenly() {
+        let d = device();
+        let tc = k(350.0);
+        // At ΔT = 0 and equal temps: q̇_h − α·T·I = +½RI², α·T·I − q̇_c = ½RI².
+        let i = a(3.0);
+        let peltier = 10e-3 * 350.0 * 3.0;
+        let qh = d.heat_released(tc, tc, i).watts();
+        let qc = d.heat_absorbed(tc, tc, i).watts();
+        let joule = 0.025 * 9.0;
+        assert!((qh - peltier - 0.5 * joule).abs() < 1e-12);
+        assert!((peltier - qc - 0.5 * joule).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,32 @@
+//! Thermoelectric cooler (TEC) device physics and die deployment.
+//!
+//! Implements Section 2 of the paper: Peltier pumping, internal heat
+//! conduction, and Joule heating of thin-film superlattice TECs
+//! (Eqs. (1)–(3)), plus the deployment policy of §6.1 — tile the die with
+//! TEC units everywhere except the (cold) cache blocks, wire them
+//! electrically in series, and drive them with one shared current.
+//!
+//! # Examples
+//!
+//! ```
+//! use oftec_tec::{TecDevice, TecDeviceParams};
+//! use oftec_units::{Current, Temperature};
+//!
+//! let dev = TecDevice::new(TecDeviceParams::superlattice_thin_film());
+//! let tc = Temperature::from_celsius(80.0);
+//! let th = Temperature::from_celsius(85.0);
+//! let i = Current::from_amperes(2.0);
+//! // Energy conservation: q̇_h − q̇_c = P_TEC (Eq. (3)).
+//! let balance = dev.heat_released(th, tc, i) - dev.heat_absorbed(th, tc, i);
+//! assert!((balance - dev.power(th, tc, i)).watts().abs() < 1e-9);
+//! ```
+
+mod array;
+mod deployment;
+mod device;
+mod params;
+
+pub use array::TecArray;
+pub use deployment::TecDeployment;
+pub use device::TecDevice;
+pub use params::TecDeviceParams;

@@ -1,0 +1,179 @@
+//! Physical parameters of one TEC unit.
+
+use oftec_units::{Area, Current, ElectricalResistance, Length, SeebeckCoefficient,
+    Temperature, ThermalConductance};
+
+/// Aggregate physical parameters of one thin-film TEC unit (a mini-module
+/// of N-P couples wired in series and sandwiched between the die's TIM and
+/// the heat spreader, Figure 2 of the paper).
+///
+/// `seebeck`, `electrical_resistance`, and `thermal_conductance` are
+/// *module-level* aggregates (couple value × couple count), matching how
+/// Eqs. (1)–(3) are written per device.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TecDeviceParams {
+    /// Module Seebeck coefficient α (V/K).
+    pub seebeck: SeebeckCoefficient,
+    /// Module electrical resistance R_TEC (Ω).
+    pub electrical_resistance: ElectricalResistance,
+    /// Module thermal conductance K_TEC (W/K) — the parasitic back-
+    /// conduction path through the pellets.
+    pub thermal_conductance: ThermalConductance,
+    /// Safe driving-current limit I_TEC,max; beyond it the device is
+    /// damaged (paper constraint (17) uses 5 A).
+    pub max_current: Current,
+    /// Footprint of one unit on the die.
+    pub footprint: Area,
+    /// Film thickness (die-normal direction).
+    pub thickness: Length,
+    /// Module Thomson coefficient τ (V/K). The paper's Eqs. (1)–(2)
+    /// neglect the Thomson effect "because of its negligible effect";
+    /// setting this nonzero lets the device model quantify that claim
+    /// (see [`crate::TecDevice`]). Zero by default.
+    #[serde(default)]
+    pub thomson: SeebeckCoefficient,
+}
+
+impl TecDeviceParams {
+    /// Thin-film superlattice parameters in the class of the devices the
+    /// paper builds on (Chowdhury et al., Nature Nanotech. 2009; the
+    /// paper's reference \[3\], also used by its reference \[8\]).
+    ///
+    /// A 2 × 2 mm, ~10 µm-thick mini-module of ~17 couples:
+    /// - α = 10 mV/K module Seebeck,
+    /// - R = 25 mΩ module resistance,
+    /// - K = 1.0 W/K module back-conduction. With the 4 mm² footprint and
+    ///   10 µm thickness this is an effective 2.5 W/(m·K) through-plane
+    ///   film conductivity (pellets plus metal interconnect), above the
+    ///   1.75 W/(m·K) thermal paste of Table 1 — the paper's stated reason
+    ///   for boosting the baselines' TIM1 for fairness,
+    /// - figure of merit Z = α²/(R·K) = 4 × 10⁻³ K⁻¹ (ZT ≈ 1.2–1.5 in the
+    ///   300–390 K window, the upper superlattice range reported by the
+    ///   paper's reference \[3\]),
+    /// - I_max = 5 A (the paper's constraint (17)).
+    pub fn superlattice_thin_film() -> Self {
+        Self {
+            seebeck: SeebeckCoefficient::from_volts_per_kelvin(10e-3),
+            electrical_resistance: ElectricalResistance::from_ohms(0.025),
+            thermal_conductance: ThermalConductance::from_w_per_k(1.0),
+            max_current: Current::from_amperes(5.0),
+            footprint: Area::from_square_mm(4.0),
+            thickness: Length::from_um(10.0),
+            thomson: SeebeckCoefficient::ZERO,
+        }
+    }
+
+    /// The same device with a representative Thomson coefficient
+    /// `τ = T·dα/dT ≈ 0.1·α` — used by the ablation that checks the
+    /// paper's "Thomson effect is negligible" claim.
+    pub fn superlattice_with_thomson() -> Self {
+        let base = Self::superlattice_thin_film();
+        Self {
+            thomson: base.seebeck * 0.1,
+            ..base
+        }
+    }
+
+    /// Thermoelectric figure of merit `Z = α² / (R·K)` in K⁻¹.
+    pub fn figure_of_merit(&self) -> f64 {
+        let a = self.seebeck.volts_per_kelvin();
+        a * a / (self.electrical_resistance.ohms() * self.thermal_conductance.w_per_k())
+    }
+
+    /// Dimensionless `ZT` at temperature `t`.
+    pub fn zt(&self, t: Temperature) -> f64 {
+        self.figure_of_merit() * t.kelvin()
+    }
+
+    /// Effective through-plane thermal conductivity of the film implied by
+    /// `K`, footprint, and thickness, in W/(m·K) — comparable against TIM
+    /// conductivities (Table 1 uses 1.75 for thermal paste).
+    pub fn effective_conductivity(&self) -> f64 {
+        self.thermal_conductance.w_per_k() * self.thickness.meters()
+            / self.footprint.square_meters()
+    }
+
+    /// Validates physical plausibility: positive parameters and a figure
+    /// of merit in the broad thermoelectric range.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message if a parameter is non-positive or
+    /// `Z` is outside `(1e-5, 1e-1)` K⁻¹.
+    pub fn assert_physical(&self) {
+        assert!(
+            self.seebeck.volts_per_kelvin() > 0.0,
+            "Seebeck coefficient must be positive"
+        );
+        assert!(
+            self.electrical_resistance.ohms() > 0.0,
+            "electrical resistance must be positive"
+        );
+        assert!(
+            self.thermal_conductance.w_per_k() > 0.0,
+            "thermal conductance must be positive"
+        );
+        assert!(
+            self.max_current.amperes() > 0.0,
+            "current limit must be positive"
+        );
+        assert!(
+            self.footprint.square_meters() > 0.0 && self.thickness.meters() > 0.0,
+            "geometry must be positive"
+        );
+        let z = self.figure_of_merit();
+        assert!(
+            (1e-5..1e-1).contains(&z),
+            "figure of merit {z} K⁻¹ is outside the thermoelectric range"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_is_physical() {
+        TecDeviceParams::superlattice_thin_film().assert_physical();
+    }
+
+    #[test]
+    fn preset_figure_of_merit_in_superlattice_range() {
+        let p = TecDeviceParams::superlattice_thin_film();
+        let z = p.figure_of_merit();
+        assert!((5e-4..5e-3).contains(&z), "Z = {z}");
+        let zt = p.zt(Temperature::from_kelvin(350.0));
+        assert!((0.3..2.0).contains(&zt), "ZT = {zt}");
+    }
+
+    #[test]
+    fn film_is_more_conductive_than_thermal_paste() {
+        let p = TecDeviceParams::superlattice_thin_film();
+        // Table 1 TIM conductivity is 1.75 W/(m·K); the TEC pellets beat it
+        // per unit area, which is the basis of the paper's baseline
+        // fairness correction.
+        let tim_per_area = 1.75 / 20e-6; // W/(m²·K)
+        let tec_per_area =
+            p.thermal_conductance.w_per_k() / p.footprint.square_meters();
+        assert!(tec_per_area > tim_per_area);
+    }
+
+    #[test]
+    fn max_current_matches_paper() {
+        assert_eq!(
+            TecDeviceParams::superlattice_thin_film()
+                .max_current
+                .amperes(),
+            5.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "figure of merit")]
+    fn implausible_params_rejected() {
+        let mut p = TecDeviceParams::superlattice_thin_film();
+        p.seebeck = SeebeckCoefficient::from_volts_per_kelvin(10.0);
+        p.assert_physical();
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests of the thermoelectric device equations.
+
+use oftec_tec::{TecArray, TecDevice, TecDeviceParams};
+use oftec_units::{
+    Area, Current, ElectricalResistance, Length, SeebeckCoefficient, Temperature,
+    ThermalConductance,
+};
+use proptest::prelude::*;
+
+fn params() -> impl Strategy<Value = TecDeviceParams> {
+    (1e-3..3e-2f64, 5e-3..0.2f64, 0.2..3.0f64).prop_map(|(alpha, r, k)| TecDeviceParams {
+        seebeck: SeebeckCoefficient::from_volts_per_kelvin(alpha),
+        electrical_resistance: ElectricalResistance::from_ohms(r),
+        thermal_conductance: ThermalConductance::from_w_per_k(k),
+        max_current: Current::from_amperes(5.0),
+        footprint: Area::from_square_mm(4.0),
+        thickness: Length::from_um(10.0),
+        thomson: SeebeckCoefficient::ZERO,
+    })
+}
+
+fn temps() -> impl Strategy<Value = (Temperature, Temperature)> {
+    (300.0..380.0f64, -30.0..30.0f64).prop_map(|(tc, dt)| {
+        (
+            Temperature::from_kelvin(tc + dt.max(0.0) + dt.abs()),
+            Temperature::from_kelvin(tc),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn energy_conservation_everywhere(
+        p in params(),
+        (th, tc) in temps(),
+        i in 0.0..5.0f64,
+    ) {
+        prop_assume!((1e-5..1e-1).contains(&p.figure_of_merit()));
+        let d = TecDevice::new(p);
+        let i = Current::from_amperes(i);
+        let balance = d.heat_released(th, tc, i) - d.heat_absorbed(th, tc, i);
+        let power = d.power(th, tc, i);
+        prop_assert!(
+            (balance.watts() - power.watts()).abs() < 1e-9 * power.watts().abs().max(1.0)
+        );
+    }
+
+    #[test]
+    fn cooling_is_concave_in_current(p in params(), (th, tc) in temps(), i in 0.5..4.0f64) {
+        prop_assume!((1e-5..1e-1).contains(&p.figure_of_merit()));
+        let d = TecDevice::new(p);
+        let q = |amps: f64| d.heat_absorbed(th, tc, Current::from_amperes(amps)).watts();
+        let h = 0.25;
+        // Second difference: q(i+h) + q(i−h) − 2q(i) = −R·h² exactly.
+        let second = q(i + h) + q(i - h) - 2.0 * q(i);
+        let expect = -p.electrical_resistance.ohms() * h * h;
+        prop_assert!((second - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cooling_decreases_with_delta_t(p in params(), i in 0.1..5.0f64, dt in 0.1..40.0f64) {
+        prop_assume!((1e-5..1e-1).contains(&p.figure_of_merit()));
+        let d = TecDevice::new(p);
+        let tc = Temperature::from_kelvin(350.0);
+        let i = Current::from_amperes(i);
+        let q_small = d.heat_absorbed(tc, tc, i);
+        let q_large = d.heat_absorbed(
+            Temperature::from_kelvin(350.0 + dt),
+            tc,
+            i,
+        );
+        prop_assert!(q_large < q_small);
+    }
+
+    #[test]
+    fn optimal_current_is_stationary(p in params(), (th, tc) in temps()) {
+        prop_assume!((1e-5..1e-1).contains(&p.figure_of_merit()));
+        let d = TecDevice::new(p);
+        let i_opt = d.optimal_current(tc);
+        let h = 1e-4;
+        let q = |amps: f64| d.heat_absorbed(th, tc, Current::from_amperes(amps)).watts();
+        let slope = (q(i_opt.amperes() + h) - q(i_opt.amperes() - h)) / (2.0 * h);
+        prop_assert!(slope.abs() < 1e-6, "dq/dI at I_opt = {slope}");
+    }
+
+    #[test]
+    fn array_is_exactly_linear(p in params(), n in 1usize..200, i in 0.0..5.0f64) {
+        prop_assume!((1e-5..1e-1).contains(&p.figure_of_merit()));
+        let arr = TecArray::new(p, n);
+        let one = TecArray::new(p, 1);
+        let th = Temperature::from_kelvin(360.0);
+        let tc = Temperature::from_kelvin(352.0);
+        let i = Current::from_amperes(i);
+        prop_assert!(
+            (arr.power(th, tc, i).watts() - n as f64 * one.power(th, tc, i).watts()).abs()
+                < 1e-9 * n as f64
+        );
+    }
+
+    #[test]
+    fn cop_bounded_by_carnot(p in params(), i in 0.2..5.0f64, dt in 1.0..40.0f64) {
+        prop_assume!((1e-5..1e-1).contains(&p.figure_of_merit()));
+        let d = TecDevice::new(p);
+        let tc = Temperature::from_kelvin(340.0);
+        let th = Temperature::from_kelvin(340.0 + dt);
+        if let Some(cop) = d.cop(th, tc, Current::from_amperes(i)) {
+            let carnot = tc.kelvin() / dt;
+            prop_assert!(
+                cop <= carnot + 1e-9,
+                "COP {cop} exceeds Carnot {carnot} at ΔT {dt}"
+            );
+        }
+    }
+}

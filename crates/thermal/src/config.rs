@@ -1,0 +1,262 @@
+//! Package configuration — Table 1 of the paper plus discretization and
+//! boundary-condition choices.
+
+use crate::FanModel;
+use oftec_floorplan::GridDims;
+use oftec_tec::{TecDeployment, TecDeviceParams};
+use oftec_units::{Length, Temperature, ThermalConductivity};
+
+/// Which cooling assembly sits on the die.
+#[derive(Debug, Clone)]
+pub enum CoolingConfig {
+    /// The paper's hybrid assembly: TEC sub-layers between TIM1 and the
+    /// spreader, plus the fan.
+    HybridTec(TecDeployment),
+    /// Fan-only baseline. Per the paper's fairness rule (§6.1), TIM1 is
+    /// replaced by the series-equivalent of TIM1 + the (passive) TEC film,
+    /// because the TEC pellets conduct better than thermal paste.
+    FanOnly {
+        /// TEC parameters used only to compute the equivalent TIM
+        /// conductivity boost.
+        equivalent_tec: TecDeviceParams,
+    },
+    /// Fan-only with the die-to-spreader gap filled entirely with thermal
+    /// paste (no fairness boost) — the "unfair" baseline the paper argues
+    /// against; kept for ablations. `total_gap` is the full gap thickness
+    /// (TIM1 + the volume TECs would occupy).
+    FanOnlyPlainTim {
+        /// Total die-to-spreader gap filled with paste.
+        total_gap: oftec_units::Length,
+    },
+}
+
+impl CoolingConfig {
+    /// Returns `true` if the configuration includes active TECs.
+    pub fn has_tec(&self) -> bool {
+        matches!(self, CoolingConfig::HybridTec(_))
+    }
+
+    /// The paper's plain baseline geometry: the full TIM1 + TEC gap of the
+    /// given package filled with paste.
+    pub fn fan_only_plain(config: &PackageConfig, tec: &TecDeviceParams) -> Self {
+        CoolingConfig::FanOnlyPlainTim {
+            total_gap: config.tim1_thickness + tec.thickness,
+        }
+    }
+}
+
+/// All geometric, material, and boundary parameters of the package.
+///
+/// Defaults ([`PackageConfig::dac14`]) reproduce the paper's §6.1 setup:
+/// Table 1 layer stack, 45 °C ambient, 90 °C limit, the Eq. (9) fan fit.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PackageConfig {
+    /// Ambient air temperature (the paper uses 45 °C).
+    pub ambient: Temperature,
+    /// Fan / heat-sink model.
+    pub fan: FanModel,
+
+    /// Chip thickness (Table 1: 15 µm).
+    pub chip_thickness: Length,
+    /// Chip thermal conductivity (Table 1: 100 W/(m·K)).
+    pub chip_conductivity: ThermalConductivity,
+    /// TIM1 thickness (Table 1: 20 µm).
+    pub tim1_thickness: Length,
+    /// TIM conductivity, used for both TIMs and for the passive filler in
+    /// uncovered TEC-layer cells (Table 1: 1.75 W/(m·K)).
+    pub tim_conductivity: ThermalConductivity,
+    /// Heat-spreader edge (Table 1: 30 mm square).
+    pub spreader_edge: Length,
+    /// Heat-spreader thickness (Table 1: 1 mm).
+    pub spreader_thickness: Length,
+    /// Spreader/sink conductivity (Table 1: 400 W/(m·K)).
+    pub metal_conductivity: ThermalConductivity,
+    /// TIM2 thickness (Table 1: 20 µm).
+    pub tim2_thickness: Length,
+    /// Heat-sink edge (Table 1: 60 mm square).
+    pub sink_edge: Length,
+    /// Heat-sink base thickness (Table 1: 7 mm).
+    pub sink_thickness: Length,
+    /// PCB edge (Figure 2; not in Table 1 — 40 mm assumed).
+    pub pcb_edge: Length,
+    /// PCB thickness (1 mm assumed).
+    pub pcb_thickness: Length,
+    /// PCB in-plane conductivity (FR-4 with copper planes, ~5 W/(m·K)).
+    pub pcb_conductivity: ThermalConductivity,
+
+    /// Chip-to-PCB interface coefficient (C4 bumps + substrate), W/(m²·K).
+    pub chip_pcb_interface: f64,
+    /// PCB-to-ambient natural-convection coefficient, W/(m²·K).
+    pub pcb_ambient_convection: f64,
+
+    /// Grid over the die (chip, TIM1, and TEC sub-layers).
+    pub die_dims: GridDims,
+    /// Grid over the spreader and TIM2.
+    pub spreader_dims: GridDims,
+    /// Grid over the heat sink.
+    pub sink_dims: GridDims,
+    /// Grid over the PCB.
+    pub pcb_dims: GridDims,
+
+    /// Temperature cap above which a formally-converged solution is still
+    /// classified as thermal runaway (silicon would long be destroyed).
+    pub runaway_cap: Temperature,
+    /// Expansion point `T_ref` for the Eq. (4) leakage linearization
+    /// ("usually set as the average temperature of the chip", §4).
+    pub leakage_fit_t_ref: Temperature,
+}
+
+impl PackageConfig {
+    /// The paper's configuration: Table 1 stack, 45 °C ambient, Eq. (9)
+    /// fan constants, 16×16 die grid.
+    pub fn dac14() -> Self {
+        Self {
+            ambient: Temperature::from_celsius(45.0),
+            fan: FanModel::dac14(),
+            chip_thickness: Length::from_um(15.0),
+            chip_conductivity: ThermalConductivity::from_w_per_m_k(100.0),
+            tim1_thickness: Length::from_um(20.0),
+            tim_conductivity: ThermalConductivity::from_w_per_m_k(1.75),
+            spreader_edge: Length::from_mm(30.0),
+            spreader_thickness: Length::from_mm(1.0),
+            metal_conductivity: ThermalConductivity::from_w_per_m_k(400.0),
+            tim2_thickness: Length::from_um(20.0),
+            sink_edge: Length::from_mm(60.0),
+            sink_thickness: Length::from_mm(7.0),
+            pcb_edge: Length::from_mm(40.0),
+            pcb_thickness: Length::from_mm(1.0),
+            pcb_conductivity: ThermalConductivity::from_w_per_m_k(5.0),
+            chip_pcb_interface: 300.0,
+            pcb_ambient_convection: 50.0,
+            die_dims: GridDims::new(16, 16),
+            spreader_dims: GridDims::new(10, 10),
+            sink_dims: GridDims::new(8, 8),
+            pcb_dims: GridDims::new(6, 6),
+            runaway_cap: Temperature::from_celsius(250.0),
+            leakage_fit_t_ref: Temperature::from_kelvin(345.0),
+        }
+    }
+
+    /// A coarse variant (8×8 die grid) for fast tests and sweeps.
+    pub fn dac14_coarse() -> Self {
+        Self {
+            die_dims: GridDims::new(8, 8),
+            spreader_dims: GridDims::new(6, 6),
+            sink_dims: GridDims::new(5, 5),
+            pcb_dims: GridDims::new(4, 4),
+            ..Self::dac14()
+        }
+    }
+
+    /// Effective conductivity of the fairness-boosted TIM1 used by the
+    /// fan-only baseline: the series stack of TIM1 and the passive TEC
+    /// film over the combined thickness (§6.1: "the conductivity of the
+    /// TIM1 layer in the baselines is set equal to the overall
+    /// conductivity of TIM1 plus the TEC").
+    pub fn boosted_tim1(&self, tec: &TecDeviceParams) -> (Length, ThermalConductivity) {
+        let t1 = self.tim1_thickness.meters();
+        let k1 = self.tim_conductivity.w_per_m_k();
+        let t2 = tec.thickness.meters();
+        let k2 = tec.effective_conductivity();
+        let total = t1 + t2;
+        let k_eff = total / (t1 / k1 + t2 / k2);
+        (
+            Length::from_meters(total),
+            ThermalConductivity::from_w_per_m_k(k_eff),
+        )
+    }
+
+    /// Validates dimensional sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive dimensions or inverted layer extents.
+    pub fn assert_physical(&self) {
+        self.fan.assert_physical();
+        for (what, v) in [
+            ("chip thickness", self.chip_thickness.meters()),
+            ("TIM1 thickness", self.tim1_thickness.meters()),
+            ("spreader edge", self.spreader_edge.meters()),
+            ("spreader thickness", self.spreader_thickness.meters()),
+            ("TIM2 thickness", self.tim2_thickness.meters()),
+            ("sink edge", self.sink_edge.meters()),
+            ("sink thickness", self.sink_thickness.meters()),
+            ("PCB edge", self.pcb_edge.meters()),
+            ("PCB thickness", self.pcb_thickness.meters()),
+        ] {
+            assert!(v > 0.0, "{what} must be positive");
+        }
+        assert!(
+            self.sink_edge >= self.spreader_edge,
+            "heat sink must be at least as large as the spreader"
+        );
+        assert!(
+            self.runaway_cap > self.ambient,
+            "runaway cap must exceed ambient"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dac14_matches_table1() {
+        let c = PackageConfig::dac14();
+        c.assert_physical();
+        assert_eq!(c.chip_thickness, Length::from_um(15.0));
+        assert_eq!(c.chip_conductivity.w_per_m_k(), 100.0);
+        assert_eq!(c.tim1_thickness, Length::from_um(20.0));
+        assert_eq!(c.tim_conductivity.w_per_m_k(), 1.75);
+        assert_eq!(c.spreader_edge, Length::from_mm(30.0));
+        assert_eq!(c.spreader_thickness, Length::from_mm(1.0));
+        assert_eq!(c.metal_conductivity.w_per_m_k(), 400.0);
+        assert_eq!(c.sink_edge, Length::from_mm(60.0));
+        assert_eq!(c.sink_thickness, Length::from_mm(7.0));
+        assert_eq!(c.ambient, Temperature::from_celsius(45.0));
+    }
+
+    #[test]
+    fn boosted_tim_beats_full_gap_paste() {
+        // The fairness rule compares equal geometry: a die-to-spreader gap
+        // of TIM1 + TEC thickness. Filling part of it with the (more
+        // conductive) TEC film must beat filling it all with paste.
+        let c = PackageConfig::dac14();
+        let tec = TecDeviceParams::superlattice_thin_film();
+        let (t, k) = c.boosted_tim1(&tec);
+        assert!(t > c.tim1_thickness);
+        let g_all_paste = c.tim_conductivity.w_per_m_k() / t.meters();
+        let g_boost = k.w_per_m_k() / t.meters();
+        assert!(
+            g_boost > g_all_paste,
+            "boost failed: {g_boost} ≤ {g_all_paste} (W/m²K per unit area)"
+        );
+    }
+
+    #[test]
+    fn cooling_config_kind() {
+        let dep = TecDeployment::tile_all(
+            &oftec_floorplan::alpha21264(),
+            GridDims::new(4, 4),
+            TecDeviceParams::superlattice_thin_film(),
+        );
+        assert!(CoolingConfig::HybridTec(dep).has_tec());
+        assert!(!CoolingConfig::FanOnly {
+            equivalent_tec: TecDeviceParams::superlattice_thin_film()
+        }
+        .has_tec());
+        assert!(!CoolingConfig::FanOnlyPlainTim {
+            total_gap: Length::from_um(30.0)
+        }
+        .has_tec());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least as large")]
+    fn sink_smaller_than_spreader_rejected() {
+        let mut c = PackageConfig::dac14();
+        c.sink_edge = Length::from_mm(10.0);
+        c.assert_physical();
+    }
+}

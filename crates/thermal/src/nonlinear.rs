@@ -1,0 +1,171 @@
+//! Fixed-point iteration with the exponential (ground-truth) leakage —
+//! the "iteratively calculate ... until the process converges" method the
+//! paper's §4 describes before adopting the Taylor shortcut.
+//!
+//! Each iteration re-linearizes every chip cell's exponential leakage
+//! around the previous temperature (tangent line), solves the linear
+//! network, and repeats. This is Newton's method on the leakage
+//! nonlinearity; near-quadratic convergence when a steady state exists,
+//! and clean divergence (caught as runaway) when it does not.
+
+use crate::model::{CellLeak, HybridCoolingModel, OperatingPoint};
+use crate::{ThermalError, ThermalSolution};
+use oftec_units::Temperature;
+
+/// Controls for [`HybridCoolingModel::solve_nonlinear`].
+#[derive(Debug, Clone, Copy)]
+pub struct NonlinearOptions {
+    /// Convergence threshold on the max chip-cell temperature change (K).
+    pub tol_kelvin: f64,
+    /// Iteration cap; exceeding it is classified as thermal runaway (the
+    /// physical reading of a non-converging leakage fixed point).
+    pub max_iterations: usize,
+}
+
+impl Default for NonlinearOptions {
+    fn default() -> Self {
+        Self {
+            tol_kelvin: 1e-3,
+            max_iterations: 60,
+        }
+    }
+}
+
+impl HybridCoolingModel {
+    /// Solves the steady state with the exponential leakage model iterated
+    /// to a fixed point (instead of the one-shot Eq. (4) linearization the
+    /// paper's optimizer uses).
+    ///
+    /// Returns the converged solution plus the number of outer
+    /// (re-linearization) iterations.
+    ///
+    /// # Errors
+    ///
+    /// Same classification as [`HybridCoolingModel::solve`]; additionally,
+    /// failure of the outer fixed point to converge is reported as
+    /// [`ThermalError::Runaway`].
+    pub fn solve_nonlinear(
+        &self,
+        op: OperatingPoint,
+        opts: &NonlinearOptions,
+    ) -> Result<(ThermalSolution, usize), ThermalError> {
+        self.validate_operating_point(op)?;
+
+        // Iteration 0: the standard Taylor fit.
+        let mut solution = self.solve_linearized(op, self.cell_leak(), None)?;
+        let exp_models = self.cell_leak_exp().to_vec();
+
+        for outer in 1..=opts.max_iterations {
+            // Tangent-line re-linearization around the current chip temps.
+            let chip = solution.chip_temperatures().to_vec();
+            let leak: Vec<CellLeak> = exp_models
+                .iter()
+                .zip(&chip)
+                .map(|(m, &t_k)| {
+                    let t = Temperature::from_kelvin(t_k);
+                    CellLeak {
+                        a: m.slope_at(t),
+                        b: m.power(t).watts(),
+                        t_ref: t_k,
+                    }
+                })
+                .collect();
+            let next =
+                self.solve_linearized(op, &leak, Some(solution.node_temperatures()))?;
+            let delta = next
+                .chip_temperatures()
+                .iter()
+                .zip(&chip)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0_f64, f64::max);
+            solution = next;
+            if delta < opts.tol_kelvin {
+                return Ok((solution, outer));
+            }
+        }
+        Err(ThermalError::Runaway(
+            "exponential-leakage fixed point did not converge",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PackageConfig;
+    use oftec_floorplan::alpha21264;
+    use oftec_power::McpatBudget;
+    use oftec_units::{AngularVelocity, Current};
+
+    fn setup(total_dyn: f64) -> HybridCoolingModel {
+        let fp = alpha21264();
+        let cfg = PackageConfig::dac14_coarse();
+        let die = fp.die_area().square_meters();
+        let dyn_p: Vec<f64> = fp
+            .units()
+            .iter()
+            .map(|u| total_dyn * u.rect().area().square_meters() / die)
+            .collect();
+        let leak = McpatBudget::alpha21264_22nm().distribute(&fp);
+        HybridCoolingModel::with_tec(&fp, &cfg, dyn_p, &leak)
+    }
+
+    fn op(rpm: f64, amps: f64) -> OperatingPoint {
+        OperatingPoint::new(
+            AngularVelocity::from_rpm(rpm),
+            Current::from_amperes(amps),
+        )
+    }
+
+    #[test]
+    fn converges_quickly_at_healthy_operating_points() {
+        let model = setup(22.0);
+        let (sol, iters) = model
+            .solve_nonlinear(op(3000.0, 1.0), &NonlinearOptions::default())
+            .unwrap();
+        assert!(iters <= 10, "took {iters} outer iterations");
+        assert!(sol.max_chip_temperature().celsius() < 120.0);
+    }
+
+    #[test]
+    fn agrees_with_linear_model_in_the_fit_window() {
+        // At an operating point whose temperatures sit inside the Taylor
+        // window, linear and nonlinear solutions must be close.
+        let model = setup(18.0);
+        let o = op(4000.0, 0.8);
+        let lin = model.solve(o).unwrap();
+        let (non, _) = model
+            .solve_nonlinear(o, &NonlinearOptions::default())
+            .unwrap();
+        let dt = (lin.max_chip_temperature().kelvin()
+            - non.max_chip_temperature().kelvin())
+        .abs();
+        // The Eq. (4) line overestimates the convex exponential in the
+        // middle of the 300–390 K window, so a few Kelvin of systematic
+        // difference is expected (§4 of the paper accepts this in exchange
+        // for a linear network).
+        assert!(dt < 6.0, "linear vs nonlinear differ by {dt} K");
+    }
+
+    #[test]
+    fn nonlinear_leakage_exceeds_reference_when_hot() {
+        // At temperatures above the budget's reference, the exponential
+        // model must report more leakage than the reference value.
+        let model = setup(30.0);
+        let (sol, _) = model
+            .solve_nonlinear(op(2500.0, 1.0), &NonlinearOptions::default())
+            .unwrap();
+        assert!(sol.max_chip_temperature().celsius() > 45.0);
+        let ref_total = McpatBudget::alpha21264_22nm().total_at_ref.watts();
+        assert!(sol.breakdown().leakage.watts() > ref_total);
+    }
+
+    #[test]
+    fn runaway_detected_nonlinearly() {
+        let model = setup(35.0);
+        let err = model
+            .solve_nonlinear(op(40.0, 0.0), &NonlinearOptions::default())
+            .unwrap_err();
+        assert!(err.is_runaway(), "expected runaway, got {err}");
+    }
+}

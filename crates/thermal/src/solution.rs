@@ -1,0 +1,196 @@
+//! Solved steady states and their power accounting.
+
+use oftec_units::{Power, Temperature};
+
+/// The three cooling-related power terms of the paper's objective
+/// (Eqs. (10)–(13)).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PowerBreakdown {
+    /// Chip leakage `P_leakage` (Eq. (11)) at the solved temperatures.
+    pub leakage: Power,
+    /// TEC electrical power `P_TEC` (Eq. (12)).
+    pub tec: Power,
+    /// Fan power `P_fan` (Eq. (13)).
+    pub fan: Power,
+}
+
+impl PowerBreakdown {
+    /// The objective 𝒫 = `P_leakage + P_TEC + P_fan` (Eq. (10)).
+    pub fn objective(&self) -> Power {
+        self.leakage + self.tec + self.fan
+    }
+
+    /// Power spent on cooling proper (TEC + fan, excluding leakage).
+    pub fn cooling_only(&self) -> Power {
+        self.tec + self.fan
+    }
+
+    /// System-level coefficient of performance in the style of the
+    /// paper's reference \[8\]: heat removed from the die (dynamic +
+    /// leakage) per watt of active cooling power (TEC + fan).
+    ///
+    /// Returns `None` when no active cooling power is spent.
+    pub fn system_cop(&self, dynamic: Power) -> Option<f64> {
+        let active = self.cooling_only().watts();
+        if active <= 0.0 {
+            None
+        } else {
+            Some((dynamic + self.leakage).watts() / active)
+        }
+    }
+}
+
+/// A converged steady-state thermal solution.
+#[derive(Debug, Clone)]
+pub struct ThermalSolution {
+    temps: Vec<f64>,
+    chip_start: usize,
+    chip_cells: usize,
+    unit_max: Vec<f64>,
+    breakdown: PowerBreakdown,
+    solver_iterations: usize,
+}
+
+impl ThermalSolution {
+    pub(crate) fn new(
+        temps: Vec<f64>,
+        chip_start: usize,
+        chip_cells: usize,
+        unit_max: Vec<f64>,
+        breakdown: PowerBreakdown,
+        solver_iterations: usize,
+    ) -> Self {
+        Self {
+            temps,
+            chip_start,
+            chip_cells,
+            unit_max,
+            breakdown,
+            solver_iterations,
+        }
+    }
+
+    /// All node temperatures, in Kelvin, in network order.
+    pub fn node_temperatures(&self) -> &[f64] {
+        &self.temps
+    }
+
+    /// Chip-layer cell temperatures, in Kelvin.
+    pub fn chip_temperatures(&self) -> &[f64] {
+        &self.temps[self.chip_start..self.chip_start + self.chip_cells]
+    }
+
+    /// The paper's 𝒯: the maximum chip-cell temperature (Eq. (19)).
+    pub fn max_chip_temperature(&self) -> Temperature {
+        let max = self
+            .chip_temperatures()
+            .iter()
+            .fold(f64::NEG_INFINITY, |m, &t| m.max(t));
+        Temperature::from_kelvin(max)
+    }
+
+    /// Minimum chip-cell temperature (can sit below ambient when TECs pump
+    /// hard).
+    pub fn min_chip_temperature(&self) -> Temperature {
+        let min = self
+            .chip_temperatures()
+            .iter()
+            .fold(f64::INFINITY, |m, &t| m.min(t));
+        Temperature::from_kelvin(min)
+    }
+
+    /// Per-functional-unit maximum temperatures, in floorplan order.
+    pub fn unit_max_temperatures(&self) -> Vec<Temperature> {
+        self.unit_max
+            .iter()
+            .map(|&t| Temperature::from_kelvin(t))
+            .collect()
+    }
+
+    /// The power accounting at this operating point.
+    pub fn breakdown(&self) -> PowerBreakdown {
+        self.breakdown
+    }
+
+    /// The objective 𝒫 (Eq. (10)).
+    pub fn objective_power(&self) -> Power {
+        self.breakdown.objective()
+    }
+
+    /// Conjugate-gradient iterations the solve took (diagnostics).
+    pub fn solver_iterations(&self) -> usize {
+        self.solver_iterations
+    }
+
+    /// Checks the paper's constraint (15): every chip element below
+    /// `t_max`.
+    pub fn meets_thermal_constraint(&self, t_max: Temperature) -> bool {
+        self.max_chip_temperature() < t_max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solution() -> ThermalSolution {
+        ThermalSolution::new(
+            vec![300.0, 350.0, 370.0, 320.0, 310.0],
+            1,
+            3,
+            vec![370.0, 350.0],
+            PowerBreakdown {
+                leakage: Power::from_watts(8.0),
+                tec: Power::from_watts(3.0),
+                fan: Power::from_watts(1.5),
+            },
+            42,
+        )
+    }
+
+    #[test]
+    fn objective_sums_terms() {
+        let s = solution();
+        assert_eq!(s.objective_power().watts(), 12.5);
+        assert_eq!(s.breakdown().cooling_only().watts(), 4.5);
+    }
+
+    #[test]
+    fn system_cop() {
+        let s = solution();
+        // (30 dynamic + 8 leakage) / (3 TEC + 1.5 fan) = 38 / 4.5.
+        let cop = s.breakdown().system_cop(Power::from_watts(30.0)).unwrap();
+        assert!((cop - 38.0 / 4.5).abs() < 1e-12);
+        let idle = PowerBreakdown {
+            leakage: Power::from_watts(1.0),
+            tec: Power::ZERO,
+            fan: Power::ZERO,
+        };
+        assert!(idle.system_cop(Power::from_watts(10.0)).is_none());
+    }
+
+    #[test]
+    fn chip_slice_and_extrema() {
+        let s = solution();
+        assert_eq!(s.chip_temperatures(), &[350.0, 370.0, 320.0]);
+        assert_eq!(s.max_chip_temperature().kelvin(), 370.0);
+        assert_eq!(s.min_chip_temperature().kelvin(), 320.0);
+    }
+
+    #[test]
+    fn constraint_check() {
+        let s = solution();
+        assert!(s.meets_thermal_constraint(Temperature::from_kelvin(371.0)));
+        assert!(!s.meets_thermal_constraint(Temperature::from_kelvin(370.0)));
+        assert!(!s.meets_thermal_constraint(Temperature::from_kelvin(360.0)));
+    }
+
+    #[test]
+    fn unit_reduction_exposed() {
+        let s = solution();
+        let units = s.unit_max_temperatures();
+        assert_eq!(units.len(), 2);
+        assert_eq!(units[0].kelvin(), 370.0);
+        assert_eq!(s.solver_iterations(), 42);
+    }
+}

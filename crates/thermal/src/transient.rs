@@ -1,0 +1,483 @@
+//! Transient RC integration (backward Euler).
+//!
+//! Supports the paper's §6.2 observation (after reference \[8\]) that the
+//! Peltier effect appears immediately while Joule heat arrives with the
+//! package's thermal delay, so briefly overdriving `I_TEC` buys extra
+//! transient cooling — the basis of the transient-boost controller in the
+//! core crate.
+
+use crate::model::{HybridCoolingModel, OperatingPoint};
+use crate::{ThermalError, ThermalSolution};
+use oftec_linalg::{solve_cg, IterativeParams, JacobiPreconditioner};
+use oftec_units::Temperature;
+
+/// Controls for [`HybridCoolingModel::simulate_transient`].
+#[derive(Debug, Clone, Copy)]
+pub struct TransientOptions {
+    /// Time step in seconds (backward Euler is unconditionally stable, so
+    /// this trades accuracy for speed only).
+    pub dt_seconds: f64,
+    /// Record the chip state every `record_every` steps (≥ 1).
+    pub record_every: usize,
+}
+
+impl Default for TransientOptions {
+    fn default() -> Self {
+        Self {
+            dt_seconds: 5e-3,
+            record_every: 1,
+        }
+    }
+}
+
+/// A recorded transient trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientTrace {
+    /// Sample times in seconds.
+    pub times: Vec<f64>,
+    /// Maximum chip temperature at each sample.
+    pub max_chip: Vec<Temperature>,
+    /// Final full node-temperature state (Kelvin).
+    pub final_state: Vec<f64>,
+}
+
+impl TransientTrace {
+    /// The hottest chip temperature seen anywhere in the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trace (cannot happen for `steps ≥ 1`).
+    pub fn peak(&self) -> Temperature {
+        self.max_chip
+            .iter()
+            .copied()
+            .fold(Temperature::ABSOLUTE_ZERO, Temperature::max)
+    }
+
+    /// The final recorded maximum chip temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trace.
+    pub fn last(&self) -> Temperature {
+        *self.max_chip.last().expect("non-empty trace")
+    }
+}
+
+impl HybridCoolingModel {
+    /// Integrates the network from `initial` (a previously solved state,
+    /// or `None` for an all-ambient start) over `steps` backward-Euler
+    /// steps at the given operating point.
+    ///
+    /// Each step solves `(C/Δt + G_folded)·T⁺ = C/Δt·T + b`, which keeps
+    /// the matrix symmetric positive definite even *past* the runaway
+    /// boundary — transient simulation can ride through states that have
+    /// no steady solution (that is the point of the transient boost).
+    ///
+    /// # Errors
+    ///
+    /// - [`ThermalError::InvalidOperatingPoint`] on bound violations,
+    /// - [`ThermalError::Runaway`] if temperatures pass the runaway cap
+    ///   during integration,
+    /// - [`ThermalError::Solver`] on numerical failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0` or the options are non-positive.
+    pub fn simulate_transient(
+        &self,
+        op: OperatingPoint,
+        initial: Option<&ThermalSolution>,
+        steps: usize,
+        opts: &TransientOptions,
+    ) -> Result<TransientTrace, ThermalError> {
+        self.simulate_transient_from(
+            op,
+            initial.map(|sol| sol.node_temperatures()),
+            steps,
+            opts,
+        )
+    }
+
+    /// Like [`HybridCoolingModel::simulate_transient`], but starting from
+    /// a raw node-temperature state (e.g. the `final_state` of a previous
+    /// trace) — the building block for closed-loop controller simulation,
+    /// where the operating point changes between windows.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HybridCoolingModel::simulate_transient`]; additionally
+    /// [`ThermalError::Config`] if `initial` has the wrong length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0` or the options are non-positive.
+    pub fn simulate_transient_from(
+        &self,
+        op: OperatingPoint,
+        initial: Option<&[f64]>,
+        steps: usize,
+        opts: &TransientOptions,
+    ) -> Result<TransientTrace, ThermalError> {
+        assert!(steps > 0, "need at least one step");
+        assert!(opts.dt_seconds > 0.0, "time step must be positive");
+        assert!(opts.record_every >= 1, "record_every must be ≥ 1");
+        self.validate_operating_point(op)?;
+        if let Some(init) = initial {
+            if init.len() != self.network().n_nodes {
+                return Err(ThermalError::Config(format!(
+                    "initial state has {} nodes, expected {}",
+                    init.len(),
+                    self.network().n_nodes
+                )));
+            }
+        }
+
+        let net = self.network();
+        let n = net.n_nodes;
+        let fan_g = self.config().fan.conductance(op.fan_speed).w_per_k();
+        let t_amb = self.config().ambient.kelvin();
+        let i_tec = op.tec_current.amperes();
+        let (chip_start, chip_cells) = self.chip_range();
+
+        // Folded static matrix and RHS, as in the steady solve.
+        let mut triplets = net.conductance_triplets(fan_g);
+        let mut rhs_static = net.ambient_rhs(fan_g, t_amb);
+        for (cell, lk) in self.cell_leak().iter().enumerate() {
+            let node = chip_start + cell;
+            triplets.push(node, node, -lk.a);
+            rhs_static[node] += self.dyn_power_cell(cell) + lk.b - lk.a * lk.t_ref;
+        }
+        self.fold_tec_into(&mut triplets, &mut rhs_static, i_tec);
+
+        // Add C/Δt to the diagonal.
+        let inv_dt = 1.0 / opts.dt_seconds;
+        for i in 0..n {
+            triplets.push(i, i, net.capacitance[i] * inv_dt);
+        }
+        let matrix = triplets.to_csr();
+        let precond = JacobiPreconditioner::new(&matrix).map_err(ThermalError::from)?;
+        let params = IterativeParams {
+            rtol: 1e-9,
+            atol: 1e-12,
+            max_iter: 20 * n,
+        };
+
+        let mut state: Vec<f64> = match initial {
+            Some(init) => init.to_vec(),
+            None => vec![t_amb; n],
+        };
+        let cap = self.config().runaway_cap.kelvin();
+
+        let mut times = Vec::new();
+        let mut max_chip = Vec::new();
+        let mut rhs = vec![0.0; n];
+        for step in 1..=steps {
+            for i in 0..n {
+                rhs[i] = rhs_static[i] + net.capacitance[i] * inv_dt * state[i];
+            }
+            let summary = solve_cg(&matrix, &rhs, Some(&state), &precond, &params)
+                .map_err(ThermalError::from)?;
+            state = summary.x;
+            let hottest = state[chip_start..chip_start + chip_cells]
+                .iter()
+                .fold(f64::NEG_INFINITY, |m, &t| m.max(t));
+            if hottest > cap {
+                return Err(ThermalError::Runaway(
+                    "transient trajectory crossed the runaway cap",
+                ));
+            }
+            if step % opts.record_every == 0 || step == steps {
+                times.push(step as f64 * opts.dt_seconds);
+                max_chip.push(Temperature::from_kelvin(hottest));
+            }
+        }
+        Ok(TransientTrace {
+            times,
+            max_chip,
+            final_state: state,
+        })
+    }
+
+    /// Per-cell dynamic power accessor for the transient path.
+    fn dyn_power_cell(&self, cell: usize) -> f64 {
+        self.dyn_power_slice()[cell]
+    }
+
+    /// Integrates the network under a **time-varying workload**: one
+    /// backward-Euler step per sample of `trace` (at the trace's own
+    /// sampling interval), with the dynamic power re-distributed into the
+    /// chip cells at every step. This is the paper's Figure 5 pipeline
+    /// run in the time domain instead of collapsing the trace to its
+    /// per-unit maximum.
+    ///
+    /// The trace's unit order must match the model's floorplan (as
+    /// produced by [`oftec_power::Benchmark::synthesize_trace`] on the
+    /// same floorplan).
+    ///
+    /// # Errors
+    ///
+    /// - [`ThermalError::Config`] if the trace's unit names differ from
+    ///   the model's, or the trace is empty.
+    /// - Otherwise as [`HybridCoolingModel::simulate_transient`].
+    pub fn simulate_power_trace(
+        &self,
+        op: OperatingPoint,
+        trace: &oftec_power::PowerTrace,
+        initial: Option<&ThermalSolution>,
+        record_every: usize,
+    ) -> Result<TransientTrace, ThermalError> {
+        assert!(record_every >= 1, "record_every must be ≥ 1");
+        self.validate_operating_point(op)?;
+        if trace.is_empty() {
+            return Err(ThermalError::Config("empty power trace".into()));
+        }
+        if trace.unit_names() != self.unit_names() {
+            return Err(ThermalError::Config(
+                "trace unit names do not match the model's floorplan".into(),
+            ));
+        }
+
+        let net = self.network();
+        let n = net.n_nodes;
+        let fan_g = self.config().fan.conductance(op.fan_speed).w_per_k();
+        let t_amb = self.config().ambient.kelvin();
+        let i_tec = op.tec_current.amperes();
+        let (chip_start, chip_cells) = self.chip_range();
+        let dt = trace.dt_seconds();
+
+        // Folded matrix and the workload-independent part of the RHS.
+        let mut triplets = net.conductance_triplets(fan_g);
+        let mut rhs_base = net.ambient_rhs(fan_g, t_amb);
+        for (cell, lk) in self.cell_leak().iter().enumerate() {
+            let node = chip_start + cell;
+            triplets.push(node, node, -lk.a);
+            rhs_base[node] += lk.b - lk.a * lk.t_ref;
+        }
+        self.fold_tec_into(&mut triplets, &mut rhs_base, i_tec);
+        let inv_dt = 1.0 / dt;
+        for i in 0..n {
+            triplets.push(i, i, net.capacitance[i] * inv_dt);
+        }
+        let matrix = triplets.to_csr();
+        let precond = JacobiPreconditioner::new(&matrix).map_err(ThermalError::from)?;
+        let params = IterativeParams {
+            rtol: 1e-9,
+            atol: 1e-12,
+            max_iter: 20 * n,
+        };
+
+        let mut state: Vec<f64> = match initial {
+            Some(sol) => sol.node_temperatures().to_vec(),
+            None => vec![t_amb; n],
+        };
+        let cap = self.config().runaway_cap.kelvin();
+        let mut times = Vec::new();
+        let mut max_chip = Vec::new();
+        let mut rhs = vec![0.0; n];
+        for step in 0..trace.len() {
+            let cells = self.distribute_unit_power(trace.sample(step));
+            for i in 0..n {
+                rhs[i] = rhs_base[i] + net.capacitance[i] * inv_dt * state[i];
+            }
+            for (cell, p) in cells.iter().enumerate() {
+                rhs[chip_start + cell] += p;
+            }
+            let summary = solve_cg(&matrix, &rhs, Some(&state), &precond, &params)
+                .map_err(ThermalError::from)?;
+            state = summary.x;
+            let hottest = state[chip_start..chip_start + chip_cells]
+                .iter()
+                .fold(f64::NEG_INFINITY, |m, &t| m.max(t));
+            if hottest > cap {
+                return Err(ThermalError::Runaway(
+                    "trace-driven trajectory crossed the runaway cap",
+                ));
+            }
+            if (step + 1) % record_every == 0 || step + 1 == trace.len() {
+                times.push((step + 1) as f64 * dt);
+                max_chip.push(Temperature::from_kelvin(hottest));
+            }
+        }
+        Ok(TransientTrace {
+            times,
+            max_chip,
+            final_state: state,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OperatingPoint, PackageConfig};
+    use oftec_floorplan::alpha21264;
+    use oftec_power::McpatBudget;
+    use oftec_units::{AngularVelocity, Current};
+
+    fn setup(total_dyn: f64) -> HybridCoolingModel {
+        let fp = alpha21264();
+        let cfg = PackageConfig::dac14_coarse();
+        let die = fp.die_area().square_meters();
+        // Core-heavy split (like the benchmarks): 60% in the execution
+        // cluster, the rest by area — keeps the hot spot under TEC cover.
+        let mut dyn_p: Vec<f64> = fp
+            .units()
+            .iter()
+            .map(|u| 0.4 * total_dyn * u.rect().area().square_meters() / die)
+            .collect();
+        dyn_p[fp.unit_index("IntExec").unwrap()] += 0.45 * total_dyn;
+        dyn_p[fp.unit_index("FPMul").unwrap()] += 0.15 * total_dyn;
+        let leak = McpatBudget::alpha21264_22nm().distribute(&fp);
+        HybridCoolingModel::with_tec(&fp, &cfg, dyn_p, &leak)
+    }
+
+    fn op(rpm: f64, amps: f64) -> OperatingPoint {
+        OperatingPoint::new(AngularVelocity::from_rpm(rpm), Current::from_amperes(amps))
+    }
+
+    #[test]
+    fn transient_approaches_steady_state() {
+        let model = setup(20.0);
+        let o = op(3000.0, 1.0);
+        let steady = model.solve(o).unwrap();
+        // Long integration with big steps: must land on the steady state.
+        let trace = model
+            .simulate_transient(
+                o,
+                None,
+                400,
+                &TransientOptions {
+                    dt_seconds: 0.5,
+                    record_every: 50,
+                },
+            )
+            .unwrap();
+        let dt =
+            (trace.last().kelvin() - steady.max_chip_temperature().kelvin()).abs();
+        assert!(dt < 0.2, "transient missed steady state by {dt} K");
+    }
+
+    #[test]
+    fn heating_is_monotone_from_ambient() {
+        let model = setup(25.0);
+        let trace = model
+            .simulate_transient(
+                op(3000.0, 0.5),
+                None,
+                50,
+                &TransientOptions {
+                    dt_seconds: 0.1,
+                    record_every: 5,
+                },
+            )
+            .unwrap();
+        for w in trace.max_chip.windows(2) {
+            assert!(w[1] >= w[0], "temperature dipped while heating");
+        }
+        assert_eq!(trace.times.len(), trace.max_chip.len());
+    }
+
+    #[test]
+    fn peltier_boost_cools_faster_than_steady_current() {
+        // From a hot steady state, stepping the current up by 1 A must
+        // lower the chip temperature within the first second (the paper's
+        // transient-boost premise): the Peltier term acts instantly, while
+        // the extra Joule heat needs to diffuse through the stack.
+        let model = setup(26.0);
+        let base = op(2500.0, 1.0);
+        let steady = model.solve(base).unwrap();
+        let boosted = op(2500.0, 2.0);
+        let trace = model
+            .simulate_transient(
+                boosted,
+                Some(&steady),
+                100,
+                &TransientOptions {
+                    dt_seconds: 0.01,
+                    record_every: 10,
+                },
+            )
+            .unwrap();
+        let t0 = steady.max_chip_temperature().kelvin();
+        let after = trace.max_chip.first().unwrap().kelvin();
+        assert!(
+            after < t0,
+            "boost did not cool within 0.1 s: {after} vs {t0}"
+        );
+    }
+
+    #[test]
+    fn transient_survives_past_runaway_boundary_briefly() {
+        // An operating point with no steady state can still be integrated
+        // for a short while from a cool start.
+        let model = setup(50.0);
+        let bad = op(5.0, 0.0);
+        assert!(model.solve(bad).is_err());
+        let trace = model
+            .simulate_transient(
+                bad,
+                None,
+                20,
+                &TransientOptions {
+                    dt_seconds: 0.01,
+                    record_every: 5,
+                },
+            )
+            .unwrap();
+        // Heating, not converged, but finite.
+        assert!(trace.last().kelvin() < model.config().runaway_cap.kelvin());
+    }
+
+    #[test]
+    fn trace_driven_simulation_stays_below_the_max_power_envelope() {
+        // Driving the network with the actual time-varying trace must
+        // never exceed the steady solution of the per-unit maximum vector
+        // (the paper's conservative input to OFTEC).
+        let fp = alpha21264();
+        let cfg = PackageConfig::dac14_coarse();
+        let bench = oftec_power::Benchmark::Basicmath;
+        let trace = bench.synthesize_trace(&fp, 300);
+        let max_vec = trace.max_per_unit();
+        let leak = oftec_power::McpatBudget::alpha21264_22nm().distribute(&fp);
+        let model = HybridCoolingModel::with_tec(&fp, &cfg, max_vec, &leak);
+
+        let o = op(3000.0, 0.5);
+        let envelope = model.solve(o).unwrap();
+        // Start from the envelope steady state: the trace's lower actual
+        // power can only cool from there.
+        let driven = model
+            .simulate_power_trace(o, &trace, Some(&envelope), 50)
+            .unwrap();
+        assert!(
+            driven.peak() <= envelope.max_chip_temperature(),
+            "driven peak {} exceeded envelope {}",
+            driven.peak(),
+            envelope.max_chip_temperature()
+        );
+        assert_eq!(driven.times.len(), 6);
+    }
+
+    #[test]
+    fn trace_unit_mismatch_rejected() {
+        let model = setup(10.0);
+        let mut t = oftec_power::PowerTrace::new(vec!["bogus".into()], 1e-3);
+        t.push_sample(vec![1.0]);
+        let err = model
+            .simulate_power_trace(op(2000.0, 0.0), &t, None, 1)
+            .unwrap_err();
+        assert!(matches!(err, ThermalError::Config(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_steps_panics() {
+        let model = setup(10.0);
+        let _ = model.simulate_transient(
+            op(2000.0, 0.0),
+            None,
+            0,
+            &TransientOptions::default(),
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Validation of the grid simulator against closed-form 1-D physics.
+//!
+//! With uniform power over the whole die, adiabatic lateral boundaries
+//! (the model's default), and the PCB escape path disabled, the package
+//! reduces to a one-dimensional series ladder: chip → TIM1 → (TEC film)
+//! → spreader → TIM2 → sink → ambient. That ladder has a closed form,
+//! which the full 2.5-D grid solution must approach (it can only sit
+//! slightly above, due to spreading resistance where the stack widens).
+
+use oftec_floorplan::alpha21264;
+use oftec_power::{ExponentialLeakage, LeakageModel};
+use oftec_thermal::{HybridCoolingModel, OperatingPoint, PackageConfig};
+use oftec_units::{AngularVelocity, Power, Temperature};
+
+fn zero_leakage(n: usize) -> LeakageModel {
+    LeakageModel::new(vec![
+        ExponentialLeakage::new(
+            Power::ZERO,
+            Temperature::from_celsius(45.0),
+            0.0
+        );
+        n
+    ])
+}
+
+/// Series ladder prediction of the average chip temperature.
+fn ladder_prediction(cfg: &PackageConfig, fp: &oftec_floorplan::Floorplan, p_total: f64, omega: AngularVelocity) -> f64 {
+    let die = fp.die_area();
+    let spreader = cfg.spreader_edge * cfg.spreader_edge;
+    let sink = cfg.sink_edge * cfg.sink_edge;
+    // Heat enters mid-chip (the chip cells are volumetric sources), so
+    // count half the chip's vertical resistance.
+    let r_chip_half =
+        0.5 / cfg.chip_conductivity.conductance(die, cfg.chip_thickness).w_per_k();
+    let r_tim1 = 1.0 / cfg.tim_conductivity.conductance(die, cfg.tim1_thickness).w_per_k();
+    let r_spreader = 1.0
+        / cfg
+            .metal_conductivity
+            .conductance(spreader, cfg.spreader_thickness)
+            .w_per_k();
+    let r_tim2 =
+        1.0 / cfg.tim_conductivity.conductance(spreader, cfg.tim2_thickness).w_per_k();
+    let r_sink = 1.0
+        / cfg
+            .metal_conductivity
+            .conductance(sink, cfg.sink_thickness)
+            .w_per_k();
+    let r_fan = 1.0 / cfg.fan.conductance(omega).w_per_k();
+    cfg.ambient.kelvin()
+        + p_total * (r_chip_half + r_tim1 + r_spreader + r_tim2 + r_sink + r_fan)
+}
+
+#[test]
+fn grid_average_matches_the_series_ladder() {
+    let fp = alpha21264();
+    let cfg = PackageConfig {
+        // Close the PCB escape so all heat goes up the ladder. The
+        // chip-PCB interface stays (slightly) positive to anchor the PCB
+        // nodes — with no ambient coupling they float to chip temperature
+        // and carry zero heat, which is exactly the adiabatic condition.
+        pcb_ambient_convection: 0.0,
+        chip_pcb_interface: 1.0,
+        ..PackageConfig::dac14()
+    };
+    let total = 30.0;
+    // Uniform areal power.
+    let die = fp.die_area().square_meters();
+    let dyn_p: Vec<f64> = fp
+        .units()
+        .iter()
+        .map(|u| total * u.rect().area().square_meters() / die)
+        .collect();
+    let model = HybridCoolingModel::fan_only(&fp, &cfg, dyn_p, &zero_leakage(15));
+    let omega = AngularVelocity::from_rpm(3000.0);
+    let sol = model.solve(OperatingPoint::fan_only(omega)).unwrap();
+
+    let avg_chip = sol.chip_temperatures().iter().sum::<f64>()
+        / sol.chip_temperatures().len() as f64;
+    let predicted = ladder_prediction(&cfg, &fp, total, omega);
+
+    // The ladder ignores the constriction where heat funnels from the
+    // 30 mm spreader into the 60 mm sink footprint and the die→spreader
+    // spreading; the grid result must sit above the ladder but within the
+    // spreading-resistance budget (~0.35 K/W · 30 W ≈ 10 K here).
+    assert!(
+        avg_chip >= predicted - 0.2,
+        "grid {avg_chip:.3} K below the ladder bound {predicted:.3} K"
+    );
+    assert!(
+        avg_chip - predicted < 12.0,
+        "grid {avg_chip:.3} K too far above the ladder {predicted:.3} K"
+    );
+    // Uniform power, near-uniform temperatures: the spread across the die
+    // must be small compared to the rise above ambient.
+    let spread = sol.max_chip_temperature().kelvin() - sol.min_chip_temperature().kelvin();
+    let rise = avg_chip - cfg.ambient.kelvin();
+    assert!(spread < 0.35 * rise, "spread {spread:.2} K vs rise {rise:.2} K");
+}
+
+#[test]
+fn fan_conductance_dominates_the_total_resistance() {
+    // Sanity of the Table 1 stack: the ω-dependent sink-to-ambient step is
+    // the largest single resistance (the premise of fan-centric cooling).
+    let fp = alpha21264();
+    let cfg = PackageConfig::dac14();
+    let die = fp.die_area();
+    let r_tim1 =
+        1.0 / cfg.tim_conductivity.conductance(die, cfg.tim1_thickness).w_per_k();
+    let r_fan_max =
+        1.0 / cfg.fan.conductance(cfg.fan.omega_max).w_per_k();
+    let r_fan_still = 1.0 / cfg.fan.g_hs_still;
+    assert!(r_fan_still > 10.0 * r_tim1);
+    assert!(r_fan_max > r_tim1);
+}

@@ -1,0 +1,158 @@
+//! Property-based physics checks of the thermal network.
+//!
+//! The folded steady-state operator is an M-matrix away from runaway, so
+//! strong structural properties hold: monotonicity in injected power,
+//! affine superposition (zero leakage), floor at ambient, and energy
+//! conservation for arbitrary workloads.
+
+use oftec_floorplan::alpha21264;
+use oftec_power::{ExponentialLeakage, LeakageModel, McpatBudget};
+use oftec_thermal::{HybridCoolingModel, OperatingPoint, PackageConfig};
+use oftec_units::{AngularVelocity, Current, Power, Temperature};
+use proptest::prelude::*;
+
+fn zero_leakage(n: usize) -> LeakageModel {
+    LeakageModel::new(vec![
+        ExponentialLeakage::new(
+            Power::ZERO,
+            Temperature::from_celsius(45.0),
+            0.0,
+        );
+        n
+    ])
+}
+
+fn unit_powers() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0..4.0f64, 15)
+}
+
+fn op(rpm: f64, amps: f64) -> OperatingPoint {
+    OperatingPoint::new(AngularVelocity::from_rpm(rpm), Current::from_amperes(amps))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn temperatures_floor_at_ambient_without_tec(powers in unit_powers()) {
+        let fp = alpha21264();
+        let cfg = PackageConfig::dac14_coarse();
+        let model = HybridCoolingModel::fan_only(&fp, &cfg, powers, &zero_leakage(15));
+        let sol = model.solve(op(3000.0, 0.0)).unwrap();
+        // Passive conduction cannot cool below ambient anywhere.
+        for &t in sol.node_temperatures() {
+            prop_assert!(t >= cfg.ambient.kelvin() - 1e-6);
+        }
+    }
+
+    #[test]
+    fn monotone_in_power(powers in unit_powers(), extra in 0.5..5.0f64, which in 0usize..15) {
+        let fp = alpha21264();
+        let cfg = PackageConfig::dac14_coarse();
+        let leak = zero_leakage(15);
+        let base = HybridCoolingModel::fan_only(&fp, &cfg, powers.clone(), &leak);
+        let mut more = powers;
+        more[which] += extra;
+        let bumped = HybridCoolingModel::fan_only(&fp, &cfg, more, &leak);
+        let o = op(2500.0, 0.0);
+        let t0 = base.solve(o).unwrap();
+        let t1 = bumped.solve(o).unwrap();
+        // M-matrix monotonicity: more power anywhere heats everywhere
+        // (weakly).
+        for (a, b) in t1.node_temperatures().iter().zip(t0.node_temperatures()) {
+            prop_assert!(a + 1e-9 >= *b);
+        }
+        prop_assert!(t1.max_chip_temperature() >= t0.max_chip_temperature());
+    }
+
+    #[test]
+    fn affine_superposition_without_leakage(
+        p1 in unit_powers(),
+        p2 in unit_powers(),
+    ) {
+        // With zero leakage and no TEC current the solve is linear in the
+        // injected power: ΔT(p1 + p2) = ΔT(p1) + ΔT(p2).
+        let fp = alpha21264();
+        let cfg = PackageConfig::dac14_coarse();
+        let leak = zero_leakage(15);
+        let o = op(3500.0, 0.0);
+        let amb = cfg.ambient.kelvin();
+        let solve = |p: Vec<f64>| {
+            HybridCoolingModel::fan_only(&fp, &cfg, p, &leak)
+                .solve(o)
+                .unwrap()
+                .node_temperatures()
+                .to_vec()
+        };
+        let sum: Vec<f64> = p1.iter().zip(&p2).map(|(a, b)| a + b).collect();
+        let ta = solve(p1);
+        let tb = solve(p2);
+        let tc = solve(sum);
+        for ((a, b), c) in ta.iter().zip(&tb).zip(&tc) {
+            let lhs = c - amb;
+            let rhs = (a - amb) + (b - amb);
+            prop_assert!((lhs - rhs).abs() < 1e-6 * lhs.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn energy_conserved_for_random_workloads(
+        powers in unit_powers(),
+        rpm in 1500.0..5000.0f64,
+        amps in 0.0..3.0f64,
+    ) {
+        let fp = alpha21264();
+        let cfg = PackageConfig::dac14_coarse();
+        let leak = McpatBudget::alpha21264_22nm().distribute(&fp);
+        let model = HybridCoolingModel::with_tec(&fp, &cfg, powers.clone(), &leak);
+        let o = op(rpm, amps);
+        let Ok(sol) = model.solve(o) else {
+            // Extremely hot random workloads may legitimately run away.
+            return Ok(());
+        };
+        // Everything injected (dynamic + leakage + TEC electrical) leaves
+        // through the solution's power accounting: recompute outflow from
+        // the fan conductance ΔT across sink-ambient plus PCB path.
+        let injected = powers.iter().sum::<f64>()
+            + sol.breakdown().leakage.watts()
+            + sol.breakdown().tec.watts();
+        // The sink and PCB ambient couplings are internal; use the model's
+        // objective bookkeeping instead: q_out computed from temperatures.
+        let (sink_start, sink_len) = model.layer_range("sink").unwrap();
+        let g_fan = cfg.fan.conductance(o.fan_speed).w_per_k();
+        let sink_t = &sol.node_temperatures()[sink_start..sink_start + sink_len];
+        let sink_avg = sink_t.iter().sum::<f64>() / sink_len as f64;
+        let out_sink = g_fan * (sink_avg - cfg.ambient.kelvin());
+        // PCB path is small; allow it as slack.
+        prop_assert!(
+            (out_sink - injected).abs() < 0.15 * injected.max(1.0),
+            "sink outflow {} vs injected {}",
+            out_sink,
+            injected
+        );
+    }
+
+    #[test]
+    fn runaway_margin_positive_iff_solvable(
+        rpm in 0.0..800.0f64,
+    ) {
+        let fp = alpha21264();
+        let cfg = PackageConfig::dac14_coarse();
+        let leak = McpatBudget::alpha21264_22nm().distribute(&fp);
+        let powers = vec![2.5; 15];
+        let model = HybridCoolingModel::with_tec(&fp, &cfg, powers, &leak);
+        let o = op(rpm, 1.0);
+        let solvable = model.solve(o).is_ok();
+        let margin = model.runaway_margin(o);
+        // Spectral margin and solve outcome must agree (the margin is the
+        // definitive test; the solve adds a temperature cap, so a positive
+        // margin with failed solve is possible only near the cap — accept
+        // margin presence ⇒ matrix PD).
+        if solvable {
+            prop_assert!(margin.is_some(), "solvable at {rpm} RPM but no margin");
+        }
+        if margin.is_none() {
+            prop_assert!(!solvable, "no margin at {rpm} RPM but solvable");
+        }
+    }
+}

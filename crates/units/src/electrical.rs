@@ -1,0 +1,167 @@
+//! Electrical quantities used by the TEC device model.
+
+use crate::{Power, Temperature, TemperatureDelta};
+
+quantity!(
+    /// An electric current, stored in amperes.
+    ///
+    /// The TEC driving current `I_TEC` — one of OFTEC's two optimization
+    /// variables — is expressed with this type.
+    ///
+    /// ```
+    /// use oftec_units::Current;
+    ///
+    /// let i_max = Current::from_amperes(5.0);
+    /// assert_eq!(i_max.amperes(), 5.0);
+    /// ```
+    Current,
+    from_amperes,
+    amperes,
+    "A"
+);
+
+quantity!(
+    /// An electric potential, stored in volts.
+    ///
+    /// ```
+    /// use oftec_units::Voltage;
+    ///
+    /// let v = Voltage::from_volts(1.2);
+    /// assert_eq!(v.volts(), 1.2);
+    /// ```
+    Voltage,
+    from_volts,
+    volts,
+    "V"
+);
+
+quantity!(
+    /// An electrical resistance, stored in ohms.
+    ///
+    /// `R_TEC` in Eqs. (1)–(3) of the paper is expressed with this type.
+    ///
+    /// ```
+    /// use oftec_units::ElectricalResistance;
+    ///
+    /// let r = ElectricalResistance::from_ohms(0.01);
+    /// assert_eq!(r.ohms(), 0.01);
+    /// ```
+    ElectricalResistance,
+    from_ohms,
+    ohms,
+    "Ω"
+);
+
+quantity!(
+    /// A Seebeck coefficient, stored in volts per Kelvin.
+    ///
+    /// `α` in the Peltier terms `α·T·I` of Eqs. (1)–(2). Thin-film
+    /// superlattice couples are in the few-hundred µV/K range.
+    ///
+    /// ```
+    /// use oftec_units::SeebeckCoefficient;
+    ///
+    /// let alpha = SeebeckCoefficient::from_uv_per_kelvin(300.0);
+    /// assert!((alpha.volts_per_kelvin() - 3e-4).abs() < 1e-18);
+    /// ```
+    SeebeckCoefficient,
+    from_volts_per_kelvin,
+    volts_per_kelvin,
+    "V/K"
+);
+
+impl SeebeckCoefficient {
+    /// Creates a Seebeck coefficient from microvolts per Kelvin.
+    #[inline]
+    pub const fn from_uv_per_kelvin(uv_per_k: f64) -> Self {
+        Self::from_volts_per_kelvin(uv_per_k * 1e-6)
+    }
+
+    /// Returns the coefficient in microvolts per Kelvin.
+    #[inline]
+    pub fn microvolts_per_kelvin(self) -> f64 {
+        self.volts_per_kelvin() * 1e6
+    }
+
+    /// Peltier heat-pumping rate `α·T·I` at absolute temperature `t` for
+    /// driving current `i` (the first term of Eqs. (1)–(2)).
+    #[inline]
+    pub fn peltier_power(self, t: Temperature, i: Current) -> Power {
+        Power::from_watts(self.volts_per_kelvin() * t.kelvin() * i.amperes())
+    }
+
+    /// Seebeck back-EMF `α·ΔT` across a couple sustaining difference `dt`.
+    #[inline]
+    pub fn back_emf(self, dt: TemperatureDelta) -> Voltage {
+        Voltage::from_volts(self.volts_per_kelvin() * dt.kelvin())
+    }
+}
+
+impl Current {
+    /// Joule dissipation `I²·R` in resistance `r`.
+    #[inline]
+    pub fn joule_power(self, r: ElectricalResistance) -> Power {
+        Power::from_watts(self.amperes() * self.amperes() * r.ohms())
+    }
+}
+
+impl core::ops::Mul<Current> for Voltage {
+    type Output = Power;
+    #[inline]
+    fn mul(self, rhs: Current) -> Power {
+        Power::from_watts(self.volts() * rhs.amperes())
+    }
+}
+
+impl core::ops::Mul<Voltage> for Current {
+    type Output = Power;
+    #[inline]
+    fn mul(self, rhs: Voltage) -> Power {
+        rhs * self
+    }
+}
+
+impl core::ops::Mul<ElectricalResistance> for Current {
+    type Output = Voltage;
+    #[inline]
+    fn mul(self, rhs: ElectricalResistance) -> Voltage {
+        Voltage::from_volts(self.amperes() * rhs.ohms())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Temperature;
+
+    #[test]
+    fn ohms_law_and_power() {
+        let i = Current::from_amperes(2.0);
+        let r = ElectricalResistance::from_ohms(3.0);
+        let v = i * r;
+        assert_eq!(v.volts(), 6.0);
+        assert_eq!((v * i).watts(), 12.0);
+        assert_eq!((i * v).watts(), 12.0);
+        assert_eq!(i.joule_power(r).watts(), 12.0);
+    }
+
+    #[test]
+    fn peltier_power_matches_alpha_t_i() {
+        let alpha = SeebeckCoefficient::from_uv_per_kelvin(300.0);
+        let p = alpha.peltier_power(Temperature::from_kelvin(350.0), Current::from_amperes(2.0));
+        assert!((p.watts() - 3e-4 * 350.0 * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn back_emf() {
+        let alpha = SeebeckCoefficient::from_uv_per_kelvin(200.0);
+        let v = alpha.back_emf(TemperatureDelta::from_kelvin(10.0));
+        assert!((v.volts() - 2e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn microvolt_round_trip() {
+        let alpha = SeebeckCoefficient::from_uv_per_kelvin(250.0);
+        assert!((alpha.microvolts_per_kelvin() - 250.0).abs() < 1e-9);
+    }
+}

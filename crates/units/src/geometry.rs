@@ -1,0 +1,171 @@
+//! Lengths, areas, and volumes of package layers and floorplan blocks.
+
+quantity!(
+    /// A length, stored in meters.
+    ///
+    /// ```
+    /// use oftec_units::Length;
+    ///
+    /// let die_edge = Length::from_mm(15.9);
+    /// assert!((die_edge.meters() - 0.0159).abs() < 1e-15);
+    /// ```
+    Length,
+    from_meters,
+    meters,
+    "m"
+);
+
+quantity!(
+    /// An area, stored in square meters.
+    ///
+    /// ```
+    /// use oftec_units::{Area, Length};
+    ///
+    /// let a = Length::from_mm(30.0) * Length::from_mm(30.0);
+    /// assert!((a.square_meters() - 9e-4).abs() < 1e-12);
+    /// ```
+    Area,
+    from_square_meters,
+    square_meters,
+    "m²"
+);
+
+quantity!(
+    /// A volume, stored in cubic meters.
+    ///
+    /// ```
+    /// use oftec_units::{Length, Volume};
+    ///
+    /// let v = Volume::from_cubic_meters(1e-9);
+    /// assert!((v.cubic_meters() - 1e-9).abs() < 1e-24);
+    /// ```
+    Volume,
+    from_cubic_meters,
+    cubic_meters,
+    "m³"
+);
+
+impl Length {
+    /// Creates a length from millimeters.
+    #[inline]
+    pub const fn from_mm(mm: f64) -> Self {
+        Self::from_meters(mm * 1e-3)
+    }
+
+    /// Creates a length from micrometers.
+    #[inline]
+    pub const fn from_um(um: f64) -> Self {
+        Self::from_meters(um * 1e-6)
+    }
+
+    /// Returns the length in millimeters.
+    #[inline]
+    pub fn millimeters(self) -> f64 {
+        self.meters() * 1e3
+    }
+
+    /// Returns the length in micrometers.
+    #[inline]
+    pub fn micrometers(self) -> f64 {
+        self.meters() * 1e6
+    }
+}
+
+impl Area {
+    /// Creates an area from square millimeters.
+    #[inline]
+    pub const fn from_square_mm(mm2: f64) -> Self {
+        Self::from_square_meters(mm2 * 1e-6)
+    }
+
+    /// Returns the area in square millimeters.
+    #[inline]
+    pub fn square_millimeters(self) -> f64 {
+        self.square_meters() * 1e6
+    }
+
+    /// Returns the area in square centimeters (the unit of heat-flux specs
+    /// such as "1,300 W/cm²").
+    #[inline]
+    pub fn square_centimeters(self) -> f64 {
+        self.square_meters() * 1e4
+    }
+}
+
+impl core::ops::Mul for Length {
+    type Output = Area;
+    #[inline]
+    fn mul(self, rhs: Length) -> Area {
+        Area::from_square_meters(self.meters() * rhs.meters())
+    }
+}
+
+impl core::ops::Mul<Length> for Area {
+    type Output = Volume;
+    #[inline]
+    fn mul(self, rhs: Length) -> Volume {
+        Volume::from_cubic_meters(self.square_meters() * rhs.meters())
+    }
+}
+
+impl core::ops::Div<Length> for Area {
+    type Output = Length;
+    #[inline]
+    fn div(self, rhs: Length) -> Length {
+        Length::from_meters(self.square_meters() / rhs.meters())
+    }
+}
+
+impl core::ops::Div<Length> for Volume {
+    type Output = Area;
+    #[inline]
+    fn div(self, rhs: Length) -> Area {
+        Area::from_square_meters(self.cubic_meters() / rhs.meters())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_scaling() {
+        assert!((Length::from_mm(15.9).meters() - 0.0159).abs() < 1e-15);
+        assert!((Length::from_um(20.0).meters() - 2e-5).abs() < 1e-18);
+        assert!((Length::from_meters(0.06).millimeters() - 60.0).abs() < 1e-9);
+        assert!((Length::from_mm(0.015).micrometers() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn length_times_length_is_area() {
+        let a = Length::from_mm(60.0) * Length::from_mm(60.0);
+        assert!((a.square_millimeters() - 3600.0).abs() < 1e-9);
+        assert!((a.square_centimeters() - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_times_length_is_volume() {
+        let v = Area::from_square_mm(100.0) * Length::from_um(15.0);
+        assert!((v.cubic_meters() - 100e-6 * 15e-6).abs() < 1e-20);
+    }
+
+    #[test]
+    fn volume_div_length_round_trip() {
+        let a = Area::from_square_mm(12.0);
+        let h = Length::from_um(7.0);
+        let v = a * h;
+        let back = v / h;
+        assert!((back.square_meters() - a.square_meters()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn quantity_helpers() {
+        let a = Length::from_mm(2.0);
+        let b = Length::from_mm(5.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!((a - b).abs(), Length::from_mm(3.0));
+        assert_eq!(b / a, 2.5);
+        assert_eq!(b.clamp(Length::ZERO, a), a);
+    }
+}

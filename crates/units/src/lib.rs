@@ -1,0 +1,46 @@
+//! Type-safe physical quantities for the OFTEC cooling stack.
+//!
+//! Every quantity is a thin newtype over `f64` carrying its SI unit in the
+//! type. The crate exists so that the public APIs of the thermal simulator,
+//! the TEC device model, and the OFTEC optimizer cannot confuse, say, a fan
+//! speed in RPM with one in rad/s, or a temperature in Celsius with one in
+//! Kelvin — both mistakes that silently corrupt a thermal simulation.
+//!
+//! Inner loops of the solvers work on raw `f64` buffers for speed; these
+//! types guard the boundaries where humans supply or read values.
+//!
+//! # Examples
+//!
+//! ```
+//! use oftec_units::{AngularVelocity, Temperature};
+//!
+//! let fan = AngularVelocity::from_rpm(5000.0);
+//! assert!((fan.rad_per_s() - 523.6).abs() < 0.1);
+//!
+//! let t_max = Temperature::from_celsius(90.0);
+//! assert_eq!(t_max.kelvin(), 363.15);
+//! ```
+
+#[macro_use]
+mod macros;
+
+mod electrical;
+mod geometry;
+mod mechanical;
+mod temperature;
+mod thermal;
+
+pub use electrical::{Current, ElectricalResistance, SeebeckCoefficient, Voltage};
+pub use geometry::{Area, Length, Volume};
+pub use mechanical::{AngularVelocity, Energy, Power};
+pub use temperature::{Temperature, TemperatureDelta};
+pub use thermal::{
+    HeatFlux, ThermalCapacitance, ThermalConductance, ThermalConductivity, ThermalResistance,
+    VolumetricHeatCapacity,
+};
+
+/// Absolute zero expressed in degrees Celsius; used for K ↔ °C conversion.
+pub const CELSIUS_OFFSET: f64 = 273.15;
+
+/// Conversion factor between revolutions per minute and radians per second.
+pub const RPM_PER_RAD_PER_S: f64 = 60.0 / (2.0 * std::f64::consts::PI);

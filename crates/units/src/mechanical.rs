@@ -1,0 +1,135 @@
+//! Power, energy, and the fan's angular velocity.
+
+use crate::RPM_PER_RAD_PER_S;
+
+quantity!(
+    /// A power, stored in watts.
+    ///
+    /// ```
+    /// use oftec_units::Power;
+    ///
+    /// let p = Power::from_watts(1.5) + Power::from_watts(0.5);
+    /// assert_eq!(p.watts(), 2.0);
+    /// ```
+    Power,
+    from_watts,
+    watts,
+    "W"
+);
+
+quantity!(
+    /// An energy, stored in joules.
+    ///
+    /// ```
+    /// use oftec_units::Energy;
+    ///
+    /// let e = Energy::from_joules(10.0) / 2.0;
+    /// assert_eq!(e.joules(), 5.0);
+    /// ```
+    Energy,
+    from_joules,
+    joules,
+    "J"
+);
+
+quantity!(
+    /// An angular velocity, stored in radians per second.
+    ///
+    /// The fan speed `ω` — OFTEC's second optimization variable. The paper
+    /// quotes limits both ways: `ω_max = 524 rad/s = 5000 RPM`.
+    ///
+    /// ```
+    /// use oftec_units::AngularVelocity;
+    ///
+    /// let w = AngularVelocity::from_rpm(2000.0);
+    /// assert!((w.rad_per_s() - 209.44).abs() < 0.01);
+    /// assert!((w.rpm() - 2000.0).abs() < 1e-9);
+    /// ```
+    AngularVelocity,
+    from_rad_per_s,
+    rad_per_s,
+    "rad/s"
+);
+
+impl Power {
+    /// Creates a power from milliwatts.
+    #[inline]
+    pub const fn from_milliwatts(mw: f64) -> Self {
+        Self::from_watts(mw * 1e-3)
+    }
+
+    /// Returns the power in milliwatts.
+    #[inline]
+    pub fn milliwatts(self) -> f64 {
+        self.watts() * 1e3
+    }
+}
+
+impl AngularVelocity {
+    /// Creates an angular velocity from revolutions per minute.
+    #[inline]
+    pub fn from_rpm(rpm: f64) -> Self {
+        Self::from_rad_per_s(rpm / RPM_PER_RAD_PER_S)
+    }
+
+    /// Returns the angular velocity in revolutions per minute.
+    #[inline]
+    pub fn rpm(self) -> f64 {
+        self.rad_per_s() * RPM_PER_RAD_PER_S
+    }
+
+    /// Cubic fan-power law `P_fan = c·ω³` (Eq. (8) of the paper), with `c`
+    /// in J·s² (the paper uses `c = 1.6e-7 J·s²`).
+    ///
+    /// ```
+    /// use oftec_units::AngularVelocity;
+    ///
+    /// // 5000 RPM at the paper's constant: ≈ 23 W.
+    /// let p = AngularVelocity::from_rpm(5000.0).fan_power(1.6e-7);
+    /// assert!((p.watts() - 22.97).abs() < 0.05);
+    /// ```
+    #[inline]
+    pub fn fan_power(self, c: f64) -> Power {
+        let w = self.rad_per_s();
+        Power::from_watts(c * w * w * w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rpm_round_trip() {
+        let w = AngularVelocity::from_rpm(5000.0);
+        assert!((w.rad_per_s() - 523.598).abs() < 1e-3);
+        assert!((w.rpm() - 5000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_omega_max_is_524_rad_s() {
+        // The paper rounds 5000 RPM to 524 rad/s.
+        assert!((AngularVelocity::from_rpm(5000.0).rad_per_s() - 524.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn fan_power_is_cubic() {
+        let c = 1.6e-7;
+        let w1 = AngularVelocity::from_rad_per_s(100.0).fan_power(c);
+        let w2 = AngularVelocity::from_rad_per_s(200.0).fan_power(c);
+        assert!((w2.watts() / w1.watts() - 8.0).abs() < 1e-12);
+        assert_eq!(AngularVelocity::ZERO.fan_power(c), Power::ZERO);
+    }
+
+    #[test]
+    fn milliwatt_conversion() {
+        assert_eq!(Power::from_milliwatts(1500.0).watts(), 1.5);
+        assert_eq!(Power::from_watts(0.25).milliwatts(), 250.0);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Power = (1..=4).map(|k| Power::from_watts(k as f64)).sum();
+        assert_eq!(total.watts(), 10.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Absolute temperatures and temperature differences.
+//!
+//! [`Temperature`] is a point on the absolute scale (stored in Kelvin),
+//! while [`TemperatureDelta`] is a difference between two such points.
+//! Keeping them distinct prevents the classic bug of adding 273.15 twice or
+//! treating a ΔT as an absolute value in the Peltier term `α·T·I`.
+
+use crate::CELSIUS_OFFSET;
+
+/// An absolute temperature, stored internally in Kelvin.
+///
+/// # Examples
+///
+/// ```
+/// use oftec_units::Temperature;
+///
+/// let ambient = Temperature::from_celsius(45.0);
+/// assert!((ambient.kelvin() - 318.15).abs() < 1e-12);
+/// assert!((ambient.celsius() - 45.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Temperature(f64);
+
+/// A temperature difference in Kelvin (equivalently, in °C difference).
+///
+/// ```
+/// use oftec_units::{Temperature, TemperatureDelta};
+///
+/// let hot = Temperature::from_celsius(90.0);
+/// let cold = Temperature::from_celsius(45.0);
+/// assert_eq!(hot - cold, TemperatureDelta::from_kelvin(45.0));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct TemperatureDelta(f64);
+
+impl Temperature {
+    /// 0 K, the absolute zero.
+    pub const ABSOLUTE_ZERO: Self = Self(0.0);
+
+    /// Creates a temperature from a value in Kelvin.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `kelvin` is negative (below absolute zero).
+    #[inline]
+    pub fn from_kelvin(kelvin: f64) -> Self {
+        debug_assert!(
+            kelvin.is_nan() || kelvin >= 0.0,
+            "temperature below absolute zero: {kelvin} K"
+        );
+        Self(kelvin)
+    }
+
+    /// Creates a temperature from a value in degrees Celsius.
+    #[inline]
+    pub fn from_celsius(celsius: f64) -> Self {
+        Self::from_kelvin(celsius + CELSIUS_OFFSET)
+    }
+
+    /// Returns the temperature in Kelvin.
+    #[inline]
+    pub const fn kelvin(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the temperature in degrees Celsius.
+    #[inline]
+    pub fn celsius(self) -> f64 {
+        self.0 - CELSIUS_OFFSET
+    }
+
+    /// Returns `true` if the value is finite (not NaN or ±∞).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Returns the smaller of the two temperatures.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// Returns the larger of the two temperatures.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+}
+
+impl TemperatureDelta {
+    /// The zero difference.
+    pub const ZERO: Self = Self(0.0);
+
+    /// Creates a difference from a value in Kelvin.
+    #[inline]
+    pub const fn from_kelvin(kelvin: f64) -> Self {
+        Self(kelvin)
+    }
+
+    /// Returns the difference in Kelvin.
+    #[inline]
+    pub const fn kelvin(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the absolute value of the difference.
+    #[inline]
+    pub fn abs(self) -> Self {
+        Self(self.0.abs())
+    }
+}
+
+impl core::ops::Sub for Temperature {
+    type Output = TemperatureDelta;
+    #[inline]
+    fn sub(self, rhs: Self) -> TemperatureDelta {
+        TemperatureDelta(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Add<TemperatureDelta> for Temperature {
+    type Output = Temperature;
+    #[inline]
+    fn add(self, rhs: TemperatureDelta) -> Temperature {
+        Temperature(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::Sub<TemperatureDelta> for Temperature {
+    type Output = Temperature;
+    #[inline]
+    fn sub(self, rhs: TemperatureDelta) -> Temperature {
+        Temperature(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Add for TemperatureDelta {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::Sub for TemperatureDelta {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Neg for TemperatureDelta {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self(-self.0)
+    }
+}
+
+impl core::ops::Mul<f64> for TemperatureDelta {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl core::fmt::Display for Temperature {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.3} K ({:.3} °C)", self.0, self.celsius())
+    }
+}
+
+impl core::fmt::Display for TemperatureDelta {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.3} K", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn celsius_round_trip() {
+        let t = Temperature::from_celsius(90.0);
+        assert!((t.kelvin() - 363.15).abs() < 1e-12);
+        assert!((t.celsius() - 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_arithmetic() {
+        let hot = Temperature::from_kelvin(363.0);
+        let cold = Temperature::from_kelvin(318.0);
+        let dt = hot - cold;
+        assert_eq!(dt.kelvin(), 45.0);
+        assert_eq!(cold + dt, hot);
+        assert_eq!(hot - dt, cold);
+        assert_eq!((-dt).kelvin(), -45.0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Temperature::from_celsius(90.0) > Temperature::from_celsius(45.0));
+        assert_eq!(
+            Temperature::from_celsius(10.0).max(Temperature::from_celsius(20.0)),
+            Temperature::from_celsius(20.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "absolute zero")]
+    #[cfg(debug_assertions)]
+    fn below_absolute_zero_panics() {
+        let _ = Temperature::from_kelvin(-1.0);
+    }
+
+    #[test]
+    fn display_contains_both_scales() {
+        let s = format!("{}", Temperature::from_celsius(45.0));
+        assert!(s.contains("318.15"));
+        assert!(s.contains("45"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Temperature::from_kelvin(350.5);
+        let json = serde_json::to_string(&t).unwrap();
+        assert_eq!(json, "350.5");
+        let back: Temperature = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,257 @@
+//! Thermal transport quantities: conductivity, conductance, resistance,
+//! capacitance, and heat flux.
+
+use crate::{Area, Length, Power, TemperatureDelta, Volume};
+
+quantity!(
+    /// A material thermal conductivity, stored in W/(m·K).
+    ///
+    /// Table 1 of the paper specifies these per layer: 100 for silicon,
+    /// 1.75 for the TIMs, 400 for the copper spreader/sink.
+    ///
+    /// ```
+    /// use oftec_units::ThermalConductivity;
+    ///
+    /// let si = ThermalConductivity::from_w_per_m_k(100.0);
+    /// assert_eq!(si.w_per_m_k(), 100.0);
+    /// ```
+    ThermalConductivity,
+    from_w_per_m_k,
+    w_per_m_k,
+    "W/(m·K)"
+);
+
+quantity!(
+    /// A lumped thermal conductance, stored in W/K.
+    ///
+    /// The entries `g_ij` of the network matrix **G** (Eq. (18)) carry this
+    /// unit, as does the fan/heat-sink conductance `g_HS&fan(ω)` (Eq. (9)).
+    ///
+    /// ```
+    /// use oftec_units::ThermalConductance;
+    ///
+    /// let g = ThermalConductance::from_w_per_k(0.525);
+    /// assert_eq!(g.w_per_k(), 0.525);
+    /// ```
+    ThermalConductance,
+    from_w_per_k,
+    w_per_k,
+    "W/K"
+);
+
+quantity!(
+    /// A lumped thermal resistance, stored in K/W (the reciprocal of
+    /// [`ThermalConductance`]).
+    ///
+    /// ```
+    /// use oftec_units::ThermalResistance;
+    ///
+    /// let r = ThermalResistance::from_k_per_w(2.0);
+    /// assert_eq!(r.to_conductance().w_per_k(), 0.5);
+    /// ```
+    ThermalResistance,
+    from_k_per_w,
+    k_per_w,
+    "K/W"
+);
+
+quantity!(
+    /// A lumped thermal capacitance, stored in J/K. Used by the transient
+    /// simulator's RC integration.
+    ///
+    /// ```
+    /// use oftec_units::ThermalCapacitance;
+    ///
+    /// let c = ThermalCapacitance::from_j_per_k(0.1);
+    /// assert_eq!(c.j_per_k(), 0.1);
+    /// ```
+    ThermalCapacitance,
+    from_j_per_k,
+    j_per_k,
+    "J/K"
+);
+
+quantity!(
+    /// A volumetric heat capacity, stored in J/(m³·K); multiplied by a cell
+    /// volume it yields the cell's [`ThermalCapacitance`].
+    ///
+    /// ```
+    /// use oftec_units::VolumetricHeatCapacity;
+    ///
+    /// let si = VolumetricHeatCapacity::from_j_per_m3_k(1.75e6);
+    /// assert_eq!(si.j_per_m3_k(), 1.75e6);
+    /// ```
+    VolumetricHeatCapacity,
+    from_j_per_m3_k,
+    j_per_m3_k,
+    "J/(m³·K)"
+);
+
+quantity!(
+    /// A heat flux, stored in W/m².
+    ///
+    /// Thin-film TECs pump fluxes up to ~1,300 W/cm² = 1.3e7 W/m².
+    ///
+    /// ```
+    /// use oftec_units::HeatFlux;
+    ///
+    /// let q = HeatFlux::from_w_per_cm2(1300.0);
+    /// assert!((q.w_per_m2() - 1.3e7).abs() < 1.0);
+    /// ```
+    HeatFlux,
+    from_w_per_m2,
+    w_per_m2,
+    "W/m²"
+);
+
+impl ThermalConductivity {
+    /// Conductance of a prism of cross-section `area` and length `thickness`
+    /// along the heat-flow direction: `g = k·A/L`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thickness` is zero or negative.
+    #[inline]
+    pub fn conductance(self, area: Area, thickness: Length) -> ThermalConductance {
+        assert!(
+            thickness.meters() > 0.0,
+            "conduction path must have positive length"
+        );
+        ThermalConductance::from_w_per_k(self.w_per_m_k() * area.square_meters() / thickness.meters())
+    }
+}
+
+impl ThermalConductance {
+    /// Reciprocal resistance `1/g`.
+    #[inline]
+    pub fn to_resistance(self) -> ThermalResistance {
+        ThermalResistance::from_k_per_w(1.0 / self.w_per_k())
+    }
+
+    /// Series combination `1/(1/g₁ + 1/g₂)` — two conductances traversed by
+    /// the same heat flow, e.g. the half-cell conductances that couple
+    /// neighbouring grid cells.
+    #[inline]
+    pub fn series(self, other: Self) -> Self {
+        let (a, b) = (self.w_per_k(), other.w_per_k());
+        if a == 0.0 || b == 0.0 {
+            return Self::ZERO;
+        }
+        Self::from_w_per_k(a * b / (a + b))
+    }
+
+    /// Heat flow `q = g·ΔT` driven through this conductance.
+    #[inline]
+    pub fn heat_flow(self, dt: TemperatureDelta) -> Power {
+        Power::from_watts(self.w_per_k() * dt.kelvin())
+    }
+}
+
+impl ThermalResistance {
+    /// Reciprocal conductance `1/R`.
+    #[inline]
+    pub fn to_conductance(self) -> ThermalConductance {
+        ThermalConductance::from_w_per_k(1.0 / self.k_per_w())
+    }
+}
+
+impl VolumetricHeatCapacity {
+    /// Capacitance of a cell of the given volume: `C = c_v·V`.
+    #[inline]
+    pub fn capacitance(self, volume: Volume) -> ThermalCapacitance {
+        ThermalCapacitance::from_j_per_k(self.j_per_m3_k() * volume.cubic_meters())
+    }
+}
+
+impl HeatFlux {
+    /// Creates a heat flux from W/cm².
+    #[inline]
+    pub const fn from_w_per_cm2(w_per_cm2: f64) -> Self {
+        Self::from_w_per_m2(w_per_cm2 * 1e4)
+    }
+
+    /// Returns the flux in W/cm².
+    #[inline]
+    pub fn w_per_cm2(self) -> f64 {
+        self.w_per_m2() * 1e-4
+    }
+
+    /// Total power through the given area.
+    #[inline]
+    pub fn power(self, area: Area) -> Power {
+        Power::from_watts(self.w_per_m2() * area.square_meters())
+    }
+}
+
+impl core::ops::Mul<Area> for HeatFlux {
+    type Output = Power;
+    #[inline]
+    fn mul(self, rhs: Area) -> Power {
+        self.power(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prism_conductance() {
+        // Silicon die from Table 1: 15.9×15.9 mm × 15 µm, k = 100.
+        let g = ThermalConductivity::from_w_per_m_k(100.0).conductance(
+            Area::from_square_mm(15.9 * 15.9),
+            Length::from_um(15.0),
+        );
+        // g = 100 * 2.5281e-4 / 1.5e-5 = 1685.4 W/K (vertical, very high).
+        assert!((g.w_per_k() - 1685.4).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn zero_thickness_panics() {
+        let _ = ThermalConductivity::from_w_per_m_k(1.0)
+            .conductance(Area::from_square_mm(1.0), Length::ZERO);
+    }
+
+    #[test]
+    fn resistance_round_trip() {
+        let g = ThermalConductance::from_w_per_k(4.0);
+        assert_eq!(g.to_resistance().k_per_w(), 0.25);
+        assert_eq!(g.to_resistance().to_conductance(), g);
+    }
+
+    #[test]
+    fn series_combination() {
+        let a = ThermalConductance::from_w_per_k(2.0);
+        let b = ThermalConductance::from_w_per_k(2.0);
+        assert_eq!(a.series(b).w_per_k(), 1.0);
+        assert_eq!(a.series(ThermalConductance::ZERO), ThermalConductance::ZERO);
+        // Series with a much larger conductance is dominated by the smaller.
+        let big = ThermalConductance::from_w_per_k(1e9);
+        assert!((a.series(big).w_per_k() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fourier_heat_flow() {
+        let g = ThermalConductance::from_w_per_k(0.5);
+        let q = g.heat_flow(TemperatureDelta::from_kelvin(30.0));
+        assert_eq!(q.watts(), 15.0);
+    }
+
+    #[test]
+    fn heat_flux_units() {
+        let q = HeatFlux::from_w_per_cm2(1300.0);
+        assert!((q.w_per_m2() - 1.3e7).abs() < 1e-3);
+        assert!((q.w_per_cm2() - 1300.0).abs() < 1e-9);
+        let p = q * Area::from_square_mm(1.0);
+        assert!((p.watts() - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn volumetric_capacitance() {
+        let cv = VolumetricHeatCapacity::from_j_per_m3_k(1.75e6);
+        let vol = Area::from_square_mm(1.0) * Length::from_um(100.0);
+        let c = cv.capacitance(vol);
+        assert!((c.j_per_k() - 1.75e6 * 1e-6 * 1e-4).abs() < 1e-12);
+    }
+}

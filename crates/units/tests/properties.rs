@@ -1,0 +1,103 @@
+//! Property-based tests for unit conversions and arithmetic laws.
+
+use oftec_units::{
+    AngularVelocity, Area, Current, ElectricalResistance, Length, Power, SeebeckCoefficient,
+    Temperature, TemperatureDelta, ThermalConductance, ThermalConductivity,
+};
+use proptest::prelude::*;
+
+fn finite_positive() -> impl Strategy<Value = f64> {
+    // Wide but safely representable range for physical magnitudes.
+    1e-9..1e9f64
+}
+
+proptest! {
+    #[test]
+    fn rpm_rad_round_trip(rpm in finite_positive()) {
+        let w = AngularVelocity::from_rpm(rpm);
+        prop_assert!((w.rpm() - rpm).abs() <= 1e-9 * rpm.abs());
+    }
+
+    #[test]
+    fn celsius_kelvin_round_trip(c in -200.0..2000.0f64) {
+        let t = Temperature::from_celsius(c);
+        prop_assert!((t.celsius() - c).abs() < 1e-9);
+        let t2 = Temperature::from_kelvin(t.kelvin());
+        prop_assert_eq!(t2, t);
+    }
+
+    #[test]
+    fn temperature_delta_is_antisymmetric(a in 1.0..1000.0f64, b in 1.0..1000.0f64) {
+        let ta = Temperature::from_kelvin(a);
+        let tb = Temperature::from_kelvin(b);
+        prop_assert_eq!(ta - tb, -(tb - ta));
+        let rebuilt = ta + (tb - ta);
+        prop_assert!((rebuilt.kelvin() - tb.kelvin()).abs() < 1e-9 * tb.kelvin());
+    }
+
+    #[test]
+    fn power_addition_commutes(a in finite_positive(), b in finite_positive()) {
+        let pa = Power::from_watts(a);
+        let pb = Power::from_watts(b);
+        prop_assert_eq!(pa + pb, pb + pa);
+        prop_assert!(((pa + pb) - pb - pa).watts().abs() < 1e-6 * (a + b));
+    }
+
+    #[test]
+    fn fan_power_monotone_in_omega(w1 in 0.0..1000.0f64, w2 in 0.0..1000.0f64) {
+        prop_assume!(w1 < w2);
+        let c = 1.6e-7;
+        let p1 = AngularVelocity::from_rad_per_s(w1).fan_power(c);
+        let p2 = AngularVelocity::from_rad_per_s(w2).fan_power(c);
+        prop_assert!(p1 <= p2);
+    }
+
+    #[test]
+    fn conductance_scales_linearly_with_area(
+        k in 0.1..500.0f64,
+        a in 1e-6..1e-2f64,
+        l in 1e-6..1e-2f64,
+        factor in 1.0..100.0f64,
+    ) {
+        let kv = ThermalConductivity::from_w_per_m_k(k);
+        let g1 = kv.conductance(Area::from_square_meters(a), Length::from_meters(l));
+        let g2 = kv.conductance(Area::from_square_meters(a * factor), Length::from_meters(l));
+        prop_assert!((g2.w_per_k() / g1.w_per_k() - factor).abs() < 1e-9 * factor);
+    }
+
+    #[test]
+    fn series_conductance_below_either(ga in 1e-6..1e3f64, gb in 1e-6..1e3f64) {
+        let a = ThermalConductance::from_w_per_k(ga);
+        let b = ThermalConductance::from_w_per_k(gb);
+        let s = a.series(b);
+        prop_assert!(s <= a && s <= b);
+        // Symmetry.
+        prop_assert!((s.w_per_k() - b.series(a).w_per_k()).abs() < 1e-12 * s.w_per_k().max(1.0));
+    }
+
+    #[test]
+    fn joule_power_is_quadratic(i in 0.0..100.0f64, r in 1e-6..100.0f64) {
+        let res = ElectricalResistance::from_ohms(r);
+        let p1 = Current::from_amperes(i).joule_power(res);
+        let p2 = Current::from_amperes(2.0 * i).joule_power(res);
+        prop_assert!((p2.watts() - 4.0 * p1.watts()).abs() < 1e-9 * p2.watts().max(1.0));
+    }
+
+    #[test]
+    fn peltier_power_is_bilinear(
+        alpha in 1e-6..1e-2f64,
+        t in 200.0..500.0f64,
+        i in 0.0..10.0f64,
+    ) {
+        let a = SeebeckCoefficient::from_volts_per_kelvin(alpha);
+        let p = a.peltier_power(Temperature::from_kelvin(t), Current::from_amperes(i));
+        prop_assert!((p.watts() - alpha * t * i).abs() < 1e-9 * p.watts().abs().max(1.0));
+    }
+
+    #[test]
+    fn heat_flow_sign_follows_delta(g in 1e-6..1e3f64, dt in -500.0..500.0f64) {
+        let q = ThermalConductance::from_w_per_k(g)
+            .heat_flow(TemperatureDelta::from_kelvin(dt));
+        prop_assert_eq!(q.watts() > 0.0, dt > 0.0 && g > 0.0);
+    }
+}

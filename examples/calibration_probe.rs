@@ -1,0 +1,81 @@
+//! Development probe: prints per-benchmark steady states for the fan-only
+//! baseline at ω_max and the hybrid TEC model over a coarse (ω, I) grid,
+//! to verify the workload calibration reproduces the paper's hot/cool
+//! split. Not part of the paper's experiments (see `oftec-bench` for
+//! those).
+
+use oftec_floorplan::alpha21264;
+use oftec_power::{Benchmark, McpatBudget};
+use oftec_thermal::{HybridCoolingModel, OperatingPoint, PackageConfig};
+use oftec_units::{AngularVelocity, Current};
+
+fn main() {
+    let fp = alpha21264();
+    let cfg = PackageConfig::dac14();
+    let leak = McpatBudget::alpha21264_22nm().distribute(&fp);
+
+    println!("=== fan-only baseline at ω_max (5000 RPM) ===");
+    for b in Benchmark::ALL {
+        let dyn_p = b.max_dynamic_power(&fp).unwrap();
+        let total: f64 = dyn_p.iter().sum();
+        let model = HybridCoolingModel::fan_only(&fp, &cfg, dyn_p, &leak);
+        let op = OperatingPoint::fan_only(AngularVelocity::from_rpm(5000.0));
+        match model.solve(op) {
+            Ok(sol) => println!(
+                "{:>14}  dyn {:5.1} W  Tmax {:6.2} °C  leak {:5.2} W  {}",
+                b.name(),
+                total,
+                sol.max_chip_temperature().celsius(),
+                sol.breakdown().leakage.watts(),
+                if sol.max_chip_temperature().celsius() < 90.0 { "OK" } else { "FAIL" },
+            ),
+            Err(e) => println!("{:>14}  dyn {:5.1} W  {}", b.name(), total, e),
+        }
+    }
+
+    println!("\n=== hybrid TEC grid probe (best point found) ===");
+    for b in Benchmark::ALL {
+        let dyn_p = b.max_dynamic_power(&fp).unwrap();
+        let model = HybridCoolingModel::with_tec(&fp, &cfg, dyn_p, &leak);
+        let mut best: Option<(f64, f64, f64, f64)> = None; // (T, P, rpm, amps)
+        let mut coolest: Option<(f64, f64, f64)> = None; // (T, rpm, amps)
+        for rpm_i in (500..=5000).step_by(500) {
+            for amp_i in 0..=10 {
+                let op = OperatingPoint::new(
+                    AngularVelocity::from_rpm(rpm_i as f64),
+                    Current::from_amperes(amp_i as f64 * 0.5),
+                );
+                if let Ok(sol) = model.solve(op) {
+                    let t = sol.max_chip_temperature().celsius();
+                    let p = sol.objective_power().watts();
+                    if coolest.is_none() || t < coolest.unwrap().0 {
+                        coolest = Some((t, rpm_i as f64, amp_i as f64 * 0.5));
+                    }
+                    if t < 90.0 && (best.is_none() || p < best.unwrap().1) {
+                        best = Some((t, p, rpm_i as f64, amp_i as f64 * 0.5));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((t, p, rpm, amps)) => println!(
+                "{:>14}  best 𝒫 {:6.2} W at ({:4.0} RPM, {:3.1} A), T {:6.2} °C",
+                b.name(),
+                p,
+                rpm,
+                amps,
+                t
+            ),
+            None => match coolest {
+                Some((t, rpm, amps)) => println!(
+                    "{:>14}  INFEASIBLE; coolest {:6.2} °C at ({:4.0} RPM, {:3.1} A)",
+                    b.name(),
+                    t,
+                    rpm,
+                    amps
+                ),
+                None => println!("{:>14}  RUNAWAY everywhere", b.name()),
+            },
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Using the library beyond the bundled Alpha 21264: define a custom
+//! four-core die, a custom workload, and a custom leakage budget, then
+//! optimize its hybrid cooling — the path a user takes for their own chip.
+//!
+//! ```text
+//! cargo run --release --example custom_chip
+//! ```
+
+use oftec::{CoolingSystem, Oftec, OftecOutcome};
+use oftec_floorplan::{Floorplan, FunctionalUnit, Rect};
+use oftec_power::McpatBudget;
+use oftec_thermal::PackageConfig;
+use oftec_units::{Length, Power, Temperature};
+
+fn main() {
+    // A 12 × 12 mm quad-core die: four 5×5 mm cores in the corners, an
+    // L2 cross in the middle.
+    let mm = Length::from_mm;
+    let core = |name: &str, x: f64, y: f64| {
+        FunctionalUnit::new(name, Rect::new(mm(x), mm(y), mm(5.0), mm(5.0)))
+    };
+    let floorplan = Floorplan::new(
+        "quadcore",
+        mm(12.0),
+        mm(12.0),
+        vec![
+            core("Core0", 0.0, 0.0),
+            core("Core1", 7.0, 0.0),
+            core("Core2", 0.0, 7.0),
+            core("Core3", 7.0, 7.0),
+            FunctionalUnit::new("L2_v", Rect::new(mm(5.0), mm(0.0), mm(2.0), mm(12.0))),
+            FunctionalUnit::new("L2_h0", Rect::new(mm(0.0), mm(5.0), mm(5.0), mm(2.0))),
+            FunctionalUnit::new("L2_h1", Rect::new(mm(7.0), mm(5.0), mm(5.0), mm(2.0))),
+        ],
+    );
+    floorplan.validate().expect("tiling is exact");
+
+    // Asymmetric workload: Core0 is blasting, Core3 moderate, others idle.
+    let dyn_power: Vec<f64> = floorplan
+        .units()
+        .iter()
+        .map(|u| match u.name() {
+            "Core0" => 22.0,
+            "Core3" => 9.0,
+            "Core1" | "Core2" => 1.5,
+            _ => 2.0, // L2 slices
+        })
+        .collect();
+
+    // 20 W leakage budget at 45 °C (a leakier process than the default).
+    let leakage = McpatBudget {
+        total_at_ref: Power::from_watts(6.0),
+        ..McpatBudget::alpha21264_22nm()
+    }
+    .distribute(&floorplan);
+
+    // The Table 1 package, but a tighter 85 °C limit.
+    let system = CoolingSystem::new(
+        "quadcore-hotspot",
+        floorplan,
+        PackageConfig::dac14(),
+        dyn_power,
+        leakage,
+        Temperature::from_celsius(85.0),
+    );
+    println!(
+        "custom die: {} units, {:.1} W dynamic, T_max {:.0} °C",
+        system.floorplan().units().len(),
+        system.total_dynamic_power().watts(),
+        system.t_max().celsius()
+    );
+
+    match Oftec::default().run(&system) {
+        OftecOutcome::Optimized(sol) => {
+            println!(
+                "ω* = {:.0} RPM, I* = {:.2} A, 𝒫 = {:.2} W, T = {:.2} °C",
+                sol.operating_point.fan_speed.rpm(),
+                sol.operating_point.tec_current.amperes(),
+                sol.cooling_power.watts(),
+                sol.max_temperature.celsius()
+            );
+            println!("\nper-unit maximum temperatures:");
+            let temps = sol.solution.unit_max_temperatures();
+            for (unit, t) in system.tec_model().unit_names().iter().zip(&temps) {
+                println!("  {unit:>8}: {:.2} °C", t.celsius());
+            }
+        }
+        OftecOutcome::Infeasible(report) => {
+            println!(
+                "this workload cannot be cooled below {:.0} °C (best {:.2} °C) — \
+                 throttle Core0 or raise the limit",
+                system.t_max().celsius(),
+                report.best_temperature.celsius()
+            );
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Design-space exploration: render the Figure 6(a)(b) surfaces of one
+//! benchmark as ASCII heat maps and locate their minima.
+//!
+//! ```text
+//! cargo run --release --example design_space [benchmark]
+//! ```
+
+use oftec::{CoolingSystem, SweepGrid};
+use oftec_power::Benchmark;
+
+fn pick_benchmark(name: Option<String>) -> Benchmark {
+    match name.as_deref() {
+        Some(n) => Benchmark::ALL
+            .iter()
+            .copied()
+            .find(|b| b.name().eq_ignore_ascii_case(n))
+            .unwrap_or_else(|| {
+                eprintln!("unknown benchmark `{n}`, using basicmath");
+                Benchmark::Basicmath
+            }),
+        None => Benchmark::Basicmath,
+    }
+}
+
+fn shade(frac: f64) -> char {
+    const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    RAMP[(frac.clamp(0.0, 1.0) * 9.0).round() as usize]
+}
+
+fn heatmap(
+    title: &str,
+    grid: &oftec::SweepResult,
+    value: impl Fn(&oftec::SweepSample) -> Option<f64>,
+) {
+    let vals: Vec<f64> = grid.samples.iter().filter_map(&value).collect();
+    let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!("\n{title}   [{lo:.1} .. {hi:.1}], 'X' = thermal runaway");
+    println!("I(A) ↑, ω(RPM) →");
+    // Rows: current from high to low; columns: omega ascending.
+    for ci in (0..grid.current_points).rev() {
+        let mut row = String::new();
+        for wi in 0..grid.omega_points {
+            let s = &grid.samples[wi * grid.current_points + ci];
+            match value(s) {
+                Some(v) => row.push(shade((v - lo) / (hi - lo).max(1e-12))),
+                None => row.push('X'),
+            }
+        }
+        let amps = 5.0 * ci as f64 / (grid.current_points - 1) as f64;
+        println!("{amps:>4.1} |{row}|");
+    }
+}
+
+fn main() {
+    let benchmark = pick_benchmark(std::env::args().nth(1));
+    let system = CoolingSystem::for_benchmark(benchmark);
+    println!(
+        "sweeping the (ω, I_TEC) plane for {} — the paper's Figure 6(a)(b)",
+        system.name()
+    );
+    let sweep = SweepGrid {
+        omega_points: 56,
+        current_points: 21,
+    }
+    .run(system.tec_model());
+
+    heatmap("maximum die temperature 𝒯 (°C)", &sweep, |s| {
+        s.max_temp_celsius
+    });
+    heatmap("cooling power 𝒫 (W)", &sweep, |s| s.power_watts);
+
+    if let Some(cool) = sweep.coolest() {
+        println!(
+            "\ncoolest:  {:.2} °C at ω = {:.0} RPM, I = {:.2} A",
+            cool.max_temp_celsius.unwrap(),
+            cool.omega_rpm,
+            cool.current_a
+        );
+    }
+    if let Some(cheap) = sweep.cheapest() {
+        println!(
+            "cheapest: {:.2} W at ω = {:.0} RPM, I = {:.2} A",
+            cheap.power_watts.unwrap(),
+            cheap.omega_rpm,
+            cheap.current_a
+        );
+    }
+    println!(
+        "runaway region: {:.1}% of the plane",
+        100.0 * sweep.runaway_fraction()
+    );
+}

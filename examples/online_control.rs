@@ -1,0 +1,64 @@
+//! Online control (the paper's §6.2 deployment sketch): pre-compute a
+//! look-up table of OFTEC solutions over power classes, serve settings
+//! instantly as the workload shifts, and bridge sudden spikes with the
+//! transient current boost while a fresh solution would be computed.
+//!
+//! ```text
+//! cargo run --release --example online_control
+//! ```
+
+use oftec::controller::{LutController, TransientBoost};
+use oftec::CoolingSystem;
+use oftec_power::Benchmark;
+use oftec_units::{Current, Power};
+
+fn main() {
+    // Build the LUT from a reference workload, spanning 15–45 W of total
+    // dynamic power in six classes. Each class stores a full OFTEC
+    // optimization of its upper edge.
+    let reference = CoolingSystem::for_benchmark(Benchmark::Susan);
+    println!("pre-computing LUT (6 classes over 15–63 W)…");
+    let lut = LutController::precompute(&reference, 15.0, 63.0, 6);
+    println!("class edges (W): {:?}", lut.edges());
+
+    // Phase 1: the runtime sees a sequence of workload power readings and
+    // serves table entries with zero optimization latency.
+    println!("\nonline lookups:");
+    for watts in [17.0, 26.0, 33.0, 41.0] {
+        match lut.lookup(Power::from_watts(watts)) {
+            Some(op) => println!(
+                "  {watts:>5.1} W → ω = {:>4.0} RPM, I = {:.2} A",
+                op.fan_speed.rpm(),
+                op.tec_current.amperes()
+            ),
+            None => println!("  {watts:>5.1} W → class uncoolable or out of range"),
+        }
+    }
+
+    // Phase 2: a sudden spike lands between re-optimizations. Bridge it
+    // with the 1 A / 1 s transient boost (Peltier acts instantly, the
+    // Joule penalty arrives late). The running workload sits in the 45 W
+    // class; simulate the boost on that workload from its class setting.
+    let running_watts = 45.0;
+    let running = reference.scaled(running_watts / reference.total_dynamic_power().watts());
+    let op = lut
+        .lookup(Power::from_watts(running_watts))
+        .expect("45 W class is coolable");
+    println!("\ntransient boost from the {running_watts:.1} W class setting:");
+    let report = TransientBoost {
+        boost: Current::from_amperes(1.0),
+        duration_seconds: 1.0,
+    }
+    .simulate(&running, op)
+    .expect("boost stays inside the 5 A limit");
+    println!(
+        "  steady {:.2} °C → boosted minimum {:.2} °C (transient gain {:.2} K)",
+        report.steady_temperature.celsius(),
+        report.boosted_minimum.celsius(),
+        report.peak_gain()
+    );
+    println!(
+        "  after 1 s the trajectory settles at {:.2} °C as the Joule heat arrives",
+        report.end_temperature.celsius()
+    );
+}

@@ -1,0 +1,52 @@
+//! Quickstart: optimize the cooling of one benchmark with OFTEC.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use oftec::{CoolingSystem, Oftec, OftecOutcome};
+use oftec_power::Benchmark;
+
+fn main() {
+    // The paper's setup for one MiBench workload: Alpha 21264 die,
+    // Table 1 package, thin-film TECs everywhere except the caches,
+    // T_max = 90 °C, ambient 45 °C.
+    let system = CoolingSystem::for_benchmark(Benchmark::Fft);
+    println!(
+        "workload: {} ({:.1} W max dynamic power)",
+        system.name(),
+        system.total_dynamic_power().watts()
+    );
+
+    // Algorithm 1: find (ω*, I*_TEC) minimizing
+    // 𝒫 = P_leakage + P_TEC + P_fan subject to every die cell < 90 °C.
+    match Oftec::default().run(&system) {
+        OftecOutcome::Optimized(sol) => {
+            println!(
+                "ω* = {:.0} RPM, I* = {:.2} A  ({} ms)",
+                sol.operating_point.fan_speed.rpm(),
+                sol.operating_point.tec_current.amperes(),
+                sol.runtime.as_millis()
+            );
+            println!(
+                "max die temperature {:.2} °C (limit {:.0} °C)",
+                sol.max_temperature.celsius(),
+                system.t_max().celsius()
+            );
+            let b = sol.solution.breakdown();
+            println!(
+                "cooling power 𝒫 = {:.2} W  (leakage {:.2} + TEC {:.2} + fan {:.2})",
+                b.objective().watts(),
+                b.leakage.watts(),
+                b.tec.watts(),
+                b.fan.watts()
+            );
+        }
+        OftecOutcome::Infeasible(report) => {
+            println!(
+                "no cooling settings can meet T_max; best achievable {:.2} °C",
+                report.best_temperature.celsius()
+            );
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Integration surface for the OFTEC reproduction workspace.
+//!
+//! This crate exists to host the repository-level `examples/` and `tests/`
+//! directories; it simply re-exports every workspace crate so examples and
+//! integration tests can reach the whole stack through one dependency.
+//!
+//! See the individual crates for the actual functionality:
+//!
+//! - [`oftec`] — the paper's contribution (Algorithm 1 and baselines)
+//! - [`oftec_thermal`] — layered RC thermal network simulator
+//! - [`oftec_optim`] — active-set SQP and companion NLP solvers
+//! - [`oftec_tec`] — thermoelectric-cooler device physics
+//! - [`oftec_power`] — leakage models and workload synthesis
+//! - [`oftec_floorplan`] — die floorplans
+//! - [`oftec_linalg`] — dense/sparse linear algebra
+//! - [`oftec_units`] — type-safe physical quantities
+
+pub use oftec;
+pub use oftec_floorplan;
+pub use oftec_linalg;
+pub use oftec_optim;
+pub use oftec_power;
+pub use oftec_tec;
+pub use oftec_thermal;
+pub use oftec_units;

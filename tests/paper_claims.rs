@@ -1,0 +1,154 @@
+//! The paper's headline claims, end to end, on the calibrated full grid:
+//!
+//! - OFTEC meets the 90 °C limit on **all eight** MiBench benchmarks;
+//! - both fan-only baselines fail exactly the **five hot** benchmarks;
+//! - on the three commonly-feasible benchmarks OFTEC consumes **less
+//!   power** than both baselines while staying **cooler**;
+//! - after Optimization 2, OFTEC is substantially cooler than the
+//!   baselines on every benchmark.
+
+use oftec::baselines::{fixed_speed_fan, variable_speed_fan};
+use oftec::{CoolingSystem, Oftec, OftecOutcome};
+use oftec_power::Benchmark;
+
+fn systems() -> Vec<CoolingSystem> {
+    Benchmark::ALL
+        .iter()
+        .map(|&b| CoolingSystem::for_benchmark(b))
+        .collect()
+}
+
+#[test]
+fn oftec_cools_all_eight_benchmarks() {
+    let optimizer = Oftec::default();
+    for system in systems() {
+        let outcome = optimizer.run(&system);
+        let sol = outcome
+            .optimized()
+            .unwrap_or_else(|| panic!("{} must be OFTEC-coolable", system.name()));
+        assert!(
+            sol.max_temperature < system.t_max(),
+            "{}: {} ≥ T_max",
+            system.name(),
+            sol.max_temperature
+        );
+        // Physical sanity of the optimum.
+        let op = sol.operating_point;
+        assert!(op.fan_speed.rpm() > 0.0 && op.fan_speed.rpm() <= 5000.0);
+        assert!(op.tec_current.amperes() >= 0.0 && op.tec_current.amperes() <= 5.0);
+        assert!(sol.cooling_power.watts() > 0.0 && sol.cooling_power.watts() < 60.0);
+    }
+}
+
+#[test]
+fn baselines_fail_exactly_the_hot_five() {
+    for system in systems() {
+        let benchmark = Benchmark::ALL
+            .iter()
+            .copied()
+            .find(|b| b.name() == system.name())
+            .unwrap();
+        let var = variable_speed_fan(&system, true);
+        let fixed = fixed_speed_fan(&system, oftec::fixed_baseline_speed());
+        assert_eq!(
+            var.is_feasible(),
+            benchmark.is_cool(),
+            "variable-ω on {}: expected feasible={}",
+            system.name(),
+            benchmark.is_cool()
+        );
+        assert_eq!(
+            fixed.is_feasible(),
+            benchmark.is_cool(),
+            "fixed-ω on {}: expected feasible={}",
+            system.name(),
+            benchmark.is_cool()
+        );
+    }
+}
+
+#[test]
+fn oftec_saves_power_on_the_cool_three() {
+    let optimizer = Oftec::default();
+    let mut var_savings = Vec::new();
+    let mut fixed_savings = Vec::new();
+    for benchmark in Benchmark::ALL.iter().copied().filter(|b| b.is_cool()) {
+        let system = CoolingSystem::for_benchmark(benchmark);
+        let sol = match optimizer.run(&system) {
+            OftecOutcome::Optimized(sol) => sol,
+            OftecOutcome::Infeasible(_) => panic!("{benchmark} must be feasible"),
+        };
+        let var = variable_speed_fan(&system, true);
+        let fixed = fixed_speed_fan(&system, oftec::fixed_baseline_speed());
+        let var_p = var.cooling_power().expect("cool benchmark").watts();
+        let fixed_p = fixed.cooling_power().expect("cool benchmark").watts();
+        let oftec_p = sol.cooling_power.watts();
+
+        assert!(
+            oftec_p <= var_p + 1e-6,
+            "{benchmark}: OFTEC {oftec_p:.2} W must not exceed variable-ω {var_p:.2} W"
+        );
+        assert!(
+            oftec_p <= fixed_p + 1e-6,
+            "{benchmark}: OFTEC {oftec_p:.2} W must not exceed fixed-ω {fixed_p:.2} W"
+        );
+        // And OFTEC must be at least as cool.
+        assert!(
+            sol.max_temperature.celsius()
+                <= var.max_temperature().unwrap().celsius() + 1e-6
+        );
+        var_savings.push(100.0 * (var_p - oftec_p) / var_p);
+        fixed_savings.push(100.0 * (fixed_p - oftec_p) / fixed_p);
+    }
+    // The paper reports 2.6% / 8.1% average savings; our substrate lands
+    // in the same low-single-digit band — assert the band, not the digit.
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let var_avg = avg(&var_savings);
+    let fixed_avg = avg(&fixed_savings);
+    assert!(
+        (0.1..15.0).contains(&var_avg),
+        "variable-ω savings {var_avg:.2}% outside the plausible band"
+    );
+    assert!(
+        (1.0..20.0).contains(&fixed_avg),
+        "fixed-ω savings {fixed_avg:.2}% outside the plausible band"
+    );
+    assert!(
+        fixed_avg > var_avg,
+        "fixed-ω must be the weaker baseline (paper: 8.1% vs 2.6%)"
+    );
+}
+
+#[test]
+fn optimization2_puts_oftec_well_below_baselines() {
+    let optimizer = Oftec::default();
+    for system in systems() {
+        let oftec_sol = optimizer
+            .minimize_temperature(system.tec_model(), system.t_max())
+            .expect("fan keeps every benchmark out of global runaway");
+        let var = variable_speed_fan(&system, false);
+        let var_t = var
+            .max_temperature()
+            .expect("coolest fan point exists")
+            .celsius();
+        let oftec_t = oftec_sol.max_temperature.celsius();
+        assert!(
+            oftec_t < var_t,
+            "{}: OFTEC Opt2 {oftec_t:.2} °C must beat variable-ω {var_t:.2} °C",
+            system.name()
+        );
+        assert!(
+            oftec_t < 90.0,
+            "{}: OFTEC Opt2 must meet T_max",
+            system.name()
+        );
+        // And it pays for it with the highest power (Figure 6(d)).
+        if let Some(var_p) = var.cooling_power() {
+            assert!(
+                oftec_sol.cooling_power.watts() > var_p.watts(),
+                "{}: max-cooling OFTEC should burn more power than the baseline",
+                system.name()
+            );
+        }
+    }
+}

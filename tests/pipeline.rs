@@ -1,0 +1,143 @@
+//! End-to-end pipeline checks across crate boundaries: workload synthesis
+//! → thermal model → power accounting, plus serde round-trips of the
+//! public data types.
+
+use oftec::{CoolingSystem, SweepGrid};
+use oftec_floorplan::{alpha21264, GridMap};
+use oftec_power::{Benchmark, McpatBudget};
+use oftec_thermal::{HybridCoolingModel, OperatingPoint, PackageConfig};
+use oftec_units::{AngularVelocity, Current, Temperature};
+
+#[test]
+fn trace_to_thermal_pipeline() {
+    // The paper's Figure 5 flow: benchmark → power trace → max vector →
+    // thermal simulation.
+    let fp = alpha21264();
+    let cfg = PackageConfig::dac14_coarse();
+    let trace = Benchmark::Susan.synthesize_trace(&fp, 256);
+    assert_eq!(trace.unit_names().len(), fp.units().len());
+    let max_vec = trace.max_per_unit();
+    let leak = McpatBudget::alpha21264_22nm().distribute(&fp);
+    let model = HybridCoolingModel::with_tec(&fp, &cfg, max_vec.clone(), &leak);
+    let sol = model
+        .solve(OperatingPoint::new(
+            AngularVelocity::from_rpm(4000.0),
+            Current::from_amperes(1.0),
+        ))
+        .unwrap();
+    // Temperatures are physical: above ambient-ish, below runaway.
+    assert!(sol.min_chip_temperature().celsius() > 30.0);
+    assert!(sol.max_chip_temperature().celsius() < 120.0);
+    // The breakdown components are individually positive and sum to 𝒫.
+    let b = sol.breakdown();
+    assert!(b.leakage.watts() > 0.0);
+    assert!(b.tec.watts() > 0.0);
+    assert!(b.fan.watts() > 0.0);
+    assert!(
+        (b.objective().watts() - (b.leakage + b.tec + b.fan).watts()).abs() < 1e-12
+    );
+}
+
+#[test]
+fn unit_reduction_matches_gridmap() {
+    // The solution's per-unit maxima must equal an independent reduction
+    // through GridMap.
+    let fp = alpha21264();
+    let cfg = PackageConfig::dac14_coarse();
+    let dyn_p = Benchmark::Fft.max_dynamic_power(&fp).unwrap();
+    let leak = McpatBudget::alpha21264_22nm().distribute(&fp);
+    let model = HybridCoolingModel::with_tec(&fp, &cfg, dyn_p, &leak);
+    let sol = model
+        .solve(OperatingPoint::new(
+            AngularVelocity::from_rpm(3500.0),
+            Current::from_amperes(0.5),
+        ))
+        .unwrap();
+    let map = GridMap::new(&fp, cfg.die_dims);
+    let expect = map.unit_max(sol.chip_temperatures());
+    let got = sol.unit_max_temperatures();
+    for (e, g) in expect.iter().zip(&got) {
+        assert!((e - g.kelvin()).abs() < 1e-12);
+    }
+    // The global max equals the hottest unit max.
+    let hottest = got.iter().cloned().fold(Temperature::ABSOLUTE_ZERO, Temperature::max);
+    assert_eq!(hottest, sol.max_chip_temperature());
+}
+
+#[test]
+fn fan_only_and_hybrid_share_passive_behaviour() {
+    // At I = 0 the hybrid stack and the fairness-boosted fan-only stack
+    // are built to have comparable passive conduction; their temperatures
+    // should be within a few degrees.
+    let fp = alpha21264();
+    let cfg = PackageConfig::dac14_coarse();
+    let dyn_p = Benchmark::Basicmath.max_dynamic_power(&fp).unwrap();
+    let leak = McpatBudget::alpha21264_22nm().distribute(&fp);
+    let hybrid = HybridCoolingModel::with_tec(&fp, &cfg, dyn_p.clone(), &leak);
+    let fan = HybridCoolingModel::fan_only(&fp, &cfg, dyn_p, &leak);
+    let op = OperatingPoint::fan_only(AngularVelocity::from_rpm(3000.0));
+    let t_hybrid = hybrid.solve(op).unwrap().max_chip_temperature();
+    let t_fan = fan.solve(op).unwrap().max_chip_temperature();
+    assert!(
+        (t_hybrid.kelvin() - t_fan.kelvin()).abs() < 5.0,
+        "passive stacks diverge: {t_hybrid} vs {t_fan}"
+    );
+}
+
+#[test]
+fn serde_round_trips() {
+    // Public data types dump and reload losslessly (experiment artifacts).
+    let system = CoolingSystem::for_benchmark_with_config(
+        Benchmark::Crc32,
+        &PackageConfig::dac14_coarse(),
+    );
+    let sweep = SweepGrid {
+        omega_points: 4,
+        current_points: 3,
+    }
+    .run(system.tec_model());
+    let json = serde_json::to_string(&sweep).unwrap();
+    let back: oftec::SweepResult = serde_json::from_str(&json).unwrap();
+    // JSON float text round-trips to within an ULP; compare with tolerance.
+    assert_eq!(back.samples.len(), sweep.samples.len());
+    for (a, b) in back.samples.iter().zip(&sweep.samples) {
+        assert_eq!(a.max_temp_celsius.is_some(), b.max_temp_celsius.is_some());
+        if let (Some(pa), Some(pb)) = (a.power_watts, b.power_watts) {
+            assert!((pa - pb).abs() < 1e-9);
+        }
+    }
+
+    let cfg = PackageConfig::dac14();
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: PackageConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, cfg);
+
+    let op = OperatingPoint::new(
+        AngularVelocity::from_rpm(1234.0),
+        Current::from_amperes(2.5),
+    );
+    let json = serde_json::to_string(&op).unwrap();
+    let back: OperatingPoint = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, op);
+}
+
+#[test]
+fn flp_export_feeds_back_into_the_pipeline() {
+    // Export the bundled floorplan to HotSpot text, re-parse it, and run
+    // the full stack on the re-parsed version.
+    let fp = alpha21264();
+    let text = oftec_floorplan::write_flp(&fp);
+    let reparsed = oftec_floorplan::parse_flp("alpha21264", &text).unwrap();
+    reparsed.validate().unwrap();
+    let cfg = PackageConfig::dac14_coarse();
+    let dyn_p = Benchmark::Crc32.max_dynamic_power(&reparsed).unwrap();
+    let leak = McpatBudget::alpha21264_22nm().distribute(&reparsed);
+    let model = HybridCoolingModel::with_tec(&reparsed, &cfg, dyn_p, &leak);
+    let sol = model
+        .solve(OperatingPoint::new(
+            AngularVelocity::from_rpm(2000.0),
+            Current::from_amperes(0.5),
+        ))
+        .unwrap();
+    assert!(sol.max_chip_temperature().celsius() < 90.0);
+}

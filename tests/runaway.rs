@@ -1,0 +1,91 @@
+//! Thermal-runaway behaviour across the stack: the TEC-only failure mode,
+//! the low-ω "infinite" region of Figure 6(a)(b), and agreement between
+//! the linear and nonlinear runaway classifications.
+
+use oftec::baselines::tec_only;
+use oftec::{CoolingSystem, SweepGrid};
+use oftec_power::Benchmark;
+use oftec_thermal::{NonlinearOptions, OperatingPoint, PackageConfig};
+use oftec_units::{AngularVelocity, Current};
+
+#[test]
+fn tec_only_always_runs_away_full_grid() {
+    // Full calibrated grid, all benchmarks (the paper's §6.2 claim).
+    for &b in &Benchmark::ALL {
+        let system = CoolingSystem::for_benchmark(b);
+        let report = tec_only(&system, 5);
+        assert!(
+            report.all_runaway(),
+            "{b}: TEC-only found a steady state: {:?}",
+            report.max_temperatures
+        );
+    }
+}
+
+#[test]
+fn runaway_boundary_is_low_but_nonzero() {
+    let system = CoolingSystem::for_benchmark(Benchmark::Basicmath);
+    let model = system.tec_model();
+    let solvable = |rpm: f64| {
+        model
+            .solve(OperatingPoint::new(
+                AngularVelocity::from_rpm(rpm),
+                Current::from_amperes(1.0),
+            ))
+            .is_ok()
+    };
+    assert!(!solvable(0.0), "still air must run away");
+    assert!(!solvable(10.0));
+    assert!(solvable(200.0), "paper: ~150 RPM suffices for basicmath");
+    assert!(solvable(5000.0));
+}
+
+#[test]
+fn sweep_marks_runaway_consistently() {
+    let system = CoolingSystem::for_benchmark_with_config(
+        Benchmark::Fft,
+        &PackageConfig::dac14_coarse(),
+    );
+    let sweep = SweepGrid {
+        omega_points: 14,
+        current_points: 6,
+    }
+    .run(system.tec_model());
+    // Runaway cells have neither temperature nor power.
+    for s in &sweep.samples {
+        assert_eq!(s.max_temp_celsius.is_none(), s.power_watts.is_none());
+    }
+    // The ω = 0 column is fully runaway; the ω = ω_max column fully solvable.
+    for s in sweep.samples.iter().filter(|s| s.omega_rpm == 0.0) {
+        assert!(s.max_temp_celsius.is_none());
+    }
+    for s in sweep.samples.iter().filter(|s| (s.omega_rpm - 5000.0).abs() < 1.0) {
+        assert!(s.max_temp_celsius.is_some());
+    }
+}
+
+#[test]
+fn linear_and_nonlinear_classifications_agree_at_extremes() {
+    let system = CoolingSystem::for_benchmark_with_config(
+        Benchmark::Quicksort,
+        &PackageConfig::dac14_coarse(),
+    );
+    let model = system.tec_model();
+    let healthy = OperatingPoint::new(
+        AngularVelocity::from_rpm(4000.0),
+        Current::from_amperes(1.0),
+    );
+    assert!(model.solve(healthy).is_ok());
+    assert!(model
+        .solve_nonlinear(healthy, &NonlinearOptions::default())
+        .is_ok());
+
+    let doomed = OperatingPoint::new(
+        AngularVelocity::from_rpm(5.0),
+        Current::from_amperes(0.0),
+    );
+    assert!(model.solve(doomed).is_err());
+    assert!(model
+        .solve_nonlinear(doomed, &NonlinearOptions::default())
+        .is_err());
+}
