@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# Repository gate: build, tests, lints, formatting.
+set -eu
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --all --check

@@ -21,11 +21,8 @@ fn bench_solvers(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("active_set_sqp", |b| {
         b.iter(|| {
-            let problem = CoolingProblem::new(
-                system.tec_model(),
-                CoolingObjective::Power,
-                system.t_max(),
-            );
+            let problem =
+                CoolingProblem::new(system.tec_model(), CoolingObjective::Power, system.t_max());
             black_box(
                 ActiveSetSqp::default()
                     .solve(&problem, black_box(&start), &opts)
@@ -36,11 +33,8 @@ fn bench_solvers(c: &mut Criterion) {
     });
     group.bench_function("interior_point", |b| {
         b.iter(|| {
-            let problem = CoolingProblem::new(
-                system.tec_model(),
-                CoolingObjective::Power,
-                system.t_max(),
-            );
+            let problem =
+                CoolingProblem::new(system.tec_model(), CoolingObjective::Power, system.t_max());
             black_box(
                 InteriorPoint::default()
                     .solve(&problem, black_box(&start), &opts)
@@ -51,11 +45,8 @@ fn bench_solvers(c: &mut Criterion) {
     });
     group.bench_function("trust_region", |b| {
         b.iter(|| {
-            let problem = CoolingProblem::new(
-                system.tec_model(),
-                CoolingObjective::Power,
-                system.t_max(),
-            );
+            let problem =
+                CoolingProblem::new(system.tec_model(), CoolingObjective::Power, system.t_max());
             black_box(
                 TrustRegion::default()
                     .solve(&problem, black_box(&start), &opts)

@@ -1,0 +1,132 @@
+//! Scaling bench for the Figure 6 sweep engine: the uncached per-call
+//! triplet assembly (`solve_reference`) vs the cached-skeleton path
+//! (`SweepGrid::run_threaded` at 1 thread, which also warm-starts along
+//! each current row) vs the cached path on all available workers.
+//!
+//! Besides the Criterion comparison on a small grid, a full run of the
+//! default 40×26 sweep is timed once per mode and written to
+//! `BENCH_sweep.json` in the workspace root, so the speedup is recorded
+//! machine-readably next to the other experiment artifacts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oftec::{CoolingSystem, SweepGrid};
+use oftec_power::Benchmark;
+use oftec_thermal::{HybridCoolingModel, OperatingPoint};
+use oftec_units::Current;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The pre-skeleton engine: cold, uncached solves in the same row-major
+/// order the sweep uses.
+fn sweep_uncached(model: &HybridCoolingModel, grid: &SweepGrid) -> usize {
+    let omega_max = model.config().fan.omega_max;
+    let mut feasible = 0;
+    for wi in 0..grid.omega_points {
+        let omega = omega_max * (wi as f64 / (grid.omega_points - 1) as f64);
+        for ci in 0..grid.current_points {
+            let amps = 5.0 * ci as f64 / (grid.current_points - 1) as f64;
+            let op = OperatingPoint::new(omega, Current::from_amperes(amps));
+            if model.solve_reference(op).is_ok() {
+                feasible += 1;
+            }
+        }
+    }
+    feasible
+}
+
+fn bench_sweep_modes(c: &mut Criterion) {
+    let system = CoolingSystem::for_benchmark_with_config(
+        Benchmark::Basicmath,
+        &oftec_thermal::PackageConfig::dac14_coarse(),
+    );
+    let model = system.tec_model();
+    let grid = SweepGrid {
+        omega_points: 12,
+        current_points: 6,
+    };
+    let workers = oftec_parallel::thread_count();
+
+    let mut group = c.benchmark_group("sweep_12x6");
+    group.sample_size(10);
+    group.bench_function("serial_uncached", |b| {
+        b.iter(|| black_box(sweep_uncached(model, &grid)))
+    });
+    group.bench_function("cached_1thread", |b| {
+        b.iter(|| black_box(grid.run_threaded(model, 1).samples.len()))
+    });
+    group.bench_function(format!("cached_{workers}threads"), |b| {
+        b.iter(|| black_box(grid.run_threaded(model, workers).samples.len()))
+    });
+    group.finish();
+}
+
+/// Times one full default sweep per mode and emits `BENCH_sweep.json`.
+fn emit_full_sweep_report() {
+    let system = CoolingSystem::for_benchmark_with_config(
+        Benchmark::Basicmath,
+        &oftec_thermal::PackageConfig::dac14_coarse(),
+    );
+    let model = system.tec_model();
+    let grid = SweepGrid::default();
+    let workers = oftec_parallel::thread_count();
+
+    let time = |f: &dyn Fn() -> usize| {
+        let start = Instant::now();
+        let n = black_box(f());
+        (start.elapsed().as_secs_f64(), n)
+    };
+    let (t_uncached, _) = time(&|| sweep_uncached(model, &grid));
+    let (t_cached, n1) = time(&|| grid.run_threaded(model, 1).samples.len());
+    let (t_parallel, n2) = time(&|| grid.run_threaded(model, workers).samples.len());
+    assert_eq!(n1, n2);
+
+    #[derive(serde::Serialize)]
+    struct Report {
+        benchmark: String,
+        omega_points: usize,
+        current_points: usize,
+        threads: usize,
+        serial_uncached_s: f64,
+        cached_1thread_s: f64,
+        cached_parallel_s: f64,
+        cached_speedup: f64,
+        parallel_speedup: f64,
+    }
+    let report = Report {
+        benchmark: "basicmath".into(),
+        omega_points: grid.omega_points,
+        current_points: grid.current_points,
+        threads: workers,
+        serial_uncached_s: t_uncached,
+        cached_1thread_s: t_cached,
+        cached_parallel_s: t_parallel,
+        cached_speedup: t_uncached / t_cached,
+        parallel_speedup: t_uncached / t_parallel,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    std::fs::write(path, json).expect("write BENCH_sweep.json");
+    println!(
+        "full 40x26 sweep: uncached {:.2}s, cached(1t) {:.2}s ({:.1}x), \
+         cached({}t) {:.2}s ({:.1}x) -> {}",
+        t_uncached,
+        t_cached,
+        report.cached_speedup,
+        workers,
+        t_parallel,
+        report.parallel_speedup,
+        path
+    );
+}
+
+fn bench_full_sweep_report(_c: &mut Criterion) {
+    // Skip the multi-second full sweep when `cargo test` smoke-runs this
+    // binary with `--test`.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    emit_full_sweep_report();
+}
+
+criterion_group!(benches, bench_sweep_modes, bench_full_sweep_report);
+criterion_main!(benches);

@@ -11,13 +11,10 @@
 //! cargo run --release -p oftec-bench --bin fig6cd
 //! ```
 
-use oftec_bench::{all_systems, compare, print_comparison, ComparisonMode};
+use oftec_bench::{all_systems, compare_all, print_comparison, ComparisonMode};
 
 fn main() {
-    let rows: Vec<_> = all_systems()
-        .iter()
-        .map(|s| compare(s, ComparisonMode::Optimization2))
-        .collect();
+    let rows = compare_all(&all_systems(), ComparisonMode::Optimization2);
     print_comparison(&rows, "Figure 6(c)(d): after Optimization 2 (min 𝒯)");
 
     let failures = rows.iter().filter(|r| !r.var_feasible).count();

@@ -13,14 +13,14 @@
 //! cargo run --release -p oftec-bench --bin fig6ef
 //! ```
 
-use oftec_bench::{all_systems, compare, print_comparison, ComparisonMode};
+use oftec_bench::{all_systems, compare_all, print_comparison, ComparisonMode};
 
 fn main() {
-    let rows: Vec<_> = all_systems()
-        .iter()
-        .map(|s| compare(s, ComparisonMode::Optimization1))
-        .collect();
-    print_comparison(&rows, "Figure 6(e)(f): after Optimization 1 (min 𝒫 s.t. T < T_max)");
+    let rows = compare_all(&all_systems(), ComparisonMode::Optimization1);
+    print_comparison(
+        &rows,
+        "Figure 6(e)(f): after Optimization 1 (min 𝒫 s.t. T < T_max)",
+    );
 
     // Paper comparison on the commonly-feasible benchmarks.
     let comparable: Vec<_> = rows

@@ -40,9 +40,8 @@ fn main() {
             .expect("3000 RPM is healthy");
         let nl_us = t0.elapsed().as_secs_f64() * 1e6;
 
-        let gap = (lin.max_chip_temperature().celsius()
-            - nl.max_chip_temperature().celsius())
-        .abs();
+        let gap =
+            (lin.max_chip_temperature().celsius() - nl.max_chip_temperature().celsius()).abs();
         worst_gap = worst_gap.max(gap);
         speedups.push(nl_us / lin_us);
 

@@ -35,9 +35,8 @@ fn main() {
         let g = grid
             .solve(OperatingPoint::fan_only(omega))
             .expect("full fan is grid-stable");
-        let avg = g.chip_temperatures().iter().sum::<f64>()
-            / g.chip_temperatures().len() as f64
-            - 273.15;
+        let avg =
+            g.chip_temperatures().iter().sum::<f64>() / g.chip_temperatures().len() as f64 - 273.15;
         let l_ok = l.temperature.celsius() < 90.0;
         let g_ok = g.max_chip_temperature().celsius() < 90.0;
         if l_ok && !g_ok {

@@ -40,8 +40,7 @@ fn main() {
         threshold: t_on,
         drive,
     };
-    let mut hysteresis =
-        HysteresisController::new(t_on, Temperature::from_celsius(85.0), drive);
+    let mut hysteresis = HysteresisController::new(t_on, Temperature::from_celsius(85.0), drive);
     let mut constant = ConstantCurrent(sol.operating_point.tec_current);
 
     println!(

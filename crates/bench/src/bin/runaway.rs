@@ -62,10 +62,7 @@ fn main() {
                 lo = mid;
             }
         }
-        println!(
-            "{:>14}: steady state requires ω ≳ {hi:.0} RPM",
-            b.name()
-        );
+        println!("{:>14}: steady state requires ω ≳ {hi:.0} RPM", b.name());
     }
     println!("(paper, for basicmath: \"ω should also be increased to about 150 RPM\")");
 }

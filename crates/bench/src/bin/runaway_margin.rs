@@ -16,7 +16,10 @@ fn main() {
     let benchmark = Benchmark::ALL
         .iter()
         .copied()
-        .find(|b| name.as_deref().is_some_and(|n| b.name().eq_ignore_ascii_case(n)))
+        .find(|b| {
+            name.as_deref()
+                .is_some_and(|n| b.name().eq_ignore_ascii_case(n))
+        })
         .unwrap_or(Benchmark::Basicmath);
     let system = CoolingSystem::for_benchmark(benchmark);
     let model = system.tec_model();
@@ -25,7 +28,10 @@ fn main() {
         "smallest eigenvalue (W/K) of the folded network matrix, {}:",
         benchmark.name()
     );
-    println!("{:>9} | {:>12} | {:>12} | {:>12}", "ω (RPM)", "I = 0 A", "I = 2 A", "I = 5 A");
+    println!(
+        "{:>9} | {:>12} | {:>12} | {:>12}",
+        "ω (RPM)", "I = 0 A", "I = 2 A", "I = 5 A"
+    );
     for rpm in [0.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2000.0, 5000.0] {
         let margin = |amps: f64| {
             model

@@ -40,7 +40,12 @@ fn main() {
     println!("§5.2 solver comparison on Optimization 1 (feasible-start points)");
     println!(
         "{:>14} | {:>18} | {:>18} | {:>18} | {:>18} | {:>18}",
-        "benchmark", "SQP  𝒫 W / ms", "interior 𝒫 W / ms", "trust 𝒫 W / ms", "simplex 𝒫 W / ms", "grid 𝒫 W / ms"
+        "benchmark",
+        "SQP  𝒫 W / ms",
+        "interior 𝒫 W / ms",
+        "trust 𝒫 W / ms",
+        "simplex 𝒫 W / ms",
+        "grid 𝒫 W / ms"
     );
 
     let mut sums = [0.0f64; 5];
@@ -51,8 +56,12 @@ fn main() {
         let system = CoolingSystem::for_benchmark(b);
         // Common feasible start: the coolest-ish center used by OFTEC, or
         // phase-1 output for hot benchmarks.
-        let probe = CoolingProblem::new(system.tec_model(), CoolingObjective::Power, system.t_max());
-        let start = if probe.max_temperature(&[0.5, 0.5]).is_some_and(|t| t < system.t_max()) {
+        let probe =
+            CoolingProblem::new(system.tec_model(), CoolingObjective::Power, system.t_max());
+        let start = if probe
+            .max_temperature(&[0.5, 0.5])
+            .is_some_and(|t| t < system.t_max())
+        {
             vec![0.5, 0.5]
         } else {
             vec![0.8, 0.5]
@@ -103,13 +112,12 @@ fn main() {
         let outcomes: Vec<Outcome> = (0..5).map(run).collect();
         print!("{:>14} |", b.name());
         for o in &outcomes {
-            print!(
-                " {} /{:>6.0} |",
-                fmt_opt(o.power, 8),
-                o.millis
-            );
+            print!(" {} /{:>6.0} |", fmt_opt(o.power, 8), o.millis);
         }
-        println!(" (thermal solves: {:?})", outcomes.iter().map(|o| o.solves).collect::<Vec<_>>());
+        println!(
+            " (thermal solves: {:?})",
+            outcomes.iter().map(|o| o.solves).collect::<Vec<_>>()
+        );
 
         if outcomes.iter().all(|o| o.power.is_some()) {
             counted += 1;
@@ -122,9 +130,7 @@ fn main() {
 
     if counted > 0 {
         let n = counted as f64;
-        println!(
-            "\naverages over {counted} benchmarks where all five finished feasible:"
-        );
+        println!("\naverages over {counted} benchmarks where all five finished feasible:");
         for (k, name) in [
             "active-set SQP",
             "interior point",
@@ -132,8 +138,8 @@ fn main() {
             "Nelder-Mead",
             "grid search",
         ]
-            .iter()
-            .enumerate()
+        .iter()
+        .enumerate()
         {
             println!(
                 "  {:>15}: 𝒫 = {:.2} W, {:.0} ms",

@@ -54,20 +54,18 @@ pub enum ComparisonMode {
     Optimization1,
 }
 
-/// Builds the eight benchmark systems on the calibrated full grid.
+/// Builds the eight benchmark systems on the calibrated full grid, one
+/// per worker thread (model construction assembles the full RC network
+/// and its CSR skeleton, so this is worth parallelizing).
 pub fn all_systems() -> Vec<CoolingSystem> {
-    Benchmark::ALL
-        .iter()
-        .map(|&b| CoolingSystem::for_benchmark(b))
-        .collect()
+    oftec_parallel::par_map_indexed(&Benchmark::ALL, |_, &b| CoolingSystem::for_benchmark(b))
 }
 
 /// Builds the eight benchmark systems on a custom package config.
 pub fn all_systems_with(config: &PackageConfig) -> Vec<CoolingSystem> {
-    Benchmark::ALL
-        .iter()
-        .map(|&b| CoolingSystem::for_benchmark_with_config(b, config))
-        .collect()
+    oftec_parallel::par_map_indexed(&Benchmark::ALL, |_, &b| {
+        CoolingSystem::for_benchmark_with_config(b, config)
+    })
 }
 
 fn baseline_fields(outcome: &BaselineOutcome) -> (Option<f64>, Option<f64>, bool) {
@@ -87,9 +85,7 @@ pub fn compare(system: &CoolingSystem, mode: ComparisonMode) -> ComparisonRow {
                 Some(sol.max_temperature.celsius()),
                 Some(sol.cooling_power.watts()),
             ),
-            OftecOutcome::Infeasible(report) => {
-                (Some(report.best_temperature.celsius()), None)
-            }
+            OftecOutcome::Infeasible(report) => (Some(report.best_temperature.celsius()), None),
         },
         ComparisonMode::Optimization2 => {
             match optimizer.minimize_temperature(system.tec_model(), system.t_max()) {
@@ -119,6 +115,13 @@ pub fn compare(system: &CoolingSystem, mode: ComparisonMode) -> ComparisonRow {
         fixed_power_w,
         fixed_feasible,
     }
+}
+
+/// Runs [`compare`] for every system concurrently, returning the rows in
+/// the input order (each comparison is three full optimizer runs, so the
+/// eight benchmarks dominate a figure binary's wall clock).
+pub fn compare_all(systems: &[CoolingSystem], mode: ComparisonMode) -> Vec<ComparisonRow> {
+    oftec_parallel::par_map_indexed(systems, |_, system| compare(system, mode))
 }
 
 /// Formats a float option for a fixed-width table.

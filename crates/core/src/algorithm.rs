@@ -166,12 +166,11 @@ impl Oftec {
             let target = Temperature::from_kelvin(t_max.kelvin() - margin);
             let ambient = model.config().ambient.kelvin();
             let target_scaled = (target.kelvin() - ambient) / 10.0;
-            let result = self.solver.solve_until(
-                &phase1_problem,
-                &x0,
-                &self.options,
-                move |_x, f| f < target_scaled,
-            );
+            let result =
+                self.solver
+                    .solve_until(&phase1_problem, &x0, &self.options, move |_x, f| {
+                        f < target_scaled
+                    });
             match result {
                 Ok(r) => r.x,
                 Err(_) => {
@@ -230,9 +229,7 @@ impl Oftec {
             Err(_) => x_feasible,
         };
         let op = phase2_problem.operating_point(&x_final);
-        let solution = model
-            .solve(op)
-            .expect("final OFTEC point must be solvable");
+        let solution = model.solve(op).expect("final OFTEC point must be solvable");
         let cooling_power = solution.objective_power();
         let max_temperature = solution.max_chip_temperature();
         OftecOutcome::Optimized(OftecSolution {

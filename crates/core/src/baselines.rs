@@ -2,8 +2,8 @@
 //! TECs, a fixed 2000 RPM fan, and the TEC-only configuration that cannot
 //! avoid thermal runaway.
 
-use crate::{Oftec, OftecOutcome};
 use crate::CoolingSystem;
+use crate::{Oftec, OftecOutcome};
 use oftec_thermal::{OperatingPoint, ThermalError, ThermalSolution};
 use oftec_units::{AngularVelocity, Current, Power, Temperature};
 
@@ -93,26 +93,28 @@ pub fn variable_speed_fan(system: &CoolingSystem, minimize_power: bool) -> Basel
     }
 }
 
-/// The coolest achievable fan-only point (fine ω sweep).
+/// The coolest achievable fan-only point (fine ω sweep, solved on the
+/// worker pool; the winner is reduced serially in ascending-ω order so the
+/// result matches the original serial scan exactly).
 fn coolest_fan_point(system: &CoolingSystem) -> BaselineOutcome {
     let model = system.fan_model();
-    let mut best: Option<(OperatingPoint, ThermalSolution)> = None;
-    for step in 1..=100 {
+    let solutions = oftec_parallel::par_map_range(100, |idx| {
+        let step = idx + 1;
         let omega = system.package().fan.omega_max * (step as f64 / 100.0);
         let op = OperatingPoint::fan_only(omega);
-        if let Ok(sol) = model.solve(op) {
-            let better = best
-                .as_ref()
-                .is_none_or(|(_, b)| sol.max_chip_temperature() < b.max_chip_temperature());
-            if better {
-                best = Some((op, sol));
-            }
+        model.solve(op).ok().map(|sol| (op, sol))
+    });
+    let mut best: Option<(OperatingPoint, ThermalSolution)> = None;
+    for (op, sol) in solutions.into_iter().flatten() {
+        let better = best
+            .as_ref()
+            .is_none_or(|(_, b)| sol.max_chip_temperature() < b.max_chip_temperature());
+        if better {
+            best = Some((op, sol));
         }
     }
     match best {
-        Some((operating_point, solution))
-            if solution.max_chip_temperature() < system.t_max() =>
-        {
+        Some((operating_point, solution)) if solution.max_chip_temperature() < system.t_max() => {
             BaselineOutcome::Feasible {
                 operating_point,
                 solution,
@@ -194,10 +196,7 @@ pub fn required_fan_only_throttle(system: &CoolingSystem, resolution: f64) -> f6
     );
     let feasible = |scale: f64| {
         let scaled = system.scaled(scale);
-        matches!(
-            coolest_fan_point(&scaled),
-            BaselineOutcome::Feasible { .. }
-        )
+        matches!(coolest_fan_point(&scaled), BaselineOutcome::Feasible { .. })
     };
     if feasible(1.0) {
         return 0.0;
@@ -218,19 +217,17 @@ pub fn required_fan_only_throttle(system: &CoolingSystem, resolution: f64) -> f6
 /// `[0, I_max]`.
 pub fn tec_only(system: &CoolingSystem, steps: usize) -> TecOnlyReport {
     let model = system.tec_model();
-    let mut currents = Vec::with_capacity(steps + 1);
-    let mut max_temperatures = Vec::with_capacity(steps + 1);
-    for k in 0..=steps {
+    let probes = oftec_parallel::par_map_range(steps + 1, |k| {
         let i = 5.0 * k as f64 / steps.max(1) as f64;
-        currents.push(i);
         let op = OperatingPoint::new(AngularVelocity::ZERO, Current::from_amperes(i));
         let t = match model.solve(op) {
             Ok(sol) => Some(sol.max_chip_temperature()),
             Err(ThermalError::Runaway(_)) => None,
             Err(_) => None,
         };
-        max_temperatures.push(t);
-    }
+        (i, t)
+    });
+    let (currents, max_temperatures) = probes.into_iter().unzip();
     TecOnlyReport {
         currents,
         max_temperatures,

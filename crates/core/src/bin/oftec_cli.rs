@@ -95,42 +95,44 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
-        "cool" => {
-            match Oftec::default().minimize_temperature(system.tec_model(), system.t_max()) {
-                Some(sol) => {
-                    println!(
-                        "{}: coolest {:.2} °C at ω = {:.0} RPM, I = {:.2} A \
+        "cool" => match Oftec::default().minimize_temperature(system.tec_model(), system.t_max()) {
+            Some(sol) => {
+                println!(
+                    "{}: coolest {:.2} °C at ω = {:.0} RPM, I = {:.2} A \
                          (costs {:.2} W)",
-                        system.name(),
-                        sol.max_temperature.celsius(),
-                        sol.operating_point.fan_speed.rpm(),
-                        sol.operating_point.tec_current.amperes(),
-                        sol.cooling_power.watts()
-                    );
-                    ExitCode::SUCCESS
-                }
-                None => {
-                    println!("{}: every probed point is in thermal runaway", system.name());
-                    ExitCode::FAILURE
-                }
+                    system.name(),
+                    sol.max_temperature.celsius(),
+                    sol.operating_point.fan_speed.rpm(),
+                    sol.operating_point.tec_current.amperes(),
+                    sol.cooling_power.watts()
+                );
+                ExitCode::SUCCESS
             }
-        }
+            None => {
+                println!(
+                    "{}: every probed point is in thermal runaway",
+                    system.name()
+                );
+                ExitCode::FAILURE
+            }
+        },
         "baseline" => {
             let var = variable_speed_fan(&system, true);
             let fixed = fixed_speed_fan(&system, oftec::fixed_baseline_speed());
-            let show = |name: &str, o: &oftec::baselines::BaselineOutcome| {
-                match (o.is_feasible(), o.max_temperature(), o.cooling_power()) {
-                    (true, Some(t), Some(p)) => println!(
-                        "  {name:<12} ok    T = {:.2} °C, 𝒫 = {:.2} W",
-                        t.celsius(),
-                        p.watts()
-                    ),
-                    (false, Some(t), _) => println!(
-                        "  {name:<12} FAIL  best {:.2} °C > T_max",
-                        t.celsius()
-                    ),
-                    _ => println!("  {name:<12} FAIL  thermal runaway"),
+            let show = |name: &str, o: &oftec::baselines::BaselineOutcome| match (
+                o.is_feasible(),
+                o.max_temperature(),
+                o.cooling_power(),
+            ) {
+                (true, Some(t), Some(p)) => println!(
+                    "  {name:<12} ok    T = {:.2} °C, 𝒫 = {:.2} W",
+                    t.celsius(),
+                    p.watts()
+                ),
+                (false, Some(t), _) => {
+                    println!("  {name:<12} FAIL  best {:.2} °C > T_max", t.celsius())
                 }
+                _ => println!("  {name:<12} FAIL  thermal runaway"),
             };
             println!("{} without TECs:", system.name());
             show("variable-ω", &var);
@@ -160,10 +162,8 @@ fn main() -> ExitCode {
                 eprintln!("usage: oftec-cli margin <benchmark> <rpm> <amps>");
                 return ExitCode::FAILURE;
             };
-            let op = OperatingPoint::new(
-                AngularVelocity::from_rpm(rpm),
-                Current::from_amperes(amps),
-            );
+            let op =
+                OperatingPoint::new(AngularVelocity::from_rpm(rpm), Current::from_amperes(amps));
             match system.tec_model().runaway_margin(op) {
                 Some(m) => {
                     println!(

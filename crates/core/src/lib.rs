@@ -50,7 +50,7 @@ pub mod reactive;
 mod sweep;
 mod system;
 
-pub use algorithm::{Oftec, OftecOutcome, OftecSolution, InfeasibleReport};
+pub use algorithm::{InfeasibleReport, Oftec, OftecOutcome, OftecSolution};
 pub use sweep::{SweepGrid, SweepResult, SweepSample};
 pub use system::CoolingSystem;
 

@@ -14,7 +14,8 @@
 use oftec_optim::NlpProblem;
 use oftec_thermal::{HybridCoolingModel, OperatingPoint};
 use oftec_units::{AngularVelocity, Current, Temperature};
-use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::Mutex;
 
 /// Which objective is being minimized.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +46,21 @@ struct Eval {
     max_temp: Option<f64>,
 }
 
+/// Memo cache + instrumentation, behind one mutex so the problem is
+/// `Sync` and can be evaluated from the parallel grid-search/multistart
+/// workers. The lock is never held across a thermal solve.
+#[derive(Debug, Default)]
+struct CacheState {
+    /// FIFO of recent evaluations; eviction pops the front in O(1).
+    entries: VecDeque<([f64; 2], Eval)>,
+    /// Thermal solves performed.
+    solves: usize,
+    /// Evaluations answered from the cache.
+    hits: usize,
+    /// Evaluations that had to solve.
+    misses: usize,
+}
+
 /// The shared machinery of both problems.
 #[derive(Debug)]
 pub struct CoolingProblem<'a> {
@@ -52,8 +68,7 @@ pub struct CoolingProblem<'a> {
     objective: CoolingObjective,
     t_max: Temperature,
     with_tec: bool,
-    cache: RefCell<Vec<([f64; 2], Eval)>>,
-    solves: RefCell<usize>,
+    cache: Mutex<CacheState>,
 }
 
 impl<'a> CoolingProblem<'a> {
@@ -69,15 +84,24 @@ impl<'a> CoolingProblem<'a> {
             objective,
             t_max,
             with_tec: model.has_tec(),
-            cache: RefCell::new(Vec::with_capacity(16)),
-            solves: RefCell::new(0),
+            cache: Mutex::new(CacheState::default()),
         }
     }
 
     /// Number of thermal solves performed so far (diagnostics; the paper
     /// reports solver runtimes that are dominated by these).
     pub fn thermal_solves(&self) -> usize {
-        *self.solves.borrow()
+        self.cache.lock().expect("cache poisoned").solves
+    }
+
+    /// Evaluations answered from the memo cache.
+    pub fn cache_hits(&self) -> usize {
+        self.cache.lock().expect("cache poisoned").hits
+    }
+
+    /// Evaluations that required a thermal solve.
+    pub fn cache_misses(&self) -> usize {
+        self.cache.lock().expect("cache poisoned").misses
     }
 
     /// Converts scaled decision variables to a physical operating point.
@@ -107,16 +131,22 @@ impl<'a> CoolingProblem<'a> {
 
     fn evaluate(&self, x: &[f64]) -> Eval {
         let key = self.key(x);
-        if let Some((_, e)) = self
-            .cache
-            .borrow()
-            .iter()
-            .find(|(k, _)| k[0] == key[0] && k[1] == key[1])
         {
-            return *e;
+            let mut state = self.cache.lock().expect("cache poisoned");
+            if let Some((_, e)) = state
+                .entries
+                .iter()
+                .find(|(k, _)| k[0] == key[0] && k[1] == key[1])
+            {
+                let e = *e;
+                state.hits += 1;
+                return e;
+            }
         }
+        // Solve outside the lock so concurrent workers don't serialize on
+        // the cache; two workers may redundantly solve the same fresh
+        // point, which is benign (identical result, counted as a miss).
         let op = self.operating_point(x);
-        *self.solves.borrow_mut() += 1;
         let eval = match self.model.solve(op) {
             Ok(sol) => Eval {
                 power: Some(sol.objective_power().watts()),
@@ -127,11 +157,13 @@ impl<'a> CoolingProblem<'a> {
                 max_temp: None,
             },
         };
-        let mut cache = self.cache.borrow_mut();
-        if cache.len() >= 16 {
-            cache.remove(0);
+        let mut state = self.cache.lock().expect("cache poisoned");
+        state.solves += 1;
+        state.misses += 1;
+        if state.entries.len() >= 16 {
+            state.entries.pop_front();
         }
-        cache.push((key, eval));
+        state.entries.push_back((key, eval));
         eval
     }
 
@@ -181,9 +213,10 @@ impl NlpProblem for CoolingProblem<'_> {
     fn constraints(&self, x: &[f64]) -> Option<Vec<f64>> {
         match self.objective {
             CoolingObjective::MaxTemperature => Some(Vec::new()),
-            CoolingObjective::Power => self.evaluate(x).max_temp.map(|t| {
-                vec![(self.t_max.kelvin() - T_MAX_MARGIN_KELVIN - t) / CONSTRAINT_SCALE]
-            }),
+            CoolingObjective::Power => self
+                .evaluate(x)
+                .max_temp
+                .map(|t| vec![(self.t_max.kelvin() - T_MAX_MARGIN_KELVIN - t) / CONSTRAINT_SCALE]),
         }
     }
 }
@@ -236,9 +269,7 @@ mod tests {
         // Basicmath at 3000 RPM is comfortably below 90 °C.
         assert!(c[0] > 0.0);
         let t = p.max_temperature(&x).unwrap();
-        assert!(
-            (c[0] - (s.t_max().kelvin() - 0.1 - t.kelvin()) / 10.0).abs() < 1e-12
-        );
+        assert!((c[0] - (s.t_max().kelvin() - 0.1 - t.kelvin()) / 10.0).abs() < 1e-12);
     }
 
     #[test]
@@ -251,6 +282,24 @@ mod tests {
         let _ = p.constraints(&x);
         let _ = p.objective(&x);
         assert_eq!(p.thermal_solves(), n1, "repeat evaluations must hit cache");
+        assert_eq!(p.cache_misses(), 1);
+        assert_eq!(p.cache_hits(), 2);
+    }
+
+    #[test]
+    fn cache_evicts_oldest_entry_first() {
+        let s = system();
+        let p = CoolingProblem::new(s.tec_model(), CoolingObjective::Power, s.t_max());
+        // Fill the 16-entry cache, then one more: [0.5, 0.5] (the first
+        // inserted) is evicted, everything newer is retained.
+        for i in 0..17 {
+            let _ = p.objective(&[0.5 + 0.01 * i as f64, 0.5]);
+        }
+        assert_eq!(p.cache_misses(), 17);
+        let _ = p.objective(&[0.5 + 0.01 * 16.0, 0.5]); // newest: hit
+        assert_eq!(p.cache_hits(), 1);
+        let _ = p.objective(&[0.5, 0.5]); // evicted: miss again
+        assert_eq!(p.cache_misses(), 18);
     }
 
     #[test]
@@ -266,11 +315,7 @@ mod tests {
     #[test]
     fn max_temp_objective_tracks_kelvin() {
         let s = system();
-        let p = CoolingProblem::new(
-            s.tec_model(),
-            CoolingObjective::MaxTemperature,
-            s.t_max(),
-        );
+        let p = CoolingProblem::new(s.tec_model(), CoolingObjective::MaxTemperature, s.t_max());
         let x = [0.8, 0.1];
         let f = p.objective(&x).unwrap();
         let t = p.max_temperature(&x).unwrap();

@@ -161,7 +161,10 @@ impl ClosedLoopReport {
             .iter()
             .map(|t| t.kelvin())
             .fold(f64::NEG_INFINITY, f64::max);
-        let lo = tail.iter().map(|t| t.kelvin()).fold(f64::INFINITY, f64::min);
+        let lo = tail
+            .iter()
+            .map(|t| t.kelvin())
+            .fold(f64::INFINITY, f64::min);
         hi - lo
     }
 }
@@ -276,8 +279,8 @@ impl PiFanController {
         omega_max: AngularVelocity,
     ) -> AngularVelocity {
         let error = observed.kelvin() - self.target.kelvin(); // >0 = too hot
-        self.integral = (self.integral + self.ki * error * window_seconds)
-            .clamp(0.0, omega_max.rad_per_s());
+        self.integral =
+            (self.integral + self.ki * error * window_seconds).clamp(0.0, omega_max.rad_per_s());
         let command = self.kp * error + self.integral;
         AngularVelocity::from_rad_per_s(command.clamp(0.0, omega_max.rad_per_s()))
     }
@@ -392,8 +395,7 @@ mod tests {
             threshold: Temperature::from_kelvin(passive.kelvin() - 2.0),
             drive: Current::from_amperes(2.0),
         };
-        let report =
-            run_closed_loop(&system, rpm(2600.0), &mut policy, 30, 0.5).unwrap();
+        let report = run_closed_loop(&system, rpm(2600.0), &mut policy, 30, 0.5).unwrap();
         assert!(report.transitions >= 1, "controller never engaged");
         assert!(
             report.peak().kelvin() <= passive.kelvin() + 0.5,
@@ -463,9 +465,12 @@ mod tests {
         let err = report.tracking_error(target);
         assert!(err < 1.0, "PI tracking error {err} K at target {target}");
         // The loop actually moved the fan.
-        let (lo, hi) = report.speeds.iter().fold((f64::MAX, f64::MIN), |(a, b), s| {
-            (a.min(s.rpm()), b.max(s.rpm()))
-        });
+        let (lo, hi) = report
+            .speeds
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(a, b), s| {
+                (a.min(s.rpm()), b.max(s.rpm()))
+            });
         assert!(hi - lo > 100.0, "fan never moved: {lo}..{hi} RPM");
     }
 

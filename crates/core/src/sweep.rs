@@ -1,4 +1,14 @@
 //! Design-space surface sweeps — Figure 6(a)(b) of the paper.
+//!
+//! The sweep is embarrassingly parallel across ω-rows and warm-startable
+//! along each row's current axis: neighboring `(ω, I)` points have nearly
+//! identical temperature fields, so chaining each solve from the previous
+//! solution on the row cuts CG iterations several-fold. Rows are
+//! distributed over [`oftec_parallel`] worker threads; each row is still
+//! swept serially in ascending `I` so the warm-start chain (and the
+//! result) is identical at every thread count.
+
+use std::fmt::Write as _;
 
 use oftec_thermal::{HybridCoolingModel, OperatingPoint};
 use oftec_units::Current;
@@ -54,37 +64,53 @@ impl SweepGrid {
     ///
     /// Panics if either resolution is below 2.
     pub fn run(&self, model: &HybridCoolingModel) -> SweepResult {
+        self.run_threaded(model, oftec_parallel::thread_count())
+    }
+
+    /// [`SweepGrid::run`] with an explicit worker-thread count. The result
+    /// is bit-identical for every `threads` value: parallelism is across
+    /// ω-rows only, and each row's warm-start chain stays serial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either resolution is below 2.
+    pub fn run_threaded(&self, model: &HybridCoolingModel, threads: usize) -> SweepResult {
         assert!(
             self.omega_points >= 2 && self.current_points >= 2,
             "sweep needs at least a 2×2 grid"
         );
         let omega_max = model.config().fan.omega_max;
         let i_max = 5.0;
-        let mut samples = Vec::with_capacity(self.omega_points * self.current_points);
-        for wi in 0..self.omega_points {
+        let rows = oftec_parallel::par_map_range_with(threads, self.omega_points, |wi| {
             let frac_w = wi as f64 / (self.omega_points - 1) as f64;
             let omega = omega_max * frac_w;
+            let mut row = Vec::with_capacity(self.current_points);
+            // Warm-start each solve from the last success on this row.
+            let mut last_state: Option<Vec<f64>> = None;
             for ci in 0..self.current_points {
                 let frac_i = ci as f64 / (self.current_points - 1) as f64;
                 let amps = i_max * frac_i;
                 let op = OperatingPoint::new(omega, Current::from_amperes(amps));
-                let (t, p) = match model.solve(op) {
-                    Ok(sol) => (
-                        Some(sol.max_chip_temperature().celsius()),
-                        Some(sol.objective_power().watts()),
-                    ),
+                let (t, p) = match model.solve_from(op, last_state.as_deref()) {
+                    Ok(sol) => {
+                        let t = sol.max_chip_temperature().celsius();
+                        let p = sol.objective_power().watts();
+                        last_state = Some(sol.node_temperatures().to_vec());
+                        (Some(t), Some(p))
+                    }
                     Err(_) => (None, None),
                 };
-                samples.push(SweepSample {
+                row.push(SweepSample {
                     omega_rpm: omega.rpm(),
                     current_a: amps,
                     max_temp_celsius: t,
                     power_watts: p,
                 });
             }
-        }
+            row
+        });
         SweepResult {
-            samples,
+            samples: rows.into_iter().flatten().collect(),
             omega_points: self.omega_points,
             current_points: self.current_points,
         }
@@ -98,11 +124,7 @@ impl SweepResult {
         self.samples
             .iter()
             .filter(|s| s.max_temp_celsius.is_some())
-            .min_by(|a, b| {
-                a.max_temp_celsius
-                    .partial_cmp(&b.max_temp_celsius)
-                    .unwrap()
-            })
+            .min_by(|a, b| a.max_temp_celsius.partial_cmp(&b.max_temp_celsius).unwrap())
     }
 
     /// The sample minimizing 𝒫 (Figure 6(b)'s minimum, near the origin of
@@ -141,16 +163,20 @@ impl SweepResult {
     /// Serializes to CSV (`omega_rpm,current_a,max_temp_c,power_w`;
     /// runaway cells are empty fields).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("omega_rpm,current_a,max_temp_c,power_w\n");
+        // One String for the whole table, written row by row with
+        // `fmt::Write` — no per-row format! temporaries.
+        let mut out = String::with_capacity(32 * (self.samples.len() + 1));
+        out.push_str("omega_rpm,current_a,max_temp_c,power_w\n");
         for s in &self.samples {
-            let t = s
-                .max_temp_celsius
-                .map_or(String::new(), |v| format!("{v:.3}"));
-            let p = s.power_watts.map_or(String::new(), |v| format!("{v:.4}"));
-            out.push_str(&format!(
-                "{:.1},{:.3},{},{}\n",
-                s.omega_rpm, s.current_a, t, p
-            ));
+            let _ = write!(out, "{:.1},{:.3},", s.omega_rpm, s.current_a);
+            if let Some(t) = s.max_temp_celsius {
+                let _ = write!(out, "{t:.3}");
+            }
+            out.push(',');
+            if let Some(p) = s.power_watts {
+                let _ = write!(out, "{p:.4}");
+            }
+            out.push('\n');
         }
         out
     }
@@ -215,6 +241,54 @@ mod tests {
         assert!(cheapest.omega_rpm < coolest.omega_rpm);
         assert!(cheapest.power_watts.unwrap() < coolest.power_watts.unwrap());
         assert!(coolest.max_temp_celsius.unwrap() < cheapest.max_temp_celsius.unwrap());
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let system = CoolingSystem::for_benchmark_with_config(
+            Benchmark::Basicmath,
+            &PackageConfig::dac14_coarse(),
+        );
+        let grid = SweepGrid {
+            omega_points: 9,
+            current_points: 5,
+        };
+        let serial = grid.run_threaded(system.tec_model(), 1);
+        for threads in [2, 8] {
+            let parallel = grid.run_threaded(system.tec_model(), threads);
+            assert_eq!(parallel, serial, "sweep diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn warm_start_sweep_matches_cold_solves_within_tolerance() {
+        let system = CoolingSystem::for_benchmark_with_config(
+            Benchmark::Basicmath,
+            &PackageConfig::dac14_coarse(),
+        );
+        let model = system.tec_model();
+        let r = SweepGrid {
+            omega_points: 6,
+            current_points: 5,
+        }
+        .run_threaded(model, 1);
+        for s in &r.samples {
+            let op = OperatingPoint::new(
+                oftec_units::AngularVelocity::from_rpm(s.omega_rpm),
+                Current::from_amperes(s.current_a),
+            );
+            match model.solve(op) {
+                Ok(cold) => {
+                    let warm_t = s.max_temp_celsius.expect("sweep found this point feasible");
+                    let dt = (warm_t - cold.max_chip_temperature().celsius()).abs();
+                    assert!(dt < 1e-6, "warm/cold mismatch {dt} K at {op:?}");
+                }
+                Err(_) => assert!(
+                    s.max_temp_celsius.is_none(),
+                    "sweep feasible where cold solve ran away at {op:?}"
+                ),
+            }
+        }
     }
 
     #[test]

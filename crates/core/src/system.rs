@@ -2,8 +2,8 @@
 
 use oftec_floorplan::{alpha21264, Floorplan};
 use oftec_power::{Benchmark, LeakageModel, McpatBudget};
-use oftec_thermal::{CoolingConfig, HybridCoolingModel, PackageConfig};
 use oftec_tec::TecDeviceParams;
+use oftec_thermal::{CoolingConfig, HybridCoolingModel, PackageConfig};
 use oftec_units::{Power, Temperature};
 
 /// Everything OFTEC needs for one workload: the die, the Table 1 package,

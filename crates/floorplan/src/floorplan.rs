@@ -61,9 +61,11 @@ impl core::fmt::Display for FloorplanError {
             Self::DuplicateName(n) => write!(f, "duplicate unit name: {n}"),
             Self::OutOfBounds(n) => write!(f, "unit extends beyond the die: {n}"),
             Self::Overlap(a, b) => write!(f, "units overlap: {a} and {b}"),
-            Self::IncompleteCoverage(frac) =>
-
-                write!(f, "floorplan leaves {:.2}% of the die uncovered", frac * 100.0),
+            Self::IncompleteCoverage(frac) => write!(
+                f,
+                "floorplan leaves {:.2}% of the die uncovered",
+                frac * 100.0
+            ),
             Self::Empty => write!(f, "floorplan has no units"),
         }
     }
@@ -265,12 +267,7 @@ mod tests {
 
     #[test]
     fn out_of_bounds_rejected() {
-        let fp = Floorplan::new(
-            "oob",
-            mm(1.0),
-            mm(1.0),
-            vec![unit("a", 0.5, 0.0, 1.0, 1.0)],
-        );
+        let fp = Floorplan::new("oob", mm(1.0), mm(1.0), vec![unit("a", 0.5, 0.0, 1.0, 1.0)]);
         assert_eq!(fp.validate(), Err(FloorplanError::OutOfBounds("a".into())));
     }
 
@@ -280,10 +277,7 @@ mod tests {
             "ovl",
             mm(2.0),
             mm(1.0),
-            vec![
-                unit("a", 0.0, 0.0, 1.2, 1.0),
-                unit("b", 1.0, 0.0, 1.0, 1.0),
-            ],
+            vec![unit("a", 0.0, 0.0, 1.2, 1.0), unit("b", 1.0, 0.0, 1.0, 1.0)],
         );
         assert_eq!(
             fp.validate(),
@@ -293,12 +287,7 @@ mod tests {
 
     #[test]
     fn incomplete_coverage_rejected() {
-        let fp = Floorplan::new(
-            "gap",
-            mm(2.0),
-            mm(1.0),
-            vec![unit("a", 0.0, 0.0, 1.0, 1.0)],
-        );
+        let fp = Floorplan::new("gap", mm(2.0), mm(1.0), vec![unit("a", 0.0, 0.0, 1.0, 1.0)]);
         match fp.validate() {
             Err(FloorplanError::IncompleteCoverage(frac)) => {
                 assert!((frac - 0.5).abs() < 1e-9);

@@ -315,7 +315,11 @@ mod tests {
     #[test]
     fn distribute_conserves_power() {
         let fp = alpha21264();
-        for dims in [GridDims::new(8, 8), GridDims::new(13, 17), GridDims::new(32, 32)] {
+        for dims in [
+            GridDims::new(8, 8),
+            GridDims::new(13, 17),
+            GridDims::new(32, 32),
+        ] {
             let map = GridMap::new(&fp, dims);
             let unit_powers: Vec<f64> = (0..fp.units().len()).map(|i| 1.0 + i as f64).collect();
             let cells = map.distribute(&unit_powers);

@@ -30,8 +30,8 @@ mod parser;
 mod rect;
 
 pub use alpha::alpha21264;
-pub use generator::{grid_floorplan, multicore_floorplan};
 pub use floorplan::{Floorplan, FloorplanError, FunctionalUnit};
+pub use generator::{grid_floorplan, multicore_floorplan};
 pub use gridmap::{CellCoverage, GridDims, GridMap};
 pub use parser::{parse_flp, write_flp, FlpParseError};
 pub use rect::Rect;

@@ -156,7 +156,10 @@ mod tests {
 
     #[test]
     fn empty_file_rejected() {
-        assert_eq!(parse_flp("t", "# nothing\n").unwrap_err(), FlpParseError::NoUnits);
+        assert_eq!(
+            parse_flp("t", "# nothing\n").unwrap_err(),
+            FlpParseError::NoUnits
+        );
     }
 
     #[test]

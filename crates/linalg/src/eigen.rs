@@ -179,8 +179,7 @@ mod tests {
         let n = 20;
         let a = laplacian(n);
         let exact_min = 2.0 - 2.0 * (std::f64::consts::PI / (n as f64 + 1.0)).cos();
-        let exact_max =
-            2.0 - 2.0 * (n as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+        let exact_max = 2.0 - 2.0 * (n as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
         let (lo, _) = smallest_eigenvalue(&a, &EigenParams::default()).unwrap();
         let (hi, _) = largest_eigenvalue(&a, &EigenParams::default()).unwrap();
         assert!((lo - exact_min).abs() < 1e-5, "min {lo} vs {exact_min}");

@@ -404,7 +404,10 @@ mod tests {
             ..Default::default()
         };
         let err = solve_cg(&a, &b, None, &m, &params).unwrap_err();
-        assert!(matches!(err, LinalgError::NotConverged { iterations: 2, .. }));
+        assert!(matches!(
+            err,
+            LinalgError::NotConverged { iterations: 2, .. }
+        ));
     }
 
     #[test]

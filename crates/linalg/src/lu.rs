@@ -213,10 +213,7 @@ mod tests {
     #[test]
     fn not_square_rejected() {
         let a = Matrix::zeros(2, 3);
-        assert_eq!(
-            LuFactor::new(&a).unwrap_err(),
-            LinalgError::NotSquare(2, 3)
-        );
+        assert_eq!(LuFactor::new(&a).unwrap_err(), LinalgError::NotSquare(2, 3));
     }
 
     #[test]

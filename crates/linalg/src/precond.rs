@@ -59,9 +59,21 @@ impl JacobiPreconditioner {
     /// Returns [`LinalgError::Breakdown`] if any diagonal entry is zero or
     /// not finite.
     pub fn new(a: &CsrMatrix) -> Result<Self, LinalgError> {
-        let diag = a.diagonal();
+        Self::from_diagonal(&a.diagonal())
+    }
+
+    /// Builds the preconditioner from an explicit diagonal, skipping the
+    /// per-row binary searches of [`JacobiPreconditioner::new`]. Useful
+    /// when the caller already tracks the diagonal entries (e.g. through
+    /// [`CsrMatrix::entry_index`] on a cached assembly skeleton).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Breakdown`] if any entry is zero or not
+    /// finite.
+    pub fn from_diagonal(diag: &[f64]) -> Result<Self, LinalgError> {
         let mut inv = Vec::with_capacity(diag.len());
-        for d in diag {
+        for &d in diag {
             if d == 0.0 || !d.is_finite() {
                 return Err(LinalgError::Breakdown("zero or non-finite diagonal"));
             }
@@ -94,10 +106,17 @@ pub struct Ilu0Preconditioner {
     /// The ILU factors stored in the same CSR pattern as A (L strict lower
     /// with implied unit diagonal, U upper including diagonal).
     factors: CsrMatrix,
+    /// Position of the `(i, i)` entry in the CSR arrays, per row: the
+    /// split point between the L and U parts of each row.
+    diag_pos: Vec<usize>,
 }
 
 impl Ilu0Preconditioner {
     /// Computes the ILU(0) factorization.
+    ///
+    /// The factorization mutates a scratch clone of `A` in place; hot
+    /// sweep loops re-factor once per operating point, so this avoids any
+    /// triplet rebuild or re-sort of the (unchanged) sparsity pattern.
     ///
     /// # Errors
     ///
@@ -109,18 +128,11 @@ impl Ilu0Preconditioner {
         }
         let n = a.rows();
         let mut factors = a.clone();
-        // Work on raw arrays.
         let (row_ptr, col_idx) = {
             let (rp, ci, _) = factors.raw();
             (rp.to_vec(), ci.to_vec())
         };
-        // values are mutated in place through a local copy then stored back.
-        let mut values = {
-            let (_, _, v) = factors.raw();
-            v.to_vec()
-        };
 
-        // Standard IKJ-variant ILU(0).
         // diag_pos[i] = position of (i, i) in the CSR arrays.
         let mut diag_pos = vec![usize::MAX; n];
         for i in 0..n {
@@ -134,12 +146,11 @@ impl Ilu0Preconditioner {
             }
         }
 
+        // Standard IKJ-variant ILU(0), updating the values in place.
+        let values = factors.values_mut();
         for i in 1..n {
-            for kk in row_ptr[i]..row_ptr[i + 1] {
+            for kk in row_ptr[i]..diag_pos[i] {
                 let k = col_idx[kk];
-                if k >= i {
-                    break;
-                }
                 let pivot = values[diag_pos[k]];
                 if pivot == 0.0 || !pivot.is_finite() {
                     return Err(LinalgError::Breakdown("zero pivot in ILU(0)"));
@@ -161,56 +172,33 @@ impl Ilu0Preconditioner {
             }
         }
 
-        // Store back.
-        factors = rebuild_csr(n, row_ptr, col_idx, values);
-        Ok(Self { factors })
+        Ok(Self { factors, diag_pos })
     }
 }
-
-/// Reassembles a CSR matrix from raw arrays (internal helper).
-fn rebuild_csr(n: usize, row_ptr: Vec<usize>, col_idx: Vec<usize>, values: Vec<f64>) -> CsrMatrix {
-    let mut t = Triplets::with_capacity(n, n, values.len());
-    for i in 0..n {
-        for k in row_ptr[i]..row_ptr[i + 1] {
-            t.push(i, col_idx[k], values[k]);
-        }
-    }
-    t.to_csr()
-}
-
-use crate::Triplets;
 
 impl Preconditioner for Ilu0Preconditioner {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         let n = self.factors.rows();
         assert_eq!(r.len(), n, "preconditioner dimension mismatch");
         assert_eq!(z.len(), n, "preconditioner dimension mismatch");
-        // Forward solve L·y = r (unit diagonal).
+        let (row_ptr, col_idx, values) = self.factors.raw();
+        // Forward solve L·y = r (unit diagonal): entries left of the
+        // diagonal position.
         for i in 0..n {
             let mut sum = r[i];
-            for (j, v) in self.factors.row_iter(i) {
-                if j >= i {
-                    break;
-                }
-                sum -= v * z[j];
+            for k in row_ptr[i]..self.diag_pos[i] {
+                sum -= values[k] * z[col_idx[k]];
             }
             z[i] = sum;
         }
-        // Backward solve U·z = y.
+        // Backward solve U·z = y: the diagonal entry and everything after.
         for i in (0..n).rev() {
+            let d = self.diag_pos[i];
             let mut sum = z[i];
-            let mut diag = 1.0;
-            for (j, v) in self.factors.row_iter(i) {
-                if j < i {
-                    continue;
-                }
-                if j == i {
-                    diag = v;
-                } else {
-                    sum -= v * z[j];
-                }
+            for k in (d + 1)..row_ptr[i + 1] {
+                sum -= values[k] * z[col_idx[k]];
             }
-            z[i] = sum / diag;
+            z[i] = sum / values[d];
         }
     }
 
@@ -222,7 +210,7 @@ impl Preconditioner for Ilu0Preconditioner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::vector;
+    use crate::{vector, Triplets};
 
     fn laplacian_1d(n: usize) -> CsrMatrix {
         let mut t = Triplets::new(n, n);
@@ -254,6 +242,20 @@ mod tests {
         let mut z = vec![0.0; 3];
         p.apply(&[2.0, 4.0, 6.0], &mut z);
         assert_eq!(z, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn jacobi_from_diagonal_matches_matrix_path() {
+        let a = laplacian_1d(4);
+        let from_matrix = JacobiPreconditioner::new(&a).unwrap();
+        let from_diag = JacobiPreconditioner::from_diagonal(&a.diagonal()).unwrap();
+        let r = [1.0, -2.0, 3.0, 0.5];
+        let (mut z1, mut z2) = (vec![0.0; 4], vec![0.0; 4]);
+        from_matrix.apply(&r, &mut z1);
+        from_diag.apply(&r, &mut z2);
+        assert_eq!(z1, z2);
+        assert!(JacobiPreconditioner::from_diagonal(&[1.0, 0.0]).is_err());
+        assert!(JacobiPreconditioner::from_diagonal(&[1.0, f64::NAN]).is_err());
     }
 
     #[test]

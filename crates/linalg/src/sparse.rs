@@ -304,6 +304,41 @@ impl CsrMatrix {
     pub(crate) fn raw(&self) -> (&[usize], &[usize], &[f64]) {
         (&self.row_ptr, &self.col_idx, &self.values)
     }
+
+    /// The stored values, in CSR order (row-major, columns ascending).
+    ///
+    /// Positions returned by [`CsrMatrix::entry_index`] index into this
+    /// slice.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the stored values.
+    ///
+    /// The sparsity pattern is fixed; this only rewrites the numeric
+    /// entries. Together with [`CsrMatrix::entry_index`] it supports
+    /// skeleton-style assembly: build the pattern once, then fold each
+    /// operating point into a scratch copy in place.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Position of the stored entry `(row, col)` in [`CsrMatrix::values`],
+    /// or `None` if the entry is not part of the sparsity pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn entry_index(&self, row: usize, col: usize) -> Option<usize> {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
+        self.col_idx[lo..hi]
+            .binary_search(&col)
+            .ok()
+            .map(|pos| lo + pos)
+    }
 }
 
 #[cfg(test)]
@@ -410,5 +445,20 @@ mod tests {
     fn out_of_bounds_push_panics() {
         let mut t = Triplets::new(2, 2);
         t.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn entry_index_addresses_values() {
+        let m = sample();
+        for i in 0..3 {
+            let k = m.entry_index(i, i).unwrap();
+            assert_eq!(m.values()[k], 2.0);
+        }
+        assert_eq!(m.entry_index(0, 2), None);
+        // In-place edit through the index changes what `get` sees.
+        let mut m = m;
+        let k = m.entry_index(1, 1).unwrap();
+        m.values_mut()[k] = 7.5;
+        assert_eq!(m.get(1, 1), 7.5);
     }
 }

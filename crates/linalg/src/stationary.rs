@@ -236,7 +236,10 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert!(matches!(err, LinalgError::NotConverged { iterations: 1, .. }));
+        assert!(matches!(
+            err,
+            LinalgError::NotConverged { iterations: 1, .. }
+        ));
     }
 
     #[test]

@@ -106,11 +106,7 @@ mod tests {
 
     fn ladder(n: usize) -> Tridiagonal {
         // [2 -1; -1 2 -1; …] — the 1-D conduction ladder.
-        Tridiagonal::new(
-            vec![-1.0; n],
-            vec![2.0; n],
-            vec![-1.0; n],
-        )
+        Tridiagonal::new(vec![-1.0; n], vec![2.0; n], vec![-1.0; n])
     }
 
     #[test]
@@ -125,7 +121,11 @@ mod tests {
     #[test]
     fn known_small_system() {
         // [2 1 0; 1 3 1; 0 1 2]·x = [3, 5, 3] → x = [1, 1, 1].
-        let t = Tridiagonal::new(vec![0.0, 1.0, 1.0], vec![2.0, 3.0, 2.0], vec![1.0, 1.0, 0.0]);
+        let t = Tridiagonal::new(
+            vec![0.0, 1.0, 1.0],
+            vec![2.0, 3.0, 2.0],
+            vec![1.0, 1.0, 0.0],
+        );
         let x = t.solve(&[3.0, 5.0, 3.0]).unwrap();
         for xi in &x {
             assert!((xi - 1.0).abs() < 1e-12, "{x:?}");
@@ -141,7 +141,10 @@ mod tests {
     #[test]
     fn singular_detected() {
         let t = Tridiagonal::new(vec![0.0, 0.0], vec![0.0, 1.0], vec![0.0, 0.0]);
-        assert!(matches!(t.solve(&[1.0, 1.0]), Err(LinalgError::Singular(0))));
+        assert!(matches!(
+            t.solve(&[1.0, 1.0]),
+            Err(LinalgError::Singular(0))
+        ));
     }
 
     #[test]

@@ -115,7 +115,10 @@ mod tests {
             for (bi, yi) in bs.iter().zip(&y) {
                 assert!((bi - yi).abs() < 1e-8, "secant violated");
             }
-            assert!(CholeskyFactor::new(&b).is_ok(), "lost positive definiteness");
+            assert!(
+                CholeskyFactor::new(&b).is_ok(),
+                "lost positive definiteness"
+            );
         }
         // And the quadratic form along the last direction matches A's.
         let s = [0.9, 0.1];

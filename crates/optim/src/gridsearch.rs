@@ -25,11 +25,15 @@ impl Default for GridSearch {
 impl GridSearch {
     /// Finds the best feasible grid point. Only practical for `dim ≤ 3`.
     ///
+    /// Grid points are evaluated on [`oftec_parallel`] worker threads; the
+    /// winner is reduced serially in flat-index order, so ties resolve to
+    /// the same point a serial scan would pick at any thread count.
+    ///
     /// # Errors
     ///
     /// - [`OptimError::Subproblem`] if `dim > 3` (the grid would explode),
     /// - [`OptimError::BadStart`] if no feasible grid point exists.
-    pub fn solve<P: NlpProblem>(
+    pub fn solve<P: NlpProblem + Sync>(
         &self,
         problem: &P,
         _x0: &[f64],
@@ -47,28 +51,39 @@ impl GridSearch {
             lo[dim] + (hi[dim] - lo[dim]) * idx as f64 / (k - 1) as f64
         };
         let total = k.pow(n as u32);
-        let mut best: Option<(Vec<f64>, f64)> = None;
-        let mut evals = 0usize;
-        let mut x = vec![0.0; n];
-        for flat in 0..total {
+
+        // Each grid point is independent: evaluate them in parallel,
+        // recording the value (if feasible and evaluable) and how many of
+        // the two oracles actually ran.
+        let evaluated = oftec_parallel::par_map_range(total, |flat| {
+            let mut x = vec![0.0; n];
             let mut rem = flat;
             for (d, xd) in x.iter_mut().enumerate() {
-                let _ = d;
                 *xd = coords(d, rem % k);
                 rem /= k;
             }
-            evals += 2;
-            let Some(c) = problem.constraints(&x) else {
-                continue;
+            // The constraint oracle always runs; the objective only runs
+            // for feasible, constraint-evaluable points.
+            let feasible = match problem.constraints(&x) {
+                Some(c) => !c.iter().any(|&ci| ci < -self.feasibility_tol),
+                None => false,
             };
-            if c.iter().any(|&ci| ci < -self.feasibility_tol) {
-                continue;
+            if !feasible {
+                return (x, None, 1usize);
             }
-            let Some(f) = problem.objective(&x) else {
-                continue;
-            };
+            match problem.objective(&x) {
+                Some(f) => (x, Some(f), 2),
+                None => (x, None, 2),
+            }
+        });
+
+        let mut best: Option<(Vec<f64>, f64)> = None;
+        let mut evals = 0usize;
+        for (x, value, point_evals) in evaluated {
+            evals += point_evals;
+            let Some(f) = value else { continue };
             if best.as_ref().is_none_or(|(_, bf)| f < *bf) {
-                best = Some((x.clone(), f));
+                best = Some((x, f));
             }
         }
         match best {
@@ -79,9 +94,7 @@ impl GridSearch {
                 evaluations: evals,
                 converged: true,
             }),
-            None => Err(OptimError::BadStart(
-                "no feasible grid point found".into(),
-            )),
+            None => Err(OptimError::BadStart("no feasible grid point found".into())),
         }
     }
 }
@@ -124,6 +137,28 @@ mod tests {
         .solve(&p, &[0.0], &SolveOptions::default())
         .unwrap();
         assert!((r.x[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluation_count_distinguishes_oracles() {
+        // Feasible only for x ≥ 0.5 (51 of 101 points); the objective runs
+        // only there, so the eval count is 101 constraint calls + 51
+        // objective calls — not 2 per grid point.
+        let p = FnProblem::new(
+            vec![0.0],
+            vec![1.0],
+            |x| Some(x[0]),
+            1,
+            |x| Some(vec![x[0] - 0.5]),
+        );
+        let r = GridSearch {
+            points_per_dim: 101,
+            ..Default::default()
+        }
+        .solve(&p, &[0.0], &SolveOptions::default())
+        .unwrap();
+        assert_eq!(r.iterations, 101);
+        assert_eq!(r.evaluations, 101 + 51);
     }
 
     #[test]

@@ -2,8 +2,10 @@
 //! alternatives the paper benchmarked against active-set SQP (§5.2).
 
 use crate::problem::PENALTY_OBJECTIVE;
-use crate::{backtrack, central_gradient, damped_bfgs_update, NlpProblem, OptimError,
-    SolveOptions, SolveResult};
+use crate::{
+    backtrack, central_gradient, damped_bfgs_update, NlpProblem, OptimError, SolveOptions,
+    SolveResult,
+};
 use oftec_linalg::{vector, LuFactor, Matrix};
 
 /// Barrier interior-point solver: minimizes
@@ -65,11 +67,7 @@ impl InteriorPoint {
                 "objective fails at the starting point".into(),
             ));
         }
-        if !problem
-            .constraints_or_penalty(&x)
-            .iter()
-            .all(|&c| c > 0.0)
-        {
+        if !problem.constraints_or_penalty(&x).iter().all(|&c| c > 0.0) {
             return Err(OptimError::BadStart(
                 "interior point requires a strictly feasible start".into(),
             ));
@@ -139,15 +137,8 @@ impl InteriorPoint {
                     vector::scaled(-1.0, &g)
                 };
                 let slope = vector::dot(&g, &dir);
-                let (alpha, f_new, ls) = backtrack(
-                    |p| barrier(p, mu),
-                    &x,
-                    fx,
-                    &dir,
-                    slope,
-                    1e-4,
-                    50,
-                );
+                let (alpha, f_new, ls) =
+                    backtrack(|p| barrier(p, mu), &x, fx, &dir, slope, 1e-4, 50);
                 evals += ls;
                 if alpha == 0.0 {
                     break;

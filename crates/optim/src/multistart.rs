@@ -38,6 +38,12 @@ pub fn grid_starts<P: NlpProblem>(problem: &P, per_dim: usize) -> Vec<Vec<f64>> 
 /// Runs `solve` from each start and returns the best outcome, preferring
 /// feasible results (constraint tolerance `1e-6`) and lower objectives.
 ///
+/// The starts run concurrently on [`oftec_parallel`] worker threads
+/// (every solver in this crate is a pure function of its inputs); the
+/// winner is reduced serially in start order, so the outcome — including
+/// which of two equal-objective results wins — matches a serial loop at
+/// any thread count.
+///
 /// Individual solver failures are tolerated; only if *every* start fails
 /// is the last error returned.
 ///
@@ -55,14 +61,15 @@ pub fn multistart<P, F>(
     solve: F,
 ) -> Result<SolveResult, OptimError>
 where
-    P: NlpProblem,
-    F: Fn(&P, &[f64], &SolveOptions) -> Result<SolveResult, OptimError>,
+    P: NlpProblem + Sync,
+    F: Fn(&P, &[f64], &SolveOptions) -> Result<SolveResult, OptimError> + Sync,
 {
     assert!(!starts.is_empty(), "multistart needs at least one start");
+    let outcomes = oftec_parallel::par_map_indexed(starts, |_, start| solve(problem, start, opts));
     let mut best: Option<(bool, SolveResult)> = None;
     let mut last_err = None;
-    for start in starts {
-        match solve(problem, start, opts) {
+    for outcome in outcomes {
+        match outcome {
             Ok(result) => {
                 let feasible = problem.is_feasible(&result.x, 1e-6);
                 let better = match &best {

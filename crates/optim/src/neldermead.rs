@@ -279,9 +279,7 @@ mod tests {
         let p = FnProblem::new(
             vec![-5.0],
             vec![5.0],
-            |x| {
-                Some((x[0] - 1.5).powi(2) + 0.001 * (1e4 * x[0]).sin())
-            },
+            |x| Some((x[0] - 1.5).powi(2) + 0.001 * (1e4 * x[0]).sin()),
             0,
             |_| Some(Vec::new()),
         );

@@ -201,12 +201,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "must not exceed")]
     fn crossed_bounds_panic() {
-        let _ = FnProblem::new(
-            vec![1.0],
-            vec![0.0],
-            |_| Some(0.0),
-            0,
-            |_| Some(Vec::new()),
-        );
+        let _ = FnProblem::new(vec![1.0], vec![0.0], |_| Some(0.0), 0, |_| Some(Vec::new()));
     }
 }

@@ -195,8 +195,7 @@ mod tests {
     fn single_active_inequality() {
         // min ½‖d‖² − d₁ s.t. d₁ ≤ 0.5 (−d₁ ≥ −0.5): optimum at d₁ = 0.5.
         let rows = vec![(vec![-1.0, 0.0], -0.5)];
-        let (d, lambda) =
-            solve_qp(&identity2(), &[-1.0, 0.0], &rows, &[0.0, 0.0]).unwrap();
+        let (d, lambda) = solve_qp(&identity2(), &[-1.0, 0.0], &rows, &[0.0, 0.0]).unwrap();
         assert!((d[0] - 0.5).abs() < 1e-9, "{d:?}");
         assert!(d[1].abs() < 1e-9);
         assert!(lambda[0] > 0.0, "active constraint must have λ > 0");
@@ -206,8 +205,7 @@ mod tests {
     fn inactive_constraint_has_zero_multiplier() {
         // Same objective, loose constraint d₁ ≤ 10: unconstrained optimum.
         let rows = vec![(vec![-1.0, 0.0], -10.0)];
-        let (d, lambda) =
-            solve_qp(&identity2(), &[-1.0, 0.0], &rows, &[0.0, 0.0]).unwrap();
+        let (d, lambda) = solve_qp(&identity2(), &[-1.0, 0.0], &rows, &[0.0, 0.0]).unwrap();
         assert!((d[0] - 1.0).abs() < 1e-9);
         assert_eq!(lambda[0], 0.0);
     }
@@ -217,8 +215,7 @@ mod tests {
         // min ½‖d − (2,2)‖² s.t. d₁ ≤ 1, d₂ ≤ 1: optimum at (1,1).
         // Expand: ½dᵀd − (2,2)ᵀd + const.
         let rows = vec![(vec![-1.0, 0.0], -1.0), (vec![0.0, -1.0], -1.0)];
-        let (d, lambda) =
-            solve_qp(&identity2(), &[-2.0, -2.0], &rows, &[0.0, 0.0]).unwrap();
+        let (d, lambda) = solve_qp(&identity2(), &[-2.0, -2.0], &rows, &[0.0, 0.0]).unwrap();
         assert!((d[0] - 1.0).abs() < 1e-9);
         assert!((d[1] - 1.0).abs() < 1e-9);
         assert!(lambda[0] > 0.0 && lambda[1] > 0.0);

@@ -335,9 +335,7 @@ mod tests {
         let p = FnProblem::new(
             vec![-2.0, -2.0],
             vec![2.0, 2.0],
-            |x| {
-                Some((1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2))
-            },
+            |x| Some((1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)),
             0,
             |_| Some(Vec::new()),
         );
@@ -439,19 +437,15 @@ mod tests {
             .unwrap();
         assert!(r.objective < 100.0);
         assert!(!r.converged, "predicate should stop before convergence");
-        let full = ActiveSetSqp::default().solve(&p, &[-15.0], &opts()).unwrap();
+        let full = ActiveSetSqp::default()
+            .solve(&p, &[-15.0], &opts())
+            .unwrap();
         assert!(full.iterations >= r.iterations);
     }
 
     #[test]
     fn bad_start_rejected() {
-        let p = FnProblem::new(
-            vec![0.0],
-            vec![1.0],
-            |_| None,
-            0,
-            |_| Some(Vec::new()),
-        );
+        let p = FnProblem::new(vec![0.0], vec![1.0], |_| None, 0, |_| Some(Vec::new()));
         let err = ActiveSetSqp::default()
             .solve(&p, &[0.5], &opts())
             .unwrap_err();

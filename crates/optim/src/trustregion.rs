@@ -2,8 +2,9 @@
 //! alternative (§5.2).
 
 use crate::problem::PENALTY_OBJECTIVE;
-use crate::{central_gradient, damped_bfgs_update, NlpProblem, OptimError, SolveOptions,
-    SolveResult};
+use crate::{
+    central_gradient, damped_bfgs_update, NlpProblem, OptimError, SolveOptions, SolveResult,
+};
 use oftec_linalg::{vector, LuFactor, Matrix};
 
 /// Trust-region solver on the quadratic-penalty function
@@ -104,7 +105,11 @@ impl TrustRegion {
                 let bg = b.matvec(&g);
                 let gbg = vector::dot(&g, &bg);
                 let gg = vector::dot(&g, &g);
-                let tau = if gbg > 0.0 { gg / gbg } else { radius / gg.sqrt() };
+                let tau = if gbg > 0.0 {
+                    gg / gbg
+                } else {
+                    radius / gg.sqrt()
+                };
                 vector::scaled(-tau, &g)
             };
             let p_b = LuFactor::new(&b)
@@ -122,8 +127,7 @@ impl TrustRegion {
             evals += 1;
             // Predicted reduction from the quadratic model.
             let bs = b.matvec(&actual_step);
-            let predicted =
-                -(vector::dot(&g, &actual_step) + 0.5 * vector::dot(&actual_step, &bs));
+            let predicted = -(vector::dot(&g, &actual_step) + 0.5 * vector::dot(&actual_step, &bs));
             let actual = fx - f_trial;
             let ratio = if predicted.abs() > 1e-16 {
                 actual / predicted

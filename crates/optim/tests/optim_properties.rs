@@ -2,9 +2,7 @@
 //! with known solutions.
 
 use oftec_linalg::{vector, LuFactor, Matrix};
-use oftec_optim::{
-    solve_qp, ActiveSetSqp, FnProblem, InteriorPoint, NlpProblem, SolveOptions,
-};
+use oftec_optim::{solve_qp, ActiveSetSqp, FnProblem, InteriorPoint, NlpProblem, SolveOptions};
 use proptest::prelude::*;
 
 /// Random SPD 2×2 matrix `BᵀB + I` plus a random linear term.

@@ -1,0 +1,229 @@
+//! A small data-parallel executor built on `std::thread::scope` — the
+//! workspace's substitute for rayon-style `par_iter`, kept dependency-free
+//! per DESIGN.md ("no crossbeam, no rayon").
+//!
+//! # Design
+//!
+//! [`par_map_indexed`] maps a function over a slice of items on a pool of
+//! scoped threads. Work is handed out through a shared atomic counter
+//! (dynamic chunking degenerates to one-item-at-a-time, which is fine:
+//! every OFTEC work item is a linear solve or an optimizer run, far
+//! heavier than a `fetch_add`). Each worker collects `(index, result)`
+//! pairs locally; after the scope joins, results are scattered into the
+//! output vector **by index**, so the output order — and therefore every
+//! downstream reduction — is identical to the serial order regardless of
+//! thread count or scheduling.
+//!
+//! A panic on any worker is re-raised on the caller via
+//! [`std::panic::resume_unwind`] once all threads have joined, matching
+//! the behavior of a serial loop that panics mid-way (no result is
+//! returned, nothing is swallowed).
+//!
+//! # Thread count
+//!
+//! [`thread_count`] defaults to [`std::thread::available_parallelism`] and
+//! honors the `OFTEC_THREADS` environment variable (clamped to ≥ 1), so
+//! experiments can be pinned to one thread for timing baselines or
+//! oversubscribed for scaling studies without recompiling.
+
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-worker harvest: indexed results, or the payload of a panic caught
+/// on that worker.
+type WorkerHarvest<R> = Result<Vec<(usize, R)>, Box<dyn std::any::Any + Send>>;
+
+/// The worker-pool size used by the `par_*` entry points: the
+/// `OFTEC_THREADS` environment variable if set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`] (1 if unknown).
+pub fn thread_count() -> usize {
+    if let Ok(value) = std::env::var("OFTEC_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on [`thread_count`] scoped threads, returning the
+/// results in item order.
+///
+/// Equivalent to `items.iter().enumerate().map(|(i, x)| f(i, x)).collect()`
+/// — including the panic it would raise — but executed concurrently.
+///
+/// # Panics
+///
+/// Re-raises the payload of the first observed worker panic after all
+/// workers have joined.
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_indexed_with(thread_count(), items, f)
+}
+
+/// [`par_map_indexed`] with an explicit thread count — the deterministic
+/// building block tests use to compare 1-, 2- and 8-thread runs without
+/// racing on the process environment.
+///
+/// `threads` is clamped to `1..=items.len()`; `threads == 1` runs the map
+/// on the calling thread with no pool at all.
+///
+/// # Panics
+///
+/// Re-raises the payload of the first observed worker panic after all
+/// workers have joined.
+pub fn par_map_indexed_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.clamp(1, n);
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+
+    let mut collected: Vec<WorkerHarvest<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        // Stop claiming work after a panic so the
+                        // caller sees it promptly; items already
+                        // claimed by other workers still finish.
+                        let r = catch_unwind(AssertUnwindSafe(|| f(i, &items[i])))?;
+                        local.push((i, r));
+                    }
+                    Ok(local)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(Err))
+            .collect()
+    });
+
+    // Re-raise the first worker panic (by worker index, deterministic).
+    if let Some(pos) = collected.iter().position(Result::is_err) {
+        if let Err(payload) = collected.swap_remove(pos) {
+            resume_unwind(payload);
+        }
+    }
+
+    // Scatter into index order: bit-identical to the serial map.
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for local in collected {
+        for (i, r) in local.expect("errors handled above") {
+            out[i] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every index is claimed exactly once"))
+        .collect()
+}
+
+/// Maps `f` over the index range `0..n` in parallel — the slice-free
+/// variant for grid-style fan-outs where the index *is* the work item.
+///
+/// # Panics
+///
+/// Same contract as [`par_map_indexed`].
+pub fn par_map_range<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    par_map_range_with(thread_count(), n, f)
+}
+
+/// [`par_map_range`] with an explicit thread count.
+///
+/// # Panics
+///
+/// Same contract as [`par_map_indexed_with`].
+pub fn par_map_range_with<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    par_map_indexed_with(threads, &indices, |_, &i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<i32> = par_map_indexed_with(4, &[] as &[i32], |_, &x| x * 2);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_on_caller() {
+        let out = par_map_indexed_with(8, &[21], |i, &x| (i, x * 2));
+        assert_eq!(out, vec![(0, 42)]);
+    }
+
+    #[test]
+    fn results_arrive_in_index_order_at_any_thread_count() {
+        let items: Vec<usize> = (0..137).collect();
+        let serial: Vec<usize> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            let parallel = par_map_indexed_with(threads, &items, |_, &x| x * x + 1);
+            assert_eq!(parallel, serial, "mismatch at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn range_variant_matches_slice_variant() {
+        let a = par_map_range_with(4, 50, |i| 3 * i + 7);
+        let b: Vec<usize> = (0..50).map(|i| 3 * i + 7).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let hit = AtomicBool::new(false);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            par_map_range_with(4, 64, |i| {
+                if i == 13 {
+                    hit.store(true, Ordering::SeqCst);
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        }));
+        assert!(hit.load(Ordering::SeqCst));
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("boom at 13"), "unexpected payload {msg}");
+    }
+
+    #[test]
+    fn thread_count_is_at_least_one() {
+        assert!(thread_count() >= 1);
+    }
+}

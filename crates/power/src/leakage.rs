@@ -140,11 +140,7 @@ impl LeakageModel {
     /// Panics if `temps.len() != self.len()`.
     pub fn total_power_at(&self, temps: &[Temperature]) -> Power {
         assert_eq!(temps.len(), self.units.len(), "one temperature per unit");
-        self.units
-            .iter()
-            .zip(temps)
-            .map(|(u, &t)| u.power(t))
-            .sum()
+        self.units.iter().zip(temps).map(|(u, &t)| u.power(t)).sum()
     }
 
     /// Total runaway slope `Σ dPᵢ/dT` with every unit at temperature `t`.
@@ -204,11 +200,12 @@ mod tests {
     fn die_model_totals() {
         let die = LeakageModel::new(vec![model(), model().scaled(2.0)]);
         let t = Temperature::from_kelvin(330.0);
-        assert!(
-            (die.total_power(t).watts() - 3.0 * model().power(t).watts()).abs() < 1e-12
-        );
+        assert!((die.total_power(t).watts() - 3.0 * model().power(t).watts()).abs() < 1e-12);
         assert!((die.total_slope_at(t) - 0.035 * die.total_power(t).watts()).abs() < 1e-12);
-        let temps = [Temperature::from_kelvin(330.0), Temperature::from_kelvin(318.15)];
+        let temps = [
+            Temperature::from_kelvin(330.0),
+            Temperature::from_kelvin(318.15),
+        ];
         let expect = model().power(temps[0]).watts() + 2.0 * model().p_ref().watts();
         assert!((die.total_power_at(&temps).watts() - expect).abs() < 1e-12);
     }

@@ -13,7 +13,7 @@
 //! 90 °C on the five hot benchmarks, while the three cool benchmarks stay
 //! feasible (see EXPERIMENTS.md).
 
-use crate::{LeakageModel, ExponentialLeakage};
+use crate::{ExponentialLeakage, LeakageModel};
 use oftec_floorplan::Floorplan;
 use oftec_units::{Power, Temperature};
 
@@ -112,8 +112,7 @@ mod tests {
         let model = McpatBudget::alpha21264_22nm().distribute(&fp);
         let density = |name: &str| {
             let i = fp.unit_index(name).unwrap();
-            model.units()[i].p_ref().watts()
-                / fp.units()[i].rect().area().square_meters()
+            model.units()[i].p_ref().watts() / fp.units()[i].rect().area().square_meters()
         };
         assert!(density("Icache") > density("IntExec"));
         assert!((density("Icache") / density("IntExec") - 1.25).abs() < 1e-9);
@@ -148,8 +147,6 @@ mod tests {
         assert!(hot > cold);
         // At the reference point the slope equals β · total.
         let budget = McpatBudget::alpha21264_22nm();
-        assert!(
-            (cold - budget.beta_per_kelvin * budget.total_at_ref.watts()).abs() < 1e-9
-        );
+        assert!((cold - budget.beta_per_kelvin * budget.total_at_ref.watts()).abs() < 1e-9);
     }
 }

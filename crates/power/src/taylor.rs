@@ -176,8 +176,8 @@ mod tests {
         let lin2 = fit_linear_leakage(&gentle, Temperature::from_kelvin(345.0));
         for t_k in (0..=9).map(|i| 300.0 + 10.0 * i as f64) {
             let t = Temperature::from_kelvin(t_k);
-            let rel = (lin2.power(t).watts() - gentle.power(t).watts()).abs()
-                / gentle.power(t).watts();
+            let rel =
+                (lin2.power(t).watts() - gentle.power(t).watts()).abs() / gentle.power(t).watts();
             assert!(rel < 0.16, "rel error {rel} at {t_k} K");
         }
     }

@@ -86,10 +86,7 @@ impl WorkloadProfile {
         );
         let sum: f64 = weights.iter().map(|(_, w)| w).sum();
         assert!(sum > 0.0, "at least one weight must be positive");
-        let weights = weights
-            .into_iter()
-            .map(|(n, w)| (n, w / sum))
-            .collect();
+        let weights = weights.into_iter().map(|(n, w)| (n, w / sum)).collect();
         Self {
             name,
             total,
@@ -526,7 +523,12 @@ mod tests {
             Length::from_mm(1.0),
             vec![FunctionalUnit::new(
                 "OnlyUnit",
-                Rect::new(Length::ZERO, Length::ZERO, Length::from_mm(1.0), Length::from_mm(1.0)),
+                Rect::new(
+                    Length::ZERO,
+                    Length::ZERO,
+                    Length::from_mm(1.0),
+                    Length::from_mm(1.0),
+                ),
             )],
         );
         let err = Benchmark::Fft.max_dynamic_power(&fp).unwrap_err();

@@ -1,9 +1,7 @@
 //! Property tests of the workload synthesizer and leakage fits.
 
 use oftec_floorplan::alpha21264;
-use oftec_power::{
-    fit_linear_leakage_over, Benchmark, ExponentialLeakage, WorkloadProfile,
-};
+use oftec_power::{fit_linear_leakage_over, Benchmark, ExponentialLeakage, WorkloadProfile};
 use oftec_units::{Power, Temperature};
 use proptest::prelude::*;
 

@@ -91,9 +91,8 @@ mod tests {
             (forty.power(th, tc, i).watts() - 40.0 * one.power(th, tc, i).watts()).abs() < 1e-9
         );
         assert!(
-            (forty.heat_absorbed(th, tc, i).watts()
-                - 40.0 * one.heat_absorbed(th, tc, i).watts())
-            .abs()
+            (forty.heat_absorbed(th, tc, i).watts() - 40.0 * one.heat_absorbed(th, tc, i).watts())
+                .abs()
                 < 1e-9
         );
     }

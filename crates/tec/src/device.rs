@@ -36,9 +36,7 @@ impl TecDevice {
     /// Half of the Thomson heat `τ·I·ΔT` (zero unless the parameters set
     /// a Thomson coefficient — the paper's equations omit it).
     fn thomson_half(&self, dt_kelvin: f64, i: Current) -> Power {
-        Power::from_watts(
-            0.5 * self.params.thomson.volts_per_kelvin() * i.amperes() * dt_kelvin,
-        )
+        Power::from_watts(0.5 * self.params.thomson.volts_per_kelvin() * i.amperes() * dt_kelvin)
     }
 
     /// Heat absorbed per second from the cold side (Eq. (1) with N = 1):
@@ -69,8 +67,7 @@ impl TecDevice {
     pub fn power(&self, t_hot: Temperature, t_cold: Temperature, i: Current) -> Power {
         let dt = t_hot - t_cold;
         Power::from_watts(
-            (self.params.seebeck.volts_per_kelvin()
-                - self.params.thomson.volts_per_kelvin())
+            (self.params.seebeck.volts_per_kelvin() - self.params.thomson.volts_per_kelvin())
                 * dt.kelvin()
                 * i.amperes(),
         ) + i.joule_power(self.params.electrical_resistance)
@@ -119,11 +116,7 @@ impl TecDevice {
     ///
     /// Returns `None` when `ΔT ≤ 0` (no pumping needed; COP is unbounded
     /// as `I → 0`).
-    pub fn cop_optimal_current(
-        &self,
-        t_hot: Temperature,
-        t_cold: Temperature,
-    ) -> Option<Current> {
+    pub fn cop_optimal_current(&self, t_hot: Temperature, t_cold: Temperature) -> Option<Current> {
         let dt = (t_hot - t_cold).kelvin();
         if dt <= 0.0 {
             return None;
@@ -222,8 +215,12 @@ mod tests {
         let d = device();
         let tc = k(350.0);
         let i = a(2.0);
-        let cop_small = d.cop(tc + TemperatureDelta::from_kelvin(2.0), tc, i).unwrap();
-        let cop_large = d.cop(tc + TemperatureDelta::from_kelvin(15.0), tc, i).unwrap();
+        let cop_small = d
+            .cop(tc + TemperatureDelta::from_kelvin(2.0), tc, i)
+            .unwrap();
+        let cop_large = d
+            .cop(tc + TemperatureDelta::from_kelvin(15.0), tc, i)
+            .unwrap();
         assert!(cop_small > cop_large);
     }
 

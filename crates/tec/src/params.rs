@@ -1,7 +1,9 @@
 //! Physical parameters of one TEC unit.
 
-use oftec_units::{Area, Current, ElectricalResistance, Length, SeebeckCoefficient,
-    Temperature, ThermalConductance};
+use oftec_units::{
+    Area, Current, ElectricalResistance, Length, SeebeckCoefficient, Temperature,
+    ThermalConductance,
+};
 
 /// Aggregate physical parameters of one thin-film TEC unit (a mini-module
 /// of N-P couples wired in series and sandwiched between the die's TIM and
@@ -154,8 +156,7 @@ mod tests {
         // per unit area, which is the basis of the paper's baseline
         // fairness correction.
         let tim_per_area = 1.75 / 20e-6; // W/(m²·K)
-        let tec_per_area =
-            p.thermal_conductance.w_per_k() / p.footprint.square_meters();
+        let tec_per_area = p.thermal_conductance.w_per_k() / p.footprint.square_meters();
         assert!(tec_per_area > tim_per_area);
     }
 

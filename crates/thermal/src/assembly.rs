@@ -269,7 +269,11 @@ pub(crate) fn build_network(
     specs.push(LayerSpec {
         name: "spreader".into(),
         role: LayerRole::Conduct,
-        extent: centered_extent(center, cfg.spreader_edge.meters(), cfg.spreader_edge.meters()),
+        extent: centered_extent(
+            center,
+            cfg.spreader_edge.meters(),
+            cfg.spreader_edge.meters(),
+        ),
         dims: cfg.spreader_dims,
         thickness: cfg.spreader_thickness,
         conductivity: cfg.metal_conductivity,
@@ -278,7 +282,11 @@ pub(crate) fn build_network(
     specs.push(LayerSpec {
         name: "tim2".into(),
         role: LayerRole::Conduct,
-        extent: centered_extent(center, cfg.spreader_edge.meters(), cfg.spreader_edge.meters()),
+        extent: centered_extent(
+            center,
+            cfg.spreader_edge.meters(),
+            cfg.spreader_edge.meters(),
+        ),
         dims: cfg.spreader_dims,
         thickness: cfg.tim2_thickness,
         conductivity: cfg.tim_conductivity,
@@ -525,8 +533,7 @@ mod tests {
         );
         let cell_area = fp.die_area().square_meters() / cfg.die_dims.cells() as f64;
         let k_cell = dep.params().thermal_conductance.w_per_k() * dep.devices_per_cell();
-        let g_fill = cfg.tim_conductivity.w_per_m_k() * cell_area
-            / dep.params().thickness.meters();
+        let g_fill = cfg.tim_conductivity.w_per_m_k() * cell_area / dep.params().thickness.meters();
         assert!(k_cell > g_fill);
     }
 }

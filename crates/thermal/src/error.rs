@@ -50,9 +50,7 @@ impl From<LinalgError> for ThermalError {
             LinalgError::Breakdown("non-positive curvature in CG") => {
                 ThermalError::Runaway("negative curvature in the folded network matrix")
             }
-            LinalgError::Singular(_) => {
-                ThermalError::Runaway("thermal network matrix is singular")
-            }
+            LinalgError::Singular(_) => ThermalError::Runaway("thermal network matrix is singular"),
             other => ThermalError::Solver(other),
         }
     }

@@ -142,7 +142,9 @@ mod tests {
         let f = FanModel::dac14();
         let mut last = 0.0;
         for rpm in (0..=5000).step_by(100) {
-            let g = f.conductance(AngularVelocity::from_rpm(rpm as f64)).w_per_k();
+            let g = f
+                .conductance(AngularVelocity::from_rpm(rpm as f64))
+                .w_per_k();
             assert!(g >= last);
             last = g;
         }

@@ -54,6 +54,7 @@ mod fan;
 mod lumped;
 mod model;
 mod nonlinear;
+mod skeleton;
 mod solution;
 mod stack;
 mod transient;

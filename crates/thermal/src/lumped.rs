@@ -73,10 +73,9 @@ impl LumpedModel {
         let g_tim2 = config
             .tim_conductivity
             .conductance(spreader_area, config.tim2_thickness);
-        let g_sink = config.metal_conductivity.conductance(
-            config.sink_edge * config.sink_edge,
-            config.sink_thickness,
-        );
+        let g_sink = config
+            .metal_conductivity
+            .conductance(config.sink_edge * config.sink_edge, config.sink_thickness);
         let stack = g_chip
             .series(g_tim1)
             .series(g_spreader)
@@ -200,9 +199,7 @@ mod tests {
         let (lumped, grid) = setup(Benchmark::BitCount);
         let omega = rpm(5000.0);
         let l = lumped.solve(omega).unwrap();
-        let g = grid
-            .solve(crate::OperatingPoint::fan_only(omega))
-            .unwrap();
+        let g = grid.solve(crate::OperatingPoint::fan_only(omega)).unwrap();
         // The lumped temperature must underestimate the grid's hot spot…
         assert!(
             l.temperature < g.max_chip_temperature(),
@@ -211,8 +208,7 @@ mod tests {
             g.max_chip_temperature()
         );
         // …while staying in the same regime as the grid's *average*.
-        let avg = g.chip_temperatures().iter().sum::<f64>()
-            / g.chip_temperatures().len() as f64;
+        let avg = g.chip_temperatures().iter().sum::<f64>() / g.chip_temperatures().len() as f64;
         assert!((l.temperature.kelvin() - avg).abs() < 10.0);
     }
 

@@ -4,10 +4,13 @@
 use crate::assembly::{build_network, Network};
 use crate::config::{CoolingConfig, PackageConfig};
 use crate::error::ThermalError;
+use crate::skeleton::AssemblySkeleton;
 use crate::solution::{PowerBreakdown, ThermalSolution};
 use crate::stack::LayerRole;
 use oftec_floorplan::{Floorplan, GridMap};
-use oftec_linalg::{solve_cg, IterativeParams, JacobiPreconditioner};
+use oftec_linalg::{
+    solve_cg, CsrMatrix, Ilu0Preconditioner, IterativeParams, JacobiPreconditioner, Preconditioner,
+};
 use oftec_power::{fit_linear_leakage_over, ExponentialLeakage, LeakageModel};
 use oftec_tec::{TecDeployment, TecDeviceParams};
 use oftec_units::{AngularVelocity, Current, Power, Temperature};
@@ -69,6 +72,9 @@ pub struct HybridCoolingModel {
     cell_leak_exp: Vec<ExponentialLeakage>,
     /// TEC bookkeeping; `None` for fan-only models.
     tec: Option<TecFolding>,
+    /// Pre-assembled CSR pattern + base values; every solve folds its
+    /// operating point into a scratch copy instead of re-sorting triplets.
+    skeleton: AssemblySkeleton,
 }
 
 /// TEC sub-layer folding data.
@@ -229,6 +235,8 @@ impl HybridCoolingModel {
             None
         };
 
+        let skeleton = AssemblySkeleton::new(&network, config.ambient.kelvin());
+
         Ok(Self {
             network,
             config: config.clone(),
@@ -244,6 +252,7 @@ impl HybridCoolingModel {
             cell_leak,
             cell_leak_exp,
             tec,
+            skeleton,
         })
     }
 
@@ -386,6 +395,12 @@ impl HybridCoolingModel {
         &self.network
     }
 
+    /// The cached assembly skeleton (shared by the steady and transient
+    /// solve paths).
+    pub(crate) fn skeleton(&self) -> &AssemblySkeleton {
+        &self.skeleton
+    }
+
     /// Per-chip-cell dynamic power (W).
     pub(crate) fn dyn_power_slice(&self) -> &[f64] {
         &self.dyn_power
@@ -414,6 +429,25 @@ impl HybridCoolingModel {
                     }
                     triplets.push(tec.abs_start + cell, tec.abs_start + cell, alpha * i_tec);
                     triplets.push(tec.rej_start + cell, tec.rej_start + cell, -alpha * i_tec);
+                    rhs[tec.gen_start + cell] += tec.r_cell[cell] * i_tec * i_tec;
+                }
+            }
+        }
+    }
+
+    /// In-place counterpart of [`HybridCoolingModel::fold_tec_into`] for
+    /// skeleton-assembled matrices: the same Peltier diagonal terms and
+    /// Joule RHS injection, written through the cached diagonal indices.
+    pub(crate) fn fold_tec_in_place(&self, values: &mut [f64], rhs: &mut [f64], i_tec: f64) {
+        if let Some(tec) = &self.tec {
+            if i_tec != 0.0 {
+                for cell in 0..self.chip_cells {
+                    let alpha = tec.alpha_cell[cell];
+                    if alpha == 0.0 {
+                        continue;
+                    }
+                    values[self.skeleton.diag_index(tec.abs_start + cell)] += alpha * i_tec;
+                    values[self.skeleton.diag_index(tec.rej_start + cell)] += -alpha * i_tec;
                     rhs[tec.gen_start + cell] += tec.r_cell[cell] * i_tec * i_tec;
                 }
             }
@@ -470,15 +504,15 @@ impl HybridCoolingModel {
     pub fn runaway_margin(&self, op: OperatingPoint) -> Option<f64> {
         self.validate_operating_point(op).ok()?;
         let fan_g = self.config.fan.conductance(op.fan_speed).w_per_k();
-        let mut triplets = self.network.conductance_triplets(fan_g);
-        let mut rhs = vec![0.0; self.network.n_nodes];
-        for (cell, lk) in self.cell_leak.iter().enumerate() {
-            let node = self.chip_start + cell;
-            triplets.push(node, node, -lk.a);
+        let (mut matrix, mut rhs) = self.skeleton.assemble(fan_g);
+        {
+            let values = matrix.values_mut();
+            for (cell, lk) in self.cell_leak.iter().enumerate() {
+                values[self.skeleton.diag_index(self.chip_start + cell)] += -lk.a;
+            }
         }
-        self.fold_tec_into(&mut triplets, &mut rhs, op.tec_current.amperes());
-        let matrix = triplets.to_csr();
-        if matrix.diagonal().iter().any(|&d| d <= 0.0) {
+        self.fold_tec_in_place(matrix.values_mut(), &mut rhs, op.tec_current.amperes());
+        if self.skeleton.diagonal_of(&matrix).iter().any(|&d| d <= 0.0) {
             return None;
         }
         oftec_linalg::smallest_eigenvalue(&matrix, &oftec_linalg::EigenParams::default())
@@ -500,51 +534,136 @@ impl HybridCoolingModel {
         self.solve_linearized(op, &self.cell_leak, None)
     }
 
+    /// Like [`HybridCoolingModel::solve`], but warm-starting the CG
+    /// iteration from a previous node-temperature state (e.g. the
+    /// [`ThermalSolution::node_temperatures`] of a neighboring operating
+    /// point). Sweeps that chain solves along one axis converge in a few
+    /// iterations per point instead of starting from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HybridCoolingModel::solve`]; additionally
+    /// [`ThermalError::Config`] if `initial` has the wrong length.
+    pub fn solve_from(
+        &self,
+        op: OperatingPoint,
+        initial: Option<&[f64]>,
+    ) -> Result<ThermalSolution, ThermalError> {
+        self.validate_operating_point(op)?;
+        if let Some(init) = initial {
+            if init.len() != self.network.n_nodes {
+                return Err(ThermalError::Config(format!(
+                    "warm start has {} nodes, expected {}",
+                    init.len(),
+                    self.network.n_nodes
+                )));
+            }
+        }
+        self.solve_linearized(op, &self.cell_leak, initial)
+    }
+
+    /// Reference solve that reassembles the triplet list and re-sorts it
+    /// into CSR at every call — the pre-skeleton behavior. Kept as the
+    /// baseline for the `sweep_scaling` benchmark and as a cross-check
+    /// that the cached path assembles the same system.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HybridCoolingModel::solve`].
+    pub fn solve_reference(&self, op: OperatingPoint) -> Result<ThermalSolution, ThermalError> {
+        self.validate_operating_point(op)?;
+        let fan_g = self.config.fan.conductance(op.fan_speed).w_per_k();
+        let t_amb = self.config.ambient.kelvin();
+        let leak = &self.cell_leak;
+
+        let mut triplets = self.network.conductance_triplets(fan_g);
+        let mut rhs = self.network.ambient_rhs(fan_g, t_amb);
+        for (cell, lk) in leak.iter().enumerate() {
+            let node = self.chip_start + cell;
+            triplets.push(node, node, -lk.a);
+            rhs[node] += self.dyn_power[cell] + lk.b - lk.a * lk.t_ref;
+        }
+        self.fold_tec_into(&mut triplets, &mut rhs, op.tec_current.amperes());
+        let matrix = triplets.to_csr();
+        let diag = matrix.diagonal();
+        self.finish_steady_solve(op, &matrix, &rhs, &diag, leak, None, false)
+    }
+
     /// Core linearized solve: folds the operating point and the given
-    /// per-cell leakage lines into the diagonal and solves by CG.
+    /// per-cell leakage lines into a scratch copy of the cached skeleton
+    /// and solves by CG.
     pub(crate) fn solve_linearized(
         &self,
         op: OperatingPoint,
         leak: &[CellLeak],
         warm_start: Option<&[f64]>,
     ) -> Result<ThermalSolution, ThermalError> {
-        let n = self.network.n_nodes;
         let fan_g = self.config.fan.conductance(op.fan_speed).w_per_k();
-        let t_amb = self.config.ambient.kelvin();
         let i_tec = op.tec_current.amperes();
 
-        let mut triplets = self.network.conductance_triplets(fan_g);
-        let mut rhs = self.network.ambient_rhs(fan_g, t_amb);
+        let (mut matrix, mut rhs) = self.skeleton.assemble(fan_g);
 
         // Chip layer: dynamic power + linearized leakage.
-        for (cell, lk) in leak.iter().enumerate() {
-            let node = self.chip_start + cell;
-            triplets.push(node, node, -lk.a);
-            rhs[node] += self.dyn_power[cell] + lk.b - lk.a * lk.t_ref;
+        {
+            let values = matrix.values_mut();
+            for (cell, lk) in leak.iter().enumerate() {
+                let node = self.chip_start + cell;
+                values[self.skeleton.diag_index(node)] += -lk.a;
+                rhs[node] += self.dyn_power[cell] + lk.b - lk.a * lk.t_ref;
+            }
         }
 
         // TEC sub-layers: Peltier feedback on the diagonals, Joule
         // generation on the RHS (Figure 4 / Eqs. (5)–(7)).
-        self.fold_tec_into(&mut triplets, &mut rhs, i_tec);
+        self.fold_tec_in_place(matrix.values_mut(), &mut rhs, i_tec);
 
-        let matrix = triplets.to_csr();
+        let diag = self.skeleton.diagonal_of(&matrix);
+        self.finish_steady_solve(op, &matrix, &rhs, &diag, leak, warm_start, true)
+    }
+
+    /// Shared back half of the steady solves: runaway screen,
+    /// preconditioned CG, physical classification, solution packaging.
+    ///
+    /// `use_ilu` selects the preconditioner: the cached path factors the
+    /// folded matrix with ILU(0) — for this SPD, diagonally dominant
+    /// network matrix that is an incomplete Cholesky factorization, which
+    /// cuts the CG iteration count by roughly an order of magnitude — and
+    /// falls back to Jacobi if the factorization breaks down (a TEC fold
+    /// can weaken diagonal dominance to a zero pivot). The reference path
+    /// keeps plain Jacobi: it is the defined pre-skeleton baseline for the
+    /// `sweep_scaling` benchmark.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_steady_solve(
+        &self,
+        op: OperatingPoint,
+        matrix: &CsrMatrix,
+        rhs: &[f64],
+        diag: &[f64],
+        leak: &[CellLeak],
+        warm_start: Option<&[f64]>,
+        use_ilu: bool,
+    ) -> Result<ThermalSolution, ThermalError> {
+        let n = self.network.n_nodes;
 
         // Fast runaway screen: any non-positive diagonal certifies the
         // folded (symmetric) matrix is not positive definite.
-        let diag = matrix.diagonal();
         if diag.iter().any(|&d| d <= 0.0) {
             return Err(ThermalError::Runaway(
                 "non-positive diagonal in the folded network matrix",
             ));
         }
 
-        let precond = JacobiPreconditioner::new(&matrix).map_err(ThermalError::from)?;
+        let precond: Box<dyn Preconditioner> = if use_ilu {
+            folded_preconditioner(matrix, diag)?
+        } else {
+            Box::new(JacobiPreconditioner::from_diagonal(diag).map_err(ThermalError::from)?)
+        };
         let params = IterativeParams {
             rtol: 1e-10,
             atol: 1e-12,
             max_iter: 20 * n,
         };
-        let summary = solve_cg(&matrix, &rhs, warm_start, &precond, &params)
+        let summary = solve_cg(matrix, rhs, warm_start, precond.as_ref(), &params)
             .map_err(ThermalError::from)?;
         let temps = summary.x;
 
@@ -554,9 +673,7 @@ impl HybridCoolingModel {
             return Err(ThermalError::Runaway("non-finite temperatures"));
         }
         if temps.iter().any(|&t| t > cap) {
-            return Err(ThermalError::Runaway(
-                "temperatures beyond the runaway cap",
-            ));
+            return Err(ThermalError::Runaway("temperatures beyond the runaway cap"));
         }
         if temps.iter().any(|&t| t < 150.0) {
             return Err(ThermalError::Solver(oftec_linalg::LinalgError::Breakdown(
@@ -615,6 +732,23 @@ impl HybridCoolingModel {
     }
 }
 
+/// Strongest available preconditioner for a folded network matrix: ILU(0)
+/// — which for this symmetric positive-definite, diagonally dominant
+/// system coincides with an incomplete Cholesky factorization — with a
+/// Jacobi fallback if the factorization hits a zero pivot (a strong TEC
+/// fold can erode diagonal dominance near the runaway boundary).
+pub(crate) fn folded_preconditioner(
+    matrix: &CsrMatrix,
+    diag: &[f64],
+) -> Result<Box<dyn Preconditioner>, ThermalError> {
+    match Ilu0Preconditioner::new(matrix) {
+        Ok(ic) => Ok(Box::new(ic)),
+        Err(_) => Ok(Box::new(
+            JacobiPreconditioner::from_diagonal(diag).map_err(ThermalError::from)?,
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -651,11 +785,8 @@ mod tests {
             ..McpatBudget::alpha21264_22nm()
         }
         .distribute(&fp);
-        let model =
-            HybridCoolingModel::fan_only(&fp, &cfg, uniform_power(&fp, 0.0), &tiny);
-        let sol = model
-            .solve(OperatingPoint::fan_only(rpm(2000.0)))
-            .unwrap();
+        let model = HybridCoolingModel::fan_only(&fp, &cfg, uniform_power(&fp, 0.0), &tiny);
+        let sol = model.solve(OperatingPoint::fan_only(rpm(2000.0))).unwrap();
         let t = sol.max_chip_temperature();
         assert!(
             (t.kelvin() - cfg.ambient.kelvin()).abs() < 0.01,
@@ -709,8 +840,7 @@ mod tests {
         for &(i, share) in &net.ambient_fan {
             outflow += share * fan_g * (temps[i] - cfg.ambient.kelvin());
         }
-        let injected =
-            25.0 + sol.breakdown().leakage.watts() + sol.breakdown().tec.watts();
+        let injected = 25.0 + sol.breakdown().leakage.watts() + sol.breakdown().tec.watts();
         assert!(
             (outflow - injected).abs() < 1e-6 * injected.abs().max(1.0),
             "outflow {outflow} vs injected {injected}"
@@ -753,12 +883,8 @@ mod tests {
     fn moderate_tec_current_cools_the_die() {
         let fp = alpha21264();
         let cfg = PackageConfig::dac14_coarse();
-        let model = HybridCoolingModel::with_tec(
-            &fp,
-            &cfg,
-            core_heavy_power(&fp, 30.0),
-            &leakage(&fp),
-        );
+        let model =
+            HybridCoolingModel::with_tec(&fp, &cfg, core_heavy_power(&fp, 30.0), &leakage(&fp));
         let passive = model
             .solve(OperatingPoint::new(rpm(3000.0), amps(0.0)))
             .unwrap()
@@ -780,12 +906,8 @@ mod tests {
         // regime).
         let fp = alpha21264();
         let cfg = PackageConfig::dac14_coarse();
-        let model = HybridCoolingModel::with_tec(
-            &fp,
-            &cfg,
-            core_heavy_power(&fp, 30.0),
-            &leakage(&fp),
-        );
+        let model =
+            HybridCoolingModel::with_tec(&fp, &cfg, core_heavy_power(&fp, 30.0), &leakage(&fp));
         let at = |i: f64| {
             model
                 .solve(OperatingPoint::new(rpm(4000.0), amps(i)))
@@ -804,12 +926,8 @@ mod tests {
         // the TEC-only configuration of the paper, which always fails.
         let fp = alpha21264();
         let cfg = PackageConfig::dac14_coarse();
-        let model = HybridCoolingModel::with_tec(
-            &fp,
-            &cfg,
-            uniform_power(&fp, 35.0),
-            &leakage(&fp),
-        );
+        let model =
+            HybridCoolingModel::with_tec(&fp, &cfg, uniform_power(&fp, 35.0), &leakage(&fp));
         let err = model
             .solve(OperatingPoint::new(AngularVelocity::ZERO, amps(2.0)))
             .unwrap_err();
@@ -879,9 +997,7 @@ mod tests {
         let cfg = PackageConfig::dac14_coarse();
         let model =
             HybridCoolingModel::with_tec(&fp, &cfg, uniform_power(&fp, 30.0), &leakage(&fp));
-        let at = |rpm_v: f64| {
-            model.runaway_margin(OperatingPoint::new(rpm(rpm_v), amps(1.0)))
-        };
+        let at = |rpm_v: f64| model.runaway_margin(OperatingPoint::new(rpm(rpm_v), amps(1.0)));
         let healthy = at(4000.0).expect("healthy point has a margin");
         let risky = at(300.0).expect("still stable at 300 RPM");
         assert!(
@@ -908,5 +1024,42 @@ mod tests {
             (warm.max_chip_temperature().kelvin() - cold.max_chip_temperature().kelvin()).abs()
                 < 1e-6
         );
+    }
+
+    #[test]
+    fn solve_from_rejects_wrong_length_warm_start() {
+        let fp = alpha21264();
+        let cfg = PackageConfig::dac14_coarse();
+        let model =
+            HybridCoolingModel::with_tec(&fp, &cfg, uniform_power(&fp, 20.0), &leakage(&fp));
+        let op = OperatingPoint::new(rpm(2500.0), amps(1.0));
+        let err = model.solve_from(op, Some(&[300.0; 3])).unwrap_err();
+        assert!(matches!(err, ThermalError::Config(_)));
+        // A correct-length warm start is accepted.
+        let cold = model.solve(op).unwrap();
+        assert!(model.solve_from(op, Some(cold.node_temperatures())).is_ok());
+    }
+
+    #[test]
+    fn cached_assembly_matches_reference_path() {
+        let fp = alpha21264();
+        let cfg = PackageConfig::dac14_coarse();
+        let model =
+            HybridCoolingModel::with_tec(&fp, &cfg, uniform_power(&fp, 25.0), &leakage(&fp));
+        for (omega, current) in [(1000.0, 0.0), (2500.0, 1.0), (4000.0, 2.5)] {
+            let op = OperatingPoint::new(rpm(omega), amps(current));
+            let cached = model.solve(op).unwrap();
+            let reference = model.solve_reference(op).unwrap();
+            for (a, b) in cached
+                .node_temperatures()
+                .iter()
+                .zip(reference.node_temperatures())
+            {
+                assert!(
+                    (a - b).abs() < 1e-6,
+                    "cached {a} vs reference {b} at ω={omega}, I={current}"
+                );
+            }
+        }
     }
 }

@@ -70,8 +70,7 @@ impl HybridCoolingModel {
                     }
                 })
                 .collect();
-            let next =
-                self.solve_linearized(op, &leak, Some(solution.node_temperatures()))?;
+            let next = self.solve_linearized(op, &leak, Some(solution.node_temperatures()))?;
             let delta = next
                 .chip_temperatures()
                 .iter()
@@ -111,10 +110,7 @@ mod tests {
     }
 
     fn op(rpm: f64, amps: f64) -> OperatingPoint {
-        OperatingPoint::new(
-            AngularVelocity::from_rpm(rpm),
-            Current::from_amperes(amps),
-        )
+        OperatingPoint::new(AngularVelocity::from_rpm(rpm), Current::from_amperes(amps))
     }
 
     #[test]
@@ -137,9 +133,7 @@ mod tests {
         let (non, _) = model
             .solve_nonlinear(o, &NonlinearOptions::default())
             .unwrap();
-        let dt = (lin.max_chip_temperature().kelvin()
-            - non.max_chip_temperature().kelvin())
-        .abs();
+        let dt = (lin.max_chip_temperature().kelvin() - non.max_chip_temperature().kelvin()).abs();
         // The Eq. (4) line overestimates the convex exponential in the
         // middle of the 300–390 K window, so a few Kelvin of systematic
         // difference is expected (§4 of the paper accepts this in exchange

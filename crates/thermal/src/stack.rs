@@ -99,7 +99,12 @@ impl LayerSpec {
 
 /// Builds a layer extent of the given width/height centered on `center`.
 pub(crate) fn centered_extent(center: (f64, f64), width: f64, height: f64) -> Rect {
-    Rect::from_meters(center.0 - width / 2.0, center.1 - height / 2.0, width, height)
+    Rect::from_meters(
+        center.0 - width / 2.0,
+        center.1 - height / 2.0,
+        width,
+        height,
+    )
 }
 
 /// Series combination of two optional half-conductances (W/K). `None`
@@ -119,9 +124,7 @@ pub(crate) fn series_halves(a: Option<f64>, b: Option<f64>) -> f64 {
             }
         }
         (Some(x), None) | (None, Some(x)) => x,
-        (None, None) => panic!(
-            "two adjacent interface planes need an explicit edge conductance"
-        ),
+        (None, None) => panic!("two adjacent interface planes need an explicit edge conductance"),
     }
 }
 

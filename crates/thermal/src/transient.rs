@@ -6,9 +6,10 @@
 //! transient cooling — the basis of the transient-boost controller in the
 //! core crate.
 
+use crate::model::folded_preconditioner;
 use crate::model::{HybridCoolingModel, OperatingPoint};
 use crate::{ThermalError, ThermalSolution};
-use oftec_linalg::{solve_cg, IterativeParams, JacobiPreconditioner};
+use oftec_linalg::{solve_cg, IterativeParams};
 use oftec_units::Temperature;
 
 /// Controls for [`HybridCoolingModel::simulate_transient`].
@@ -91,12 +92,7 @@ impl HybridCoolingModel {
         steps: usize,
         opts: &TransientOptions,
     ) -> Result<TransientTrace, ThermalError> {
-        self.simulate_transient_from(
-            op,
-            initial.map(|sol| sol.node_temperatures()),
-            steps,
-            opts,
-        )
+        self.simulate_transient_from(op, initial.map(|sol| sol.node_temperatures()), steps, opts)
     }
 
     /// Like [`HybridCoolingModel::simulate_transient`], but starting from
@@ -140,23 +136,31 @@ impl HybridCoolingModel {
         let i_tec = op.tec_current.amperes();
         let (chip_start, chip_cells) = self.chip_range();
 
-        // Folded static matrix and RHS, as in the steady solve.
-        let mut triplets = net.conductance_triplets(fan_g);
-        let mut rhs_static = net.ambient_rhs(fan_g, t_amb);
-        for (cell, lk) in self.cell_leak().iter().enumerate() {
-            let node = chip_start + cell;
-            triplets.push(node, node, -lk.a);
-            rhs_static[node] += self.dyn_power_cell(cell) + lk.b - lk.a * lk.t_ref;
+        // Folded static matrix and RHS, as in the steady solve — assembled
+        // from the cached skeleton instead of a fresh triplet sort.
+        let skeleton = self.skeleton();
+        let (mut matrix, mut rhs_static) = skeleton.assemble(fan_g);
+        {
+            let values = matrix.values_mut();
+            for (cell, lk) in self.cell_leak().iter().enumerate() {
+                let node = chip_start + cell;
+                values[skeleton.diag_index(node)] += -lk.a;
+                rhs_static[node] += self.dyn_power_cell(cell) + lk.b - lk.a * lk.t_ref;
+            }
         }
-        self.fold_tec_into(&mut triplets, &mut rhs_static, i_tec);
+        self.fold_tec_in_place(matrix.values_mut(), &mut rhs_static, i_tec);
 
         // Add C/Δt to the diagonal.
         let inv_dt = 1.0 / opts.dt_seconds;
-        for i in 0..n {
-            triplets.push(i, i, net.capacitance[i] * inv_dt);
+        {
+            let values = matrix.values_mut();
+            for i in 0..n {
+                values[skeleton.diag_index(i)] += net.capacitance[i] * inv_dt;
+            }
         }
-        let matrix = triplets.to_csr();
-        let precond = JacobiPreconditioner::new(&matrix).map_err(ThermalError::from)?;
+        // The stepping matrix is constant along the trajectory, so the
+        // ILU(0) factorization is paid once and reused at every step.
+        let precond = folded_preconditioner(&matrix, &skeleton.diagonal_of(&matrix))?;
         let params = IterativeParams {
             rtol: 1e-9,
             atol: 1e-12,
@@ -176,7 +180,7 @@ impl HybridCoolingModel {
             for i in 0..n {
                 rhs[i] = rhs_static[i] + net.capacitance[i] * inv_dt * state[i];
             }
-            let summary = solve_cg(&matrix, &rhs, Some(&state), &precond, &params)
+            let summary = solve_cg(&matrix, &rhs, Some(&state), precond.as_ref(), &params)
                 .map_err(ThermalError::from)?;
             state = summary.x;
             let hottest = state[chip_start..chip_start + chip_cells]
@@ -246,21 +250,27 @@ impl HybridCoolingModel {
         let (chip_start, chip_cells) = self.chip_range();
         let dt = trace.dt_seconds();
 
-        // Folded matrix and the workload-independent part of the RHS.
-        let mut triplets = net.conductance_triplets(fan_g);
-        let mut rhs_base = net.ambient_rhs(fan_g, t_amb);
-        for (cell, lk) in self.cell_leak().iter().enumerate() {
-            let node = chip_start + cell;
-            triplets.push(node, node, -lk.a);
-            rhs_base[node] += lk.b - lk.a * lk.t_ref;
+        // Folded matrix and the workload-independent part of the RHS,
+        // assembled from the cached skeleton.
+        let skeleton = self.skeleton();
+        let (mut matrix, mut rhs_base) = skeleton.assemble(fan_g);
+        {
+            let values = matrix.values_mut();
+            for (cell, lk) in self.cell_leak().iter().enumerate() {
+                let node = chip_start + cell;
+                values[skeleton.diag_index(node)] += -lk.a;
+                rhs_base[node] += lk.b - lk.a * lk.t_ref;
+            }
         }
-        self.fold_tec_into(&mut triplets, &mut rhs_base, i_tec);
+        self.fold_tec_in_place(matrix.values_mut(), &mut rhs_base, i_tec);
         let inv_dt = 1.0 / dt;
-        for i in 0..n {
-            triplets.push(i, i, net.capacitance[i] * inv_dt);
+        {
+            let values = matrix.values_mut();
+            for i in 0..n {
+                values[skeleton.diag_index(i)] += net.capacitance[i] * inv_dt;
+            }
         }
-        let matrix = triplets.to_csr();
-        let precond = JacobiPreconditioner::new(&matrix).map_err(ThermalError::from)?;
+        let precond = folded_preconditioner(&matrix, &skeleton.diagonal_of(&matrix))?;
         let params = IterativeParams {
             rtol: 1e-9,
             atol: 1e-12,
@@ -283,7 +293,7 @@ impl HybridCoolingModel {
             for (cell, p) in cells.iter().enumerate() {
                 rhs[chip_start + cell] += p;
             }
-            let summary = solve_cg(&matrix, &rhs, Some(&state), &precond, &params)
+            let summary = solve_cg(&matrix, &rhs, Some(&state), precond.as_ref(), &params)
                 .map_err(ThermalError::from)?;
             state = summary.x;
             let hottest = state[chip_start..chip_start + chip_cells]
@@ -353,8 +363,7 @@ mod tests {
                 },
             )
             .unwrap();
-        let dt =
-            (trace.last().kelvin() - steady.max_chip_temperature().kelvin()).abs();
+        let dt = (trace.last().kelvin() - steady.max_chip_temperature().kelvin()).abs();
         assert!(dt < 0.2, "transient missed steady state by {dt} K");
     }
 
@@ -473,11 +482,6 @@ mod tests {
     #[should_panic(expected = "at least one step")]
     fn zero_steps_panics() {
         let model = setup(10.0);
-        let _ = model.simulate_transient(
-            op(2000.0, 0.0),
-            None,
-            0,
-            &TransientOptions::default(),
-        );
+        let _ = model.simulate_transient(op(2000.0, 0.0), None, 0, &TransientOptions::default());
     }
 }

@@ -24,30 +24,44 @@ fn zero_leakage(n: usize) -> LeakageModel {
 }
 
 /// Series ladder prediction of the average chip temperature.
-fn ladder_prediction(cfg: &PackageConfig, fp: &oftec_floorplan::Floorplan, p_total: f64, omega: AngularVelocity) -> f64 {
+fn ladder_prediction(
+    cfg: &PackageConfig,
+    fp: &oftec_floorplan::Floorplan,
+    p_total: f64,
+    omega: AngularVelocity,
+) -> f64 {
     let die = fp.die_area();
     let spreader = cfg.spreader_edge * cfg.spreader_edge;
     let sink = cfg.sink_edge * cfg.sink_edge;
     // Heat enters mid-chip (the chip cells are volumetric sources), so
     // count half the chip's vertical resistance.
-    let r_chip_half =
-        0.5 / cfg.chip_conductivity.conductance(die, cfg.chip_thickness).w_per_k();
-    let r_tim1 = 1.0 / cfg.tim_conductivity.conductance(die, cfg.tim1_thickness).w_per_k();
+    let r_chip_half = 0.5
+        / cfg
+            .chip_conductivity
+            .conductance(die, cfg.chip_thickness)
+            .w_per_k();
+    let r_tim1 = 1.0
+        / cfg
+            .tim_conductivity
+            .conductance(die, cfg.tim1_thickness)
+            .w_per_k();
     let r_spreader = 1.0
         / cfg
             .metal_conductivity
             .conductance(spreader, cfg.spreader_thickness)
             .w_per_k();
-    let r_tim2 =
-        1.0 / cfg.tim_conductivity.conductance(spreader, cfg.tim2_thickness).w_per_k();
+    let r_tim2 = 1.0
+        / cfg
+            .tim_conductivity
+            .conductance(spreader, cfg.tim2_thickness)
+            .w_per_k();
     let r_sink = 1.0
         / cfg
             .metal_conductivity
             .conductance(sink, cfg.sink_thickness)
             .w_per_k();
     let r_fan = 1.0 / cfg.fan.conductance(omega).w_per_k();
-    cfg.ambient.kelvin()
-        + p_total * (r_chip_half + r_tim1 + r_spreader + r_tim2 + r_sink + r_fan)
+    cfg.ambient.kelvin() + p_total * (r_chip_half + r_tim1 + r_spreader + r_tim2 + r_sink + r_fan)
 }
 
 #[test]
@@ -74,8 +88,8 @@ fn grid_average_matches_the_series_ladder() {
     let omega = AngularVelocity::from_rpm(3000.0);
     let sol = model.solve(OperatingPoint::fan_only(omega)).unwrap();
 
-    let avg_chip = sol.chip_temperatures().iter().sum::<f64>()
-        / sol.chip_temperatures().len() as f64;
+    let avg_chip =
+        sol.chip_temperatures().iter().sum::<f64>() / sol.chip_temperatures().len() as f64;
     let predicted = ladder_prediction(&cfg, &fp, total, omega);
 
     // The ladder ignores the constriction where heat funnels from the
@@ -94,7 +108,10 @@ fn grid_average_matches_the_series_ladder() {
     // must be small compared to the rise above ambient.
     let spread = sol.max_chip_temperature().kelvin() - sol.min_chip_temperature().kelvin();
     let rise = avg_chip - cfg.ambient.kelvin();
-    assert!(spread < 0.35 * rise, "spread {spread:.2} K vs rise {rise:.2} K");
+    assert!(
+        spread < 0.35 * rise,
+        "spread {spread:.2} K vs rise {rise:.2} K"
+    );
 }
 
 #[test]
@@ -104,10 +121,12 @@ fn fan_conductance_dominates_the_total_resistance() {
     let fp = alpha21264();
     let cfg = PackageConfig::dac14();
     let die = fp.die_area();
-    let r_tim1 =
-        1.0 / cfg.tim_conductivity.conductance(die, cfg.tim1_thickness).w_per_k();
-    let r_fan_max =
-        1.0 / cfg.fan.conductance(cfg.fan.omega_max).w_per_k();
+    let r_tim1 = 1.0
+        / cfg
+            .tim_conductivity
+            .conductance(die, cfg.tim1_thickness)
+            .w_per_k();
+    let r_fan_max = 1.0 / cfg.fan.conductance(cfg.fan.omega_max).w_per_k();
     let r_fan_still = 1.0 / cfg.fan.g_hs_still;
     assert!(r_fan_still > 10.0 * r_tim1);
     assert!(r_fan_max > r_tim1);

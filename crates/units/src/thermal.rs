@@ -117,7 +117,9 @@ impl ThermalConductivity {
             thickness.meters() > 0.0,
             "conduction path must have positive length"
         );
-        ThermalConductance::from_w_per_k(self.w_per_m_k() * area.square_meters() / thickness.meters())
+        ThermalConductance::from_w_per_k(
+            self.w_per_m_k() * area.square_meters() / thickness.meters(),
+        )
     }
 }
 
@@ -198,10 +200,8 @@ mod tests {
     #[test]
     fn prism_conductance() {
         // Silicon die from Table 1: 15.9×15.9 mm × 15 µm, k = 100.
-        let g = ThermalConductivity::from_w_per_m_k(100.0).conductance(
-            Area::from_square_mm(15.9 * 15.9),
-            Length::from_um(15.0),
-        );
+        let g = ThermalConductivity::from_w_per_m_k(100.0)
+            .conductance(Area::from_square_mm(15.9 * 15.9), Length::from_um(15.0));
         // g = 100 * 2.5281e-4 / 1.5e-5 = 1685.4 W/K (vertical, very high).
         assert!((g.w_per_k() - 1685.4).abs() < 0.1);
     }

@@ -27,7 +27,11 @@ fn main() {
                 total,
                 sol.max_chip_temperature().celsius(),
                 sol.breakdown().leakage.watts(),
-                if sol.max_chip_temperature().celsius() < 90.0 { "OK" } else { "FAIL" },
+                if sol.max_chip_temperature().celsius() < 90.0 {
+                    "OK"
+                } else {
+                    "FAIL"
+                },
             ),
             Err(e) => println!("{:>14}  dyn {:5.1} W  {}", b.name(), total, e),
         }

@@ -65,8 +65,7 @@ fn main() {
         "  range {:.2}–{:.2} °C, envelope margin {:.2} K at the worst moment",
         celsius.iter().cloned().fold(f64::INFINITY, f64::min),
         celsius.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
-        sol.max_temperature.celsius()
-            - celsius.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        sol.max_temperature.celsius() - celsius.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
     );
     println!(
         "\nthe per-unit-maximum envelope the paper feeds OFTEC is conservative: \

@@ -53,7 +53,11 @@ fn main() {
         );
         match Oftec::default().run(&system) {
             OftecOutcome::Optimized(sol) => {
-                let core0 = system.tec_model().unit_names().iter().position(|u| u == "Core0");
+                let core0 = system
+                    .tec_model()
+                    .unit_names()
+                    .iter()
+                    .position(|u| u == "Core0");
                 let hot = core0
                     .map(|i| sol.solution.unit_max_temperatures()[i].celsius())
                     .unwrap_or(f64::NAN);

@@ -61,9 +61,7 @@ fn sqp_matches_grid_search_on_optimization1() {
 #[test]
 fn three_nlp_methods_agree() {
     let system = coarse_system(Benchmark::StringSearch);
-    let make = || {
-        CoolingProblem::new(system.tec_model(), CoolingObjective::Power, system.t_max())
-    };
+    let make = || CoolingProblem::new(system.tec_model(), CoolingObjective::Power, system.t_max());
     let p1 = make();
     let sqp = ActiveSetSqp::default()
         .solve(&p1, &[0.5, 0.5], &opts())
@@ -106,13 +104,7 @@ fn optimization2_minimum_beats_any_corner() {
         .solve(&problem, &[0.5, 0.5], &opts())
         .unwrap();
     let best = problem.max_temperature(&sqp.x).unwrap();
-    for probe in [
-        [1.0, 0.0],
-        [1.0, 1.0],
-        [0.5, 0.5],
-        [1.0, 0.5],
-        [0.75, 0.25],
-    ] {
+    for probe in [[1.0, 0.0], [1.0, 1.0], [0.5, 0.5], [1.0, 0.5], [0.75, 0.25]] {
         if let Some(t) = problem.max_temperature(&probe) {
             assert!(
                 best.kelvin() <= t.kelvin() + 0.35,

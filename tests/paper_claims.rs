@@ -93,10 +93,7 @@ fn oftec_saves_power_on_the_cool_three() {
             "{benchmark}: OFTEC {oftec_p:.2} W must not exceed fixed-ω {fixed_p:.2} W"
         );
         // And OFTEC must be at least as cool.
-        assert!(
-            sol.max_temperature.celsius()
-                <= var.max_temperature().unwrap().celsius() + 1e-6
-        );
+        assert!(sol.max_temperature.celsius() <= var.max_temperature().unwrap().celsius() + 1e-6);
         var_savings.push(100.0 * (var_p - oftec_p) / var_p);
         fixed_savings.push(100.0 * (fixed_p - oftec_p) / fixed_p);
     }

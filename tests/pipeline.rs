@@ -33,9 +33,7 @@ fn trace_to_thermal_pipeline() {
     assert!(b.leakage.watts() > 0.0);
     assert!(b.tec.watts() > 0.0);
     assert!(b.fan.watts() > 0.0);
-    assert!(
-        (b.objective().watts() - (b.leakage + b.tec + b.fan).watts()).abs() < 1e-12
-    );
+    assert!((b.objective().watts() - (b.leakage + b.tec + b.fan).watts()).abs() < 1e-12);
 }
 
 #[test]
@@ -60,7 +58,10 @@ fn unit_reduction_matches_gridmap() {
         assert!((e - g.kelvin()).abs() < 1e-12);
     }
     // The global max equals the hottest unit max.
-    let hottest = got.iter().cloned().fold(Temperature::ABSOLUTE_ZERO, Temperature::max);
+    let hottest = got
+        .iter()
+        .cloned()
+        .fold(Temperature::ABSOLUTE_ZERO, Temperature::max);
     assert_eq!(hottest, sol.max_chip_temperature());
 }
 
@@ -87,10 +88,8 @@ fn fan_only_and_hybrid_share_passive_behaviour() {
 #[test]
 fn serde_round_trips() {
     // Public data types dump and reload losslessly (experiment artifacts).
-    let system = CoolingSystem::for_benchmark_with_config(
-        Benchmark::Crc32,
-        &PackageConfig::dac14_coarse(),
-    );
+    let system =
+        CoolingSystem::for_benchmark_with_config(Benchmark::Crc32, &PackageConfig::dac14_coarse());
     let sweep = SweepGrid {
         omega_points: 4,
         current_points: 3,

@@ -42,10 +42,8 @@ fn runaway_boundary_is_low_but_nonzero() {
 
 #[test]
 fn sweep_marks_runaway_consistently() {
-    let system = CoolingSystem::for_benchmark_with_config(
-        Benchmark::Fft,
-        &PackageConfig::dac14_coarse(),
-    );
+    let system =
+        CoolingSystem::for_benchmark_with_config(Benchmark::Fft, &PackageConfig::dac14_coarse());
     let sweep = SweepGrid {
         omega_points: 14,
         current_points: 6,
@@ -59,7 +57,11 @@ fn sweep_marks_runaway_consistently() {
     for s in sweep.samples.iter().filter(|s| s.omega_rpm == 0.0) {
         assert!(s.max_temp_celsius.is_none());
     }
-    for s in sweep.samples.iter().filter(|s| (s.omega_rpm - 5000.0).abs() < 1.0) {
+    for s in sweep
+        .samples
+        .iter()
+        .filter(|s| (s.omega_rpm - 5000.0).abs() < 1.0)
+    {
         assert!(s.max_temp_celsius.is_some());
     }
 }
@@ -80,10 +82,7 @@ fn linear_and_nonlinear_classifications_agree_at_extremes() {
         .solve_nonlinear(healthy, &NonlinearOptions::default())
         .is_ok());
 
-    let doomed = OperatingPoint::new(
-        AngularVelocity::from_rpm(5.0),
-        Current::from_amperes(0.0),
-    );
+    let doomed = OperatingPoint::new(AngularVelocity::from_rpm(5.0), Current::from_amperes(0.0));
     assert!(model.solve(doomed).is_err());
     assert!(model
         .solve_nonlinear(doomed, &NonlinearOptions::default())

@@ -1,0 +1,70 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Length specifications accepted by [`vec`]: a fixed length or a
+/// half-open range of lengths.
+pub trait SizeRange {
+    fn sample_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "cannot sample empty length range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+/// Strategy for `Vec`s whose elements are drawn from `element` and whose
+/// length is drawn from `size`.
+pub fn vec<S: Strategy, L: SizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+    VecStrategy { element, size }
+}
+
+pub struct VecStrategy<S, L> {
+    element: S,
+    size: L,
+}
+
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample_len(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut rng = TestRng::from_seed(3);
+        let fixed = vec(0.0..1.0f64, 15usize);
+        assert_eq!(fixed.sample(&mut rng).len(), 15);
+        let ranged = vec(0.0..1.0f64, 1usize..12);
+        for _ in 0..200 {
+            let v = ranged.sample(&mut rng);
+            assert!((1..12).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn tuple_elements() {
+        let mut rng = TestRng::from_seed(4);
+        let s = vec((0usize..5, 0usize..5, -1.0..1.0f64), 1usize..40);
+        let v = s.sample(&mut rng);
+        assert!(!v.is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! Sampling from explicit value sets (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy drawing uniformly from an owned list of values.
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "cannot select from an empty list");
+    Select { values }
+}
+
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.values.len() as u64) as usize;
+        self.values[idx].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_choices() {
+        let mut rng = TestRng::from_seed(11);
+        let s = select(vec![1, 2, 3]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[s.sample(&mut rng) - 1] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Case execution: deterministic per-case RNG, rejection handling, panic
+//! on failure.
+
+/// Run configuration. Only `cases` is consulted; the struct is
+/// non-exhaustive in spirit but kept open for struct-literal updates.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` rejections across the whole run.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property failed; the message explains how.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; resample without counting.
+    Reject,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// Deterministic splitmix64 stream handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)`. `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `cases` samples of `body`, panicking on the first failure.
+///
+/// Each case's RNG seed is `hash(name) ⊕ f(case_index)`, so failures are
+/// reproducible run-to-run and independent of execution order.
+pub fn execute<F>(config: &ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    let mut rejects = 0u32;
+    let mut draw = 0u64;
+    for case in 0..config.cases {
+        loop {
+            let mut rng = TestRng::from_seed(base ^ draw.wrapping_mul(0x2545_F491_4F6C_DD1D));
+            draw += 1;
+            match body(&mut rng) {
+                Ok(()) => break,
+                Err(TestCaseError::Reject) => {
+                    rejects += 1;
+                    if rejects > config.max_global_rejects {
+                        panic!(
+                            "proptest `{name}`: too many prop_assume! rejections \
+                             ({rejects}) — assumptions are unsatisfiable"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest `{name}` failed at case {case} (draw {}): {msg}",
+                        draw - 1
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_all_cases() {
+        let mut n = 0u32;
+        execute(&ProptestConfig::with_cases(40), "count", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 40);
+    }
+
+    #[test]
+    fn rejections_do_not_count_as_cases() {
+        let mut accepted = 0u32;
+        let mut toggle = false;
+        execute(&ProptestConfig::with_cases(10), "rej", |_| {
+            toggle = !toggle;
+            if toggle {
+                Err(TestCaseError::Reject)
+            } else {
+                accepted += 1;
+                Ok(())
+            }
+        });
+        assert_eq!(accepted, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic() {
+        execute(&ProptestConfig::with_cases(5), "fail", |_| {
+            Err(TestCaseError::fail("boom".to_string()))
+        });
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Vec::new();
+        execute(&ProptestConfig::with_cases(5), "det", |rng| {
+            a.push(rng.next_u64());
+            Ok(())
+        });
+        let mut b = Vec::new();
+        execute(&ProptestConfig::with_cases(5), "det", |rng| {
+            b.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(a, b);
+    }
+}

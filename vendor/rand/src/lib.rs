@@ -1,0 +1,221 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Implements the subset this workspace uses — `StdRng::seed_from_u64` +
+//! `Rng::gen_range` over `f64` ranges — **bit-exactly** compatible with
+//! the real crate, so seed-calibrated behavior (workload synthesis
+//! envelopes, benchmark power draws) reproduces upstream sequences:
+//!
+//! - `StdRng` is ChaCha12 (RFC 8439 core, 12 rounds, 64-bit block
+//!   counter, zero stream), as in `rand 0.8` / `rand_chacha 0.3`;
+//! - `seed_from_u64` expands the seed with the PCG-XSH-RR step from
+//!   `rand_core 0.6`;
+//! - `gen_range(Range<f64>)` uses rand's uniform-float algorithm: a
+//!   mantissa draw in `[1, 2)` scaled as `v * scale + (low - scale)`.
+//!
+//! Integer ranges use a plain modulo draw (nothing in this workspace
+//! samples integers through `rand`; they are provided for completeness
+//! and make no upstream-compatibility claim).
+
+use std::ops::Range;
+
+/// Core 64-bit generator interface.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+
+    fn next_u64(&mut self) -> u64 {
+        // Low word first, as in rand_core's BlockRng over u32 words.
+        let low = u64::from(self.next_u32());
+        let high = u64::from(self.next_u32());
+        (high << 32) | low
+    }
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling over [`RngCore`] generators.
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let scale = self.end - self.start;
+        loop {
+            // 52 mantissa bits with exponent 0 → uniform in [1, 2).
+            let mantissa = rng.next_u64() >> 12;
+            let value1_2 = f64::from_bits((1023u64 << 52) | mantissa);
+            let res = value1_2 * scale + (self.start - scale);
+            if res < self.end {
+                return res;
+            }
+        }
+    }
+}
+
+macro_rules! int_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_impls!(usize, u64, u32, i64, i32);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+    /// ChaCha12 generator matching `rand 0.8`'s `StdRng` stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        key: [u32; 8],
+        counter: u64,
+        buf: [u32; 16],
+        idx: usize,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            // rand_core 0.6's default seed expansion (PCG-XSH-RR steps).
+            const MUL: u64 = 6_364_136_223_846_793_005;
+            const INC: u64 = 11_634_580_027_462_260_723;
+            let mut seed = [0u8; 32];
+            for chunk in seed.chunks_mut(4) {
+                state = state.wrapping_mul(MUL).wrapping_add(INC);
+                let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+                let rot = (state >> 59) as u32;
+                chunk.copy_from_slice(&xorshifted.rotate_right(rot).to_le_bytes());
+            }
+            let mut key = [0u32; 8];
+            for (k, bytes) in key.iter_mut().zip(seed.chunks(4)) {
+                *k = u32::from_le_bytes(bytes.try_into().expect("4-byte chunk"));
+            }
+            StdRng {
+                key,
+                counter: 0,
+                buf: [0; 16],
+                idx: 16,
+            }
+        }
+    }
+
+    #[inline]
+    fn quarter_round(w: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        w[a] = w[a].wrapping_add(w[b]);
+        w[d] = (w[d] ^ w[a]).rotate_left(16);
+        w[c] = w[c].wrapping_add(w[d]);
+        w[b] = (w[b] ^ w[c]).rotate_left(12);
+        w[a] = w[a].wrapping_add(w[b]);
+        w[d] = (w[d] ^ w[a]).rotate_left(8);
+        w[c] = w[c].wrapping_add(w[d]);
+        w[b] = (w[b] ^ w[c]).rotate_left(7);
+    }
+
+    impl StdRng {
+        fn refill(&mut self) {
+            let mut state = [0u32; 16];
+            state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+            state[4..12].copy_from_slice(&self.key);
+            state[12] = self.counter as u32;
+            state[13] = (self.counter >> 32) as u32;
+            // words 14–15: stream id, zero for seed_from_u64.
+            let mut w = state;
+            for _ in 0..6 {
+                // Double round: columns, then diagonals.
+                quarter_round(&mut w, 0, 4, 8, 12);
+                quarter_round(&mut w, 1, 5, 9, 13);
+                quarter_round(&mut w, 2, 6, 10, 14);
+                quarter_round(&mut w, 3, 7, 11, 15);
+                quarter_round(&mut w, 0, 5, 10, 15);
+                quarter_round(&mut w, 1, 6, 11, 12);
+                quarter_round(&mut w, 2, 7, 8, 13);
+                quarter_round(&mut w, 3, 4, 9, 14);
+            }
+            for (wi, si) in w.iter_mut().zip(&state) {
+                *wi = wi.wrapping_add(*si);
+            }
+            self.buf = w;
+            self.counter = self.counter.wrapping_add(1);
+            self.idx = 0;
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.idx >= 16 {
+                self.refill();
+            }
+            let word = self.buf[self.idx];
+            self.idx += 1;
+            word
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0.0..1.0f64), b.gen_range(0.0..1.0f64));
+        }
+    }
+
+    #[test]
+    fn stream_advances_across_blocks() {
+        // 16 words per ChaCha block; draws beyond the first block must
+        // come from a fresh block, not a repeat of the first.
+        let mut rng = StdRng::seed_from_u64(0);
+        let first_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first_block, second_block);
+        assert!(first_block.iter().any(|&w| w != 0));
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(0.7..1.3f64);
+            assert!((0.7..1.3).contains(&x));
+            let n = rng.gen_range(3usize..12);
+            assert!((3..12).contains(&n));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let xa: Vec<f64> = (0..8).map(|_| a.gen_range(0.0..1.0)).collect();
+        let xb: Vec<f64> = (0..8).map(|_| b.gen_range(0.0..1.0)).collect();
+        assert_ne!(xa, xb);
+    }
+}

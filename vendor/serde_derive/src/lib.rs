@@ -1,0 +1,404 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crate expands against serde's visitor-based data model via
+//! `syn`/`quote`; neither is available offline, so this derive parses the
+//! item with the bare `proc_macro` API and generates implementations of the
+//! vendored serde's much smaller value-tree traits
+//! (`Serialize::serialize(&self) -> Value`,
+//! `Deserialize::deserialize(&Value) -> Result<Self, Error>`).
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! - structs with named fields (with optional `#[serde(default)]` per field)
+//! - tuple structs
+//! - `#[serde(transparent)]` single-field structs (the unit newtypes)
+//! - enums whose variants are all unit variants (serialized as name strings)
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named {
+        fields: Vec<Field>,
+        transparent: bool,
+    },
+    Tuple {
+        arity: usize,
+        transparent: bool,
+    },
+    UnitEnum {
+        variants: Vec<String>,
+    },
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Returns the idents inside a `#[serde(...)]` attribute group, or `None`
+/// if the bracketed group is some other attribute.
+fn serde_attr_idents(group: &proc_macro::Group) -> Option<Vec<String>> {
+    let mut it = group.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let args = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        _ => return Some(Vec::new()),
+    };
+    Some(
+        args.stream()
+            .into_iter()
+            .filter_map(|t| match t {
+                TokenTree::Ident(id) => Some(id.to_string()),
+                _ => None,
+            })
+            .collect(),
+    )
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = group.stream().into_iter().peekable();
+    loop {
+        let mut default = false;
+        // Attributes (doc comments, serde attrs) before the field.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.next() {
+                        if let Some(idents) = serde_attr_idents(&g) {
+                            if idents.iter().any(|i| i == "default") {
+                                default = true;
+                            }
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.peek() {
+            if id.to_string() == "pub" {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive stub: unexpected token in field list: {other}"),
+            None => break,
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => panic!("serde_derive stub: expected `:` after field `{name}`"),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut angle = 0i32;
+        for t in tokens.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn parse_tuple_arity(group: &proc_macro::Group) -> usize {
+    let mut arity = 0usize;
+    let mut angle = 0i32;
+    let mut in_field = false;
+    for t in group.stream() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => in_field = false,
+            _ => {
+                if !in_field {
+                    arity += 1;
+                    in_field = true;
+                }
+            }
+        }
+    }
+    arity
+}
+
+fn parse_unit_variants(group: &proc_macro::Group) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = group.stream().into_iter().peekable();
+    loop {
+        // Skip attributes on the variant.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                _ => break,
+            }
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            Some(other) => panic!("serde_derive stub: unexpected token in enum body: {other}"),
+            None => break,
+        }
+        // Skip to the next comma; reject data-carrying variants.
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(TokenTree::Group(_)) => {
+                    panic!("serde_derive stub: only unit enum variants are supported")
+                }
+                Some(_) => {}
+                None => return variants,
+            }
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut transparent = false;
+    let mut tokens = input.into_iter().peekable();
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    if let Some(idents) = serde_attr_idents(&g) {
+                        if idents.iter().any(|i| i == "transparent") {
+                            transparent = true;
+                        }
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => match id.to_string().as_str() {
+                "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                "struct" => {
+                    let name = match tokens.next() {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        _ => panic!("serde_derive stub: expected struct name"),
+                    };
+                    match tokens.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            return Item {
+                                name,
+                                shape: Shape::Named {
+                                    fields: parse_named_fields(&g),
+                                    transparent,
+                                },
+                            };
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            return Item {
+                                name,
+                                shape: Shape::Tuple {
+                                    arity: parse_tuple_arity(&g),
+                                    transparent,
+                                },
+                            };
+                        }
+                        _ => panic!(
+                            "serde_derive stub: generics and unit structs are not supported \
+                             (struct `{name}`)"
+                        ),
+                    }
+                }
+                "enum" => {
+                    let name = match tokens.next() {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        _ => panic!("serde_derive stub: expected enum name"),
+                    };
+                    match tokens.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            return Item {
+                                name,
+                                shape: Shape::UnitEnum {
+                                    variants: parse_unit_variants(&g),
+                                },
+                            };
+                        }
+                        _ => panic!("serde_derive stub: generic enums are not supported"),
+                    }
+                }
+                _ => {}
+            },
+            Some(_) => {}
+            None => panic!("serde_derive stub: no struct or enum found in derive input"),
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named {
+            fields,
+            transparent: true,
+        } => {
+            let f = &fields[0].name;
+            format!("::serde::Serialize::serialize(&self.{f})")
+        }
+        Shape::Named {
+            fields,
+            transparent: false,
+        } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::serialize(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple {
+            transparent: true, ..
+        } => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::Tuple { arity, .. } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::UnitEnum { variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "::serde::Value::Str(::std::string::String::from(match self {{ {} }}))",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named {
+            fields,
+            transparent: true,
+        } => {
+            let f = &fields[0].name;
+            format!(
+                "::std::result::Result::Ok({name} {{ \
+                     {f}: ::serde::Deserialize::deserialize(__v)? \
+                 }})"
+            )
+        }
+        Shape::Named {
+            fields,
+            transparent: false,
+        } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let missing = if f.default {
+                        "::std::default::Default::default()".to_string()
+                    } else {
+                        format!(
+                            "return ::std::result::Result::Err(::serde::Error::msg(\
+                             \"missing field `{}` for {name}\"))",
+                            f.name
+                        )
+                    };
+                    format!(
+                        "{0}: match ::serde::__find(__map, \"{0}\") {{ \
+                             ::std::option::Option::Some(__x) => \
+                                 ::serde::Deserialize::deserialize(__x)?, \
+                             ::std::option::Option::None => {missing}, \
+                         }}",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "let __map = __v.as_map().ok_or_else(|| \
+                     ::serde::Error::msg(\"expected map for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple {
+            transparent: true, ..
+        } => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Shape::Tuple { arity, .. } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "let __seq = __v.as_seq().ok_or_else(|| \
+                     ::serde::Error::msg(\"expected sequence for {name}\"))?;\n\
+                 if __seq.len() != {arity} {{ \
+                     return ::std::result::Result::Err(::serde::Error::msg(\
+                         \"wrong tuple length for {name}\")); \
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitEnum { variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "match __v.as_str().ok_or_else(|| \
+                     ::serde::Error::msg(\"expected string for {name}\"))? {{ \
+                     {} \
+                     _ => ::std::result::Result::Err(::serde::Error::msg(\
+                         \"unknown variant for {name}\")), \
+                 }}",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Deserialize impl failed to parse")
+}
