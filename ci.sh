@@ -6,3 +6,23 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
+
+# Telemetry smoke: the CLI must emit a parseable registry snapshot with
+# real solver activity, including SQP traces for both optimization phases
+# (qsort at 1.05× power is infeasible at the start point, so Algorithm 1
+# runs Optimization 2 and then Optimization 1).
+snap=$(mktemp)
+trap 'rm -f "$snap"' EXIT
+./target/release/oftec-cli optimize qsort --scale 1.05 --telemetry-json "$snap" > /dev/null
+python3 - "$snap" <<'PY'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+counters = snap["counters"]
+assert counters.get("thermal.solves", 0) > 0, "no thermal solves recorded"
+assert counters.get("sqp.iterations", 0) > 0, "no SQP iterations recorded"
+for trace in ("sqp.opt1", "sqp.opt2"):
+    assert snap["traces"].get(trace), f"missing convergence trace {trace}"
+print("telemetry smoke ok:",
+      counters["thermal.solves"], "thermal solves,",
+      counters["sqp.iterations"], "SQP iterations")
+PY

@@ -6,15 +6,17 @@
 //! qualitative observations the paper derives from the figure.
 //!
 //! ```text
-//! cargo run --release -p oftec-bench --bin fig6ab [out_dir]
+//! cargo run --release -p oftec-bench --bin fig6ab [out_dir] [--telemetry-json <path>]
 //! ```
 
 use oftec::{CoolingSystem, SweepGrid};
 use oftec_power::Benchmark;
 use std::fs;
+use std::process::ExitCode;
 
-fn main() {
-    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
+fn main() -> ExitCode {
+    let (args, telemetry) = oftec_bench::telemetry_args();
+    let out_dir = args.first().cloned().unwrap_or_else(|| ".".into());
     let system = CoolingSystem::for_benchmark(Benchmark::Basicmath);
     let sweep = SweepGrid {
         omega_points: 50,
@@ -65,4 +67,5 @@ fn main() {
         "at ω = 0, every TEC current ends in runaway: {zero_omega_all_runaway} \
          (paper: \"increasing I_TEC alone cannot rescue the chip\")"
     );
+    oftec_bench::finish_telemetry(telemetry)
 }

@@ -8,19 +8,26 @@
 //! TECs are working flat out.
 //!
 //! ```text
-//! cargo run --release -p oftec-bench --bin fig6cd
+//! cargo run --release -p oftec-bench --bin fig6cd [--telemetry-json <path>]
 //! ```
 
-use oftec_bench::{all_systems, compare_all, print_comparison, ComparisonMode};
+use oftec_bench::{all_systems, compare_all, ComparisonMode, Reporter};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    let (_args, telemetry) = oftec_bench::telemetry_args();
     let rows = compare_all(&all_systems(), ComparisonMode::Optimization2);
-    print_comparison(&rows, "Figure 6(c)(d): after Optimization 2 (min 𝒯)");
+    let mut report = Reporter::new();
+    report.comparison(&rows, "Figure 6(c)(d): after Optimization 2 (min 𝒯)");
 
     let failures = rows.iter().filter(|r| !r.var_feasible).count();
-    println!("\nvariable-ω baseline fails {failures} / 8 benchmarks (paper: 5)");
+    report.line(format!(
+        "\nvariable-ω baseline fails {failures} / 8 benchmarks (paper: 5)"
+    ));
     let failures_fixed = rows.iter().filter(|r| !r.fixed_feasible).count();
-    println!("fixed-ω baseline fails {failures_fixed} / 8 benchmarks (paper: 5)");
+    report.line(format!(
+        "fixed-ω baseline fails {failures_fixed} / 8 benchmarks (paper: 5)"
+    ));
 
     let deltas: Vec<f64> = rows
         .iter()
@@ -28,13 +35,17 @@ fn main() {
         .collect();
     if !deltas.is_empty() {
         let avg = deltas.iter().sum::<f64>() / deltas.len() as f64;
-        println!(
+        report.line(format!(
             "OFTEC is on average {avg:.1} °C cooler than the variable-ω baseline \
              (paper: more than 13 °C)"
-        );
+        ));
     }
     let oftec_all_ok = rows
         .iter()
         .all(|r| r.oftec_temp_c.is_some_and(|t| t < 90.0));
-    println!("OFTEC meets T_max on all benchmarks: {oftec_all_ok} (paper: yes)");
+    report.line(format!(
+        "OFTEC meets T_max on all benchmarks: {oftec_all_ok} (paper: yes)"
+    ));
+    report.finish();
+    oftec_bench::finish_telemetry(telemetry)
 }

@@ -10,14 +10,17 @@
 //! five.
 //!
 //! ```text
-//! cargo run --release -p oftec-bench --bin fig6ef
+//! cargo run --release -p oftec-bench --bin fig6ef [--telemetry-json <path>]
 //! ```
 
-use oftec_bench::{all_systems, compare_all, print_comparison, ComparisonMode};
+use oftec_bench::{all_systems, compare_all, ComparisonMode, Reporter};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    let (_args, telemetry) = oftec_bench::telemetry_args();
     let rows = compare_all(&all_systems(), ComparisonMode::Optimization1);
-    print_comparison(
+    let mut report = Reporter::new();
+    report.comparison(
         &rows,
         "Figure 6(e)(f): after Optimization 1 (min 𝒫 s.t. T < T_max)",
     );
@@ -27,7 +30,10 @@ fn main() {
         .iter()
         .filter(|r| r.var_feasible && r.fixed_feasible && r.oftec_power_w.is_some())
         .collect();
-    println!("\ncommonly feasible benchmarks: {}", comparable.len());
+    report.line(format!(
+        "\ncommonly feasible benchmarks: {}",
+        comparable.len()
+    ));
     if !comparable.is_empty() {
         let n = comparable.len() as f64;
         let avg = |f: &dyn Fn(&&oftec_bench::ComparisonRow) -> f64| -> f64 {
@@ -36,7 +42,7 @@ fn main() {
         let oftec_p = avg(&|r| r.oftec_power_w.unwrap());
         let var_p = avg(&|r| r.var_power_w.unwrap());
         let fix_p = avg(&|r| r.fixed_power_w.unwrap());
-        println!(
+        report.line(format!(
             "average 𝒫: OFTEC {:.2} W, variable-ω {:.2} W (−{:.1}% vs OFTEC; paper −2.6%), \
              fixed-ω {:.2} W (−{:.1}%; paper −8.1%)",
             oftec_p,
@@ -44,16 +50,18 @@ fn main() {
             100.0 * (var_p - oftec_p) / var_p,
             fix_p,
             100.0 * (fix_p - oftec_p) / fix_p,
-        );
+        ));
         let oftec_t = avg(&|r| r.oftec_temp_c.unwrap());
         let var_t = avg(&|r| r.var_temp_c.unwrap());
         let fix_t = avg(&|r| r.fixed_temp_c.unwrap());
-        println!(
+        report.line(format!(
             "average T_max: OFTEC {:.2} °C, {:.1} °C cooler than variable-ω (paper 3.7), \
              {:.1} °C cooler than fixed-ω (paper 3.0)",
             oftec_t,
             var_t - oftec_t,
             fix_t - oftec_t,
-        );
+        ));
     }
+    report.finish();
+    oftec_bench::finish_telemetry(telemetry)
 }

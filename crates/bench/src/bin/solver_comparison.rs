@@ -5,7 +5,7 @@
 //! optimum.
 //!
 //! ```text
-//! cargo run --release -p oftec-bench --bin solver_comparison
+//! cargo run --release -p oftec-bench --bin solver_comparison [--telemetry-json <path>]
 //! ```
 
 use oftec::problems::{CoolingObjective, CoolingProblem};
@@ -15,6 +15,7 @@ use oftec_optim::{
     ActiveSetSqp, GridSearch, InteriorPoint, NelderMead, NlpProblem, SolveOptions, TrustRegion,
 };
 use oftec_power::Benchmark;
+use std::process::ExitCode;
 use std::time::Instant;
 
 struct Outcome {
@@ -32,7 +33,8 @@ fn feasible_power(problem: &CoolingProblem<'_>, x: &[f64], t_max_c: f64) -> Opti
     }
 }
 
-fn main() {
+fn main() -> ExitCode {
+    let (_args, telemetry) = oftec_bench::telemetry_args();
     let opts = SolveOptions {
         max_iterations: 60,
         tolerance: 1e-6,
@@ -153,4 +155,5 @@ fn main() {
              search is the (slow) ground truth"
         );
     }
+    oftec_bench::finish_telemetry(telemetry)
 }

@@ -2,13 +2,15 @@
 //! and runtime for the eight MiBench benchmarks.
 //!
 //! ```text
-//! cargo run --release -p oftec-bench --bin table2
+//! cargo run --release -p oftec-bench --bin table2 [--telemetry-json <path>]
 //! ```
 
 use oftec::{Oftec, OftecOutcome};
 use oftec_bench::all_systems;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    let (_args, telemetry) = oftec_bench::telemetry_args();
     println!("Table 2. Results of OFTEC for MiBench benchmarks");
     println!(
         "{:>14} | {:>8} | {:>9} | {:>12} | {:>8} | {:>10}",
@@ -50,4 +52,5 @@ fn main() {
         println!("\naverage runtime {avg:.1} ms, slowest {worst:.1} ms");
         println!("(paper: average 437 ms, slowest 693 ms on an i7-3770)");
     }
+    oftec_bench::finish_telemetry(telemetry)
 }

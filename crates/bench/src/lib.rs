@@ -19,6 +19,8 @@ use oftec::{CoolingSystem, Oftec, OftecOutcome};
 use oftec_power::Benchmark;
 use oftec_thermal::PackageConfig;
 use serde::Serialize;
+use std::fmt::Write as _;
+use std::process::ExitCode;
 
 /// One row of a per-benchmark comparison: OFTEC vs the two baselines.
 #[derive(Debug, Clone, Serialize)]
@@ -132,26 +134,125 @@ pub fn fmt_opt(v: Option<f64>, width: usize) -> String {
     }
 }
 
+/// Buffered report writer for the figure/table binaries.
+///
+/// The whole report is rendered into one `String` (no per-row `println!`
+/// temporaries), printed once by [`Reporter::finish`], and mirrored into
+/// the telemetry registry as it is built: each table records
+/// `bench.report.rows` / `bench.report.var_failures` /
+/// `bench.report.fixed_failures` counters, so a `--telemetry-json`
+/// snapshot carries the machine-readable summary of what was printed.
+#[derive(Default)]
+pub struct Reporter {
+    out: String,
+}
+
+impl Reporter {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one line of free-form text.
+    pub fn line(&mut self, text: impl std::fmt::Display) {
+        let _ = writeln!(self.out, "{text}");
+    }
+
+    /// Appends a comparison table (temperatures and powers side by side)
+    /// and mirrors its row counts into the telemetry registry.
+    pub fn comparison(&mut self, rows: &[ComparisonRow], title: &str) {
+        let _span = oftec_telemetry::span("bench.report");
+        oftec_telemetry::counter_add("bench.report.rows", rows.len() as u64);
+        let _ = writeln!(self.out, "=== {title} ===");
+        let _ = writeln!(
+            self.out,
+            "{:>14} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} | var fixed",
+            "benchmark", "OFTEC °C", "var °C", "fix °C", "OFTEC W", "var W", "fix W"
+        );
+        let mut var_failures = 0u64;
+        let mut fixed_failures = 0u64;
+        for r in rows {
+            var_failures += u64::from(!r.var_feasible);
+            fixed_failures += u64::from(!r.fixed_feasible);
+            let _ = writeln!(
+                self.out,
+                "{:>14} | {} {} {} | {} {} {} | {:>3} {:>5}",
+                r.benchmark,
+                fmt_opt(r.oftec_temp_c, 9),
+                fmt_opt(r.var_temp_c, 9),
+                fmt_opt(r.fixed_temp_c, 9),
+                fmt_opt(r.oftec_power_w, 9),
+                fmt_opt(r.var_power_w, 9),
+                fmt_opt(r.fixed_power_w, 9),
+                if r.var_feasible { "ok" } else { "FAIL" },
+                if r.fixed_feasible { "ok" } else { "FAIL" },
+            );
+        }
+        oftec_telemetry::counter_add("bench.report.var_failures", var_failures);
+        oftec_telemetry::counter_add("bench.report.fixed_failures", fixed_failures);
+    }
+
+    /// The rendered report so far.
+    pub fn rendered(&self) -> &str {
+        &self.out
+    }
+
+    /// Prints the buffered report to stdout in one write.
+    pub fn finish(self) {
+        print!("{}", self.out);
+    }
+}
+
 /// Prints a comparison table (temperatures and powers side by side).
 pub fn print_comparison(rows: &[ComparisonRow], title: &str) {
-    println!("=== {title} ===");
-    println!(
-        "{:>14} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} | var fixed",
-        "benchmark", "OFTEC °C", "var °C", "fix °C", "OFTEC W", "var W", "fix W"
-    );
-    for r in rows {
-        println!(
-            "{:>14} | {} {} {} | {} {} {} | {:>3} {:>5}",
-            r.benchmark,
-            fmt_opt(r.oftec_temp_c, 9),
-            fmt_opt(r.var_temp_c, 9),
-            fmt_opt(r.fixed_temp_c, 9),
-            fmt_opt(r.oftec_power_w, 9),
-            fmt_opt(r.var_power_w, 9),
-            fmt_opt(r.fixed_power_w, 9),
-            if r.var_feasible { "ok" } else { "FAIL" },
-            if r.fixed_feasible { "ok" } else { "FAIL" },
-        );
+    let mut report = Reporter::new();
+    report.comparison(rows, title);
+    report.finish();
+}
+
+/// Strips `--telemetry-json <path>` from a binary's argument list. When
+/// the flag is present, telemetry collection is forced on so the snapshot
+/// written by [`finish_telemetry`] is populated. Binaries call this
+/// *before* reading their positional arguments.
+pub fn telemetry_args() -> (Vec<String>, Option<String>) {
+    oftec_telemetry::init_from_env();
+    let mut rest = Vec::new();
+    let mut path = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        if arg == "--telemetry-json" {
+            path = it.next();
+            if path.is_none() {
+                eprintln!("--telemetry-json requires a file path; ignoring");
+            }
+        } else if let Some(p) = arg.strip_prefix("--telemetry-json=") {
+            path = Some(p.to_string());
+        } else {
+            rest.push(arg);
+        }
+    }
+    if path.is_some() {
+        oftec_telemetry::set_collecting(true);
+    }
+    (rest, path)
+}
+
+/// Writes the registry snapshot collected since [`telemetry_args`] to the
+/// path it returned (no-op when the flag was absent).
+pub fn finish_telemetry(path: Option<String>) -> ExitCode {
+    let Some(path) = path else {
+        return ExitCode::SUCCESS;
+    };
+    oftec_telemetry::flush();
+    match std::fs::write(&path, oftec_telemetry::snapshot().to_json()) {
+        Ok(()) => {
+            eprintln!("telemetry snapshot written to {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write telemetry snapshot {path}: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

@@ -2,10 +2,36 @@
 
 use crate::problems::{CoolingObjective, CoolingProblem};
 use crate::CoolingSystem;
-use oftec_optim::{ActiveSetSqp, NlpProblem, SolveOptions};
+use oftec_optim::{ActiveSetSqp, IterSample, NlpProblem, SolveOptions};
+use oftec_telemetry as telemetry;
 use oftec_thermal::{HybridCoolingModel, OperatingPoint, ThermalSolution};
 use oftec_units::{Power, Temperature};
 use std::time::{Duration, Instant};
+
+/// Converts an SQP convergence trace into registry trace points (with the
+/// max die temperature decoded through the problem's scaling) and records
+/// it under `name`. No-op while telemetry is not collecting.
+fn record_sqp_trace(name: &'static str, problem: &CoolingProblem<'_>, trace: &[IterSample]) {
+    if !telemetry::collecting() || trace.is_empty() {
+        return;
+    }
+    let points = trace
+        .iter()
+        .map(|s| {
+            let mut fields = vec![
+                ("objective", s.objective),
+                ("max_violation", s.max_violation),
+                ("step_norm", s.step_norm),
+                ("active_set", s.active_set as f64),
+            ];
+            if let Some(t) = problem.sample_max_temperature(s) {
+                fields.push(("max_temp_k", t));
+            }
+            telemetry::TracePoint::new(s.iter as u64, fields)
+        })
+        .collect();
+    telemetry::trace_record(name, points);
+}
 
 /// The OFTEC optimizer (Algorithm 1).
 ///
@@ -58,6 +84,12 @@ pub struct OftecSolution {
     pub runtime: Duration,
     /// Total thermal solves consumed.
     pub thermal_solves: usize,
+    /// Per-iteration SQP trace of the feasibility phase (Optimization 2).
+    /// Empty when phase 1 did not run or telemetry was not collecting.
+    pub phase1_trace: Vec<IterSample>,
+    /// Per-iteration SQP trace of the power-minimization phase
+    /// (Optimization 1). Empty unless telemetry was collecting.
+    pub phase2_trace: Vec<IterSample>,
 }
 
 /// A certified failure: even the temperature-minimizing settings violate
@@ -70,6 +102,9 @@ pub struct InfeasibleReport {
     pub best_temperature: Temperature,
     /// Wall-clock runtime spent.
     pub runtime: Duration,
+    /// Per-iteration SQP trace of the failed feasibility phase. Empty
+    /// unless telemetry was collecting.
+    pub trace: Vec<IterSample>,
 }
 
 /// Outcome of [`Oftec::run`].
@@ -116,9 +151,11 @@ impl Oftec {
         t_max: Temperature,
     ) -> Option<OftecSolution> {
         let start = Instant::now();
+        let _span = telemetry::span("oftec.opt2");
         let problem = CoolingProblem::new(model, CoolingObjective::MaxTemperature, t_max);
         let x0 = vec![0.5; problem.dim()];
         let result = self.solver.solve(&problem, &x0, &self.options).ok()?;
+        record_sqp_trace("sqp.opt2", &problem, &result.trace);
         // Guard against solver stagnation: keep the better of result/start.
         let t_res = problem.max_temperature(&result.x);
         let t_x0 = problem.max_temperature(&x0);
@@ -137,6 +174,8 @@ impl Oftec {
             used_phase1: true,
             runtime: start.elapsed(),
             thermal_solves: problem.thermal_solves(),
+            phase1_trace: result.trace,
+            phase2_trace: Vec::new(),
             solution,
         })
     }
@@ -146,6 +185,7 @@ impl Oftec {
     /// one-dimensional).
     pub fn run_on_model(&self, model: &HybridCoolingModel, t_max: Temperature) -> OftecOutcome {
         let start = Instant::now();
+        let _span = telemetry::span("oftec.run");
         let mut thermal_solves = 0;
 
         // Line 1: (ω₀, I₀) = (ω_max/2, I_max/2), in scaled coordinates.
@@ -157,6 +197,7 @@ impl Oftec {
         // Line 2: feasibility check at the start.
         let start_temp = t_at(&phase1_problem, &x0);
         let mut used_phase1 = false;
+        let mut phase1_trace: Vec<IterSample> = Vec::new();
         let x_feasible = if start_temp.is_some_and(|t| t < t_max) {
             x0.clone()
         } else {
@@ -166,19 +207,26 @@ impl Oftec {
             let target = Temperature::from_kelvin(t_max.kelvin() - margin);
             let ambient = model.config().ambient.kelvin();
             let target_scaled = (target.kelvin() - ambient) / 10.0;
-            let result =
+            let result = {
+                let _opt2 = telemetry::span("oftec.opt2");
                 self.solver
                     .solve_until(&phase1_problem, &x0, &self.options, move |_x, f| {
                         f < target_scaled
-                    });
+                    })
+            };
             match result {
-                Ok(r) => r.x,
+                Ok(r) => {
+                    record_sqp_trace("sqp.opt2", &phase1_problem, &r.trace);
+                    phase1_trace = r.trace;
+                    r.x
+                }
                 Err(_) => {
                     return OftecOutcome::Infeasible(InfeasibleReport {
                         operating_point: phase1_problem.operating_point(&x0),
                         best_temperature: start_temp
                             .unwrap_or(Temperature::from_kelvin(f64::MAX.min(1e6))),
                         runtime: start.elapsed(),
+                        trace: Vec::new(),
                     });
                 }
             }
@@ -192,6 +240,7 @@ impl Oftec {
                 operating_point: phase1_problem.operating_point(&x_feasible),
                 best_temperature: Temperature::from_kelvin(1e6),
                 runtime: start.elapsed(),
+                trace: phase1_trace,
             });
         };
         if feasible_temp >= t_max {
@@ -199,15 +248,25 @@ impl Oftec {
                 operating_point: phase1_problem.operating_point(&x_feasible),
                 best_temperature: feasible_temp,
                 runtime: start.elapsed(),
+                trace: phase1_trace,
             });
         }
 
         // Line 6: Optimization 1 from the feasible point.
         let phase2_problem = CoolingProblem::new(model, CoolingObjective::Power, t_max);
-        let result = self
-            .solver
-            .solve(&phase2_problem, &x_feasible, &self.options);
+        let result = {
+            let _opt1 = telemetry::span("oftec.opt1");
+            self.solver
+                .solve(&phase2_problem, &x_feasible, &self.options)
+        };
         thermal_solves += phase2_problem.thermal_solves();
+        let phase2_trace = match &result {
+            Ok(r) => {
+                record_sqp_trace("sqp.opt1", &phase2_problem, &r.trace);
+                r.trace.clone()
+            }
+            Err(_) => Vec::new(),
+        };
 
         // Pick the endpoint by the paper's actual constraint (T < T_max;
         // the margined QP constraint may read as microscopically violated
@@ -240,6 +299,8 @@ impl Oftec {
             used_phase1,
             runtime: start.elapsed(),
             thermal_solves,
+            phase1_trace,
+            phase2_trace,
         })
     }
 }

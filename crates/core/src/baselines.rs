@@ -98,6 +98,7 @@ pub fn variable_speed_fan(system: &CoolingSystem, minimize_power: bool) -> Basel
 /// result matches the original serial scan exactly).
 fn coolest_fan_point(system: &CoolingSystem) -> BaselineOutcome {
     let model = system.fan_model();
+    let _span = oftec_telemetry::span("baseline.fan_sweep");
     let solutions = oftec_parallel::par_map_range(100, |idx| {
         let step = idx + 1;
         let omega = system.package().fan.omega_max * (step as f64 / 100.0);
@@ -217,6 +218,7 @@ pub fn required_fan_only_throttle(system: &CoolingSystem, resolution: f64) -> f6
 /// `[0, I_max]`.
 pub fn tec_only(system: &CoolingSystem, steps: usize) -> TecOnlyReport {
     let model = system.tec_model();
+    let _span = oftec_telemetry::span("baseline.tec_only");
     let probes = oftec_parallel::par_map_range(steps + 1, |k| {
         let i = 5.0 * k as f64 / steps.max(1) as f64;
         let op = OperatingPoint::new(AngularVelocity::ZERO, Current::from_amperes(i));

@@ -11,7 +11,18 @@
 //!   sweep <benchmark> [file]   dump the Figure 6(a)(b) surface as CSV
 //!   margin <benchmark> <rpm> <amps>
 //!                              spectral runaway margin at one point
+//!
+//! Options:
+//!   --telemetry-json <path>    force telemetry collection on and write a
+//!                              full registry snapshot (counters, gauges,
+//!                              histograms, traces, span tree) as JSON
+//!   --scale <s>                scale the workload's dynamic power by `s`
+//!                              (e.g. 1.3 makes the start point infeasible
+//!                              so Algorithm 1 exercises Optimization 2)
 //! ```
+//!
+//! `OFTEC_LOG=summary|trace` additionally enables JSONL event logging on
+//! stderr (see the telemetry crate).
 
 use oftec::baselines::{fixed_speed_fan, variable_speed_fan};
 use oftec::{CoolingSystem, Oftec, OftecOutcome, SweepGrid};
@@ -22,10 +33,76 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: oftec-cli <list|optimize|cool|baseline|sweep|margin> [benchmark] [args]\n\
+        "usage: oftec-cli <list|optimize|cool|baseline|sweep|margin> [benchmark] [args] \
+         [--telemetry-json <path>]\n\
          run with `list` to see the bundled benchmarks"
     );
     ExitCode::FAILURE
+}
+
+/// Option flags stripped from the argument list before positional parsing.
+#[derive(Default)]
+struct Options {
+    telemetry_path: Option<String>,
+    scale: Option<f64>,
+}
+
+/// Strips `--telemetry-json <path>` and `--scale <s>` from the argument
+/// list before positional parsing.
+fn split_flags(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut opts = Options::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg, None),
+        };
+        match flag.as_str() {
+            "--telemetry-json" => {
+                opts.telemetry_path = Some(match inline {
+                    Some(v) => v,
+                    None => it
+                        .next()
+                        .ok_or("--telemetry-json requires a file path".to_string())?,
+                });
+            }
+            "--scale" => {
+                let raw = match inline {
+                    Some(v) => v,
+                    None => it.next().ok_or("--scale requires a number".to_string())?,
+                };
+                let s: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("--scale: `{raw}` is not a number"))?;
+                if !(s.is_finite() && s > 0.0) {
+                    return Err(format!("--scale must be a positive number, got {raw}"));
+                }
+                opts.scale = Some(s);
+            }
+            _ => match inline {
+                Some(v) => rest.push(format!("{flag}={v}")),
+                None => rest.push(flag),
+            },
+        }
+    }
+    Ok((rest, opts))
+}
+
+/// Writes the global registry snapshot to `path` as JSON.
+fn write_snapshot(path: &str) -> ExitCode {
+    oftec_telemetry::flush();
+    let json = oftec_telemetry::snapshot().to_json();
+    match std::fs::write(path, json) {
+        Ok(()) => {
+            eprintln!("telemetry snapshot written to {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write telemetry snapshot {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn find_benchmark(name: &str) -> Option<Benchmark> {
@@ -36,7 +113,33 @@ fn find_benchmark(name: &str) -> Option<Benchmark> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (args, opts) = match split_flags(raw) {
+        Ok(split) => split,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    oftec_telemetry::init_from_env();
+    if opts.telemetry_path.is_some() {
+        oftec_telemetry::set_collecting(true);
+    }
+    let code = run(&args, opts.scale);
+    match opts.telemetry_path {
+        Some(path) => {
+            let snap_code = write_snapshot(&path);
+            if code == ExitCode::SUCCESS {
+                snap_code
+            } else {
+                code
+            }
+        }
+        None => code,
+    }
+}
+
+fn run(args: &[String], scale: Option<f64>) -> ExitCode {
     let Some(command) = args.first() else {
         return usage();
     };
@@ -63,6 +166,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let system = CoolingSystem::for_benchmark(benchmark);
+    let system = match scale {
+        Some(s) => system.scaled(s),
+        None => system,
+    };
 
     match command.as_str() {
         "optimize" => match Oftec::default().run(&system) {

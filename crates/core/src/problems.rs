@@ -12,6 +12,7 @@
 //! the "infinite" region of Figure 6(a)(b).
 
 use oftec_optim::NlpProblem;
+use oftec_telemetry::Counter;
 use oftec_thermal::{HybridCoolingModel, OperatingPoint};
 use oftec_units::{AngularVelocity, Current, Temperature};
 use std::collections::VecDeque;
@@ -46,22 +47,21 @@ struct Eval {
     max_temp: Option<f64>,
 }
 
-/// Memo cache + instrumentation, behind one mutex so the problem is
-/// `Sync` and can be evaluated from the parallel grid-search/multistart
-/// workers. The lock is never held across a thermal solve.
+/// Memo cache, behind one mutex so the problem is `Sync` and can be
+/// evaluated from the parallel grid-search/multistart workers. The lock
+/// is never held across a thermal solve.
 #[derive(Debug, Default)]
 struct CacheState {
     /// FIFO of recent evaluations; eviction pops the front in O(1).
     entries: VecDeque<([f64; 2], Eval)>,
-    /// Thermal solves performed.
-    solves: usize,
-    /// Evaluations answered from the cache.
-    hits: usize,
-    /// Evaluations that had to solve.
-    misses: usize,
 }
 
 /// The shared machinery of both problems.
+///
+/// Instrumentation lives on [`oftec_telemetry::Counter`] handles: each
+/// keeps an exact per-instance count (the [`CoolingProblem::cache_hits`]
+/// family of accessors) and mirrors the same increments into the global
+/// registry under its metric name whenever telemetry is collecting.
 #[derive(Debug)]
 pub struct CoolingProblem<'a> {
     model: &'a HybridCoolingModel,
@@ -69,6 +69,12 @@ pub struct CoolingProblem<'a> {
     t_max: Temperature,
     with_tec: bool,
     cache: Mutex<CacheState>,
+    /// Thermal solves performed (`problem.thermal_solves`).
+    solves: Counter,
+    /// Evaluations answered from the cache (`problem.cache.hits`).
+    hits: Counter,
+    /// Evaluations that had to solve (`problem.cache.misses`).
+    misses: Counter,
 }
 
 impl<'a> CoolingProblem<'a> {
@@ -85,23 +91,26 @@ impl<'a> CoolingProblem<'a> {
             t_max,
             with_tec: model.has_tec(),
             cache: Mutex::new(CacheState::default()),
+            solves: Counter::new("problem.thermal_solves"),
+            hits: Counter::new("problem.cache.hits"),
+            misses: Counter::new("problem.cache.misses"),
         }
     }
 
     /// Number of thermal solves performed so far (diagnostics; the paper
     /// reports solver runtimes that are dominated by these).
     pub fn thermal_solves(&self) -> usize {
-        self.cache.lock().expect("cache poisoned").solves
+        self.solves.get() as usize
     }
 
     /// Evaluations answered from the memo cache.
     pub fn cache_hits(&self) -> usize {
-        self.cache.lock().expect("cache poisoned").hits
+        self.hits.get() as usize
     }
 
     /// Evaluations that required a thermal solve.
     pub fn cache_misses(&self) -> usize {
-        self.cache.lock().expect("cache poisoned").misses
+        self.misses.get() as usize
     }
 
     /// Converts scaled decision variables to a physical operating point.
@@ -132,14 +141,15 @@ impl<'a> CoolingProblem<'a> {
     fn evaluate(&self, x: &[f64]) -> Eval {
         let key = self.key(x);
         {
-            let mut state = self.cache.lock().expect("cache poisoned");
+            let state = self.cache.lock().expect("cache poisoned");
             if let Some((_, e)) = state
                 .entries
                 .iter()
                 .find(|(k, _)| k[0] == key[0] && k[1] == key[1])
             {
                 let e = *e;
-                state.hits += 1;
+                drop(state);
+                self.hits.add(1);
                 return e;
             }
         }
@@ -157,9 +167,9 @@ impl<'a> CoolingProblem<'a> {
                 max_temp: None,
             },
         };
+        self.solves.add(1);
+        self.misses.add(1);
         let mut state = self.cache.lock().expect("cache poisoned");
-        state.solves += 1;
-        state.misses += 1;
         if state.entries.len() >= 16 {
             state.entries.pop_front();
         }
@@ -176,6 +186,30 @@ impl<'a> CoolingProblem<'a> {
     /// The fan speed corresponding to `x\[0\] = 1`.
     pub fn omega_max(&self) -> AngularVelocity {
         self.model.config().fan.omega_max
+    }
+
+    /// Decodes the maximum die temperature (Kelvin) embedded in an SQP
+    /// convergence sample of *this* problem, inverting the objective /
+    /// constraint scaling: Optimization 2 stores it in the objective
+    /// (`T = T_amb + scale·f`), Optimization 1 in the thermal constraint
+    /// (`T = T_max − margin − scale·c₀`). Returns `None` for penalty
+    /// (runaway) samples.
+    pub fn sample_max_temperature(&self, sample: &oftec_optim::IterSample) -> Option<f64> {
+        match self.objective {
+            CoolingObjective::MaxTemperature => {
+                if sample.objective >= oftec_optim::PENALTY_OBJECTIVE {
+                    return None;
+                }
+                Some(self.model.config().ambient.kelvin() + CONSTRAINT_SCALE * sample.objective)
+            }
+            CoolingObjective::Power => {
+                let c0 = *sample.constraints.first()?;
+                if c0 <= -oftec_optim::PENALTY_OBJECTIVE / CONSTRAINT_SCALE {
+                    return None;
+                }
+                Some(self.t_max.kelvin() - T_MAX_MARGIN_KELVIN - CONSTRAINT_SCALE * c0)
+            }
+        }
     }
 }
 

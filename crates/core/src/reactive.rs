@@ -190,6 +190,8 @@ pub fn run_closed_loop<P: TecPolicy + ?Sized>(
 ) -> Result<ClosedLoopReport, ThermalError> {
     assert!(windows > 0, "need at least one control window");
     assert!(window_seconds > 0.0, "window must have positive length");
+    let _span = oftec_telemetry::span("reactive.tec_loop");
+    oftec_telemetry::counter_add("reactive.windows", windows as u64);
     let model = system.tec_model();
 
     // Start from the passive steady state (TECs off).
@@ -328,6 +330,8 @@ pub fn run_fan_loop(
 ) -> Result<FanLoopReport, ThermalError> {
     assert!(windows > 0, "need at least one control window");
     assert!(window_seconds > 0.0, "window must have positive length");
+    let _span = oftec_telemetry::span("reactive.fan_loop");
+    oftec_telemetry::counter_add("reactive.windows", windows as u64);
     let model = system.tec_model();
     let omega_max = system.package().fan.omega_max;
 

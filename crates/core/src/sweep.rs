@@ -81,7 +81,14 @@ impl SweepGrid {
         );
         let omega_max = model.config().fan.omega_max;
         let i_max = 5.0;
+        let _span = oftec_telemetry::span("sweep.run");
+        oftec_telemetry::counter_add("sweep.rows", self.omega_points as u64);
+        oftec_telemetry::counter_add(
+            "sweep.points",
+            (self.omega_points * self.current_points) as u64,
+        );
         let rows = oftec_parallel::par_map_range_with(threads, self.omega_points, |wi| {
+            let _row_span = oftec_telemetry::span("sweep.row");
             let frac_w = wi as f64 / (self.omega_points - 1) as f64;
             let omega = omega_max * frac_w;
             let mut row = Vec::with_capacity(self.current_points);
@@ -109,11 +116,13 @@ impl SweepGrid {
             }
             row
         });
-        SweepResult {
+        let result = SweepResult {
             samples: rows.into_iter().flatten().collect(),
             omega_points: self.omega_points,
             current_points: self.current_points,
-        }
+        };
+        oftec_telemetry::gauge_set("sweep.runaway_fraction", result.runaway_fraction());
+        result
     }
 }
 

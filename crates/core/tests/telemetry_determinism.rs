@@ -1,0 +1,103 @@
+//! Telemetry determinism: the metrics registry and span tree produced by
+//! a sweep must be identical (modulo wall-clock span durations) at every
+//! worker-thread count. Thread-local buffers are handed off per work item
+//! and merged on the caller thread in index order, so nothing about the
+//! schedule may leak into the snapshot.
+
+use oftec::{CoolingSystem, SweepGrid};
+use oftec_power::Benchmark;
+use oftec_thermal::PackageConfig;
+
+fn sweep_snapshot(threads: usize) -> oftec_telemetry::Snapshot {
+    let system = CoolingSystem::for_benchmark_with_config(
+        Benchmark::Basicmath,
+        &PackageConfig::dac14_coarse(),
+    );
+    let grid = SweepGrid {
+        omega_points: 10,
+        current_points: 5,
+    };
+    // Collection stays on for the whole test binary: tests run on
+    // concurrent threads and the flag is global, while `capture` keeps the
+    // buffers themselves thread-isolated.
+    oftec_telemetry::set_collecting(true);
+    let ((), buf) = oftec_telemetry::capture(|| {
+        grid.run_threaded(system.tec_model(), threads);
+    });
+    let mut snap = oftec_telemetry::Snapshot::from_buffer(buf);
+    snap.redact_times();
+    snap
+}
+
+#[test]
+fn sweep_telemetry_is_identical_at_any_thread_count() {
+    let serial = sweep_snapshot(1);
+
+    // The sweep itself must have produced real telemetry, not an empty
+    // registry that is trivially "deterministic".
+    assert_eq!(serial.counter("sweep.rows"), 10);
+    assert_eq!(serial.counter("sweep.points"), 50);
+    assert!(serial.counter("thermal.solves") >= 50 - serial.counter("thermal.runaway"));
+    let cg = serial
+        .histogram("cg.iterations")
+        .expect("CG iteration histogram must be populated");
+    assert!(cg.total > 0);
+
+    for threads in [2, 8] {
+        let parallel = sweep_snapshot(threads);
+        assert_eq!(
+            parallel, serial,
+            "telemetry snapshot diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn span_tree_nests_rows_under_the_sweep() {
+    let snap = sweep_snapshot(4);
+    let root = snap
+        .spans
+        .iter()
+        .find(|s| s.name == "sweep.run")
+        .expect("sweep.run span missing");
+    let rows = root
+        .children
+        .iter()
+        .filter(|c| c.name == "sweep.row")
+        .count();
+    assert_eq!(rows, 10, "every ω-row must report a child span");
+    // Each row's thermal solves nest under that row, not at the root.
+    assert!(root
+        .children
+        .iter()
+        .filter(|c| c.name == "sweep.row")
+        .all(|c| c.children.iter().any(|g| g.name == "thermal.solve")));
+}
+
+#[test]
+fn histogram_merge_is_associative() {
+    const BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+    let record = |values: &[u64]| {
+        let ((), buf) = oftec_telemetry::capture(|| {
+            for &v in values {
+                oftec_telemetry::histogram_record("assoc.test", BOUNDS, v);
+            }
+        });
+        buf
+    };
+    oftec_telemetry::set_collecting(true);
+    let (a, b, c) = (record(&[1, 7, 300]), record(&[2, 2, 1024]), record(&[65]));
+
+    // (a ⊎ b) ⊎ c == a ⊎ (b ⊎ c)
+    let mut left = a.clone();
+    left.merge(b.clone());
+    left.merge(c.clone());
+    let mut bc = b;
+    bc.merge(c);
+    let mut right = a;
+    right.merge(bc);
+    assert_eq!(
+        oftec_telemetry::Snapshot::from_buffer(left),
+        oftec_telemetry::Snapshot::from_buffer(right)
+    );
+}

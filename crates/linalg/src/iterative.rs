@@ -1,6 +1,11 @@
 //! Preconditioned Krylov solvers: CG and BiCGSTAB.
 
 use crate::{vector, CsrMatrix, LinalgError, Preconditioner};
+use oftec_telemetry as telemetry;
+
+/// Bucket bounds for the Krylov iteration-count histograms (powers of
+/// two; one implicit overflow bucket above 1024).
+const ITER_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
 
 /// Convergence controls shared by the Krylov solvers.
 #[derive(Debug, Clone, Copy)]
@@ -32,6 +37,11 @@ pub struct IterativeSummary {
     pub iterations: usize,
     /// Final residual 2-norm.
     pub residual: f64,
+    /// Residual 2-norm after every norm evaluation, starting with the
+    /// initial residual. Empty unless telemetry is collecting
+    /// ([`oftec_telemetry::collecting`]) — populating it costs one push
+    /// per iteration, so it is gated with the rest of the registry.
+    pub residual_trace: Vec<f64>,
 }
 
 fn target_residual(b: &[f64], params: &IterativeParams) -> f64 {
@@ -92,16 +102,26 @@ pub fn solve_cg(
         None => vec![0.0; n],
     };
 
+    let collecting = telemetry::collecting();
+    let _span = telemetry::span("cg.solve");
+    telemetry::counter_add("cg.solves", 1);
+
     let mut ax = vec![0.0; n];
     a.matvec_into(&x, &mut ax);
     let mut r = vector::sub(b, &ax);
     let target = target_residual(b, params);
     let mut rnorm = vector::norm2(&r);
+    let mut residual_trace = Vec::new();
+    if collecting {
+        residual_trace.push(rnorm);
+    }
     if rnorm <= target {
+        telemetry::histogram_record("cg.iterations", ITER_BOUNDS, 0);
         return Ok(IterativeSummary {
             x,
             iterations: 0,
             residual: rnorm,
+            residual_trace,
         });
     }
 
@@ -120,11 +140,16 @@ pub fn solve_cg(
         vector::axpy(alpha, &p, &mut x);
         vector::axpy(-alpha, &ax, &mut r);
         rnorm = vector::norm2(&r);
+        if collecting {
+            residual_trace.push(rnorm);
+        }
         if rnorm <= target {
+            telemetry::histogram_record("cg.iterations", ITER_BOUNDS, iter as u64);
             return Ok(IterativeSummary {
                 x,
                 iterations: iter,
                 residual: rnorm,
+                residual_trace,
             });
         }
         m.apply(&r, &mut z);
@@ -177,16 +202,26 @@ pub fn solve_bicgstab(
         None => vec![0.0; n],
     };
 
+    let collecting = telemetry::collecting();
+    let _span = telemetry::span("bicgstab.solve");
+    telemetry::counter_add("bicgstab.solves", 1);
+
     let mut tmp = vec![0.0; n];
     a.matvec_into(&x, &mut tmp);
     let mut r = vector::sub(b, &tmp);
     let target = target_residual(b, params);
     let mut rnorm = vector::norm2(&r);
+    let mut residual_trace = Vec::new();
+    if collecting {
+        residual_trace.push(rnorm);
+    }
     if rnorm <= target {
+        telemetry::histogram_record("bicgstab.iterations", ITER_BOUNDS, 0);
         return Ok(IterativeSummary {
             x,
             iterations: 0,
             residual: rnorm,
+            residual_trace,
         });
     }
 
@@ -220,12 +255,17 @@ pub fn solve_bicgstab(
         // s = r - alpha v  (reuse r).
         vector::axpy(-alpha, &v, &mut r);
         rnorm = vector::norm2(&r);
+        if collecting {
+            residual_trace.push(rnorm);
+        }
         if rnorm <= target {
             vector::axpy(alpha, &p_hat, &mut x);
+            telemetry::histogram_record("bicgstab.iterations", ITER_BOUNDS, iter as u64);
             return Ok(IterativeSummary {
                 x,
                 iterations: iter,
                 residual: rnorm,
+                residual_trace,
             });
         }
         m.apply(&r, &mut s_hat);
@@ -243,11 +283,16 @@ pub fn solve_bicgstab(
         // r = s - omega t.
         vector::axpy(-omega, &t, &mut r);
         rnorm = vector::norm2(&r);
+        if collecting {
+            residual_trace.push(rnorm);
+        }
         if rnorm <= target {
+            telemetry::histogram_record("bicgstab.iterations", ITER_BOUNDS, iter as u64);
             return Ok(IterativeSummary {
                 x,
                 iterations: iter,
                 residual: rnorm,
+                residual_trace,
             });
         }
     }
@@ -408,6 +453,29 @@ mod tests {
             err,
             LinalgError::NotConverged { iterations: 2, .. }
         ));
+    }
+
+    #[test]
+    fn residual_trace_follows_collection_gate() {
+        let a = laplacian_2d(6);
+        let b = vec![1.0; a.rows()];
+        let m = JacobiPreconditioner::new(&a).unwrap();
+        oftec_telemetry::set_collecting(true);
+        let (sol, buf) = oftec_telemetry::capture(|| {
+            solve_cg(&a, &b, None, &m, &IterativeParams::default()).unwrap()
+        });
+        // Initial residual + one entry per iteration, monotone at the tail.
+        assert_eq!(sol.residual_trace.len(), sol.iterations + 1);
+        assert_eq!(*sol.residual_trace.last().unwrap(), sol.residual);
+        assert_eq!(buf.counter("cg.solves"), 1);
+        let h = buf.histogram("cg.iterations").unwrap();
+        assert_eq!(h.total, 1);
+        assert_eq!(h.sum, sol.iterations as u64);
+
+        oftec_telemetry::set_collecting(false);
+        let quiet = solve_cg(&a, &b, None, &m, &IterativeParams::default()).unwrap();
+        assert!(quiet.residual_trace.is_empty());
+        oftec_telemetry::set_collecting(true);
     }
 
     #[test]

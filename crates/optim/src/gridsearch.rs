@@ -3,6 +3,7 @@
 //! surface sweeps).
 
 use crate::{NlpProblem, OptimError, SolveOptions, SolveResult};
+use oftec_telemetry as telemetry;
 
 /// Dense sampling of the box with feasibility filtering.
 #[derive(Debug, Clone, Copy)]
@@ -52,9 +53,13 @@ impl GridSearch {
         };
         let total = k.pow(n as u32);
 
+        let _span = telemetry::span("gridsearch.solve");
+        telemetry::counter_add("gridsearch.runs", 1);
+
         // Each grid point is independent: evaluate them in parallel,
-        // recording the value (if feasible and evaluable) and how many of
-        // the two oracles actually ran.
+        // recording the value (if feasible and evaluable) and which of the
+        // two oracles actually ran (the constraint oracle always does; the
+        // objective only for feasible, constraint-evaluable points).
         let evaluated = oftec_parallel::par_map_range(total, |flat| {
             let mut x = vec![0.0; n];
             let mut rem = flat;
@@ -62,30 +67,32 @@ impl GridSearch {
                 *xd = coords(d, rem % k);
                 rem /= k;
             }
-            // The constraint oracle always runs; the objective only runs
-            // for feasible, constraint-evaluable points.
             let feasible = match problem.constraints(&x) {
                 Some(c) => !c.iter().any(|&ci| ci < -self.feasibility_tol),
                 None => false,
             };
             if !feasible {
-                return (x, None, 1usize);
+                return (x, None, false);
             }
-            match problem.objective(&x) {
-                Some(f) => (x, Some(f), 2),
-                None => (x, None, 2),
-            }
+            let value = problem.objective(&x);
+            (x, value, true)
         });
 
         let mut best: Option<(Vec<f64>, f64)> = None;
-        let mut evals = 0usize;
-        for (x, value, point_evals) in evaluated {
-            evals += point_evals;
+        let mut objective_evals = 0usize;
+        for (x, value, objective_ran) in evaluated {
+            objective_evals += usize::from(objective_ran);
             let Some(f) = value else { continue };
             if best.as_ref().is_none_or(|(_, bf)| f < *bf) {
                 best = Some((x, f));
             }
         }
+        // `evaluations` stays the exact local count callers rely on; the
+        // registry gets the same totals split by oracle, mirrored once on
+        // the calling thread.
+        let evals = total + objective_evals;
+        telemetry::counter_add("gridsearch.constraint_evals", total as u64);
+        telemetry::counter_add("gridsearch.objective_evals", objective_evals as u64);
         match best {
             Some((x, objective)) => Ok(SolveResult {
                 x,
@@ -93,6 +100,7 @@ impl GridSearch {
                 iterations: total,
                 evaluations: evals,
                 converged: true,
+                trace: Vec::new(),
             }),
             None => Err(OptimError::BadStart("no feasible grid point found".into())),
         }
@@ -143,7 +151,8 @@ mod tests {
     fn evaluation_count_distinguishes_oracles() {
         // Feasible only for x ≥ 0.5 (51 of 101 points); the objective runs
         // only there, so the eval count is 101 constraint calls + 51
-        // objective calls — not 2 per grid point.
+        // objective calls — not 2 per grid point. The registry sees the
+        // same totals split by oracle.
         let p = FnProblem::new(
             vec![0.0],
             vec![1.0],
@@ -151,14 +160,20 @@ mod tests {
             1,
             |x| Some(vec![x[0] - 0.5]),
         );
-        let r = GridSearch {
-            points_per_dim: 101,
-            ..Default::default()
-        }
-        .solve(&p, &[0.0], &SolveOptions::default())
-        .unwrap();
+        telemetry::set_collecting(true);
+        let (r, buf) = telemetry::capture(|| {
+            GridSearch {
+                points_per_dim: 101,
+                ..Default::default()
+            }
+            .solve(&p, &[0.0], &SolveOptions::default())
+            .unwrap()
+        });
         assert_eq!(r.iterations, 101);
         assert_eq!(r.evaluations, 101 + 51);
+        assert_eq!(buf.counter("gridsearch.constraint_evals"), 101);
+        assert_eq!(buf.counter("gridsearch.objective_evals"), 51);
+        assert_eq!(buf.counter("gridsearch.runs"), 1);
     }
 
     #[test]

@@ -177,6 +177,7 @@ impl InteriorPoint {
             iterations: total_iters,
             evaluations: evals,
             converged,
+            trace: Vec::new(),
         })
     }
 }

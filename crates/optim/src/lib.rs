@@ -87,6 +87,31 @@ impl Default for SolveOptions {
     }
 }
 
+/// One outer-iteration sample of a convergence trace.
+///
+/// Captured by the solvers (currently [`ActiveSetSqp`]) only while
+/// telemetry is collecting ([`oftec_telemetry::collecting`]); callers that
+/// know the problem's scaling decode domain quantities (e.g. max die
+/// temperature) from `objective`/`constraints`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterSample {
+    /// Outer iteration number (0 = the starting point).
+    pub iter: usize,
+    /// Objective value at the iterate.
+    pub objective: f64,
+    /// Largest constraint violation `max_j(-c_j)⁺` (0 when feasible).
+    pub max_violation: f64,
+    /// Constraint values at the iterate.
+    pub constraints: Vec<f64>,
+    /// The iterate itself.
+    pub x: Vec<f64>,
+    /// ∞-norm of the accepted step into this iterate (0 at `iter` 0).
+    pub step_norm: f64,
+    /// Active rows in the QP subproblem (nonlinear + box rows with a
+    /// nonzero multiplier); 0 at `iter` 0 and after restoration steps.
+    pub active_set: usize,
+}
+
 /// Outcome of a solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolveResult {
@@ -102,6 +127,9 @@ pub struct SolveResult {
     /// `true` if a convergence test was met (as opposed to hitting the
     /// iteration cap or an early-stop predicate).
     pub converged: bool,
+    /// Per-iteration convergence trace. Empty unless telemetry is
+    /// collecting at solve time (see [`IterSample`]).
+    pub trace: Vec<IterSample>,
 }
 
 /// Errors from the solvers.

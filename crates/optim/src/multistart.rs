@@ -65,6 +65,8 @@ where
     F: Fn(&P, &[f64], &SolveOptions) -> Result<SolveResult, OptimError> + Sync,
 {
     assert!(!starts.is_empty(), "multistart needs at least one start");
+    let _span = oftec_telemetry::span("multistart.run");
+    oftec_telemetry::counter_add("multistart.starts", starts.len() as u64);
     let outcomes = oftec_parallel::par_map_indexed(starts, |_, start| solve(problem, start, opts));
     let mut best: Option<(bool, SolveResult)> = None;
     let mut last_err = None;

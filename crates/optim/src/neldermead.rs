@@ -211,6 +211,7 @@ impl NelderMead {
             iterations,
             evaluations: evals,
             converged,
+            trace: Vec::new(),
         })
     }
 }

@@ -55,6 +55,8 @@ pub fn solve_qp(
     rows: &[(Vec<f64>, f64)],
     d0: &[f64],
 ) -> Result<(Vec<f64>, Vec<f64>), QpError> {
+    let _span = oftec_telemetry::span("qp.solve");
+    oftec_telemetry::counter_add("qp.solves", 1);
     let n = g.len();
     if h.rows() != n || h.cols() != n {
         return Err(QpError::Dimension(format!(

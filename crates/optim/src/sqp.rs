@@ -3,10 +3,16 @@
 
 use crate::problem::PENALTY_OBJECTIVE;
 use crate::{
-    backtrack, central_gradient, damped_bfgs_update, solve_qp, NlpProblem, OptimError, QpError,
-    SolveOptions, SolveResult,
+    backtrack, central_gradient, damped_bfgs_update, solve_qp, IterSample, NlpProblem, OptimError,
+    QpError, SolveOptions, SolveResult,
 };
 use oftec_linalg::{vector, Matrix};
+use oftec_telemetry as telemetry;
+
+/// Largest constraint violation `max_j(-c_j)⁺`.
+fn max_violation(c: &[f64]) -> f64 {
+    c.iter().fold(0.0_f64, |a, &ci| a.max(-ci))
+}
 
 /// The active-set SQP solver.
 ///
@@ -92,6 +98,22 @@ impl ActiveSetSqp {
         let mut c = problem.constraints_or_penalty(&x);
         evals += 1;
 
+        let collecting = telemetry::collecting();
+        let _span = telemetry::span("sqp.solve");
+        telemetry::counter_add("sqp.runs", 1);
+        let mut trace: Vec<IterSample> = Vec::new();
+        if collecting {
+            trace.push(IterSample {
+                iter: 0,
+                objective: f,
+                max_violation: max_violation(&c),
+                constraints: c.clone(),
+                x: x.clone(),
+                step_norm: 0.0,
+                active_set: 0,
+            });
+        }
+
         let mut b = Matrix::identity(n);
         let mut mu = self.initial_merit_mu;
         let mut prev_grad: Option<(Vec<f64>, Matrix)> = None; // (∇f, Jc) at previous x
@@ -107,11 +129,14 @@ impl ActiveSetSqp {
                 iterations,
                 evaluations: evals,
                 converged: false,
+                trace,
             });
         }
 
         for iter in 1..=opts.max_iterations {
             iterations = iter;
+            let _iter_span = telemetry::span("sqp.iter");
+            telemetry::counter_add("sqp.iterations", 1);
 
             // Gradients at the current iterate.
             let grad_f = central_gradient(
@@ -220,6 +245,17 @@ impl ActiveSetSqp {
                         evals += 2;
                         prev_grad = None;
                         prev_step = None;
+                        if collecting {
+                            trace.push(IterSample {
+                                iter,
+                                objective: f,
+                                max_violation: max_violation(&c),
+                                constraints: c.clone(),
+                                x: x.clone(),
+                                step_norm: 0.0,
+                                active_set: 0,
+                            });
+                        }
                         continue;
                     }
                     Some(_) => break,
@@ -274,6 +310,32 @@ impl ActiveSetSqp {
             c = problem.constraints_or_penalty(&x);
             evals += 2;
 
+            if collecting {
+                let violation = max_violation(&c);
+                let active = lambda.iter().filter(|&&l| l.abs() > 1e-12).count();
+                let step_norm = vector::norm_inf(&step);
+                telemetry::event(
+                    telemetry::Severity::Debug,
+                    "sqp.iter",
+                    &[
+                        ("iter", telemetry::Field::U64(iter as u64)),
+                        ("objective", telemetry::Field::F64(f)),
+                        ("violation", telemetry::Field::F64(violation)),
+                        ("step_norm", telemetry::Field::F64(step_norm)),
+                        ("active_set", telemetry::Field::U64(active as u64)),
+                    ],
+                );
+                trace.push(IterSample {
+                    iter,
+                    objective: f,
+                    max_violation: violation,
+                    constraints: c.clone(),
+                    x: x.clone(),
+                    step_norm,
+                    active_set: active,
+                });
+            }
+
             prev_grad = Some((grad_f, jac));
             prev_step = Some(step);
 
@@ -288,6 +350,7 @@ impl ActiveSetSqp {
             iterations,
             evaluations: evals,
             converged,
+            trace,
         })
     }
 }

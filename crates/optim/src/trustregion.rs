@@ -170,6 +170,7 @@ impl TrustRegion {
             iterations,
             evaluations: evals,
             converged,
+            trace: Vec::new(),
         })
     }
 }

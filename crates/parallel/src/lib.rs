@@ -19,6 +19,16 @@
 //! the behavior of a serial loop that panics mid-way (no result is
 //! returned, nothing is swallowed).
 //!
+//! # Telemetry hand-off
+//!
+//! When [`oftec_telemetry`] is collecting, each work item runs inside
+//! [`oftec_telemetry::capture`], and the per-item buffers are
+//! [`oftec_telemetry::absorb`]ed on the calling thread **in item-index
+//! order** after the scope joins. Counters, histograms, span trees and
+//! traces therefore merge in serial execution order, making registry
+//! snapshots identical at any `OFTEC_THREADS` setting. When telemetry is
+//! off, the capture wrapper is a single relaxed atomic load per item.
+//!
 //! # Thread count
 //!
 //! [`thread_count`] defaults to [`std::thread::available_parallelism`] and
@@ -30,9 +40,10 @@ use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Per-worker harvest: indexed results, or the payload of a panic caught
-/// on that worker.
-type WorkerHarvest<R> = Result<Vec<(usize, R)>, Box<dyn std::any::Any + Send>>;
+/// Per-worker harvest: indexed results with their captured telemetry, or
+/// the payload of a panic caught on that worker.
+type WorkerHarvest<R> =
+    Result<Vec<(usize, R, oftec_telemetry::LocalBuffer)>, Box<dyn std::any::Any + Send>>;
 
 /// The worker-pool size used by the `par_*` entry points: the
 /// `OFTEC_THREADS` environment variable if set to a positive integer,
@@ -110,8 +121,10 @@ where
                         // Stop claiming work after a panic so the
                         // caller sees it promptly; items already
                         // claimed by other workers still finish.
-                        let r = catch_unwind(AssertUnwindSafe(|| f(i, &items[i])))?;
-                        local.push((i, r));
+                        let (r, tele) = catch_unwind(AssertUnwindSafe(|| {
+                            oftec_telemetry::capture(|| f(i, &items[i]))
+                        }))?;
+                        local.push((i, r, tele));
                     }
                     Ok(local)
                 })
@@ -132,10 +145,17 @@ where
 
     // Scatter into index order: bit-identical to the serial map.
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut telemetry: Vec<Option<oftec_telemetry::LocalBuffer>> = (0..n).map(|_| None).collect();
     for local in collected {
-        for (i, r) in local.expect("errors handled above") {
+        for (i, r, tele) in local.expect("errors handled above") {
             out[i] = Some(r);
+            telemetry[i] = Some(tele);
         }
+    }
+    // Absorb per-item telemetry in index order — the serial recording
+    // order — so registry merges are scheduling-independent.
+    for tele in telemetry.into_iter().flatten() {
+        oftec_telemetry::absorb(tele);
     }
     out.into_iter()
         .map(|slot| slot.expect("every index is claimed exactly once"))
@@ -225,5 +245,32 @@ mod tests {
     #[test]
     fn thread_count_is_at_least_one() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn telemetry_merges_in_index_order_at_any_thread_count() {
+        use oftec_telemetry as telemetry;
+        telemetry::set_collecting(true);
+        let run = |threads: usize| {
+            let (_, buf) = telemetry::capture(|| {
+                par_map_range_with(threads, 23, |i| {
+                    let _span = telemetry::span("item");
+                    telemetry::counter_add("par.items", 1);
+                    telemetry::gauge_set("par.last_index", i as f64);
+                    i
+                })
+            });
+            let mut snap = telemetry::Snapshot::from_buffer(buf);
+            snap.redact_times();
+            snap
+        };
+        let serial = run(1);
+        assert_eq!(serial.counter("par.items"), 23);
+        // Gauges are last-writer-wins in index order: the serial tail.
+        assert_eq!(serial.gauges["par.last_index"], 22.0);
+        assert_eq!(serial.spans.len(), 23);
+        for threads in [2, 5, 8] {
+            assert_eq!(run(threads), serial, "mismatch at {threads} threads");
+        }
     }
 }

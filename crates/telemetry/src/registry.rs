@@ -1,0 +1,408 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms,
+//! convergence traces, and completed span trees.
+//!
+//! All mutation goes through a thread-local [`LocalBuffer`] (see the crate
+//! root); this module defines the buffer itself, the merge rules, and the
+//! immutable [`Snapshot`] handed to exporters.
+//!
+//! # Determinism
+//!
+//! Every merge is designed to be independent of thread scheduling:
+//!
+//! - counters and histograms hold `u64` values, so merging is associative
+//!   and commutative exactly (no floating-point reassociation);
+//! - gauges and traces are last-writer-wins, and buffers are always merged
+//!   in work-item index order (the [`oftec-parallel`] hand-off), which is
+//!   the serial execution order;
+//! - span nodes are appended in the same index order, so the tree shape is
+//!   identical at any `OFTEC_THREADS` setting — only the recorded
+//!   wall-times differ, and [`Snapshot::redact_times`] strips those.
+
+use crate::json;
+use crate::span::SpanNode;
+use std::collections::BTreeMap;
+
+/// A fixed-bucket histogram of `u64` observations.
+///
+/// `bounds` are inclusive upper bucket bounds; one implicit overflow
+/// bucket catches everything larger, so `counts.len() == bounds.len() + 1`.
+/// All fields are integers, making [`HistogramData::merge`] exactly
+/// associative — the property the deterministic parallel hand-off relies
+/// on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramData {
+    /// Inclusive upper bounds of the finite buckets.
+    pub bounds: &'static [u64],
+    /// Observation counts per bucket (last entry = overflow bucket).
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub total: u64,
+    /// Exact sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistogramData {
+    /// An empty histogram over the given bucket bounds.
+    pub fn new(bounds: &'static [u64]) -> Self {
+        Self {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let bucket = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ (one metric name must always be
+    /// registered with one bound set).
+    pub fn merge(&mut self, other: &HistogramData) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "histogram merged with mismatched bucket bounds"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Mean observed value, or `None` for an empty histogram.
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.total as f64)
+        }
+    }
+}
+
+/// One row of a per-iteration convergence trace: the iteration number plus
+/// named numeric fields (residual norm, objective, max die temperature,
+/// active-set size, …).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracePoint {
+    /// 1-based iteration index.
+    pub iter: u64,
+    /// Named values at this iteration, in recording order.
+    pub fields: Vec<(&'static str, f64)>,
+}
+
+impl TracePoint {
+    /// Builds a trace point.
+    pub fn new(iter: u64, fields: Vec<(&'static str, f64)>) -> Self {
+        Self { iter, fields }
+    }
+}
+
+/// A thread-local (or captured per-work-item) accumulation buffer.
+///
+/// Buffers are cheap to create when telemetry is disabled (all maps
+/// empty), merge associatively, and hand their contents up the thread
+/// tree through [`crate::capture`]/[`crate::absorb`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LocalBuffer {
+    pub(crate) counters: BTreeMap<&'static str, u64>,
+    pub(crate) gauges: BTreeMap<&'static str, f64>,
+    pub(crate) histograms: BTreeMap<&'static str, HistogramData>,
+    pub(crate) traces: BTreeMap<&'static str, Vec<TracePoint>>,
+    pub(crate) spans: Vec<SpanNode>,
+}
+
+impl LocalBuffer {
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.traces.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// Merges `other` into `self` (counters/histograms add; gauges and
+    /// traces are overwritten by `other`; spans append in order).
+    pub fn merge(&mut self, other: LocalBuffer) {
+        for (name, v) in other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, v) in other.gauges {
+            self.gauges.insert(name, v);
+        }
+        for (name, h) in other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(&h),
+                None => {
+                    self.histograms.insert(name, h);
+                }
+            }
+        }
+        for (name, t) in other.traces {
+            self.traces.insert(name, t);
+        }
+        self.spans.extend(other.spans);
+    }
+
+    /// Counter value recorded in this buffer (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram recorded in this buffer, if any.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramData> {
+        self.histograms.get(name)
+    }
+}
+
+/// An immutable copy of the registry contents, ready for export.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Last-written gauge values by name.
+    pub gauges: BTreeMap<&'static str, f64>,
+    /// Fixed-bucket histograms by name.
+    pub histograms: BTreeMap<&'static str, HistogramData>,
+    /// Per-iteration convergence traces by name.
+    pub traces: BTreeMap<&'static str, Vec<TracePoint>>,
+    /// Completed root spans in completion order.
+    pub spans: Vec<SpanNode>,
+}
+
+impl Snapshot {
+    /// Builds a snapshot from a single buffer (used by tests that isolate
+    /// telemetry with [`crate::capture`] instead of reading the global
+    /// registry).
+    pub fn from_buffer(buf: LocalBuffer) -> Self {
+        Self {
+            counters: buf.counters,
+            gauges: buf.gauges,
+            histograms: buf.histograms,
+            traces: buf.traces,
+            spans: buf.spans,
+        }
+    }
+
+    /// Counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram by name, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramData> {
+        self.histograms.get(name)
+    }
+
+    /// Trace by name, if recorded.
+    pub fn trace(&self, name: &str) -> Option<&[TracePoint]> {
+        self.traces.get(name).map(Vec::as_slice)
+    }
+
+    /// Zeroes every recorded wall-time (span durations), leaving only the
+    /// scheduling-independent structure — the form compared by the
+    /// determinism tests.
+    pub fn redact_times(&mut self) {
+        fn redact(node: &mut SpanNode) {
+            node.micros = 0;
+            for c in &mut node.children {
+                redact(c);
+            }
+        }
+        for s in &mut self.spans {
+            redact(s);
+        }
+    }
+
+    /// Serializes the snapshot as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str_literal(&mut out, name);
+            out.push(':');
+            json::push_u64(&mut out, *v);
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str_literal(&mut out, name);
+            out.push(':');
+            json::push_f64(&mut out, *v);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str_literal(&mut out, name);
+            out.push_str(":{\"bounds\":[");
+            for (j, b) in h.bounds.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                json::push_u64(&mut out, *b);
+            }
+            out.push_str("],\"counts\":[");
+            for (j, c) in h.counts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                json::push_u64(&mut out, *c);
+            }
+            out.push_str("],\"total\":");
+            json::push_u64(&mut out, h.total);
+            out.push_str(",\"sum\":");
+            json::push_u64(&mut out, h.sum);
+            out.push('}');
+        }
+        out.push_str("},\"traces\":{");
+        for (i, (name, points)) in self.traces.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str_literal(&mut out, name);
+            out.push_str(":[");
+            for (j, p) in points.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"iter\":");
+                json::push_u64(&mut out, p.iter);
+                for (fname, fv) in &p.fields {
+                    out.push(',');
+                    json::push_str_literal(&mut out, fname);
+                    out.push(':');
+                    json::push_f64(&mut out, *fv);
+                }
+                out.push('}');
+            }
+            out.push(']');
+        }
+        out.push_str("},\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_span_json(&mut out, s);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_span_json(out: &mut String, node: &SpanNode) {
+    out.push_str("{\"name\":");
+    json::push_str_literal(out, node.name);
+    out.push_str(",\"us\":");
+    json::push_u64(out, node.micros);
+    out.push_str(",\"children\":[");
+    for (i, c) in node.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_span_json(out, c);
+    }
+    out.push_str("]}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOUNDS: &[u64] = &[1, 2, 4, 8];
+
+    fn hist(values: &[u64]) -> HistogramData {
+        let mut h = HistogramData::new(BOUNDS);
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    #[test]
+    fn records_into_the_right_bucket() {
+        let h = hist(&[0, 1, 2, 3, 9, 100]);
+        assert_eq!(h.counts, vec![2, 1, 1, 0, 2]);
+        assert_eq!(h.total, 6);
+        assert_eq!(h.sum, 115);
+        assert!((h.mean().unwrap() - 115.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative() {
+        let (a, b, c) = (hist(&[1, 5]), hist(&[2, 100]), hist(&[3, 3, 3]));
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        // And commutative, for good measure.
+        let mut ba = b;
+        ba.merge(&a);
+        let mut ab = a;
+        ab.merge(&hist(&[2, 100]));
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched bucket bounds")]
+    fn histogram_merge_rejects_different_bounds() {
+        static OTHER: &[u64] = &[10, 20];
+        let mut a = HistogramData::new(BOUNDS);
+        a.merge(&HistogramData::new(OTHER));
+    }
+
+    #[test]
+    fn buffer_merge_adds_counters_and_overwrites_gauges() {
+        let mut a = LocalBuffer::default();
+        a.counters.insert("n", 2);
+        a.gauges.insert("g", 1.0);
+        let mut b = LocalBuffer::default();
+        b.counters.insert("n", 3);
+        b.gauges.insert("g", 7.0);
+        a.merge(b);
+        assert_eq!(a.counter("n"), 5);
+        assert_eq!(a.gauges["g"], 7.0);
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed() {
+        let mut buf = LocalBuffer::default();
+        buf.counters.insert("thermal.solves", 3);
+        buf.gauges.insert("sweep.runaway_fraction", 0.25);
+        buf.histograms.insert("cg.iterations", hist(&[2, 9]));
+        buf.traces.insert(
+            "sqp.opt1",
+            vec![TracePoint::new(1, vec![("objective", 4.5)])],
+        );
+        let json = Snapshot::from_buffer(buf).to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"thermal.solves\":3"));
+        assert!(json.contains("\"bounds\":[1,2,4,8]"));
+        assert!(json.contains("\"iter\":1,\"objective\":4.5"));
+    }
+}

@@ -1,0 +1,83 @@
+//! The structured event sink: JSONL lines on stderr, gated by
+//! [`crate::Level`] (the `OFTEC_LOG` environment variable).
+//!
+//! Events are emitted immediately from whatever thread produced them —
+//! they are a human/debugging surface, not part of the deterministic
+//! registry — so their interleaving under parallel execution is inherent.
+//! Each line is one self-contained JSON object:
+//!
+//! ```text
+//! {"us":1234,"sev":"warn","event":"precond.fallback","reason":"zero pivot"}
+//! ```
+
+use crate::json;
+use std::io::Write as _;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Severity of an emitted event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Unexpected-but-handled conditions (e.g. a preconditioner
+    /// fallback). Emitted at `OFTEC_LOG=summary` and above.
+    Warn,
+    /// Run-level summaries (a completed optimization, a finished sweep).
+    /// Emitted at `OFTEC_LOG=summary` and above.
+    Info,
+    /// Per-iteration detail (SQP steps, solve outcomes). Emitted only at
+    /// `OFTEC_LOG=trace`.
+    Debug,
+}
+
+impl Severity {
+    fn label(self) -> &'static str {
+        match self {
+            Self::Warn => "warn",
+            Self::Info => "info",
+            Self::Debug => "debug",
+        }
+    }
+}
+
+/// A typed event field value.
+#[derive(Debug, Clone, Copy)]
+pub enum Field<'a> {
+    /// Unsigned integer field.
+    U64(u64),
+    /// Float field (non-finite values serialize as `null`).
+    F64(f64),
+    /// String field.
+    Str(&'a str),
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Formats and writes one JSONL event line to stderr.
+///
+/// The caller ([`crate::event`]) has already checked the level gate.
+pub(crate) fn emit(severity: Severity, name: &str, fields: &[(&str, Field<'_>)]) {
+    let us = epoch().elapsed().as_micros() as u64;
+    let mut line = String::with_capacity(96);
+    line.push_str("{\"us\":");
+    json::push_u64(&mut line, us);
+    line.push_str(",\"sev\":\"");
+    line.push_str(severity.label());
+    line.push_str("\",\"event\":");
+    json::push_str_literal(&mut line, name);
+    for (key, value) in fields {
+        line.push(',');
+        json::push_str_literal(&mut line, key);
+        line.push(':');
+        match value {
+            Field::U64(v) => json::push_u64(&mut line, *v),
+            Field::F64(v) => json::push_f64(&mut line, *v),
+            Field::Str(s) => json::push_str_literal(&mut line, s),
+        }
+    }
+    line.push_str("}\n");
+    // One locked write per line keeps events whole under concurrency.
+    let _ = std::io::stderr().lock().write_all(line.as_bytes());
+}

@@ -1,0 +1,48 @@
+//! Lightweight hierarchical spans: RAII wall-time timers that nest into a
+//! tree per thread and hand off across the parallel executor.
+//!
+//! A [`SpanGuard`] is created by [`crate::span`]; dropping it closes the
+//! span, records the elapsed wall time, and attaches the finished node to
+//! the enclosing open span (or to the thread buffer's root list). When
+//! telemetry is not collecting, [`crate::span`] returns an inert guard
+//! that costs two branches and no clock reads.
+
+use std::time::Instant;
+
+/// A completed span: name, wall time, and nested children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Static span name (e.g. `"sqp.iter"`).
+    pub name: &'static str,
+    /// Wall time in microseconds.
+    pub micros: u64,
+    /// Spans closed while this one was open, in completion order.
+    pub children: Vec<SpanNode>,
+}
+
+/// An open span on a thread's span stack.
+#[derive(Debug)]
+pub(crate) struct OpenSpan {
+    pub(crate) name: &'static str,
+    pub(crate) start: Instant,
+    pub(crate) children: Vec<SpanNode>,
+}
+
+/// RAII guard returned by [`crate::span`]; closes the span on drop.
+///
+/// The guard is inert (`active == false`) when telemetry was not
+/// collecting at creation time, so toggling collection mid-span cannot
+/// unbalance the stack: only guards that pushed an [`OpenSpan`] pop one.
+#[must_use = "a span is timed until the guard is dropped"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    pub(crate) active: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.active {
+            crate::close_span();
+        }
+    }
+}

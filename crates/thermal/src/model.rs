@@ -13,6 +13,7 @@ use oftec_linalg::{
 };
 use oftec_power::{fit_linear_leakage_over, ExponentialLeakage, LeakageModel};
 use oftec_tec::{TecDeployment, TecDeviceParams};
+use oftec_telemetry as telemetry;
 use oftec_units::{AngularVelocity, Current, Power, Temperature};
 
 /// One point of OFTEC's two-variable design space.
@@ -644,10 +645,13 @@ impl HybridCoolingModel {
         use_ilu: bool,
     ) -> Result<ThermalSolution, ThermalError> {
         let n = self.network.n_nodes;
+        let _span = telemetry::span("thermal.solve");
+        telemetry::counter_add("thermal.solves", 1);
 
         // Fast runaway screen: any non-positive diagonal certifies the
         // folded (symmetric) matrix is not positive definite.
         if diag.iter().any(|&d| d <= 0.0) {
+            telemetry::counter_add("thermal.runaway", 1);
             return Err(ThermalError::Runaway(
                 "non-positive diagonal in the folded network matrix",
             ));
@@ -670,9 +674,11 @@ impl HybridCoolingModel {
         // Physical classification.
         let cap = self.config.runaway_cap.kelvin();
         if temps.iter().any(|t| !t.is_finite()) {
+            telemetry::counter_add("thermal.runaway", 1);
             return Err(ThermalError::Runaway("non-finite temperatures"));
         }
         if temps.iter().any(|&t| t > cap) {
+            telemetry::counter_add("thermal.runaway", 1);
             return Err(ThermalError::Runaway("temperatures beyond the runaway cap"));
         }
         if temps.iter().any(|&t| t < 150.0) {
@@ -742,10 +748,27 @@ pub(crate) fn folded_preconditioner(
     diag: &[f64],
 ) -> Result<Box<dyn Preconditioner>, ThermalError> {
     match Ilu0Preconditioner::new(matrix) {
-        Ok(ic) => Ok(Box::new(ic)),
-        Err(_) => Ok(Box::new(
-            JacobiPreconditioner::from_diagonal(diag).map_err(ThermalError::from)?,
-        )),
+        Ok(ic) => {
+            telemetry::counter_add("precond.ilu0", 1);
+            Ok(Box::new(ic))
+        }
+        Err(e) => {
+            // This degradation used to be silent; surface it — Jacobi
+            // typically costs ~10× the CG iterations on these networks.
+            telemetry::counter_add("precond.jacobi_fallback", 1);
+            telemetry::event(
+                telemetry::Severity::Warn,
+                "precond.fallback",
+                &[
+                    ("from", telemetry::Field::Str("ilu0")),
+                    ("to", telemetry::Field::Str("jacobi")),
+                    ("reason", telemetry::Field::Str(&e.to_string())),
+                ],
+            );
+            Ok(Box::new(
+                JacobiPreconditioner::from_diagonal(diag).map_err(ThermalError::from)?,
+            ))
+        }
     }
 }
 
@@ -1038,6 +1061,32 @@ mod tests {
         // A correct-length warm start is accepted.
         let cold = model.solve(op).unwrap();
         assert!(model.solve_from(op, Some(cold.node_temperatures())).is_ok());
+    }
+
+    #[test]
+    fn jacobi_fallback_is_counted() {
+        // Eliminating row 1 of this matrix zeroes U(1,1); row 2 then needs
+        // it as a pivot, so ILU(0) breaks down — but the diagonal is all
+        // ones, a valid Jacobi preconditioner. Exactly the
+        // silent-degradation path that must now be recorded.
+        let mut t = oftec_linalg::Triplets::new(3, 3);
+        for (r, c) in [(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (2, 1), (2, 2)] {
+            t.push(r, c, 1.0);
+        }
+        let singular = t.to_csr();
+        let mut t = oftec_linalg::Triplets::new(2, 2);
+        t.push(0, 0, 4.0);
+        t.push(1, 1, 2.0);
+        let spd = t.to_csr();
+
+        telemetry::set_collecting(true);
+        let (result, buf) = telemetry::capture(|| {
+            folded_preconditioner(&singular, &[1.0, 1.0, 1.0]).unwrap();
+            folded_preconditioner(&spd, &[4.0, 2.0]).unwrap();
+        });
+        let () = result;
+        assert_eq!(buf.counter("precond.jacobi_fallback"), 1);
+        assert_eq!(buf.counter("precond.ilu0"), 1);
     }
 
     #[test]

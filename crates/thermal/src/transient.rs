@@ -173,6 +173,8 @@ impl HybridCoolingModel {
         };
         let cap = self.config().runaway_cap.kelvin();
 
+        let _span = oftec_telemetry::span("transient.simulate");
+        oftec_telemetry::counter_add("transient.steps", steps as u64);
         let mut times = Vec::new();
         let mut max_chip = Vec::new();
         let mut rhs = vec![0.0; n];
@@ -282,6 +284,8 @@ impl HybridCoolingModel {
             None => vec![t_amb; n],
         };
         let cap = self.config().runaway_cap.kelvin();
+        let _span = oftec_telemetry::span("transient.simulate");
+        oftec_telemetry::counter_add("transient.steps", trace.len() as u64);
         let mut times = Vec::new();
         let mut max_chip = Vec::new();
         let mut rhs = vec![0.0; n];
