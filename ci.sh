@@ -5,7 +5,18 @@ set -eu
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+# Solver-path crates must not unwrap/expect outside tests (--lib skips
+# test modules); a surprise in the solve pipeline must become a typed
+# error, not an abort.
+cargo clippy -p oftec -p oftec-optim -p oftec-thermal --lib -- \
+    -D warnings -D clippy::unwrap_used -D clippy::expect_used
 cargo fmt --all --check
+
+# Fault-injection smoke: the no-panic robustness suite must hold on the
+# serial path and on a parallel one (worker panics cross the scoped-
+# thread executor differently than caller-thread panics).
+OFTEC_THREADS=1 cargo test -q -p oftec --test fault_injection
+OFTEC_THREADS=8 cargo test -q -p oftec --test fault_injection
 
 # Telemetry smoke: the CLI must emit a parseable registry snapshot with
 # real solver activity, including SQP traces for both optimization phases

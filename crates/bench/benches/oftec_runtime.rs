@@ -20,7 +20,9 @@ fn bench_oftec(c: &mut Criterion) {
         let system = CoolingSystem::for_benchmark(b);
         group.bench_function(BenchmarkId::from_parameter(b.name()), |bench| {
             bench.iter(|| {
-                let outcome = Oftec::default().run(black_box(&system));
+                let outcome = Oftec::default()
+                    .run(black_box(&system))
+                    .expect("solver must not error");
                 black_box(outcome.is_feasible())
             })
         });

@@ -50,7 +50,8 @@ fn main() {
             oftec::default_t_max(),
         );
         match optimizer.run(&system) {
-            OftecOutcome::Optimized(sol) => println!(
+            Err(e) => println!("{amb_c:>10.0} | solver error: {e}"),
+            Ok(OftecOutcome::Optimized(sol)) => println!(
                 "{:>10.0} | {:>8.0} | {:>8.2} | {:>8.2} | {:>10.2}",
                 amb_c,
                 sol.operating_point.fan_speed.rpm(),
@@ -58,7 +59,7 @@ fn main() {
                 sol.cooling_power.watts(),
                 sol.max_temperature.celsius(),
             ),
-            OftecOutcome::Infeasible(report) => println!(
+            Ok(OftecOutcome::Infeasible(report)) => println!(
                 "{:>10.0} | {:>8} | {:>8} | {:>8} | {:>10.2}  INFEASIBLE",
                 amb_c,
                 "—",

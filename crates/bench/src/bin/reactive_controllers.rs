@@ -21,8 +21,8 @@ use oftec_units::{Current, Temperature};
 fn main() {
     let system = CoolingSystem::for_benchmark(Benchmark::Dijkstra);
     let sol = match Oftec::default().run(&system) {
-        OftecOutcome::Optimized(sol) => sol,
-        OftecOutcome::Infeasible(_) => unreachable!("dijkstra is OFTEC-coolable"),
+        Ok(OftecOutcome::Optimized(sol)) => sol,
+        _ => unreachable!("dijkstra is OFTEC-coolable"),
     };
     let fan = sol.operating_point.fan_speed;
     println!(

@@ -20,7 +20,8 @@ fn main() -> ExitCode {
     let mut runtimes = Vec::new();
     for system in all_systems() {
         match optimizer.run(&system) {
-            OftecOutcome::Optimized(sol) => {
+            Err(e) => println!("{:>14} | solver error: {e}", system.name()),
+            Ok(OftecOutcome::Optimized(sol)) => {
                 let ms = sol.runtime.as_secs_f64() * 1e3;
                 runtimes.push(ms);
                 println!(
@@ -33,7 +34,7 @@ fn main() -> ExitCode {
                     sol.max_temperature.celsius(),
                 );
             }
-            OftecOutcome::Infeasible(report) => {
+            Ok(OftecOutcome::Infeasible(report)) => {
                 println!(
                     "{:>14} | {:>8} | {:>9} | {:>12} | {:>8} | {:>10.2}  (INFEASIBLE)",
                     system.name(),

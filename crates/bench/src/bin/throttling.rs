@@ -24,8 +24,8 @@ fn main() {
     for &b in &Benchmark::ALL {
         let system = CoolingSystem::for_benchmark(b);
         let cut = required_fan_only_throttle(&system, 0.01);
-        let outcome = optimizer.run(&system);
-        let (oftec_cut, cop) = match outcome.optimized() {
+        let outcome = optimizer.run(&system).ok();
+        let (oftec_cut, cop) = match outcome.as_ref().and_then(|o| o.optimized()) {
             Some(sol) => (
                 "0%".to_owned(),
                 sol.solution

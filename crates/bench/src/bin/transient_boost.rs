@@ -22,8 +22,8 @@ fn main() {
     for &b in &Benchmark::ALL {
         let system = CoolingSystem::for_benchmark(b);
         let sol = match optimizer.run(&system) {
-            OftecOutcome::Optimized(sol) => sol,
-            OftecOutcome::Infeasible(_) => {
+            Ok(OftecOutcome::Optimized(sol)) => sol,
+            _ => {
                 println!("{:>14} | infeasible", b.name());
                 continue;
             }

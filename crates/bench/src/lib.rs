@@ -83,11 +83,12 @@ pub fn compare(system: &CoolingSystem, mode: ComparisonMode) -> ComparisonRow {
     let optimizer = Oftec::default();
     let (oftec_temp_c, oftec_power_w) = match mode {
         ComparisonMode::Optimization1 => match optimizer.run(system) {
-            OftecOutcome::Optimized(sol) => (
+            Ok(OftecOutcome::Optimized(sol)) => (
                 Some(sol.max_temperature.celsius()),
                 Some(sol.cooling_power.watts()),
             ),
-            OftecOutcome::Infeasible(report) => (Some(report.best_temperature.celsius()), None),
+            Ok(OftecOutcome::Infeasible(report)) => (Some(report.best_temperature.celsius()), None),
+            Err(_) => (None, None),
         },
         ComparisonMode::Optimization2 => {
             match optimizer.minimize_temperature(system.tec_model(), system.t_max()) {

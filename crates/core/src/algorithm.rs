@@ -1,17 +1,21 @@
 //! Algorithm 1 of the paper: OFTEC.
 
 use crate::problems::{CoolingObjective, CoolingProblem};
-use crate::CoolingSystem;
-use oftec_optim::{ActiveSetSqp, IterSample, NlpProblem, SolveOptions};
+use crate::{CoolingSystem, OftecError};
+use oftec_optim::{ActiveSetSqp, GridSearch, IterSample, NlpProblem, SolveOptions};
 use oftec_telemetry as telemetry;
-use oftec_thermal::{HybridCoolingModel, OperatingPoint, ThermalSolution};
+use oftec_thermal::{CoolingModel, OperatingPoint, ThermalSolution};
 use oftec_units::{Power, Temperature};
 use std::time::{Duration, Instant};
 
 /// Converts an SQP convergence trace into registry trace points (with the
 /// max die temperature decoded through the problem's scaling) and records
 /// it under `name`. No-op while telemetry is not collecting.
-fn record_sqp_trace(name: &'static str, problem: &CoolingProblem<'_>, trace: &[IterSample]) {
+fn record_sqp_trace<M: CoolingModel>(
+    name: &'static str,
+    problem: &CoolingProblem<'_, M>,
+    trace: &[IterSample],
+) {
     if !telemetry::collecting() || trace.is_empty() {
         return;
     }
@@ -31,6 +35,36 @@ fn record_sqp_trace(name: &'static str, problem: &CoolingProblem<'_>, trace: &[I
         })
         .collect();
     telemetry::trace_record(name, points);
+}
+
+/// Runs a verification solve behind a panic boundary and a non-finite
+/// screen so a faulting model surfaces as a typed error, never an abort
+/// or a silently poisoned optimum.
+fn guarded_solve<M: CoolingModel>(
+    model: &M,
+    op: OperatingPoint,
+) -> Result<ThermalSolution, OftecError> {
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| model.solve(op)));
+    match caught {
+        Ok(Ok(sol)) => {
+            if sol.max_chip_temperature().kelvin().is_finite()
+                && sol.objective_power().watts().is_finite()
+            {
+                Ok(sol)
+            } else {
+                Err(OftecError::NonFinite {
+                    what: "verification solve temperature/power".into(),
+                    operating_point: Some(op),
+                    iteration: 0,
+                })
+            }
+        }
+        Ok(Err(e)) => Err(OftecError::from(e).with_operating_point(op)),
+        Err(payload) => Err(OftecError::ModelPanic {
+            message: oftec_parallel::payload_message(payload),
+            operating_point: Some(op),
+        }),
+    }
 }
 
 /// The OFTEC optimizer (Algorithm 1).
@@ -105,6 +139,11 @@ pub struct InfeasibleReport {
     /// Per-iteration SQP trace of the failed feasibility phase. Empty
     /// unless telemetry was collecting.
     pub trace: Vec<IterSample>,
+    /// The solver or model fault behind the verdict, when infeasibility
+    /// was declared because of an error rather than a certified
+    /// too-hot optimum (e.g. the feasibility SQP failing, or the model
+    /// panicking/returning garbage at the probed points).
+    pub solver_error: Option<String>,
 }
 
 /// Outcome of [`Oftec::run`].
@@ -133,7 +172,11 @@ impl OftecOutcome {
 
 impl Oftec {
     /// Runs Algorithm 1 on the hybrid (TEC + fan) model of `system`.
-    pub fn run(&self, system: &CoolingSystem) -> OftecOutcome {
+    ///
+    /// # Errors
+    ///
+    /// See [`Oftec::run_on_model`].
+    pub fn run(&self, system: &CoolingSystem) -> Result<OftecOutcome, OftecError> {
         self.run_on_model(system.tec_model(), system.t_max())
     }
 
@@ -145,9 +188,9 @@ impl Oftec {
     ///
     /// Returns `None` only if every probed operating point is in thermal
     /// runaway (cannot happen with a working fan).
-    pub fn minimize_temperature(
+    pub fn minimize_temperature<M: CoolingModel>(
         &self,
-        model: &HybridCoolingModel,
+        model: &M,
         t_max: Temperature,
     ) -> Option<OftecSolution> {
         let start = Instant::now();
@@ -166,7 +209,7 @@ impl Oftec {
             (None, None) => return None,
         };
         let op = problem.operating_point(&x_best);
-        let solution = model.solve(op).ok()?;
+        let solution = guarded_solve(model, op).ok()?;
         Some(OftecSolution {
             operating_point: op,
             cooling_power: solution.objective_power(),
@@ -183,7 +226,25 @@ impl Oftec {
     /// Runs Algorithm 1 on an arbitrary model (the variable-ω baseline
     /// reuses this with the fan-only model, where the problem is
     /// one-dimensional).
-    pub fn run_on_model(&self, model: &HybridCoolingModel, t_max: Temperature) -> OftecOutcome {
+    ///
+    /// Degradation chain: if the feasibility SQP errors out, a coarse
+    /// grid search recovers a feasible point before infeasibility is
+    /// declared; if the power SQP errors out, the certified feasible
+    /// point is returned instead of an optimum. Both fallbacks are
+    /// counted and WARN-logged through the telemetry registry, and any
+    /// swallowed solver error is surfaced in
+    /// [`InfeasibleReport::solver_error`].
+    ///
+    /// # Errors
+    ///
+    /// [`OftecError::Thermal`] (or the matching taxonomy variant) when
+    /// the final, already-certified operating point cannot be re-solved —
+    /// the one state with neither a verdict nor a usable fallback.
+    pub fn run_on_model<M: CoolingModel>(
+        &self,
+        model: &M,
+        t_max: Temperature,
+    ) -> Result<OftecOutcome, OftecError> {
         let start = Instant::now();
         let _span = telemetry::span("oftec.run");
         let mut thermal_solves = 0;
@@ -192,12 +253,13 @@ impl Oftec {
         let phase1_problem = CoolingProblem::new(model, CoolingObjective::MaxTemperature, t_max);
         let x0 = vec![0.5; phase1_problem.dim()];
 
-        let t_at = |p: &CoolingProblem<'_>, x: &[f64]| p.max_temperature(x);
+        let t_at = |p: &CoolingProblem<'_, M>, x: &[f64]| p.max_temperature(x);
 
         // Line 2: feasibility check at the start.
         let start_temp = t_at(&phase1_problem, &x0);
         let mut used_phase1 = false;
         let mut phase1_trace: Vec<IterSample> = Vec::new();
+        let mut phase1_error: Option<String> = None;
         let x_feasible = if start_temp.is_some_and(|t| t < t_max) {
             x0.clone()
         } else {
@@ -220,14 +282,43 @@ impl Oftec {
                     phase1_trace = r.trace;
                     r.x
                 }
-                Err(_) => {
-                    return OftecOutcome::Infeasible(InfeasibleReport {
-                        operating_point: phase1_problem.operating_point(&x0),
-                        best_temperature: start_temp
-                            .unwrap_or(Temperature::from_kelvin(f64::MAX.min(1e6))),
-                        runtime: start.elapsed(),
-                        trace: Vec::new(),
-                    });
+                Err(e) => {
+                    // Fallback: a coarse grid search over the (≤ 2-D)
+                    // box recovers a feasible point when SQP cannot.
+                    telemetry::counter_add("oftec.fallback.gridsearch", 1);
+                    let reason = e.to_string();
+                    telemetry::event(
+                        telemetry::Severity::Warn,
+                        "oftec.fallback",
+                        &[
+                            ("from", telemetry::Field::Str("sqp")),
+                            ("to", telemetry::Field::Str("gridsearch")),
+                            ("phase", telemetry::Field::Str("feasibility")),
+                            ("reason", telemetry::Field::Str(&reason)),
+                        ],
+                    );
+                    phase1_error = Some(reason);
+                    let recovery = GridSearch {
+                        points_per_dim: 9,
+                        ..GridSearch::default()
+                    }
+                    .solve(&phase1_problem, &x0, &self.options);
+                    match recovery {
+                        Ok(r) => r.x,
+                        Err(grid_err) => {
+                            return Ok(OftecOutcome::Infeasible(InfeasibleReport {
+                                operating_point: phase1_problem.operating_point(&x0),
+                                best_temperature: start_temp
+                                    .unwrap_or(Temperature::from_kelvin(f64::MAX.min(1e6))),
+                                runtime: start.elapsed(),
+                                trace: Vec::new(),
+                                solver_error: Some(format!(
+                                    "feasibility SQP failed ({}); grid-search recovery failed ({grid_err})",
+                                    phase1_error.as_deref().unwrap_or("unknown"),
+                                )),
+                            }));
+                        }
+                    }
                 }
             }
         };
@@ -236,20 +327,22 @@ impl Oftec {
         // Lines 4-5: certify feasibility.
         let feasible_temp = t_at(&phase1_problem, &x_feasible);
         let Some(feasible_temp) = feasible_temp else {
-            return OftecOutcome::Infeasible(InfeasibleReport {
+            return Ok(OftecOutcome::Infeasible(InfeasibleReport {
                 operating_point: phase1_problem.operating_point(&x_feasible),
                 best_temperature: Temperature::from_kelvin(1e6),
                 runtime: start.elapsed(),
                 trace: phase1_trace,
-            });
+                solver_error: phase1_problem.last_fault().or(phase1_error),
+            }));
         };
         if feasible_temp >= t_max {
-            return OftecOutcome::Infeasible(InfeasibleReport {
+            return Ok(OftecOutcome::Infeasible(InfeasibleReport {
                 operating_point: phase1_problem.operating_point(&x_feasible),
                 best_temperature: feasible_temp,
                 runtime: start.elapsed(),
                 trace: phase1_trace,
-            });
+                solver_error: phase1_error,
+            }));
         }
 
         // Line 6: Optimization 1 from the feasible point.
@@ -265,7 +358,23 @@ impl Oftec {
                 record_sqp_trace("sqp.opt1", &phase2_problem, &r.trace);
                 r.trace.clone()
             }
-            Err(_) => Vec::new(),
+            Err(e) => {
+                // Fallback: the certified feasible point stands in for
+                // the unreachable optimum. Surfaced, not silent.
+                telemetry::counter_add("oftec.fallback.feasible_point", 1);
+                let reason = e.to_string();
+                telemetry::event(
+                    telemetry::Severity::Warn,
+                    "oftec.fallback",
+                    &[
+                        ("from", telemetry::Field::Str("sqp")),
+                        ("to", telemetry::Field::Str("feasible_point")),
+                        ("phase", telemetry::Field::Str("power")),
+                        ("reason", telemetry::Field::Str(&reason)),
+                    ],
+                );
+                Vec::new()
+            }
         };
 
         // Pick the endpoint by the paper's actual constraint (T < T_max;
@@ -283,15 +392,36 @@ impl Oftec {
             Ok(r) => match (candidate_power(&r.x), candidate_power(&x_feasible)) {
                 (Some(a), Some(b)) if a <= b => r.x.clone(),
                 (Some(_), None) => r.x.clone(),
-                _ => x_feasible,
+                _ => x_feasible.clone(),
             },
-            Err(_) => x_feasible,
+            Err(_) => x_feasible.clone(),
         };
-        let op = phase2_problem.operating_point(&x_final);
-        let solution = model.solve(op).expect("final OFTEC point must be solvable");
+        let mut op = phase2_problem.operating_point(&x_final);
+        let solution = match guarded_solve(model, op) {
+            Ok(s) => s,
+            Err(first_err) if x_final != x_feasible => {
+                // Final-solve fallback: retry at the certified feasible
+                // point before giving up.
+                telemetry::counter_add("oftec.fallback.final_resolve", 1);
+                let reason = first_err.to_string();
+                telemetry::event(
+                    telemetry::Severity::Warn,
+                    "oftec.fallback",
+                    &[
+                        ("from", telemetry::Field::Str("optimum")),
+                        ("to", telemetry::Field::Str("feasible_point")),
+                        ("phase", telemetry::Field::Str("final_solve")),
+                        ("reason", telemetry::Field::Str(&reason)),
+                    ],
+                );
+                op = phase2_problem.operating_point(&x_feasible);
+                guarded_solve(model, op)?
+            }
+            Err(e) => return Err(e),
+        };
         let cooling_power = solution.objective_power();
         let max_temperature = solution.max_chip_temperature();
-        OftecOutcome::Optimized(OftecSolution {
+        Ok(OftecOutcome::Optimized(OftecSolution {
             operating_point: op,
             solution,
             cooling_power,
@@ -301,7 +431,7 @@ impl Oftec {
             thermal_solves,
             phase1_trace,
             phase2_trace,
-        })
+        }))
     }
 }
 
@@ -318,7 +448,9 @@ mod tests {
     #[test]
     fn cool_benchmark_optimizes_without_phase1() {
         let system = coarse(Benchmark::Crc32);
-        let outcome = Oftec::default().run(&system);
+        let outcome = Oftec::default()
+            .run(&system)
+            .expect("solver must not error");
         let sol = outcome.optimized().expect("CRC32 must be feasible");
         assert!(!sol.used_phase1, "start point is already feasible");
         assert!(sol.max_temperature < system.t_max());
@@ -336,7 +468,9 @@ mod tests {
     #[test]
     fn hot_benchmark_succeeds_with_tecs() {
         let system = coarse(Benchmark::BitCount);
-        let outcome = Oftec::default().run(&system);
+        let outcome = Oftec::default()
+            .run(&system)
+            .expect("solver must not error");
         let sol = outcome
             .optimized()
             .expect("bitcount must be coolable with TECs");
@@ -349,7 +483,9 @@ mod tests {
         // full paper split across all five hot benchmarks is exercised on
         // the calibrated 16×16 grid in the integration tests).
         let system = coarse(Benchmark::Fft);
-        let outcome = Oftec::default().run_on_model(system.fan_model(), system.t_max());
+        let outcome = Oftec::default()
+            .run_on_model(system.fan_model(), system.t_max())
+            .expect("solver must not error");
         assert!(
             !outcome.is_feasible(),
             "FFT must defeat the fan-only baseline"
@@ -362,7 +498,9 @@ mod tests {
     #[test]
     fn fan_only_baseline_cools_cool_benchmark() {
         let system = coarse(Benchmark::StringSearch);
-        let outcome = Oftec::default().run_on_model(system.fan_model(), system.t_max());
+        let outcome = Oftec::default()
+            .run_on_model(system.fan_model(), system.t_max())
+            .expect("solver must not error");
         let sol = outcome.optimized().expect("stringsearch is fan-coolable");
         assert_eq!(sol.operating_point.tec_current.amperes(), 0.0);
         assert!(sol.max_temperature < system.t_max());
@@ -373,7 +511,9 @@ mod tests {
         // OFTEC on a cool benchmark should find substantially less power
         // than max cooling.
         let system = coarse(Benchmark::Basicmath);
-        let sol = Oftec::default().run(&system);
+        let sol = Oftec::default()
+            .run(&system)
+            .expect("solver must not error");
         let sol = sol.optimized().unwrap();
         let max_cooling = system
             .tec_model()

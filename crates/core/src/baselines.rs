@@ -4,7 +4,8 @@
 
 use crate::CoolingSystem;
 use crate::{Oftec, OftecOutcome};
-use oftec_thermal::{OperatingPoint, ThermalError, ThermalSolution};
+use oftec_telemetry as telemetry;
+use oftec_thermal::{CoolingModel, OperatingPoint, ThermalError, ThermalSolution};
 use oftec_units::{AngularVelocity, Current, Power, Temperature};
 
 /// Result of evaluating a baseline on one workload.
@@ -56,9 +57,20 @@ impl BaselineOutcome {
 /// Figure 6(e)(f) comparison); `false` runs the Optimization 2 analogue
 /// (coolest possible, Figure 6(c)(d)).
 pub fn variable_speed_fan(system: &CoolingSystem, minimize_power: bool) -> BaselineOutcome {
-    let outcome = Oftec::default().run_on_model(system.fan_model(), system.t_max());
+    variable_speed_fan_on_model(system.fan_model(), system.t_max(), minimize_power)
+}
+
+/// [`variable_speed_fan`] on an arbitrary (e.g. fault-injecting) model.
+/// Solver errors degrade into the sweep path and are WARN-logged; the
+/// baseline always returns a verdict.
+pub fn variable_speed_fan_on_model<M: CoolingModel>(
+    model: &M,
+    t_max: Temperature,
+    minimize_power: bool,
+) -> BaselineOutcome {
+    let outcome = Oftec::default().run_on_model(model, t_max);
     match outcome {
-        OftecOutcome::Optimized(sol) => {
+        Ok(OftecOutcome::Optimized(sol)) => {
             if minimize_power {
                 BaselineOutcome::Feasible {
                     operating_point: sol.operating_point,
@@ -68,45 +80,72 @@ pub fn variable_speed_fan(system: &CoolingSystem, minimize_power: bool) -> Basel
                 // Optimization 2 analogue: sweep to the coolest ω (the 1-D
                 // temperature objective is monotone until fan self-heating
                 // dominates, so a fine sweep is cheap and exact enough).
-                coolest_fan_point(system)
+                coolest_fan_point_on_model(model, t_max)
             }
         }
-        OftecOutcome::Infeasible(_) => match coolest_fan_point(system) {
-            BaselineOutcome::Feasible {
-                operating_point,
-                solution,
-            } => {
-                // The SQP path may have stopped early; trust the sweep.
-                if solution.max_chip_temperature() < system.t_max() {
-                    BaselineOutcome::Feasible {
-                        operating_point,
-                        solution,
-                    }
-                } else {
-                    BaselineOutcome::Infeasible {
-                        best_temperature: Some(solution.max_chip_temperature()),
+        Ok(OftecOutcome::Infeasible(_)) | Err(_) => {
+            if let Err(e) = &outcome {
+                telemetry::counter_add("baseline.solver_errors", 1);
+                let reason = e.to_string();
+                telemetry::event(
+                    telemetry::Severity::Warn,
+                    "baseline.solver_error",
+                    &[("reason", telemetry::Field::Str(&reason))],
+                );
+            }
+            match coolest_fan_point_on_model(model, t_max) {
+                BaselineOutcome::Feasible {
+                    operating_point,
+                    solution,
+                } => {
+                    // The SQP path may have stopped early; trust the sweep.
+                    if solution.max_chip_temperature() < t_max {
+                        BaselineOutcome::Feasible {
+                            operating_point,
+                            solution,
+                        }
+                    } else {
+                        BaselineOutcome::Infeasible {
+                            best_temperature: Some(solution.max_chip_temperature()),
+                        }
                     }
                 }
+                other => other,
             }
-            other => other,
-        },
+        }
     }
 }
 
 /// The coolest achievable fan-only point (fine ω sweep, solved on the
 /// worker pool; the winner is reduced serially in ascending-ω order so the
-/// result matches the original serial scan exactly).
-fn coolest_fan_point(system: &CoolingSystem) -> BaselineOutcome {
-    let model = system.fan_model();
-    let _span = oftec_telemetry::span("baseline.fan_sweep");
-    let solutions = oftec_parallel::par_map_range(100, |idx| {
+/// result matches the original serial scan exactly). A probe that panics
+/// or returns non-finite temperatures is dropped from the reduction (and
+/// counted under `baseline.probe_faults`) instead of aborting the sweep.
+fn coolest_fan_point_on_model<M: CoolingModel>(model: &M, t_max: Temperature) -> BaselineOutcome {
+    let _span = telemetry::span("baseline.fan_sweep");
+    let omega_max = model.config().fan.omega_max;
+    let probes = oftec_parallel::par_try_map_range(100, |idx| {
         let step = idx + 1;
-        let omega = system.package().fan.omega_max * (step as f64 / 100.0);
+        let omega = omega_max * (step as f64 / 100.0);
         let op = OperatingPoint::fan_only(omega);
         model.solve(op).ok().map(|sol| (op, sol))
     });
     let mut best: Option<(OperatingPoint, ThermalSolution)> = None;
-    for (op, sol) in solutions.into_iter().flatten() {
+    let mut faults = 0u64;
+    for probe in probes {
+        let Some((op, sol)) = (match probe {
+            Ok(p) => p,
+            Err(_) => {
+                faults += 1;
+                None
+            }
+        }) else {
+            continue;
+        };
+        if !sol.max_chip_temperature().kelvin().is_finite() {
+            faults += 1;
+            continue;
+        }
         let better = best
             .as_ref()
             .is_none_or(|(_, b)| sol.max_chip_temperature() < b.max_chip_temperature());
@@ -114,8 +153,16 @@ fn coolest_fan_point(system: &CoolingSystem) -> BaselineOutcome {
             best = Some((op, sol));
         }
     }
+    if faults > 0 {
+        telemetry::counter_add("baseline.probe_faults", faults);
+        telemetry::event(
+            telemetry::Severity::Warn,
+            "baseline.probe_faults",
+            &[("count", telemetry::Field::U64(faults))],
+        );
+    }
     match best {
-        Some((operating_point, solution)) if solution.max_chip_temperature() < system.t_max() => {
+        Some((operating_point, solution)) if solution.max_chip_temperature() < t_max => {
             BaselineOutcome::Feasible {
                 operating_point,
                 solution,
@@ -130,16 +177,51 @@ fn coolest_fan_point(system: &CoolingSystem) -> BaselineOutcome {
     }
 }
 
+fn coolest_fan_point(system: &CoolingSystem) -> BaselineOutcome {
+    coolest_fan_point_on_model(system.fan_model(), system.t_max())
+}
+
 /// Baseline 2: no TECs, fixed fan speed (the paper fixes ω = 2000 RPM).
 pub fn fixed_speed_fan(system: &CoolingSystem, omega: AngularVelocity) -> BaselineOutcome {
+    fixed_speed_fan_on_model(system.fan_model(), system.t_max(), omega)
+}
+
+/// [`fixed_speed_fan`] on an arbitrary (e.g. fault-injecting) model. A
+/// panicking or non-finite solve degrades to an infeasible verdict
+/// (counted under `baseline.probe_faults`) instead of aborting.
+pub fn fixed_speed_fan_on_model<M: CoolingModel>(
+    model: &M,
+    t_max: Temperature,
+    omega: AngularVelocity,
+) -> BaselineOutcome {
     let op = OperatingPoint::fan_only(omega);
-    match system.fan_model().solve(op) {
-        Ok(solution) if solution.max_chip_temperature() < system.t_max() => {
-            BaselineOutcome::Feasible {
-                operating_point: op,
-                solution,
+    let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| model.solve(op)));
+    let solved = match solved {
+        Ok(result) => result,
+        Err(payload) => {
+            let message = oftec_parallel::payload_message(payload);
+            telemetry::counter_add("baseline.probe_faults", 1);
+            telemetry::event(
+                telemetry::Severity::Warn,
+                "baseline.probe_faults",
+                &[("message", telemetry::Field::Str(&message))],
+            );
+            return BaselineOutcome::Infeasible {
+                best_temperature: None,
+            };
+        }
+    };
+    match solved {
+        Ok(solution) if !solution.max_chip_temperature().kelvin().is_finite() => {
+            telemetry::counter_add("baseline.probe_faults", 1);
+            BaselineOutcome::Infeasible {
+                best_temperature: None,
             }
         }
+        Ok(solution) if solution.max_chip_temperature() < t_max => BaselineOutcome::Feasible {
+            operating_point: op,
+            solution,
+        },
         Ok(solution) => BaselineOutcome::Infeasible {
             best_temperature: Some(solution.max_chip_temperature()),
         },
@@ -217,19 +299,46 @@ pub fn required_fan_only_throttle(system: &CoolingSystem, resolution: f64) -> f6
 /// Probes the TEC-only system over `steps + 1` evenly spaced currents in
 /// `[0, I_max]`.
 pub fn tec_only(system: &CoolingSystem, steps: usize) -> TecOnlyReport {
-    let model = system.tec_model();
-    let _span = oftec_telemetry::span("baseline.tec_only");
-    let probes = oftec_parallel::par_map_range(steps + 1, |k| {
+    tec_only_on_model(system.tec_model(), steps)
+}
+
+/// [`tec_only`] on an arbitrary (e.g. fault-injecting) model. A probe that
+/// panics or reports a non-finite temperature is recorded as runaway
+/// (`None`) so the report always has `steps + 1` rows.
+pub fn tec_only_on_model<M: CoolingModel>(model: &M, steps: usize) -> TecOnlyReport {
+    let _span = telemetry::span("baseline.tec_only");
+    let probes = oftec_parallel::par_try_map_range(steps + 1, |k| {
         let i = 5.0 * k as f64 / steps.max(1) as f64;
         let op = OperatingPoint::new(AngularVelocity::ZERO, Current::from_amperes(i));
         let t = match model.solve(op) {
-            Ok(sol) => Some(sol.max_chip_temperature()),
+            Ok(sol) if sol.max_chip_temperature().kelvin().is_finite() => {
+                Some(sol.max_chip_temperature())
+            }
+            Ok(_) => None,
             Err(ThermalError::Runaway(_)) => None,
             Err(_) => None,
         };
         (i, t)
     });
-    let (currents, max_temperatures) = probes.into_iter().unzip();
+    let mut faults = 0u64;
+    let (currents, max_temperatures) = probes
+        .into_iter()
+        .enumerate()
+        .map(|(k, probe)| {
+            probe.unwrap_or_else(|_| {
+                faults += 1;
+                (5.0 * k as f64 / steps.max(1) as f64, None)
+            })
+        })
+        .unzip();
+    if faults > 0 {
+        telemetry::counter_add("baseline.probe_faults", faults);
+        telemetry::event(
+            telemetry::Severity::Warn,
+            "baseline.probe_faults",
+            &[("count", telemetry::Field::U64(faults))],
+        );
+    }
     TecOnlyReport {
         currents,
         max_temperatures,

@@ -173,7 +173,11 @@ fn run(args: &[String], scale: Option<f64>) -> ExitCode {
 
     match command.as_str() {
         "optimize" => match Oftec::default().run(&system) {
-            OftecOutcome::Optimized(sol) => {
+            Err(e) => {
+                eprintln!("{}: solver error — {e}", system.name());
+                ExitCode::FAILURE
+            }
+            Ok(OftecOutcome::Optimized(sol)) => {
                 println!(
                     "{}: ω* = {:.0} RPM, I* = {:.2} A",
                     system.name(),
@@ -193,7 +197,7 @@ fn run(args: &[String], scale: Option<f64>) -> ExitCode {
                 );
                 ExitCode::SUCCESS
             }
-            OftecOutcome::Infeasible(report) => {
+            Ok(OftecOutcome::Infeasible(report)) => {
                 println!(
                     "{}: INFEASIBLE — best achievable {:.2} °C",
                     system.name(),

@@ -53,9 +53,11 @@ impl LutController {
             // stored setting cools every workload in the class).
             let hi_edge = lo_watts + (hi_watts - lo_watts) * (k + 1) as f64 / classes as f64;
             let scaled = reference.scaled(hi_edge / base);
+            // A solver error marks the class uncoolable, same as a
+            // certified infeasibility — the LUT must always build.
             let entry = match optimizer.run(&scaled) {
-                OftecOutcome::Optimized(sol) => Some(sol.operating_point),
-                OftecOutcome::Infeasible(_) => None,
+                Ok(OftecOutcome::Optimized(sol)) => Some(sol.operating_point),
+                Ok(OftecOutcome::Infeasible(_)) | Err(_) => None,
             };
             edges.push(hi_edge);
             entries.push(entry);

@@ -1,0 +1,276 @@
+//! The typed error taxonomy of the OFTEC pipeline.
+//!
+//! Every failure a solve can hit — thermal, optimization, linear-algebra,
+//! non-finite data, or an outright panic inside a model — is folded into
+//! [`OftecError`], carrying the operating point and iteration at which it
+//! occurred whenever the caller knows them. The `From` conversions let
+//! the substrate crates' errors propagate with `?` while the context
+//! fields are attached at the layer that has them.
+
+use oftec_linalg::LinalgError;
+use oftec_optim::OptimError;
+use oftec_parallel::ItemPanic;
+use oftec_thermal::{OperatingPoint, ThermalError};
+
+/// An error from the OFTEC solve pipeline (Algorithm 1, sweeps,
+/// baselines, reactive loops).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OftecError {
+    /// A NaN/inf value reached a boundary that requires finite data.
+    NonFinite {
+        /// What was non-finite (objective, gradient, temperature, ...).
+        what: String,
+        /// The operating point being evaluated, when known.
+        operating_point: Option<OperatingPoint>,
+        /// The solver iteration at which the value appeared (0 = before
+        /// the first iteration).
+        iteration: usize,
+    },
+    /// The thermal simulator failed.
+    Thermal {
+        /// The underlying thermal error.
+        source: ThermalError,
+        /// The operating point being solved, when known.
+        operating_point: Option<OperatingPoint>,
+    },
+    /// An optimization solver failed.
+    Optim {
+        /// The underlying solver error.
+        source: OptimError,
+        /// Which phase of Algorithm 1 was running ("feasibility",
+        /// "power", ...).
+        phase: &'static str,
+    },
+    /// A linear-algebra kernel failed outside a thermal solve.
+    Linalg(LinalgError),
+    /// The thermal model panicked during an evaluation (caught at the
+    /// model boundary; the pipeline keeps running).
+    ModelPanic {
+        /// The panic payload's message.
+        message: String,
+        /// The operating point being solved, when known.
+        operating_point: Option<OperatingPoint>,
+    },
+    /// A parallel work item panicked (caught by the executor).
+    WorkerPanic {
+        /// Index of the panicking item in its batch.
+        index: usize,
+        /// The panic payload's message.
+        message: String,
+    },
+}
+
+fn write_op(f: &mut core::fmt::Formatter<'_>, op: &Option<OperatingPoint>) -> core::fmt::Result {
+    if let Some(op) = op {
+        write!(
+            f,
+            " at (ω = {:.0} RPM, I = {:.2} A)",
+            op.fan_speed.rpm(),
+            op.tec_current.amperes()
+        )?;
+    }
+    Ok(())
+}
+
+impl core::fmt::Display for OftecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::NonFinite {
+                what,
+                operating_point,
+                iteration,
+            } => {
+                write!(f, "non-finite {what}")?;
+                write_op(f, operating_point)?;
+                write!(f, " (iteration {iteration})")
+            }
+            Self::Thermal {
+                source,
+                operating_point,
+            } => {
+                write!(f, "thermal solve failed")?;
+                write_op(f, operating_point)?;
+                write!(f, ": {source}")
+            }
+            Self::Optim { source, phase } => {
+                write!(f, "{phase} optimization failed: {source}")
+            }
+            Self::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            Self::ModelPanic {
+                message,
+                operating_point,
+            } => {
+                write!(f, "thermal model panicked")?;
+                write_op(f, operating_point)?;
+                write!(f, ": {message}")
+            }
+            Self::WorkerPanic { index, message } => {
+                write!(f, "parallel work item {index} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OftecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Thermal { source, .. } => Some(source),
+            Self::Optim { source, .. } => Some(source),
+            Self::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ThermalError> for OftecError {
+    fn from(source: ThermalError) -> Self {
+        match source {
+            ThermalError::NonFinite(what) => Self::NonFinite {
+                what,
+                operating_point: None,
+                iteration: 0,
+            },
+            source => Self::Thermal {
+                source,
+                operating_point: None,
+            },
+        }
+    }
+}
+
+impl From<OptimError> for OftecError {
+    fn from(source: OptimError) -> Self {
+        match source {
+            OptimError::NonFinite { what, iteration } => Self::NonFinite {
+                what: what.to_string(),
+                operating_point: None,
+                iteration,
+            },
+            source => Self::Optim {
+                source,
+                phase: "unspecified",
+            },
+        }
+    }
+}
+
+impl From<LinalgError> for OftecError {
+    fn from(e: LinalgError) -> Self {
+        match e {
+            LinalgError::NonFinite(what) => Self::NonFinite {
+                what: what.to_string(),
+                operating_point: None,
+                iteration: 0,
+            },
+            other => Self::Linalg(other),
+        }
+    }
+}
+
+impl From<ItemPanic> for OftecError {
+    fn from(p: ItemPanic) -> Self {
+        Self::WorkerPanic {
+            index: p.index,
+            message: p.message,
+        }
+    }
+}
+
+impl OftecError {
+    /// Attaches the operating point to errors that can carry one and do
+    /// not already have it.
+    #[must_use]
+    pub fn with_operating_point(self, op: OperatingPoint) -> Self {
+        match self {
+            Self::NonFinite {
+                what,
+                operating_point: None,
+                iteration,
+            } => Self::NonFinite {
+                what,
+                operating_point: Some(op),
+                iteration,
+            },
+            Self::Thermal {
+                source,
+                operating_point: None,
+            } => Self::Thermal {
+                source,
+                operating_point: Some(op),
+            },
+            Self::ModelPanic {
+                message,
+                operating_point: None,
+            } => Self::ModelPanic {
+                message,
+                operating_point: Some(op),
+            },
+            other => other,
+        }
+    }
+
+    /// Returns `true` for the dedicated non-finite-data error.
+    pub fn is_non_finite(&self) -> bool {
+        matches!(self, Self::NonFinite { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oftec_units::{AngularVelocity, Current};
+
+    fn op() -> OperatingPoint {
+        OperatingPoint::new(
+            AngularVelocity::from_rpm(2500.0),
+            Current::from_amperes(1.5),
+        )
+    }
+
+    #[test]
+    fn conversions_classify_non_finite() {
+        let e: OftecError = ThermalError::NonFinite("fan conductance".into()).into();
+        assert!(e.is_non_finite());
+        let e: OftecError = OptimError::NonFinite {
+            what: "objective",
+            iteration: 7,
+        }
+        .into();
+        assert!(matches!(e, OftecError::NonFinite { iteration: 7, .. }));
+        let e: OftecError = LinalgError::NonFinite("dense system matrix").into();
+        assert!(e.is_non_finite());
+        let e: OftecError = ThermalError::Runaway("test").into();
+        assert!(matches!(e, OftecError::Thermal { .. }));
+    }
+
+    #[test]
+    fn operating_point_attaches_once() {
+        let e: OftecError = ThermalError::Runaway("test").into();
+        let e = e.with_operating_point(op());
+        let text = e.to_string();
+        assert!(text.contains("2500 RPM"), "{text}");
+        assert!(text.contains("1.50 A"), "{text}");
+        // A second attach does not overwrite.
+        let other = OperatingPoint::new(AngularVelocity::ZERO, Current::ZERO);
+        assert_eq!(e.clone().with_operating_point(other), e);
+    }
+
+    #[test]
+    fn worker_panic_from_item_panic() {
+        let e: OftecError = ItemPanic {
+            index: 3,
+            message: "boom".into(),
+        }
+        .into();
+        assert_eq!(e.to_string(), "parallel work item 3 panicked: boom");
+    }
+
+    #[test]
+    fn display_mentions_phase() {
+        let e = OftecError::Optim {
+            source: OptimError::BadStart("x".into()),
+            phase: "feasibility",
+        };
+        assert!(e.to_string().starts_with("feasibility optimization failed"));
+    }
+}

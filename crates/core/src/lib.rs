@@ -26,8 +26,9 @@
 //! use oftec::{CoolingSystem, Oftec};
 //! use oftec_power::Benchmark;
 //!
+//! # fn main() -> Result<(), oftec::OftecError> {
 //! let system = CoolingSystem::for_benchmark(Benchmark::Basicmath);
-//! match Oftec::default().run(&system) {
+//! match Oftec::default().run(&system)? {
 //!     oftec::OftecOutcome::Optimized(sol) => {
 //!         println!(
 //!             "ω* = {:.0} RPM, I* = {:.2} A, 𝒫 = {:.2} W",
@@ -40,17 +41,22 @@
 //!         println!("cannot cool below T_max; best {}", report.best_temperature);
 //!     }
 //! }
+//! # Ok(())
+//! # }
 //! ```
 
 mod algorithm;
 pub mod baselines;
 pub mod controller;
+mod error;
+pub mod faults;
 pub mod problems;
 pub mod reactive;
 mod sweep;
 mod system;
 
 pub use algorithm::{InfeasibleReport, Oftec, OftecOutcome, OftecSolution};
+pub use error::OftecError;
 pub use sweep::{SweepGrid, SweepResult, SweepSample};
 pub use system::CoolingSystem;
 

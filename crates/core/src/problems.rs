@@ -13,10 +13,11 @@
 
 use oftec_optim::NlpProblem;
 use oftec_telemetry::Counter;
-use oftec_thermal::{HybridCoolingModel, OperatingPoint};
+use oftec_thermal::{CoolingModel, HybridCoolingModel, OperatingPoint};
 use oftec_units::{AngularVelocity, Current, Temperature};
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, PoisonError};
 
 /// Which objective is being minimized.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,12 +64,15 @@ struct CacheState {
 /// family of accessors) and mirrors the same increments into the global
 /// registry under its metric name whenever telemetry is collecting.
 #[derive(Debug)]
-pub struct CoolingProblem<'a> {
-    model: &'a HybridCoolingModel,
+pub struct CoolingProblem<'a, M: CoolingModel = HybridCoolingModel> {
+    model: &'a M,
     objective: CoolingObjective,
     t_max: Temperature,
     with_tec: bool,
     cache: Mutex<CacheState>,
+    /// Most recent non-runaway model fault (panic message, solver error,
+    /// or non-finite screen), for surfacing in infeasibility reports.
+    last_fault: Mutex<Option<String>>,
     /// Thermal solves performed (`problem.thermal_solves`).
     solves: Counter,
     /// Evaluations answered from the cache (`problem.cache.hits`).
@@ -77,20 +81,17 @@ pub struct CoolingProblem<'a> {
     misses: Counter,
 }
 
-impl<'a> CoolingProblem<'a> {
+impl<'a, M: CoolingModel> CoolingProblem<'a, M> {
     /// Builds a problem over `(ω, I_TEC)` for a hybrid model, or over `ω`
     /// alone for a fan-only model (detected from the model).
-    pub fn new(
-        model: &'a HybridCoolingModel,
-        objective: CoolingObjective,
-        t_max: Temperature,
-    ) -> Self {
+    pub fn new(model: &'a M, objective: CoolingObjective, t_max: Temperature) -> Self {
         Self {
             model,
             objective,
             t_max,
             with_tec: model.has_tec(),
             cache: Mutex::new(CacheState::default()),
+            last_fault: Mutex::new(None),
             solves: Counter::new("problem.thermal_solves"),
             hits: Counter::new("problem.cache.hits"),
             misses: Counter::new("problem.cache.misses"),
@@ -111,6 +112,23 @@ impl<'a> CoolingProblem<'a> {
     /// Evaluations that required a thermal solve.
     pub fn cache_misses(&self) -> usize {
         self.misses.get() as usize
+    }
+
+    /// The most recent model fault seen at the evaluation boundary: a
+    /// caught panic, a non-runaway solver error, or a non-finite screen.
+    /// `None` if every evaluation so far was clean or plain runaway.
+    pub fn last_fault(&self) -> Option<String> {
+        self.last_fault
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn record_fault(&self, description: String) {
+        *self
+            .last_fault
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(description);
     }
 
     /// Converts scaled decision variables to a physical operating point.
@@ -141,7 +159,7 @@ impl<'a> CoolingProblem<'a> {
     fn evaluate(&self, x: &[f64]) -> Eval {
         let key = self.key(x);
         {
-            let state = self.cache.lock().expect("cache poisoned");
+            let state = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
             if let Some((_, e)) = state
                 .entries
                 .iter()
@@ -156,20 +174,67 @@ impl<'a> CoolingProblem<'a> {
         // Solve outside the lock so concurrent workers don't serialize on
         // the cache; two workers may redundantly solve the same fresh
         // point, which is benign (identical result, counted as a miss).
+        // The solve runs behind catch_unwind and a non-finite screen: a
+        // panicking or NaN-spewing model degrades into an infeasible
+        // evaluation (with the fault recorded) instead of taking down the
+        // whole optimization.
         let op = self.operating_point(x);
-        let eval = match self.model.solve(op) {
-            Ok(sol) => Eval {
-                power: Some(sol.objective_power().watts()),
-                max_temp: Some(sol.max_chip_temperature().kelvin()),
-            },
-            Err(_) => Eval {
-                power: None,
-                max_temp: None,
-            },
+        let bad = Eval {
+            power: None,
+            max_temp: None,
+        };
+        let eval = match catch_unwind(AssertUnwindSafe(|| self.model.solve(op))) {
+            Ok(Ok(sol)) => {
+                let power = sol.objective_power().watts();
+                let max_temp = sol.max_chip_temperature().kelvin();
+                if power.is_finite() && max_temp.is_finite() {
+                    Eval {
+                        power: Some(power),
+                        max_temp: Some(max_temp),
+                    }
+                } else {
+                    oftec_telemetry::counter_add("problem.non_finite", 1);
+                    oftec_telemetry::event(
+                        oftec_telemetry::Severity::Warn,
+                        "problem.non_finite",
+                        &[
+                            ("omega_rpm", oftec_telemetry::Field::F64(op.fan_speed.rpm())),
+                            (
+                                "current_a",
+                                oftec_telemetry::Field::F64(op.tec_current.amperes()),
+                            ),
+                        ],
+                    );
+                    self.record_fault(format!(
+                        "non-finite solution (𝒫 = {power}, 𝒯 = {max_temp} K) at {op:?}"
+                    ));
+                    bad
+                }
+            }
+            Ok(Err(e)) => {
+                if !e.is_runaway() {
+                    self.record_fault(format!("thermal solve failed at {op:?}: {e}"));
+                }
+                bad
+            }
+            Err(payload) => {
+                let message = oftec_parallel::payload_message(payload);
+                oftec_telemetry::counter_add("problem.model_panics", 1);
+                oftec_telemetry::event(
+                    oftec_telemetry::Severity::Warn,
+                    "problem.model_panic",
+                    &[
+                        ("message", oftec_telemetry::Field::Str(&message)),
+                        ("omega_rpm", oftec_telemetry::Field::F64(op.fan_speed.rpm())),
+                    ],
+                );
+                self.record_fault(format!("model panicked at {op:?}: {message}"));
+                bad
+            }
         };
         self.solves.add(1);
         self.misses.add(1);
-        let mut state = self.cache.lock().expect("cache poisoned");
+        let mut state = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
         if state.entries.len() >= 16 {
             state.entries.pop_front();
         }
@@ -213,7 +278,7 @@ impl<'a> CoolingProblem<'a> {
     }
 }
 
-impl NlpProblem for CoolingProblem<'_> {
+impl<M: CoolingModel> NlpProblem for CoolingProblem<'_, M> {
     fn dim(&self) -> usize {
         if self.with_tec {
             2

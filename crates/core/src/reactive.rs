@@ -17,9 +17,50 @@
 //! experiments quantify that: transitions, energy, and temperature ripple
 //! versus OFTEC's single optimized `(ω*, I*)`.
 
-use crate::CoolingSystem;
-use oftec_thermal::{OperatingPoint, ThermalError, TransientOptions};
+use crate::{CoolingSystem, OftecError};
+use oftec_telemetry as telemetry;
+use oftec_thermal::{CoolingModel, OperatingPoint, TransientOptions};
 use oftec_units::{AngularVelocity, Current, Temperature};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runs one model call behind a panic boundary so a faulting model aborts
+/// the loop with a typed error instead of unwinding through the control
+/// harness. Panics are counted and WARN-logged.
+fn guard<T>(
+    op: OperatingPoint,
+    call: impl FnOnce() -> Result<T, oftec_thermal::ThermalError>,
+) -> Result<T, OftecError> {
+    match catch_unwind(AssertUnwindSafe(call)) {
+        Ok(result) => result.map_err(|e| OftecError::from(e).with_operating_point(op)),
+        Err(payload) => {
+            let message = oftec_parallel::payload_message(payload);
+            telemetry::counter_add("reactive.model_panics", 1);
+            telemetry::event(
+                telemetry::Severity::Warn,
+                "reactive.model_panic",
+                &[("message", telemetry::Field::Str(&message))],
+            );
+            Err(OftecError::ModelPanic {
+                message,
+                operating_point: Some(op),
+            })
+        }
+    }
+}
+
+/// Rejects a non-finite observation before it reaches a policy (a NaN
+/// temperature would silently corrupt every later control decision).
+fn check_observed(observed: Temperature, op: OperatingPoint) -> Result<(), OftecError> {
+    if observed.kelvin().is_finite() {
+        Ok(())
+    } else {
+        Err(OftecError::NonFinite {
+            what: "observed hot-spot temperature".into(),
+            operating_point: Some(op),
+            iteration: 0,
+        })
+    }
+}
 
 /// A reactive TEC current policy: observes the hottest die temperature at
 /// the end of each control window and picks the current for the next one.
@@ -187,17 +228,41 @@ pub fn run_closed_loop<P: TecPolicy + ?Sized>(
     policy: &mut P,
     windows: usize,
     window_seconds: f64,
-) -> Result<ClosedLoopReport, ThermalError> {
+) -> Result<ClosedLoopReport, OftecError> {
+    run_closed_loop_on_model(system.tec_model(), fan, policy, windows, window_seconds)
+}
+
+/// [`run_closed_loop`] on an arbitrary (e.g. fault-injecting) model. Model
+/// panics are caught at every call and surface as
+/// [`OftecError::ModelPanic`]; non-finite observations abort with
+/// [`OftecError::NonFinite`] instead of corrupting the policy state.
+///
+/// # Errors
+///
+/// Propagates thermal-model errors, panics, and non-finite observations as
+/// typed [`OftecError`]s.
+///
+/// # Panics
+///
+/// Panics if `windows == 0` or `window_seconds <= 0`.
+pub fn run_closed_loop_on_model<M: CoolingModel, P: TecPolicy + ?Sized>(
+    model: &M,
+    fan: AngularVelocity,
+    policy: &mut P,
+    windows: usize,
+    window_seconds: f64,
+) -> Result<ClosedLoopReport, OftecError> {
     assert!(windows > 0, "need at least one control window");
     assert!(window_seconds > 0.0, "window must have positive length");
-    let _span = oftec_telemetry::span("reactive.tec_loop");
-    oftec_telemetry::counter_add("reactive.windows", windows as u64);
-    let model = system.tec_model();
+    let _span = telemetry::span("reactive.tec_loop");
+    telemetry::counter_add("reactive.windows", windows as u64);
 
     // Start from the passive steady state (TECs off).
-    let start = model.solve(OperatingPoint::fan_only(fan))?;
+    let start_op = OperatingPoint::fan_only(fan);
+    let start = guard(start_op, || model.solve(start_op))?;
     let mut state = start.node_temperatures().to_vec();
     let mut observed = start.max_chip_temperature();
+    check_observed(observed, start_op)?;
 
     let dt = (window_seconds / 10.0).min(0.02);
     let steps = (window_seconds / dt).ceil() as usize;
@@ -220,14 +285,17 @@ pub fn run_closed_loop<P: TecPolicy + ?Sized>(
         }
         last_current = i;
         let op = OperatingPoint::new(fan, i);
-        let trace = model.simulate_transient_from(op, Some(&state), steps, &opts)?;
+        let trace = guard(op, || {
+            model.simulate_transient_from(op, Some(&state), steps, &opts)
+        })?;
         state = trace.final_state.clone();
         observed = trace.last();
+        check_observed(observed, op)?;
 
         // Energy accounting from the steady TEC power at this state's
         // temperatures (adequate at these slow control rates).
         if i.amperes() > 0.0 {
-            if let Ok(sol) = model.solve(op) {
+            if let Ok(sol) = guard(op, || model.solve(op)) {
                 tec_energy += sol.breakdown().tec.watts() * window_seconds;
             }
         }
@@ -327,19 +395,46 @@ pub fn run_fan_loop(
     controller: &mut PiFanController,
     windows: usize,
     window_seconds: f64,
-) -> Result<FanLoopReport, ThermalError> {
+) -> Result<FanLoopReport, OftecError> {
+    run_fan_loop_on_model(
+        system.tec_model(),
+        tec_current,
+        controller,
+        windows,
+        window_seconds,
+    )
+}
+
+/// [`run_fan_loop`] on an arbitrary (e.g. fault-injecting) model, with the
+/// same panic and non-finite guards as [`run_closed_loop_on_model`].
+///
+/// # Errors
+///
+/// Propagates thermal-model errors, panics, and non-finite observations as
+/// typed [`OftecError`]s.
+///
+/// # Panics
+///
+/// Panics if `windows == 0` or `window_seconds <= 0`.
+pub fn run_fan_loop_on_model<M: CoolingModel>(
+    model: &M,
+    tec_current: Current,
+    controller: &mut PiFanController,
+    windows: usize,
+    window_seconds: f64,
+) -> Result<FanLoopReport, OftecError> {
     assert!(windows > 0, "need at least one control window");
     assert!(window_seconds > 0.0, "window must have positive length");
-    let _span = oftec_telemetry::span("reactive.fan_loop");
-    oftec_telemetry::counter_add("reactive.windows", windows as u64);
-    let model = system.tec_model();
-    let omega_max = system.package().fan.omega_max;
+    let _span = telemetry::span("reactive.fan_loop");
+    telemetry::counter_add("reactive.windows", windows as u64);
+    let omega_max = model.config().fan.omega_max;
 
     // Start at half speed, passive steady state.
     let start_op = OperatingPoint::new(omega_max * 0.5, tec_current);
-    let start = model.solve(start_op)?;
+    let start = guard(start_op, || model.solve(start_op))?;
     let mut state = start.node_temperatures().to_vec();
     let mut observed = start.max_chip_temperature();
+    check_observed(observed, start_op)?;
 
     let dt = (window_seconds / 10.0).min(0.02);
     let steps = (window_seconds / dt).ceil() as usize;
@@ -354,9 +449,12 @@ pub fn run_fan_loop(
     for w in 0..windows {
         let omega = controller.speed(observed, window_seconds, omega_max);
         let op = OperatingPoint::new(omega, tec_current);
-        let trace = model.simulate_transient_from(op, Some(&state), steps, &opts)?;
+        let trace = guard(op, || {
+            model.simulate_transient_from(op, Some(&state), steps, &opts)
+        })?;
         state = trace.final_state.clone();
         observed = trace.last();
+        check_observed(observed, op)?;
         times.push((w + 1) as f64 * window_seconds);
         temperatures.push(observed);
         speeds.push(omega);

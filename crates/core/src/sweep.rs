@@ -10,7 +10,7 @@
 
 use std::fmt::Write as _;
 
-use oftec_thermal::{HybridCoolingModel, OperatingPoint};
+use oftec_thermal::{CoolingModel, OperatingPoint};
 use oftec_units::Current;
 
 /// One sample of the `(ω, I_TEC)` plane.
@@ -63,7 +63,7 @@ impl SweepGrid {
     /// # Panics
     ///
     /// Panics if either resolution is below 2.
-    pub fn run(&self, model: &HybridCoolingModel) -> SweepResult {
+    pub fn run<M: CoolingModel>(&self, model: &M) -> SweepResult {
         self.run_threaded(model, oftec_parallel::thread_count())
     }
 
@@ -71,10 +71,15 @@ impl SweepGrid {
     /// is bit-identical for every `threads` value: parallelism is across
     /// ω-rows only, and each row's warm-start chain stays serial.
     ///
+    /// A row whose model panics mid-solve is recorded as all-runaway
+    /// (every sample `None`), counted under `sweep.row_panics`, and
+    /// WARN-logged; the rest of the sweep completes. Non-finite model
+    /// output is screened into runaway samples the same way.
+    ///
     /// # Panics
     ///
     /// Panics if either resolution is below 2.
-    pub fn run_threaded(&self, model: &HybridCoolingModel, threads: usize) -> SweepResult {
+    pub fn run_threaded<M: CoolingModel>(&self, model: &M, threads: usize) -> SweepResult {
         assert!(
             self.omega_points >= 2 && self.current_points >= 2,
             "sweep needs at least a 2×2 grid"
@@ -87,23 +92,32 @@ impl SweepGrid {
             "sweep.points",
             (self.omega_points * self.current_points) as u64,
         );
-        let rows = oftec_parallel::par_map_range_with(threads, self.omega_points, |wi| {
+        let current_at =
+            |ci: usize| -> f64 { i_max * ci as f64 / (self.current_points - 1) as f64 };
+        let omega_at = |wi: usize| omega_max * (wi as f64 / (self.omega_points - 1) as f64);
+        let rows = oftec_parallel::par_try_map_range_with(threads, self.omega_points, |wi| {
             let _row_span = oftec_telemetry::span("sweep.row");
-            let frac_w = wi as f64 / (self.omega_points - 1) as f64;
-            let omega = omega_max * frac_w;
+            let omega = omega_at(wi);
             let mut row = Vec::with_capacity(self.current_points);
             // Warm-start each solve from the last success on this row.
             let mut last_state: Option<Vec<f64>> = None;
             for ci in 0..self.current_points {
-                let frac_i = ci as f64 / (self.current_points - 1) as f64;
-                let amps = i_max * frac_i;
+                let amps = current_at(ci);
                 let op = OperatingPoint::new(omega, Current::from_amperes(amps));
                 let (t, p) = match model.solve_from(op, last_state.as_deref()) {
+                    // Screen non-finite solver output into runaway cells
+                    // so a poisoned model cannot contaminate the surface.
                     Ok(sol) => {
                         let t = sol.max_chip_temperature().celsius();
                         let p = sol.objective_power().watts();
-                        last_state = Some(sol.node_temperatures().to_vec());
-                        (Some(t), Some(p))
+                        if t.is_finite() && p.is_finite() {
+                            last_state = Some(sol.node_temperatures().to_vec());
+                            (Some(t), Some(p))
+                        } else {
+                            oftec_telemetry::counter_add("sweep.non_finite", 1);
+                            last_state = None;
+                            (None, None)
+                        }
                     }
                     Err(_) => (None, None),
                 };
@@ -116,8 +130,37 @@ impl SweepGrid {
             }
             row
         });
+        let samples = rows
+            .into_iter()
+            .enumerate()
+            .flat_map(|(wi, row)| match row {
+                Ok(row) => row,
+                Err(panic) => {
+                    // The whole row degrades to runaway; the sweep keeps
+                    // its shape and the other rows their values.
+                    oftec_telemetry::counter_add("sweep.row_panics", 1);
+                    oftec_telemetry::event(
+                        oftec_telemetry::Severity::Warn,
+                        "sweep.row_panic",
+                        &[
+                            ("row", oftec_telemetry::Field::U64(wi as u64)),
+                            ("message", oftec_telemetry::Field::Str(&panic.message)),
+                        ],
+                    );
+                    let omega = omega_at(wi);
+                    (0..self.current_points)
+                        .map(|ci| SweepSample {
+                            omega_rpm: omega.rpm(),
+                            current_a: current_at(ci),
+                            max_temp_celsius: None,
+                            power_watts: None,
+                        })
+                        .collect()
+                }
+            })
+            .collect();
         let result = SweepResult {
-            samples: rows.into_iter().flatten().collect(),
+            samples,
             omega_points: self.omega_points,
             current_points: self.current_points,
         };
@@ -129,20 +172,33 @@ impl SweepGrid {
 impl SweepResult {
     /// The sample minimizing 𝒯 (Figure 6(a)'s minimum, which the paper
     /// observes near the middle of the plane).
+    ///
+    /// NaN/inf temperatures (possible in deserialized or hand-built
+    /// results) are excluded, never selected, and never panic the
+    /// comparison.
     pub fn coolest(&self) -> Option<&SweepSample> {
         self.samples
             .iter()
-            .filter(|s| s.max_temp_celsius.is_some())
-            .min_by(|a, b| a.max_temp_celsius.partial_cmp(&b.max_temp_celsius).unwrap())
+            .filter(|s| s.max_temp_celsius.is_some_and(f64::is_finite))
+            .min_by(|a, b| {
+                let ta = a.max_temp_celsius.unwrap_or(f64::INFINITY);
+                let tb = b.max_temp_celsius.unwrap_or(f64::INFINITY);
+                ta.total_cmp(&tb)
+            })
     }
 
     /// The sample minimizing 𝒫 (Figure 6(b)'s minimum, near the origin of
-    /// the *feasible* region).
+    /// the *feasible* region). Non-finite powers are excluded, like
+    /// [`SweepResult::coolest`].
     pub fn cheapest(&self) -> Option<&SweepSample> {
         self.samples
             .iter()
-            .filter(|s| s.power_watts.is_some())
-            .min_by(|a, b| a.power_watts.partial_cmp(&b.power_watts).unwrap())
+            .filter(|s| s.power_watts.is_some_and(f64::is_finite))
+            .min_by(|a, b| {
+                let pa = a.power_watts.unwrap_or(f64::INFINITY);
+                let pb = b.power_watts.unwrap_or(f64::INFINITY);
+                pa.total_cmp(&pb)
+            })
     }
 
     /// Fraction of samples in the runaway region.
@@ -160,13 +216,14 @@ impl SweepResult {
     }
 
     /// The smallest ω (RPM) with any non-runaway sample — the paper's
-    /// "ω should be increased to about 150 RPM" observation.
+    /// "ω should be increased to about 150 RPM" observation. Samples with
+    /// non-finite temperatures or fan speeds are ignored.
     pub fn runaway_boundary_rpm(&self) -> Option<f64> {
         self.samples
             .iter()
-            .filter(|s| s.max_temp_celsius.is_some())
+            .filter(|s| s.max_temp_celsius.is_some_and(f64::is_finite) && s.omega_rpm.is_finite())
             .map(|s| s.omega_rpm)
-            .min_by(|a, b| a.partial_cmp(b).unwrap())
+            .min_by(f64::total_cmp)
     }
 
     /// Serializes to CSV (`omega_rpm,current_a,max_temp_c,power_w`;
@@ -298,6 +355,42 @@ mod tests {
                 ),
             }
         }
+    }
+
+    #[test]
+    fn poisoned_rows_are_skipped_by_the_selectors() {
+        // Hand-built result with NaN/inf-poisoned rows, as a corrupted
+        // solver or a deserialized file could contain. The selectors must
+        // neither panic nor let a poisoned sample win.
+        let mk = |rpm: f64, t: Option<f64>, p: Option<f64>| SweepSample {
+            omega_rpm: rpm,
+            current_a: 0.0,
+            max_temp_celsius: t,
+            power_watts: p,
+        };
+        let r = SweepResult {
+            samples: vec![
+                mk(f64::NAN, Some(f64::NAN), Some(f64::NAN)),
+                mk(1000.0, Some(f64::INFINITY), Some(f64::NEG_INFINITY)),
+                mk(2000.0, Some(80.0), Some(30.0)),
+                mk(3000.0, Some(70.0), Some(40.0)),
+                mk(500.0, None, None),
+            ],
+            omega_points: 5,
+            current_points: 1,
+        };
+        assert_eq!(r.coolest().unwrap().omega_rpm, 3000.0);
+        assert_eq!(r.cheapest().unwrap().omega_rpm, 2000.0);
+        assert_eq!(r.runaway_boundary_rpm(), Some(2000.0));
+
+        let all_poisoned = SweepResult {
+            samples: vec![mk(0.0, Some(f64::NAN), Some(f64::NAN)), mk(1.0, None, None)],
+            omega_points: 2,
+            current_points: 1,
+        };
+        assert!(all_poisoned.coolest().is_none());
+        assert!(all_poisoned.cheapest().is_none());
+        assert!(all_poisoned.runaway_boundary_rpm().is_none());
     }
 
     #[test]

@@ -41,7 +41,7 @@ impl CoolingSystem {
         let floorplan = alpha21264();
         let dynamic_power = benchmark
             .max_dynamic_power(&floorplan)
-            .expect("bundled floorplan has every profiled unit");
+            .unwrap_or_else(|e| panic!("bundled floorplan has every profiled unit: {e}"));
         let leakage = McpatBudget::alpha21264_22nm().distribute(&floorplan);
         Self::new(
             benchmark.name(),
@@ -108,7 +108,7 @@ impl CoolingSystem {
             dynamic_power.clone(),
             &leakage,
         )
-        .expect("inputs validated by the caller contract");
+        .unwrap_or_else(|e| panic!("inputs validated by the caller contract: {e}"));
         let fan_model =
             HybridCoolingModel::fan_only(&floorplan, &package, dynamic_power.clone(), &leakage);
         Self {
@@ -186,7 +186,7 @@ impl CoolingSystem {
             self.dynamic_power.clone(),
             &self.leakage,
         )
-        .expect("construction mirrors the validated models")
+        .unwrap_or_else(|e| panic!("construction mirrors the validated models: {e}"))
     }
 
     /// Builds a copy of this system with the dynamic power uniformly

@@ -1,0 +1,295 @@
+//! No-panic robustness suite: every public solve entry point must return
+//! a typed error or a verdict — never abort — when the thermal model
+//! returns NaN, returns `Err`, or panics at an arbitrary call index.
+//!
+//! Faults are injected through [`oftec::faults::FaultyModel`]; the
+//! proptest harness sweeps the (fault kind × call index × stickiness)
+//! space, and the deterministic tests below pin the degradation paths the
+//! paper's Algorithm 1 must take (grid-search recovery, feasible-point
+//! fallback, surfaced `solver_error`).
+
+use oftec::baselines::{
+    fixed_speed_fan_on_model, tec_only_on_model, variable_speed_fan_on_model, BaselineOutcome,
+};
+use oftec::faults::{FaultKind, FaultyModel};
+use oftec::reactive::{
+    run_closed_loop_on_model, run_fan_loop_on_model, ConstantCurrent, PiFanController,
+};
+use oftec::{CoolingSystem, Oftec, OftecOutcome, SweepGrid};
+use oftec_power::Benchmark;
+use oftec_thermal::PackageConfig;
+use oftec_units::{AngularVelocity, Current, Temperature};
+use proptest::prelude::*;
+use std::sync::{Once, OnceLock};
+
+/// Silences panic reports for the suite's *injected* panics (which run on
+/// the named test thread via `catch_unwind`) and for unnamed worker
+/// threads; real failures on named threads keep the default report.
+fn quiet_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if msg.starts_with("injected panic") || std::thread::current().name().is_none() {
+                return;
+            }
+            default(info);
+        }));
+    });
+}
+
+fn cool_system() -> &'static CoolingSystem {
+    static SYSTEM: OnceLock<CoolingSystem> = OnceLock::new();
+    SYSTEM.get_or_init(|| {
+        CoolingSystem::for_benchmark_with_config(
+            Benchmark::Basicmath,
+            &PackageConfig::dac14_coarse(),
+        )
+    })
+}
+
+fn hot_system() -> &'static CoolingSystem {
+    static SYSTEM: OnceLock<CoolingSystem> = OnceLock::new();
+    SYSTEM.get_or_init(|| {
+        CoolingSystem::for_benchmark_with_config(Benchmark::Fft, &PackageConfig::dac14_coarse())
+    })
+}
+
+fn fault_kind() -> impl Strategy<Value = FaultKind> {
+    prop::sample::select(vec![
+        FaultKind::NonFinite,
+        FaultKind::Error,
+        FaultKind::Panic,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Algorithm 1 under injected faults: the optimizer must return
+    /// `Ok(verdict)` or `Err(typed)` at every fault kind, call index, and
+    /// stickiness — never unwind.
+    #[test]
+    fn oftec_never_panics_under_faults(
+        kind in fault_kind(),
+        fail_at in 0usize..12,
+        sticky in prop::sample::select(vec![true, false]),
+    ) {
+        quiet_injected_panics();
+        let system = cool_system();
+        let faulty = if sticky {
+            FaultyModel::new(system.tec_model(), kind, fail_at)
+        } else {
+            FaultyModel::once(system.tec_model(), kind, fail_at)
+        };
+        let outcome = Oftec::default().run_on_model(&faulty, system.t_max());
+        // Any verdict or typed error is acceptable; reaching here at all
+        // is the property (no unwinding through the public API).
+        prop_assert!(outcome.is_ok() || outcome.is_err());
+
+        let cooled = Oftec::default().minimize_temperature(&faulty, system.t_max());
+        if let Some(sol) = cooled {
+            prop_assert!(sol.max_temperature.kelvin().is_finite());
+        }
+    }
+
+    /// The design-space sweep keeps its grid shape under faults: every
+    /// row is present, faulted cells degrade to `None`, and the selectors
+    /// never return a non-finite winner.
+    #[test]
+    fn sweep_never_panics_under_faults(
+        kind in fault_kind(),
+        fail_at in 0usize..12,
+        threads in 1usize..=8,
+    ) {
+        quiet_injected_panics();
+        let system = cool_system();
+        let faulty = FaultyModel::new(system.tec_model(), kind, fail_at);
+        let grid = SweepGrid { omega_points: 4, current_points: 3 };
+        let result = grid.run_threaded(&faulty, threads);
+        prop_assert_eq!(result.samples.len(), 12);
+        for sample in &result.samples {
+            if let Some(t) = sample.max_temp_celsius {
+                prop_assert!(t.is_finite());
+            }
+        }
+        if let Some(best) = result.coolest() {
+            prop_assert!(best.max_temp_celsius.unwrap().is_finite());
+        }
+    }
+
+    /// Baselines and reactive loops under faults: verdicts stay typed,
+    /// reports keep their shape, loops abort with an error instead of
+    /// unwinding.
+    #[test]
+    fn baselines_and_loops_never_panic_under_faults(
+        kind in fault_kind(),
+        fail_at in 0usize..8,
+    ) {
+        quiet_injected_panics();
+        let system = cool_system();
+        let t_max = system.t_max();
+
+        let faulty = FaultyModel::new(system.fan_model(), kind, fail_at);
+        let var = variable_speed_fan_on_model(&faulty, t_max, true);
+        let var_is_verdict = matches!(
+            var,
+            BaselineOutcome::Feasible { .. } | BaselineOutcome::Infeasible { .. }
+        );
+        prop_assert!(var_is_verdict, "variable-speed baseline returned no verdict");
+        let fixed = fixed_speed_fan_on_model(&faulty, t_max, AngularVelocity::from_rpm(2000.0));
+        if let BaselineOutcome::Feasible { solution, .. } = &fixed {
+            prop_assert!(solution.max_chip_temperature().kelvin().is_finite());
+        }
+
+        let faulty_tec = FaultyModel::new(system.tec_model(), kind, fail_at);
+        let report = tec_only_on_model(&faulty_tec, 6);
+        prop_assert_eq!(report.currents.len(), 7);
+        prop_assert_eq!(report.max_temperatures.len(), 7);
+
+        let mut policy = ConstantCurrent(Current::from_amperes(1.0));
+        let closed = run_closed_loop_on_model(
+            &faulty_tec,
+            AngularVelocity::from_rpm(2600.0),
+            &mut policy,
+            3,
+            0.2,
+        );
+        if let Ok(report) = &closed {
+            prop_assert!(report.temperatures.iter().all(|t| t.kelvin().is_finite()));
+        }
+
+        let mut pi = PiFanController::new(Temperature::from_celsius(80.0), 20.0, 8.0);
+        let fan_loop = run_fan_loop_on_model(
+            &faulty_tec,
+            Current::from_amperes(1.0),
+            &mut pi,
+            3,
+            0.2,
+        );
+        prop_assert!(fan_loop.is_ok() || fan_loop.is_err());
+    }
+}
+
+/// A one-shot fault before the optimizer even starts must be absorbed:
+/// the remaining (healthy) calls carry Algorithm 1 to a real optimum.
+#[test]
+fn one_shot_error_at_the_start_still_optimizes() {
+    quiet_injected_panics();
+    let system = cool_system();
+    let faulty = FaultyModel::once(system.tec_model(), FaultKind::Error, 0);
+    let outcome = Oftec::default()
+        .run_on_model(&faulty, system.t_max())
+        .expect("one-shot fault must be recoverable");
+    let sol = outcome.optimized().expect("basicmath is coolable");
+    assert!(sol.max_temperature < system.t_max());
+    assert_eq!(faulty.injections(), 1, "exactly one fault fired");
+}
+
+/// A model that errors on *every* call cannot produce a verdict of
+/// "optimized" — but it must still produce a verdict, and the swallowed
+/// solver error must surface in the infeasibility report.
+#[test]
+fn sticky_errors_surface_in_the_infeasible_report() {
+    quiet_injected_panics();
+    let system = cool_system();
+    oftec_telemetry::set_collecting(true);
+    let (outcome, buf) = oftec_telemetry::capture(|| {
+        let faulty = FaultyModel::new(system.tec_model(), FaultKind::Error, 0);
+        let outcome = Oftec::default().run_on_model(&faulty, system.t_max());
+        assert!(faulty.injections() > 0, "fault never fired");
+        outcome
+    });
+    let snap = oftec_telemetry::Snapshot::from_buffer(buf);
+    assert!(
+        snap.counter("oftec.fallback.gridsearch") >= 1,
+        "the SQP → grid-search fallback must be counted"
+    );
+    match outcome {
+        Ok(OftecOutcome::Infeasible(report)) => {
+            let err = report
+                .solver_error
+                .as_deref()
+                .expect("swallowed faults must be surfaced");
+            assert!(
+                err.contains("injected error") || err.contains("grid-search"),
+                "unexpected solver_error: {err}"
+            );
+        }
+        Ok(OftecOutcome::Optimized(_)) => {
+            panic!("an always-failing model cannot certify an optimum")
+        }
+        Err(_) => {} // a typed error is an equally valid no-panic outcome
+    }
+}
+
+/// Sticky panics through every entry point: the panic boundary converts
+/// them into typed errors/verdicts, and the injection telemetry records
+/// each one.
+#[test]
+fn sticky_panics_are_contained_and_counted() {
+    quiet_injected_panics();
+    let system = cool_system();
+    oftec_telemetry::set_collecting(true);
+    let (outcome, buf) = oftec_telemetry::capture(|| {
+        let faulty = FaultyModel::new(system.tec_model(), FaultKind::Panic, 0);
+        Oftec::default().run_on_model(&faulty, system.t_max())
+    });
+    assert!(outcome.is_ok() || outcome.is_err(), "no unwinding");
+    let snap = oftec_telemetry::Snapshot::from_buffer(buf);
+    assert!(
+        snap.counter("faults.injected") > 0,
+        "injections must be counted"
+    );
+    assert!(
+        snap.counter("problem.model_panics") > 0,
+        "caught panics must be counted"
+    );
+}
+
+/// The clean infeasibility path (no faults): a hot workload on the
+/// fan-only model is certified infeasible with a best-achievable
+/// temperature and *no* solver error.
+#[test]
+fn clean_infeasibility_reports_no_solver_error() {
+    let system = hot_system();
+    let outcome = Oftec::default()
+        .run_on_model(system.fan_model(), system.t_max())
+        .expect("clean infeasibility is a verdict, not an error");
+    match outcome {
+        OftecOutcome::Infeasible(report) => {
+            assert!(report.best_temperature > system.t_max());
+            assert!(
+                report.solver_error.is_none(),
+                "clean run must not report a fault: {:?}",
+                report.solver_error
+            );
+        }
+        OftecOutcome::Optimized(_) => panic!("FFT must defeat the fan-only baseline"),
+    }
+}
+
+/// NaN-poisoned solutions must not leak into an "optimized" verdict: the
+/// non-finite screen rejects them at the model boundary.
+#[test]
+fn poisoned_solutions_never_reach_the_optimum() {
+    quiet_injected_panics();
+    let system = cool_system();
+    for fail_at in [0, 2, 5] {
+        let faulty = FaultyModel::new(system.tec_model(), FaultKind::NonFinite, fail_at);
+        if let Ok(OftecOutcome::Optimized(sol)) =
+            Oftec::default().run_on_model(&faulty, system.t_max())
+        {
+            assert!(
+                sol.max_temperature.kelvin().is_finite() && sol.cooling_power.watts().is_finite(),
+                "NaN leaked into the optimum at fail_at = {fail_at}"
+            );
+        }
+    }
+}

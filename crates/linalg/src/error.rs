@@ -24,6 +24,9 @@ pub enum LinalgError {
     /// An iterative method broke down (e.g. a zero inner product in
     /// BiCGSTAB); holds a short description.
     Breakdown(&'static str),
+    /// An operand or result contained NaN/inf; holds a short description of
+    /// where the non-finite value was seen.
+    NonFinite(&'static str),
 }
 
 impl core::fmt::Display for LinalgError {
@@ -45,6 +48,7 @@ impl core::fmt::Display for LinalgError {
                 "iterative solver did not converge after {iterations} iterations (residual {residual:.3e})"
             ),
             Self::Breakdown(what) => write!(f, "iterative solver breakdown: {what}"),
+            Self::NonFinite(what) => write!(f, "non-finite value in {what}"),
         }
     }
 }

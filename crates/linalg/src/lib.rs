@@ -38,6 +38,7 @@ mod cholesky;
 mod dense;
 mod eigen;
 mod error;
+mod fallback;
 mod iterative;
 mod lu;
 mod precond;
@@ -49,6 +50,7 @@ pub use cholesky::CholeskyFactor;
 pub use dense::{vector, Matrix};
 pub use eigen::{largest_eigenvalue, smallest_eigenvalue, EigenParams};
 pub use error::LinalgError;
+pub use fallback::{solve_dense_chain, DenseMethod, DenseSolve};
 pub use iterative::{solve_bicgstab, solve_cg, IterativeParams, IterativeSummary};
 pub use lu::LuFactor;
 pub use precond::{

@@ -67,8 +67,13 @@ impl GridSearch {
                 *xd = coords(d, rem % k);
                 rem /= k;
             }
+            // A NaN constraint must read as *infeasible*: `ci < -tol` is
+            // false for NaN, so the negated `any` would silently treat a
+            // poisoned point as feasible without the explicit finite check.
             let feasible = match problem.constraints(&x) {
-                Some(c) => !c.iter().any(|&ci| ci < -self.feasibility_tol),
+                Some(c) => c
+                    .iter()
+                    .all(|&ci| ci.is_finite() && ci >= -self.feasibility_tol),
                 None => false,
             };
             if !feasible {
@@ -80,12 +85,27 @@ impl GridSearch {
 
         let mut best: Option<(Vec<f64>, f64)> = None;
         let mut objective_evals = 0usize;
+        let mut non_finite = 0u64;
         for (x, value, objective_ran) in evaluated {
             objective_evals += usize::from(objective_ran);
             let Some(f) = value else { continue };
+            // A NaN objective poisons the reduction (`f < best` is always
+            // false, so NaN-first would win forever): drop it and count it.
+            if !f.is_finite() {
+                non_finite += 1;
+                continue;
+            }
             if best.as_ref().is_none_or(|(_, bf)| f < *bf) {
                 best = Some((x, f));
             }
+        }
+        if non_finite > 0 {
+            telemetry::counter_add("gridsearch.non_finite", non_finite);
+            telemetry::event(
+                telemetry::Severity::Warn,
+                "gridsearch.non_finite",
+                &[("points", telemetry::Field::U64(non_finite))],
+            );
         }
         // `evaluations` stays the exact local count callers rely on; the
         // registry gets the same totals split by oracle, mirrored once on
@@ -174,6 +194,40 @@ mod tests {
         assert_eq!(buf.counter("gridsearch.constraint_evals"), 101);
         assert_eq!(buf.counter("gridsearch.objective_evals"), 51);
         assert_eq!(buf.counter("gridsearch.runs"), 1);
+    }
+
+    #[test]
+    fn nan_objective_and_constraints_are_skipped() {
+        // Objective is NaN on half the grid and the constraint is NaN on a
+        // band; neither may poison the winner or be treated as feasible.
+        let p = FnProblem::new(
+            vec![0.0],
+            vec![1.0],
+            |x| {
+                if x[0] < 0.5 {
+                    Some(f64::NAN)
+                } else {
+                    Some(x[0])
+                }
+            },
+            1,
+            |x| {
+                if x[0] > 0.9 {
+                    Some(vec![f64::NAN])
+                } else {
+                    Some(vec![1.0])
+                }
+            },
+        );
+        let r = GridSearch {
+            points_per_dim: 101,
+            ..Default::default()
+        }
+        .solve(&p, &[0.0], &SolveOptions::default())
+        .unwrap();
+        // Best finite feasible objective: x = 0.5.
+        assert!((r.x[0] - 0.5).abs() < 1e-9, "{:?}", r.x);
+        assert!(r.objective.is_finite());
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::{
     backtrack, central_gradient, damped_bfgs_update, NlpProblem, OptimError, SolveOptions,
     SolveResult,
 };
-use oftec_linalg::{vector, LuFactor, Matrix};
+use oftec_linalg::{solve_dense_chain, vector, Matrix};
 
 /// Barrier interior-point solver: minimizes
 /// `f(x) − μ·Σ ln c_i(x) − μ·Σ ln(x−lo) − μ·Σ ln(hi−x)` for a decreasing
@@ -121,13 +121,8 @@ impl InteriorPoint {
             for _ in 0..self.inner_iterations {
                 total_iters += 1;
                 // Newton-like direction d = −B⁻¹ g.
-                let d = match LuFactor::new(&b).and_then(|lu| lu.solve(&g)) {
-                    Ok(mut d) => {
-                        for di in &mut d {
-                            *di = -*di;
-                        }
-                        d
-                    }
+                let d = match solve_dense_chain(&b, &g) {
+                    Ok(s) => vector::scaled(-1.0, &s.x),
                     Err(_) => vector::scaled(-1.0, &g),
                 };
                 let slope = vector::dot(&g, &d);

@@ -141,6 +141,15 @@ pub enum OptimError {
     DimensionMismatch(usize, usize),
     /// An internal subproblem failed irrecoverably.
     Subproblem(String),
+    /// The model produced NaN/inf where a finite value was required; holds
+    /// what was being evaluated and the outer iteration at which it
+    /// happened (0 = the starting point).
+    NonFinite {
+        /// What evaluated to NaN/inf ("objective", "constraints", …).
+        what: &'static str,
+        /// Outer iteration at which the non-finite value appeared.
+        iteration: usize,
+    },
 }
 
 impl core::fmt::Display for OptimError {
@@ -151,8 +160,26 @@ impl core::fmt::Display for OptimError {
                 write!(f, "dimension mismatch: expected {e}, got {a}")
             }
             Self::Subproblem(what) => write!(f, "subproblem failure: {what}"),
+            Self::NonFinite { what, iteration } => {
+                write!(f, "non-finite {what} at iteration {iteration}")
+            }
         }
     }
 }
 
 impl std::error::Error for OptimError {}
+
+/// Builds an [`OptimError::NonFinite`], counting the rejection and emitting
+/// a WARN event so garbage model output is visible in telemetry.
+pub(crate) fn non_finite_error(what: &'static str, iteration: usize) -> OptimError {
+    oftec_telemetry::counter_add("optim.non_finite", 1);
+    oftec_telemetry::event(
+        oftec_telemetry::Severity::Warn,
+        "optim.non_finite",
+        &[
+            ("what", oftec_telemetry::Field::Str(what)),
+            ("iteration", oftec_telemetry::Field::U64(iteration as u64)),
+        ],
+    );
+    OptimError::NonFinite { what, iteration }
+}

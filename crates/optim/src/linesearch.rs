@@ -8,6 +8,9 @@
 /// or stalled iterate).
 ///
 /// `merit` must already incorporate any penalty for evaluation failures.
+/// A trial merit of NaN/inf is explicitly rejected (never accepted as a
+/// step), so a model that suddenly produces garbage makes the search back
+/// away exactly like a penalty wall.
 ///
 /// # Panics
 ///
@@ -34,12 +37,17 @@ where
         }
         let m = merit(&trial);
         evals += 1;
-        // Armijo with a floor: for strongly nonlinear merits the
-        // directional derivative may be unreliable, so also accept plain
-        // decrease on the last few trials.
-        let target = merit_x + c1 * alpha * directional_derivative.min(0.0);
-        if m <= target || (alpha < 1e-3 && m < merit_x) {
-            return (alpha, m, evals);
+        // A non-finite trial merit can never be accepted: NaN fails every
+        // comparison below, but the explicit guard documents the contract
+        // and keeps it robust to rewrites of the accept conditions.
+        if m.is_finite() {
+            // Armijo with a floor: for strongly nonlinear merits the
+            // directional derivative may be unreliable, so also accept
+            // plain decrease on the last few trials.
+            let target = merit_x + c1 * alpha * directional_derivative.min(0.0);
+            if m <= target || (alpha < 1e-3 && m < merit_x) {
+                return (alpha, m, evals);
+            }
         }
         alpha *= 0.5;
     }
@@ -74,6 +82,24 @@ mod tests {
         let (a, m, _) = backtrack(f, &[1.0], 1.0, &[1.0], 2.0, 1e-4, 30);
         assert_eq!(a, 0.0);
         assert_eq!(m, 1.0);
+    }
+
+    #[test]
+    fn nan_merit_wall_rejected() {
+        // Merit turns NaN past 0.5 (a runaway model): the search must back
+        // off to the finite side rather than accept a NaN step.
+        let f = |x: &[f64]| if x[0] > 0.5 { f64::NAN } else { -x[0] };
+        let (a, m, _) = backtrack(f, &[0.0], 0.0, &[1.0], -1.0, 1e-4, 50);
+        assert!(a > 0.0 && a <= 0.5);
+        assert!(m.is_finite() && m <= 0.0);
+    }
+
+    #[test]
+    fn all_nan_merit_gives_zero_step() {
+        let f = |_: &[f64]| f64::NAN;
+        let (a, m, _) = backtrack(f, &[0.0], 0.0, &[1.0], -1.0, 1e-4, 50);
+        assert_eq!(a, 0.0);
+        assert_eq!(m, 0.0); // the caller's merit_x, untouched
     }
 
     #[test]

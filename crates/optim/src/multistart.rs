@@ -89,9 +89,15 @@ where
             Err(e) => last_err = Some(e),
         }
     }
-    match best {
-        Some((_, result)) => Ok(result),
-        None => Err(last_err.expect("no results and no errors is impossible")),
+    match (best, last_err) {
+        (Some((_, result)), _) => Ok(result),
+        (None, Some(e)) => Err(e),
+        // Unreachable in practice (`starts` is non-empty, so every start
+        // produced either a result or an error), but degrade typed rather
+        // than panic if the invariant is ever broken.
+        (None, None) => Err(OptimError::Subproblem(
+            "multistart produced neither results nor errors".into(),
+        )),
     }
 }
 

@@ -115,7 +115,7 @@ impl NelderMead {
         let mut converged = false;
         for iter in 1..=opts.max_iterations * 4 {
             iterations = iter;
-            simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
             let best = simplex[0].1;
             let worst = simplex[n].1;
             // Convergence: simplex small in value and in space.
@@ -201,7 +201,7 @@ impl NelderMead {
             }
         }
 
-        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
         let x = simplex.remove(0).0;
         let objective = problem.objective_or_penalty(&x);
         evals += 1;

@@ -6,7 +6,7 @@
 //! Wright, Algorithm 16.3: equality-constrained KKT solves on a working
 //! set, step blocking, and multiplier-driven constraint release.
 
-use oftec_linalg::{vector, LuFactor, Matrix};
+use oftec_linalg::{solve_dense_chain, vector, Matrix};
 
 /// Errors from [`solve_qp`].
 #[derive(Debug, Clone, PartialEq)]
@@ -20,6 +20,8 @@ pub enum QpError {
     Singular,
     /// The iteration cap was exceeded (degenerate cycling).
     IterationCap,
+    /// `H`, `g`, or a constraint row contains NaN/inf.
+    NonFinite,
 }
 
 impl core::fmt::Display for QpError {
@@ -29,6 +31,7 @@ impl core::fmt::Display for QpError {
             Self::Dimension(what) => write!(f, "QP dimension mismatch: {what}"),
             Self::Singular => write!(f, "QP KKT system is singular"),
             Self::IterationCap => write!(f, "QP iteration cap exceeded"),
+            Self::NonFinite => write!(f, "QP data contains NaN/inf"),
         }
     }
 }
@@ -71,10 +74,16 @@ pub fn solve_qp(
             d0.len()
         )));
     }
-    for (i, (a, _)) in rows.iter().enumerate() {
+    for (i, (a, b)) in rows.iter().enumerate() {
         if a.len() != n {
             return Err(QpError::Dimension(format!("row {i} has wrong length")));
         }
+        if !b.is_finite() || !a.iter().all(|v| v.is_finite()) {
+            return Err(QpError::NonFinite);
+        }
+    }
+    if !g.iter().all(|v| v.is_finite()) || !h.as_slice().iter().all(|v| v.is_finite()) {
+        return Err(QpError::NonFinite);
     }
     let m = rows.len();
     let residual = |d: &[f64], i: usize| vector::dot(&rows[i].0, d) - rows[i].1;
@@ -115,9 +124,12 @@ pub fn solve_qp(
             rhs[n + wi] = -residual(&d, ci);
         }
 
-        let solved = LuFactor::new(&kkt).and_then(|lu| lu.solve(&rhs));
+        // The KKT block matrix is assembled non-symmetrically, so the
+        // degradation chain skips its Cholesky rung and runs LU →
+        // preconditioned iterative, residual-verifying each candidate.
+        let solved = solve_dense_chain(&kkt, &rhs);
         let sol = match solved {
-            Ok(sol) => sol,
+            Ok(sol) => sol.x,
             Err(_) => {
                 // Dependent active rows: drop the most recently added and
                 // retry next iteration.

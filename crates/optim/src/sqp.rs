@@ -3,8 +3,8 @@
 
 use crate::problem::PENALTY_OBJECTIVE;
 use crate::{
-    backtrack, central_gradient, damped_bfgs_update, solve_qp, IterSample, NlpProblem, OptimError,
-    QpError, SolveOptions, SolveResult,
+    backtrack, central_gradient, damped_bfgs_update, non_finite_error, solve_qp, IterSample,
+    NlpProblem, OptimError, QpError, SolveOptions, SolveResult,
 };
 use oftec_linalg::{vector, Matrix};
 use oftec_telemetry as telemetry;
@@ -50,6 +50,9 @@ impl ActiveSetSqp {
     /// - [`OptimError::BadStart`] if the objective cannot be evaluated at
     ///   (the box projection of) `x0`.
     /// - [`OptimError::Subproblem`] if the QP solver fails irrecoverably.
+    /// - [`OptimError::NonFinite`] if the objective, a constraint, or a
+    ///   finite-difference gradient evaluates to NaN/inf — the solver
+    ///   refuses to iterate on garbage.
     pub fn solve<P: NlpProblem>(
         &self,
         problem: &P,
@@ -90,6 +93,9 @@ impl ActiveSetSqp {
         problem.project(&mut x);
         let mut f = problem.objective_or_penalty(&x);
         evals += 1;
+        if !f.is_finite() {
+            return Err(non_finite_error("objective", 0));
+        }
         if f >= PENALTY_OBJECTIVE {
             return Err(OptimError::BadStart(
                 "objective cannot be evaluated at the starting point".into(),
@@ -97,6 +103,9 @@ impl ActiveSetSqp {
         }
         let mut c = problem.constraints_or_penalty(&x);
         evals += 1;
+        if !c.iter().all(|ci| ci.is_finite()) {
+            return Err(non_finite_error("constraints", 0));
+        }
 
         let collecting = telemetry::collecting();
         let _span = telemetry::span("sqp.solve");
@@ -161,6 +170,12 @@ impl ActiveSetSqp {
                     jac[(j, col)] = v;
                 }
             }
+            if !grad_f.iter().all(|g| g.is_finite()) {
+                return Err(non_finite_error("objective gradient", iter));
+            }
+            if !jac.as_slice().iter().all(|g| g.is_finite()) {
+                return Err(non_finite_error("constraint jacobian", iter));
+            }
 
             // Deferred BFGS update with the previous step.
             if let (Some((g_prev, jac_prev)), Some(s)) = (&prev_grad, &prev_step) {
@@ -220,8 +235,8 @@ impl ActiveSetSqp {
                 let worst = c
                     .iter()
                     .enumerate()
-                    .filter(|(_, &ci)| ci < -1e-8)
-                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .filter(|(_, &ci)| ci.is_finite() && ci < -1e-8)
+                    .min_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(j, _)| j);
                 match worst {
                     None => {
@@ -243,6 +258,12 @@ impl ActiveSetSqp {
                         f = problem.objective_or_penalty(&x);
                         c = problem.constraints_or_penalty(&x);
                         evals += 2;
+                        if !f.is_finite() {
+                            return Err(non_finite_error("objective", iter));
+                        }
+                        if !c.iter().all(|ci| ci.is_finite()) {
+                            return Err(non_finite_error("constraints", iter));
+                        }
                         prev_grad = None;
                         prev_step = None;
                         if collecting {
@@ -309,6 +330,12 @@ impl ActiveSetSqp {
             f = problem.objective_or_penalty(&x);
             c = problem.constraints_or_penalty(&x);
             evals += 2;
+            if !f.is_finite() {
+                return Err(non_finite_error("objective", iter));
+            }
+            if !c.iter().all(|ci| ci.is_finite()) {
+                return Err(non_finite_error("constraints", iter));
+            }
 
             if collecting {
                 let violation = max_violation(&c);
@@ -513,6 +540,83 @@ mod tests {
             .solve(&p, &[0.5], &opts())
             .unwrap_err();
         assert!(matches!(err, OptimError::BadStart(_)));
+    }
+
+    #[test]
+    fn nan_objective_rejected_not_panicking() {
+        // Regression: a NaN-producing model used to flow NaN into the
+        // line-search merit comparisons (and the restoration-step
+        // `partial_cmp().unwrap()`); it must surface as NonFinite instead.
+        let p = FnProblem::new(
+            vec![0.0],
+            vec![1.0],
+            |_| Some(f64::NAN),
+            0,
+            |_| Some(Vec::new()),
+        );
+        let err = ActiveSetSqp::default()
+            .solve(&p, &[0.5], &opts())
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                OptimError::NonFinite {
+                    what: "objective",
+                    iteration: 0
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn nan_mid_run_rejected_with_iteration() {
+        // Objective turns to NaN once the iterate moves left of 0.5: the
+        // failure must carry the iteration at which NaN appeared.
+        let p = FnProblem::new(
+            vec![0.0],
+            vec![1.0],
+            |x| {
+                if x[0] < 0.5 {
+                    Some(f64::NAN)
+                } else {
+                    Some((x[0] - 0.1).powi(2))
+                }
+            },
+            0,
+            |_| Some(Vec::new()),
+        );
+        let err = ActiveSetSqp::default()
+            .solve(&p, &[0.9], &opts())
+            .unwrap_err();
+        match err {
+            OptimError::NonFinite { iteration, .. } => assert!(iteration >= 1, "{iteration}"),
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_constraint_rejected() {
+        let p = FnProblem::new(
+            vec![0.0],
+            vec![1.0],
+            |x| Some(x[0]),
+            1,
+            |_| Some(vec![f64::NAN]),
+        );
+        let err = ActiveSetSqp::default()
+            .solve(&p, &[0.5], &opts())
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                OptimError::NonFinite {
+                    what: "constraints",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::problem::PENALTY_OBJECTIVE;
 use crate::{
     central_gradient, damped_bfgs_update, NlpProblem, OptimError, SolveOptions, SolveResult,
 };
-use oftec_linalg::{vector, LuFactor, Matrix};
+use oftec_linalg::{solve_dense_chain, vector, Matrix};
 
 /// Trust-region solver on the quadratic-penalty function
 /// `F_ρ(x) = f(x) + ρ·Σ max(0, −c_i(x))²`, with a dogleg step inside a
@@ -112,9 +112,12 @@ impl TrustRegion {
                 };
                 vector::scaled(-tau, &g)
             };
-            let p_b = LuFactor::new(&b)
-                .and_then(|lu| lu.solve(&g))
-                .map(|d| vector::scaled(-1.0, &d))
+            // The damped-BFGS matrix is SPD, so the degradation chain's
+            // Cholesky rung normally wins; LU/iterative cover rounding
+            // pathologies, and the steepest-descent point is the last
+            // resort.
+            let p_b = solve_dense_chain(&b, &g)
+                .map(|s| vector::scaled(-1.0, &s.x))
                 .unwrap_or_else(|_| p_u.clone());
 
             let step = dogleg(&p_u, &p_b, radius);

@@ -14,10 +14,15 @@
 //! downstream reduction — is identical to the serial order regardless of
 //! thread count or scheduling.
 //!
-//! A panic on any worker is re-raised on the caller via
-//! [`std::panic::resume_unwind`] once all threads have joined, matching
-//! the behavior of a serial loop that panics mid-way (no result is
-//! returned, nothing is swallowed).
+//! # Fault tolerance
+//!
+//! The fallible entry points [`par_try_map_indexed`] /
+//! [`par_try_map_range`] catch a panicking work item and convert it into a
+//! per-item [`ItemPanic`] error (index and payload message preserved)
+//! while the rest of the batch **runs to completion** — the caller decides
+//! whether one poisoned operating point sinks the whole sweep. The
+//! infallible `par_map_*` wrappers keep the serial-loop contract: they run
+//! the same completing batch, then re-raise the first panic by item index.
 //!
 //! # Telemetry hand-off
 //!
@@ -28,6 +33,8 @@
 //! traces therefore merge in serial execution order, making registry
 //! snapshots identical at any `OFTEC_THREADS` setting. When telemetry is
 //! off, the capture wrapper is a single relaxed atomic load per item.
+//! A panicked item's partial telemetry is discarded on every path, so
+//! registry contents stay thread-count-independent under faults too.
 //!
 //! # Thread count
 //!
@@ -37,13 +44,42 @@
 //! oversubscribed for scaling studies without recompiling.
 
 use std::num::NonZeroUsize;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Per-worker harvest: indexed results with their captured telemetry, or
-/// the payload of a panic caught on that worker.
-type WorkerHarvest<R> =
-    Result<Vec<(usize, R, oftec_telemetry::LocalBuffer)>, Box<dyn std::any::Any + Send>>;
+/// A work item that panicked: its index in the batch and the panic
+/// payload's message (for `String`/`&str` payloads; a placeholder for
+/// exotic `panic_any` payloads, which cannot cross the batch boundary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemPanic {
+    /// Index of the panicking item in the batch.
+    pub index: usize,
+    /// Panic payload message.
+    pub message: String,
+}
+
+impl core::fmt::Display for ItemPanic {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "work item {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for ItemPanic {}
+
+/// Extracts a human-readable message from a caught panic payload.
+pub fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
+
+/// One item's outcome on a worker: the result and its captured telemetry,
+/// or the panic message.
+type ItemOutcome<R> = Result<(R, oftec_telemetry::LocalBuffer), String>;
 
 /// The worker-pool size used by the `par_*` entry points: the
 /// `OFTEC_THREADS` environment variable if set to a positive integer,
@@ -67,8 +103,8 @@ pub fn thread_count() -> usize {
 ///
 /// # Panics
 ///
-/// Re-raises the payload of the first observed worker panic after all
-/// workers have joined.
+/// Re-raises the first panicking item's message (by item index) after the
+/// whole batch has completed and all workers have joined.
 pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -87,9 +123,50 @@ where
 ///
 /// # Panics
 ///
-/// Re-raises the payload of the first observed worker panic after all
-/// workers have joined.
+/// Same contract as [`par_map_indexed`].
 pub fn par_map_indexed_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let results = par_try_map_indexed_with(threads, items, f);
+    let mut out = Vec::with_capacity(results.len());
+    let mut first_panic: Option<ItemPanic> = None;
+    for r in results {
+        match r {
+            Ok(v) => out.push(v),
+            Err(p) => first_panic = first_panic.or(Some(p)),
+        }
+    }
+    if let Some(p) = first_panic {
+        // Re-raise with the original message as a `String` payload — the
+        // closest reproduction of the serial loop's panic the batch
+        // boundary allows.
+        panic!("{}", p.message);
+    }
+    out
+}
+
+/// Fault-tolerant [`par_map_indexed`]: maps `f` over `items` and returns
+/// one `Result` per item, converting a panicking item into an
+/// [`ItemPanic`] instead of aborting the batch. Every non-panicking item
+/// still completes, at any thread count, and results stay in item order.
+pub fn par_try_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<Result<R, ItemPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_try_map_indexed_with(thread_count(), items, f)
+}
+
+/// [`par_try_map_indexed`] with an explicit thread count.
+pub fn par_try_map_indexed_with<T, R, F>(
+    threads: usize,
+    items: &[T],
+    f: F,
+) -> Vec<Result<R, ItemPanic>>
 where
     T: Sync,
     R: Send,
@@ -100,65 +177,77 @@ where
         return Vec::new();
     }
     let workers = threads.clamp(1, n);
+
+    let run_item = |i: usize| -> ItemOutcome<R> {
+        catch_unwind(AssertUnwindSafe(|| {
+            oftec_telemetry::capture(|| f(i, &items[i]))
+        }))
+        .map_err(payload_message)
+    };
+
+    let mut outcomes: Vec<Option<ItemOutcome<R>>> = (0..n).map(|_| None).collect();
     if workers == 1 {
-        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let f = &f;
-    let next = &next;
-
-    let mut collected: Vec<WorkerHarvest<R>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
+        for (i, slot) in outcomes.iter_mut().enumerate() {
+            *slot = Some(run_item(i));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let next = &next;
+        let run_item = &run_item;
+        let collected: Vec<Vec<(usize, ItemOutcome<R>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            // A panicking item is recorded and the worker
+                            // keeps claiming: the batch always completes.
+                            local.push((i, run_item(i)));
                         }
-                        // Stop claiming work after a panic so the
-                        // caller sees it promptly; items already
-                        // claimed by other workers still finish.
-                        let (r, tele) = catch_unwind(AssertUnwindSafe(|| {
-                            oftec_telemetry::capture(|| f(i, &items[i]))
-                        }))?;
-                        local.push((i, r, tele));
-                    }
-                    Ok(local)
+                        local
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or_else(Err))
-            .collect()
-    });
-
-    // Re-raise the first worker panic (by worker index, deterministic).
-    if let Some(pos) = collected.iter().position(Result::is_err) {
-        if let Err(payload) = collected.swap_remove(pos) {
-            resume_unwind(payload);
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(local) => local,
+                    // Only reachable if the scope machinery itself dies;
+                    // work-item panics are caught inside `run_item`.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        for local in collected {
+            for (i, outcome) in local {
+                outcomes[i] = Some(outcome);
+            }
         }
     }
 
-    // Scatter into index order: bit-identical to the serial map.
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let mut telemetry: Vec<Option<oftec_telemetry::LocalBuffer>> = (0..n).map(|_| None).collect();
-    for local in collected {
-        for (i, r, tele) in local.expect("errors handled above") {
-            out[i] = Some(r);
-            telemetry[i] = Some(tele);
-        }
-    }
-    // Absorb per-item telemetry in index order — the serial recording
-    // order — so registry merges are scheduling-independent.
-    for tele in telemetry.into_iter().flatten() {
-        oftec_telemetry::absorb(tele);
-    }
-    out.into_iter()
-        .map(|slot| slot.expect("every index is claimed exactly once"))
+    // Scatter by index and absorb successful items' telemetry in index
+    // order — the serial recording order — so registry merges are
+    // scheduling-independent.
+    outcomes
+        .into_iter()
+        .enumerate()
+        .map(|(index, slot)| {
+            let outcome = match slot {
+                Some(outcome) => outcome,
+                None => unreachable!("every index is claimed exactly once"),
+            };
+            match outcome {
+                Ok((r, tele)) => {
+                    oftec_telemetry::absorb(tele);
+                    Ok(r)
+                }
+                Err(message) => Err(ItemPanic { index, message }),
+            }
+        })
         .collect()
 }
 
@@ -190,10 +279,49 @@ where
     par_map_indexed_with(threads, &indices, |_, &i| f(i))
 }
 
+/// Fault-tolerant [`par_map_range`]: per-item [`ItemPanic`] errors instead
+/// of an aborting batch.
+pub fn par_try_map_range<R, F>(n: usize, f: F) -> Vec<Result<R, ItemPanic>>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    par_try_map_range_with(thread_count(), n, f)
+}
+
+/// [`par_try_map_range`] with an explicit thread count.
+pub fn par_try_map_range_with<R, F>(threads: usize, n: usize, f: F) -> Vec<Result<R, ItemPanic>>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    par_try_map_indexed_with(threads, &indices, |_, &i| f(i))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicBool;
+    use std::sync::Once;
+
+    /// Silences the default panic hook's stderr spew for tests that
+    /// intentionally panic inside work items.
+    fn quiet_panics() {
+        static HOOK: Once = Once::new();
+        HOOK.call_once(|| {
+            let default = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                // Scope-spawned workers are unnamed; their panics are the
+                // expected test fixtures. Named (test-harness) threads keep
+                // the default report so real failures stay diagnosable.
+                if std::thread::current().name().is_none() {
+                    return;
+                }
+                default(info);
+            }));
+        });
+    }
 
     #[test]
     fn empty_input_yields_empty_output() {
@@ -226,6 +354,7 @@ mod tests {
 
     #[test]
     fn worker_panic_propagates_to_caller() {
+        quiet_panics();
         let hit = AtomicBool::new(false);
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             par_map_range_with(4, 64, |i| {
@@ -240,6 +369,63 @@ mod tests {
         let payload = result.unwrap_err();
         let msg = payload.downcast_ref::<String>().expect("string payload");
         assert!(msg.contains("boom at 13"), "unexpected payload {msg}");
+    }
+
+    #[test]
+    fn first_panic_by_index_wins_the_reraise() {
+        quiet_panics();
+        // Two panicking items: the infallible wrapper must deterministically
+        // re-raise the lower index at every thread count.
+        for threads in [1, 2, 8] {
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                par_map_range_with(threads, 64, |i| {
+                    if i == 13 || i == 40 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                })
+            }));
+            let payload = result.unwrap_err();
+            let msg = payload.downcast_ref::<String>().expect("string payload");
+            assert!(msg.contains("boom at 13"), "at {threads} threads: {msg}");
+        }
+    }
+
+    #[test]
+    fn try_map_completes_batch_around_panics() {
+        quiet_panics();
+        for threads in [1, 2, 3, 8] {
+            let results = par_try_map_range_with(threads, 64, |i| {
+                if i % 10 == 3 {
+                    panic!("boom at {i}");
+                }
+                i * 2
+            });
+            assert_eq!(results.len(), 64);
+            for (i, r) in results.iter().enumerate() {
+                if i % 10 == 3 {
+                    let p = r.as_ref().unwrap_err();
+                    assert_eq!(p.index, i);
+                    assert!(p.message.contains(&format!("boom at {i}")), "{p}");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 2, "item {i} at {threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn item_panic_display_and_str_payload() {
+        quiet_panics();
+        let results = par_try_map_range_with(1, 2, |i| {
+            if i == 1 {
+                std::panic::panic_any("static str payload");
+            }
+            i
+        });
+        let p = results[1].as_ref().unwrap_err();
+        assert_eq!(p.message, "static str payload");
+        assert!(p.to_string().contains("work item 1 panicked"));
     }
 
     #[test]
@@ -270,6 +456,33 @@ mod tests {
         assert_eq!(serial.gauges["par.last_index"], 22.0);
         assert_eq!(serial.spans.len(), 23);
         for threads in [2, 5, 8] {
+            assert_eq!(run(threads), serial, "mismatch at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn panicked_items_leave_no_telemetry_at_any_thread_count() {
+        use oftec_telemetry as telemetry;
+        quiet_panics();
+        telemetry::set_collecting(true);
+        let run = |threads: usize| {
+            let (_, buf) = telemetry::capture(|| {
+                par_try_map_range_with(threads, 16, |i| {
+                    telemetry::counter_add("try.items", 1);
+                    if i % 4 == 2 {
+                        panic!("boom");
+                    }
+                    i
+                })
+            });
+            let mut snap = telemetry::Snapshot::from_buffer(buf);
+            snap.redact_times();
+            snap
+        };
+        let serial = run(1);
+        // 16 items, 4 panic after counting: their buffers are discarded.
+        assert_eq!(serial.counter("try.items"), 12);
+        for threads in [2, 8] {
             assert_eq!(run(threads), serial, "mismatch at {threads} threads");
         }
     }

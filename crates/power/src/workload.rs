@@ -396,7 +396,7 @@ impl Benchmark {
     /// Panics if the floorplan lacks a profiled unit or `samples == 0`.
     pub fn synthesize_trace(self, fp: &Floorplan, samples: usize) -> PowerTrace {
         self.try_synthesize_trace(fp, samples)
-            .expect("floorplan must contain every profiled unit")
+            .unwrap_or_else(|e| panic!("floorplan must contain every profiled unit: {e}"))
     }
 
     /// The per-unit **maximum** dynamic power vector OFTEC consumes (the

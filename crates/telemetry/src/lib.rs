@@ -273,12 +273,11 @@ pub fn capture<R>(f: impl FnOnce() -> R) -> (R, LocalBuffer) {
         saved: Some(STATE.with(|s| std::mem::take(&mut *s.borrow_mut()))),
     };
     let result = f();
-    let captured = STATE.with(|s| {
-        std::mem::replace(
-            &mut *s.borrow_mut(),
-            restore.saved.take().expect("restore state present"),
-        )
-    });
+    let saved = match restore.saved.take() {
+        Some(saved) => saved,
+        None => unreachable!("restore state consumed exactly once"),
+    };
+    let captured = STATE.with(|s| std::mem::replace(&mut *s.borrow_mut(), saved));
     (result, captured.buf)
 }
 
@@ -308,14 +307,16 @@ pub fn flush() {
     }
     global()
         .lock()
-        .expect("telemetry registry poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .merge(buf);
 }
 
 /// Flushes this thread and returns a copy of the global registry.
 pub fn snapshot() -> Snapshot {
     flush();
-    let guard = global().lock().expect("telemetry registry poisoned");
+    let guard = global()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     Snapshot::from_buffer(guard.clone())
 }
 
@@ -323,7 +324,9 @@ pub fn snapshot() -> Snapshot {
 /// process-lifetime tools). Open spans on other threads are unaffected.
 pub fn reset() {
     STATE.with(|s| s.borrow_mut().buf = LocalBuffer::default());
-    *global().lock().expect("telemetry registry poisoned") = LocalBuffer::default();
+    *global()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = LocalBuffer::default();
 }
 
 /// A per-instance counter that mirrors its increments into the registry.

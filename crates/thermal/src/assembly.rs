@@ -337,15 +337,27 @@ pub(crate) fn build_network(
     for l in &layers {
         lateral_edges(l, &mut edges);
     }
-    let find = |role: LayerRole| layers.iter().find(|l| l.spec.role == role);
-    let by_name = |name: &str| layers.iter().find(|l| l.spec.name == name).unwrap();
+    // The stack is built a few lines above from a fixed recipe, so every
+    // lookup below is an internal invariant, not an input error.
+    let find = |role: LayerRole| {
+        layers
+            .iter()
+            .find(|l| l.spec.role == role)
+            .unwrap_or_else(|| panic!("layer stack recipe is missing its {role:?} layer"))
+    };
+    let by_name = |name: &str| {
+        layers
+            .iter()
+            .find(|l| l.spec.name == name)
+            .unwrap_or_else(|| panic!("layer stack recipe is missing the {name:?} layer"))
+    };
 
-    let pcb = find(LayerRole::Pcb).unwrap();
-    let chip = find(LayerRole::Chip).unwrap();
+    let pcb = find(LayerRole::Pcb);
+    let chip = find(LayerRole::Chip);
     let tim1 = by_name("tim1");
     let spreader = by_name("spreader");
     let tim2 = by_name("tim2");
-    let sink = find(LayerRole::Sink).unwrap();
+    let sink = find(LayerRole::Sink);
 
     vertical_edges_default(pcb, chip, Some(cfg.chip_pcb_interface), &mut edges);
     vertical_edges_default(chip, tim1, None, &mut edges);
@@ -357,9 +369,9 @@ pub(crate) fn build_network(
                 cfg.die_dims,
                 "TEC deployment grid must match the die grid"
             );
-            let abs = find(LayerRole::TecAbsorb).unwrap();
-            let gen = find(LayerRole::TecGenerate).unwrap();
-            let rej = find(LayerRole::TecReject).unwrap();
+            let abs = find(LayerRole::TecAbsorb);
+            let gen = find(LayerRole::TecGenerate);
+            let rej = find(LayerRole::TecReject);
             // TIM1 top half into the absorption plane.
             vertical_edges_default(tim1, abs, None, &mut edges);
             // The film itself: covered cells get the pellet conduction

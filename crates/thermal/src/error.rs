@@ -18,6 +18,9 @@ pub enum ThermalError {
     Config(String),
     /// The linear solver failed for a reason other than indefiniteness.
     Solver(LinalgError),
+    /// An input or intermediate value was NaN/inf where a finite value is
+    /// required (conductances, powers, warm-start states, ...).
+    NonFinite(String),
 }
 
 impl core::fmt::Display for ThermalError {
@@ -27,6 +30,7 @@ impl core::fmt::Display for ThermalError {
             Self::InvalidOperatingPoint(what) => write!(f, "invalid operating point: {what}"),
             Self::Config(what) => write!(f, "model configuration error: {what}"),
             Self::Solver(e) => write!(f, "thermal solver failure: {e}"),
+            Self::NonFinite(what) => write!(f, "non-finite value in {what}"),
         }
     }
 }
@@ -51,6 +55,7 @@ impl From<LinalgError> for ThermalError {
                 ThermalError::Runaway("negative curvature in the folded network matrix")
             }
             LinalgError::Singular(_) => ThermalError::Runaway("thermal network matrix is singular"),
+            LinalgError::NonFinite(what) => ThermalError::NonFinite(what.to_string()),
             other => ThermalError::Solver(other),
         }
     }

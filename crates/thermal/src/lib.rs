@@ -57,6 +57,7 @@ mod nonlinear;
 mod skeleton;
 mod solution;
 mod stack;
+mod traits;
 mod transient;
 
 pub use config::{CoolingConfig, PackageConfig};
@@ -67,4 +68,5 @@ pub use model::{HybridCoolingModel, OperatingPoint};
 pub use nonlinear::NonlinearOptions;
 pub use solution::{PowerBreakdown, ThermalSolution};
 pub use stack::{LayerRole, LayerSpec};
+pub use traits::CoolingModel;
 pub use transient::{TransientOptions, TransientTrace};

@@ -143,7 +143,7 @@ impl HybridCoolingModel {
         let gridmap = GridMap::new(floorplan, config.die_dims);
         let chip = network
             .layer_by_role(LayerRole::Chip)
-            .expect("network always has a chip layer");
+            .ok_or_else(|| ThermalError::Config("network has no chip layer".into()))?;
         let chip_start = chip.start;
         let chip_cells = chip.cells();
 
@@ -197,9 +197,14 @@ impl HybridCoolingModel {
 
         // TEC folding arrays.
         let tec = if let CoolingConfig::HybridTec(dep) = &cooling {
-            let abs = network.layer_by_role(LayerRole::TecAbsorb).unwrap();
-            let gen = network.layer_by_role(LayerRole::TecGenerate).unwrap();
-            let rej = network.layer_by_role(LayerRole::TecReject).unwrap();
+            let tec_layer = |role: LayerRole| {
+                network.layer_by_role(role).ok_or_else(|| {
+                    ThermalError::Config(format!("TEC network is missing its {role:?} layer"))
+                })
+            };
+            let abs = tec_layer(LayerRole::TecAbsorb)?;
+            let gen = tec_layer(LayerRole::TecGenerate)?;
+            let rej = tec_layer(LayerRole::TecReject)?;
             let params: &TecDeviceParams = dep.params();
             let scale = dep.devices_per_cell();
             let alpha_cell = dep
@@ -276,14 +281,16 @@ impl HybridCoolingModel {
             TecDeviceParams::superlattice_thin_film(),
             &["Icache", "Dcache"],
         );
-        Self::new(
+        match Self::new(
             floorplan,
             config,
             CoolingConfig::HybridTec(dep),
             dynamic_power,
             leakage,
-        )
-        .expect("consistent inputs")
+        ) {
+            Ok(model) => model,
+            Err(e) => panic!("consistent inputs: {e}"),
+        }
     }
 
     /// Convenience: the paper's fan-only baseline (fairness-boosted TIM1).
@@ -298,7 +305,7 @@ impl HybridCoolingModel {
         dynamic_power: Vec<f64>,
         leakage: &LeakageModel,
     ) -> Self {
-        Self::new(
+        match Self::new(
             floorplan,
             config,
             CoolingConfig::FanOnly {
@@ -306,8 +313,10 @@ impl HybridCoolingModel {
             },
             dynamic_power,
             leakage,
-        )
-        .expect("consistent inputs")
+        ) {
+            Ok(model) => model,
+            Err(e) => panic!("consistent inputs: {e}"),
+        }
     }
 
     /// The package configuration.
@@ -559,6 +568,11 @@ impl HybridCoolingModel {
                     self.network.n_nodes
                 )));
             }
+            if !init.iter().all(|t| t.is_finite()) {
+                return Err(ThermalError::NonFinite(
+                    "warm-start temperature state".into(),
+                ));
+            }
         }
         self.solve_linearized(op, &self.cell_leak, initial)
     }
@@ -601,6 +615,12 @@ impl HybridCoolingModel {
     ) -> Result<ThermalSolution, ThermalError> {
         let fan_g = self.config.fan.conductance(op.fan_speed).w_per_k();
         let i_tec = op.tec_current.amperes();
+        if !fan_g.is_finite() || fan_g < 0.0 {
+            return Err(ThermalError::NonFinite(format!(
+                "fan conductance {fan_g} W/K at {:.1} RPM",
+                op.fan_speed.rpm()
+            )));
+        }
 
         let (mut matrix, mut rhs) = self.skeleton.assemble(fan_g);
 
@@ -667,8 +687,30 @@ impl HybridCoolingModel {
             atol: 1e-12,
             max_iter: 20 * n,
         };
-        let summary = solve_cg(matrix, rhs, warm_start, precond.as_ref(), &params)
-            .map_err(ThermalError::from)?;
+        let summary = match solve_cg(matrix, rhs, warm_start, precond.as_ref(), &params) {
+            Ok(summary) => summary,
+            Err(oftec_linalg::LinalgError::NotConverged { iterations, .. }) if use_ilu => {
+                // Degradation chain, second rung: a stalled ILU(0)-CG run
+                // (near-breakdown pivots can produce a weak factorization)
+                // is retried cold with the plain Jacobi preconditioner
+                // before giving up — same surfacing discipline as the
+                // preconditioner fallback above.
+                telemetry::counter_add("thermal.cg_retry", 1);
+                telemetry::event(
+                    telemetry::Severity::Warn,
+                    "thermal.cg_retry",
+                    &[
+                        ("from", telemetry::Field::Str("ilu0")),
+                        ("to", telemetry::Field::Str("jacobi")),
+                        ("iterations", telemetry::Field::U64(iterations as u64)),
+                    ],
+                );
+                let jacobi =
+                    JacobiPreconditioner::from_diagonal(diag).map_err(ThermalError::from)?;
+                solve_cg(matrix, rhs, None, &jacobi, &params).map_err(ThermalError::from)?
+            }
+            Err(e) => return Err(ThermalError::from(e)),
+        };
         let temps = summary.x;
 
         // Physical classification.

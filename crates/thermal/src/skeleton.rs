@@ -46,7 +46,7 @@ impl AssemblySkeleton {
         let diag_idx = (0..net.n_nodes)
             .map(|i| {
                 base.entry_index(i, i)
-                    .expect("assembly always stores the diagonal")
+                    .unwrap_or_else(|| panic!("assembly stored no diagonal entry for node {i}"))
             })
             .collect();
         let rhs_const = net.ambient_rhs(0.0, t_amb);

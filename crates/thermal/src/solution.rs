@@ -81,21 +81,34 @@ impl ThermalSolution {
     }
 
     /// The paper's 𝒯: the maximum chip-cell temperature (Eq. (19)).
+    ///
+    /// A NaN cell temperature propagates into the result instead of being
+    /// silently dropped (as `f64::max` would), so downstream non-finite
+    /// guards see poisoned solutions.
     pub fn max_chip_temperature(&self) -> Temperature {
         let max = self
             .chip_temperatures()
             .iter()
-            .fold(f64::NEG_INFINITY, |m, &t| m.max(t));
+            .fold(f64::NEG_INFINITY, |m, &t| {
+                if t.is_nan() {
+                    f64::NAN
+                } else {
+                    m.max(t)
+                }
+            });
         Temperature::from_kelvin(max)
     }
 
     /// Minimum chip-cell temperature (can sit below ambient when TECs pump
-    /// hard).
+    /// hard). NaN-propagating, like [`ThermalSolution::max_chip_temperature`].
     pub fn min_chip_temperature(&self) -> Temperature {
         let min = self
             .chip_temperatures()
             .iter()
-            .fold(f64::INFINITY, |m, &t| m.min(t));
+            .fold(
+                f64::INFINITY,
+                |m, &t| if t.is_nan() { f64::NAN } else { m.min(t) },
+            );
         Temperature::from_kelvin(min)
     }
 
@@ -126,6 +139,28 @@ impl ThermalSolution {
     /// `t_max`.
     pub fn meets_thermal_constraint(&self, t_max: Temperature) -> bool {
         self.max_chip_temperature() < t_max
+    }
+
+    /// Fault-injection support: a copy of this solution with every
+    /// temperature and power term replaced by NaN — what a numerically
+    /// corrupted solver would hand back. Used by robustness harnesses to
+    /// prove the guards at the model boundary catch poisoned output; not
+    /// part of the semantic API.
+    #[doc(hidden)]
+    pub fn poisoned_copy(&self) -> Self {
+        let nan_power = Power::from_watts(f64::NAN);
+        Self {
+            temps: vec![f64::NAN; self.temps.len()],
+            chip_start: self.chip_start,
+            chip_cells: self.chip_cells,
+            unit_max: vec![f64::NAN; self.unit_max.len()],
+            breakdown: PowerBreakdown {
+                leakage: nan_power,
+                tec: nan_power,
+                fan: nan_power,
+            },
+            solver_iterations: self.solver_iterations,
+        }
     }
 }
 

@@ -1,0 +1,134 @@
+//! The model-facing abstraction of the solve pipeline.
+//!
+//! [`CoolingModel`] captures the surface that Algorithm 1, the sweep
+//! grids, and the baselines actually use from
+//! [`HybridCoolingModel`](crate::HybridCoolingModel): operating-point
+//! validation, steady-state solves (cold and warm-started), and
+//! transient simulation. Abstracting it lets the fault-injection
+//! harness wrap a real model and perturb its answers (NaN returns,
+//! errors, panics) without the optimizer layers knowing the difference.
+
+use crate::config::PackageConfig;
+use crate::error::ThermalError;
+use crate::model::{HybridCoolingModel, OperatingPoint};
+use crate::solution::ThermalSolution;
+use crate::transient::{TransientOptions, TransientTrace};
+
+/// A thermal model the OFTEC pipeline can drive.
+///
+/// `Sync` is required because sweeps and the parallel executor share
+/// one model across scoped worker threads.
+pub trait CoolingModel: Sync {
+    /// Package parameters the model was built from.
+    fn config(&self) -> &PackageConfig;
+
+    /// Returns `true` if the model has active TECs (the `I_TEC`
+    /// dimension is meaningful).
+    fn has_tec(&self) -> bool;
+
+    /// Checks the operating point against the model's physical bounds
+    /// without running a solve.
+    fn validate_operating_point(&self, op: OperatingPoint) -> Result<(), ThermalError>;
+
+    /// Solves for the steady state at `op`.
+    fn solve(&self, op: OperatingPoint) -> Result<ThermalSolution, ThermalError>;
+
+    /// Solves for the steady state at `op`, warm-starting the iteration
+    /// from a previous node-temperature state when one is given.
+    fn solve_from(
+        &self,
+        op: OperatingPoint,
+        initial: Option<&[f64]>,
+    ) -> Result<ThermalSolution, ThermalError>;
+
+    /// Integrates the transient response at `op` from an initial
+    /// node-temperature state (ambient when `None`).
+    fn simulate_transient_from(
+        &self,
+        op: OperatingPoint,
+        initial: Option<&[f64]>,
+        steps: usize,
+        opts: &TransientOptions,
+    ) -> Result<TransientTrace, ThermalError>;
+}
+
+impl CoolingModel for HybridCoolingModel {
+    fn config(&self) -> &PackageConfig {
+        HybridCoolingModel::config(self)
+    }
+
+    fn has_tec(&self) -> bool {
+        HybridCoolingModel::has_tec(self)
+    }
+
+    fn validate_operating_point(&self, op: OperatingPoint) -> Result<(), ThermalError> {
+        HybridCoolingModel::validate_operating_point(self, op)
+    }
+
+    fn solve(&self, op: OperatingPoint) -> Result<ThermalSolution, ThermalError> {
+        HybridCoolingModel::solve(self, op)
+    }
+
+    fn solve_from(
+        &self,
+        op: OperatingPoint,
+        initial: Option<&[f64]>,
+    ) -> Result<ThermalSolution, ThermalError> {
+        HybridCoolingModel::solve_from(self, op, initial)
+    }
+
+    fn simulate_transient_from(
+        &self,
+        op: OperatingPoint,
+        initial: Option<&[f64]>,
+        steps: usize,
+        opts: &TransientOptions,
+    ) -> Result<TransientTrace, ThermalError> {
+        HybridCoolingModel::simulate_transient_from(self, op, initial, steps, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oftec_floorplan::alpha21264;
+    use oftec_power::{Benchmark, McpatBudget};
+    use oftec_units::{AngularVelocity, Current};
+
+    fn model() -> HybridCoolingModel {
+        let fp = alpha21264();
+        let config = PackageConfig::dac14();
+        let dynamic = Benchmark::Crc32.max_dynamic_power(&fp).unwrap();
+        let leakage = McpatBudget::alpha21264_22nm().distribute(&fp);
+        HybridCoolingModel::with_tec(&fp, &config, dynamic, &leakage)
+    }
+
+    fn op() -> OperatingPoint {
+        OperatingPoint::new(
+            AngularVelocity::from_rpm(3000.0),
+            Current::from_amperes(1.0),
+        )
+    }
+
+    #[test]
+    fn trait_delegates_to_inherent_methods() {
+        let m = model();
+        let dynamic: &dyn CoolingModel = &m;
+        assert!(dynamic.has_tec());
+        dynamic.validate_operating_point(op()).unwrap();
+        let via_trait = dynamic.solve(op()).unwrap();
+        let via_inherent = m.solve(op()).unwrap();
+        assert_eq!(
+            via_trait.max_chip_temperature().kelvin(),
+            via_inherent.max_chip_temperature().kelvin()
+        );
+        let warm = dynamic
+            .solve_from(op(), Some(via_trait.node_temperatures()))
+            .unwrap();
+        assert!(
+            (warm.max_chip_temperature().kelvin() - via_inherent.max_chip_temperature().kelvin())
+                .abs()
+                < 1e-6
+        );
+    }
+}

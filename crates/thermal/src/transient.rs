@@ -61,7 +61,10 @@ impl TransientTrace {
     ///
     /// Panics on an empty trace.
     pub fn last(&self) -> Temperature {
-        *self.max_chip.last().expect("non-empty trace")
+        match self.max_chip.last() {
+            Some(t) => *t,
+            None => panic!("transient trace recorded no samples"),
+        }
     }
 }
 

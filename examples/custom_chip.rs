@@ -71,7 +71,8 @@ fn main() {
     );
 
     match Oftec::default().run(&system) {
-        OftecOutcome::Optimized(sol) => {
+        Err(e) => println!("solver error: {e}"),
+        Ok(OftecOutcome::Optimized(sol)) => {
             println!(
                 "ω* = {:.0} RPM, I* = {:.2} A, 𝒫 = {:.2} W, T = {:.2} °C",
                 sol.operating_point.fan_speed.rpm(),
@@ -85,7 +86,7 @@ fn main() {
                 println!("  {unit:>8}: {:.2} °C", t.celsius());
             }
         }
-        OftecOutcome::Infeasible(report) => {
+        Ok(OftecOutcome::Infeasible(report)) => {
             println!(
                 "this workload cannot be cooled below {:.0} °C (best {:.2} °C) — \
                  throttle Core0 or raise the limit",

@@ -35,9 +35,13 @@ fn main() {
 
     // Optimize against the max-power envelope, as the paper does.
     let sol = match Oftec::default().run(&system) {
-        OftecOutcome::Optimized(sol) => sol,
-        OftecOutcome::Infeasible(_) => {
+        Ok(OftecOutcome::Optimized(sol)) => sol,
+        Ok(OftecOutcome::Infeasible(_)) => {
             println!("{benchmark} is not coolable");
+            return;
+        }
+        Err(e) => {
+            println!("solver error: {e}");
             return;
         }
     };

@@ -52,7 +52,8 @@ fn main() {
             &excluded_refs,
         );
         match Oftec::default().run(&system) {
-            OftecOutcome::Optimized(sol) => {
+            Err(e) => println!("{:>2}×{:<2} | solver error: {e}", n, n),
+            Ok(OftecOutcome::Optimized(sol)) => {
                 let core0 = system
                     .tec_model()
                     .unit_names()
@@ -72,7 +73,7 @@ fn main() {
                     sol.max_temperature.celsius(),
                 );
             }
-            OftecOutcome::Infeasible(report) => println!(
+            Ok(OftecOutcome::Infeasible(report)) => println!(
                 "{:>2}×{:<2} | infeasible (best {:.2} °C)",
                 n,
                 n,

@@ -21,7 +21,8 @@ fn main() {
     // Algorithm 1: find (ω*, I*_TEC) minimizing
     // 𝒫 = P_leakage + P_TEC + P_fan subject to every die cell < 90 °C.
     match Oftec::default().run(&system) {
-        OftecOutcome::Optimized(sol) => {
+        Err(e) => println!("solver error: {e}"),
+        Ok(OftecOutcome::Optimized(sol)) => {
             println!(
                 "ω* = {:.0} RPM, I* = {:.2} A  ({} ms)",
                 sol.operating_point.fan_speed.rpm(),
@@ -42,7 +43,7 @@ fn main() {
                 b.fan.watts()
             );
         }
-        OftecOutcome::Infeasible(report) => {
+        Ok(OftecOutcome::Infeasible(report)) => {
             println!(
                 "no cooling settings can meet T_max; best achievable {:.2} °C",
                 report.best_temperature.celsius()
