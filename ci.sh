@@ -5,10 +5,10 @@ set -eu
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
-# Solver-path crates must not unwrap/expect outside tests (--lib skips
-# test modules); a surprise in the solve pipeline must become a typed
-# error, not an abort.
-cargo clippy -p oftec -p oftec-optim -p oftec-thermal --lib -- \
+# Solver-path and serving crates must not unwrap/expect outside tests
+# (--lib skips test modules); a surprise in the solve pipeline or the
+# server must become a typed error, not an abort.
+cargo clippy -p oftec -p oftec-optim -p oftec-thermal -p oftec-linalg -p oftec-serve --lib -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 cargo fmt --all --check
 
@@ -23,7 +23,10 @@ OFTEC_THREADS=8 cargo test -q -p oftec --test fault_injection
 # (qsort at 1.05× power is infeasible at the start point, so Algorithm 1
 # runs Optimization 2 and then Optimization 1).
 snap=$(mktemp)
-trap 'rm -f "$snap"' EXIT
+portfile=$(mktemp)
+servesnap=$(mktemp)
+servebench=$(mktemp)
+trap 'rm -f "$snap" "$portfile" "$servesnap" "$servebench"' EXIT
 ./target/release/oftec-cli optimize qsort --scale 1.05 --telemetry-json "$snap" > /dev/null
 python3 - "$snap" <<'PY'
 import json, sys
@@ -36,4 +39,38 @@ for trace in ("sqp.opt1", "sqp.opt2"):
 print("telemetry smoke ok:",
       counters["thermal.solves"], "thermal solves,",
       counters["sqp.iterations"], "SQP iterations")
+PY
+
+# Serve smoke: boot the cooling-control service on an ephemeral loopback
+# port, drive it with the load generator's mixed traffic (valid, invalid,
+# and repeated requests), then check the server-side counters and that a
+# graceful drain exits 0.
+: > "$portfile"
+./target/release/oftec-cli serve --addr 127.0.0.1:0 --coarse \
+    --port-file "$portfile" --telemetry-json "$servesnap" 2> /dev/null &
+srv=$!
+tries=0
+while [ ! -s "$portfile" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || { echo "server never published its port"; kill "$srv"; exit 1; }
+    sleep 0.1
+done
+addr="127.0.0.1:$(cat "$portfile")"
+./target/release/oftec-loadgen --addr "$addr" --connections 32 --requests 20 \
+    --key-reuse 0.6 --mix mixed --seed 7 --out "$servebench" --shutdown > /dev/null
+wait "$srv"  # graceful drain: stop accepting, answer in-flight, exit 0
+python3 - "$servesnap" "$servebench" <<'PY'
+import json, sys
+counters = json.load(open(sys.argv[1]))["counters"]
+assert counters.get("serve.requests", 0) > 0, "no requests recorded"
+assert counters.get("serve.cache.hits", 0) > 0, "no cache hits under 60% key reuse"
+assert counters.get("serve.panics", 0) == 0, "server panicked under mixed load"
+assert counters.get("serve.responses_err", 0) > 0, "mixed traffic must produce typed errors"
+bench = json.load(open(sys.argv[2]))
+assert bench["requests"] > 0 and bench["ok"] > 0, "loadgen recorded no traffic"
+assert bench["latency"]["overall"]["p50_us"] > 0, "no latency percentiles"
+print("serve smoke ok:",
+      counters["serve.requests"], "requests,",
+      counters["serve.cache.hits"], "cache hits,",
+      counters["serve.panics"], "panics")
 PY

@@ -213,6 +213,25 @@ impl OftecError {
     pub fn is_non_finite(&self) -> bool {
         matches!(self, Self::NonFinite { .. })
     }
+
+    /// A stable machine-readable code for this error, suitable for wire
+    /// protocols and log aggregation. The distinguished thermal outcomes
+    /// (runaway, invalid operating point) get their own codes because
+    /// clients act on them differently from solver failures.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::NonFinite { .. } => "non_finite",
+            Self::Thermal { source, .. } => match source {
+                ThermalError::Runaway(_) => "runaway",
+                ThermalError::InvalidOperatingPoint(_) => "invalid_operating_point",
+                _ => "thermal",
+            },
+            Self::Optim { .. } => "optim",
+            Self::Linalg(_) => "linalg",
+            Self::ModelPanic { .. } => "model_panic",
+            Self::WorkerPanic { .. } => "worker_panic",
+        }
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +282,24 @@ mod tests {
         }
         .into();
         assert_eq!(e.to_string(), "parallel work item 3 panicked: boom");
+    }
+
+    #[test]
+    fn kind_codes_are_stable() {
+        let runaway: OftecError = ThermalError::Runaway("test").into();
+        assert_eq!(runaway.kind(), "runaway");
+        let invalid: OftecError = ThermalError::InvalidOperatingPoint("ω".into()).into();
+        assert_eq!(invalid.kind(), "invalid_operating_point");
+        let config: OftecError = ThermalError::Config("x".into()).into();
+        assert_eq!(config.kind(), "thermal");
+        let nf: OftecError = ThermalError::NonFinite("t".into()).into();
+        assert_eq!(nf.kind(), "non_finite");
+        let wp: OftecError = ItemPanic {
+            index: 0,
+            message: "b".into(),
+        }
+        .into();
+        assert_eq!(wp.kind(), "worker_panic");
     }
 
     #[test]

@@ -154,6 +154,17 @@ impl Benchmark {
         }
     }
 
+    /// Looks a benchmark up by its display name, case-insensitively
+    /// (`"qsort"`, `"QSORT"`, `"CRC32"` all resolve). `None` for names
+    /// outside Table 2 — the lookup every user-facing surface (CLI,
+    /// serving protocol) shares.
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL
+            .iter()
+            .copied()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
+    }
+
     /// The benchmarks the paper's fan-only baselines can still cool (the
     /// "cool three").
     pub fn is_cool(self) -> bool {

@@ -1,7 +1,7 @@
 //! `oftec-cli` — command-line front end to the OFTEC library.
 //!
 //! ```text
-//! cargo run --release -p oftec --bin oftec-cli -- <command> [args]
+//! cargo run --release -p oftec-serve --bin oftec-cli -- <command> [args]
 //!
 //! Commands:
 //!   list                       list bundled benchmarks
@@ -11,6 +11,7 @@
 //!   sweep <benchmark> [file]   dump the Figure 6(a)(b) surface as CSV
 //!   margin <benchmark> <rpm> <amps>
 //!                              spectral runaway margin at one point
+//!   serve                      run the cooling-control TCP service
 //!
 //! Options:
 //!   --telemetry-json <path>    force telemetry collection on and write a
@@ -19,6 +20,18 @@
 //!   --scale <s>                scale the workload's dynamic power by `s`
 //!                              (e.g. 1.3 makes the start point infeasible
 //!                              so Algorithm 1 exercises Optimization 2)
+//!
+//! Serve options (after `serve`):
+//!   --addr <host:port>         listen address (default 127.0.0.1:7464)
+//!   --threads <n>              executor threads (default: OFTEC_THREADS)
+//!   --cache-capacity <n>       result-cache entries (default 1024)
+//!   --cache-ttl-ms <ms>        result-cache TTL (default: none)
+//!   --batch-window-ms <ms>     micro-batch window (default 2)
+//!   --batch-max <n>            max jobs per batch (default 32)
+//!   --queue-capacity <n>       admission queue bound (default 256)
+//!   --coarse                   coarse DAC'14 package (fast solves)
+//!   --port-file <path>         write the bound port (for port 0)
+//!   --telemetry-json <path>    write the final snapshot on shutdown
 //! ```
 //!
 //! `OFTEC_LOG=summary|trace` additionally enables JSONL event logging on
@@ -27,13 +40,15 @@
 use oftec::baselines::{fixed_speed_fan, variable_speed_fan};
 use oftec::{CoolingSystem, Oftec, OftecOutcome, SweepGrid};
 use oftec_power::Benchmark;
+use oftec_serve::{ServeConfig, Server};
 use oftec_thermal::OperatingPoint;
 use oftec_units::{AngularVelocity, Current};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: oftec-cli <list|optimize|cool|baseline|sweep|margin> [benchmark] [args] \
+        "usage: oftec-cli <list|optimize|cool|baseline|sweep|margin|serve> [benchmark] [args] \
          [--telemetry-json <path>]\n\
          run with `list` to see the bundled benchmarks"
     );
@@ -105,11 +120,88 @@ fn write_snapshot(path: &str) -> ExitCode {
     }
 }
 
-fn find_benchmark(name: &str) -> Option<Benchmark> {
-    Benchmark::ALL
-        .iter()
-        .copied()
-        .find(|b| b.name().eq_ignore_ascii_case(name))
+/// Parses the `serve` subcommand's flags into a [`ServeConfig`].
+fn parse_serve_config(
+    args: &[String],
+    telemetry_path: Option<String>,
+) -> Result<ServeConfig, String> {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7464".into(),
+        telemetry_json: telemetry_path,
+        ..ServeConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        let mut value = |name: &str| -> Result<String, String> {
+            match inline.clone() {
+                Some(v) => Ok(v),
+                None => it.next().cloned().ok_or(format!("{name} requires a value")),
+            }
+        };
+        let parse_num = |name: &str, raw: String| -> Result<u64, String> {
+            raw.parse()
+                .map_err(|_| format!("{name}: `{raw}` is not a non-negative integer"))
+        };
+        match flag {
+            "--addr" => config.addr = value("--addr")?,
+            "--threads" => {
+                config.threads = parse_num("--threads", value("--threads")?)? as usize;
+            }
+            "--cache-capacity" => {
+                config.cache.capacity =
+                    parse_num("--cache-capacity", value("--cache-capacity")?)? as usize;
+            }
+            "--cache-ttl-ms" => {
+                let ms = parse_num("--cache-ttl-ms", value("--cache-ttl-ms")?)?;
+                config.cache.ttl = Some(Duration::from_millis(ms));
+            }
+            "--batch-window-ms" => {
+                let ms = parse_num("--batch-window-ms", value("--batch-window-ms")?)?;
+                config.batch_window = Duration::from_millis(ms);
+            }
+            "--batch-max" => {
+                config.batch_max =
+                    (parse_num("--batch-max", value("--batch-max")?)? as usize).max(1);
+            }
+            "--queue-capacity" => {
+                config.queue_capacity =
+                    (parse_num("--queue-capacity", value("--queue-capacity")?)? as usize).max(1);
+            }
+            "--coarse" => config.coarse = true,
+            "--port-file" => config.port_file = Some(value("--port-file")?),
+            other => return Err(format!("serve: unknown flag `{other}`")),
+        }
+    }
+    Ok(config)
+}
+
+fn serve(args: &[String], telemetry_path: Option<String>) -> ExitCode {
+    let config = match parse_serve_config(args, telemetry_path) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("oftec-serve listening on {}", server.local_addr());
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -124,6 +216,11 @@ fn main() -> ExitCode {
     oftec_telemetry::init_from_env();
     if opts.telemetry_path.is_some() {
         oftec_telemetry::set_collecting(true);
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        // The server owns its telemetry snapshot (written during graceful
+        // drain with authoritative counters); skip the generic one.
+        return serve(&args[1..], opts.telemetry_path);
     }
     let code = run(&args, opts.scale);
     match opts.telemetry_path {
@@ -161,7 +258,7 @@ fn run(args: &[String], scale: Option<f64>) -> ExitCode {
     let Some(bench_name) = args.get(1) else {
         return usage();
     };
-    let Some(benchmark) = find_benchmark(bench_name) else {
+    let Some(benchmark) = Benchmark::from_name(bench_name) else {
         eprintln!("unknown benchmark `{bench_name}`; try `oftec-cli list`");
         return ExitCode::FAILURE;
     };

@@ -1,0 +1,400 @@
+//! `oftec-loadgen` — load generator and latency benchmark for
+//! `oftec-serve`.
+//!
+//! ```text
+//! cargo run --release -p oftec-serve --bin oftec-loadgen -- \
+//!     --addr 127.0.0.1:7464 [options]
+//!
+//! Options:
+//!   --addr <host:port>    server address (required)
+//!   --connections <n>     concurrent connections (default 32)
+//!   --requests <n>        requests per connection (default 50)
+//!   --rps <n>             open-loop rate per connection; 0 = closed loop
+//!                         (default 0: next request right after the reply)
+//!   --key-reuse <f>       fraction of requests drawn from the hot-key set
+//!                         (default 0.5 — at least half the traffic should
+//!                         hit the quantized cache)
+//!   --hot-keys <n>        size of the hot-key set (default 8)
+//!   --benchmark <name>    workload (default qsort)
+//!   --mix <steady|mixed>  mixed sprinkles malformed JSON and unknown
+//!                         benchmarks between valid requests (default mixed)
+//!   --seed <n>            RNG seed (default 1)
+//!   --out <path>          report file (default BENCH_serve.json)
+//!   --shutdown            send a shutdown command once done
+//! ```
+//!
+//! The report records throughput, p50/p95/p99 latency (overall, cache-hit,
+//! and miss paths separately), error counts, and the server's own
+//! `metrics` counters, as `BENCH_serve.json`.
+
+use serde::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// Deterministic xorshift64* RNG — no external crates in the hot loop.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+#[derive(Clone)]
+struct Config {
+    addr: String,
+    connections: usize,
+    requests: usize,
+    rps: f64,
+    key_reuse: f64,
+    hot_keys: usize,
+    benchmark: String,
+    mixed: bool,
+    seed: u64,
+    out: String,
+    shutdown: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            addr: String::new(),
+            connections: 32,
+            requests: 50,
+            rps: 0.0,
+            key_reuse: 0.5,
+            hot_keys: 8,
+            benchmark: "qsort".into(),
+            mixed: true,
+            seed: 1,
+            out: "BENCH_serve.json".into(),
+            shutdown: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut config = Config::default();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        let mut value = |name: &str| -> Result<String, String> {
+            match inline.clone() {
+                Some(v) => Ok(v),
+                None => it.next().cloned().ok_or(format!("{name} requires a value")),
+            }
+        };
+        match flag {
+            "--addr" => config.addr = value("--addr")?,
+            "--connections" => {
+                config.connections = num(&value("--connections")?)?.max(1) as usize;
+            }
+            "--requests" => config.requests = num(&value("--requests")?)?.max(1) as usize,
+            "--rps" => {
+                config.rps = value("--rps")?
+                    .parse()
+                    .map_err(|_| "--rps: not a number".to_string())?;
+            }
+            "--key-reuse" => {
+                config.key_reuse = value("--key-reuse")?
+                    .parse()
+                    .map_err(|_| "--key-reuse: not a number".to_string())?;
+                if !(0.0..=1.0).contains(&config.key_reuse) {
+                    return Err("--key-reuse must be in [0, 1]".into());
+                }
+            }
+            "--hot-keys" => config.hot_keys = num(&value("--hot-keys")?)?.max(1) as usize,
+            "--benchmark" => config.benchmark = value("--benchmark")?,
+            "--mix" => {
+                config.mixed = match value("--mix")?.as_str() {
+                    "steady" => false,
+                    "mixed" => true,
+                    other => return Err(format!("--mix: `{other}` is not steady|mixed")),
+                };
+            }
+            "--seed" => config.seed = num(&value("--seed")?)?,
+            "--out" => config.out = value("--out")?,
+            "--shutdown" => config.shutdown = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if config.addr.is_empty() {
+        return Err("--addr <host:port> is required".into());
+    }
+    Ok(config)
+}
+
+fn num(raw: &str) -> Result<u64, String> {
+    raw.parse()
+        .map_err(|_| format!("`{raw}` is not a non-negative integer"))
+}
+
+/// One recorded request outcome.
+struct Sample {
+    micros: u64,
+    ok: bool,
+    cached: bool,
+}
+
+/// The hot-key operating points: a deterministic fan of plausible
+/// (rpm, amps) settings each worker reuses.
+fn hot_key(benchmark: &str, k: usize) -> String {
+    let rpm = 2200.0 + 300.0 * (k % 8) as f64;
+    let amps = 0.6 + 0.2 * ((k / 2) % 6) as f64;
+    format!(r#"{{"cmd":"steady","benchmark":"{benchmark}","rpm":{rpm},"amps":{amps}}}"#)
+}
+
+fn random_request(benchmark: &str, rng: &mut Rng) -> String {
+    let rpm = 1800.0 + 2800.0 * rng.next_f64();
+    let amps = 3.0 * rng.next_f64();
+    format!(r#"{{"cmd":"steady","benchmark":"{benchmark}","rpm":{rpm:.1},"amps":{amps:.2}}}"#)
+}
+
+fn worker(config: &Config, conn_id: usize) -> Result<Vec<Sample>, String> {
+    let stream =
+        TcpStream::connect(&config.addr).map_err(|e| format!("connect {}: {e}", config.addr))?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("clone stream: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut rng = Rng::new(
+        config
+            .seed
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add(conn_id as u64),
+    );
+    let mut samples = Vec::with_capacity(config.requests);
+    let pace = if config.rps > 0.0 {
+        Some(Duration::from_secs_f64(1.0 / config.rps))
+    } else {
+        None
+    };
+    for i in 0..config.requests {
+        let line = if config.mixed && i % 13 == 5 {
+            "{not json at all".to_string()
+        } else if config.mixed && i % 13 == 9 {
+            r#"{"cmd":"steady","benchmark":"no-such-workload"}"#.to_string()
+        } else if rng.next_f64() < config.key_reuse {
+            hot_key(
+                &config.benchmark,
+                rng.below(config.hot_keys as u64) as usize,
+            )
+        } else {
+            random_request(&config.benchmark, &mut rng)
+        };
+        let started = Instant::now();
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .map_err(|e| format!("write: {e}"))?;
+        let mut response = String::new();
+        let n = reader
+            .read_line(&mut response)
+            .map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection mid-run".into());
+        }
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let envelope: Value = serde_json::from_str(response.trim())
+            .map_err(|e| format!("unparseable response: {e}"))?;
+        let field = |name: &str| {
+            envelope
+                .as_map()
+                .and_then(|m| m.iter().find(|(k, _)| k == name))
+                .map(|(_, v)| v.clone())
+        };
+        samples.push(Sample {
+            micros,
+            ok: field("ok").and_then(|v| v.as_bool()) == Some(true),
+            cached: field("cached").and_then(|v| v.as_bool()) == Some(true),
+        });
+        if let Some(gap) = pace {
+            let elapsed = started.elapsed();
+            if elapsed < gap {
+                std::thread::sleep(gap - elapsed);
+            }
+        }
+    }
+    Ok(samples)
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn latency_block(mut micros: Vec<u64>) -> String {
+    micros.sort_unstable();
+    format!(
+        r#"{{"count":{},"p50_us":{},"p95_us":{},"p99_us":{},"max_us":{}}}"#,
+        micros.len(),
+        percentile(&micros, 0.50),
+        percentile(&micros, 0.95),
+        percentile(&micros, 0.99),
+        micros.last().copied().unwrap_or(0)
+    )
+}
+
+/// Fetches the server's `metrics` counters over a fresh connection and
+/// renders them as a JSON object string. Optionally sends `shutdown`.
+fn fetch_metrics(config: &Config) -> Result<String, String> {
+    let stream =
+        TcpStream::connect(&config.addr).map_err(|e| format!("connect for metrics: {e}"))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("clone stream: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    writer
+        .write_all(b"{\"cmd\":\"metrics\"}\n")
+        .map_err(|e| format!("write metrics: {e}"))?;
+    let mut response = String::new();
+    reader
+        .read_line(&mut response)
+        .map_err(|e| format!("read metrics: {e}"))?;
+    let envelope: Value =
+        serde_json::from_str(response.trim()).map_err(|e| format!("metrics response: {e}"))?;
+    let counters = envelope
+        .as_map()
+        .and_then(|m| m.iter().find(|(k, _)| k == "result"))
+        .and_then(|(_, v)| v.as_map())
+        .and_then(|m| m.iter().find(|(k, _)| k == "counters"))
+        .map(|(_, v)| v.clone())
+        .ok_or("metrics response has no counters")?;
+    let json = serde_json::to_string(&counters).map_err(|e| format!("counters: {e}"))?;
+    if config.shutdown {
+        writer
+            .write_all(b"{\"cmd\":\"shutdown\"}\n")
+            .map_err(|e| format!("write shutdown: {e}"))?;
+        let mut ack = String::new();
+        reader
+            .read_line(&mut ack)
+            .map_err(|e| format!("read shutdown ack: {e}"))?;
+    }
+    Ok(json)
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("oftec-loadgen: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let started = Instant::now();
+    let results: Vec<Result<Vec<Sample>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.connections)
+            .map(|conn_id| {
+                let config = &config;
+                scope.spawn(move || worker(config, conn_id))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("worker panicked".to_string()))
+            })
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    let mut samples = Vec::new();
+    let mut failed_conns = 0usize;
+    for r in results {
+        match r {
+            Ok(mut s) => samples.append(&mut s),
+            Err(msg) => {
+                eprintln!("oftec-loadgen: connection failed: {msg}");
+                failed_conns += 1;
+            }
+        }
+    }
+    if samples.is_empty() {
+        eprintln!("oftec-loadgen: no samples collected");
+        return ExitCode::FAILURE;
+    }
+
+    let metrics = match fetch_metrics(&config) {
+        Ok(m) => m,
+        Err(msg) => {
+            eprintln!("oftec-loadgen: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let total = samples.len();
+    let ok: Vec<&Sample> = samples.iter().filter(|s| s.ok).collect();
+    let errors = total - ok.len();
+    let cached: Vec<u64> = ok.iter().filter(|s| s.cached).map(|s| s.micros).collect();
+    let uncached: Vec<u64> = ok.iter().filter(|s| !s.cached).map(|s| s.micros).collect();
+    let hit_rate = if ok.is_empty() {
+        0.0
+    } else {
+        cached.len() as f64 / ok.len() as f64
+    };
+    let throughput = total as f64 / wall.as_secs_f64().max(1e-9);
+
+    let report = format!(
+        "{{\n  \"config\": {{\"addr\":\"{}\",\"connections\":{},\"requests_per_connection\":{},\
+         \"rps\":{},\"key_reuse\":{},\"hot_keys\":{},\"benchmark\":\"{}\",\"mix\":\"{}\",\
+         \"seed\":{}}},\n  \"wall_seconds\": {:.3},\n  \"throughput_rps\": {:.1},\n  \
+         \"requests\": {},\n  \"ok\": {},\n  \"errors\": {},\n  \"failed_connections\": {},\n  \
+         \"client_cache_hit_rate\": {:.4},\n  \"latency\": {{\n    \"overall\": {},\n    \
+         \"cached\": {},\n    \"uncached\": {}\n  }},\n  \"server\": {}\n}}\n",
+        config.addr,
+        config.connections,
+        config.requests,
+        config.rps,
+        config.key_reuse,
+        config.hot_keys,
+        config.benchmark,
+        if config.mixed { "mixed" } else { "steady" },
+        config.seed,
+        wall.as_secs_f64(),
+        throughput,
+        total,
+        ok.len(),
+        errors,
+        failed_conns,
+        hit_rate,
+        latency_block(samples.iter().map(|s| s.micros).collect()),
+        latency_block(cached),
+        latency_block(uncached),
+        metrics
+    );
+    if let Err(e) = std::fs::write(&config.out, &report) {
+        eprintln!("oftec-loadgen: cannot write {}: {e}", config.out);
+        return ExitCode::FAILURE;
+    }
+    println!("{report}");
+    eprintln!("report written to {}", config.out);
+    ExitCode::SUCCESS
+}

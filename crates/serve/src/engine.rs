@@ -1,0 +1,563 @@
+//! The batch solve engine.
+//!
+//! A dequeued micro-batch is turned into a list of unique work items
+//! (identical cacheable requests are deduplicated and fan the one result
+//! out), dispatched onto the `oftec-parallel` scoped-thread executor, and
+//! answered over each job's reply channel. Per-item panics are caught by
+//! the executor and become typed `panic` errors for the affected request
+//! only — the rest of the batch and the server survive.
+//!
+//! Determinism: cacheable requests are solved at their cache key's
+//! *canonical* (de-quantized) coordinates with plain cold-start solves,
+//! so a batched response is bit-identical to a direct library
+//! `model.solve(op)` at the same grid point, at any `OFTEC_THREADS`, and
+//! whether or not the result came from cache.
+
+use crate::cache::QuantizedCache;
+use crate::protocol::{ErrBody, SolveKind, SolveSpec};
+use crate::queue::Job;
+use oftec::faults::{FaultKind, FaultyModel};
+use oftec::{
+    CoolingSystem, InfeasibleReport, Oftec, OftecError, OftecOutcome, OftecSolution, SweepGrid,
+};
+use oftec_telemetry::Counter;
+use oftec_thermal::{
+    CoolingModel, OperatingPoint, PackageConfig, ThermalError, ThermalSolution, TransientOptions,
+    TransientTrace,
+};
+use oftec_units::{AngularVelocity, Current, Temperature};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+pub static SERVE_BATCHES: Counter = Counter::new("serve.batches");
+pub static SERVE_BATCH_JOBS: Counter = Counter::new("serve.batch.jobs");
+pub static SERVE_BATCH_DEDUPED: Counter = Counter::new("serve.batch.deduped");
+pub static SERVE_PANICS: Counter = Counter::new("serve.panics");
+pub static SERVE_DEADLINE_EXCEEDED: Counter = Counter::new("serve.deadline_exceeded");
+
+/// Fault-injection plan for the whole server: every `every`-th solve job
+/// reaching the executor is wrapped in a [`FaultyModel`] injecting
+/// `kind`. Used by the fault-tolerance suite; production servers run
+/// with `None`.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    pub kind: FaultKind,
+    pub every: usize,
+}
+
+/// Lazily built, shared [`CoolingSystem`]s keyed by benchmark and
+/// quantized scale; building one costs floorplan + leakage assembly, so
+/// every request for the same workload reuses the same instance.
+struct SystemRegistry {
+    package: PackageConfig,
+    scale_grid: f64,
+    systems: Mutex<HashMap<(oftec_power::Benchmark, i64), Arc<CoolingSystem>>>,
+}
+
+impl SystemRegistry {
+    fn system(&self, benchmark: oftec_power::Benchmark, scale: f64) -> Arc<CoolingSystem> {
+        let q = if self.scale_grid > 0.0 {
+            (scale / self.scale_grid).round() as i64
+        } else {
+            scale.to_bits() as i64
+        };
+        let mut map = self.systems.lock().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(map.entry((benchmark, q)).or_insert_with(|| {
+            let base = CoolingSystem::for_benchmark_with_config(benchmark, &self.package);
+            Arc::new(if scale == 1.0 {
+                base
+            } else {
+                base.scaled(scale)
+            })
+        }))
+    }
+}
+
+/// A [`CoolingModel`] wrapper that fails solves once a wall-clock
+/// deadline passes. The SQP phases call the model once per iteration, so
+/// this enforces deadlines at iteration granularity without the solver
+/// layers knowing about time.
+struct DeadlineModel<'a> {
+    inner: &'a dyn CoolingModel,
+    deadline: Instant,
+    expired: AtomicBool,
+}
+
+impl<'a> DeadlineModel<'a> {
+    fn new(inner: &'a dyn CoolingModel, deadline: Instant) -> Self {
+        Self {
+            inner,
+            deadline,
+            expired: AtomicBool::new(false),
+        }
+    }
+
+    fn check(&self) -> Result<(), ThermalError> {
+        if Instant::now() >= self.deadline {
+            self.expired.store(true, Ordering::Relaxed);
+            Err(ThermalError::Config(
+                "request deadline exceeded mid-solve".into(),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn fired(&self) -> bool {
+        self.expired.load(Ordering::Relaxed)
+    }
+}
+
+impl CoolingModel for DeadlineModel<'_> {
+    fn config(&self) -> &PackageConfig {
+        self.inner.config()
+    }
+
+    fn has_tec(&self) -> bool {
+        self.inner.has_tec()
+    }
+
+    fn validate_operating_point(&self, op: OperatingPoint) -> Result<(), ThermalError> {
+        self.inner.validate_operating_point(op)
+    }
+
+    fn solve(&self, op: OperatingPoint) -> Result<ThermalSolution, ThermalError> {
+        self.check()?;
+        self.inner.solve(op)
+    }
+
+    fn solve_from(
+        &self,
+        op: OperatingPoint,
+        initial: Option<&[f64]>,
+    ) -> Result<ThermalSolution, ThermalError> {
+        self.check()?;
+        self.inner.solve_from(op, initial)
+    }
+
+    fn simulate_transient_from(
+        &self,
+        op: OperatingPoint,
+        initial: Option<&[f64]>,
+        steps: usize,
+        opts: &TransientOptions,
+    ) -> Result<TransientTrace, ThermalError> {
+        self.check()?;
+        self.inner.simulate_transient_from(op, initial, steps, opts)
+    }
+}
+
+/// One executor work unit: a canonicalized spec plus the loosest
+/// deadline of the jobs sharing it.
+struct WorkItem {
+    spec: SolveSpec,
+    deadline: Option<Instant>,
+    /// This item draws an injected fault (see [`FaultPlan`]).
+    inject: bool,
+}
+
+/// Steady-state result payload.
+#[derive(serde::Serialize)]
+struct SteadyPayload {
+    benchmark: String,
+    scale: f64,
+    rpm: f64,
+    amps: f64,
+    max_temp_c: f64,
+    power_w: f64,
+    leakage_w: f64,
+    tec_w: f64,
+    fan_w: f64,
+    solver_iterations: usize,
+}
+
+/// Algorithm 1 result payload. Optional fields cover the two verdicts:
+/// `feasible: true` fills the starred optimum, `false` the best-effort
+/// report. Wall-clock runtime is deliberately absent — payloads must be
+/// deterministic so cache hits replay byte-identical results.
+#[derive(serde::Serialize)]
+struct OptimizePayload {
+    benchmark: String,
+    scale: f64,
+    feasible: bool,
+    rpm: Option<f64>,
+    amps: Option<f64>,
+    power_w: Option<f64>,
+    max_temp_c: f64,
+    used_phase1: Option<bool>,
+    thermal_solves: Option<usize>,
+    solver_error: Option<String>,
+}
+
+/// Sweep result payload.
+#[derive(serde::Serialize)]
+struct SweepPayload {
+    benchmark: String,
+    scale: f64,
+    omega_points: usize,
+    current_points: usize,
+    runaway_fraction: f64,
+    samples: Vec<oftec::SweepSample>,
+}
+
+fn finite(v: f64, what: &str) -> Result<f64, ErrBody> {
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(ErrBody::new("non_finite", format!("non-finite {what}")))
+    }
+}
+
+fn internal(e: impl std::fmt::Display) -> ErrBody {
+    ErrBody::new("internal", format!("response serialization failed: {e}"))
+}
+
+/// The shared solve engine.
+pub struct Engine {
+    registry: SystemRegistry,
+    cache: Arc<QuantizedCache>,
+    oftec: Oftec,
+    threads: usize,
+    fault: Option<FaultPlan>,
+    fault_seq: AtomicUsize,
+}
+
+impl Engine {
+    pub fn new(
+        package: PackageConfig,
+        cache: Arc<QuantizedCache>,
+        threads: usize,
+        fault: Option<FaultPlan>,
+    ) -> Self {
+        let scale_grid = cache.config().scale_grid;
+        Self {
+            registry: SystemRegistry {
+                package,
+                scale_grid,
+                systems: Mutex::new(HashMap::new()),
+            },
+            cache,
+            oftec: Oftec::default(),
+            threads,
+            fault,
+            fault_seq: AtomicUsize::new(0),
+        }
+    }
+
+    /// Executes one micro-batch: dedup, dispatch, fan-out, cache-fill.
+    /// Every job receives exactly one reply; a dropped receiver (client
+    /// gone) is ignored.
+    pub fn execute(&self, batch: Vec<Job>) {
+        SERVE_BATCHES.add(1);
+        SERVE_BATCH_JOBS.add(batch.len() as u64);
+        let now = Instant::now();
+
+        // Group jobs into unique work items. `no_cache` jobs always get
+        // their own item (they demand a fresh solve); cacheable jobs
+        // dedup on the quantized key and re-check the cache, which a
+        // previous batch may have filled after this job's admission.
+        let mut items: Vec<WorkItem> = Vec::with_capacity(batch.len());
+        let mut groups: Vec<Vec<Job>> = Vec::with_capacity(batch.len());
+        let mut by_key: HashMap<crate::cache::CacheKey, usize> = HashMap::new();
+        for job in batch {
+            if job.deadline.is_some_and(|d| now >= d) {
+                SERVE_DEADLINE_EXCEEDED.add(1);
+                let _ = job.reply.send(Err(ErrBody::new(
+                    "deadline_exceeded",
+                    "deadline expired while queued",
+                )));
+                continue;
+            }
+            if job.spec.no_cache {
+                items.push(WorkItem {
+                    spec: job.spec.clone(),
+                    deadline: job.deadline,
+                    inject: self.draw_fault(),
+                });
+                groups.push(vec![job]);
+                continue;
+            }
+            let key = self.cache.key_for(&job.spec);
+            if let Some(payload) = self.cache.peek(&key) {
+                let _ = job.reply.send(Ok(payload));
+                continue;
+            }
+            match by_key.get(&key) {
+                Some(&gi) => {
+                    SERVE_BATCH_DEDUPED.add(1);
+                    // Keep the loosest deadline so the shared solve is
+                    // not cut short for the job with the most budget.
+                    items[gi].deadline = match (items[gi].deadline, job.deadline) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        _ => None,
+                    };
+                    groups[gi].push(job);
+                }
+                None => {
+                    let cfg = self.cache.config();
+                    let mut spec = job.spec.clone();
+                    spec.scale = key.canonical_scale(cfg);
+                    spec.rpm = key.canonical_rpm(cfg);
+                    spec.amps = key.canonical_amps(cfg);
+                    by_key.insert(key, items.len());
+                    items.push(WorkItem {
+                        spec,
+                        deadline: job.deadline,
+                        inject: self.draw_fault(),
+                    });
+                    groups.push(vec![job]);
+                }
+            }
+        }
+
+        if items.is_empty() {
+            return;
+        }
+        let results = oftec_parallel::par_try_map_indexed_with(self.threads, &items, |_, item| {
+            self.solve_item(item)
+        });
+
+        let done = Instant::now();
+        for ((item, group), result) in items.iter().zip(groups).zip(results) {
+            let outcome: Result<String, ErrBody> = match result {
+                Ok(inner) => inner,
+                Err(panic) => {
+                    SERVE_PANICS.add(1);
+                    Err(ErrBody::new(
+                        "panic",
+                        format!("solve panicked: {}", panic.message),
+                    ))
+                }
+            };
+            if let Ok(payload) = &outcome {
+                if !item.spec.no_cache {
+                    self.cache
+                        .insert(self.cache.key_for(&item.spec), payload.clone());
+                }
+            }
+            for job in group {
+                if job.deadline.is_some_and(|d| done >= d) {
+                    SERVE_DEADLINE_EXCEEDED.add(1);
+                    let _ = job.reply.send(Err(ErrBody::new(
+                        "deadline_exceeded",
+                        "deadline expired during solve",
+                    )));
+                } else {
+                    let _ = job.reply.send(outcome.clone());
+                }
+            }
+        }
+    }
+
+    fn draw_fault(&self) -> bool {
+        match self.fault {
+            None => false,
+            Some(plan) if plan.every == 0 => false,
+            Some(plan) => {
+                (self.fault_seq.fetch_add(1, Ordering::Relaxed) + 1).is_multiple_of(plan.every)
+            }
+        }
+    }
+
+    /// Solves one work item, composing the deadline and fault wrappers
+    /// around the shared system model as the item requires.
+    fn solve_item(&self, item: &WorkItem) -> Result<String, ErrBody> {
+        let system = self.registry.system(item.spec.benchmark, item.spec.scale);
+        let base: &dyn CoolingModel = system.tec_model();
+        let fault_kind = self.fault.filter(|_| item.inject).map(|plan| plan.kind);
+        match (fault_kind, item.deadline) {
+            (None, None) => self.run_spec(&base, &system, &item.spec),
+            (None, Some(d)) => {
+                let dm = DeadlineModel::new(base, d);
+                let out = self.run_spec(&dm, &system, &item.spec);
+                if dm.fired() {
+                    SERVE_DEADLINE_EXCEEDED.add(1);
+                    return Err(ErrBody::new(
+                        "deadline_exceeded",
+                        "deadline expired mid-solve",
+                    ));
+                }
+                out
+            }
+            (Some(kind), None) => {
+                let fm = FaultyModel::new(&base, kind, 0);
+                self.run_spec(&fm, &system, &item.spec)
+            }
+            (Some(kind), Some(d)) => {
+                let fm = FaultyModel::new(&base, kind, 0);
+                let dm = DeadlineModel::new(&fm, d);
+                let out = self.run_spec(&dm, &system, &item.spec);
+                if dm.fired() {
+                    SERVE_DEADLINE_EXCEEDED.add(1);
+                    return Err(ErrBody::new(
+                        "deadline_exceeded",
+                        "deadline expired mid-solve",
+                    ));
+                }
+                out
+            }
+        }
+    }
+
+    fn run_spec<M: CoolingModel>(
+        &self,
+        model: &M,
+        system: &CoolingSystem,
+        spec: &SolveSpec,
+    ) -> Result<String, ErrBody> {
+        match spec.kind {
+            SolveKind::Steady => steady_payload(model, spec),
+            SolveKind::Optimize => {
+                let outcome = self
+                    .oftec
+                    .run_on_model(model, system.t_max())
+                    .map_err(|e| ErrBody::from_oftec(&e))?;
+                optimize_payload(&outcome, spec)
+            }
+            SolveKind::Sweep => {
+                let grid = SweepGrid {
+                    omega_points: spec.omega_points,
+                    current_points: spec.current_points,
+                };
+                // One thread: the batch itself is the parallel axis, and
+                // the single-thread sweep is bit-identical to any other
+                // thread count anyway.
+                let result = grid.run_threaded(model, 1);
+                let payload = SweepPayload {
+                    benchmark: spec.benchmark.name().to_string(),
+                    scale: spec.scale,
+                    omega_points: result.omega_points,
+                    current_points: result.current_points,
+                    runaway_fraction: result.runaway_fraction(),
+                    samples: result.samples,
+                };
+                serde_json::to_string(&payload).map_err(internal)
+            }
+        }
+    }
+}
+
+fn steady_payload<M: CoolingModel>(model: &M, spec: &SolveSpec) -> Result<String, ErrBody> {
+    let op = OperatingPoint::new(
+        AngularVelocity::from_rpm(spec.rpm),
+        Current::from_amperes(spec.amps),
+    );
+    let to_err =
+        |e: ThermalError| ErrBody::from_oftec(&OftecError::from(e).with_operating_point(op));
+    model.validate_operating_point(op).map_err(to_err)?;
+    let sol = model.solve(op).map_err(to_err)?;
+    let breakdown = sol.breakdown();
+    let payload = SteadyPayload {
+        benchmark: spec.benchmark.name().to_string(),
+        scale: spec.scale,
+        rpm: spec.rpm,
+        amps: spec.amps,
+        max_temp_c: finite(sol.max_chip_temperature().celsius(), "max temperature")?,
+        power_w: finite(breakdown.objective().watts(), "objective power")?,
+        leakage_w: finite(breakdown.leakage.watts(), "leakage power")?,
+        tec_w: finite(breakdown.tec.watts(), "TEC power")?,
+        fan_w: finite(breakdown.fan.watts(), "fan power")?,
+        solver_iterations: sol.solver_iterations(),
+    };
+    serde_json::to_string(&payload).map_err(internal)
+}
+
+fn optimize_payload(outcome: &OftecOutcome, spec: &SolveSpec) -> Result<String, ErrBody> {
+    let payload = match outcome {
+        OftecOutcome::Optimized(sol) => {
+            let OftecSolution {
+                operating_point,
+                cooling_power,
+                max_temperature,
+                used_phase1,
+                thermal_solves,
+                ..
+            } = sol;
+            OptimizePayload {
+                benchmark: spec.benchmark.name().to_string(),
+                scale: spec.scale,
+                feasible: true,
+                rpm: Some(finite(operating_point.fan_speed.rpm(), "fan speed")?),
+                amps: Some(finite(
+                    operating_point.tec_current.amperes(),
+                    "TEC current",
+                )?),
+                power_w: Some(finite(cooling_power.watts(), "cooling power")?),
+                max_temp_c: finite(max_temperature.celsius(), "max temperature")?,
+                used_phase1: Some(*used_phase1),
+                thermal_solves: Some(*thermal_solves),
+                solver_error: None,
+            }
+        }
+        OftecOutcome::Infeasible(report) => {
+            let InfeasibleReport {
+                operating_point,
+                best_temperature,
+                solver_error,
+                ..
+            } = report;
+            OptimizePayload {
+                benchmark: spec.benchmark.name().to_string(),
+                scale: spec.scale,
+                feasible: false,
+                rpm: Some(finite(operating_point.fan_speed.rpm(), "fan speed")?),
+                amps: Some(finite(
+                    operating_point.tec_current.amperes(),
+                    "TEC current",
+                )?),
+                power_w: None,
+                max_temp_c: finite(best_temperature.celsius(), "best temperature")?,
+                used_phase1: None,
+                thermal_solves: None,
+                solver_error: solver_error.clone(),
+            }
+        }
+    };
+    serde_json::to_string(&payload).map_err(internal)
+}
+
+/// Direct (unbatched, uncached) solve of a spec against a package
+/// configuration — the reference the integration tests compare batched
+/// responses against, and the engine the CLI's one-shot commands could
+/// share. Returns the payload JSON exactly as the server would.
+pub fn reference_payload(
+    package: &PackageConfig,
+    spec: &SolveSpec,
+    t_max_override: Option<Temperature>,
+) -> Result<String, ErrBody> {
+    let base = CoolingSystem::for_benchmark_with_config(spec.benchmark, package);
+    let system = if spec.scale == 1.0 {
+        base
+    } else {
+        base.scaled(spec.scale)
+    };
+    let model: &dyn CoolingModel = system.tec_model();
+    match spec.kind {
+        SolveKind::Steady => steady_payload(&model, spec),
+        SolveKind::Optimize => {
+            let t_max = t_max_override.unwrap_or_else(|| system.t_max());
+            let outcome = Oftec::default()
+                .run_on_model(&model, t_max)
+                .map_err(|e| ErrBody::from_oftec(&e))?;
+            optimize_payload(&outcome, spec)
+        }
+        SolveKind::Sweep => {
+            let grid = SweepGrid {
+                omega_points: spec.omega_points,
+                current_points: spec.current_points,
+            };
+            let result = grid.run_threaded(&model, 1);
+            let payload = SweepPayload {
+                benchmark: spec.benchmark.name().to_string(),
+                scale: spec.scale,
+                omega_points: result.omega_points,
+                current_points: result.current_points,
+                runaway_fraction: result.runaway_fraction(),
+                samples: result.samples,
+            };
+            serde_json::to_string(&payload).map_err(internal)
+        }
+    }
+}

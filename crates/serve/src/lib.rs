@@ -1,0 +1,37 @@
+//! `oftec-serve` — a batching, caching cooling-control service.
+//!
+//! The deployment story of the paper's controller: expose the OFTEC
+//! pipeline (steady solves, Algorithm 1 optimization, sweeps) as a
+//! long-running std-only TCP service speaking newline-delimited JSON,
+//! with the properties a control plane actually needs:
+//!
+//! - **Typed protocol** ([`protocol`]): every malformed line, unknown
+//!   benchmark, or pipeline failure is a machine-readable error response
+//!   on the same connection — never a dropped socket, never a panic.
+//! - **Micro-batching** ([`queue`], [`engine`]): concurrent solve
+//!   requests collected over a short window are dispatched as one batch
+//!   on the `oftec-parallel` scoped-thread executor, with per-request
+//!   panic isolation.
+//! - **Quantized result cache** ([`cache`]): operating points rounded to
+//!   a configurable grid, LRU + TTL eviction, hit/miss/eviction counters
+//!   on the telemetry registry. Hits replay byte-identical payloads on
+//!   the connection thread, bypassing the queue entirely.
+//! - **Admission control** ([`server`]): a bounded queue with explicit
+//!   `overloaded` rejections, per-request deadlines enforced at dequeue
+//!   and at solver-iteration granularity, and graceful drain on shutdown
+//!   (stop accepting, answer in-flight, flush telemetry JSON).
+//!
+//! The companion binaries live in this crate: `oftec-cli` (with the
+//! `serve` subcommand) and `oftec-loadgen` (closed/open-loop load
+//! generator reporting latency percentiles into `BENCH_serve.json`).
+
+pub mod cache;
+pub mod engine;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use cache::{CacheConfig, CacheKey, QuantizedCache};
+pub use engine::{reference_payload, Engine, FaultPlan};
+pub use protocol::{ErrBody, Request, SolveKind, SolveSpec};
+pub use server::{ServeConfig, Server, ServerHandle};

@@ -1,0 +1,228 @@
+//! Admission control: a bounded job queue with micro-batch dequeue.
+//!
+//! Connection threads `try_push` jobs; a full queue is an immediate
+//! typed `overloaded` rejection (clients see backpressure instead of
+//! unbounded latency). The single dispatcher thread `pop_batch`es:
+//! block for the first job, then keep collecting until the batch window
+//! elapses or the batch size cap is reached, so concurrent requests
+//! amortize onto one scoped-thread executor dispatch.
+//!
+//! `close` flips the queue into drain mode — pushes are rejected with
+//! `shutting_down`, but everything already admitted is still handed to
+//! the dispatcher, which is what makes shutdown graceful.
+
+use crate::protocol::{ErrBody, SolveSpec};
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// One admitted solve request: the spec, its deadline, and the channel
+/// the engine answers on (`Ok(payload_json)` or a typed error).
+pub struct Job {
+    pub spec: SolveSpec,
+    /// Absolute deadline; expired jobs are rejected at dequeue and at
+    /// iteration granularity inside the solve.
+    pub deadline: Option<Instant>,
+    pub enqueued: Instant,
+    pub reply: Sender<Result<String, ErrBody>>,
+}
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// Queue at capacity: the caller should answer `overloaded`.
+    Full,
+    /// Queue closed for shutdown: answer `shutting_down`.
+    Closed,
+}
+
+struct State {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The shared queue. Lock poisoning is recovered: the state is a plain
+/// deque with no cross-field invariants.
+pub struct JobQueue {
+    capacity: usize,
+    batch_max: usize,
+    batch_window: Duration,
+    state: Mutex<State>,
+    wake: Condvar,
+}
+
+impl JobQueue {
+    pub fn new(capacity: usize, batch_max: usize, batch_window: Duration) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            batch_max: batch_max.max(1),
+            batch_window,
+            state: Mutex::new(State {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Admits `job` unless the queue is full or closed. Never blocks.
+    pub fn try_push(&self, job: Job) -> Result<(), PushError> {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if st.closed {
+            return Err(PushError::Closed);
+        }
+        if st.jobs.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        st.jobs.push_back(job);
+        drop(st);
+        self.wake.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next micro-batch. Waits for a first job, then keeps
+    /// collecting until the batch window closes or `batch_max` is
+    /// reached. Returns `None` only once the queue is closed *and*
+    /// drained — the dispatcher finishes all admitted work first.
+    pub fn pop_batch(&self) -> Option<Vec<Job>> {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        // Phase 1: wait for the first job (or close + empty).
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                let mut batch = Vec::with_capacity(self.batch_max.min(8));
+                batch.push(job);
+                let window_ends = Instant::now() + self.batch_window;
+                // Phase 2: fill the batch until window end or cap. Once
+                // closed, drain eagerly — no reason to wait the window out.
+                while batch.len() < self.batch_max {
+                    if let Some(next) = st.jobs.pop_front() {
+                        batch.push(next);
+                        continue;
+                    }
+                    if st.closed {
+                        break;
+                    }
+                    let now = Instant::now();
+                    if now >= window_ends {
+                        break;
+                    }
+                    let (next_st, timeout) = self
+                        .wake
+                        .wait_timeout(st, window_ends - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    st = next_st;
+                    if timeout.timed_out() && st.jobs.is_empty() {
+                        break;
+                    }
+                }
+                return Some(batch);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.wake.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Stops admissions. Already-queued jobs still reach the dispatcher.
+    pub fn close(&self) {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
+        self.wake.notify_all();
+    }
+
+    /// Jobs currently waiting (not yet dispatched).
+    pub fn depth(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .jobs
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::SolveKind;
+    use oftec_power::Benchmark;
+    use std::sync::mpsc;
+    use std::sync::Arc;
+
+    fn job() -> (Job, mpsc::Receiver<Result<String, ErrBody>>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Job {
+                spec: SolveSpec {
+                    kind: SolveKind::Steady,
+                    benchmark: Benchmark::Quicksort,
+                    scale: 1.0,
+                    rpm: 0.0,
+                    amps: 0.0,
+                    omega_points: 0,
+                    current_points: 0,
+                    no_cache: false,
+                    deadline_ms: None,
+                },
+                deadline: None,
+                enqueued: Instant::now(),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overload() {
+        let q = JobQueue::new(2, 8, Duration::from_millis(1));
+        let (j1, _r1) = job();
+        let (j2, _r2) = job();
+        let (j3, _r3) = job();
+        q.try_push(j1).unwrap();
+        q.try_push(j2).unwrap();
+        assert_eq!(q.try_push(j3).unwrap_err(), PushError::Full);
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_queue() {
+        let q = JobQueue::new(8, 8, Duration::from_millis(1));
+        let (j1, _r1) = job();
+        q.try_push(j1).unwrap();
+        q.close();
+        let (j2, _r2) = job();
+        assert_eq!(q.try_push(j2).unwrap_err(), PushError::Closed);
+        // The admitted job still comes out...
+        assert_eq!(q.pop_batch().map(|b| b.len()), Some(1));
+        // ...and only then does the queue report done.
+        assert!(q.pop_batch().is_none());
+    }
+
+    #[test]
+    fn batch_collects_queued_jobs() {
+        let q = JobQueue::new(8, 3, Duration::from_millis(50));
+        let mut rxs = Vec::new();
+        for _ in 0..5 {
+            let (j, r) = job();
+            q.try_push(j).unwrap();
+            rxs.push(r);
+        }
+        // Cap bounds the first batch; the rest arrive in the second.
+        assert_eq!(q.pop_batch().map(|b| b.len()), Some(3));
+        assert_eq!(q.pop_batch().map(|b| b.len()), Some(2));
+    }
+
+    #[test]
+    fn pop_blocks_until_work_arrives() {
+        let q = Arc::new(JobQueue::new(8, 8, Duration::from_millis(1)));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop_batch().map(|b| b.len()));
+        std::thread::sleep(Duration::from_millis(20));
+        let (j, _r) = job();
+        q.try_push(j).unwrap();
+        assert_eq!(t.join().unwrap(), Some(1));
+    }
+}

@@ -1,0 +1,474 @@
+//! The TCP serve loop: accept, frame, admit, dispatch, drain.
+//!
+//! One thread per connection reads newline-delimited requests. `health`,
+//! `metrics`, and cache hits are answered inline on the connection
+//! thread (the sub-millisecond path); solve misses are admitted into the
+//! bounded [`JobQueue`] and batched onto the executor by a single
+//! dispatcher thread. Shutdown — via the `shutdown` command or a
+//! [`ServerHandle`] — is graceful: the listener stops accepting, the
+//! queue closes but drains, every in-flight request is answered, and the
+//! final telemetry snapshot is flushed to JSON.
+
+use crate::cache::{CacheConfig, QuantizedCache};
+use crate::engine::{Engine, FaultPlan, SERVE_PANICS};
+use crate::protocol::{self, ErrBody, Request};
+use crate::queue::{Job, JobQueue, PushError};
+use oftec_telemetry as telemetry;
+use oftec_telemetry::Counter;
+use oftec_thermal::PackageConfig;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+pub static SERVE_REQUESTS: Counter = Counter::new("serve.requests");
+pub static SERVE_RESPONSES_OK: Counter = Counter::new("serve.responses_ok");
+pub static SERVE_RESPONSES_ERR: Counter = Counter::new("serve.responses_err");
+pub static SERVE_CONNECTIONS: Counter = Counter::new("serve.connections");
+pub static SERVE_OVERLOADED: Counter = Counter::new("serve.overloaded");
+
+/// Request latency histogram bounds (microseconds).
+static LATENCY_BOUNDS: &[u64] = &[
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000,
+];
+
+/// Serving configuration. `Default` is tuned for tests and local runs;
+/// the CLI maps its flags onto these fields.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7464` (port 0 = ephemeral).
+    pub addr: String,
+    /// Executor threads per batch (0 = `OFTEC_THREADS`/auto).
+    pub threads: usize,
+    /// Result-cache quantization and eviction settings.
+    pub cache: CacheConfig,
+    /// How long the dispatcher holds a batch open for stragglers.
+    pub batch_window: Duration,
+    /// Maximum jobs per batch.
+    pub batch_max: usize,
+    /// Admission-queue capacity; beyond it requests get `overloaded`.
+    pub queue_capacity: usize,
+    /// Maximum request-line length in bytes; longer lines get
+    /// `line_too_long` and are discarded to the next newline.
+    pub max_line_bytes: usize,
+    /// Poll interval for reads (bounds shutdown latency).
+    pub read_timeout: Duration,
+    /// Use the coarse DAC'14 package (fast solves; tests and smoke).
+    pub coarse: bool,
+    /// Fault-injection plan (tests only).
+    pub fault: Option<FaultPlan>,
+    /// Where to write the final telemetry snapshot on shutdown.
+    pub telemetry_json: Option<String>,
+    /// Where to write the bound port (for scripts using port 0).
+    pub port_file: Option<String>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            threads: 0,
+            cache: CacheConfig::default(),
+            batch_window: Duration::from_millis(2),
+            batch_max: 32,
+            queue_capacity: 256,
+            max_line_bytes: 64 * 1024,
+            read_timeout: Duration::from_millis(25),
+            coarse: false,
+            fault: None,
+            telemetry_json: None,
+            port_file: None,
+        }
+    }
+}
+
+/// Cloneable remote control for a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// Requests graceful shutdown: drain, answer in-flight, flush, exit.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+struct Shared {
+    engine: Engine,
+    cache: Arc<QuantizedCache>,
+    queue: JobQueue,
+    stop: Arc<AtomicBool>,
+    connections: AtomicUsize,
+    started: Instant,
+    read_timeout: Duration,
+    max_line_bytes: usize,
+}
+
+/// A bound, not-yet-running cooling-control server.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    config: ServeConfig,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and builds the engine (but serves nothing
+    /// until [`Server::run`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding `config.addr`.
+    pub fn bind(config: ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let package = if config.coarse {
+            PackageConfig::dac14_coarse()
+        } else {
+            PackageConfig::dac14()
+        };
+        let threads = if config.threads == 0 {
+            oftec_parallel::thread_count()
+        } else {
+            config.threads
+        };
+        let cache = Arc::new(QuantizedCache::new(config.cache.clone()));
+        let shared = Arc::new(Shared {
+            engine: Engine::new(package, Arc::clone(&cache), threads, config.fault),
+            cache,
+            queue: JobQueue::new(config.queue_capacity, config.batch_max, config.batch_window),
+            stop: Arc::new(AtomicBool::new(false)),
+            connections: AtomicUsize::new(0),
+            started: Instant::now(),
+            read_timeout: config.read_timeout,
+            max_line_bytes: config.max_line_bytes,
+        });
+        Ok(Self {
+            listener,
+            local_addr,
+            config,
+            shared,
+        })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle that can stop this server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            stop: Arc::clone(&self.shared.stop),
+        }
+    }
+
+    /// Serves until shutdown, then drains and returns. Blocks the
+    /// calling thread.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing the port file; accept errors are retried.
+    pub fn run(self) -> std::io::Result<()> {
+        telemetry::set_collecting(true);
+        if let Some(path) = &self.config.port_file {
+            std::fs::write(path, format!("{}\n", self.local_addr.port()))?;
+        }
+
+        // The dispatcher owns the queue's consumer side for the whole
+        // server lifetime; it exits once the queue is closed and drained.
+        let dispatcher = {
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name("serve-dispatch".into())
+                .spawn(move || {
+                    telemetry::set_collecting(true);
+                    while let Some(batch) = shared.queue.pop_batch() {
+                        shared.engine.execute(batch);
+                        telemetry::flush();
+                    }
+                    telemetry::flush();
+                })?
+        };
+
+        let mut conn_threads = Vec::new();
+        while !self.shared.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    SERVE_CONNECTIONS.add(1);
+                    self.shared.connections.fetch_add(1, Ordering::SeqCst);
+                    let shared = Arc::clone(&self.shared);
+                    let t = std::thread::Builder::new()
+                        .name("serve-conn".into())
+                        .spawn(move || {
+                            telemetry::set_collecting(true);
+                            serve_connection(&shared, stream);
+                            telemetry::flush();
+                            shared.connections.fetch_sub(1, Ordering::SeqCst);
+                        })?;
+                    conn_threads.push(t);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+            conn_threads.retain(|t| !t.is_finished());
+        }
+
+        // Drain: no new admissions, but everything admitted is answered.
+        self.shared.queue.close();
+        let _ = dispatcher.join();
+        for t in conn_threads {
+            let _ = t.join();
+        }
+
+        telemetry::flush();
+        if let Some(path) = &self.config.telemetry_json {
+            let snap = authoritative_snapshot();
+            std::fs::write(path, snap.to_json())?;
+        }
+        Ok(())
+    }
+}
+
+/// Global snapshot with the serve counters overwritten by their exact
+/// atomic values — thread-local flush timing never understates them.
+fn authoritative_snapshot() -> telemetry::Snapshot {
+    let mut snap = telemetry::snapshot();
+    for c in [
+        &SERVE_REQUESTS,
+        &SERVE_RESPONSES_OK,
+        &SERVE_RESPONSES_ERR,
+        &SERVE_CONNECTIONS,
+        &SERVE_OVERLOADED,
+        &SERVE_PANICS,
+        &crate::engine::SERVE_BATCHES,
+        &crate::engine::SERVE_BATCH_JOBS,
+        &crate::engine::SERVE_BATCH_DEDUPED,
+        &crate::engine::SERVE_DEADLINE_EXCEEDED,
+        &crate::cache::CACHE_HITS,
+        &crate::cache::CACHE_MISSES,
+        &crate::cache::CACHE_EVICTIONS,
+        &crate::cache::CACHE_EXPIRED,
+    ] {
+        snap.counters.insert(c.name(), c.get());
+    }
+    snap
+}
+
+/// Reads lines with a poll timeout so the shutdown flag is honored
+/// mid-read. Returns `None` on EOF/error/shutdown-drain.
+struct LineReader {
+    buf: Vec<u8>,
+    chunk: [u8; 4096],
+    /// Set once a line exceeded the cap; the rest of it is discarded.
+    discarding: bool,
+}
+
+enum ReadOutcome {
+    Line(String),
+    TooLong,
+    Closed,
+}
+
+impl LineReader {
+    fn new() -> Self {
+        Self {
+            buf: Vec::new(),
+            chunk: [0; 4096],
+            discarding: false,
+        }
+    }
+
+    fn next_line(&mut self, stream: &mut TcpStream, shared: &Shared) -> ReadOutcome {
+        loop {
+            // A full line may already be buffered from a previous read.
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                if self.discarding {
+                    self.discarding = false;
+                    return ReadOutcome::TooLong;
+                }
+                // A complete line can arrive in one chunk and still be
+                // over the cap; check at extraction too.
+                if line.len().saturating_sub(1) > shared.max_line_bytes {
+                    return ReadOutcome::TooLong;
+                }
+                let text = String::from_utf8_lossy(&line).trim().to_string();
+                if text.is_empty() {
+                    continue; // blank lines are keep-alive no-ops
+                }
+                return ReadOutcome::Line(text);
+            }
+            if self.buf.len() > shared.max_line_bytes {
+                // Discard until the newline arrives, then report once.
+                self.buf.clear();
+                self.discarding = true;
+            }
+            match stream.read(&mut self.chunk) {
+                Ok(0) => return ReadOutcome::Closed,
+                Ok(n) => {
+                    if !self.discarding {
+                        self.buf.extend_from_slice(&self.chunk[..n]);
+                    } else if let Some(pos) = self.chunk[..n].iter().position(|&b| b == b'\n') {
+                        self.buf.extend_from_slice(&self.chunk[pos..n]);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        return ReadOutcome::Closed;
+                    }
+                }
+                Err(_) => return ReadOutcome::Closed,
+            }
+        }
+    }
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> bool {
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush())
+        .is_ok()
+}
+
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let mut reader = LineReader::new();
+    loop {
+        let line = match reader.next_line(&mut stream, shared) {
+            ReadOutcome::Closed => return,
+            ReadOutcome::TooLong => {
+                SERVE_REQUESTS.add(1);
+                SERVE_RESPONSES_ERR.add(1);
+                let err = ErrBody::new(
+                    "line_too_long",
+                    format!("request line exceeds {} bytes", shared.max_line_bytes),
+                );
+                if !write_line(&mut stream, &protocol::err_line(None, &err)) {
+                    return;
+                }
+                continue;
+            }
+            ReadOutcome::Line(l) => l,
+        };
+        SERVE_REQUESTS.add(1);
+        let started = Instant::now();
+        let response = handle_line(shared, &line);
+        let keep_going = write_line(&mut stream, &response);
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        telemetry::histogram_record("serve.latency_us", LATENCY_BOUNDS, micros);
+        telemetry::flush();
+        if !keep_going {
+            return;
+        }
+        if response_was_shutdown(&line) {
+            shared.stop.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// `shutdown` must be detected after its response is written so the
+/// requester sees the acknowledgment before the drain starts.
+fn response_was_shutdown(line: &str) -> bool {
+    matches!(protocol::parse_line(line), Ok((_, Request::Shutdown)))
+}
+
+fn count_outcome(ok: bool) {
+    if ok {
+        SERVE_RESPONSES_OK.add(1);
+    } else {
+        SERVE_RESPONSES_ERR.add(1);
+    }
+}
+
+fn handle_line(shared: &Shared, line: &str) -> String {
+    let (id, request) = match protocol::parse_line(line) {
+        Err((id, err)) => {
+            count_outcome(false);
+            return protocol::err_line(id, &err);
+        }
+        Ok(pair) => pair,
+    };
+    match request {
+        Request::Health => {
+            count_outcome(true);
+            let up = shared.started.elapsed().as_millis();
+            let payload = format!(
+                "{{\"status\":\"ok\",\"uptime_ms\":{},\"queue_depth\":{},\"connections\":{},\"cache_entries\":{}}}",
+                up,
+                shared.queue.depth(),
+                shared.connections.load(Ordering::SeqCst),
+                shared.cache.len()
+            );
+            protocol::ok_line(id, false, &payload)
+        }
+        Request::Metrics => {
+            count_outcome(true);
+            let snap = authoritative_snapshot();
+            protocol::ok_line(id, false, &snap.to_json())
+        }
+        Request::Shutdown => {
+            count_outcome(true);
+            protocol::ok_line(id, false, "{\"status\":\"draining\"}")
+        }
+        Request::Optimize { spec } | Request::Steady { spec } | Request::Sweep { spec } => {
+            // Fast path: answer cache hits on the connection thread.
+            if !spec.no_cache {
+                let key = shared.cache.key_for(&spec);
+                if let Some(payload) = shared.cache.get(&key) {
+                    count_outcome(true);
+                    return protocol::ok_line(id, true, &payload);
+                }
+            }
+            let deadline = spec
+                .deadline_ms
+                .map(|ms| Instant::now() + Duration::from_millis(ms));
+            let (tx, rx) = mpsc::channel();
+            let job = Job {
+                spec,
+                deadline,
+                enqueued: Instant::now(),
+                reply: tx,
+            };
+            match shared.queue.try_push(job) {
+                Err(PushError::Full) => {
+                    SERVE_OVERLOADED.add(1);
+                    count_outcome(false);
+                    let err = ErrBody::new("overloaded", "request queue is full; retry later");
+                    protocol::err_line(id, &err)
+                }
+                Err(PushError::Closed) => {
+                    count_outcome(false);
+                    let err = ErrBody::new("shutting_down", "server is draining");
+                    protocol::err_line(id, &err)
+                }
+                Ok(()) => match rx.recv() {
+                    Ok(Ok(payload)) => {
+                        count_outcome(true);
+                        protocol::ok_line(id, false, &payload)
+                    }
+                    Ok(Err(err)) => {
+                        count_outcome(false);
+                        protocol::err_line(id, &err)
+                    }
+                    Err(_) => {
+                        // Dispatcher dropped the sender without a reply —
+                        // only possible on hard teardown.
+                        count_outcome(false);
+                        let err = ErrBody::new("internal", "solve pipeline dropped the request");
+                        protocol::err_line(id, &err)
+                    }
+                },
+            }
+        }
+    }
+}

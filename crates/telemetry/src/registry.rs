@@ -90,6 +90,36 @@ impl HistogramData {
             Some(self.sum as f64 / self.total as f64)
         }
     }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// within the bucket holding the target rank. Observations in the
+    /// overflow bucket report that bucket's lower bound (the estimate is
+    /// then a lower bound on the true quantile). `None` for an empty
+    /// histogram or a `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        // 1-based rank of the target observation, nearest-rank style.
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        let mut lower = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            if count > 0 && seen + count >= target {
+                let Some(&upper) = self.bounds.get(i) else {
+                    // Overflow bucket: no upper bound to interpolate to.
+                    return Some(lower as f64);
+                };
+                let frac = (target - seen) as f64 / count as f64;
+                return Some(lower as f64 + frac * (upper as f64 - lower as f64));
+            }
+            seen += count;
+            if let Some(&b) = self.bounds.get(i) {
+                lower = b;
+            }
+        }
+        Some(lower as f64)
+    }
 }
 
 /// One row of a per-iteration convergence trace: the iteration number plus
@@ -345,6 +375,27 @@ mod tests {
         assert_eq!(h.total, 6);
         assert_eq!(h.sum, 115);
         assert!((h.mean().unwrap() - 115.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        assert_eq!(HistogramData::new(BOUNDS).quantile(0.5), None);
+        let h = hist(&[0, 0, 0, 0]);
+        // All four observations in the [0, 1] bucket: p50 rank 2 of 4.
+        assert!((h.quantile(0.5).unwrap() - 0.5).abs() < 1e-12);
+        assert!((h.quantile(1.0).unwrap() - 1.0).abs() < 1e-12);
+        let h = hist(&[0, 1, 3, 3, 7, 7, 7, 7]);
+        // p50 → rank 4 of 8, lands in the (2, 4] bucket (counts 2 there).
+        assert!((h.quantile(0.5).unwrap() - 4.0).abs() < 1e-12);
+        assert!(h.quantile(-0.1).is_none() && h.quantile(1.1).is_none());
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_reports_lower_bound() {
+        let h = hist(&[100, 200, 300]);
+        // Everything is beyond the last bound; best estimate is that bound.
+        assert_eq!(h.quantile(0.5), Some(8.0));
+        assert_eq!(h.quantile(0.99), Some(8.0));
     }
 
     #[test]

@@ -52,6 +52,45 @@ pub trait CoolingModel: Sync {
     ) -> Result<TransientTrace, ThermalError>;
 }
 
+/// References delegate, so composed wrappers (`&FaultyModel<...>`) and
+/// trait objects (`&dyn CoolingModel`, which is `Sized`) satisfy the
+/// generic `M: CoolingModel` bounds of the solver entry points.
+impl<M: CoolingModel + ?Sized> CoolingModel for &M {
+    fn config(&self) -> &PackageConfig {
+        (**self).config()
+    }
+
+    fn has_tec(&self) -> bool {
+        (**self).has_tec()
+    }
+
+    fn validate_operating_point(&self, op: OperatingPoint) -> Result<(), ThermalError> {
+        (**self).validate_operating_point(op)
+    }
+
+    fn solve(&self, op: OperatingPoint) -> Result<ThermalSolution, ThermalError> {
+        (**self).solve(op)
+    }
+
+    fn solve_from(
+        &self,
+        op: OperatingPoint,
+        initial: Option<&[f64]>,
+    ) -> Result<ThermalSolution, ThermalError> {
+        (**self).solve_from(op, initial)
+    }
+
+    fn simulate_transient_from(
+        &self,
+        op: OperatingPoint,
+        initial: Option<&[f64]>,
+        steps: usize,
+        opts: &TransientOptions,
+    ) -> Result<TransientTrace, ThermalError> {
+        (**self).simulate_transient_from(op, initial, steps, opts)
+    }
+}
+
 impl CoolingModel for HybridCoolingModel {
     fn config(&self) -> &PackageConfig {
         HybridCoolingModel::config(self)

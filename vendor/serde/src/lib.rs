@@ -114,6 +114,18 @@ pub trait Deserialize: Sized {
 // Primitive impls
 // ---------------------------------------------------------------------------
 
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for f64 {
     fn serialize(&self) -> Value {
         Value::Num(*self)
