@@ -12,8 +12,9 @@ use oftec_floorplan::alpha21264;
 use oftec_power::{Benchmark, McpatBudget};
 use oftec_thermal::PackageConfig;
 use oftec_units::Temperature;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let benchmark = std::env::args()
         .nth(1)
         .and_then(|n| {
@@ -34,19 +35,25 @@ fn main() {
     );
     let fp = alpha21264();
     let optimizer = Oftec::default();
+    let dyn_p = match benchmark.max_dynamic_power(&fp) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot synthesize {}: {e}", benchmark.name());
+            return ExitCode::FAILURE;
+        }
+    };
+    let leak = McpatBudget::alpha21264_22nm().distribute(&fp);
     for amb_c in [25.0, 30.0, 35.0, 40.0, 45.0, 50.0, 55.0] {
         let cfg = PackageConfig {
             ambient: Temperature::from_celsius(amb_c),
             ..PackageConfig::dac14()
         };
-        let dyn_p = benchmark.max_dynamic_power(&fp).unwrap();
-        let leak = McpatBudget::alpha21264_22nm().distribute(&fp);
         let system = CoolingSystem::new(
             benchmark.name(),
             fp.clone(),
             cfg,
-            dyn_p,
-            leak,
+            dyn_p.clone(),
+            leak.clone(),
             oftec::default_t_max(),
         );
         match optimizer.run(&system) {
@@ -73,4 +80,5 @@ fn main() {
         "\ncooler air buys cheaper operating points (leakage and fan both relax); \
          the 45 °C the paper assumes is a hot-aisle worst case"
     );
+    ExitCode::SUCCESS
 }

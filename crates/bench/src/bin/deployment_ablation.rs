@@ -16,8 +16,19 @@ use oftec_power::{Benchmark, McpatBudget};
 use oftec_tec::{TecDeployment, TecDeviceParams};
 use oftec_thermal::{CoolingConfig, HybridCoolingModel, OperatingPoint, PackageConfig};
 use oftec_units::{AngularVelocity, Current};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("deployment_ablation: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let fp = alpha21264();
     let cfg = PackageConfig::dac14();
     let leak = McpatBudget::alpha21264_22nm().distribute(&fp);
@@ -41,25 +52,23 @@ fn main() {
     );
     let mut extra_power = Vec::new();
     for &b in &Benchmark::ALL {
-        let dyn_p = b.max_dynamic_power(&fp).unwrap();
+        let dyn_p = b.max_dynamic_power(&fp)?;
         let m_sel = HybridCoolingModel::new(
             &fp,
             &cfg,
             CoolingConfig::HybridTec(selective.clone()),
             dyn_p.clone(),
             &leak,
-        )
-        .unwrap();
+        )?;
         let m_all = HybridCoolingModel::new(
             &fp,
             &cfg,
             CoolingConfig::HybridTec(blanket.clone()),
             dyn_p,
             &leak,
-        )
-        .unwrap();
-        let s = m_sel.solve(op).expect("healthy point");
-        let a = m_all.solve(op).expect("healthy point");
+        )?;
+        let s = m_sel.solve(op)?;
+        let a = m_all.solve(op)?;
         let dp = a.objective_power().watts() - s.objective_power().watts();
         extra_power.push(dp);
         println!(
@@ -78,4 +87,5 @@ fn main() {
          point, for cache regions that were never hot — the paper's §6.1 rationale \
          for leaving the caches uncovered"
     );
+    Ok(())
 }

@@ -25,7 +25,10 @@ fn main() -> ExitCode {
     .run(system.tec_model());
 
     let csv_path = format!("{out_dir}/fig6ab_basicmath_surface.csv");
-    fs::write(&csv_path, sweep.to_csv()).expect("write surface CSV");
+    if let Err(e) = fs::write(&csv_path, sweep.to_csv()) {
+        eprintln!("cannot write {csv_path}: {e}");
+        return ExitCode::FAILURE;
+    }
     println!("surface written to {csv_path}");
 
     println!(
@@ -38,22 +41,21 @@ fn main() -> ExitCode {
              (paper: \"ω should also be increased to about 150 RPM\")"
         );
     }
-    if let Some(cool) = sweep.coolest() {
+    if let Some((t, cool)) = sweep
+        .coolest()
+        .and_then(|c| c.max_temp_celsius.map(|t| (t, c)))
+    {
         println!(
-            "Fig 6(a) minimum (min 𝒯): {:.2} °C at ω = {:.0} RPM, I = {:.2} A \
+            "Fig 6(a) minimum (min 𝒯): {t:.2} °C at ω = {:.0} RPM, I = {:.2} A \
              (paper: \"almost the middle of the (ω-I) plane\")",
-            cool.max_temp_celsius.unwrap(),
-            cool.omega_rpm,
-            cool.current_a
+            cool.omega_rpm, cool.current_a
         );
     }
-    if let Some(cheap) = sweep.cheapest() {
+    if let Some((p, cheap)) = sweep.cheapest().and_then(|c| c.power_watts.map(|p| (p, c))) {
         println!(
-            "Fig 6(b) minimum (min 𝒫): {:.2} W at ω = {:.0} RPM, I = {:.2} A \
+            "Fig 6(b) minimum (min 𝒫): {p:.2} W at ω = {:.0} RPM, I = {:.2} A \
              (paper: \"the minimum occurs near the origin\")",
-            cheap.power_watts.unwrap(),
-            cheap.omega_rpm,
-            cheap.current_a
+            cheap.omega_rpm, cheap.current_a
         );
     }
 

@@ -35,13 +35,15 @@ fn main() -> ExitCode {
         comparable.len()
     ));
     if !comparable.is_empty() {
-        let n = comparable.len() as f64;
-        let avg = |f: &dyn Fn(&&oftec_bench::ComparisonRow) -> f64| -> f64 {
-            comparable.iter().map(f).sum::<f64>() / n
+        // Averages over whichever of the commonly-feasible rows carry the
+        // field (feasibility implies presence, but don't panic if not).
+        let avg = |f: &dyn Fn(&&oftec_bench::ComparisonRow) -> Option<f64>| -> f64 {
+            let vals: Vec<f64> = comparable.iter().filter_map(f).collect();
+            vals.iter().sum::<f64>() / vals.len().max(1) as f64
         };
-        let oftec_p = avg(&|r| r.oftec_power_w.unwrap());
-        let var_p = avg(&|r| r.var_power_w.unwrap());
-        let fix_p = avg(&|r| r.fixed_power_w.unwrap());
+        let oftec_p = avg(&|r| r.oftec_power_w);
+        let var_p = avg(&|r| r.var_power_w);
+        let fix_p = avg(&|r| r.fixed_power_w);
         report.line(format!(
             "average 𝒫: OFTEC {:.2} W, variable-ω {:.2} W (−{:.1}% vs OFTEC; paper −2.6%), \
              fixed-ω {:.2} W (−{:.1}%; paper −8.1%)",
@@ -51,9 +53,9 @@ fn main() -> ExitCode {
             fix_p,
             100.0 * (fix_p - oftec_p) / fix_p,
         ));
-        let oftec_t = avg(&|r| r.oftec_temp_c.unwrap());
-        let var_t = avg(&|r| r.var_temp_c.unwrap());
-        let fix_t = avg(&|r| r.fixed_temp_c.unwrap());
+        let oftec_t = avg(&|r| r.oftec_temp_c);
+        let var_t = avg(&|r| r.var_temp_c);
+        let fix_t = avg(&|r| r.fixed_temp_c);
         report.line(format!(
             "average T_max: OFTEC {:.2} °C, {:.1} °C cooler than variable-ω (paper 3.7), \
              {:.1} °C cooler than fixed-ω (paper 3.0)",

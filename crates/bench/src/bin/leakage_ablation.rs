@@ -31,13 +31,23 @@ fn main() {
         let model = system.tec_model();
 
         let t0 = Instant::now();
-        let lin = model.solve(op).expect("3000 RPM is healthy");
+        let lin = match model.solve(op) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("{:>14} | linear solve failed: {e}", b.name());
+                continue;
+            }
+        };
         let lin_us = t0.elapsed().as_secs_f64() * 1e6;
 
         let t0 = Instant::now();
-        let (nl, outer) = model
-            .solve_nonlinear(op, &NonlinearOptions::default())
-            .expect("3000 RPM is healthy");
+        let (nl, outer) = match model.solve_nonlinear(op, &NonlinearOptions::default()) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("{:>14} | nonlinear solve failed: {e}", b.name());
+                continue;
+            }
+        };
         let nl_us = t0.elapsed().as_secs_f64() * 1e6;
 
         let gap =

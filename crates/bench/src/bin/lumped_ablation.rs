@@ -28,13 +28,25 @@ fn main() {
     );
     let mut missed = 0;
     for &b in &Benchmark::ALL {
-        let dyn_p = b.max_dynamic_power(&fp).unwrap();
+        let dyn_p = match b.max_dynamic_power(&fp) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{:>14} | cannot synthesize: {e}", b.name());
+                continue;
+            }
+        };
         let lumped = LumpedModel::new(&fp, &cfg, &dyn_p, &leak);
         let grid = HybridCoolingModel::fan_only(&fp, &cfg, dyn_p, &leak);
-        let l = lumped.solve(omega).expect("full fan is lumped-stable");
-        let g = grid
-            .solve(OperatingPoint::fan_only(omega))
-            .expect("full fan is grid-stable");
+        let solves = lumped
+            .solve(omega)
+            .and_then(|l| grid.solve(OperatingPoint::fan_only(omega)).map(|g| (l, g)));
+        let (l, g) = match solves {
+            Ok(pair) => pair,
+            Err(e) => {
+                println!("{:>14} | full-fan solve failed: {e}", b.name());
+                continue;
+            }
+        };
         let avg =
             g.chip_temperatures().iter().sum::<f64>() / g.chip_temperatures().len() as f64 - 273.15;
         let l_ok = l.temperature.celsius() < 90.0;

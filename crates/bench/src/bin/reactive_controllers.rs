@@ -47,17 +47,18 @@ fn main() {
         "\n{:>12} | {:>9} | {:>9} | {:>12} | {:>12}",
         "controller", "peak °C", "ripple K", "transitions", "TEC energy J"
     );
-    let run = |name: &str, policy: &mut dyn TecPolicy| {
-        let report = run_closed_loop(&system, fan, policy, 60, 0.5)
-            .expect("healthy fan keeps the loop stable");
-        println!(
+    let run = |name: &str, policy: &mut dyn TecPolicy| match run_closed_loop(
+        &system, fan, policy, 60, 0.5,
+    ) {
+        Ok(report) => println!(
             "{:>12} | {:>9.2} | {:>9.2} | {:>12} | {:>12.1}",
             name,
             report.peak().celsius(),
             report.ripple(),
             report.transitions,
             report.tec_energy_joules,
-        );
+        ),
+        Err(e) => println!("{name:>12} | closed-loop solve failed: {e}"),
     };
     run("threshold", &mut threshold);
     run("hysteresis", &mut hysteresis);

@@ -124,7 +124,8 @@ fn main() -> ExitCode {
         if outcomes.iter().all(|o| o.power.is_some()) {
             counted += 1;
             for (k, o) in outcomes.iter().enumerate() {
-                sums[k] += o.power.unwrap();
+                // Guarded by the all-feasible check above.
+                sums[k] += o.power.unwrap_or_default();
                 times[k] += o.millis;
             }
         }

@@ -200,6 +200,7 @@ impl Reporter {
 
     /// Prints the buffered report to stdout in one write.
     pub fn finish(self) {
+        // oftec-lint: allow(L005, single buffered write; the Reporter is the figure binaries' stdout surface)
         print!("{}", self.out);
     }
 }
@@ -224,6 +225,7 @@ pub fn telemetry_args() -> (Vec<String>, Option<String>) {
         if arg == "--telemetry-json" {
             path = it.next();
             if path.is_none() {
+                // oftec-lint: allow(L005, argument-parse feedback emitted before telemetry is configured)
                 eprintln!("--telemetry-json requires a file path; ignoring");
             }
         } else if let Some(p) = arg.strip_prefix("--telemetry-json=") {
@@ -244,13 +246,18 @@ pub fn finish_telemetry(path: Option<String>) -> ExitCode {
     let Some(path) = path else {
         return ExitCode::SUCCESS;
     };
+    // Recorded before the flush so the snapshot self-documents its
+    // destination instead of announcing it on stderr.
+    oftec_telemetry::event(
+        oftec_telemetry::Severity::Info,
+        "bench.telemetry.write",
+        &[("path", oftec_telemetry::Field::Str(&path))],
+    );
     oftec_telemetry::flush();
     match std::fs::write(&path, oftec_telemetry::snapshot().to_json()) {
-        Ok(()) => {
-            eprintln!("telemetry snapshot written to {path}");
-            ExitCode::SUCCESS
-        }
+        Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
+            // oftec-lint: allow(L005, the telemetry writer itself failed; stderr is the only channel left)
             eprintln!("cannot write telemetry snapshot {path}: {e}");
             ExitCode::FAILURE
         }

@@ -176,6 +176,7 @@ impl Oftec {
     /// # Errors
     ///
     /// See [`Oftec::run_on_model`].
+    #[must_use = "the solve outcome (including failure) is in the Result"]
     pub fn run(&self, system: &CoolingSystem) -> Result<OftecOutcome, OftecError> {
         self.run_on_model(system.tec_model(), system.t_max())
     }
@@ -193,6 +194,7 @@ impl Oftec {
         model: &M,
         t_max: Temperature,
     ) -> Option<OftecSolution> {
+        // oftec-lint: allow(L003, reported solution runtime; excluded from the bit-identical determinism contract)
         let start = Instant::now();
         let _span = telemetry::span("oftec.opt2");
         let problem = CoolingProblem::new(model, CoolingObjective::MaxTemperature, t_max);
@@ -245,6 +247,7 @@ impl Oftec {
         model: &M,
         t_max: Temperature,
     ) -> Result<OftecOutcome, OftecError> {
+        // oftec-lint: allow(L003, reported solution runtime; excluded from the bit-identical determinism contract)
         let start = Instant::now();
         let _span = telemetry::span("oftec.run");
         let mut thermal_solves = 0;

@@ -41,6 +41,7 @@ impl CoolingSystem {
         let floorplan = alpha21264();
         let dynamic_power = benchmark
             .max_dynamic_power(&floorplan)
+            // oftec-lint: allow(L006, documented panicking constructor; the bundled floorplan carries every profiled unit)
             .unwrap_or_else(|e| panic!("bundled floorplan has every profiled unit: {e}"));
         let leakage = McpatBudget::alpha21264_22nm().distribute(&floorplan);
         Self::new(
@@ -108,6 +109,7 @@ impl CoolingSystem {
             dynamic_power.clone(),
             &leakage,
         )
+        // oftec-lint: allow(L006, documented panicking constructor; inputs validated by the caller contract)
         .unwrap_or_else(|e| panic!("inputs validated by the caller contract: {e}"));
         let fan_model =
             HybridCoolingModel::fan_only(&floorplan, &package, dynamic_power.clone(), &leakage);
@@ -186,6 +188,7 @@ impl CoolingSystem {
             self.dynamic_power.clone(),
             &self.leakage,
         )
+        // oftec-lint: allow(L006, documented panicking constructor; mirrors the already-validated models)
         .unwrap_or_else(|e| panic!("construction mirrors the validated models: {e}"))
     }
 

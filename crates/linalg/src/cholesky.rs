@@ -81,6 +81,7 @@ impl CholeskyFactor {
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    #[must_use = "the solve outcome (including failure) is in the Result"]
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.dim();
         if b.len() != n {

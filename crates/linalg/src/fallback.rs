@@ -95,6 +95,7 @@ fn warn_fallback(from: DenseMethod, to: DenseMethod, reason: &LinalgError) {
 ///   can recover a poisoned system, so the chain is not attempted).
 /// - The *last* rung's error if every method fails or produces a solution
 ///   that does not satisfy the residual check.
+#[must_use = "the solve outcome (including failure) is in the Result"]
 pub fn solve_dense_chain(a: &Matrix, b: &[f64]) -> Result<DenseSolve, LinalgError> {
     if !a.is_square() {
         return Err(LinalgError::NotSquare(a.rows(), a.cols()));
@@ -162,18 +163,20 @@ pub fn solve_dense_chain(a: &Matrix, b: &[f64]) -> Result<DenseSolve, LinalgErro
     for i in 0..n {
         for j in 0..n {
             let v = a[(i, j)];
+            // oftec-lint: allow(L004, exact zero prunes structural zeros when densifying to CSR)
             if v != 0.0 {
                 triplets.push(i, j, v);
             }
         }
     }
     let csr = triplets.to_csr();
-    let precond = JacobiPreconditioner::new(&csr).unwrap_or_else(|_| {
-        JacobiPreconditioner::from_diagonal(&vec![1.0; n]).unwrap_or_else(
-            // A length-n vector of ones always has a valid reciprocal.
-            |_| unreachable!("unit diagonal is always invertible"),
-        )
-    });
+    let precond = match JacobiPreconditioner::new(&csr) {
+        Ok(p) => p,
+        // A length-n vector of ones always has a valid reciprocal, so
+        // the fallback cannot fail; if it somehow does, the error
+        // propagates as a typed breakdown instead of a panic.
+        Err(_) => JacobiPreconditioner::from_diagonal(&vec![1.0; n])?,
+    };
     let params = IterativeParams {
         rtol: 1e-12,
         atol: 1e-14,

@@ -75,6 +75,7 @@ fn target_residual(b: &[f64], params: &IterativeParams) -> f64 {
 /// assert!((sol.x[0] - 2.0).abs() < 1e-9);
 /// # Ok::<(), oftec_linalg::LinalgError>(())
 /// ```
+#[must_use = "the solve outcome (including failure) is in the Result"]
 pub fn solve_cg(
     a: &CsrMatrix,
     b: &[f64],
@@ -175,6 +176,7 @@ pub fn solve_cg(
 /// - [`LinalgError::NotConverged`] if `max_iter` is exhausted.
 /// - [`LinalgError::Breakdown`] on a vanishing `ρ` or `ω` (restart-worthy
 ///   stagnation; callers usually fall back to a direct solve).
+#[must_use = "the solve outcome (including failure) is in the Result"]
 pub fn solve_bicgstab(
     a: &CsrMatrix,
     b: &[f64],
@@ -271,6 +273,7 @@ pub fn solve_bicgstab(
         m.apply(&r, &mut s_hat);
         a.matvec_into(&s_hat, &mut t);
         let tt = vector::dot(&t, &t);
+        // oftec-lint: allow(L004, exact zero guards the division; only a true zero breaks down)
         if tt == 0.0 {
             return Err(LinalgError::Breakdown("t vanished in BiCGSTAB"));
         }

@@ -84,6 +84,7 @@ impl LuFactor {
             for i in (k + 1)..n {
                 let factor = lu[(i, k)] / pivot;
                 lu[(i, k)] = factor;
+                // oftec-lint: allow(L004, exact zero skips update work for a structurally zero factor)
                 if factor != 0.0 {
                     for j in (k + 1)..n {
                         let ukj = lu[(k, j)];
@@ -110,6 +111,7 @@ impl LuFactor {
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    #[must_use = "the solve outcome (including failure) is in the Result"]
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.dim();
         if b.len() != n {
@@ -142,6 +144,7 @@ impl LuFactor {
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `b.rows() != self.dim()`.
+    #[must_use = "the solve outcome (including failure) is in the Result"]
     pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
         let n = self.dim();
         if b.rows() != n {

@@ -102,6 +102,7 @@ pub fn sor(
     };
 
     let diag = a.diagonal();
+    // oftec-lint: allow(L004, only an exactly zero diagonal breaks the SOR sweep)
     if diag.iter().any(|&d| d == 0.0 || !d.is_finite()) {
         return Err(LinalgError::Breakdown("zero diagonal in SOR"));
     }

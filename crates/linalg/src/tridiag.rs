@@ -67,6 +67,7 @@ impl Tridiagonal {
     ///
     /// - [`LinalgError::DimensionMismatch`] if `d.len() != self.dim()`.
     /// - [`LinalgError::Singular`] on a vanishing pivot.
+    #[must_use = "the solve outcome (including failure) is in the Result"]
     pub fn solve(&self, d: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.dim();
         if d.len() != n {

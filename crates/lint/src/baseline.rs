@@ -1,0 +1,150 @@
+//! The grandfathered-findings baseline: a checked-in TOML file
+//! (`lint-baseline.toml`) of findings the gate tolerates while they are
+//! burned down. An entry that no longer matches a real finding is
+//! **stale** and fails the gate — the baseline may only shrink.
+//!
+//! The format is a deliberately tiny TOML subset (`[[finding]]` tables
+//! with string/integer keys) so the tool stays std-only.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One grandfathered finding, matched on `(rule, file, line)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub file: String,
+    pub line: u32,
+    /// Why the finding is tolerated (free text, required on write).
+    pub note: String,
+}
+
+/// Loads the baseline. A missing file is an empty baseline; a malformed
+/// file is an error (the gate must not silently pass on a bad baseline).
+pub fn load(path: &Path) -> Result<Vec<BaselineEntry>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut entries: Vec<BaselineEntry> = Vec::new();
+    let mut current: Option<BaselineEntry> = None;
+    for (n, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[finding]]" {
+            if let Some(done) = current.take() {
+                entries.push(validated(done, n)?);
+            }
+            current = Some(BaselineEntry {
+                rule: String::new(),
+                file: String::new(),
+                line: 0,
+                note: String::new(),
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {}: expected `key = value`", n + 1));
+        };
+        let Some(entry) = current.as_mut() else {
+            return Err(format!("line {}: key outside a [[finding]] table", n + 1));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        match key {
+            "rule" | "file" | "note" => {
+                let unquoted = value
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("line {}: `{key}` must be a quoted string", n + 1))?;
+                let unescaped = unquoted.replace("\\\"", "\"").replace("\\\\", "\\");
+                match key {
+                    "rule" => entry.rule = unescaped,
+                    "file" => entry.file = unescaped,
+                    _ => entry.note = unescaped,
+                }
+            }
+            "line" => {
+                entry.line = value
+                    .parse()
+                    .map_err(|_| format!("line {}: `line` must be an integer", n + 1))?;
+            }
+            other => return Err(format!("line {}: unknown key `{other}`", n + 1)),
+        }
+    }
+    if let Some(done) = current.take() {
+        entries.push(validated(done, text.lines().count())?);
+    }
+    Ok(entries)
+}
+
+fn validated(e: BaselineEntry, near_line: usize) -> Result<BaselineEntry, String> {
+    if e.rule.is_empty() || e.file.is_empty() || e.line == 0 {
+        return Err(format!(
+            "[[finding]] ending near line {near_line}: `rule`, `file`, and `line` are required"
+        ));
+    }
+    Ok(e)
+}
+
+fn quote(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+/// Serializes a baseline, sorted for stable diffs.
+pub fn render(entries: &[BaselineEntry]) -> String {
+    let mut sorted: Vec<&BaselineEntry> = entries.iter().collect();
+    sorted.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    let mut out = String::from(
+        "# oftec-lint baseline: grandfathered findings, matched on (rule, file, line).\n\
+         # Entries may only be removed (a non-matching entry is *stale* and fails the\n\
+         # gate). Regenerate with `oftec-lint --update-baseline` after a burn-down.\n",
+    );
+    for e in sorted {
+        let _ = write!(
+            out,
+            "\n[[finding]]\nrule = {}\nfile = {}\nline = {}\nnote = {}\n",
+            quote(&e.rule),
+            quote(&e.file),
+            e.line,
+            quote(&e.note),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let entries = vec![BaselineEntry {
+            rule: "L004".into(),
+            file: "crates/x/src/a.rs".into(),
+            line: 12,
+            note: "exact-zero \"fast\" path".into(),
+        }];
+        let text = render(&entries);
+        assert_eq!(parse(&text).unwrap(), entries);
+    }
+
+    #[test]
+    fn missing_keys_rejected() {
+        assert!(parse("[[finding]]\nrule = \"L001\"\n").is_err());
+        assert!(parse("rule = \"L001\"\n").is_err());
+        assert!(parse("[[finding]]\nrule = \"L001\"\nfile = \"f.rs\"\nline = zero\n").is_err());
+    }
+
+    #[test]
+    fn empty_and_comments_ok() {
+        assert_eq!(parse("# nothing here\n\n").unwrap(), Vec::new());
+    }
+}

@@ -1,0 +1,478 @@
+//! A minimal Rust lexer for the lint pass.
+//!
+//! The rules only need to tell *code* apart from *non-code* — comments,
+//! strings, char literals — and to see identifiers, numeric literals, and
+//! a handful of multi-character operators with accurate `line:col`
+//! positions. That makes the hard cases exactly the ones a regex-based
+//! scanner gets wrong: nested block comments, raw strings with arbitrary
+//! `#` fences, byte/char literals, and lifetimes (`'a` is not an
+//! unterminated char literal). Everything else degrades gracefully to
+//! single-character punctuation.
+
+/// What a token is; literal payloads are kept only where a rule needs
+/// them (identifiers, punctuation, comment text for suppressions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`, fence stripped).
+    Ident,
+    /// Lifetime such as `'a` or `'static` (leading quote included).
+    Lifetime,
+    /// Integer literal (any base, underscores, integer suffix).
+    Int,
+    /// Float literal (`1.0`, `1e-6`, `2f64`, `1.`).
+    Float,
+    /// String literal of any flavor: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// Char or byte literal: `'x'`, `'\u{1F600}'`, `b'\n'`.
+    Char,
+    /// Punctuation; joined for the operators the rules care about
+    /// (`==` `!=` `<=` `>=` `->` `=>` `&&` `||` `::`).
+    Punct,
+    /// `// …` comment, doc or plain, text without the trailing newline.
+    LineComment,
+    /// `/* … */` comment, nesting handled, text includes delimiters.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.bump().is_none() {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src`. Unknown or malformed input never panics: anything the
+/// lexer cannot classify becomes single-character punctuation, which no
+/// rule matches on.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        let tok = |kind: TokKind, text: String| Tok {
+            kind,
+            text,
+            line,
+            col,
+        };
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        match c {
+            '/' if cur.peek(1) == Some('/') => {
+                let mut text = String::new();
+                while let Some(n) = cur.peek(0) {
+                    if n == '\n' {
+                        break;
+                    }
+                    text.push(n);
+                    cur.bump();
+                }
+                toks.push(tok(TokKind::LineComment, text));
+            }
+            '/' if cur.peek(1) == Some('*') => {
+                let mut text = String::new();
+                let mut depth = 0usize;
+                while let Some(n) = cur.peek(0) {
+                    if n == '/' && cur.peek(1) == Some('*') {
+                        depth += 1;
+                        text.push_str("/*");
+                        cur.bump_n(2);
+                    } else if n == '*' && cur.peek(1) == Some('/') {
+                        depth -= 1;
+                        text.push_str("*/");
+                        cur.bump_n(2);
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        text.push(n);
+                        cur.bump();
+                    }
+                }
+                toks.push(tok(TokKind::BlockComment, text));
+            }
+            'r' | 'b' if starts_raw_or_byte(&cur) => {
+                let t = lex_raw_or_byte(&mut cur);
+                toks.push(tok(t.0, t.1));
+            }
+            '"' => {
+                lex_plain_string(&mut cur);
+                toks.push(tok(TokKind::Str, String::new()));
+            }
+            '\'' => {
+                let t = lex_quote(&mut cur);
+                toks.push(tok(t.0, t.1));
+            }
+            c if is_ident_start(c) => {
+                let mut text = String::new();
+                while let Some(n) = cur.peek(0) {
+                    if !is_ident_continue(n) {
+                        break;
+                    }
+                    text.push(n);
+                    cur.bump();
+                }
+                toks.push(tok(TokKind::Ident, text));
+            }
+            c if c.is_ascii_digit() => {
+                let t = lex_number(&mut cur);
+                toks.push(tok(t.0, t.1));
+            }
+            _ => {
+                let joined = ["==", "!=", "<=", ">=", "->", "=>", "&&", "||", "::"];
+                let two: String = [c, cur.peek(1).unwrap_or(' ')].iter().collect();
+                if joined.contains(&two.as_str()) {
+                    cur.bump_n(2);
+                    toks.push(tok(TokKind::Punct, two));
+                } else {
+                    cur.bump();
+                    toks.push(tok(TokKind::Punct, c.to_string()));
+                }
+            }
+        }
+    }
+    toks
+}
+
+/// True when the cursor sits on a raw string, byte string, byte char, or
+/// raw identifier: `r"`, `r#"`, `r##"…`, `b"`, `b'`, `br"`, `br#"`,
+/// `r#ident`.
+fn starts_raw_or_byte(cur: &Cursor) -> bool {
+    let mut j = 1;
+    if cur.peek(0) == Some('b') {
+        if cur.peek(1) == Some('\'') || cur.peek(1) == Some('"') {
+            return true;
+        }
+        if cur.peek(1) != Some('r') {
+            return false;
+        }
+        j = 2;
+    }
+    // At `r`: any run of `#` followed by `"` is a raw string; `r#ident`
+    // is a raw identifier.
+    let mut k = j;
+    while cur.peek(k) == Some('#') {
+        k += 1;
+    }
+    match cur.peek(k) {
+        Some('"') => true,
+        Some(c) if k == j + 1 && is_ident_start(c) => true, // r#ident
+        _ => false,
+    }
+}
+
+fn lex_raw_or_byte(cur: &mut Cursor) -> (TokKind, String) {
+    let byte = cur.peek(0) == Some('b');
+    if byte {
+        if cur.peek(1) == Some('\'') {
+            cur.bump(); // consume `b`, then the quote path
+            let (_, _) = lex_quote(cur);
+            return (TokKind::Char, String::new());
+        }
+        if cur.peek(1) == Some('"') {
+            cur.bump();
+            lex_plain_string(cur);
+            return (TokKind::Str, String::new());
+        }
+    }
+    // `r…` or `br…`: position of the first possible `#` or `"`.
+    let j = if byte { 2 } else { 1 };
+    let mut fences = 0usize;
+    while cur.peek(j + fences) == Some('#') {
+        fences += 1;
+    }
+    if cur.peek(j + fences) != Some('"') {
+        // Raw identifier `r#ident`: consume `r#` then the identifier.
+        cur.bump_n(2);
+        let mut text = String::new();
+        while let Some(n) = cur.peek(0) {
+            if !is_ident_continue(n) {
+                break;
+            }
+            text.push(n);
+            cur.bump();
+        }
+        return (TokKind::Ident, text);
+    }
+    // Raw string body: scan for `"` followed by `fences` hashes.
+    cur.bump_n(j + fences + 1);
+    while let Some(n) = cur.peek(0) {
+        if n == '"' {
+            let mut ok = true;
+            for f in 0..fences {
+                if cur.peek(1 + f) != Some('#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                cur.bump_n(1 + fences);
+                break;
+            }
+        }
+        cur.bump();
+    }
+    (TokKind::Str, String::new())
+}
+
+fn lex_plain_string(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    while let Some(n) = cur.bump() {
+        if n == '\\' {
+            cur.bump();
+        } else if n == '"' {
+            break;
+        }
+    }
+}
+
+/// At a `'`: decides lifetime vs. char literal and consumes it.
+fn lex_quote(cur: &mut Cursor) -> (TokKind, String) {
+    // `'a`, `'static`, `'_`: identifier after the quote with no closing
+    // quote (`'a'` keeps its closing quote and stays a char literal).
+    if cur.peek(1).is_some_and(is_ident_start) {
+        let mut k = 2;
+        while cur.peek(k).is_some_and(is_ident_continue) {
+            k += 1;
+        }
+        if cur.peek(k) != Some('\'') {
+            let mut text = String::from("'");
+            cur.bump();
+            while let Some(n) = cur.peek(0) {
+                if !is_ident_continue(n) {
+                    break;
+                }
+                text.push(n);
+                cur.bump();
+            }
+            return (TokKind::Lifetime, text);
+        }
+    }
+    // Otherwise a char literal: consume to the closing quote, honoring
+    // backslash escapes (`'\''`, `'\u{…}'`).
+    cur.bump();
+    while let Some(n) = cur.bump() {
+        if n == '\\' {
+            cur.bump();
+        } else if n == '\'' {
+            break;
+        }
+    }
+    (TokKind::Char, String::new())
+}
+
+fn lex_number(cur: &mut Cursor) -> (TokKind, String) {
+    let mut text = String::new();
+    let mut float = false;
+    let first = cur.peek(0);
+    text.extend(cur.bump());
+    if first == Some('0') && matches!(cur.peek(0), Some('x' | 'o' | 'b')) {
+        text.extend(cur.bump());
+        while let Some(n) = cur.peek(0) {
+            if n.is_ascii_alphanumeric() || n == '_' {
+                text.push(n);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return (TokKind::Int, text);
+    }
+    while cur.peek(0).is_some_and(|n| n.is_ascii_digit() || n == '_') {
+        text.extend(cur.bump());
+    }
+    if cur.peek(0) == Some('.') {
+        // `1.0` and trailing-dot `1.` are floats; `1..2` and `1.max(2)`
+        // are not.
+        let after = cur.peek(1);
+        let fractional = after.is_some_and(|n| n.is_ascii_digit());
+        let trailing = !after.is_some_and(|n| n == '.' || is_ident_start(n));
+        if fractional || trailing {
+            float = true;
+            text.extend(cur.bump());
+            while cur.peek(0).is_some_and(|n| n.is_ascii_digit() || n == '_') {
+                text.extend(cur.bump());
+            }
+        }
+    }
+    if matches!(cur.peek(0), Some('e' | 'E')) {
+        let (s1, s2) = (cur.peek(1), cur.peek(2));
+        let exp = s1.is_some_and(|n| n.is_ascii_digit())
+            || (matches!(s1, Some('+' | '-')) && s2.is_some_and(|n| n.is_ascii_digit()));
+        if exp {
+            float = true;
+            text.extend(cur.bump());
+            if matches!(cur.peek(0), Some('+' | '-')) {
+                text.extend(cur.bump());
+            }
+            while cur.peek(0).is_some_and(|n| n.is_ascii_digit() || n == '_') {
+                text.extend(cur.bump());
+            }
+        }
+    }
+    // Suffix: `f64` makes it a float, `u32`/`usize`/… stay integers.
+    let mut suffix = String::new();
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        suffix.extend(cur.bump());
+    }
+    if suffix.starts_with("f32") || suffix.starts_with("f64") {
+        float = true;
+    }
+    text.push_str(&suffix);
+    (if float { TokKind::Float } else { TokKind::Int }, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let toks = lex("/* a /* b */ c */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert!(toks[0].text.contains("/* b */"));
+        assert_eq!((toks[1].kind, toks[1].text.as_str()), (TokKind::Ident, "x"));
+    }
+
+    #[test]
+    fn doc_comments_are_line_comments() {
+        let toks = lex("/// docs mentioning `.unwrap()` are not code\ncode");
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert_eq!(
+            (toks[1].kind, toks[1].text.as_str()),
+            (TokKind::Ident, "code")
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_fences_swallow_quotes() {
+        let toks = lex(r####"r#"embedded "quote" body"# tail"####);
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert_eq!(toks[1].text, "tail");
+        let toks = lex(r####"br##"fence "# inside"## tail"####);
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert_eq!(toks[1].text, "tail");
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = lex("b'x' b\"bytes\" rest");
+        assert_eq!(toks[0].kind, TokKind::Char);
+        assert_eq!(toks[1].kind, TokKind::Str);
+        assert_eq!(toks[2].text, "rest");
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_early() {
+        let toks = lex(r#""a \" b" tail"#);
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert_eq!(toks[1].text, "tail");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("&'a str + 'static + '_ + 'x' + '\\''");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'static", "'_"]);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Char).count(),
+            2,
+            "'x' and the escaped quote are char literals"
+        );
+    }
+
+    #[test]
+    fn raw_identifier_keeps_name() {
+        let toks = lex("r#type x");
+        assert_eq!(
+            (toks[0].kind, toks[0].text.as_str()),
+            (TokKind::Ident, "type")
+        );
+    }
+
+    #[test]
+    fn numeric_literal_classification() {
+        assert_eq!(kinds("1.0"), [TokKind::Float]);
+        assert_eq!(kinds("1."), [TokKind::Float]);
+        assert_eq!(kinds("1e-6"), [TokKind::Float]);
+        assert_eq!(kinds("2f64"), [TokKind::Float]);
+        assert_eq!(kinds("0xFF"), [TokKind::Int]);
+        assert_eq!(kinds("1_000u64"), [TokKind::Int]);
+        // Ranges and method calls on integers are not floats.
+        assert_eq!(kinds("1..2")[0], TokKind::Int);
+        assert_eq!(kinds("1.max(2)")[0], TokKind::Int);
+    }
+
+    #[test]
+    fn joined_punct_and_positions() {
+        let toks = lex("a\n  == b");
+        assert_eq!(toks[1].text, "==");
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_input_never_panics() {
+        for src in ["\"open", "/* open", "'", "r#\"open", "b'"] {
+            let _ = lex(src);
+        }
+    }
+}

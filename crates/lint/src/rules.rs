@@ -1,0 +1,160 @@
+//! The rule table: which invariant each rule encodes, where it applies,
+//! and the registry counter it reports through.
+//!
+//! Scoping is two-dimensional: a **target kind** (library, binary,
+//! example, bench) derived from the file's path, and a **crate list**
+//! (allow- or deny-based) derived from the workspace layout. Test code —
+//! `tests/` directories and `#[cfg(test)]` modules — is outside every
+//! rule's scope by construction; the engine never hands it to a matcher.
+
+/// Which compilation target a `.rs` file belongs to, derived from its
+/// workspace-relative path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code (`src/` outside `bin/`).
+    Lib,
+    /// Binary target (`src/bin/`, `src/main.rs`).
+    Bin,
+    /// `examples/` target.
+    Example,
+    /// Criterion bench under `benches/`.
+    Bench,
+}
+
+/// How a rule's crate list is interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrateScope {
+    /// Applies everywhere except the listed crates.
+    AllExcept(&'static [&'static str]),
+    /// Applies only in the listed crates.
+    Only(&'static [&'static str]),
+}
+
+/// One lint rule's metadata; matching logic lives in the engine.
+#[derive(Debug)]
+pub struct Rule {
+    /// Stable id (`L001`…).
+    pub id: &'static str,
+    /// One-line summary for `--list-rules` and diagnostics.
+    pub title: &'static str,
+    /// Which invariant the rule encodes and why (DESIGN.md §13).
+    pub rationale: &'static str,
+    /// Target kinds the rule scans.
+    pub kinds: &'static [FileKind],
+    /// Crates the rule scans.
+    pub crates: CrateScope,
+    /// Telemetry counter accumulating this rule's findings.
+    pub counter: &'static str,
+}
+
+use CrateScope::{AllExcept, Only};
+use FileKind::{Bench, Bin, Example, Lib};
+
+/// Crates allowed to read the wall clock: everything else is under the
+/// PR 1/2 determinism contract (bit-identical at any `OFTEC_THREADS`).
+const WALL_CLOCK_ALLOWED: &[&str] = &["lint", "telemetry", "serve", "bench"];
+
+/// The rule table. `L000` is the meta-rule for the suppression syntax
+/// itself and is always in scope.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "L000",
+        title: "malformed `oftec-lint: allow(...)` suppression",
+        rationale: "A suppression without a rule id or without a reason defeats the \
+                    audit trail the mechanism exists to provide; the reason is the \
+                    documentation of why the invariant does not apply.",
+        kinds: &[Lib, Bin, Example, Bench],
+        crates: AllExcept(&[]),
+        counter: "lint.findings.L000",
+    },
+    Rule {
+        id: "L001",
+        title: "`unwrap()`/`expect()` in non-test library or binary code",
+        rationale: "PR 3's fault taxonomy: a surprise on a solve or serving path must \
+                    become a typed `OftecError`, not an abort. Superset of the old \
+                    per-crate clippy gate, covering all workspace crates and bins.",
+        kinds: &[Lib, Bin, Example],
+        crates: AllExcept(&[]),
+        counter: "lint.findings.L001",
+    },
+    Rule {
+        id: "L002",
+        title: "`std::thread::spawn` outside `crates/parallel`",
+        rationale: "All parallelism must go through the scoped executor so panic \
+                    containment and index-ordered telemetry capture hold; a raw \
+                    spawn escapes both and breaks the determinism contract.",
+        kinds: &[Lib, Bin, Example, Bench],
+        crates: AllExcept(&["parallel"]),
+        counter: "lint.findings.L002",
+    },
+    Rule {
+        id: "L003",
+        title: "`Instant::now`/`SystemTime::now` in deterministic solver crates",
+        rationale: "Solver results must be bit-identical at any `OFTEC_THREADS`; \
+                    wall-clock reads on solve paths invite time-dependent behavior. \
+                    Allowlisted in `telemetry` (span times are redactable), `serve` \
+                    (deadlines), and `bench`/`lint` (measurement tools).",
+        kinds: &[Lib, Bin],
+        crates: AllExcept(WALL_CLOCK_ALLOWED),
+        counter: "lint.findings.L003",
+    },
+    Rule {
+        id: "L004",
+        title: "`==`/`!=` on floating-point expressions",
+        rationale: "Exact float equality on numerical-kernel paths is almost always \
+                    a tolerance bug; intentional exact-zero fast paths carry an \
+                    inline allow with the justification.",
+        kinds: &[Lib],
+        crates: Only(&["linalg", "optim", "thermal"]),
+        counter: "lint.findings.L004",
+    },
+    Rule {
+        id: "L005",
+        title: "`println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` in library code",
+        rationale: "Library code reports through `oftec-telemetry` events and \
+                    counters so output is structured, level-gated, and uniform \
+                    across binaries; ad-hoc printing belongs to bins only.",
+        kinds: &[Lib],
+        crates: AllExcept(&[]),
+        counter: "lint.findings.L005",
+    },
+    Rule {
+        id: "L006",
+        title: "naked `panic!`/`unreachable!`/`todo!`/`unimplemented!` in library code",
+        rationale: "PR 3's fault taxonomy: non-test solve paths return typed errors; \
+                    the executor contains worker panics but a library panic is still \
+                    an abort on the serial path. Deliberate invariant guards carry \
+                    an inline allow naming the invariant.",
+        kinds: &[Lib],
+        crates: AllExcept(&[]),
+        counter: "lint.findings.L006",
+    },
+    Rule {
+        id: "L007",
+        title: "missing `#[must_use]` on public `Result`-returning solver entry points",
+        rationale: "Dropping a solver `Result` silently discards a failed solve; \
+                    entry points (`pub fn solve*`/`run`) in the solver crates must \
+                    be annotated so callers cannot ignore the outcome.",
+        kinds: &[Lib],
+        crates: Only(&["linalg", "optim", "thermal", "core"]),
+        counter: "lint.findings.L007",
+    },
+];
+
+/// Looks up a rule by id.
+pub fn rule(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+impl Rule {
+    /// Whether this rule scans the given crate/target combination.
+    pub fn applies(&self, krate: &str, kind: FileKind) -> bool {
+        if !self.kinds.contains(&kind) {
+            return false;
+        }
+        match self.crates {
+            AllExcept(list) => !list.contains(&krate),
+            Only(list) => list.contains(&krate),
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! The tool is subject to its own gate: a full workspace run must report
+//! no active findings in `crates/lint/`, and with the checked-in baseline
+//! the whole workspace must be clean under `--deny all`.
+
+use oftec_lint::{run, DenySet, RunConfig, Status};
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+#[test]
+fn lint_is_clean_on_its_own_source() {
+    let root = workspace_root();
+    let config = RunConfig {
+        root: root.clone(),
+        baseline: root.join("lint-baseline.toml"),
+        deny: DenySet::All,
+    };
+    let report = run(&config).expect("workspace scan succeeds");
+    assert!(report.files_scanned > 0, "scan walked no files");
+
+    let own: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| f.file.starts_with("crates/lint/") && f.status == Status::Active)
+        .map(|f| format!("{}:{}:{} {} {}", f.file, f.line, f.col, f.rule, f.message))
+        .collect();
+    assert!(
+        own.is_empty(),
+        "oftec-lint flags its own source:\n{}",
+        own.join("\n")
+    );
+}
+
+#[test]
+fn workspace_is_clean_under_deny_all() {
+    let root = workspace_root();
+    let deny = DenySet::All;
+    let config = RunConfig {
+        root: root.clone(),
+        baseline: root.join("lint-baseline.toml"),
+        deny: deny.clone(),
+    };
+    let report = run(&config).expect("workspace scan succeeds");
+    let denied: Vec<String> = report
+        .denied(&deny)
+        .map(|f| format!("{}:{}:{} {} {}", f.file, f.line, f.col, f.rule, f.message))
+        .collect();
+    assert!(
+        denied.is_empty() && report.stale.is_empty(),
+        "gate violations:\n{}\nstale baseline entries: {}",
+        denied.join("\n"),
+        report.stale.len()
+    );
+}

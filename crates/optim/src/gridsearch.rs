@@ -34,6 +34,7 @@ impl GridSearch {
     ///
     /// - [`OptimError::Subproblem`] if `dim > 3` (the grid would explode),
     /// - [`OptimError::BadStart`] if no feasible grid point exists.
+    #[must_use = "the solve outcome (including failure) is in the Result"]
     pub fn solve<P: NlpProblem + Sync>(
         &self,
         problem: &P,

@@ -44,6 +44,7 @@ impl InteriorPoint {
     /// - [`OptimError::DimensionMismatch`] on a wrong-length start.
     /// - [`OptimError::BadStart`] if `x0` is not strictly feasible or the
     ///   objective fails there.
+    #[must_use = "the solve outcome (including failure) is in the Result"]
     pub fn solve<P: NlpProblem>(
         &self,
         problem: &P,
@@ -135,6 +136,7 @@ impl InteriorPoint {
                 let (alpha, f_new, ls) =
                     backtrack(|p| barrier(p, mu), &x, fx, &dir, slope, 1e-4, 50);
                 evals += ls;
+                // oftec-lint: allow(L004, the line search reports exactly 0.0 when no step is taken)
                 if alpha == 0.0 {
                     break;
                 }

@@ -51,6 +51,7 @@ impl NelderMead {
     /// - [`OptimError::DimensionMismatch`] if `x0` has the wrong length.
     /// - [`OptimError::BadStart`] if the merit cannot be evaluated at the
     ///   (projected) start.
+    #[must_use = "the solve outcome (including failure) is in the Result"]
     pub fn solve<P: NlpProblem>(
         &self,
         problem: &P,

@@ -52,6 +52,7 @@ const FEAS_TOL: f64 = 1e-8;
 /// guarantees this via damped BFGS); a singular KKT system from dependent
 /// active rows is handled by dropping rows, and only reported if
 /// unresolvable.
+#[must_use = "the solve outcome (including failure) is in the Result"]
 pub fn solve_qp(
     h: &Matrix,
     g: &[f64],

@@ -53,6 +53,7 @@ impl ActiveSetSqp {
     /// - [`OptimError::NonFinite`] if the objective, a constraint, or a
     ///   finite-difference gradient evaluates to NaN/inf — the solver
     ///   refuses to iterate on garbage.
+    #[must_use = "the solve outcome (including failure) is in the Result"]
     pub fn solve<P: NlpProblem>(
         &self,
         problem: &P,
@@ -70,6 +71,7 @@ impl ActiveSetSqp {
     /// # Errors
     ///
     /// Same as [`ActiveSetSqp::solve`].
+    #[must_use = "the solve outcome (including failure) is in the Result"]
     pub fn solve_until<P, S>(
         &self,
         problem: &P,
@@ -187,6 +189,7 @@ impl ActiveSetSqp {
                 let mut y = vector::sub(&grad_f, g_prev);
                 for j in 0..m {
                     let w = -last_lambda_weight(&c, j);
+                    // oftec-lint: allow(L004, exact zero means the multiplier is inactive, not small)
                     if w != 0.0 {
                         for k in 0..n {
                             y[k] += w * (jac[(j, k)] - jac_prev[(j, k)]);
@@ -315,6 +318,7 @@ impl ActiveSetSqp {
                 self.max_halvings,
             );
             evals += 2 * ls_evals;
+            // oftec-lint: allow(L004, the line search reports exactly 0.0 when no step is taken)
             if alpha == 0.0 {
                 // No merit progress possible along the QP direction:
                 // declare convergence if the step was already small.

@@ -38,6 +38,7 @@ impl TrustRegion {
     /// - [`OptimError::DimensionMismatch`] on a wrong-length start.
     /// - [`OptimError::BadStart`] if the penalty function cannot be
     ///   evaluated at the (projected) start.
+    #[must_use = "the solve outcome (including failure) is in the Result"]
     pub fn solve<P: NlpProblem>(
         &self,
         problem: &P,

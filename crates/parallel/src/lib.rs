@@ -143,6 +143,7 @@ where
         // Re-raise with the original message as a `String` payload — the
         // closest reproduction of the serial loop's panic the batch
         // boundary allows.
+        // oftec-lint: allow(L006, re-raises a contained worker panic to mirror the serial loop's documented contract)
         panic!("{}", p.message);
     }
     out
@@ -236,9 +237,14 @@ where
         .into_iter()
         .enumerate()
         .map(|(index, slot)| {
-            let outcome = match slot {
-                Some(outcome) => outcome,
-                None => unreachable!("every index is claimed exactly once"),
+            // Every index is claimed exactly once by the atomic cursor;
+            // an unfilled slot would be an executor bug, surfaced as a
+            // typed per-item fault instead of an abort.
+            let Some(outcome) = slot else {
+                return Err(ItemPanic {
+                    index,
+                    message: "executor bug: work item was never claimed".to_string(),
+                });
             };
             match outcome {
                 Ok((r, tele)) => {

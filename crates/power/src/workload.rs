@@ -407,6 +407,7 @@ impl Benchmark {
     /// Panics if the floorplan lacks a profiled unit or `samples == 0`.
     pub fn synthesize_trace(self, fp: &Floorplan, samples: usize) -> PowerTrace {
         self.try_synthesize_trace(fp, samples)
+            // oftec-lint: allow(L006, documented panicking convenience over try_synthesize_trace)
             .unwrap_or_else(|e| panic!("floorplan must contain every profiled unit: {e}"))
     }
 

@@ -273,10 +273,10 @@ pub fn capture<R>(f: impl FnOnce() -> R) -> (R, LocalBuffer) {
         saved: Some(STATE.with(|s| std::mem::take(&mut *s.borrow_mut()))),
     };
     let result = f();
-    let saved = match restore.saved.take() {
-        Some(saved) => saved,
-        None => unreachable!("restore state consumed exactly once"),
-    };
+    // `saved` is still present here: the drop guard only consumes it on
+    // unwind. Falling back to a default state is a no-op in that
+    // impossible case rather than a panic on the telemetry path.
+    let saved = restore.saved.take().unwrap_or_default();
     let captured = STATE.with(|s| std::mem::replace(&mut *s.borrow_mut(), saved));
     (result, captured.buf)
 }

@@ -150,6 +150,7 @@ fn grid_overlaps(a: &LayerGrid, b: &LayerGrid) -> Vec<(usize, usize, f64)> {
 /// Adds lateral conduction edges within one layer.
 fn lateral_edges(layer: &LayerGrid, edges: &mut Vec<(usize, usize, f64)>) {
     let t = layer.spec.thickness.meters();
+    // oftec-lint: allow(L004, zero thickness encodes an interface plane, exactly)
     if t == 0.0 {
         return; // interface planes conduct only vertically
     }
@@ -185,6 +186,7 @@ fn vertical_edges_default(
         let mut g = series_halves(gl, gu);
         if let Some(h) = extra_interface_h {
             let gi = h * area;
+            // oftec-lint: allow(L004, exact zero keeps the series combination well-defined)
             g = if g == 0.0 { 0.0 } else { g * gi / (g + gi) };
         }
         if g > 0.0 {
@@ -343,12 +345,14 @@ pub(crate) fn build_network(
         layers
             .iter()
             .find(|l| l.spec.role == role)
+            // oftec-lint: allow(L006, the fixed layer recipe built a few lines up always contains this layer)
             .unwrap_or_else(|| panic!("layer stack recipe is missing its {role:?} layer"))
     };
     let by_name = |name: &str| {
         layers
             .iter()
             .find(|l| l.spec.name == name)
+            // oftec-lint: allow(L006, the fixed layer recipe built a few lines up always contains this layer)
             .unwrap_or_else(|| panic!("layer stack recipe is missing the {name:?} layer"))
     };
 

@@ -121,6 +121,7 @@ impl LumpedModel {
     /// exceeds the effective conductance (no stable solution), and
     /// [`ThermalError::InvalidOperatingPoint`] for ω outside
     /// `[0, ω_max]`.
+    #[must_use = "the solve outcome (including failure) is in the Result"]
     pub fn solve(&self, omega: AngularVelocity) -> Result<LumpedSolution, ThermalError> {
         let w = omega.rad_per_s();
         let w_max = self.config.fan.omega_max.rad_per_s();

@@ -289,6 +289,7 @@ impl HybridCoolingModel {
             leakage,
         ) {
             Ok(model) => model,
+            // oftec-lint: allow(L006, documented panicking constructor; the deployment recipe is consistent by construction)
             Err(e) => panic!("consistent inputs: {e}"),
         }
     }
@@ -315,6 +316,7 @@ impl HybridCoolingModel {
             leakage,
         ) {
             Ok(model) => model,
+            // oftec-lint: allow(L006, documented panicking constructor; the fan-only recipe is consistent by construction)
             Err(e) => panic!("consistent inputs: {e}"),
         }
     }
@@ -431,9 +433,11 @@ impl HybridCoolingModel {
         i_tec: f64,
     ) {
         if let Some(tec) = &self.tec {
+            // oftec-lint: allow(L004, TEC-off operating points carry an exact 0.0 current)
             if i_tec != 0.0 {
                 for cell in 0..self.chip_cells {
                     let alpha = tec.alpha_cell[cell];
+                    // oftec-lint: allow(L004, cells outside the deployment have exactly zero Seebeck share)
                     if alpha == 0.0 {
                         continue;
                     }
@@ -450,9 +454,11 @@ impl HybridCoolingModel {
     /// Joule RHS injection, written through the cached diagonal indices.
     pub(crate) fn fold_tec_in_place(&self, values: &mut [f64], rhs: &mut [f64], i_tec: f64) {
         if let Some(tec) = &self.tec {
+            // oftec-lint: allow(L004, TEC-off operating points carry an exact 0.0 current)
             if i_tec != 0.0 {
                 for cell in 0..self.chip_cells {
                     let alpha = tec.alpha_cell[cell];
+                    // oftec-lint: allow(L004, cells outside the deployment have exactly zero Seebeck share)
                     if alpha == 0.0 {
                         continue;
                     }
@@ -493,6 +499,7 @@ impl HybridCoolingModel {
                 }
             }
             None => {
+                // oftec-lint: allow(L004, a fan-only stack rejects only a truly nonzero TEC current)
                 if i != 0.0 {
                     return Err(ThermalError::InvalidOperatingPoint(
                         "fan-only model cannot drive a TEC current".into(),
@@ -539,6 +546,7 @@ impl HybridCoolingModel {
     /// - [`ThermalError::Runaway`] when no (physical) steady state exists,
     /// - [`ThermalError::InvalidOperatingPoint`] on bound violations,
     /// - [`ThermalError::Solver`] on unrelated numerical failure.
+    #[must_use = "the solve outcome (including failure) is in the Result"]
     pub fn solve(&self, op: OperatingPoint) -> Result<ThermalSolution, ThermalError> {
         self.validate_operating_point(op)?;
         self.solve_linearized(op, &self.cell_leak, None)
@@ -554,6 +562,7 @@ impl HybridCoolingModel {
     ///
     /// Same as [`HybridCoolingModel::solve`]; additionally
     /// [`ThermalError::Config`] if `initial` has the wrong length.
+    #[must_use = "the solve outcome (including failure) is in the Result"]
     pub fn solve_from(
         &self,
         op: OperatingPoint,
@@ -585,6 +594,7 @@ impl HybridCoolingModel {
     /// # Errors
     ///
     /// Same as [`HybridCoolingModel::solve`].
+    #[must_use = "the solve outcome (including failure) is in the Result"]
     pub fn solve_reference(&self, op: OperatingPoint) -> Result<ThermalSolution, ThermalError> {
         self.validate_operating_point(op)?;
         let fan_g = self.config.fan.conductance(op.fan_speed).w_per_k();
@@ -750,9 +760,11 @@ impl HybridCoolingModel {
 
         let i = op.tec_current.amperes();
         let tec_w: f64 = match &self.tec {
+            // oftec-lint: allow(L004, TEC-off operating points carry an exact 0.0 current)
             Some(tec) if i != 0.0 => (0..self.chip_cells)
                 .map(|cell| {
                     let alpha = tec.alpha_cell[cell];
+                    // oftec-lint: allow(L004, cells outside the deployment have exactly zero Seebeck share)
                     if alpha == 0.0 {
                         return 0.0;
                     }

@@ -44,6 +44,7 @@ impl HybridCoolingModel {
     /// Same classification as [`HybridCoolingModel::solve`]; additionally,
     /// failure of the outer fixed point to converge is reported as
     /// [`ThermalError::Runaway`].
+    #[must_use = "the solve outcome (including failure) is in the Result"]
     pub fn solve_nonlinear(
         &self,
         op: OperatingPoint,

@@ -43,11 +43,8 @@ pub struct TransientTrace {
 }
 
 impl TransientTrace {
-    /// The hottest chip temperature seen anywhere in the trace.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an empty trace (cannot happen for `steps ≥ 1`).
+    /// The hottest chip temperature seen anywhere in the trace, or
+    /// absolute zero on an empty trace (cannot happen for `steps ≥ 1`).
     pub fn peak(&self) -> Temperature {
         self.max_chip
             .iter()
@@ -55,16 +52,14 @@ impl TransientTrace {
             .fold(Temperature::ABSOLUTE_ZERO, Temperature::max)
     }
 
-    /// The final recorded maximum chip temperature.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an empty trace.
+    /// The final recorded maximum chip temperature, or absolute zero on
+    /// an empty trace (cannot happen for `steps ≥ 1`) — the same
+    /// degenerate value [`TransientTrace::peak`] reports.
     pub fn last(&self) -> Temperature {
-        match self.max_chip.last() {
-            Some(t) => *t,
-            None => panic!("transient trace recorded no samples"),
-        }
+        self.max_chip
+            .last()
+            .copied()
+            .unwrap_or(Temperature::ABSOLUTE_ZERO)
     }
 }
 

@@ -16,7 +16,13 @@ fn main() {
 
     println!("=== fan-only baseline at ω_max (5000 RPM) ===");
     for b in Benchmark::ALL {
-        let dyn_p = b.max_dynamic_power(&fp).unwrap();
+        let dyn_p = match b.max_dynamic_power(&fp) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{:>14}  cannot synthesize: {e}", b.name());
+                continue;
+            }
+        };
         let total: f64 = dyn_p.iter().sum();
         let model = HybridCoolingModel::fan_only(&fp, &cfg, dyn_p, &leak);
         let op = OperatingPoint::fan_only(AngularVelocity::from_rpm(5000.0));
@@ -39,7 +45,13 @@ fn main() {
 
     println!("\n=== hybrid TEC grid probe (best point found) ===");
     for b in Benchmark::ALL {
-        let dyn_p = b.max_dynamic_power(&fp).unwrap();
+        let dyn_p = match b.max_dynamic_power(&fp) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{:>14}  cannot synthesize: {e}", b.name());
+                continue;
+            }
+        };
         let model = HybridCoolingModel::with_tec(&fp, &cfg, dyn_p, &leak);
         let mut best: Option<(f64, f64, f64, f64)> = None; // (T, P, rpm, amps)
         let mut coolest: Option<(f64, f64, f64)> = None; // (T, rpm, amps)
@@ -52,10 +64,10 @@ fn main() {
                 if let Ok(sol) = model.solve(op) {
                     let t = sol.max_chip_temperature().celsius();
                     let p = sol.objective_power().watts();
-                    if coolest.is_none() || t < coolest.unwrap().0 {
+                    if coolest.is_none_or(|(ct, _, _)| t < ct) {
                         coolest = Some((t, rpm_i as f64, amp_i as f64 * 0.5));
                     }
-                    if t < 90.0 && (best.is_none() || p < best.unwrap().1) {
+                    if t < 90.0 && best.is_none_or(|(_, bp, _, _)| p < bp) {
                         best = Some((t, p, rpm_i as f64, amp_i as f64 * 0.5));
                     }
                 }

@@ -11,8 +11,9 @@ use oftec_floorplan::{Floorplan, FunctionalUnit, Rect};
 use oftec_power::McpatBudget;
 use oftec_thermal::PackageConfig;
 use oftec_units::{Length, Power, Temperature};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     // A 12 × 12 mm quad-core die: four 5×5 mm cores in the corners, an
     // L2 cross in the middle.
     let mm = Length::from_mm;
@@ -33,7 +34,10 @@ fn main() {
             FunctionalUnit::new("L2_h1", Rect::new(mm(7.0), mm(5.0), mm(5.0), mm(2.0))),
         ],
     );
-    floorplan.validate().expect("tiling is exact");
+    if let Err(e) = floorplan.validate() {
+        eprintln!("custom floorplan does not tile the die: {e}");
+        return ExitCode::FAILURE;
+    }
 
     // Asymmetric workload: Core0 is blasting, Core3 moderate, others idle.
     let dyn_power: Vec<f64> = floorplan
@@ -95,4 +99,5 @@ fn main() {
             );
         }
     }
+    ExitCode::SUCCESS
 }

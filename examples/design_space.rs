@@ -70,20 +70,19 @@ fn main() {
     });
     heatmap("cooling power 𝒫 (W)", &sweep, |s| s.power_watts);
 
-    if let Some(cool) = sweep.coolest() {
+    if let Some((t, cool)) = sweep
+        .coolest()
+        .and_then(|c| c.max_temp_celsius.map(|t| (t, c)))
+    {
         println!(
-            "\ncoolest:  {:.2} °C at ω = {:.0} RPM, I = {:.2} A",
-            cool.max_temp_celsius.unwrap(),
-            cool.omega_rpm,
-            cool.current_a
+            "\ncoolest:  {t:.2} °C at ω = {:.0} RPM, I = {:.2} A",
+            cool.omega_rpm, cool.current_a
         );
     }
-    if let Some(cheap) = sweep.cheapest() {
+    if let Some((p, cheap)) = sweep.cheapest().and_then(|c| c.power_watts.map(|p| (p, c))) {
         println!(
-            "cheapest: {:.2} W at ω = {:.0} RPM, I = {:.2} A",
-            cheap.power_watts.unwrap(),
-            cheap.omega_rpm,
-            cheap.current_a
+            "cheapest: {p:.2} W at ω = {:.0} RPM, I = {:.2} A",
+            cheap.omega_rpm, cheap.current_a
         );
     }
     println!(

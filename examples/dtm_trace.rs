@@ -57,10 +57,18 @@ fn main() {
 
     // Now the actual workload: a 2-second phased trace at 1 ms sampling.
     let trace = benchmark.synthesize_trace(system.floorplan(), 2000);
-    let driven = system
-        .tec_model()
-        .simulate_power_trace(sol.operating_point, &trace, Some(&sol.solution), 20)
-        .expect("healthy operating point");
+    let driven = match system.tec_model().simulate_power_trace(
+        sol.operating_point,
+        &trace,
+        Some(&sol.solution),
+        20,
+    ) {
+        Ok(d) => d,
+        Err(e) => {
+            println!("transient simulation failed at the optimized point: {e}");
+            return;
+        }
+    };
 
     let celsius: Vec<f64> = driven.max_chip.iter().map(|t| t.celsius()).collect();
     println!("\nhot-spot trajectory over the 2 s trace (one char = 20 ms):");

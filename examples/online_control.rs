@@ -41,16 +41,23 @@ fn main() {
     // class; simulate the boost on that workload from its class setting.
     let running_watts = 45.0;
     let running = reference.scaled(running_watts / reference.total_dynamic_power().watts());
-    let op = lut
-        .lookup(Power::from_watts(running_watts))
-        .expect("45 W class is coolable");
+    let Some(op) = lut.lookup(Power::from_watts(running_watts)) else {
+        println!("the {running_watts:.1} W class is uncoolable; skipping the boost demo");
+        return;
+    };
     println!("\ntransient boost from the {running_watts:.1} W class setting:");
-    let report = TransientBoost {
+    let report = match (TransientBoost {
         boost: Current::from_amperes(1.0),
         duration_seconds: 1.0,
-    }
+    })
     .simulate(&running, op)
-    .expect("boost stays inside the 5 A limit");
+    {
+        Ok(r) => r,
+        Err(e) => {
+            println!("boost simulation failed: {e}");
+            return;
+        }
+    };
     println!(
         "  steady {:.2} °C → boosted minimum {:.2} °C (transient gain {:.2} K)",
         report.steady_temperature.celsius(),
