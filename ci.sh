@@ -68,7 +68,8 @@ snap=$(mktemp)
 portfile=$(mktemp)
 servesnap=$(mktemp)
 servebench=$(mktemp)
-trap 'rm -f "$snap" "$portfile" "$servesnap" "$servebench"' EXIT
+redbench=$(mktemp)
+trap 'rm -f "$snap" "$portfile" "$servesnap" "$servebench" "$redbench"' EXIT
 ./target/release/oftec-cli optimize qsort --scale 1.05 --telemetry-json "$snap" > /dev/null
 python3 - "$snap" <<'PY'
 import json, sys
@@ -108,11 +109,34 @@ assert counters.get("serve.requests", 0) > 0, "no requests recorded"
 assert counters.get("serve.cache.hits", 0) > 0, "no cache hits under 60% key reuse"
 assert counters.get("serve.panics", 0) == 0, "server panicked under mixed load"
 assert counters.get("serve.responses_err", 0) > 0, "mixed traffic must produce typed errors"
+assert counters.get("serve.probes", 0) > 0, "health/shutdown probes not counted"
 bench = json.load(open(sys.argv[2]))
 assert bench["requests"] > 0 and bench["ok"] > 0, "loadgen recorded no traffic"
 assert bench["latency"]["overall"]["p50_us"] > 0, "no latency percentiles"
+# Errors are split by cause; the three classes partition the error count.
+split = bench["shed"] + bench["deadline_exceeded"] + bench["failed"]
+assert split == bench["errors"], "error split does not partition errors"
 print("serve smoke ok:",
       counters["serve.requests"], "requests,",
       counters["serve.cache.hits"], "cache hits,",
       counters["serve.panics"], "panics")
+PY
+
+# Reduced-order solve smoke (DESIGN.md §14): build the POD basis on the
+# coarse DAC'14 package, sweep an operating-point grid, and assert the
+# reduced path actually ran (reduction.solves > 0) and stayed inside the
+# 0.1 K die-temperature accuracy budget against the full CG reference.
+./target/release/reduction_accuracy --smoke --out "$redbench" > /dev/null
+python3 - "$redbench" <<'PY'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+assert bench["grid"]["compared"] > 0, "no comparable grid points"
+assert bench["grid"]["disagreements"] == 0, "reduced/full solvability disagreement"
+assert bench["max_abs_error_k"] < 0.1, \
+    f"reduced solve error {bench['max_abs_error_k']} K exceeds 0.1 K budget"
+assert bench["counters"]["reduction.solves"] > 0, "reduced path never engaged"
+print("reduction smoke ok:",
+      bench["grid"]["compared"], "points,",
+      "max err %.2e K," % bench["max_abs_error_k"],
+      "speedup %.1fx" % bench["latency"]["speedup"])
 PY

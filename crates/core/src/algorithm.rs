@@ -173,12 +173,19 @@ impl OftecOutcome {
 impl Oftec {
     /// Runs Algorithm 1 on the hybrid (TEC + fan) model of `system`.
     ///
+    /// Steady-state evaluations go through the system's reduced-order
+    /// model ([`CoolingSystem::reduced_tec_model`]): every accepted
+    /// solution carries a residual certificate, and any uncertified point
+    /// silently falls back to the full CG path, so the optimum matches the
+    /// full model within the reduction tolerance.
+    ///
     /// # Errors
     ///
     /// See [`Oftec::run_on_model`].
     #[must_use = "the solve outcome (including failure) is in the Result"]
     pub fn run(&self, system: &CoolingSystem) -> Result<OftecOutcome, OftecError> {
-        self.run_on_model(system.tec_model(), system.t_max())
+        let reduced = system.reduced_tec_model();
+        self.run_on_model(&reduced, system.t_max())
     }
 
     /// Runs **Optimization 2 to convergence** (no early stop): minimizes

@@ -1,9 +1,14 @@
 //! A complete per-workload cooling setup.
 
+use std::sync::OnceLock;
+
 use oftec_floorplan::{alpha21264, Floorplan};
 use oftec_power::{Benchmark, LeakageModel, McpatBudget};
 use oftec_tec::TecDeviceParams;
-use oftec_thermal::{CoolingConfig, HybridCoolingModel, PackageConfig};
+use oftec_thermal::{
+    CoolingConfig, HybridCoolingModel, PackageConfig, ReducedCoolingModel, ReducedModel,
+    ReductionOptions,
+};
 use oftec_units::{Power, Temperature};
 
 /// Everything OFTEC needs for one workload: the die, the Table 1 package,
@@ -20,6 +25,10 @@ pub struct CoolingSystem {
     leakage: LeakageModel,
     tec_model: HybridCoolingModel,
     fan_model: HybridCoolingModel,
+    /// Lazily built reduced-order companion of `tec_model`. `Some(None)`
+    /// records a failed build so it is attempted only once; the reduced
+    /// wrapper then transparently degrades to the full model.
+    reduced: OnceLock<Option<ReducedModel>>,
 }
 
 impl CoolingSystem {
@@ -122,6 +131,7 @@ impl CoolingSystem {
             leakage,
             tec_model,
             fan_model,
+            reduced: OnceLock::new(),
         }
     }
 
@@ -168,6 +178,27 @@ impl CoolingSystem {
     /// The hybrid (TEC + fan) thermal model.
     pub fn tec_model(&self) -> &HybridCoolingModel {
         &self.tec_model
+    }
+
+    /// The reduced-order view of the hybrid model: steady-state solves go
+    /// through the precomputed POD basis (microseconds per evaluation)
+    /// with a residual-certified fallback to the full CG path.
+    ///
+    /// The reduced model is built on first use and cached for the life of
+    /// the system (a few dozen warm-started full solves). If the build
+    /// fails — e.g. too few feasible snapshot points — the failure is
+    /// cached too and the returned wrapper simply delegates everything to
+    /// the full model.
+    pub fn reduced_tec_model(&self) -> ReducedCoolingModel<'_> {
+        let reduced = self
+            .reduced
+            .get_or_init(|| {
+                self.tec_model
+                    .build_reduced(&ReductionOptions::default())
+                    .ok()
+            })
+            .as_ref();
+        ReducedCoolingModel::new(&self.tec_model, reduced)
     }
 
     /// The fan-only baseline thermal model (fairness-boosted TIM1, §6.1).
@@ -242,6 +273,34 @@ mod tests {
         assert!(
             (half.total_dynamic_power().watts() - 0.5 * s.total_dynamic_power().watts()).abs()
                 < 1e-9
+        );
+    }
+
+    #[test]
+    fn reduced_model_is_built_once_and_agrees() {
+        use oftec_thermal::{CoolingModel, OperatingPoint};
+        use oftec_units::{AngularVelocity, Current};
+        let s = CoolingSystem::for_benchmark_with_config(
+            Benchmark::Crc32,
+            &PackageConfig::dac14_coarse(),
+        );
+        let reduced = s.reduced_tec_model();
+        assert!(reduced.reduced_model().is_some());
+        // Second call reuses the cached build (same allocation).
+        let again = s.reduced_tec_model();
+        assert!(std::ptr::eq(
+            reduced.reduced_model().unwrap(),
+            again.reduced_model().unwrap()
+        ));
+        let op = OperatingPoint::new(
+            AngularVelocity::from_rpm(3200.0),
+            Current::from_amperes(1.0),
+        );
+        let fast = reduced.solve(op).unwrap();
+        let full = s.tec_model().solve(op).unwrap();
+        assert!(
+            (fast.max_chip_temperature().kelvin() - full.max_chip_temperature().kelvin()).abs()
+                < 0.1
         );
     }
 

@@ -1,0 +1,195 @@
+//! Sliced-ELLPACK (SELL-C) storage for read-only SpMV hot loops.
+//!
+//! CSR's row-pointer indirection makes its matvec kernel walk three
+//! arrays with data-dependent bounds per row. For matrices that are
+//! assembled once and then multiplied thousands of times — the reduced-
+//! order model's residual check, basis projections — a blocked layout
+//! pays: rows are grouped into chunks of [`SellMatrix::CHUNK`] lanes and
+//! each chunk stores its entries column-major (entry slot × lane), so
+//! the inner loop streams contiguously and the per-row bookkeeping is a
+//! single length array.
+//!
+//! Determinism contract: [`SellMatrix::matvec_into`] accumulates each
+//! row's products in exactly the CSR entry order (ascending column), so
+//! its results are bit-identical to [`CsrMatrix::matvec_into`] on the
+//! matrix it was built from — padding slots are never touched, not even
+//! as `+ 0.0` terms, which would rewrite `-0.0` sums.
+
+use crate::CsrMatrix;
+
+/// A sparse matrix in SELL-C layout (chunked rows, column-major slots),
+/// built from a [`CsrMatrix`] and read-only thereafter.
+#[derive(Debug, Clone)]
+pub struct SellMatrix {
+    rows: usize,
+    cols: usize,
+    /// Entries per row, in row order.
+    row_len: Vec<usize>,
+    /// Start of each chunk's slot storage in `vals`/`col_idx`
+    /// (`chunks + 1` entries).
+    chunk_ptr: Vec<usize>,
+    /// Column indices, chunk-local column-major: slot `e` of lane `l` in
+    /// chunk `c` lives at `chunk_ptr[c] + e * CHUNK + l`.
+    col_idx: Vec<u32>,
+    /// Values, same layout as `col_idx`.
+    vals: Vec<f64>,
+}
+
+impl SellMatrix {
+    /// Rows per chunk. Eight lanes of `f64` fill a cache line pair and
+    /// match the widest vector registers in common use.
+    pub const CHUNK: usize = 8;
+
+    /// Converts a CSR matrix. Entry order within each row is preserved
+    /// (ascending column, as CSR stores it).
+    pub fn from_csr(csr: &CsrMatrix) -> Self {
+        let rows = csr.rows();
+        let chunk = Self::CHUNK;
+        let n_chunks = rows.div_ceil(chunk);
+        let row_len: Vec<usize> = (0..rows).map(|r| csr.row_iter(r).count()).collect();
+        let mut chunk_ptr = Vec::with_capacity(n_chunks + 1);
+        let mut total = 0usize;
+        chunk_ptr.push(total);
+        for c in 0..n_chunks {
+            let start = c * chunk;
+            let end = (start + chunk).min(rows);
+            let width = row_len[start..end].iter().copied().max().unwrap_or(0);
+            total += width * chunk;
+            chunk_ptr.push(total);
+        }
+        // Padding slots keep column 0 / value 0.0 but are skipped by the
+        // kernel via `row_len`; the concrete contents never matter.
+        let mut col_idx = vec![0u32; total];
+        let mut vals = vec![0.0f64; total];
+        for r in 0..rows {
+            let c = r / chunk;
+            let lane = r % chunk;
+            let base = chunk_ptr[c];
+            for (e, (col, v)) in csr.row_iter(r).enumerate() {
+                let slot = base + e * chunk + lane;
+                col_idx[slot] = col as u32;
+                vals[slot] = v;
+            }
+        }
+        Self {
+            rows,
+            cols: csr.cols(),
+            row_len,
+            chunk_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Row count.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored (non-padding) entry count.
+    pub fn nnz(&self) -> usize {
+        self.row_len.iter().sum()
+    }
+
+    /// `y = A·x`, bit-identical to the source CSR matrix's
+    /// [`CsrMatrix::matvec_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "x length must match matrix columns");
+        assert_eq!(y.len(), self.rows, "y length must match matrix rows");
+        let chunk = Self::CHUNK;
+        for c in 0..self.chunk_ptr.len() - 1 {
+            let base = self.chunk_ptr[c];
+            let start = c * chunk;
+            let end = (start + chunk).min(self.rows);
+            for r in start..end {
+                let lane = r - start;
+                let len = self.row_len[r];
+                let mut acc = 0.0;
+                for e in 0..len {
+                    let slot = base + e * chunk + lane;
+                    acc += self.vals[slot] * x[self.col_idx[slot] as usize];
+                }
+                y[r] = acc;
+            }
+        }
+    }
+
+    /// Convenience allocating form of [`SellMatrix::matvec_into`].
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Triplets;
+
+    fn dense_to_csr(rows: usize, cols: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
+        let mut t = Triplets::new(rows, cols);
+        for &(r, c, v) in entries {
+            t.push(r, c, v);
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn matvec_matches_csr_bitwise() {
+        // 19 rows: two full chunks + a ragged tail, with wildly varying
+        // row lengths (including empty rows).
+        let mut entries = Vec::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rnd = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for r in 0..19usize {
+            let len = (r * 7) % 5; // 0..=4 entries per row
+            for e in 0..len {
+                let c = (r * 3 + e * 5) % 17;
+                entries.push((r, c, rnd() * 2.0 - 1.0));
+            }
+        }
+        let csr = dense_to_csr(19, 17, &entries);
+        let sell = SellMatrix::from_csr(&csr);
+        assert_eq!(sell.nnz(), csr.nnz());
+        let x: Vec<f64> = (0..17).map(|i| rnd() * 10.0 - 5.0 + i as f64).collect();
+        let mut y_csr = vec![0.0; 19];
+        csr.matvec_into(&x, &mut y_csr);
+        let y_sell = sell.matvec(&x);
+        for (a, b) in y_csr.iter().zip(&y_sell) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "SELL matvec must match CSR bitwise"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_rows_produce_exact_zero() {
+        let csr = dense_to_csr(9, 9, &[(0, 0, 2.0), (8, 8, 3.0)]);
+        let sell = SellMatrix::from_csr(&csr);
+        let y = sell.matvec(&[1.0; 9]);
+        assert_eq!(y[0], 2.0);
+        assert_eq!(y[8], 3.0);
+        for &v in &y[1..8] {
+            assert_eq!(v.to_bits(), 0.0f64.to_bits());
+        }
+    }
+}

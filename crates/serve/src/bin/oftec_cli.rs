@@ -26,10 +26,13 @@
 //!   --threads <n>              executor threads (default: OFTEC_THREADS)
 //!   --cache-capacity <n>       result-cache entries (default 1024)
 //!   --cache-ttl-ms <ms>        result-cache TTL (default: none)
-//!   --batch-window-ms <ms>     micro-batch window (default 2)
+//!   --batch-window-ms <ms>     micro-batch window (default 0: dispatch
+//!                              immediately, still draining queued jobs)
 //!   --batch-max <n>            max jobs per batch (default 32)
 //!   --queue-capacity <n>       admission queue bound (default 256)
 //!   --coarse                   coarse DAC'14 package (fast solves)
+//!   --prewarm <benchmark>      build the benchmark's system and reduced
+//!                              model before accepting (repeatable)
 //!   --port-file <path>         write the bound port (for port 0)
 //!   --telemetry-json <path>    write the final snapshot on shutdown
 //! ```
@@ -172,6 +175,12 @@ fn parse_serve_config(
                     (parse_num("--queue-capacity", value("--queue-capacity")?)? as usize).max(1);
             }
             "--coarse" => config.coarse = true,
+            "--prewarm" => {
+                let name = value("--prewarm")?;
+                let benchmark = Benchmark::from_name(&name)
+                    .ok_or(format!("--prewarm: unknown benchmark `{name}`"))?;
+                config.prewarm.push(benchmark);
+            }
             "--port-file" => config.port_file = Some(value("--port-file")?),
             other => return Err(format!("serve: unknown flag `{other}`")),
         }
@@ -303,7 +312,9 @@ fn run(args: &[String], scale: Option<f64>) -> ExitCode {
                 ExitCode::FAILURE
             }
         },
-        "cool" => match Oftec::default().minimize_temperature(system.tec_model(), system.t_max()) {
+        "cool" => match Oftec::default()
+            .minimize_temperature(&system.reduced_tec_model(), system.t_max())
+        {
             Some(sol) => {
                 println!(
                     "{}: coolest {:.2} °C at ω = {:.0} RPM, I = {:.2} A \
@@ -348,7 +359,7 @@ fn run(args: &[String], scale: Option<f64>) -> ExitCode {
             ExitCode::SUCCESS
         }
         "sweep" => {
-            let sweep = SweepGrid::default().run(system.tec_model());
+            let sweep = SweepGrid::default().run(&system.reduced_tec_model());
             let csv = sweep.to_csv();
             match args.get(2) {
                 Some(path) => {

@@ -24,8 +24,10 @@
 //! ```
 //!
 //! The report records throughput, p50/p95/p99 latency (overall, cache-hit,
-//! and miss paths separately), error counts, and the server's own
-//! `metrics` counters, as `BENCH_serve.json`.
+//! and miss paths separately), error counts split into `shed` (deliberate
+//! backpressure: overloaded/shutting_down), `deadline_exceeded`, and
+//! `failed` (everything else), plus the server's own `metrics` counters,
+//! as `BENCH_serve.json`.
 
 use serde::Value;
 use std::io::{BufRead, BufReader, Write};
@@ -157,6 +159,28 @@ struct Sample {
     micros: u64,
     ok: bool,
     cached: bool,
+    /// The typed error kind for failed requests (`None` when `ok`).
+    err_kind: Option<String>,
+}
+
+/// Error-accounting buckets: backpressure the server applied on purpose
+/// (`shed`), per-request budgets that ran out (`deadline_exceeded`), and
+/// everything else (`failed` — bad requests, solver errors, panics).
+fn classify(err_kind: Option<&str>) -> ErrClass {
+    match err_kind {
+        None => ErrClass::Ok,
+        Some("overloaded" | "shutting_down") => ErrClass::Shed,
+        Some("deadline_exceeded") => ErrClass::DeadlineExceeded,
+        Some(_) => ErrClass::Failed,
+    }
+}
+
+#[derive(PartialEq, Eq)]
+enum ErrClass {
+    Ok,
+    Shed,
+    DeadlineExceeded,
+    Failed,
 }
 
 /// The hot-key operating points: a deterministic fan of plausible
@@ -227,10 +251,21 @@ fn worker(config: &Config, conn_id: usize) -> Result<Vec<Sample>, String> {
                 .and_then(|m| m.iter().find(|(k, _)| k == name))
                 .map(|(_, v)| v.clone())
         };
+        let ok = field("ok").and_then(|v| v.as_bool()) == Some(true);
+        let err_kind = if ok {
+            None
+        } else {
+            field("error")
+                .as_ref()
+                .and_then(Value::as_map)
+                .and_then(|m| m.iter().find(|(k, _)| k == "kind"))
+                .and_then(|(_, v)| v.as_str().map(str::to_string))
+        };
         samples.push(Sample {
             micros,
-            ok: field("ok").and_then(|v| v.as_bool()) == Some(true),
+            ok,
             cached: field("cached").and_then(|v| v.as_bool()) == Some(true),
+            err_kind,
         });
         if let Some(gap) = pace {
             let elapsed = started.elapsed();
@@ -353,6 +388,15 @@ fn main() -> ExitCode {
     let total = samples.len();
     let ok: Vec<&Sample> = samples.iter().filter(|s| s.ok).collect();
     let errors = total - ok.len();
+    let class_count = |class: ErrClass| {
+        samples
+            .iter()
+            .filter(|s| classify(s.err_kind.as_deref()) == class)
+            .count()
+    };
+    let shed = class_count(ErrClass::Shed);
+    let deadline_exceeded = class_count(ErrClass::DeadlineExceeded);
+    let failed = class_count(ErrClass::Failed);
     let cached: Vec<u64> = ok.iter().filter(|s| s.cached).map(|s| s.micros).collect();
     let uncached: Vec<u64> = ok.iter().filter(|s| !s.cached).map(|s| s.micros).collect();
     let hit_rate = if ok.is_empty() {
@@ -366,7 +410,8 @@ fn main() -> ExitCode {
         "{{\n  \"config\": {{\"addr\":\"{}\",\"connections\":{},\"requests_per_connection\":{},\
          \"rps\":{},\"key_reuse\":{},\"hot_keys\":{},\"benchmark\":\"{}\",\"mix\":\"{}\",\
          \"seed\":{}}},\n  \"wall_seconds\": {:.3},\n  \"throughput_rps\": {:.1},\n  \
-         \"requests\": {},\n  \"ok\": {},\n  \"errors\": {},\n  \"failed_connections\": {},\n  \
+         \"requests\": {},\n  \"ok\": {},\n  \"errors\": {},\n  \"shed\": {},\n  \
+         \"deadline_exceeded\": {},\n  \"failed\": {},\n  \"failed_connections\": {},\n  \
          \"client_cache_hit_rate\": {:.4},\n  \"latency\": {{\n    \"overall\": {},\n    \
          \"cached\": {},\n    \"uncached\": {}\n  }},\n  \"server\": {}\n}}\n",
         config.addr,
@@ -383,6 +428,9 @@ fn main() -> ExitCode {
         total,
         ok.len(),
         errors,
+        shed,
+        deadline_exceeded,
+        failed,
         failed_conns,
         hit_rate,
         latency_block(samples.iter().map(|s| s.micros).collect()),

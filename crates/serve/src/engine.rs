@@ -8,10 +8,10 @@
 //! only — the rest of the batch and the server survive.
 //!
 //! Determinism: cacheable requests are solved at their cache key's
-//! *canonical* (de-quantized) coordinates with plain cold-start solves,
-//! so a batched response is bit-identical to a direct library
-//! `model.solve(op)` at the same grid point, at any `OFTEC_THREADS`, and
-//! whether or not the result came from cache.
+//! *canonical* (de-quantized) coordinates with plain cold-start solves
+//! through the reduced-order model, so a batched response is
+//! bit-identical to [`reference_payload`] at the same grid point, at any
+//! `OFTEC_THREADS`, and whether or not the result came from cache.
 
 use crate::cache::QuantizedCache;
 use crate::protocol::{ErrBody, SolveKind, SolveSpec};
@@ -36,6 +36,11 @@ pub static SERVE_BATCH_JOBS: Counter = Counter::new("serve.batch.jobs");
 pub static SERVE_BATCH_DEDUPED: Counter = Counter::new("serve.batch.deduped");
 pub static SERVE_PANICS: Counter = Counter::new("serve.panics");
 pub static SERVE_DEADLINE_EXCEEDED: Counter = Counter::new("serve.deadline_exceeded");
+
+/// Batches smaller than this solve inline on the dispatcher thread
+/// instead of fanning out to the scoped executor (whose spawn cost
+/// exceeds a handful of reduced-order solves).
+const INLINE_BATCH_MAX: usize = 8;
 
 /// Fault-injection plan for the whole server: every `every`-th solve job
 /// reaching the executor is wrapped in a [`FaultyModel`] injecting
@@ -66,6 +71,7 @@ impl SystemRegistry {
         let mut map = self.systems.lock().unwrap_or_else(PoisonError::into_inner);
         Arc::clone(map.entry((benchmark, q)).or_insert_with(|| {
             let base = CoolingSystem::for_benchmark_with_config(benchmark, &self.package);
+            // oftec-lint: allow(L004, exact sentinel: 1.0 round-trips the wire untouched, so bit-equality is the identity test)
             Arc::new(if scale == 1.0 {
                 base
             } else {
@@ -315,7 +321,17 @@ impl Engine {
         if items.is_empty() {
             return;
         }
-        let results = oftec_parallel::par_try_map_indexed_with(self.threads, &items, |_, item| {
+        // Small batches run inline on the dispatcher thread: with the
+        // reduced-order solve path an item costs microseconds, so the
+        // scoped-spawn setup of the executor would dominate the batch.
+        // Results are identical either way (the executor preserves item
+        // order and items are independent).
+        let threads = if items.len() < INLINE_BATCH_MAX {
+            1
+        } else {
+            self.threads
+        };
+        let results = oftec_parallel::par_try_map_indexed_with(threads, &items, |_, item| {
             self.solve_item(item)
         });
 
@@ -361,11 +377,26 @@ impl Engine {
         }
     }
 
+    /// Builds the shared system — and its reduced-order model — for
+    /// `benchmark` at scale 1.0 before traffic arrives, so the first
+    /// uncached request pays neither the floorplan assembly nor the
+    /// snapshot-solve basis construction.
+    pub fn prewarm(&self, benchmark: oftec_power::Benchmark) {
+        let system = self.registry.system(benchmark, 1.0);
+        let _ = system.reduced_tec_model();
+    }
+
     /// Solves one work item, composing the deadline and fault wrappers
     /// around the shared system model as the item requires.
+    ///
+    /// Solves go through the system's reduced-order model: certified
+    /// microsecond evaluations, with automatic fallback to the full CG
+    /// path whenever the residual check fails — so payloads stay
+    /// bit-identical to `reference_payload` at the same spec.
     fn solve_item(&self, item: &WorkItem) -> Result<String, ErrBody> {
         let system = self.registry.system(item.spec.benchmark, item.spec.scale);
-        let base: &dyn CoolingModel = system.tec_model();
+        let reduced = system.reduced_tec_model();
+        let base: &dyn CoolingModel = &reduced;
         let fault_kind = self.fault.filter(|_| item.inject).map(|plan| plan.kind);
         match (fault_kind, item.deadline) {
             (None, None) => self.run_spec(&base, &system, &item.spec),
@@ -528,12 +559,14 @@ pub fn reference_payload(
     t_max_override: Option<Temperature>,
 ) -> Result<String, ErrBody> {
     let base = CoolingSystem::for_benchmark_with_config(spec.benchmark, package);
+    // oftec-lint: allow(L004, exact sentinel: must mirror the registry's bit-equality test so both paths build the same system)
     let system = if spec.scale == 1.0 {
         base
     } else {
         base.scaled(spec.scale)
     };
-    let model: &dyn CoolingModel = system.tec_model();
+    let reduced = system.reduced_tec_model();
+    let model: &dyn CoolingModel = &reduced;
     match spec.kind {
         SolveKind::Steady => steady_payload(&model, spec),
         SolveKind::Optimize => {

@@ -26,6 +26,7 @@ pub static SERVE_REQUESTS: Counter = Counter::new("serve.requests");
 pub static SERVE_RESPONSES_OK: Counter = Counter::new("serve.responses_ok");
 pub static SERVE_RESPONSES_ERR: Counter = Counter::new("serve.responses_err");
 pub static SERVE_CONNECTIONS: Counter = Counter::new("serve.connections");
+pub static SERVE_PROBES: Counter = Counter::new("serve.probes");
 pub static SERVE_OVERLOADED: Counter = Counter::new("serve.overloaded");
 
 /// Request latency histogram bounds (microseconds).
@@ -63,6 +64,9 @@ pub struct ServeConfig {
     pub telemetry_json: Option<String>,
     /// Where to write the bound port (for scripts using port 0).
     pub port_file: Option<String>,
+    /// Benchmarks whose systems (and reduced-order models) are built
+    /// before the accept loop starts, so first requests skip the build.
+    pub prewarm: Vec<oftec_power::Benchmark>,
 }
 
 impl Default for ServeConfig {
@@ -71,7 +75,11 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:0".into(),
             threads: 0,
             cache: CacheConfig::default(),
-            batch_window: Duration::from_millis(2),
+            // Zero window: `pop_batch` still drains everything already
+            // queued into one batch, but a lone request is dispatched
+            // immediately — with microsecond reduced-order solves,
+            // holding the batch open costs more than it amortizes.
+            batch_window: Duration::ZERO,
             batch_max: 32,
             queue_capacity: 256,
             max_line_bytes: 64 * 1024,
@@ -80,6 +88,7 @@ impl Default for ServeConfig {
             fault: None,
             telemetry_json: None,
             port_file: None,
+            prewarm: Vec::new(),
         }
     }
 }
@@ -174,8 +183,12 @@ impl Server {
     /// # Errors
     ///
     /// I/O errors writing the port file; accept errors are retried.
+    #[must_use = "the serve loop's exit status reports drain/flush failures"]
     pub fn run(self) -> std::io::Result<()> {
         telemetry::set_collecting(true);
+        for &benchmark in &self.config.prewarm {
+            self.shared.engine.prewarm(benchmark);
+        }
         if let Some(path) = &self.config.port_file {
             std::fs::write(path, format!("{}\n", self.local_addr.port()))?;
         }
@@ -200,7 +213,10 @@ impl Server {
         while !self.shared.stop.load(Ordering::SeqCst) {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
-                    SERVE_CONNECTIONS.add(1);
+                    // `serve.connections` is counted lazily on the first
+                    // workload request (see `serve_connection`), so
+                    // probe-only connections never reach it; this gauge
+                    // tracks live connections for the health payload.
                     self.shared.connections.fetch_add(1, Ordering::SeqCst);
                     let shared = Arc::clone(&self.shared);
                     let t = std::thread::Builder::new()
@@ -246,6 +262,7 @@ fn authoritative_snapshot() -> telemetry::Snapshot {
         &SERVE_RESPONSES_OK,
         &SERVE_RESPONSES_ERR,
         &SERVE_CONNECTIONS,
+        &SERVE_PROBES,
         &SERVE_OVERLOADED,
         &SERVE_PANICS,
         &crate::engine::SERVE_BATCHES,
@@ -343,11 +360,22 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.read_timeout));
     let mut reader = LineReader::new();
+    // `serve.connections` counts connections that carried workload: it is
+    // bumped on the first non-probe request, so a load generator's
+    // health/metrics side channel never inflates it.
+    let mut counted = false;
+    let count_workload = |counted: &mut bool| {
+        SERVE_REQUESTS.add(1);
+        if !*counted {
+            *counted = true;
+            SERVE_CONNECTIONS.add(1);
+        }
+    };
     loop {
         let line = match reader.next_line(&mut stream, shared) {
             ReadOutcome::Closed => return,
             ReadOutcome::TooLong => {
-                SERVE_REQUESTS.add(1);
+                count_workload(&mut counted);
                 SERVE_RESPONSES_ERR.add(1);
                 let err = ErrBody::new(
                     "line_too_long",
@@ -360,26 +388,38 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
             }
             ReadOutcome::Line(l) => l,
         };
-        SERVE_REQUESTS.add(1);
         let started = Instant::now();
-        let response = handle_line(shared, &line);
+        let parsed = protocol::parse_line(&line);
+        // Probes (`health`/`metrics`/`shutdown`) are control-plane
+        // traffic: counted separately and kept out of the latency
+        // histogram so the workload percentiles stay meaningful.
+        let is_probe = matches!(
+            &parsed,
+            Ok((_, Request::Health | Request::Metrics | Request::Shutdown))
+        );
+        // `shutdown` must be detected before `parsed` is consumed but
+        // acted on only after its response is written, so the requester
+        // sees the acknowledgment before the drain starts.
+        let is_shutdown = matches!(&parsed, Ok((_, Request::Shutdown)));
+        if is_probe {
+            SERVE_PROBES.add(1);
+        } else {
+            count_workload(&mut counted);
+        }
+        let response = handle_request(shared, parsed);
         let keep_going = write_line(&mut stream, &response);
-        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-        telemetry::histogram_record("serve.latency_us", LATENCY_BOUNDS, micros);
+        if !is_probe {
+            let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            telemetry::histogram_record("serve.latency_us", LATENCY_BOUNDS, micros);
+        }
         telemetry::flush();
         if !keep_going {
             return;
         }
-        if response_was_shutdown(&line) {
+        if is_shutdown {
             shared.stop.store(true, Ordering::SeqCst);
         }
     }
-}
-
-/// `shutdown` must be detected after its response is written so the
-/// requester sees the acknowledgment before the drain starts.
-fn response_was_shutdown(line: &str) -> bool {
-    matches!(protocol::parse_line(line), Ok((_, Request::Shutdown)))
 }
 
 fn count_outcome(ok: bool) {
@@ -390,8 +430,10 @@ fn count_outcome(ok: bool) {
     }
 }
 
-fn handle_line(shared: &Shared, line: &str) -> String {
-    let (id, request) = match protocol::parse_line(line) {
+type ParsedLine = Result<(Option<u64>, Request), (Option<u64>, ErrBody)>;
+
+fn handle_request(shared: &Shared, parsed: ParsedLine) -> String {
+    let (id, request) = match parsed {
         Err((id, err)) => {
             count_outcome(false);
             return protocol::err_line(id, &err);

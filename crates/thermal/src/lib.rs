@@ -54,6 +54,7 @@ mod fan;
 mod lumped;
 mod model;
 mod nonlinear;
+mod reduction;
 mod skeleton;
 mod solution;
 mod stack;
@@ -66,6 +67,7 @@ pub use fan::FanModel;
 pub use lumped::{LumpedModel, LumpedSolution};
 pub use model::{HybridCoolingModel, OperatingPoint};
 pub use nonlinear::NonlinearOptions;
+pub use reduction::{ReducedCoolingModel, ReducedModel, ReductionOptions};
 pub use solution::{PowerBreakdown, ThermalSolution};
 pub use stack::{LayerRole, LayerSpec};
 pub use traits::CoolingModel;

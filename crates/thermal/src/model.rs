@@ -80,15 +80,15 @@ pub struct HybridCoolingModel {
 
 /// TEC sub-layer folding data.
 #[derive(Debug, Clone)]
-struct TecFolding {
-    abs_start: usize,
-    gen_start: usize,
-    rej_start: usize,
+pub(crate) struct TecFolding {
+    pub(crate) abs_start: usize,
+    pub(crate) gen_start: usize,
+    pub(crate) rej_start: usize,
     /// Per die-cell module Seebeck aggregate α (V/K); zero when uncovered.
-    alpha_cell: Vec<f64>,
+    pub(crate) alpha_cell: Vec<f64>,
     /// Per die-cell module resistance aggregate R (Ω); zero when uncovered.
-    r_cell: Vec<f64>,
-    max_current: Current,
+    pub(crate) r_cell: Vec<f64>,
+    pub(crate) max_current: Current,
 }
 
 impl HybridCoolingModel {
@@ -241,7 +241,24 @@ impl HybridCoolingModel {
             None
         };
 
-        let skeleton = AssemblySkeleton::new(&network, config.ambient.kelvin());
+        let mut skeleton = AssemblySkeleton::new(&network, config.ambient.kelvin());
+        // Fuse the ω/I-independent chip terms (linearized leakage feedback,
+        // dynamic power, leakage offset) into the skeleton once: the default
+        // solve path then skips the per-call chip loop entirely. The chip
+        // nodes are disjoint from the fan-coupled sink nodes, so the fused
+        // fold order is bit-identical to the historical fan-then-leakage
+        // order.
+        let diag_add: Vec<(usize, f64)> = cell_leak
+            .iter()
+            .enumerate()
+            .map(|(cell, lk)| (chip_start + cell, -lk.a))
+            .collect();
+        let rhs_add: Vec<(usize, f64)> = cell_leak
+            .iter()
+            .enumerate()
+            .map(|(cell, lk)| (chip_start + cell, dyn_cells[cell] + lk.b - lk.a * lk.t_ref))
+            .collect();
+        skeleton.fold_steady(&diag_add, &rhs_add);
 
         Ok(Self {
             network,
@@ -549,7 +566,7 @@ impl HybridCoolingModel {
     #[must_use = "the solve outcome (including failure) is in the Result"]
     pub fn solve(&self, op: OperatingPoint) -> Result<ThermalSolution, ThermalError> {
         self.validate_operating_point(op)?;
-        self.solve_linearized(op, &self.cell_leak, None)
+        self.solve_default(op, None)
     }
 
     /// Like [`HybridCoolingModel::solve`], but warm-starting the CG
@@ -583,7 +600,47 @@ impl HybridCoolingModel {
                 ));
             }
         }
-        self.solve_linearized(op, &self.cell_leak, initial)
+        self.solve_default(op, initial)
+    }
+
+    /// Fused steady solve for the default (paper-linearized) leakage: the
+    /// chip terms were folded into the skeleton at construction, so each
+    /// call is a value-array `memcpy` plus the fan and TEC folds — no
+    /// per-cell chip loop. Produces bit-identical systems to
+    /// [`HybridCoolingModel::solve_linearized`] with `self.cell_leak`
+    /// (the folded node sets are disjoint).
+    pub(crate) fn solve_default(
+        &self,
+        op: OperatingPoint,
+        warm_start: Option<&[f64]>,
+    ) -> Result<ThermalSolution, ThermalError> {
+        let (matrix, rhs) = self.assemble_steady_system(op)?;
+        let diag = self.skeleton.diagonal_of(&matrix);
+        self.finish_steady_solve(op, &matrix, &rhs, &diag, &self.cell_leak, warm_start, true)
+    }
+
+    /// Assembles the fully folded steady system (fan + TEC + fused chip
+    /// constants) at `op` without solving it. The reduced-order build uses
+    /// this for its snapshot systems.
+    pub(crate) fn assemble_steady_system(
+        &self,
+        op: OperatingPoint,
+    ) -> Result<(CsrMatrix, Vec<f64>), ThermalError> {
+        let fan_g = self.config.fan.conductance(op.fan_speed).w_per_k();
+        if !fan_g.is_finite() || fan_g < 0.0 {
+            return Err(ThermalError::NonFinite(format!(
+                "fan conductance {fan_g} W/K at {:.1} RPM",
+                op.fan_speed.rpm()
+            )));
+        }
+        let (mut matrix, mut rhs) = self.skeleton.assemble_steady(fan_g);
+        self.fold_tec_in_place(matrix.values_mut(), &mut rhs, op.tec_current.amperes());
+        Ok((matrix, rhs))
+    }
+
+    /// The TEC folding bookkeeping, if this model has TECs.
+    pub(crate) fn tec_folding(&self) -> Option<&TecFolding> {
+        self.tec.as_ref()
     }
 
     /// Reference solve that reassembles the triplet list and re-sorts it
@@ -743,7 +800,7 @@ impl HybridCoolingModel {
     }
 
     /// Builds the public solution object: power accounting + reductions.
-    fn package_solution(
+    pub(crate) fn package_solution(
         &self,
         op: OperatingPoint,
         temps: Vec<f64>,

@@ -32,6 +32,13 @@ pub(crate) struct AssemblySkeleton {
     diag_idx: Vec<usize>,
     /// Constant ambient RHS contribution (PCB convection path), W.
     rhs_const: Vec<f64>,
+    /// `base`'s value array with the steady default-path constants folded
+    /// in (linearized leakage feedback on chip diagonals); identical to
+    /// `base.values()` until [`AssemblySkeleton::fold_steady`] runs.
+    steady_values: Vec<f64>,
+    /// `rhs_const` with the steady constants folded in (dynamic power +
+    /// leakage offset on chip nodes).
+    steady_rhs: Vec<f64>,
     /// Fan-scaled ambient couplings `(node, share)`, copied from the
     /// network so per-call folding needs no further lookups.
     fan: Vec<(usize, f64)>,
@@ -51,13 +58,71 @@ impl AssemblySkeleton {
             })
             .collect();
         let rhs_const = net.ambient_rhs(0.0, t_amb);
+        let steady_values = base.values().to_vec();
+        let steady_rhs = rhs_const.clone();
         Self {
             base,
             diag_idx,
             rhs_const,
+            steady_values,
+            steady_rhs,
             fan: net.ambient_fan.clone(),
             t_amb,
         }
+    }
+
+    /// Folds ω- and I-independent per-node constants into the steady value
+    /// and RHS caches, fusing what used to be a per-solve loop into model
+    /// construction. The model calls this once with the linearized leakage
+    /// diagonals and the chip power injection; the fused fast path
+    /// ([`AssemblySkeleton::assemble_steady`]) then starts from the result.
+    ///
+    /// The folded node sets are disjoint from the fan nodes, so the fused
+    /// path produces bit-identical systems to folding leakage after the
+    /// fan (the historical order).
+    pub fn fold_steady(&mut self, diag_add: &[(usize, f64)], rhs_add: &[(usize, f64)]) {
+        for &(node, dv) in diag_add {
+            self.steady_values[self.diag_idx[node]] += dv;
+        }
+        for &(node, dv) in rhs_add {
+            self.steady_rhs[node] += dv;
+        }
+    }
+
+    /// Fused fast path: a scratch matrix/RHS pair that already carries the
+    /// steady constants from [`AssemblySkeleton::fold_steady`], with the
+    /// fan conductance `fan_g` (W/K) folded in. Callers only fold the
+    /// TEC terms afterwards.
+    pub fn assemble_steady(&self, fan_g: f64) -> (CsrMatrix, Vec<f64>) {
+        let mut matrix = self.base.clone();
+        matrix.values_mut().copy_from_slice(&self.steady_values);
+        let mut rhs = self.steady_rhs.clone();
+        let values = matrix.values_mut();
+        for &(node, share) in &self.fan {
+            values[self.diag_idx[node]] += share * fan_g;
+            rhs[node] += share * fan_g * self.t_amb;
+        }
+        (matrix, rhs)
+    }
+
+    /// The steady system at `fan_g = 0`: matrix `A₀` (conduction + constant
+    /// ambient couplings + steady constants) and RHS `b₀`. The reduced-
+    /// order build uses this as the operating-point-independent part that
+    /// the per-point diagonal updates perturb.
+    pub fn steady_parts(&self) -> (CsrMatrix, Vec<f64>) {
+        let mut matrix = self.base.clone();
+        matrix.values_mut().copy_from_slice(&self.steady_values);
+        (matrix, self.steady_rhs.clone())
+    }
+
+    /// Fan-scaled ambient couplings `(node, share)`.
+    pub fn fan_couplings(&self) -> &[(usize, f64)] {
+        &self.fan
+    }
+
+    /// Ambient temperature (K).
+    pub fn ambient(&self) -> f64 {
+        self.t_amb
     }
 
     /// A scratch copy of the base matrix and ambient RHS with the fan

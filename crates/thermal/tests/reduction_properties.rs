@@ -1,0 +1,152 @@
+//! Property-based checks of the reduced-order solve path.
+//!
+//! Three contracts over random workloads × operating points:
+//!
+//! 1. **Agreement**: a certified reduced solve matches the full CG solve
+//!    within the 0.1 K accuracy budget (the certificate is a residual
+//!    bound, so this holds for *any* package the build accepts).
+//! 2. **Fallback**: with an unsatisfiable residual tolerance every
+//!    reduced attempt falls back to the full path — counted, and with
+//!    bitwise-identical results to calling the full model directly.
+//! 3. **Determinism**: reduced solves are bit-identical at 1 and 8
+//!    executor threads (the basis fold is serial per solve; threading
+//!    only distributes independent operating points).
+
+use oftec_floorplan::alpha21264;
+use oftec_power::{LeakageModel, McpatBudget};
+use oftec_thermal::{
+    CoolingModel, HybridCoolingModel, OperatingPoint, PackageConfig, ReducedCoolingModel,
+    ReductionOptions,
+};
+use oftec_units::{AngularVelocity, Current};
+use proptest::prelude::*;
+
+fn leakage() -> LeakageModel {
+    McpatBudget::alpha21264_22nm().distribute(&alpha21264())
+}
+
+fn unit_powers() -> impl Strategy<Value = Vec<f64>> {
+    // Moderate per-unit dynamic power keeps most of the sampled grid out
+    // of thermal runaway while still spanning distinct workloads.
+    proptest::collection::vec(0.2..3.0f64, 15)
+}
+
+fn op(rpm: f64, amps: f64) -> OperatingPoint {
+    OperatingPoint::new(AngularVelocity::from_rpm(rpm), Current::from_amperes(amps))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn reduced_agrees_with_full_on_random_packages(
+        powers in unit_powers(),
+        rpm in 1800.0..5000.0f64,
+        amps in 0.0..2.5f64,
+    ) {
+        let fp = alpha21264();
+        let cfg = PackageConfig::dac14_coarse();
+        let model = HybridCoolingModel::with_tec(&fp, &cfg, powers, &leakage());
+        let Ok(red) = model.build_reduced(&ReductionOptions::default()) else {
+            // A build can legitimately fail when the random workload
+            // leaves too few feasible snapshot points.
+            return Ok(());
+        };
+        let wrapper = ReducedCoolingModel::new(&model, Some(&red));
+        let o = op(rpm, amps);
+        match (wrapper.solve(o), model.solve(o)) {
+            (Ok(fast), Ok(full)) => {
+                let err = (fast.max_chip_temperature().kelvin()
+                    - full.max_chip_temperature().kelvin())
+                .abs();
+                prop_assert!(
+                    err < 0.1,
+                    "die-temp error {err} K at ω={rpm} RPM, I={amps} A"
+                );
+            }
+            // The reduced path never claims a steady state the full path
+            // rejects (anomalies fall back), so outcomes agree.
+            (Ok(_), Err(e)) => prop_assert!(false, "reduced solved where full failed: {e}"),
+            (Err(_), Ok(_)) => prop_assert!(false, "reduced failed where full solved"),
+            (Err(_), Err(_)) => {}
+        }
+    }
+
+    #[test]
+    fn impossible_tolerance_always_falls_back(
+        powers in unit_powers(),
+        rpm in 2200.0..4800.0f64,
+        amps in 0.0..2.0f64,
+    ) {
+        let fp = alpha21264();
+        let cfg = PackageConfig::dac14_coarse();
+        let model = HybridCoolingModel::with_tec(&fp, &cfg, powers, &leakage());
+        let Ok(red) = model.build_reduced(&ReductionOptions {
+            residual_rtol: 1e-16,
+            ..ReductionOptions::default()
+        }) else {
+            return Ok(());
+        };
+        let wrapper = ReducedCoolingModel::new(&model, Some(&red));
+        let o = op(rpm, amps);
+        oftec_telemetry::set_collecting(true);
+        let (outcome, buf) = oftec_telemetry::capture(|| wrapper.solve(o));
+        prop_assert_eq!(buf.counter("reduction.fallbacks"), 1);
+        prop_assert_eq!(buf.counter("reduction.solves"), 0);
+        // The fallback is the full path: results (or errors) match the
+        // full model bitwise.
+        match (outcome, model.solve(o)) {
+            (Ok(fast), Ok(full)) => {
+                prop_assert_eq!(
+                    fast.max_chip_temperature().kelvin().to_bits(),
+                    full.max_chip_temperature().kelvin().to_bits()
+                );
+                for (a, b) in fast
+                    .node_temperatures()
+                    .iter()
+                    .zip(full.node_temperatures())
+                {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "fallback and full path disagree on solvability"),
+        }
+    }
+
+    #[test]
+    fn reduced_solves_are_bit_identical_across_thread_counts(
+        powers in unit_powers(),
+        seed in 0u64..1000,
+    ) {
+        let fp = alpha21264();
+        let cfg = PackageConfig::dac14_coarse();
+        let model = HybridCoolingModel::with_tec(&fp, &cfg, powers, &leakage());
+        let Ok(red) = model.build_reduced(&ReductionOptions::default()) else {
+            return Ok(());
+        };
+        let wrapper = ReducedCoolingModel::new(&model, Some(&red));
+        // A deterministic fan of operating points from the seed.
+        let ops: Vec<OperatingPoint> = (0..12)
+            .map(|i| {
+                let x = ((seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i)
+                    >> 33) as f64)
+                    / (1u64 << 31) as f64;
+                op(2000.0 + 2800.0 * x.fract(), 2.0 * ((x * 7.0).fract()))
+            })
+            .collect();
+        let solve_all = |threads: usize| -> Vec<Option<Vec<u64>>> {
+            oftec_parallel::par_map_indexed_with(threads, &ops, |_, &o| {
+                wrapper.solve(o).ok().map(|sol| {
+                    sol.node_temperatures()
+                        .iter()
+                        .map(|t| t.to_bits())
+                        .collect()
+                })
+            })
+        };
+        let serial = solve_all(1);
+        let parallel = solve_all(8);
+        prop_assert_eq!(serial, parallel);
+    }
+}
