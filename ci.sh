@@ -69,7 +69,11 @@ portfile=$(mktemp)
 servesnap=$(mktemp)
 servebench=$(mktemp)
 redbench=$(mktemp)
-trap 'rm -f "$snap" "$portfile" "$servesnap" "$servebench" "$redbench"' EXIT
+obsport=$(mktemp)
+obssnap=$(mktemp)
+obsdump=$(mktemp)
+trap 'rm -f "$snap" "$portfile" "$servesnap" "$servebench" "$redbench" \
+    "$obsport" "$obssnap" "$obsdump"' EXIT
 ./target/release/oftec-cli optimize qsort --scale 1.05 --telemetry-json "$snap" > /dev/null
 python3 - "$snap" <<'PY'
 import json, sys
@@ -113,13 +117,106 @@ assert counters.get("serve.probes", 0) > 0, "health/shutdown probes not counted"
 bench = json.load(open(sys.argv[2]))
 assert bench["requests"] > 0 and bench["ok"] > 0, "loadgen recorded no traffic"
 assert bench["latency"]["overall"]["p50_us"] > 0, "no latency percentiles"
-# Errors are split by cause; the three classes partition the error count.
-split = bench["shed"] + bench["deadline_exceeded"] + bench["failed"]
+# Errors are split by cause and the classes partition the error count.
+# Mixed traffic's injected malformed requests are `rejected` (the server
+# refusing them is correct behavior); `failed` — solver errors, panics,
+# internal faults — must be zero on a healthy server.
+split = (bench["shed"] + bench["deadline_exceeded"]
+         + bench["rejected"] + bench["failed"])
 assert split == bench["errors"], "error split does not partition errors"
+assert bench["failed"] == 0, f"{bench['failed']} unexplained failures"
+assert sum(bench["error_causes"].values()) == bench["errors"], \
+    "per-kind causes do not partition errors"
+# The client's ok count and the server's must agree exactly: probes
+# (health/metrics scrapes) never touch the response counters.
+assert bench["ok"] == counters["serve.responses_ok"], \
+    "client/server ok counts disagree"
+# Typed per-cause server counters partition serve.responses_err.
+err_causes = sum(v for k, v in counters.items()
+                 if k.startswith("serve.errors."))
+assert err_causes == counters["serve.responses_err"], \
+    "typed error counters do not partition responses_err"
+# Per-stage latency breakdown from the response trace metadata.
+for stage in ("parse", "queue", "batch", "cache", "solve"):
+    assert bench["stages"][stage]["count"] > 0, f"no {stage} stage samples"
+# The loadgen's live Prometheus scraper ran against the server mid-run.
+assert bench["live_scrapes"]["scrapes"] > 0, "no live metrics scrapes"
+assert bench["live_scrapes"]["last_serve_requests"] > 0, \
+    "scraped exposition never showed serve_requests"
 print("serve smoke ok:",
       counters["serve.requests"], "requests,",
       counters["serve.cache.hits"], "cache hits,",
+      bench["live_scrapes"]["scrapes"], "live scrapes,",
       counters["serve.panics"], "panics")
+PY
+
+# Observability smoke: boot a fault-injected server (every solve errors),
+# check the metrics endpoint's JSON and Prometheus forms agree, drive the
+# solver-error SLO monitor to a breach, and confirm the flight recorder
+# retains the failing traces and dumps them on the breach edge.
+: > "$obsport"
+./target/release/oftec-cli serve --addr 127.0.0.1:0 --coarse \
+    --fault-kind err --fault-every 1 --flight-dump "$obsdump" \
+    --port-file "$obsport" --telemetry-json "$obssnap" 2> /dev/null &
+obssrv=$!
+tries=0
+while [ ! -s "$obsport" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || { echo "obs server never published its port"; kill "$obssrv"; exit 1; }
+    sleep 0.1
+done
+python3 - "127.0.0.1:$(cat "$obsport")" <<'PY'
+import json, socket, sys
+host, port = sys.argv[1].rsplit(":", 1)
+sock = socket.create_connection((host, int(port)), timeout=10)
+f = sock.makefile("rw", encoding="utf-8", newline="\n")
+def rpc(line):
+    f.write(line + "\n"); f.flush()
+    return json.loads(f.readline())
+
+# The JSON and Prometheus metric forms must expose the same counters.
+js = rpc('{"cmd":"metrics"}')["result"]["counters"]
+prom = rpc('{"cmd":"metrics","format":"prometheus"}')["result"]
+exposed = {}
+for line in prom.splitlines():
+    if line and not line.startswith("#") and "{" not in line:
+        name, value = line.rsplit(" ", 1)
+        exposed[name] = float(value)
+for name, value in js.items():
+    prom_name = name.replace(".", "_")
+    # serve.probes moves between the two scrapes (each scrape is a probe).
+    if name == "serve.probes":
+        continue
+    assert exposed.get(prom_name) == value, \
+        f"{name}: prometheus says {exposed.get(prom_name)}, json says {value}"
+
+# Every solve faults: drive the solver-error SLO monitor to a breach.
+for i in range(10):
+    resp = rpc(json.dumps({"cmd": "steady", "id": i, "benchmark": "qsort",
+                           "rpm": 2400 + 10 * i, "amps": 1.0, "no_cache": True}))
+    assert not resp["ok"] and resp["error"]["kind"] == "thermal", resp
+    assert resp["trace"]["outcome"] == "solver", resp
+slo = {m["name"]: m for m in rpc('{"cmd":"slo"}')["result"]["monitors"]}
+solver = slo["serve.slo.solver_error_rate"]
+assert solver["breached"] and solver["breaches"] >= 1, solver
+# The flight recorder kept the failures.
+trace = rpc('{"cmd":"trace","limit":16}')["result"]
+assert trace["recorded"] >= 10, trace
+assert any(not e["ok"] and e["outcome"] == "solver" for e in trace["entries"]), trace
+rpc('{"cmd":"shutdown"}')
+print("observability smoke ok:", trace["recorded"], "traces,",
+      solver["breaches"], "solver-SLO breaches")
+PY
+wait "$obssrv"
+python3 - "$obssnap" "$obsdump" <<'PY'
+import json, sys
+counters = json.load(open(sys.argv[1]))["counters"]
+assert counters.get("slo.breaches.solver_error_rate", 0) >= 1, \
+    "breach counter missing from the final snapshot"
+dump = [json.loads(l) for l in open(sys.argv[2]) if l.strip()]
+assert dump and any(not e["ok"] for e in dump), \
+    "SLO breach did not dump the flight recorder"
+print("flight dump ok:", len(dump), "records")
 PY
 
 # Reduced-order solve smoke (DESIGN.md §14): build the POD basis on the

@@ -35,6 +35,10 @@
 //!                              model before accepting (repeatable)
 //!   --port-file <path>         write the bound port (for port 0)
 //!   --telemetry-json <path>    write the final snapshot on shutdown
+//!   --fault-kind <k>           inject faults: nan|err|panic (smoke/CI)
+//!   --fault-every <n>          every n-th solve draws the fault (0: off)
+//!   --flight-dump <path>       dump the flight recorder (JSONL) when the
+//!                              solver-error SLO monitor breaches
 //! ```
 //!
 //! `OFTEC_LOG=summary|trace` additionally enables JSONL event logging on
@@ -182,6 +186,28 @@ fn parse_serve_config(
                 config.prewarm.push(benchmark);
             }
             "--port-file" => config.port_file = Some(value("--port-file")?),
+            "--fault-kind" => {
+                let kind = match value("--fault-kind")?.as_str() {
+                    "nan" => oftec::faults::FaultKind::NonFinite,
+                    "err" => oftec::faults::FaultKind::Error,
+                    "panic" => oftec::faults::FaultKind::Panic,
+                    other => {
+                        return Err(format!(
+                            "--fault-kind: `{other}` is not one of nan|err|panic"
+                        ))
+                    }
+                };
+                let every = config.fault.map_or(1, |p| p.every);
+                config.fault = Some(oftec_serve::FaultPlan { kind, every });
+            }
+            "--fault-every" => {
+                let every = parse_num("--fault-every", value("--fault-every")?)? as usize;
+                let kind = config
+                    .fault
+                    .map_or(oftec::faults::FaultKind::Error, |p| p.kind);
+                config.fault = Some(oftec_serve::FaultPlan { kind, every });
+            }
+            "--flight-dump" => config.flight_dump = Some(value("--flight-dump")?),
             other => return Err(format!("serve: unknown flag `{other}`")),
         }
     }

@@ -25,14 +25,20 @@
 //!
 //! The report records throughput, p50/p95/p99 latency (overall, cache-hit,
 //! and miss paths separately), error counts split into `shed` (deliberate
-//! backpressure: overloaded/shutting_down), `deadline_exceeded`, and
-//! `failed` (everything else), plus the server's own `metrics` counters,
-//! as `BENCH_serve.json`.
+//! backpressure: overloaded/shutting_down), `deadline_exceeded`,
+//! `rejected` (the generator's own injected malformed/unknown requests,
+//! correctly refused by the server), and `failed` (everything else —
+//! should be zero), a per-kind `error_causes` map, a per-stage latency
+//! breakdown aggregated from the response `trace` metadata, a mid-run
+//! Prometheus `metrics` scrape summary, and the server's own final
+//! counters, as `BENCH_serve.json`.
 
 use serde::Value;
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Deterministic xorshift64* RNG — no external crates in the hot loop.
@@ -161,16 +167,21 @@ struct Sample {
     cached: bool,
     /// The typed error kind for failed requests (`None` when `ok`).
     err_kind: Option<String>,
+    /// Per-stage durations parsed from the response `trace` metadata.
+    stages: Vec<(String, u64)>,
 }
 
 /// Error-accounting buckets: backpressure the server applied on purpose
-/// (`shed`), per-request budgets that ran out (`deadline_exceeded`), and
-/// everything else (`failed` — bad requests, solver errors, panics).
+/// (`shed`), per-request budgets that ran out (`deadline_exceeded`),
+/// requests the server correctly refused as malformed (`rejected` — the
+/// mixed traffic mode injects these deliberately), and everything else
+/// (`failed` — solver errors, panics, internal faults).
 fn classify(err_kind: Option<&str>) -> ErrClass {
     match err_kind {
         None => ErrClass::Ok,
         Some("overloaded" | "shutting_down") => ErrClass::Shed,
         Some("deadline_exceeded") => ErrClass::DeadlineExceeded,
+        Some("bad_request" | "unknown_benchmark" | "line_too_long") => ErrClass::Rejected,
         Some(_) => ErrClass::Failed,
     }
 }
@@ -180,6 +191,7 @@ enum ErrClass {
     Ok,
     Shed,
     DeadlineExceeded,
+    Rejected,
     Failed,
 }
 
@@ -261,11 +273,26 @@ fn worker(config: &Config, conn_id: usize) -> Result<Vec<Sample>, String> {
                 .and_then(|m| m.iter().find(|(k, _)| k == "kind"))
                 .and_then(|(_, v)| v.as_str().map(str::to_string))
         };
+        let stages = field("trace")
+            .as_ref()
+            .and_then(Value::as_map)
+            .and_then(|m| m.iter().find(|(k, _)| k == "stages"))
+            .and_then(|(_, v)| v.as_map())
+            .map(|m| {
+                m.iter()
+                    .filter_map(|(k, v)| {
+                        let name = k.strip_suffix("_us")?.to_string();
+                        Some((name, v.as_f64()? as u64))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         samples.push(Sample {
             micros,
             ok,
             cached: field("cached").and_then(|v| v.as_bool()) == Some(true),
             err_kind,
+            stages,
         });
         if let Some(gap) = pace {
             let elapsed = started.elapsed();
@@ -295,6 +322,53 @@ fn latency_block(mut micros: Vec<u64>) -> String {
         percentile(&micros, 0.99),
         micros.last().copied().unwrap_or(0)
     )
+}
+
+/// Polls the server's Prometheus `metrics` exposition over its own
+/// connection while the workers run, proving the introspection plane is
+/// usable mid-burst. Returns `(successful scrapes, last serve_requests
+/// value seen)`.
+fn scrape_live(addr: &str, stop: &AtomicBool) -> (u64, u64) {
+    let mut scrapes = 0u64;
+    let mut last_requests = 0u64;
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return (0, 0);
+    };
+    stream.set_nodelay(true).ok();
+    let Ok(mut writer) = stream.try_clone() else {
+        return (0, 0);
+    };
+    let mut reader = BufReader::new(stream);
+    while !stop.load(Ordering::Relaxed) {
+        if writer
+            .write_all(b"{\"cmd\":\"metrics\",\"format\":\"prometheus\"}\n")
+            .is_err()
+        {
+            break;
+        }
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let text = serde_json::from_str::<Value>(line.trim())
+            .ok()
+            .and_then(|v| {
+                v.as_map()
+                    .and_then(|m| m.iter().find(|(k, _)| k == "result"))
+                    .and_then(|(_, r)| r.as_str().map(str::to_string))
+            });
+        if let Some(text) = text {
+            scrapes += 1;
+            for l in text.lines() {
+                if let Some(v) = l.strip_prefix("serve_requests ") {
+                    last_requests = v.trim().parse().unwrap_or(last_requests);
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    (scrapes, last_requests)
 }
 
 /// Fetches the server's `metrics` counters over a fresh connection and
@@ -344,20 +418,29 @@ fn main() -> ExitCode {
         }
     };
     let started = Instant::now();
-    let results: Vec<Result<Vec<Sample>, String>> = std::thread::scope(|scope| {
+    let scrape_stop = AtomicBool::new(false);
+    type RunOutput = (Vec<Result<Vec<Sample>, String>>, (u64, u64));
+    let (results, live_scrapes): RunOutput = std::thread::scope(|scope| {
+        let scraper = {
+            let (addr, stop) = (&config.addr, &scrape_stop);
+            scope.spawn(move || scrape_live(addr, stop))
+        };
         let handles: Vec<_> = (0..config.connections)
             .map(|conn_id| {
                 let config = &config;
                 scope.spawn(move || worker(config, conn_id))
             })
             .collect();
-        handles
+        let results = handles
             .into_iter()
             .map(|h| {
                 h.join()
                     .unwrap_or_else(|_| Err("worker panicked".to_string()))
             })
-            .collect()
+            .collect();
+        scrape_stop.store(true, Ordering::Relaxed);
+        let scrapes = scraper.join().unwrap_or((0, 0));
+        (results, scrapes)
     });
     let wall = started.elapsed();
 
@@ -396,7 +479,30 @@ fn main() -> ExitCode {
     };
     let shed = class_count(ErrClass::Shed);
     let deadline_exceeded = class_count(ErrClass::DeadlineExceeded);
+    let rejected = class_count(ErrClass::Rejected);
     let failed = class_count(ErrClass::Failed);
+    let mut error_causes: BTreeMap<&str, usize> = BTreeMap::new();
+    for s in &samples {
+        if let Some(kind) = s.err_kind.as_deref() {
+            *error_causes.entry(kind).or_insert(0) += 1;
+        }
+    }
+    let error_causes_json = format!(
+        "{{{}}}",
+        error_causes
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let stage_block = |name: &str| {
+        latency_block(
+            samples
+                .iter()
+                .filter_map(|s| s.stages.iter().find(|(n, _)| n == name).map(|&(_, us)| us))
+                .collect(),
+        )
+    };
     let cached: Vec<u64> = ok.iter().filter(|s| s.cached).map(|s| s.micros).collect();
     let uncached: Vec<u64> = ok.iter().filter(|s| !s.cached).map(|s| s.micros).collect();
     let hit_rate = if ok.is_empty() {
@@ -411,9 +517,12 @@ fn main() -> ExitCode {
          \"rps\":{},\"key_reuse\":{},\"hot_keys\":{},\"benchmark\":\"{}\",\"mix\":\"{}\",\
          \"seed\":{}}},\n  \"wall_seconds\": {:.3},\n  \"throughput_rps\": {:.1},\n  \
          \"requests\": {},\n  \"ok\": {},\n  \"errors\": {},\n  \"shed\": {},\n  \
-         \"deadline_exceeded\": {},\n  \"failed\": {},\n  \"failed_connections\": {},\n  \
+         \"deadline_exceeded\": {},\n  \"rejected\": {},\n  \"failed\": {},\n  \
+         \"failed_connections\": {},\n  \"error_causes\": {},\n  \
          \"client_cache_hit_rate\": {:.4},\n  \"latency\": {{\n    \"overall\": {},\n    \
-         \"cached\": {},\n    \"uncached\": {}\n  }},\n  \"server\": {}\n}}\n",
+         \"cached\": {},\n    \"uncached\": {}\n  }},\n  \"stages\": {{\n    \"parse\": {},\n    \
+         \"queue\": {},\n    \"batch\": {},\n    \"cache\": {},\n    \"solve\": {}\n  }},\n  \
+         \"live_scrapes\": {{\"scrapes\":{},\"last_serve_requests\":{}}},\n  \"server\": {}\n}}\n",
         config.addr,
         config.connections,
         config.requests,
@@ -430,12 +539,21 @@ fn main() -> ExitCode {
         errors,
         shed,
         deadline_exceeded,
+        rejected,
         failed,
         failed_conns,
+        error_causes_json,
         hit_rate,
         latency_block(samples.iter().map(|s| s.micros).collect()),
         latency_block(cached),
         latency_block(uncached),
+        stage_block("parse"),
+        stage_block("queue"),
+        stage_block("batch"),
+        stage_block("cache"),
+        stage_block("solve"),
+        live_scrapes.0,
+        live_scrapes.1,
         metrics
     );
     if let Err(e) = std::fs::write(&config.out, &report) {

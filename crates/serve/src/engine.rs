@@ -14,7 +14,7 @@
 //! `OFTEC_THREADS`, and whether or not the result came from cache.
 
 use crate::cache::QuantizedCache;
-use crate::protocol::{ErrBody, SolveKind, SolveSpec};
+use crate::protocol::{error_cause, ErrBody, SolveKind, SolveSpec};
 use crate::queue::Job;
 use oftec::faults::{FaultKind, FaultyModel};
 use oftec::{
@@ -164,6 +164,17 @@ struct WorkItem {
     inject: bool,
 }
 
+/// Solve-path attribution for one work item, read off the thermal
+/// crate's per-thread probe as before/after deltas around the solve.
+struct SolveMeta {
+    /// Wall time spent inside the solve call, in microseconds.
+    solve_us: u64,
+    /// `"reduced"`, `"fallback"`, or `"full"` — which path answered.
+    path: &'static str,
+    /// Certified residual ratio of the last reduced solve, if any.
+    residual: Option<f64>,
+}
+
 /// Steady-state result payload.
 #[derive(serde::Serialize)]
 struct SteadyPayload {
@@ -267,13 +278,16 @@ impl Engine {
         let mut items: Vec<WorkItem> = Vec::with_capacity(batch.len());
         let mut groups: Vec<Vec<Job>> = Vec::with_capacity(batch.len());
         let mut by_key: HashMap<crate::cache::CacheKey, usize> = HashMap::new();
-        for job in batch {
+        for mut job in batch {
+            // Close the queue stage: everything between admission on the
+            // connection thread and this dequeue.
+            job.trace.stage("queue");
             if job.deadline.is_some_and(|d| now >= d) {
                 SERVE_DEADLINE_EXCEEDED.add(1);
-                let _ = job.reply.send(Err(ErrBody::new(
-                    "deadline_exceeded",
-                    "deadline expired while queued",
-                )));
+                job.trace.set_outcome("deadline");
+                let err = ErrBody::new("deadline_exceeded", "deadline expired while queued");
+                let trace = job.trace.clone();
+                let _ = job.reply.send((Err(err), trace));
                 continue;
             }
             if job.spec.no_cache {
@@ -287,12 +301,18 @@ impl Engine {
             }
             let key = self.cache.key_for(&job.spec);
             if let Some(payload) = self.cache.peek(&key) {
-                let _ = job.reply.send(Ok(payload));
+                // A previous batch filled the cache after this job's
+                // admission — a hit on the dispatcher thread.
+                job.trace.stage("cache");
+                job.trace.set_outcome("cache_hit");
+                let trace = job.trace.clone();
+                let _ = job.reply.send((Ok(payload), trace));
                 continue;
             }
             match by_key.get(&key) {
                 Some(&gi) => {
                     SERVE_BATCH_DEDUPED.add(1);
+                    job.trace.mark_deduped();
                     // Keep the loosest deadline so the shared solve is
                     // not cut short for the job with the most budget.
                     items[gi].deadline = match (items[gi].deadline, job.deadline) {
@@ -337,14 +357,21 @@ impl Engine {
 
         let done = Instant::now();
         for ((item, group), result) in items.iter().zip(groups).zip(results) {
-            let outcome: Result<String, ErrBody> = match result {
+            let (outcome, meta): (Result<String, ErrBody>, SolveMeta) = match result {
                 Ok(inner) => inner,
                 Err(panic) => {
                     SERVE_PANICS.add(1);
-                    Err(ErrBody::new(
-                        "panic",
-                        format!("solve panicked: {}", panic.message),
-                    ))
+                    (
+                        Err(ErrBody::new(
+                            "panic",
+                            format!("solve panicked: {}", panic.message),
+                        )),
+                        SolveMeta {
+                            solve_us: 0,
+                            path: "full",
+                            residual: None,
+                        },
+                    )
                 }
             };
             if let Ok(payload) = &outcome {
@@ -353,16 +380,33 @@ impl Engine {
                         .insert(self.cache.key_for(&item.spec), payload.clone());
                 }
             }
-            for job in group {
-                if job.deadline.is_some_and(|d| done >= d) {
+            for mut job in group {
+                // Split the wall interval since dequeue into batch
+                // overhead (dispatch + waiting on sibling items) and the
+                // solve proper; deduped jobs share the item's solve time.
+                let spent = job.trace.since_mark_us(done);
+                job.trace
+                    .stage_us("batch", spent.saturating_sub(meta.solve_us));
+                job.trace.stage_us("solve", meta.solve_us);
+                if let Some(r) = meta.residual {
+                    job.trace.set_residual(r);
+                }
+                let reply = if job.deadline.is_some_and(|d| done >= d) {
                     SERVE_DEADLINE_EXCEEDED.add(1);
-                    let _ = job.reply.send(Err(ErrBody::new(
+                    job.trace.set_outcome("deadline");
+                    Err(ErrBody::new(
                         "deadline_exceeded",
                         "deadline expired during solve",
-                    )));
+                    ))
                 } else {
-                    let _ = job.reply.send(outcome.clone());
-                }
+                    match &outcome {
+                        Ok(_) => job.trace.set_outcome(meta.path),
+                        Err(err) => job.trace.set_outcome(error_cause(err.kind)),
+                    }
+                    outcome.clone()
+                };
+                let trace = job.trace.clone();
+                let _ = job.reply.send((reply, trace));
             }
         }
     }
@@ -387,13 +431,41 @@ impl Engine {
     }
 
     /// Solves one work item, composing the deadline and fault wrappers
-    /// around the shared system model as the item requires.
+    /// around the shared system model as the item requires, and
+    /// attributes the solve path (reduced/fallback/full, certified
+    /// residual, wall time) via the thermal probe's before/after deltas —
+    /// the probe is per-thread and each item runs on exactly one worker,
+    /// so deltas never mix items.
     ///
     /// Solves go through the system's reduced-order model: certified
     /// microsecond evaluations, with automatic fallback to the full CG
     /// path whenever the residual check fails — so payloads stay
     /// bit-identical to `reference_payload` at the same spec.
-    fn solve_item(&self, item: &WorkItem) -> Result<String, ErrBody> {
+    fn solve_item(&self, item: &WorkItem) -> (Result<String, ErrBody>, SolveMeta) {
+        let before = oftec_thermal::probe::snapshot();
+        let t0 = Instant::now();
+        let out = self.solve_item_inner(item);
+        let solve_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let delta = oftec_thermal::probe::snapshot().since(&before);
+        let path = if delta.fallbacks > 0 {
+            "fallback"
+        } else if delta.reduced > 0 {
+            "reduced"
+        } else {
+            "full"
+        };
+        let residual = (delta.residual_events > 0).then_some(delta.last_residual);
+        (
+            out,
+            SolveMeta {
+                solve_us,
+                path,
+                residual,
+            },
+        )
+    }
+
+    fn solve_item_inner(&self, item: &WorkItem) -> Result<String, ErrBody> {
         let system = self.registry.system(item.spec.benchmark, item.spec.scale);
         let reduced = system.reduced_tec_model();
         let base: &dyn CoolingModel = &reduced;

@@ -30,8 +30,10 @@ pub mod engine;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod trace;
 
 pub use cache::{CacheConfig, CacheKey, QuantizedCache};
 pub use engine::{reference_payload, Engine, FaultPlan};
-pub use protocol::{ErrBody, Request, SolveKind, SolveSpec};
+pub use protocol::{error_cause, ErrBody, Request, SolveKind, SolveSpec};
 pub use server::{ServeConfig, Server, ServerHandle};
+pub use trace::{TraceContext, OUTCOME_NAMES, STAGE_NAMES};

@@ -29,11 +29,33 @@ pub enum Request {
     Sweep { spec: SolveSpec },
     /// Liveness probe; answered inline, never queued.
     Health,
-    /// Telemetry snapshot; answered inline, never queued.
-    Metrics,
+    /// Telemetry snapshot; answered inline, never queued. With
+    /// `prometheus` set (`"format":"prometheus"`), the result is the
+    /// text exposition as a JSON string instead of the JSON snapshot.
+    Metrics { prometheus: bool },
+    /// Recent flight-recorder entries; answered inline, never queued.
+    Trace { limit: usize, redact: bool },
+    /// Rolling-window SLO monitor states; answered inline, never queued.
+    Slo,
     /// Begin graceful drain: stop accepting, finish in-flight work,
     /// flush telemetry, then exit the serve loop.
     Shutdown,
+}
+
+/// Maps a wire error `kind` onto its coarse cause — the taxonomy of the
+/// typed `serve.errors.*` counters and the trace outcome table
+/// ([`crate::trace::OUTCOME_NAMES`]).
+pub fn error_cause(kind: &str) -> &'static str {
+    match kind {
+        "bad_request" | "unknown_benchmark" | "line_too_long" => "parse",
+        "overloaded" | "shutting_down" => "overload",
+        "deadline_exceeded" => "deadline",
+        "panic" => "panic",
+        "internal" => "internal",
+        // Everything else is a solver-side failure (`thermal`,
+        // `non_finite`, `infeasible`, ... — the `OftecError::kind` codes).
+        _ => "solver",
+    }
 }
 
 /// The solve-shaped portion of a request: everything the batch engine
@@ -92,7 +114,7 @@ impl ErrBody {
 }
 
 /// JSON-escapes `s` into a quoted string literal.
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -132,6 +154,37 @@ pub fn err_line(id: Option<u64>, err: &ErrBody) -> String {
     format!(
         "{{\"id\":{},\"ok\":false,\"error\":{{\"kind\":{},\"message\":{}}}}}",
         id_json(id),
+        escape_json(err.kind),
+        escape_json(&err.message)
+    )
+}
+
+/// Success envelope carrying a `trace` object. The `trace` field sits
+/// **before** `result` on purpose: cached payloads are spliced verbatim
+/// and tooling (including the test helpers) relies on `result` staying
+/// the envelope's final field.
+pub fn ok_line_traced(
+    id: Option<u64>,
+    cached: bool,
+    trace_json: &str,
+    payload_json: &str,
+) -> String {
+    format!(
+        "{{\"id\":{},\"ok\":true,\"cached\":{},\"trace\":{},\"result\":{}}}",
+        id_json(id),
+        cached,
+        trace_json,
+        payload_json
+    )
+}
+
+/// Error envelope carrying a `trace` object (before `error`, mirroring
+/// [`ok_line_traced`]).
+pub fn err_line_traced(id: Option<u64>, trace_json: &str, err: &ErrBody) -> String {
+    format!(
+        "{{\"id\":{},\"ok\":false,\"trace\":{},\"error\":{{\"kind\":{},\"message\":{}}}}}",
+        id_json(id),
+        trace_json,
         escape_json(err.kind),
         escape_json(&err.message)
     )
@@ -295,7 +348,28 @@ pub fn parse_line(line: &str) -> Result<(Option<u64>, Request), (Option<u64>, Er
             Request::Sweep { spec }
         }
         "health" => Request::Health,
-        "metrics" => Request::Metrics,
+        "metrics" => {
+            let prometheus = match find(map, "format").and_then(Value::as_str) {
+                None | Some("json") => false,
+                Some("prometheus") => true,
+                Some(other) => {
+                    return Err((
+                        id,
+                        ErrBody::new(
+                            "bad_request",
+                            format!("unknown metrics format '{other}'; expected json|prometheus"),
+                        ),
+                    ))
+                }
+            };
+            Request::Metrics { prometheus }
+        }
+        "trace" => {
+            let limit = opt_u64(map, "limit").map_err(|e| (id, e))?.unwrap_or(64) as usize;
+            let redact = opt_bool(map, "redact").map_err(|e| (id, e))?;
+            Request::Trace { limit, redact }
+        }
+        "slo" => Request::Slo,
         "shutdown" => Request::Shutdown,
         other => {
             return Err((
@@ -333,7 +407,33 @@ mod tests {
         ));
         assert!(matches!(
             parse_line(r#"{"cmd":"metrics"}"#).unwrap().1,
-            Request::Metrics
+            Request::Metrics { prometheus: false }
+        ));
+        assert!(matches!(
+            parse_line(r#"{"cmd":"metrics","format":"prometheus"}"#)
+                .unwrap()
+                .1,
+            Request::Metrics { prometheus: true }
+        ));
+        assert!(matches!(
+            parse_line(r#"{"cmd":"trace"}"#).unwrap().1,
+            Request::Trace {
+                limit: 64,
+                redact: false
+            }
+        ));
+        assert!(matches!(
+            parse_line(r#"{"cmd":"trace","limit":5,"redact":true}"#)
+                .unwrap()
+                .1,
+            Request::Trace {
+                limit: 5,
+                redact: true
+            }
+        ));
+        assert!(matches!(
+            parse_line(r#"{"cmd":"slo"}"#).unwrap().1,
+            Request::Slo
         ));
         assert!(matches!(
             parse_line(r#"{"cmd":"shutdown"}"#).unwrap().1,
@@ -366,6 +466,22 @@ mod tests {
         assert_eq!(e.kind, "bad_request");
         let (_, e) = parse_line(r#"{"cmd":"launch","benchmark":"qsort"}"#).unwrap_err();
         assert_eq!(e.kind, "bad_request");
+        let (_, e) = parse_line(r#"{"cmd":"metrics","format":"xml"}"#).unwrap_err();
+        assert_eq!(e.kind, "bad_request");
+    }
+
+    #[test]
+    fn error_causes_cover_the_wire_taxonomy() {
+        assert_eq!(error_cause("bad_request"), "parse");
+        assert_eq!(error_cause("unknown_benchmark"), "parse");
+        assert_eq!(error_cause("line_too_long"), "parse");
+        assert_eq!(error_cause("overloaded"), "overload");
+        assert_eq!(error_cause("shutting_down"), "overload");
+        assert_eq!(error_cause("deadline_exceeded"), "deadline");
+        assert_eq!(error_cause("panic"), "panic");
+        assert_eq!(error_cause("internal"), "internal");
+        assert_eq!(error_cause("thermal"), "solver");
+        assert_eq!(error_cause("non_finite"), "solver");
     }
 
     #[test]
@@ -391,5 +507,24 @@ mod tests {
         // The envelope itself must re-parse.
         let v: Value = serde_json::from_str(&line).unwrap();
         assert!(v.as_map().is_some());
+    }
+
+    #[test]
+    fn traced_envelopes_keep_result_last() {
+        let line = ok_line_traced(Some(2), false, r#"{"id":"ab"}"#, r#"{"x":1}"#);
+        assert_eq!(
+            line,
+            r#"{"id":2,"ok":true,"cached":false,"trace":{"id":"ab"},"result":{"x":1}}"#
+        );
+        assert!(line.ends_with(r#""result":{"x":1}}"#));
+        let err = err_line_traced(None, r#"{"id":"cd"}"#, &ErrBody::new("panic", "boom"));
+        assert_eq!(
+            err,
+            r#"{"id":null,"ok":false,"trace":{"id":"cd"},"error":{"kind":"panic","message":"boom"}}"#
+        );
+        for s in [&line, &err] {
+            let v: Value = serde_json::from_str(s).unwrap();
+            assert!(v.as_map().is_some());
+        }
     }
 }

@@ -12,20 +12,28 @@
 //! the dispatcher, which is what makes shutdown graceful.
 
 use crate::protocol::{ErrBody, SolveSpec};
+use crate::trace::TraceContext;
 use std::collections::VecDeque;
 use std::sync::mpsc::Sender;
 use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-/// One admitted solve request: the spec, its deadline, and the channel
-/// the engine answers on (`Ok(payload_json)` or a typed error).
+/// What the engine sends back per job: the solve result plus the job's
+/// finished trace (stage stamps and outcome filled in by the engine).
+pub type JobReply = (Result<String, ErrBody>, TraceContext);
+
+/// One admitted solve request: the spec, its deadline, its trace, and
+/// the channel the engine answers on.
+#[derive(Debug)]
 pub struct Job {
     pub spec: SolveSpec,
     /// Absolute deadline; expired jobs are rejected at dequeue and at
     /// iteration granularity inside the solve.
     pub deadline: Option<Instant>,
     pub enqueued: Instant,
-    pub reply: Sender<Result<String, ErrBody>>,
+    /// Request-scoped trace, stamped as the job moves through stages.
+    pub trace: TraceContext,
+    pub reply: Sender<JobReply>,
 }
 
 /// Why a push was refused.
@@ -67,13 +75,16 @@ impl JobQueue {
     }
 
     /// Admits `job` unless the queue is full or closed. Never blocks.
-    pub fn try_push(&self, job: Job) -> Result<(), PushError> {
+    /// On refusal the job is handed back so the caller can finish its
+    /// trace and answer on its reply channel.
+    #[allow(clippy::result_large_err)] // the refused Job must come back to the caller
+    pub fn try_push(&self, job: Job) -> Result<(), (PushError, Job)> {
         let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if st.closed {
-            return Err(PushError::Closed);
+            return Err((PushError::Closed, job));
         }
         if st.jobs.len() >= self.capacity {
-            return Err(PushError::Full);
+            return Err((PushError::Full, job));
         }
         st.jobs.push_back(job);
         drop(st);
@@ -152,7 +163,7 @@ mod tests {
     use std::sync::mpsc;
     use std::sync::Arc;
 
-    fn job() -> (Job, mpsc::Receiver<Result<String, ErrBody>>) {
+    fn job() -> (Job, mpsc::Receiver<JobReply>) {
         let (tx, rx) = mpsc::channel();
         (
             Job {
@@ -169,6 +180,7 @@ mod tests {
                 },
                 deadline: None,
                 enqueued: Instant::now(),
+                trace: TraceContext::new(1, 1),
                 reply: tx,
             },
             rx,
@@ -183,7 +195,10 @@ mod tests {
         let (j3, _r3) = job();
         q.try_push(j1).unwrap();
         q.try_push(j2).unwrap();
-        assert_eq!(q.try_push(j3).unwrap_err(), PushError::Full);
+        let (e, back) = q.try_push(j3).unwrap_err();
+        assert_eq!(e, PushError::Full);
+        // The refused job comes back intact (trace and reply included).
+        assert_eq!((back.trace.conn(), back.trace.seq()), (1, 1));
         assert_eq!(q.depth(), 2);
     }
 
@@ -194,7 +209,7 @@ mod tests {
         q.try_push(j1).unwrap();
         q.close();
         let (j2, _r2) = job();
-        assert_eq!(q.try_push(j2).unwrap_err(), PushError::Closed);
+        assert_eq!(q.try_push(j2).unwrap_err().0, PushError::Closed);
         // The admitted job still comes out...
         assert_eq!(q.pop_batch().map(|b| b.len()), Some(1));
         // ...and only then does the queue report done.

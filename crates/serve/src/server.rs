@@ -11,14 +11,15 @@
 
 use crate::cache::{CacheConfig, QuantizedCache};
 use crate::engine::{Engine, FaultPlan, SERVE_PANICS};
-use crate::protocol::{self, ErrBody, Request};
+use crate::protocol::{self, error_cause, ErrBody, Request, SolveSpec};
 use crate::queue::{Job, JobQueue, PushError};
+use crate::trace::TraceContext;
 use oftec_telemetry as telemetry;
-use oftec_telemetry::Counter;
+use oftec_telemetry::{Counter, FlightRecorder, SloMonitor, SloStatus};
 use oftec_thermal::PackageConfig;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -28,6 +29,15 @@ pub static SERVE_RESPONSES_ERR: Counter = Counter::new("serve.responses_err");
 pub static SERVE_CONNECTIONS: Counter = Counter::new("serve.connections");
 pub static SERVE_PROBES: Counter = Counter::new("serve.probes");
 pub static SERVE_OVERLOADED: Counter = Counter::new("serve.overloaded");
+
+// Typed per-cause error counters: `serve.responses_err` equals their sum,
+// so a bench report never contains an opaque `failed` bucket.
+pub static SERVE_ERR_PARSE: Counter = Counter::new("serve.errors.parse");
+pub static SERVE_ERR_OVERLOAD: Counter = Counter::new("serve.errors.overload");
+pub static SERVE_ERR_DEADLINE: Counter = Counter::new("serve.errors.deadline");
+pub static SERVE_ERR_SOLVER: Counter = Counter::new("serve.errors.solver");
+pub static SERVE_ERR_PANIC: Counter = Counter::new("serve.errors.panic");
+pub static SERVE_ERR_INTERNAL: Counter = Counter::new("serve.errors.internal");
 
 /// Request latency histogram bounds (microseconds).
 static LATENCY_BOUNDS: &[u64] = &[
@@ -67,6 +77,13 @@ pub struct ServeConfig {
     /// Benchmarks whose systems (and reduced-order models) are built
     /// before the accept loop starts, so first requests skip the build.
     pub prewarm: Vec<oftec_power::Benchmark>,
+    /// Flight-recorder capacity for recently completed traces.
+    pub flight_recent: usize,
+    /// Flight-recorder capacity for retained non-OK traces.
+    pub flight_errors: usize,
+    /// Where to dump the flight recorder (JSONL) when the solver-error
+    /// SLO monitor breaches; `None` disables the automatic dump.
+    pub flight_dump: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -89,7 +106,75 @@ impl Default for ServeConfig {
             telemetry_json: None,
             port_file: None,
             prewarm: Vec::new(),
+            flight_recent: 256,
+            flight_errors: 256,
+            flight_dump: None,
         }
+    }
+}
+
+/// Rolling window length of every SLO monitor, in observations.
+const SLO_WINDOW: usize = 256;
+/// Observations a monitor needs before it may breach.
+const SLO_MIN_COUNT: usize = 8;
+
+/// The serving SLO monitors, all observed on connection threads as each
+/// workload response is finalized — never from executor workers, so
+/// breach edges do not depend on `OFTEC_THREADS`.
+struct Monitors {
+    /// Fraction of responses shed by admission control (`overload`).
+    shed: SloMonitor,
+    /// Fraction of responses failing inside the solve path
+    /// (`solver`/`panic`/`internal`); its breach edge also triggers the
+    /// flight-recorder dump.
+    solver_errors: SloMonitor,
+    /// Fraction of solves that failed reduced-order certification.
+    fallbacks: SloMonitor,
+    /// Mean certified residual ratio of reduced solves (drift detector).
+    residual: SloMonitor,
+}
+
+impl Monitors {
+    fn new() -> Self {
+        Self {
+            shed: SloMonitor::new(
+                "serve.slo.shed_rate",
+                "slo.breaches.shed_rate",
+                SLO_WINDOW,
+                SLO_MIN_COUNT,
+                0.2,
+            ),
+            solver_errors: SloMonitor::new(
+                "serve.slo.solver_error_rate",
+                "slo.breaches.solver_error_rate",
+                SLO_WINDOW,
+                SLO_MIN_COUNT,
+                0.5,
+            ),
+            fallbacks: SloMonitor::new(
+                "serve.slo.fallback_rate",
+                "slo.breaches.fallback_rate",
+                SLO_WINDOW,
+                SLO_MIN_COUNT,
+                0.5,
+            ),
+            residual: SloMonitor::new(
+                "serve.slo.residual_drift",
+                "slo.breaches.residual_drift",
+                SLO_WINDOW,
+                SLO_MIN_COUNT,
+                5e-5,
+            ),
+        }
+    }
+
+    fn statuses(&self) -> [SloStatus; 4] {
+        [
+            self.shed.status(),
+            self.solver_errors.status(),
+            self.fallbacks.status(),
+            self.residual.status(),
+        ]
     }
 }
 
@@ -115,6 +200,11 @@ struct Shared {
     started: Instant,
     read_timeout: Duration,
     max_line_bytes: usize,
+    recorder: FlightRecorder,
+    monitors: Monitors,
+    /// Connection numbering for deterministic trace ids (1-based).
+    conn_seq: AtomicU64,
+    flight_dump: Option<String>,
 }
 
 /// A bound, not-yet-running cooling-control server.
@@ -156,6 +246,10 @@ impl Server {
             started: Instant::now(),
             read_timeout: config.read_timeout,
             max_line_bytes: config.max_line_bytes,
+            recorder: FlightRecorder::new(config.flight_recent, config.flight_errors),
+            monitors: Monitors::new(),
+            conn_seq: AtomicU64::new(0),
+            flight_dump: config.flight_dump.clone(),
         });
         Ok(Self {
             listener,
@@ -264,6 +358,12 @@ fn authoritative_snapshot() -> telemetry::Snapshot {
         &SERVE_CONNECTIONS,
         &SERVE_PROBES,
         &SERVE_OVERLOADED,
+        &SERVE_ERR_PARSE,
+        &SERVE_ERR_OVERLOAD,
+        &SERVE_ERR_DEADLINE,
+        &SERVE_ERR_SOLVER,
+        &SERVE_ERR_PANIC,
+        &SERVE_ERR_INTERNAL,
         &SERVE_PANICS,
         &crate::engine::SERVE_BATCHES,
         &crate::engine::SERVE_BATCH_JOBS,
@@ -360,6 +460,12 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.read_timeout));
     let mut reader = LineReader::new();
+    // Connection number for trace ids: 1-based, assigned in accept order.
+    let conn_id = shared.conn_seq.fetch_add(1, Ordering::Relaxed) + 1;
+    // Workload request sequence on this connection (probes excluded, so
+    // the same workload script yields the same trace ids regardless of
+    // how often a side channel polls `health`/`metrics`).
+    let mut workload_seq: u64 = 0;
     // `serve.connections` counts connections that carried workload: it is
     // bumped on the first non-probe request, so a load generator's
     // health/metrics side channel never inflates it.
@@ -375,43 +481,80 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
         let line = match reader.next_line(&mut stream, shared) {
             ReadOutcome::Closed => return,
             ReadOutcome::TooLong => {
+                workload_seq += 1;
                 count_workload(&mut counted);
-                SERVE_RESPONSES_ERR.add(1);
+                let mut trace = TraceContext::new(conn_id, workload_seq);
+                trace.stage("parse");
                 let err = ErrBody::new(
                     "line_too_long",
                     format!("request line exceeds {} bytes", shared.max_line_bytes),
                 );
-                if !write_line(&mut stream, &protocol::err_line(None, &err)) {
+                trace.set_outcome(error_cause(err.kind));
+                finish_workload(shared, &trace);
+                let resp = protocol::err_line_traced(None, &trace.envelope_json(false), &err);
+                telemetry::flush();
+                if !write_line(&mut stream, &resp) {
                     return;
                 }
                 continue;
             }
             ReadOutcome::Line(l) => l,
         };
-        let started = Instant::now();
+        // The context opens before the parse so the `parse` stage covers
+        // it; probes discard the context without consuming a sequence
+        // number.
+        let mut trace = TraceContext::new(conn_id, workload_seq + 1);
         let parsed = protocol::parse_line(&line);
-        // Probes (`health`/`metrics`/`shutdown`) are control-plane
-        // traffic: counted separately and kept out of the latency
-        // histogram so the workload percentiles stay meaningful.
+        trace.stage("parse");
+        // Probes (`health`/`metrics`/`trace`/`slo`/`shutdown`) are
+        // control-plane traffic: counted under `serve.probes` only, and
+        // kept out of the response counters and latency histograms so
+        // the workload numbers stay exact.
         let is_probe = matches!(
             &parsed,
-            Ok((_, Request::Health | Request::Metrics | Request::Shutdown))
+            Ok((
+                _,
+                Request::Health
+                    | Request::Metrics { .. }
+                    | Request::Trace { .. }
+                    | Request::Slo
+                    | Request::Shutdown
+            ))
         );
         // `shutdown` must be detected before `parsed` is consumed but
         // acted on only after its response is written, so the requester
         // sees the acknowledgment before the drain starts.
         let is_shutdown = matches!(&parsed, Ok((_, Request::Shutdown)));
-        if is_probe {
-            SERVE_PROBES.add(1);
-        } else {
-            count_workload(&mut counted);
-        }
-        let response = handle_request(shared, parsed);
+        let response = match parsed {
+            Ok((id, request)) if is_probe => {
+                SERVE_PROBES.add(1);
+                handle_probe(shared, id, &request)
+            }
+            Ok((id, request)) => {
+                workload_seq += 1;
+                count_workload(&mut counted);
+                match request {
+                    Request::Optimize { spec }
+                    | Request::Steady { spec }
+                    | Request::Sweep { spec } => handle_solve(shared, id, spec, trace),
+                    // Probe variants are filtered by `is_probe` above.
+                    _ => {
+                        trace.set_outcome("internal");
+                        finish_workload(shared, &trace);
+                        let err = ErrBody::new("internal", "probe routed to workload path");
+                        protocol::err_line_traced(id, &trace.envelope_json(false), &err)
+                    }
+                }
+            }
+            Err((id, err)) => {
+                workload_seq += 1;
+                count_workload(&mut counted);
+                trace.set_outcome(error_cause(err.kind));
+                finish_workload(shared, &trace);
+                protocol::err_line_traced(id, &trace.envelope_json(false), &err)
+            }
+        };
         let keep_going = write_line(&mut stream, &response);
-        if !is_probe {
-            let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-            telemetry::histogram_record("serve.latency_us", LATENCY_BOUNDS, micros);
-        }
         telemetry::flush();
         if !keep_going {
             return;
@@ -422,27 +565,12 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     }
 }
 
-fn count_outcome(ok: bool) {
-    if ok {
-        SERVE_RESPONSES_OK.add(1);
-    } else {
-        SERVE_RESPONSES_ERR.add(1);
-    }
-}
-
-type ParsedLine = Result<(Option<u64>, Request), (Option<u64>, ErrBody)>;
-
-fn handle_request(shared: &Shared, parsed: ParsedLine) -> String {
-    let (id, request) = match parsed {
-        Err((id, err)) => {
-            count_outcome(false);
-            return protocol::err_line(id, &err);
-        }
-        Ok(pair) => pair,
-    };
+/// Answers a control-plane request inline. Probes touch neither the
+/// response counters nor the latency histograms — `serve.responses_ok`
+/// stays an exact workload count.
+fn handle_probe(shared: &Shared, id: Option<u64>, request: &Request) -> String {
     match request {
         Request::Health => {
-            count_outcome(true);
             let up = shared.started.elapsed().as_millis();
             let payload = format!(
                 "{{\"status\":\"ok\",\"uptime_ms\":{},\"queue_depth\":{},\"connections\":{},\"cache_entries\":{}}}",
@@ -453,64 +581,188 @@ fn handle_request(shared: &Shared, parsed: ParsedLine) -> String {
             );
             protocol::ok_line(id, false, &payload)
         }
-        Request::Metrics => {
-            count_outcome(true);
-            let snap = authoritative_snapshot();
-            protocol::ok_line(id, false, &snap.to_json())
+        Request::Metrics { prometheus: false } => {
+            protocol::ok_line(id, false, &authoritative_snapshot().to_json())
         }
-        Request::Shutdown => {
-            count_outcome(true);
-            protocol::ok_line(id, false, "{\"status\":\"draining\"}")
+        Request::Metrics { prometheus: true } => {
+            let text = telemetry::to_prometheus(&authoritative_snapshot());
+            protocol::ok_line(id, false, &protocol::escape_json(&text))
         }
-        Request::Optimize { spec } | Request::Steady { spec } | Request::Sweep { spec } => {
-            // Fast path: answer cache hits on the connection thread.
-            if !spec.no_cache {
-                let key = shared.cache.key_for(&spec);
-                if let Some(payload) = shared.cache.get(&key) {
-                    count_outcome(true);
-                    return protocol::ok_line(id, true, &payload);
-                }
+        Request::Trace { limit, redact } => {
+            let entries = shared.recorder.snapshot();
+            let start = entries.len().saturating_sub(*limit);
+            let items: Vec<String> = entries[start..]
+                .iter()
+                .map(|r| crate::trace::record_json(r, *redact))
+                .collect();
+            let payload = format!(
+                "{{\"recorded\":{},\"entries\":[{}]}}",
+                shared.recorder.recorded(),
+                items.join(",")
+            );
+            protocol::ok_line(id, false, &payload)
+        }
+        Request::Slo => {
+            let items: Vec<String> = shared
+                .monitors
+                .statuses()
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"name\":\"{}\",\"threshold\":{},\"window\":{},\"min_count\":{},\"count\":{},\"mean\":{},\"breached\":{},\"breaches\":{}}}",
+                        s.name,
+                        s.threshold,
+                        s.window,
+                        s.min_count,
+                        s.count,
+                        s.mean,
+                        s.breached,
+                        s.breaches
+                    )
+                })
+                .collect();
+            protocol::ok_line(
+                id,
+                false,
+                &format!("{{\"monitors\":[{}]}}", items.join(",")),
+            )
+        }
+        Request::Shutdown => protocol::ok_line(id, false, "{\"status\":\"draining\"}"),
+        // Solve requests never reach this function (see `is_probe`).
+        _ => protocol::err_line(
+            id,
+            &ErrBody::new("internal", "workload routed to probe path"),
+        ),
+    }
+}
+
+/// Admits a solve request and waits for its traced reply.
+fn handle_solve(
+    shared: &Shared,
+    id: Option<u64>,
+    spec: SolveSpec,
+    mut trace: TraceContext,
+) -> String {
+    // Fast path: answer cache hits on the connection thread. A miss
+    // still stamps the `cache` stage — the lookup is part of the
+    // request's latency story either way.
+    if !spec.no_cache {
+        let key = shared.cache.key_for(&spec);
+        if let Some(payload) = shared.cache.get(&key) {
+            trace.stage("cache");
+            trace.set_outcome("cache_hit");
+            finish_workload(shared, &trace);
+            return protocol::ok_line_traced(id, true, &trace.envelope_json(false), &payload);
+        }
+        trace.stage("cache");
+    }
+    let deadline = spec
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    // The trace moves into the job; keep its identity for the
+    // reconstruction path where the pipeline drops the reply channel.
+    let (conn, seq) = (trace.conn(), trace.seq());
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        spec,
+        deadline,
+        enqueued: Instant::now(),
+        trace,
+        reply: tx,
+    };
+    match shared.queue.try_push(job) {
+        Err((PushError::Full, mut job)) => {
+            SERVE_OVERLOADED.add(1);
+            job.trace.set_outcome("overload");
+            finish_workload(shared, &job.trace);
+            let err = ErrBody::new("overloaded", "request queue is full; retry later");
+            protocol::err_line_traced(id, &job.trace.envelope_json(false), &err)
+        }
+        Err((PushError::Closed, mut job)) => {
+            job.trace.set_outcome("overload");
+            finish_workload(shared, &job.trace);
+            let err = ErrBody::new("shutting_down", "server is draining");
+            protocol::err_line_traced(id, &job.trace.envelope_json(false), &err)
+        }
+        Ok(()) => match rx.recv() {
+            Ok((Ok(payload), trace)) => {
+                finish_workload(shared, &trace);
+                protocol::ok_line_traced(id, false, &trace.envelope_json(false), &payload)
             }
-            let deadline = spec
-                .deadline_ms
-                .map(|ms| Instant::now() + Duration::from_millis(ms));
-            let (tx, rx) = mpsc::channel();
-            let job = Job {
-                spec,
-                deadline,
-                enqueued: Instant::now(),
-                reply: tx,
-            };
-            match shared.queue.try_push(job) {
-                Err(PushError::Full) => {
-                    SERVE_OVERLOADED.add(1);
-                    count_outcome(false);
-                    let err = ErrBody::new("overloaded", "request queue is full; retry later");
-                    protocol::err_line(id, &err)
-                }
-                Err(PushError::Closed) => {
-                    count_outcome(false);
-                    let err = ErrBody::new("shutting_down", "server is draining");
-                    protocol::err_line(id, &err)
-                }
-                Ok(()) => match rx.recv() {
-                    Ok(Ok(payload)) => {
-                        count_outcome(true);
-                        protocol::ok_line(id, false, &payload)
-                    }
-                    Ok(Err(err)) => {
-                        count_outcome(false);
-                        protocol::err_line(id, &err)
-                    }
-                    Err(_) => {
-                        // Dispatcher dropped the sender without a reply —
-                        // only possible on hard teardown.
-                        count_outcome(false);
-                        let err = ErrBody::new("internal", "solve pipeline dropped the request");
-                        protocol::err_line(id, &err)
-                    }
-                },
+            Ok((Err(err), trace)) => {
+                finish_workload(shared, &trace);
+                protocol::err_line_traced(id, &trace.envelope_json(false), &err)
             }
+            Err(_) => {
+                // Dispatcher dropped the sender without a reply — only
+                // possible on hard teardown. The trace went down with the
+                // job; rebuild its identity so the record still lands in
+                // the flight recorder under the right id.
+                let mut trace = TraceContext::new(conn, seq);
+                trace.set_outcome("internal");
+                finish_workload(shared, &trace);
+                let err = ErrBody::new("internal", "solve pipeline dropped the request");
+                protocol::err_line_traced(id, &trace.envelope_json(false), &err)
+            }
+        },
+    }
+}
+
+/// Finalizes one workload response: response + typed-cause counters,
+/// latency and per-stage histograms, SLO observations, and the flight-
+/// recorder entry. Runs on the connection thread for every workload
+/// request exactly once.
+fn finish_workload(shared: &Shared, trace: &TraceContext) {
+    let outcome = trace.outcome();
+    if trace.is_err() {
+        SERVE_RESPONSES_ERR.add(1);
+        match outcome {
+            "parse" => SERVE_ERR_PARSE.add(1),
+            "overload" => SERVE_ERR_OVERLOAD.add(1),
+            "deadline" => SERVE_ERR_DEADLINE.add(1),
+            "panic" => SERVE_ERR_PANIC.add(1),
+            "internal" => SERVE_ERR_INTERNAL.add(1),
+            _ => SERVE_ERR_SOLVER.add(1),
+        }
+    } else {
+        SERVE_RESPONSES_OK.add(1);
+    }
+    telemetry::histogram_record("serve.latency_us", LATENCY_BOUNDS, trace.total_us());
+    for (stage, hist) in [
+        ("parse", "serve.stage.parse_us"),
+        ("queue", "serve.stage.queue_us"),
+        ("batch", "serve.stage.batch_us"),
+        ("cache", "serve.stage.cache_us"),
+        ("solve", "serve.stage.solve_us"),
+    ] {
+        if let Some(us) = trace.stage_micros(stage) {
+            telemetry::histogram_record(hist, LATENCY_BOUNDS, us);
+        }
+    }
+    let failed = matches!(outcome, "solver" | "panic" | "internal");
+    shared
+        .monitors
+        .shed
+        .observe(f64::from(outcome == "overload"));
+    let spike = shared.monitors.solver_errors.observe(f64::from(failed));
+    shared
+        .monitors
+        .fallbacks
+        .observe(f64::from(outcome == "fallback"));
+    if let Some(r) = trace.residual() {
+        shared.monitors.residual.observe(r);
+    }
+    shared.recorder.record(&trace.to_record());
+    // Error-rate spike: dump the flight recorder so the burst stays
+    // diagnosable even if the process dies before anyone asks `trace`.
+    if spike {
+        if let Some(path) = &shared.flight_dump {
+            let mut out = String::new();
+            for rec in shared.recorder.snapshot() {
+                out.push_str(&crate::trace::record_json(&rec, false));
+                out.push('\n');
+            }
+            let _ = std::fs::write(path, out);
         }
     }
 }

@@ -1,0 +1,149 @@
+//! Prometheus-style text exposition of a registry [`Snapshot`].
+//!
+//! The format is the standard text exposition: a `# TYPE` line per
+//! metric family, counters and gauges as `name value`, histograms as
+//! cumulative `name_bucket{le="..."}` series plus `_sum` and `_count`.
+//! Dotted registry names are sanitized to the Prometheus grammar
+//! (`serve.cache.hits` → `serve_cache_hits`); the mapping is injective
+//! for the workspace's `[a-z0-9._]` naming convention, which is what
+//! lets CI round-trip the exposition against the JSON snapshot.
+//!
+//! Convergence traces and span trees have no Prometheus analogue and are
+//! not exposed here — they stay in the JSON snapshot.
+
+use crate::registry::Snapshot;
+use std::fmt::Write;
+
+/// Maps a registry metric name onto the Prometheus identifier grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`, and
+/// a leading digit gets a `_` prefix.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if ok {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn push_f64_text(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v.is_infinite() {
+        out.push_str(if v > 0.0 { "+Inf" } else { "-Inf" });
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Renders the snapshot as Prometheus text exposition (counters, gauges,
+/// histograms; traces and spans are JSON-only).
+pub fn to_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    for (name, v) in &snap.counters {
+        let id = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {id} counter");
+        let _ = writeln!(out, "{id} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let id = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {id} gauge");
+        let _ = write!(out, "{id} ");
+        push_f64_text(&mut out, *v);
+        out.push('\n');
+    }
+    for (name, h) in &snap.histograms {
+        let id = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {id} histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in h.bounds.iter().zip(&h.counts) {
+            cumulative += count;
+            let _ = writeln!(out, "{id}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{id}_bucket{{le=\"+Inf\"}} {}", h.total);
+        let _ = writeln!(out, "{id}_sum {}", h.sum);
+        let _ = writeln!(out, "{id}_count {}", h.total);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{HistogramData, LocalBuffer};
+
+    #[test]
+    fn sanitizes_names_injectively_for_workspace_conventions() {
+        assert_eq!(sanitize_metric_name("serve.cache.hits"), "serve_cache_hits");
+        assert_eq!(sanitize_metric_name("serve.latency_us"), "serve_latency_us");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn renders_counters_gauges_and_cumulative_histograms() {
+        static BOUNDS: &[u64] = &[10, 100];
+        let mut buf = LocalBuffer::default();
+        buf.counters.insert("serve.requests", 42);
+        buf.gauges.insert("sweep.runaway_fraction", 0.25);
+        let mut h = HistogramData::new(BOUNDS);
+        for v in [5, 50, 500] {
+            h.record(v);
+        }
+        buf.histograms.insert("serve.latency_us", h);
+        let text = to_prometheus(&Snapshot::from_buffer(buf));
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.contains(&"# TYPE serve_requests counter"));
+        assert!(lines.contains(&"serve_requests 42"));
+        assert!(lines.contains(&"# TYPE sweep_runaway_fraction gauge"));
+        assert!(lines.contains(&"sweep_runaway_fraction 0.25"));
+        // Buckets are cumulative; +Inf equals the total count.
+        assert!(lines.contains(&"serve_latency_us_bucket{le=\"10\"} 1"));
+        assert!(lines.contains(&"serve_latency_us_bucket{le=\"100\"} 2"));
+        assert!(lines.contains(&"serve_latency_us_bucket{le=\"+Inf\"} 3"));
+        assert!(lines.contains(&"serve_latency_us_sum 555"));
+        assert!(lines.contains(&"serve_latency_us_count 3"));
+    }
+
+    #[test]
+    fn counter_values_round_trip_through_the_text_format() {
+        let mut buf = LocalBuffer::default();
+        buf.counters.insert("a.b", 7);
+        buf.counters.insert("c.d.e", 123456789);
+        let snap = Snapshot::from_buffer(buf);
+        let text = to_prometheus(&snap);
+        // Parse the exposition back: `name value` lines, skipping # and
+        // histogram series — the same check CI applies to a live server.
+        let mut parsed = std::collections::BTreeMap::new();
+        for line in text.lines() {
+            if line.starts_with('#') || line.contains('{') {
+                continue;
+            }
+            if let Some((name, value)) = line.split_once(' ') {
+                if let Ok(v) = value.parse::<u64>() {
+                    parsed.insert(name.to_string(), v);
+                }
+            }
+        }
+        for (name, v) in &snap.counters {
+            assert_eq!(parsed.get(&sanitize_metric_name(name)), Some(v));
+        }
+    }
+
+    #[test]
+    fn non_finite_gauges_render_prometheus_spellings() {
+        let mut buf = LocalBuffer::default();
+        buf.gauges.insert("bad", f64::NAN);
+        buf.gauges.insert("hot", f64::INFINITY);
+        let text = to_prometheus(&Snapshot::from_buffer(buf));
+        assert!(text.contains("bad NaN"));
+        assert!(text.contains("hot +Inf"));
+    }
+}

@@ -41,13 +41,19 @@
 //! assert_eq!(buf.counter("work.items"), 3);
 //! ```
 
+mod exposition;
 mod json;
+mod recorder;
 mod registry;
 mod sink;
+mod slo;
 mod span;
 
+pub use exposition::{sanitize_metric_name, to_prometheus};
+pub use recorder::{FlightRecorder, TraceRecord, MAX_TRACE_STAGES};
 pub use registry::{HistogramData, LocalBuffer, Snapshot, TracePoint};
 pub use sink::{Field, Severity};
+pub use slo::{SloMonitor, SloStatus};
 pub use span::{SpanGuard, SpanNode};
 
 use span::OpenSpan;

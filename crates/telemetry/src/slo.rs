@@ -1,0 +1,196 @@
+//! Rolling-window SLO monitors.
+//!
+//! A monitor tracks the mean of the last `window` observations of one
+//! scalar signal (a 0/1 failure indicator gives a rate; a continuous
+//! value like a residual ratio gives a drift level). The window is
+//! **count-based**, not time-based: the same observation sequence yields
+//! the same breach edges regardless of wall-clock pacing or thread
+//! count, matching the workspace determinism contract. A breach is
+//! edge-triggered — the first observation pushing the mean over the
+//! threshold (with at least `min_count` observations in the window)
+//! emits one `slo.breach` Warn event and bumps the monitor's breach
+//! counter; the monitor re-arms once the mean recovers.
+
+use crate::sink::{Field, Severity};
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+/// Immutable view of a monitor's current window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// Monitor name (e.g. `serve.slo.shed_rate`).
+    pub name: &'static str,
+    /// Breach threshold on the rolling mean (exclusive).
+    pub threshold: f64,
+    /// Window size in observations.
+    pub window: usize,
+    /// Observations needed before the monitor can breach.
+    pub min_count: usize,
+    /// Observations currently in the window.
+    pub count: usize,
+    /// Rolling mean over the window (0 when empty).
+    pub mean: f64,
+    /// `true` while the mean is over the threshold.
+    pub breached: bool,
+    /// Breach edges seen over the monitor's lifetime.
+    pub breaches: u64,
+}
+
+#[derive(Default)]
+struct SloState {
+    values: VecDeque<f64>,
+    breached: bool,
+    breaches: u64,
+}
+
+/// One rolling-window monitor. Construct once (typically in a `static`-
+/// adjacent shared struct), feed it with [`SloMonitor::observe`], and
+/// expose [`SloMonitor::status`] on an introspection endpoint.
+pub struct SloMonitor {
+    name: &'static str,
+    breach_counter: &'static str,
+    threshold: f64,
+    window: usize,
+    min_count: usize,
+    state: Mutex<SloState>,
+}
+
+impl SloMonitor {
+    /// A monitor breaching when the mean of the last `window`
+    /// observations exceeds `threshold` (needs `min_count` observations
+    /// first). Breach edges increment the registry counter
+    /// `breach_counter`.
+    pub fn new(
+        name: &'static str,
+        breach_counter: &'static str,
+        window: usize,
+        min_count: usize,
+        threshold: f64,
+    ) -> Self {
+        Self {
+            name,
+            breach_counter,
+            threshold,
+            window: window.max(1),
+            min_count: min_count.max(1),
+            state: Mutex::new(SloState::default()),
+        }
+    }
+
+    /// Feeds one observation; returns `true` exactly on a breach edge
+    /// (armed → breached transition), which is when the Warn event and
+    /// counter increment fire.
+    pub fn observe(&self, value: f64) -> bool {
+        let (edge, mean) = {
+            let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            if st.values.len() == self.window {
+                st.values.pop_front();
+            }
+            st.values.push_back(value);
+            // Recompute instead of maintaining a running sum: the window
+            // is small and the result is then independent of eviction
+            // history (no float-cancellation drift).
+            let mean = st.values.iter().sum::<f64>() / st.values.len() as f64;
+            let over = st.values.len() >= self.min_count && mean > self.threshold;
+            let edge = over && !st.breached;
+            st.breached = over;
+            if edge {
+                st.breaches += 1;
+            }
+            (edge, mean)
+        };
+        if edge {
+            crate::counter_add(self.breach_counter, 1);
+            crate::event(
+                Severity::Warn,
+                "slo.breach",
+                &[
+                    ("monitor", Field::Str(self.name)),
+                    ("mean", Field::F64(mean)),
+                    ("threshold", Field::F64(self.threshold)),
+                ],
+            );
+        }
+        edge
+    }
+
+    /// The monitor's current window view.
+    pub fn status(&self) -> SloStatus {
+        let st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mean = if st.values.is_empty() {
+            0.0
+        } else {
+            st.values.iter().sum::<f64>() / st.values.len() as f64
+        };
+        SloStatus {
+            name: self.name,
+            threshold: self.threshold,
+            window: self.window,
+            min_count: self.min_count,
+            count: st.values.len(),
+            mean,
+            breached: st.breached,
+            breaches: st.breaches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breach_is_edge_triggered_and_rearms_on_recovery() {
+        let m = SloMonitor::new("t.rate", "slo.breaches.t", 4, 2, 0.5);
+        assert!(!m.observe(1.0)); // min_count not reached
+        assert!(m.observe(1.0)); // mean 1.0 > 0.5: edge
+        assert!(!m.observe(1.0)); // still breached: no second edge
+        assert!(!m.observe(0.0)); // mean 0.75: still over
+        assert!(!m.observe(0.0)); // window [1,1,0,0] mean 0.5: recovered
+        assert!(!m.status().breached);
+        assert!(!m.observe(1.0)); // [1,0,0,1] mean 0.5: at, not over
+        assert!(!m.observe(1.0)); // [0,0,1,1] mean 0.5: still at
+        assert!(m.observe(1.0)); // [0,1,1,1] mean 0.75: second edge
+        assert_eq!(m.status().breaches, 2);
+    }
+
+    #[test]
+    fn window_evicts_oldest_observations() {
+        let m = SloMonitor::new("t.win", "slo.breaches.t2", 3, 1, 10.0);
+        for v in [30.0, 0.0, 0.0, 0.0] {
+            m.observe(v);
+        }
+        let s = m.status();
+        assert_eq!(s.count, 3);
+        assert!(s.mean.abs() < 1e-12, "30.0 must have been evicted");
+        assert!(!s.breached);
+    }
+
+    #[test]
+    fn value_monitor_tracks_drift_levels() {
+        let m = SloMonitor::new("t.resid", "slo.breaches.t3", 8, 4, 5e-5);
+        for _ in 0..4 {
+            assert!(!m.observe(1e-5));
+        }
+        let mut edges = 0;
+        for _ in 0..8 {
+            if m.observe(2e-4) {
+                edges += 1;
+            }
+        }
+        assert_eq!(edges, 1, "one edge as the rolling mean crosses");
+        let s = m.status();
+        assert!(s.breached && s.mean > 5e-5);
+    }
+
+    #[test]
+    fn status_reports_configuration() {
+        let m = SloMonitor::new("t.cfg", "slo.breaches.t4", 16, 4, 0.25);
+        let s = m.status();
+        assert_eq!(
+            (s.name, s.window, s.min_count, s.count, s.breaches),
+            ("t.cfg", 16, 4, 0, 0)
+        );
+        assert!((s.threshold - 0.25).abs() < 1e-12 && s.mean.abs() < 1e-12);
+    }
+}

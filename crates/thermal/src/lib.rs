@@ -54,6 +54,7 @@ mod fan;
 mod lumped;
 mod model;
 mod nonlinear;
+pub mod probe;
 mod reduction;
 mod skeleton;
 mod solution;

@@ -249,6 +249,7 @@ impl ReducedModel {
             return Err("reduced residual above tolerance");
         }
 
+        crate::probe::note_reduced(r_norm / b_norm.max(f64::MIN_POSITIVE));
         telemetry::counter_add("reduction.solves", 1);
         // The reduced path performs no Krylov iterations; 0 is its
         // distinctive iteration count.
@@ -554,6 +555,7 @@ impl<'a> ReducedCoolingModel<'a> {
             match red.try_solve(self.full, op) {
                 Ok(sol) => return Ok(sol),
                 Err(reason) => {
+                    crate::probe::note_fallback();
                     telemetry::counter_add("reduction.fallbacks", 1);
                     telemetry::event(
                         telemetry::Severity::Warn,
