@@ -26,6 +26,12 @@
 //!   --threads <n>              executor threads (default: OFTEC_THREADS)
 //!   --cache-capacity <n>       result-cache entries (default 1024)
 //!   --cache-ttl-ms <ms>        result-cache TTL (default: none)
+//!   --cache-shards <n>         result-cache lock shards (default 8,
+//!                              rounded up to a power of two)
+//!   --conn-workers <n>         shard workers multiplexing connections
+//!                              (default 0: auto, up to 4)
+//!   --max-inflight <n>         pipelined requests per connection before
+//!                              the worker stops reading it (default 64)
 //!   --batch-window-ms <ms>     micro-batch window (default 0: dispatch
 //!                              immediately, still draining queued jobs)
 //!   --batch-max <n>            max jobs per batch (default 32)
@@ -165,6 +171,18 @@ fn parse_serve_config(
             "--cache-ttl-ms" => {
                 let ms = parse_num("--cache-ttl-ms", value("--cache-ttl-ms")?)?;
                 config.cache.ttl = Some(Duration::from_millis(ms));
+            }
+            "--cache-shards" => {
+                config.cache.shards =
+                    (parse_num("--cache-shards", value("--cache-shards")?)? as usize).max(1);
+            }
+            "--conn-workers" => {
+                config.conn_workers =
+                    parse_num("--conn-workers", value("--conn-workers")?)? as usize;
+            }
+            "--max-inflight" => {
+                config.max_inflight =
+                    (parse_num("--max-inflight", value("--max-inflight")?)? as usize).max(1);
             }
             "--batch-window-ms" => {
                 let ms = parse_num("--batch-window-ms", value("--batch-window-ms")?)?;

@@ -12,11 +12,20 @@
 //! newest marker per key is live, so `get`/`insert` stay O(1) amortized
 //! without an intrusive list. Hit/miss/eviction/expiry counts feed the
 //! telemetry registry.
+//!
+//! The store is **sharded**: keys hash (deterministically — no per-process
+//! randomness, so shard placement is reproducible) onto one of
+//! [`CacheConfig::shards`] independent LRU partitions, each behind its own
+//! lock. Connections on different shard workers stop contending on one
+//! global mutex; LRU order becomes per-shard (approximate global LRU),
+//! which changes nothing about hit payloads — only which entry is evicted
+//! under capacity pressure.
 
 use crate::protocol::{SolveKind, SolveSpec};
 use oftec_power::Benchmark;
 use oftec_telemetry::Counter;
 use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
 use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -28,7 +37,8 @@ pub static CACHE_EXPIRED: Counter = Counter::new("serve.cache.expired");
 /// Quantization grids and eviction limits.
 #[derive(Debug, Clone)]
 pub struct CacheConfig {
-    /// Maximum live entries; 0 disables the cache entirely.
+    /// Maximum live entries (summed across shards); 0 disables the cache
+    /// entirely.
     pub capacity: usize,
     /// Entry lifetime; `None` = never expires.
     pub ttl: Option<Duration>,
@@ -38,6 +48,9 @@ pub struct CacheConfig {
     pub amps_grid: f64,
     /// Workload-scale grid pitch.
     pub scale_grid: f64,
+    /// Lock shards; rounded up to a power of two, minimum 1. With 1 shard
+    /// eviction is exact global LRU; with more it is per-shard LRU.
+    pub shards: usize,
 }
 
 impl Default for CacheConfig {
@@ -48,6 +61,7 @@ impl Default for CacheConfig {
             rpm_grid: 1.0,
             amps_grid: 0.01,
             scale_grid: 1e-3,
+            shards: 8,
         }
     }
 }
@@ -137,18 +151,31 @@ struct Inner {
 /// panicking accessor).
 pub struct QuantizedCache {
     cfg: CacheConfig,
-    inner: Mutex<Inner>,
+    /// Power-of-two shard count minus one, for masking the key hash.
+    shard_mask: usize,
+    /// Per-entry capacity of each shard (total capacity split evenly).
+    shard_capacity: usize,
+    shards: Box<[Mutex<Inner>]>,
 }
 
 impl QuantizedCache {
     pub fn new(cfg: CacheConfig) -> Self {
+        let nshards = cfg.shards.max(1).next_power_of_two();
+        let shards = (0..nshards)
+            .map(|_| {
+                Mutex::new(Inner {
+                    map: HashMap::new(),
+                    order: VecDeque::new(),
+                    seq: 0,
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         Self {
+            shard_mask: nshards - 1,
+            shard_capacity: cfg.capacity.div_ceil(nshards),
             cfg,
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                order: VecDeque::new(),
-                seq: 0,
-            }),
+            shards,
         }
     }
 
@@ -158,6 +185,17 @@ impl QuantizedCache {
 
     pub fn key_for(&self, spec: &SolveSpec) -> CacheKey {
         CacheKey::for_spec(spec, &self.cfg)
+    }
+
+    /// Which shard a key lives on. `DefaultHasher::new()` uses fixed keys,
+    /// so placement is identical across processes and runs — required for
+    /// the serve determinism contract (eviction patterns, and therefore
+    /// hit/miss sequences under capacity pressure, must not depend on
+    /// process-random hash seeds).
+    fn shard_of(&self, key: &CacheKey) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) & self.shard_mask
     }
 
     /// Looks `key` up, refreshing its recency on a hit. Expired entries
@@ -180,7 +218,9 @@ impl QuantizedCache {
             }
             return None;
         }
-        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut inner = self.shards[self.shard_of(key)]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let expired = match inner.map.get(key) {
             None => {
                 if count {
@@ -222,7 +262,9 @@ impl QuantizedCache {
         if self.cfg.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut inner = self.shards[self.shard_of(&key)]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let seq = inner.seq;
         inner.seq += 1;
         inner.order.push_back((seq, key));
@@ -234,7 +276,7 @@ impl QuantizedCache {
                 touched: seq,
             },
         );
-        while inner.map.len() > self.cfg.capacity {
+        while inner.map.len() > self.shard_capacity {
             match inner.order.pop_front() {
                 Some((marker_seq, old_key)) => {
                     // Only a key's newest marker is live; skip stale ones.
@@ -253,13 +295,13 @@ impl QuantizedCache {
         Self::maybe_compact(&mut inner);
     }
 
-    /// Live entry count (expired-but-unvisited entries included).
+    /// Live entry count (expired-but-unvisited entries included), summed
+    /// across shards.
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .map
-            .len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).map.len())
+            .sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -296,10 +338,13 @@ mod tests {
         }
     }
 
+    /// Single-shard cache: exact global LRU, so eviction-order tests stay
+    /// deterministic regardless of key-to-shard placement.
     fn cache(capacity: usize, ttl: Option<Duration>) -> QuantizedCache {
         QuantizedCache::new(CacheConfig {
             capacity,
             ttl,
+            shards: 1,
             ..CacheConfig::default()
         })
     }
@@ -403,11 +448,65 @@ mod tests {
         for _ in 0..1000 {
             c.get(&k);
         }
-        let inner = c.inner.lock().unwrap();
-        assert!(
-            inner.order.len() <= 2 * inner.map.len() + 17,
-            "recency queue must stay bounded, got {}",
-            inner.order.len()
-        );
+        for shard in c.shards.iter() {
+            let inner = shard.lock().unwrap();
+            assert!(
+                inner.order.len() <= 2 * inner.map.len() + 17,
+                "recency queue must stay bounded, got {}",
+                inner.order.len()
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_cache_behaves_like_one_store() {
+        let c = QuantizedCache::new(CacheConfig {
+            capacity: 256,
+            shards: 8,
+            ..CacheConfig::default()
+        });
+        assert_eq!(c.shards.len(), 8);
+        assert_eq!(c.shard_capacity, 32);
+        // Every key round-trips through whichever shard it hashed to.
+        for i in 0..64 {
+            let k = c.key_for(&spec(1000.0 + 10.0 * f64::from(i), 0.5));
+            c.insert(k, format!("p{i}"));
+        }
+        for i in 0..64 {
+            let k = c.key_for(&spec(1000.0 + 10.0 * f64::from(i), 0.5));
+            assert_eq!(c.get(&k).as_deref(), Some(format!("p{i}").as_str()));
+        }
+        assert_eq!(c.len(), 64);
+        // Keys actually spread over more than one shard.
+        let occupied = c
+            .shards
+            .iter()
+            .filter(|s| !s.lock().unwrap().map.is_empty())
+            .count();
+        assert!(occupied > 1, "64 keys landed on {occupied} shard(s)");
+    }
+
+    #[test]
+    fn shard_placement_is_deterministic_across_instances() {
+        let a = QuantizedCache::new(CacheConfig::default());
+        let b = QuantizedCache::new(CacheConfig::default());
+        for i in 0..32 {
+            let k = a.key_for(&spec(2000.0 + 7.0 * f64::from(i), 1.0));
+            assert_eq!(a.shard_of(&k), b.shard_of(&k));
+        }
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let c = QuantizedCache::new(CacheConfig {
+            shards: 5,
+            ..CacheConfig::default()
+        });
+        assert_eq!(c.shards.len(), 8);
+        let c1 = QuantizedCache::new(CacheConfig {
+            shards: 0,
+            ..CacheConfig::default()
+        });
+        assert_eq!(c1.shards.len(), 1);
     }
 }

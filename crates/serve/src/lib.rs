@@ -16,10 +16,21 @@
 //!   a configurable grid, LRU + TTL eviction, hit/miss/eviction counters
 //!   on the telemetry registry. Hits replay byte-identical payloads on
 //!   the connection thread, bypassing the queue entirely.
-//! - **Admission control** ([`server`]): a bounded queue with explicit
-//!   `overloaded` rejections, per-request deadlines enforced at dequeue
-//!   and at solver-iteration granularity, and graceful drain on shutdown
-//!   (stop accepting, answer in-flight, flush telemetry JSON).
+//! - **Admission control** ([`server`], [`queue`]): a bounded queue with
+//!   explicit `overloaded` rejections, deadline-aware admission (jobs
+//!   predicted to miss are shed up front, expired jobs are purged from
+//!   the queue instead of occupying capacity), per-request deadlines
+//!   enforced at dequeue and at solver-iteration granularity, and
+//!   graceful drain on shutdown (stop accepting, answer in-flight, flush
+//!   telemetry JSON).
+//! - **Sharded connection plane** ([`server`]): a bounded pool of shard
+//!   workers multiplexes all connections over nonblocking sockets with
+//!   reusable per-connection buffers — thread count is fixed by
+//!   configuration, not by client count.
+//! - **Binary wire format** ([`wire`]): length-prefixed solve frames
+//!   negotiated per message alongside NDJSON, answering with the exact
+//!   JSON envelope bytes of the NDJSON path (framed instead of
+//!   newline-terminated), so results are byte-identical across wires.
 //!
 //! The companion binaries live in this crate: `oftec-cli` (with the
 //! `serve` subcommand) and `oftec-loadgen` (closed/open-loop load
@@ -31,6 +42,7 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod trace;
+pub mod wire;
 
 pub use cache::{CacheConfig, CacheKey, QuantizedCache};
 pub use engine::{reference_payload, Engine, FaultPlan};

@@ -1,24 +1,40 @@
 //! The TCP serve loop: accept, frame, admit, dispatch, drain.
 //!
-//! One thread per connection reads newline-delimited requests. `health`,
-//! `metrics`, and cache hits are answered inline on the connection
-//! thread (the sub-millisecond path); solve misses are admitted into the
-//! bounded [`JobQueue`] and batched onto the executor by a single
-//! dispatcher thread. Shutdown — via the `shutdown` command or a
-//! [`ServerHandle`] — is graceful: the listener stops accepting, the
-//! queue closes but drains, every in-flight request is answered, and the
-//! final telemetry snapshot is flushed to JSON.
+//! Connections are multiplexed over a **bounded pool of shard workers**:
+//! the accept loop assigns each connection (round-robin) to a worker,
+//! and each worker drives its connections with nonblocking reads/writes
+//! and reusable per-connection buffers — thread count is fixed by
+//! [`ServeConfig::conn_workers`], not by client count. Messages are
+//! framed per the sniffed wire format (NDJSON lines or [`crate::wire`]
+//! binary frames, interleaving freely on one connection); `health`,
+//! `metrics`, and cache hits are answered inline on the worker (the
+//! sub-millisecond path); solve misses are admitted into the bounded
+//! deadline-aware [`JobQueue`] and batched onto the executor by a single
+//! dispatcher thread, their replies pumped back in request order as they
+//! resolve (responses pipeline up to [`ServeConfig::max_inflight`] per
+//! connection).
+//!
+//! A panicking connection is contained: the worker catches the unwind,
+//! counts it in `serve.panics`, and drops only that connection — its
+//! `connections` gauge entry is restored by a drop guard. Worker and
+//! dispatcher panics are observed at join. Shutdown — via the `shutdown`
+//! command or a [`ServerHandle`] — is graceful: the listener stops
+//! accepting, the queue closes but drains, every in-flight request is
+//! answered and flushed, and the final telemetry snapshot is written.
 
 use crate::cache::{CacheConfig, QuantizedCache};
-use crate::engine::{Engine, FaultPlan, SERVE_PANICS};
+use crate::engine::{Engine, FaultPlan, SERVE_DEADLINE_EXCEEDED, SERVE_PANICS};
 use crate::protocol::{self, error_cause, ErrBody, Request, SolveSpec};
 use crate::queue::{Job, JobQueue, PushError};
 use crate::trace::TraceContext;
+use crate::wire;
 use oftec_telemetry as telemetry;
-use oftec_telemetry::{Counter, FlightRecorder, SloMonitor, SloStatus};
+use oftec_telemetry::{Counter, Field, FlightRecorder, Severity, SloMonitor, SloStatus};
 use oftec_thermal::PackageConfig;
+use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -29,6 +45,11 @@ pub static SERVE_RESPONSES_ERR: Counter = Counter::new("serve.responses_err");
 pub static SERVE_CONNECTIONS: Counter = Counter::new("serve.connections");
 pub static SERVE_PROBES: Counter = Counter::new("serve.probes");
 pub static SERVE_OVERLOADED: Counter = Counter::new("serve.overloaded");
+pub static SERVE_SPAWN_FAILURES: Counter = Counter::new("serve.worker_spawn_failures");
+
+// Per-wire message counters: which format each request arrived in.
+pub static SERVE_WIRE_NDJSON: Counter = Counter::new("serve.wire.ndjson");
+pub static SERVE_WIRE_BINARY: Counter = Counter::new("serve.wire.binary");
 
 // Typed per-cause error counters: `serve.responses_err` equals their sum,
 // so a bench report never contains an opaque `failed` bucket.
@@ -62,9 +83,12 @@ pub struct ServeConfig {
     /// Admission-queue capacity; beyond it requests get `overloaded`.
     pub queue_capacity: usize,
     /// Maximum request-line length in bytes; longer lines get
-    /// `line_too_long` and are discarded to the next newline.
+    /// `line_too_long` and are discarded to the next newline. Also bounds
+    /// binary frame bodies (`frame_too_long`).
     pub max_line_bytes: usize,
-    /// Poll interval for reads (bounds shutdown latency).
+    /// Legacy poll interval from the blocking-read servers; the
+    /// nonblocking shard workers pace themselves with an adaptive idle
+    /// backoff instead, so this now only caps that backoff.
     pub read_timeout: Duration,
     /// Use the coarse DAC'14 package (fast solves; tests and smoke).
     pub coarse: bool,
@@ -84,6 +108,19 @@ pub struct ServeConfig {
     /// Where to dump the flight recorder (JSONL) when the solver-error
     /// SLO monitor breaches; `None` disables the automatic dump.
     pub flight_dump: Option<String>,
+    /// Shard workers multiplexing the connections (0 = auto: up to 4,
+    /// bounded by the machine's parallelism).
+    pub conn_workers: usize,
+    /// Maximum pipelined workload requests awaiting a reply per
+    /// connection; beyond it the worker stops reading that connection
+    /// (TCP backpressure) until replies drain.
+    pub max_inflight: usize,
+    /// Test hook: an NDJSON request line equal to this token panics the
+    /// connection handler, exercising panic containment in the worker.
+    pub panic_token: Option<String>,
+    /// Test hook: pretend the first N worker spawns failed, exercising
+    /// spawn-failure resilience.
+    pub fail_worker_spawns: usize,
 }
 
 impl Default for ServeConfig {
@@ -109,16 +146,25 @@ impl Default for ServeConfig {
             flight_recent: 256,
             flight_errors: 256,
             flight_dump: None,
+            conn_workers: 0,
+            max_inflight: 64,
+            panic_token: None,
+            fail_worker_spawns: 0,
         }
     }
 }
+
+/// How long a shard worker naps after a sweep that found work, so the
+/// next sweep harvests a batch of arrivals instead of polling one
+/// message at a time (see the note in [`worker_loop`]).
+const COALESCE_NAP: Duration = Duration::from_micros(100);
 
 /// Rolling window length of every SLO monitor, in observations.
 const SLO_WINDOW: usize = 256;
 /// Observations a monitor needs before it may breach.
 const SLO_MIN_COUNT: usize = 8;
 
-/// The serving SLO monitors, all observed on connection threads as each
+/// The serving SLO monitors, all observed on the shard workers as each
 /// workload response is finalized — never from executor workers, so
 /// breach edges do not depend on `OFTEC_THREADS`.
 struct Monitors {
@@ -197,14 +243,19 @@ struct Shared {
     queue: JobQueue,
     stop: Arc<AtomicBool>,
     connections: AtomicUsize,
+    /// Live shard workers (for the health payload).
+    workers: AtomicUsize,
     started: Instant,
     read_timeout: Duration,
     max_line_bytes: usize,
+    max_inflight: usize,
     recorder: FlightRecorder,
     monitors: Monitors,
-    /// Connection numbering for deterministic trace ids (1-based).
+    /// Connection numbering for deterministic trace ids (1-based,
+    /// assigned in accept order).
     conn_seq: AtomicU64,
     flight_dump: Option<String>,
+    panic_token: Option<String>,
 }
 
 /// A bound, not-yet-running cooling-control server.
@@ -243,13 +294,16 @@ impl Server {
             queue: JobQueue::new(config.queue_capacity, config.batch_max, config.batch_window),
             stop: Arc::new(AtomicBool::new(false)),
             connections: AtomicUsize::new(0),
+            workers: AtomicUsize::new(0),
             started: Instant::now(),
             read_timeout: config.read_timeout,
             max_line_bytes: config.max_line_bytes,
+            max_inflight: config.max_inflight.max(1),
             recorder: FlightRecorder::new(config.flight_recent, config.flight_errors),
             monitors: Monitors::new(),
             conn_seq: AtomicU64::new(0),
             flight_dump: config.flight_dump.clone(),
+            panic_token: config.panic_token.clone(),
         });
         Ok(Self {
             listener,
@@ -271,12 +325,25 @@ impl Server {
         }
     }
 
+    /// How many shard workers a configuration yields.
+    fn worker_count(&self) -> usize {
+        if self.config.conn_workers > 0 {
+            return self.config.conn_workers;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(4)
+    }
+
     /// Serves until shutdown, then drains and returns. Blocks the
     /// calling thread.
     ///
     /// # Errors
     ///
-    /// I/O errors writing the port file; accept errors are retried.
+    /// I/O errors writing the port file, or total worker-pool spawn
+    /// failure. Accept errors and individual spawn failures are
+    /// contained: the server keeps serving on the workers it has.
     #[must_use = "the serve loop's exit status reports drain/flush failures"]
     pub fn run(self) -> std::io::Result<()> {
         telemetry::set_collecting(true);
@@ -289,6 +356,8 @@ impl Server {
 
         // The dispatcher owns the queue's consumer side for the whole
         // server lifetime; it exits once the queue is closed and drained.
+        // Each batch feeds the queue's admission EWMA with its per-job
+        // service time.
         let dispatcher = {
             let shared = Arc::clone(&self.shared);
             std::thread::Builder::new()
@@ -296,52 +365,125 @@ impl Server {
                 .spawn(move || {
                     telemetry::set_collecting(true);
                     while let Some(batch) = shared.queue.pop_batch() {
+                        let jobs = batch.len() as u64;
+                        let t0 = Instant::now();
                         shared.engine.execute(batch);
+                        let spent = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        shared.queue.record_service(spent / jobs.max(1));
                         telemetry::flush();
                     }
                     telemetry::flush();
                 })?
         };
 
-        let mut conn_threads = Vec::new();
-        while !self.shared.stop.load(Ordering::SeqCst) {
+        // The shard worker pool. A failed spawn loses one worker, not the
+        // server; only a pool with zero workers is fatal (and even then
+        // the queue is drained and the snapshot written on the way out).
+        let mut senders: Vec<mpsc::Sender<NewConn>> = Vec::new();
+        let mut workers = Vec::new();
+        for i in 0..self.worker_count() {
+            let (tx, rx) = mpsc::channel::<NewConn>();
+            let shared = Arc::clone(&self.shared);
+            let spawned = if i < self.config.fail_worker_spawns {
+                Err(std::io::Error::other("injected worker spawn failure"))
+            } else {
+                std::thread::Builder::new()
+                    .name(format!("serve-shard-{i}"))
+                    .spawn(move || {
+                        telemetry::set_collecting(true);
+                        worker_loop(&shared, &rx);
+                        telemetry::flush();
+                    })
+            };
+            match spawned {
+                Ok(handle) => {
+                    self.shared.workers.fetch_add(1, Ordering::SeqCst);
+                    senders.push(tx);
+                    workers.push(handle);
+                }
+                Err(e) => {
+                    SERVE_SPAWN_FAILURES.add(1);
+                    telemetry::event(
+                        Severity::Warn,
+                        "serve.worker_spawn_failed",
+                        &[
+                            ("worker", Field::U64(i as u64)),
+                            ("error", Field::Str(&e.to_string())),
+                        ],
+                    );
+                }
+            }
+        }
+        let pool_empty = workers.is_empty();
+
+        let mut rr = 0usize;
+        while !pool_empty && !self.shared.stop.load(Ordering::SeqCst) {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     // `serve.connections` is counted lazily on the first
-                    // workload request (see `serve_connection`), so
-                    // probe-only connections never reach it; this gauge
-                    // tracks live connections for the health payload.
-                    self.shared.connections.fetch_add(1, Ordering::SeqCst);
-                    let shared = Arc::clone(&self.shared);
-                    let t = std::thread::Builder::new()
-                        .name("serve-conn".into())
-                        .spawn(move || {
-                            telemetry::set_collecting(true);
-                            serve_connection(&shared, stream);
-                            telemetry::flush();
-                            shared.connections.fetch_sub(1, Ordering::SeqCst);
-                        })?;
-                    conn_threads.push(t);
+                    // workload request, so probe-only connections never
+                    // reach it; the gauge guard tracks live connections
+                    // for the health payload — and restores the count
+                    // even when the connection's handler panics.
+                    let gauge = ConnGauge::new(Arc::clone(&self.shared));
+                    let conn_id = self.shared.conn_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                    let mut conn = Some((stream, conn_id, gauge));
+                    // Hand the connection to the next live worker; a dead
+                    // worker's channel hands it back, and we rotate on.
+                    while let Some(c) = conn.take() {
+                        if senders.is_empty() {
+                            break; // every worker died: drop the connection
+                        }
+                        rr = (rr + 1) % senders.len();
+                        if let Err(mpsc::SendError(c)) = senders[rr].send(c) {
+                            senders.remove(rr);
+                            rr = 0;
+                            conn = Some(c);
+                        }
+                    }
+                    if senders.is_empty() {
+                        break; // no workers left; drain and report below
+                    }
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
+                    std::thread::sleep(Duration::from_millis(2));
                 }
-                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                Err(_) => std::thread::sleep(Duration::from_millis(2)),
             }
-            conn_threads.retain(|t| !t.is_finished());
         }
 
         // Drain: no new admissions, but everything admitted is answered.
+        self.shared.stop.store(true, Ordering::SeqCst);
         self.shared.queue.close();
-        let _ = dispatcher.join();
-        for t in conn_threads {
-            let _ = t.join();
+        let dispatcher_panicked = dispatcher.join().is_err();
+        if dispatcher_panicked {
+            SERVE_PANICS.add(1);
+            telemetry::event(Severity::Warn, "serve.dispatcher_panicked", &[]);
+        }
+        drop(senders);
+        for (i, w) in workers.into_iter().enumerate() {
+            // Joining (instead of detaching) is what surfaces worker
+            // panics; a panicking worker is counted, not silently lost.
+            if w.join().is_err() {
+                SERVE_PANICS.add(1);
+                telemetry::event(
+                    Severity::Warn,
+                    "serve.worker_panicked",
+                    &[("worker", Field::U64(i as u64))],
+                );
+            }
+            self.shared.workers.fetch_sub(1, Ordering::SeqCst);
         }
 
         telemetry::flush();
         if let Some(path) = &self.config.telemetry_json {
             let snap = authoritative_snapshot();
             std::fs::write(path, snap.to_json())?;
+        }
+        if pool_empty {
+            return Err(std::io::Error::other(
+                "no shard workers could be spawned; served nothing",
+            ));
         }
         Ok(())
     }
@@ -358,6 +500,9 @@ fn authoritative_snapshot() -> telemetry::Snapshot {
         &SERVE_CONNECTIONS,
         &SERVE_PROBES,
         &SERVE_OVERLOADED,
+        &SERVE_SPAWN_FAILURES,
+        &SERVE_WIRE_NDJSON,
+        &SERVE_WIRE_BINARY,
         &SERVE_ERR_PARSE,
         &SERVE_ERR_OVERLOAD,
         &SERVE_ERR_DEADLINE,
@@ -369,6 +514,8 @@ fn authoritative_snapshot() -> telemetry::Snapshot {
         &crate::engine::SERVE_BATCH_JOBS,
         &crate::engine::SERVE_BATCH_DEDUPED,
         &crate::engine::SERVE_DEADLINE_EXCEEDED,
+        &crate::queue::QUEUE_EXPIRED,
+        &crate::queue::QUEUE_EVICTED,
         &crate::cache::CACHE_HITS,
         &crate::cache::CACHE_MISSES,
         &crate::cache::CACHE_EVICTIONS,
@@ -379,188 +526,586 @@ fn authoritative_snapshot() -> telemetry::Snapshot {
     snap
 }
 
-/// Reads lines with a poll timeout so the shutdown flag is honored
-/// mid-read. Returns `None` on EOF/error/shutdown-drain.
-struct LineReader {
-    buf: Vec<u8>,
-    chunk: [u8; 4096],
-    /// Set once a line exceeded the cap; the rest of it is discarded.
-    discarding: bool,
+/// Restores the live-connection gauge when a connection ends **for any
+/// reason** — clean close, I/O error, or a panic unwinding through the
+/// handler (the bug the old per-connection `fetch_sub` had).
+struct ConnGauge {
+    shared: Arc<Shared>,
 }
 
-enum ReadOutcome {
+impl ConnGauge {
+    fn new(shared: Arc<Shared>) -> Self {
+        shared.connections.fetch_add(1, Ordering::SeqCst);
+        Self { shared }
+    }
+}
+
+impl Drop for ConnGauge {
+    fn drop(&mut self) {
+        self.shared.connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// What the accept loop hands a shard worker.
+type NewConn = (TcpStream, u64, ConnGauge);
+
+/// Which wire format a message arrived in (and its response leaves in).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Wire {
+    Ndjson,
+    Binary,
+}
+
+/// A response waiting to leave a connection, in request order.
+enum Outgoing {
+    /// Fully encoded bytes (newline-terminated line or binary frame).
+    Ready(Vec<u8>),
+    /// A queued solve whose reply has not resolved yet.
+    Pending {
+        rx: mpsc::Receiver<crate::queue::JobReply>,
+        id: Option<u64>,
+        conn: u64,
+        seq: u64,
+        wire: Wire,
+    },
+}
+
+/// Read-side resynchronization state after an oversized message.
+enum Discard {
+    None,
+    /// Dropping until the next newline; report `line_too_long` there.
+    Line,
+    /// Dropping this many more bytes of an oversized frame body.
+    Frame(usize),
+}
+
+/// One message extracted from a connection's read buffer.
+enum Msg {
     Line(String),
-    TooLong,
-    Closed,
+    TooLongLine,
+    Frame(Vec<u8>),
+    /// Announced body length exceeded the cap; body bytes are discarded.
+    TooLongFrame(usize),
+    /// Unsupported frame version: unrecoverable (the announced length
+    /// cannot be trusted, so the stream cannot be resynchronized).
+    BadVersion(ErrBody),
 }
 
-impl LineReader {
-    fn new() -> Self {
-        Self {
-            buf: Vec::new(),
-            chunk: [0; 4096],
-            discarding: false,
+/// Per-connection state owned by exactly one shard worker.
+struct ConnState {
+    stream: TcpStream,
+    conn_id: u64,
+    _gauge: ConnGauge,
+    /// Unparsed request bytes (reused across messages).
+    rbuf: Vec<u8>,
+    /// Encoded response bytes not yet written (reused across responses).
+    wbuf: Vec<u8>,
+    /// How much of `wbuf` has been written.
+    wpos: usize,
+    /// Responses in request order, pumped front-first.
+    out: VecDeque<Outgoing>,
+    discard: Discard,
+    /// Workload request sequence (probes excluded, so the same workload
+    /// script yields the same trace ids regardless of side-channel
+    /// polling).
+    workload_seq: u64,
+    /// Whether this connection has been counted in `serve.connections`.
+    counted: bool,
+    /// Read side finished (EOF or unrecoverable framing); flush and drop.
+    eof: bool,
+    /// Hard I/O error; drop immediately.
+    dead: bool,
+    /// A `shutdown` ack is queued: set the stop flag once it is flushed.
+    stop_after_flush: bool,
+}
+
+impl ConnState {
+    fn new(stream: TcpStream, conn_id: u64, gauge: ConnGauge) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self {
+            stream,
+            conn_id,
+            _gauge: gauge,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            out: VecDeque::new(),
+            discard: Discard::None,
+            workload_seq: 0,
+            counted: false,
+            eof: false,
+            dead: false,
+            stop_after_flush: false,
+        })
+    }
+
+    fn flushed(&self) -> bool {
+        self.out.is_empty() && self.wpos >= self.wbuf.len()
+    }
+
+    fn alive(&self) -> bool {
+        !self.dead && (!self.eof || !self.flushed())
+    }
+
+    fn count_workload(&mut self) {
+        SERVE_REQUESTS.add(1);
+        // `serve.connections` counts connections that carried workload:
+        // bumped on the first non-probe request, so a load generator's
+        // health/metrics side channel never inflates it.
+        if !self.counted {
+            self.counted = true;
+            SERVE_CONNECTIONS.add(1);
         }
     }
 
-    fn next_line(&mut self, stream: &mut TcpStream, shared: &Shared) -> ReadOutcome {
-        loop {
-            // A full line may already be buffered from a previous read.
-            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
-                let line: Vec<u8> = self.buf.drain(..=pos).collect();
-                if self.discarding {
-                    self.discarding = false;
-                    return ReadOutcome::TooLong;
+    /// Appends an encoded response envelope for `wire` to the out queue.
+    fn push_ready(&mut self, wire: Wire, envelope: &str) {
+        let mut bytes = Vec::with_capacity(envelope.len() + wire::FRAME_HEADER_LEN + 1);
+        match wire {
+            Wire::Ndjson => {
+                bytes.extend_from_slice(envelope.as_bytes());
+                bytes.push(b'\n');
+            }
+            Wire::Binary => wire::encode_frame_into(&mut bytes, envelope.as_bytes()),
+        }
+        self.out.push_back(Outgoing::Ready(bytes));
+    }
+}
+
+/// Encodes one resolved reply into response bytes.
+fn encode_reply(wire: Wire, envelope: &str, wbuf: &mut Vec<u8>) {
+    match wire {
+        Wire::Ndjson => {
+            wbuf.extend_from_slice(envelope.as_bytes());
+            wbuf.push(b'\n');
+        }
+        Wire::Binary => wire::encode_frame_into(wbuf, envelope.as_bytes()),
+    }
+}
+
+/// Extracts the next complete message from `buf`, advancing the discard
+/// state. Returns the bytes consumed and the message, if one completed.
+fn extract_message(buf: &[u8], discard: &mut Discard, max: usize) -> (usize, Option<Msg>) {
+    let mut used = 0;
+    loop {
+        let b = &buf[used..];
+        match *discard {
+            Discard::Line => match b.iter().position(|&c| c == b'\n') {
+                Some(pos) => {
+                    used += pos + 1;
+                    *discard = Discard::None;
+                    return (used, Some(Msg::TooLongLine));
                 }
+                None => return (used + b.len(), None),
+            },
+            Discard::Frame(rem) => {
+                let take = rem.min(b.len());
+                used += take;
+                if take < rem {
+                    *discard = Discard::Frame(rem - take);
+                    return (used, None);
+                }
+                *discard = Discard::None;
+                continue;
+            }
+            Discard::None => {}
+        }
+        if b.is_empty() {
+            return (used, None);
+        }
+        if b[0] == wire::FRAME_MAGIC {
+            if b.len() < wire::FRAME_HEADER_LEN {
+                return (used, None);
+            }
+            match wire::decode_header(&b[..wire::FRAME_HEADER_LEN]) {
+                // The rest of the stream cannot be framed; consume it all
+                // (the connection closes after the error is flushed).
+                Err(e) => return (used + b.len(), Some(Msg::BadVersion(e))),
+                Ok(len) => {
+                    if len > max {
+                        used += wire::FRAME_HEADER_LEN;
+                        *discard = Discard::Frame(len);
+                        return (used, Some(Msg::TooLongFrame(len)));
+                    }
+                    if b.len() < wire::FRAME_HEADER_LEN + len {
+                        return (used, None);
+                    }
+                    let body = b[wire::FRAME_HEADER_LEN..wire::FRAME_HEADER_LEN + len].to_vec();
+                    used += wire::FRAME_HEADER_LEN + len;
+                    return (used, Some(Msg::Frame(body)));
+                }
+            }
+        }
+        match b.iter().position(|&c| c == b'\n') {
+            Some(pos) => {
+                used += pos + 1;
                 // A complete line can arrive in one chunk and still be
                 // over the cap; check at extraction too.
-                if line.len().saturating_sub(1) > shared.max_line_bytes {
-                    return ReadOutcome::TooLong;
+                if pos > max {
+                    return (used, Some(Msg::TooLongLine));
                 }
-                let text = String::from_utf8_lossy(&line).trim().to_string();
+                let text = String::from_utf8_lossy(&b[..pos]).trim().to_string();
                 if text.is_empty() {
                     continue; // blank lines are keep-alive no-ops
                 }
-                return ReadOutcome::Line(text);
+                return (used, Some(Msg::Line(text)));
             }
-            if self.buf.len() > shared.max_line_bytes {
-                // Discard until the newline arrives, then report once.
-                self.buf.clear();
-                self.discarding = true;
-            }
-            match stream.read(&mut self.chunk) {
-                Ok(0) => return ReadOutcome::Closed,
-                Ok(n) => {
-                    if !self.discarding {
-                        self.buf.extend_from_slice(&self.chunk[..n]);
-                    } else if let Some(pos) = self.chunk[..n].iter().position(|&b| b == b'\n') {
-                        self.buf.extend_from_slice(&self.chunk[pos..n]);
-                    }
+            None => {
+                if b.len() > max {
+                    // Discard until the newline arrives, then report once.
+                    *discard = Discard::Line;
+                    return (used + b.len(), None);
                 }
-                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                    if shared.stop.load(Ordering::SeqCst) {
-                        return ReadOutcome::Closed;
-                    }
-                }
-                Err(_) => return ReadOutcome::Closed,
+                return (used, None);
             }
         }
     }
 }
 
-fn write_line(stream: &mut TcpStream, line: &str) -> bool {
-    stream
-        .write_all(line.as_bytes())
-        .and_then(|()| stream.write_all(b"\n"))
-        .and_then(|()| stream.flush())
-        .is_ok()
+/// One shard worker: drains newly assigned connections from `rx`, then
+/// sweeps its connections — read, extract, handle, pump — with an
+/// adaptive idle backoff. A panic inside one connection's handler is
+/// caught here: counted, logged, and that connection alone is dropped.
+fn worker_loop(shared: &Arc<Shared>, rx: &mpsc::Receiver<NewConn>) {
+    let mut conns: Vec<ConnState> = Vec::new();
+    let mut chunk = vec![0u8; 16 * 1024];
+    let mut idle: u32 = 0;
+    let mut drain_started: Option<Instant> = None;
+    loop {
+        let stopping = shared.stop.load(Ordering::SeqCst);
+        while let Ok((stream, conn_id, gauge)) = rx.try_recv() {
+            if stopping {
+                continue; // dropped: gauge guard restores the count
+            }
+            match ConnState::new(stream, conn_id, gauge) {
+                Ok(c) => conns.push(c),
+                Err(_) => continue,
+            }
+        }
+        let mut active = false;
+        let mut handled = 0usize;
+        conns.retain_mut(|conn| {
+            match catch_unwind(AssertUnwindSafe(|| {
+                step_conn(shared, conn, &mut chunk, stopping)
+            })) {
+                Ok((step_active, step_msgs)) => {
+                    active |= step_active;
+                    handled += step_msgs;
+                    conn.alive()
+                }
+                Err(_) => {
+                    // Satellite fix: the panic is observed and the gauge
+                    // guard inside ConnState restores `connections`.
+                    SERVE_PANICS.add(1);
+                    telemetry::event(
+                        Severity::Warn,
+                        "serve.connection_panicked",
+                        &[("conn", Field::U64(conn.conn_id))],
+                    );
+                    active = true;
+                    false
+                }
+            }
+        });
+        if active {
+            telemetry::flush();
+            idle = 0;
+            // Coalesce arrivals when the shard is actually hot. Once a
+            // sweep batches two or more messages the arrival rate has
+            // outrun the sweep cost, and re-sweeping immediately burns
+            // the core on empty nonblocking reads (32 conns ≈ 30 wasted
+            // syscalls per message). A short nap lets several arrivals
+            // accumulate per sweep; the added latency is bounded by the
+            // nap and is far below the tail cost of a saturated core. A
+            // sweep that found at most one message skips the nap so a
+            // lone low-rate client keeps the sub-millisecond path.
+            if !stopping && handled >= 2 {
+                std::thread::sleep(COALESCE_NAP);
+            }
+        }
+        if stopping {
+            // Keep pumping until every admitted reply is flushed, with a
+            // hard cap so a wedged peer cannot hold shutdown hostage.
+            let t0 = *drain_started.get_or_insert_with(Instant::now);
+            if conns.iter().all(ConnState::flushed) || t0.elapsed() > Duration::from_secs(5) {
+                return;
+            }
+        }
+        if !active {
+            idle = idle.saturating_add(1);
+            if idle <= 3 {
+                std::thread::yield_now();
+            } else {
+                // Escalating nap, capped: long enough to cede the core to
+                // clients on a shared box, short enough to stay off the
+                // tail latency.
+                let cap = shared.read_timeout.min(Duration::from_micros(200));
+                let nap = Duration::from_micros(u64::from(idle.min(10)) * 20).min(cap);
+                std::thread::sleep(nap);
+            }
+        }
+    }
 }
 
-fn serve_connection(shared: &Shared, mut stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(shared.read_timeout));
-    let mut reader = LineReader::new();
-    // Connection number for trace ids: 1-based, assigned in accept order.
-    let conn_id = shared.conn_seq.fetch_add(1, Ordering::Relaxed) + 1;
-    // Workload request sequence on this connection (probes excluded, so
-    // the same workload script yields the same trace ids regardless of
-    // how often a side channel polls `health`/`metrics`).
-    let mut workload_seq: u64 = 0;
-    // `serve.connections` counts connections that carried workload: it is
-    // bumped on the first non-probe request, so a load generator's
-    // health/metrics side channel never inflates it.
-    let mut counted = false;
-    let count_workload = |counted: &mut bool| {
-        SERVE_REQUESTS.add(1);
-        if !*counted {
-            *counted = true;
-            SERVE_CONNECTIONS.add(1);
+/// One sweep of one connection: read once, extract and handle every
+/// complete message, pump resolved replies out. Returns whether anything
+/// happened (for the worker's idle backoff) and how many messages were
+/// handled (for the worker's coalescing decision).
+fn step_conn(
+    shared: &Arc<Shared>,
+    conn: &mut ConnState,
+    chunk: &mut [u8],
+    stopping: bool,
+) -> (bool, usize) {
+    let mut active = false;
+    let mut handled = 0usize;
+    // Read: skipped once stopping (drain only), at EOF, or while the
+    // pipeline cap is reached (TCP backpressure until replies drain).
+    if !stopping && !conn.eof && !conn.dead && conn.out.len() < shared.max_inflight {
+        match conn.stream.read(chunk) {
+            Ok(0) => conn.eof = true,
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                active = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => conn.dead = true,
         }
-    };
-    loop {
-        let line = match reader.next_line(&mut stream, shared) {
-            ReadOutcome::Closed => return,
-            ReadOutcome::TooLong => {
-                workload_seq += 1;
-                count_workload(&mut counted);
-                let mut trace = TraceContext::new(conn_id, workload_seq);
-                trace.stage("parse");
-                let err = ErrBody::new(
-                    "line_too_long",
-                    format!("request line exceeds {} bytes", shared.max_line_bytes),
-                );
-                trace.set_outcome(error_cause(err.kind));
-                finish_workload(shared, &trace);
-                let resp = protocol::err_line_traced(None, &trace.envelope_json(false), &err);
-                telemetry::flush();
-                if !write_line(&mut stream, &resp) {
-                    return;
-                }
-                continue;
-            }
-            ReadOutcome::Line(l) => l,
-        };
-        // The context opens before the parse so the `parse` stage covers
-        // it; probes discard the context without consuming a sequence
-        // number.
-        let mut trace = TraceContext::new(conn_id, workload_seq + 1);
-        let parsed = protocol::parse_line(&line);
-        trace.stage("parse");
-        // Probes (`health`/`metrics`/`trace`/`slo`/`shutdown`) are
-        // control-plane traffic: counted under `serve.probes` only, and
-        // kept out of the response counters and latency histograms so
-        // the workload numbers stay exact.
-        let is_probe = matches!(
-            &parsed,
-            Ok((
-                _,
-                Request::Health
-                    | Request::Metrics { .. }
-                    | Request::Trace { .. }
-                    | Request::Slo
-                    | Request::Shutdown
-            ))
+    }
+    // Extract and handle every complete message buffered so far.
+    let mut consumed = 0;
+    while conn.out.len() < shared.max_inflight {
+        let (n, msg) = extract_message(
+            &conn.rbuf[consumed..],
+            &mut conn.discard,
+            shared.max_line_bytes,
         );
-        // `shutdown` must be detected before `parsed` is consumed but
-        // acted on only after its response is written, so the requester
-        // sees the acknowledgment before the drain starts.
-        let is_shutdown = matches!(&parsed, Ok((_, Request::Shutdown)));
-        let response = match parsed {
-            Ok((id, request)) if is_probe => {
-                SERVE_PROBES.add(1);
-                handle_probe(shared, id, &request)
+        consumed += n;
+        match msg {
+            None => break,
+            Some(m) => {
+                active = true;
+                handled += 1;
+                handle_message(shared, conn, m);
             }
-            Ok((id, request)) => {
-                workload_seq += 1;
-                count_workload(&mut counted);
-                match request {
-                    Request::Optimize { spec }
-                    | Request::Steady { spec }
-                    | Request::Sweep { spec } => handle_solve(shared, id, spec, trace),
-                    // Probe variants are filtered by `is_probe` above.
-                    _ => {
-                        trace.set_outcome("internal");
+        }
+    }
+    if consumed > 0 {
+        conn.rbuf.drain(..consumed);
+    }
+    // Pump: encode every resolved reply at the queue front, then write.
+    active |= pump_out(shared, conn);
+    if conn.stop_after_flush && conn.flushed() {
+        conn.stop_after_flush = false;
+        shared.stop.store(true, Ordering::SeqCst);
+    }
+    (active, handled)
+}
+
+/// Moves resolved front-of-queue replies into the write buffer and
+/// writes as much as the socket accepts. Returns whether bytes moved.
+fn pump_out(shared: &Arc<Shared>, conn: &mut ConnState) -> bool {
+    let mut active = false;
+    loop {
+        match conn.out.front() {
+            None => break,
+            Some(Outgoing::Ready(_)) => {
+                if let Some(Outgoing::Ready(bytes)) = conn.out.pop_front() {
+                    conn.wbuf.extend_from_slice(&bytes);
+                    active = true;
+                }
+            }
+            Some(Outgoing::Pending { rx, .. }) => match rx.try_recv() {
+                Err(mpsc::TryRecvError::Empty) => break,
+                Ok((result, trace)) => {
+                    if let Some(Outgoing::Pending { id, wire, .. }) = conn.out.pop_front() {
                         finish_workload(shared, &trace);
-                        let err = ErrBody::new("internal", "probe routed to workload path");
-                        protocol::err_line_traced(id, &trace.envelope_json(false), &err)
+                        let envelope = match result {
+                            Ok(payload) => protocol::ok_line_traced(
+                                id,
+                                false,
+                                &trace.envelope_json(false),
+                                &payload,
+                            ),
+                            Err(err) => {
+                                protocol::err_line_traced(id, &trace.envelope_json(false), &err)
+                            }
+                        };
+                        encode_reply(wire, &envelope, &mut conn.wbuf);
+                        active = true;
                     }
                 }
-            }
-            Err((id, err)) => {
-                workload_seq += 1;
-                count_workload(&mut counted);
-                trace.set_outcome(error_cause(err.kind));
-                finish_workload(shared, &trace);
-                protocol::err_line_traced(id, &trace.envelope_json(false), &err)
-            }
-        };
-        let keep_going = write_line(&mut stream, &response);
-        telemetry::flush();
-        if !keep_going {
-            return;
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    if let Some(Outgoing::Pending {
+                        id,
+                        conn: c,
+                        seq,
+                        wire,
+                        ..
+                    }) = conn.out.pop_front()
+                    {
+                        // Dispatcher dropped the sender without a reply —
+                        // only possible on hard teardown. The trace went
+                        // down with the job; rebuild its identity so the
+                        // record still lands in the flight recorder under
+                        // the right id.
+                        let mut trace = TraceContext::new(c, seq);
+                        trace.set_outcome("internal");
+                        finish_workload(shared, &trace);
+                        let err = ErrBody::new("internal", "solve pipeline dropped the request");
+                        let envelope =
+                            protocol::err_line_traced(id, &trace.envelope_json(false), &err);
+                        encode_reply(wire, &envelope, &mut conn.wbuf);
+                        active = true;
+                    }
+                }
+            },
         }
-        if is_shutdown {
-            shared.stop.store(true, Ordering::SeqCst);
+    }
+    while conn.wpos < conn.wbuf.len() && !conn.dead {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => {
+                conn.dead = true;
+            }
+            Ok(n) => {
+                conn.wpos += n;
+                active = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => conn.dead = true,
+        }
+    }
+    if conn.wpos >= conn.wbuf.len() && !conn.wbuf.is_empty() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    }
+    active
+}
+
+/// Handles one extracted message, appending its response(s) to the
+/// connection's out queue.
+fn handle_message(shared: &Arc<Shared>, conn: &mut ConnState, msg: Msg) {
+    match msg {
+        Msg::TooLongLine => {
+            SERVE_WIRE_NDJSON.add(1);
+            let err = ErrBody::new(
+                "line_too_long",
+                format!("request line exceeds {} bytes", shared.max_line_bytes),
+            );
+            oversized(shared, conn, Wire::Ndjson, err);
+        }
+        Msg::TooLongFrame(len) => {
+            SERVE_WIRE_BINARY.add(1);
+            let err = ErrBody::new(
+                "frame_too_long",
+                format!(
+                    "frame body of {len} bytes exceeds {} bytes",
+                    shared.max_line_bytes
+                ),
+            );
+            oversized(shared, conn, Wire::Binary, err);
+        }
+        Msg::BadVersion(err) => {
+            SERVE_WIRE_BINARY.add(1);
+            oversized(shared, conn, Wire::Binary, err);
+            // The announced length cannot be trusted, so the stream
+            // cannot be resynchronized: answer, flush, close.
+            conn.eof = true;
+        }
+        Msg::Line(text) => {
+            SERVE_WIRE_NDJSON.add(1);
+            if shared.panic_token.as_deref() == Some(text.as_str()) {
+                // oftec-lint: allow(L006, test hook: deliberate panic to exercise worker containment and the gauge drop guard)
+                panic!("panic token received on connection {}", conn.conn_id);
+            }
+            let parsed = protocol::parse_line(&text);
+            dispatch_parsed(shared, conn, Wire::Ndjson, parsed);
+        }
+        Msg::Frame(body) => {
+            SERVE_WIRE_BINARY.add(1);
+            let parsed = wire::decode_body(&body);
+            dispatch_parsed(shared, conn, Wire::Binary, parsed);
+        }
+    }
+}
+
+/// Answers an oversized/unframeable message as a typed workload error.
+fn oversized(shared: &Arc<Shared>, conn: &mut ConnState, wire: Wire, err: ErrBody) {
+    conn.workload_seq += 1;
+    conn.count_workload();
+    let mut trace = TraceContext::new(conn.conn_id, conn.workload_seq);
+    trace.stage("parse");
+    trace.set_outcome(error_cause(err.kind));
+    finish_workload(shared, &trace);
+    let envelope = protocol::err_line_traced(None, &trace.envelope_json(false), &err);
+    conn.push_ready(wire, &envelope);
+}
+
+/// Routes a parsed (or unparsable) request, mirroring the old
+/// per-connection loop: probes are answered inline and counted under
+/// `serve.probes` only; workload requests consume a sequence number and
+/// flow through the trace/counter machinery.
+type Parsed = Result<(Option<u64>, Request), (Option<u64>, ErrBody)>;
+
+fn dispatch_parsed(shared: &Arc<Shared>, conn: &mut ConnState, wire: Wire, parsed: Parsed) {
+    // The context opens before the parse result is inspected so the
+    // `parse` stage covers it; probes discard the context without
+    // consuming a sequence number.
+    let mut trace = TraceContext::new(conn.conn_id, conn.workload_seq + 1);
+    trace.stage("parse");
+    // Probes (`health`/`metrics`/`trace`/`slo`/`shutdown`) are
+    // control-plane traffic: counted under `serve.probes` only, and kept
+    // out of the response counters and latency histograms so the
+    // workload numbers stay exact.
+    let is_probe = matches!(
+        &parsed,
+        Ok((
+            _,
+            Request::Health
+                | Request::Metrics { .. }
+                | Request::Trace { .. }
+                | Request::Slo
+                | Request::Shutdown
+        ))
+    );
+    let is_shutdown = matches!(&parsed, Ok((_, Request::Shutdown)));
+    match parsed {
+        Ok((id, request)) if is_probe => {
+            SERVE_PROBES.add(1);
+            let envelope = handle_probe(shared, id, &request);
+            conn.push_ready(wire, &envelope);
+            if is_shutdown {
+                // The ack must reach the requester before the drain
+                // starts; the stop flag is set once it is flushed.
+                conn.stop_after_flush = true;
+            }
+        }
+        Ok((id, request)) => {
+            conn.workload_seq += 1;
+            conn.count_workload();
+            match request {
+                Request::Optimize { spec } | Request::Steady { spec } | Request::Sweep { spec } => {
+                    handle_solve(shared, conn, wire, id, spec, trace);
+                }
+                // Probe variants are filtered by `is_probe` above.
+                _ => {
+                    trace.set_outcome("internal");
+                    finish_workload(shared, &trace);
+                    let err = ErrBody::new("internal", "probe routed to workload path");
+                    let envelope = protocol::err_line_traced(id, &trace.envelope_json(false), &err);
+                    conn.push_ready(wire, &envelope);
+                }
+            }
+        }
+        Err((id, err)) => {
+            conn.workload_seq += 1;
+            conn.count_workload();
+            trace.set_outcome(error_cause(err.kind));
+            finish_workload(shared, &trace);
+            let envelope = protocol::err_line_traced(id, &trace.envelope_json(false), &err);
+            conn.push_ready(wire, &envelope);
         }
     }
 }
@@ -573,18 +1118,21 @@ fn handle_probe(shared: &Shared, id: Option<u64>, request: &Request) -> String {
         Request::Health => {
             let up = shared.started.elapsed().as_millis();
             let payload = format!(
-                "{{\"status\":\"ok\",\"uptime_ms\":{},\"queue_depth\":{},\"connections\":{},\"cache_entries\":{}}}",
+                "{{\"status\":\"ok\",\"uptime_ms\":{},\"queue_depth\":{},\"connections\":{},\"workers\":{},\"cache_entries\":{}}}",
                 up,
                 shared.queue.depth(),
                 shared.connections.load(Ordering::SeqCst),
+                shared.workers.load(Ordering::SeqCst),
                 shared.cache.len()
             );
             protocol::ok_line(id, false, &payload)
         }
         Request::Metrics { prometheus: false } => {
+            telemetry::flush();
             protocol::ok_line(id, false, &authoritative_snapshot().to_json())
         }
         Request::Metrics { prometheus: true } => {
+            telemetry::flush();
             let text = telemetry::to_prometheus(&authoritative_snapshot());
             protocol::ok_line(id, false, &protocol::escape_json(&text))
         }
@@ -636,32 +1184,37 @@ fn handle_probe(shared: &Shared, id: Option<u64>, request: &Request) -> String {
     }
 }
 
-/// Admits a solve request and waits for its traced reply.
+/// Admits a solve request. A cache hit (or typed rejection) is answered
+/// immediately; an admitted job parks as a [`Outgoing::Pending`] entry
+/// that [`pump_out`] resolves when the dispatcher replies.
 fn handle_solve(
-    shared: &Shared,
+    shared: &Arc<Shared>,
+    conn: &mut ConnState,
+    wire: Wire,
     id: Option<u64>,
     spec: SolveSpec,
     mut trace: TraceContext,
-) -> String {
-    // Fast path: answer cache hits on the connection thread. A miss
-    // still stamps the `cache` stage — the lookup is part of the
-    // request's latency story either way.
+) {
+    // Fast path: answer cache hits on the worker. A miss still stamps
+    // the `cache` stage — the lookup is part of the request's latency
+    // story either way.
     if !spec.no_cache {
         let key = shared.cache.key_for(&spec);
         if let Some(payload) = shared.cache.get(&key) {
             trace.stage("cache");
             trace.set_outcome("cache_hit");
             finish_workload(shared, &trace);
-            return protocol::ok_line_traced(id, true, &trace.envelope_json(false), &payload);
+            let envelope =
+                protocol::ok_line_traced(id, true, &trace.envelope_json(false), &payload);
+            conn.push_ready(wire, &envelope);
+            return;
         }
         trace.stage("cache");
     }
     let deadline = spec
         .deadline_ms
         .map(|ms| Instant::now() + Duration::from_millis(ms));
-    // The trace moves into the job; keep its identity for the
-    // reconstruction path where the pipeline drops the reply channel.
-    let (conn, seq) = (trace.conn(), trace.seq());
+    let (conn_no, seq) = (trace.conn(), trace.seq());
     let (tx, rx) = mpsc::channel();
     let job = Job {
         spec,
@@ -671,47 +1224,52 @@ fn handle_solve(
         reply: tx,
     };
     match shared.queue.try_push(job) {
+        Err((PushError::WouldMiss, mut job)) => {
+            // Deadline-aware admission: the queue predicts this job
+            // cannot finish in time, so it is shed as a deadline error —
+            // not as overload — without occupying a slot.
+            SERVE_DEADLINE_EXCEEDED.add(1);
+            job.trace.stage("queue");
+            job.trace.set_outcome("deadline");
+            finish_workload(shared, &job.trace);
+            let err = ErrBody::new(
+                "deadline_exceeded",
+                "deadline cannot be met; shed at admission",
+            );
+            let envelope = protocol::err_line_traced(id, &job.trace.envelope_json(false), &err);
+            conn.push_ready(wire, &envelope);
+        }
         Err((PushError::Full, mut job)) => {
             SERVE_OVERLOADED.add(1);
             job.trace.set_outcome("overload");
             finish_workload(shared, &job.trace);
             let err = ErrBody::new("overloaded", "request queue is full; retry later");
-            protocol::err_line_traced(id, &job.trace.envelope_json(false), &err)
+            let envelope = protocol::err_line_traced(id, &job.trace.envelope_json(false), &err);
+            conn.push_ready(wire, &envelope);
         }
         Err((PushError::Closed, mut job)) => {
             job.trace.set_outcome("overload");
             finish_workload(shared, &job.trace);
             let err = ErrBody::new("shutting_down", "server is draining");
-            protocol::err_line_traced(id, &job.trace.envelope_json(false), &err)
+            let envelope = protocol::err_line_traced(id, &job.trace.envelope_json(false), &err);
+            conn.push_ready(wire, &envelope);
         }
-        Ok(()) => match rx.recv() {
-            Ok((Ok(payload), trace)) => {
-                finish_workload(shared, &trace);
-                protocol::ok_line_traced(id, false, &trace.envelope_json(false), &payload)
-            }
-            Ok((Err(err), trace)) => {
-                finish_workload(shared, &trace);
-                protocol::err_line_traced(id, &trace.envelope_json(false), &err)
-            }
-            Err(_) => {
-                // Dispatcher dropped the sender without a reply — only
-                // possible on hard teardown. The trace went down with the
-                // job; rebuild its identity so the record still lands in
-                // the flight recorder under the right id.
-                let mut trace = TraceContext::new(conn, seq);
-                trace.set_outcome("internal");
-                finish_workload(shared, &trace);
-                let err = ErrBody::new("internal", "solve pipeline dropped the request");
-                protocol::err_line_traced(id, &trace.envelope_json(false), &err)
-            }
-        },
+        Ok(()) => {
+            conn.out.push_back(Outgoing::Pending {
+                rx,
+                id,
+                conn: conn_no,
+                seq,
+                wire,
+            });
+        }
     }
 }
 
 /// Finalizes one workload response: response + typed-cause counters,
 /// latency and per-stage histograms, SLO observations, and the flight-
-/// recorder entry. Runs on the connection thread for every workload
-/// request exactly once.
+/// recorder entry. Runs on the shard worker for every workload request
+/// exactly once.
 fn finish_workload(shared: &Shared, trace: &TraceContext) {
     let outcome = trace.outcome();
     if trace.is_err() {

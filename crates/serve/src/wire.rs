@@ -1,0 +1,438 @@
+//! Length-prefixed binary frame format, negotiated per message alongside
+//! NDJSON.
+//!
+//! An NDJSON request line always starts with a printable byte (`{`), so
+//! the server sniffs the first byte of every message: `0x00` opens a
+//! binary frame, anything else is read as a JSON line. Both formats can
+//! interleave freely on one connection — a client may pipeline solve
+//! frames and still probe `metrics` as a JSON line.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! [magic 0x00][version u8][body_len u32]  -- 6-byte header
+//! [body: SOLVE_BODY_LEN bytes]            -- fixed-size request record
+//! ```
+//!
+//! The request body is a fixed 48-byte record (see [`decode_body`]) that
+//! decodes in ~no time compared to JSON: `cmd`, `flags`, a benchmark
+//! index into [`Benchmark::ALL`], and the raw f64 operating point.
+//! Responses to binary requests are the **same JSON envelope bytes** the
+//! NDJSON path produces, wrapped in a frame header instead of terminated
+//! by a newline — so solve results are byte-identical across wire
+//! formats by construction, and the PR 7 trace/flight-recorder/SLO
+//! machinery observes both wires identically.
+//!
+//! Malformed frames map onto the typed error taxonomy: an unsupported
+//! version or violated layout is `bad_frame`, an oversized body is
+//! `frame_too_long` (the binary analogue of `line_too_long`); both are
+//! `parse`-cause errors and both are recoverable — the connection skips
+//! the bad frame and keeps serving.
+
+use crate::protocol::{ErrBody, Request, SolveKind, SolveSpec, MAX_SWEEP_POINTS};
+use oftec_power::Benchmark;
+
+/// First byte of every binary frame; never the first byte of a JSON line.
+pub const FRAME_MAGIC: u8 = 0x00;
+/// Current frame-format version.
+pub const FRAME_VERSION: u8 = 1;
+/// Bytes in the frame header: magic, version, u32 body length.
+pub const FRAME_HEADER_LEN: usize = 6;
+/// Fixed size of a binary request body.
+pub const SOLVE_BODY_LEN: usize = 48;
+
+/// `cmd` byte: full Algorithm 1 run.
+pub const CMD_OPTIMIZE: u8 = 1;
+/// `cmd` byte: one steady-state solve.
+pub const CMD_STEADY: u8 = 2;
+/// `cmd` byte: rectangular sweep.
+pub const CMD_SWEEP: u8 = 3;
+/// `cmd` byte: liveness probe.
+pub const CMD_HEALTH: u8 = 16;
+/// `cmd` byte: telemetry snapshot (JSON).
+pub const CMD_METRICS_JSON: u8 = 17;
+/// `cmd` byte: telemetry snapshot (Prometheus text exposition).
+pub const CMD_METRICS_PROMETHEUS: u8 = 18;
+/// `cmd` byte: begin graceful drain.
+pub const CMD_SHUTDOWN: u8 = 21;
+
+/// `flags` bit: skip the result cache (read and write).
+pub const FLAG_NO_CACHE: u8 = 0b0000_0001;
+/// `flags` bit: the `deadline_ms` field is meaningful.
+pub const FLAG_HAS_DEADLINE: u8 = 0b0000_0010;
+/// `flags` bit: the `id` field is meaningful.
+pub const FLAG_HAS_ID: u8 = 0b0000_0100;
+
+const KNOWN_FLAGS: u8 = FLAG_NO_CACHE | FLAG_HAS_DEADLINE | FLAG_HAS_ID;
+
+/// Index of `b` in [`Benchmark::ALL`] — the wire encoding of a benchmark.
+pub fn benchmark_index(b: Benchmark) -> u8 {
+    Benchmark::ALL
+        .iter()
+        .position(|x| *x == b)
+        .unwrap_or(usize::from(u8::MAX)) as u8
+}
+
+/// Validates a frame header (first byte already sniffed as
+/// [`FRAME_MAGIC`]) and returns the body length it announces.
+///
+/// # Errors
+///
+/// `bad_frame` for a short header or an unsupported version. The length
+/// bound against `max_line_bytes` (`frame_too_long`) is the caller's —
+/// it owns the read-buffer policy.
+pub fn decode_header(header: &[u8]) -> Result<usize, ErrBody> {
+    if header.len() < FRAME_HEADER_LEN {
+        return Err(ErrBody::new("bad_frame", "truncated frame header"));
+    }
+    if header[0] != FRAME_MAGIC {
+        return Err(ErrBody::new("bad_frame", "frame must start with 0x00"));
+    }
+    if header[1] != FRAME_VERSION {
+        return Err(ErrBody::new(
+            "bad_frame",
+            format!(
+                "unsupported frame version {} (expected {FRAME_VERSION})",
+                header[1]
+            ),
+        ));
+    }
+    let len = u32::from_le_bytes([header[2], header[3], header[4], header[5]]);
+    Ok(len as usize)
+}
+
+fn u16_at(body: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes([body[off], body[off + 1]])
+}
+
+fn u64_at(body: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&body[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+fn f64_at(body: &[u8], off: usize) -> f64 {
+    f64::from_bits(u64_at(body, off))
+}
+
+fn sweep_points(raw: u16, default: usize) -> Result<usize, ErrBody> {
+    let n = if raw == 0 { default } else { raw as usize };
+    if !(2..=MAX_SWEEP_POINTS).contains(&n) {
+        return Err(ErrBody::new(
+            "bad_request",
+            format!("sweep points must be in 2..={MAX_SWEEP_POINTS}"),
+        ));
+    }
+    Ok(n)
+}
+
+/// Decodes one frame body into `(id, Request)`, mirroring
+/// [`crate::protocol::parse_line`]'s contract (including its validation
+/// rules, so a solve decoded from a frame is indistinguishable from the
+/// same solve parsed from JSON).
+///
+/// # Errors
+///
+/// `bad_frame` for layout violations (wrong body size, unknown flag
+/// bits, nonzero reserved byte), `bad_request`/`unknown_benchmark` for
+/// field-level validation — each carrying the request id whenever the
+/// envelope decoded far enough to expose it.
+pub fn decode_body(body: &[u8]) -> Result<(Option<u64>, Request), (Option<u64>, ErrBody)> {
+    if body.len() != SOLVE_BODY_LEN {
+        return Err((
+            None,
+            ErrBody::new(
+                "bad_frame",
+                format!(
+                    "frame body must be {SOLVE_BODY_LEN} bytes, got {}",
+                    body.len()
+                ),
+            ),
+        ));
+    }
+    let (cmd, flags) = (body[0], body[1]);
+    if flags & !KNOWN_FLAGS != 0 {
+        return Err((
+            None,
+            ErrBody::new("bad_frame", format!("unknown flag bits 0x{flags:02x}")),
+        ));
+    }
+    let id = (flags & FLAG_HAS_ID != 0).then(|| u64_at(body, 4));
+    if body[3] != 0 {
+        return Err((id, ErrBody::new("bad_frame", "reserved byte must be zero")));
+    }
+    let req = match cmd {
+        CMD_HEALTH => Request::Health,
+        CMD_METRICS_JSON => Request::Metrics { prometheus: false },
+        CMD_METRICS_PROMETHEUS => Request::Metrics { prometheus: true },
+        CMD_SHUTDOWN => Request::Shutdown,
+        CMD_OPTIMIZE | CMD_STEADY | CMD_SWEEP => {
+            let bench_idx = usize::from(body[2]);
+            let benchmark = *Benchmark::ALL.get(bench_idx).ok_or_else(|| {
+                (
+                    id,
+                    ErrBody::new(
+                        "unknown_benchmark",
+                        format!(
+                            "unknown benchmark index {bench_idx}; expected 0..{}",
+                            Benchmark::ALL.len()
+                        ),
+                    ),
+                )
+            })?;
+            let scale = f64_at(body, 12);
+            if !scale.is_finite() || scale < 0.0 {
+                return Err((
+                    id,
+                    ErrBody::new(
+                        "bad_request",
+                        "field 'scale' must be finite and non-negative",
+                    ),
+                ));
+            }
+            let deadline_ms = (flags & FLAG_HAS_DEADLINE != 0).then(|| u64_at(body, 40));
+            let mut spec = SolveSpec {
+                kind: SolveKind::Steady,
+                benchmark,
+                scale,
+                rpm: 0.0,
+                amps: 0.0,
+                omega_points: 0,
+                current_points: 0,
+                no_cache: flags & FLAG_NO_CACHE != 0,
+                deadline_ms,
+            };
+            match cmd {
+                CMD_OPTIMIZE => {
+                    spec.kind = SolveKind::Optimize;
+                    Request::Optimize { spec }
+                }
+                CMD_SWEEP => {
+                    spec.kind = SolveKind::Sweep;
+                    spec.omega_points = sweep_points(u16_at(body, 36), 8).map_err(|e| (id, e))?;
+                    spec.current_points = sweep_points(u16_at(body, 38), 6).map_err(|e| (id, e))?;
+                    Request::Sweep { spec }
+                }
+                _ => {
+                    spec.rpm = f64_at(body, 20);
+                    spec.amps = f64_at(body, 28);
+                    if !spec.rpm.is_finite() || !spec.amps.is_finite() {
+                        return Err((
+                            id,
+                            ErrBody::new("bad_request", "fields 'rpm' and 'amps' must be finite"),
+                        ));
+                    }
+                    Request::Steady { spec }
+                }
+            }
+        }
+        other => {
+            return Err((
+                id,
+                ErrBody::new("bad_request", format!("unknown cmd byte {other}")),
+            ))
+        }
+    };
+    Ok((id, req))
+}
+
+/// Appends a frame header + `payload` to `out` (the response path: the
+/// payload is a JSON envelope, byte-identical to the NDJSON line minus
+/// its newline).
+pub fn encode_frame_into(out: &mut Vec<u8>, payload: &[u8]) {
+    out.push(FRAME_MAGIC);
+    out.push(FRAME_VERSION);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Encodes a solve request frame from a spec — the client-side encoder
+/// used by the load generator and the tests.
+pub fn encode_solve_frame(id: Option<u64>, spec: &SolveSpec) -> Vec<u8> {
+    let mut body = [0u8; SOLVE_BODY_LEN];
+    body[0] = match spec.kind {
+        SolveKind::Optimize => CMD_OPTIMIZE,
+        SolveKind::Steady => CMD_STEADY,
+        SolveKind::Sweep => CMD_SWEEP,
+    };
+    let mut flags = 0u8;
+    if spec.no_cache {
+        flags |= FLAG_NO_CACHE;
+    }
+    if let Some(ms) = spec.deadline_ms {
+        flags |= FLAG_HAS_DEADLINE;
+        body[40..48].copy_from_slice(&ms.to_le_bytes());
+    }
+    if let Some(id) = id {
+        flags |= FLAG_HAS_ID;
+        body[4..12].copy_from_slice(&id.to_le_bytes());
+    }
+    body[1] = flags;
+    body[2] = benchmark_index(spec.benchmark);
+    body[12..20].copy_from_slice(&spec.scale.to_bits().to_le_bytes());
+    body[20..28].copy_from_slice(&spec.rpm.to_bits().to_le_bytes());
+    body[28..36].copy_from_slice(&spec.amps.to_bits().to_le_bytes());
+    body[36..38].copy_from_slice(&(spec.omega_points as u16).to_le_bytes());
+    body[38..40].copy_from_slice(&(spec.current_points as u16).to_le_bytes());
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + SOLVE_BODY_LEN);
+    encode_frame_into(&mut out, &body);
+    out
+}
+
+/// Encodes a probe request frame (`cmd` one of the probe bytes).
+pub fn encode_probe_frame(cmd: u8, id: Option<u64>) -> Vec<u8> {
+    let mut body = [0u8; SOLVE_BODY_LEN];
+    body[0] = cmd;
+    if let Some(id) = id {
+        body[1] = FLAG_HAS_ID;
+        body[4..12].copy_from_slice(&id.to_le_bytes());
+    }
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + SOLVE_BODY_LEN);
+    encode_frame_into(&mut out, &body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::parse_line;
+
+    fn steady_spec() -> SolveSpec {
+        SolveSpec {
+            kind: SolveKind::Steady,
+            benchmark: Benchmark::Quicksort,
+            scale: 1.25,
+            rpm: 3000.0,
+            amps: 1.5,
+            omega_points: 0,
+            current_points: 0,
+            no_cache: false,
+            deadline_ms: Some(250),
+        }
+    }
+
+    fn decode_frame(frame: &[u8]) -> (Option<u64>, Request) {
+        let len = decode_header(&frame[..FRAME_HEADER_LEN]).expect("header");
+        assert_eq!(frame.len(), FRAME_HEADER_LEN + len);
+        decode_body(&frame[FRAME_HEADER_LEN..]).expect("body")
+    }
+
+    #[test]
+    fn solve_frames_round_trip() {
+        let spec = steady_spec();
+        let (id, req) = decode_frame(&encode_solve_frame(Some(7), &spec));
+        assert_eq!(id, Some(7));
+        assert_eq!(req, Request::Steady { spec: spec.clone() });
+
+        let mut sweep = spec.clone();
+        sweep.kind = SolveKind::Sweep;
+        sweep.rpm = 0.0;
+        sweep.amps = 0.0;
+        sweep.omega_points = 4;
+        sweep.current_points = 3;
+        sweep.deadline_ms = None;
+        let (id, req) = decode_frame(&encode_solve_frame(None, &sweep));
+        assert_eq!(id, None);
+        assert_eq!(req, Request::Sweep { spec: sweep });
+
+        let mut opt = spec;
+        opt.kind = SolveKind::Optimize;
+        opt.rpm = 0.0;
+        opt.amps = 0.0;
+        opt.no_cache = true;
+        let (_, req) = decode_frame(&encode_solve_frame(Some(1), &opt));
+        assert_eq!(req, Request::Optimize { spec: opt });
+    }
+
+    #[test]
+    fn frame_decode_matches_json_parse() {
+        // The two wire formats must produce the same Request for the
+        // same logical solve — that is what makes the responses
+        // byte-identical downstream.
+        let (jid, jreq) = parse_line(
+            r#"{"cmd":"steady","id":7,"benchmark":"qsort","scale":1.25,"rpm":3000,"amps":1.5,"deadline_ms":250}"#,
+        )
+        .expect("json parse");
+        let (bid, breq) = decode_frame(&encode_solve_frame(Some(7), &steady_spec()));
+        assert_eq!(jid, bid);
+        assert_eq!(jreq, breq);
+    }
+
+    #[test]
+    fn sweep_points_default_and_validate() {
+        let mut sweep = steady_spec();
+        sweep.kind = SolveKind::Sweep;
+        sweep.rpm = 0.0;
+        sweep.amps = 0.0;
+        // Zero points take the same defaults as NDJSON (8 × 6).
+        let (_, req) = decode_frame(&encode_solve_frame(None, &sweep));
+        match req {
+            Request::Sweep { spec } => {
+                assert_eq!((spec.omega_points, spec.current_points), (8, 6));
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        // Out-of-range points are a bad_request, as over NDJSON.
+        sweep.omega_points = MAX_SWEEP_POINTS + 1;
+        let frame = encode_solve_frame(Some(3), &sweep);
+        let (id, e) = decode_body(&frame[FRAME_HEADER_LEN..]).expect_err("must reject");
+        assert_eq!(id, Some(3));
+        assert_eq!(e.kind, "bad_request");
+    }
+
+    #[test]
+    fn probe_frames_decode() {
+        for (cmd, want) in [
+            (CMD_HEALTH, Request::Health),
+            (CMD_METRICS_JSON, Request::Metrics { prometheus: false }),
+            (
+                CMD_METRICS_PROMETHEUS,
+                Request::Metrics { prometheus: true },
+            ),
+            (CMD_SHUTDOWN, Request::Shutdown),
+        ] {
+            let frame = encode_probe_frame(cmd, Some(9));
+            let (id, req) = decode_frame(&frame);
+            assert_eq!(id, Some(9));
+            assert_eq!(req, want);
+        }
+    }
+
+    #[test]
+    fn layout_violations_are_bad_frame() {
+        // Wrong version.
+        let mut frame = encode_probe_frame(CMD_HEALTH, None);
+        frame[1] = 9;
+        assert_eq!(
+            decode_header(&frame[..6]).expect_err("version").kind,
+            "bad_frame"
+        );
+        // Truncated header.
+        assert_eq!(decode_header(&[0x00]).expect_err("short").kind, "bad_frame");
+        // Wrong body size.
+        let (_, e) = decode_body(&[0u8; 7]).expect_err("size");
+        assert_eq!(e.kind, "bad_frame");
+        // Unknown flag bits.
+        let mut frame = encode_solve_frame(Some(1), &steady_spec());
+        frame[FRAME_HEADER_LEN + 1] |= 0b1000_0000;
+        let (_, e) = decode_body(&frame[FRAME_HEADER_LEN..]).expect_err("flags");
+        assert_eq!(e.kind, "bad_frame");
+        // Nonzero reserved byte still exposes the id for correlation.
+        let mut frame = encode_solve_frame(Some(5), &steady_spec());
+        frame[FRAME_HEADER_LEN + 3] = 1;
+        let (id, e) = decode_body(&frame[FRAME_HEADER_LEN..]).expect_err("reserved");
+        assert_eq!(id, Some(5));
+        assert_eq!(e.kind, "bad_frame");
+        // Unknown benchmark index is its own typed error.
+        let mut frame = encode_solve_frame(Some(2), &steady_spec());
+        frame[FRAME_HEADER_LEN + 2] = 255;
+        let (id, e) = decode_body(&frame[FRAME_HEADER_LEN..]).expect_err("benchmark");
+        assert_eq!(id, Some(2));
+        assert_eq!(e.kind, "unknown_benchmark");
+        // Unknown cmd byte mirrors NDJSON's unknown cmd.
+        let mut frame = encode_probe_frame(CMD_HEALTH, None);
+        frame[FRAME_HEADER_LEN] = 99;
+        let (_, e) = decode_body(&frame[FRAME_HEADER_LEN..]).expect_err("cmd");
+        assert_eq!(e.kind, "bad_request");
+    }
+}

@@ -102,6 +102,43 @@ impl Conn {
         self.writer.write_all(bytes).expect("raw write");
         self.writer.flush().expect("raw flush");
     }
+
+    /// Sends one binary frame (already encoded header + body).
+    pub fn send_frame(&mut self, frame: &[u8]) {
+        self.writer.write_all(frame).expect("frame write");
+        self.writer.flush().expect("frame flush");
+    }
+
+    /// Reads one binary response frame and returns its JSON body.
+    pub fn recv_frame(&mut self) -> String {
+        use std::io::Read;
+        let mut header = [0u8; 6];
+        self.reader.read_exact(&mut header).expect("frame header");
+        assert_eq!(header[0], 0x00, "frame magic");
+        assert_eq!(header[1], 1, "frame version");
+        let len = u32::from_le_bytes([header[2], header[3], header[4], header[5]]) as usize;
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body).expect("frame body");
+        String::from_utf8(body).expect("frame body utf8")
+    }
+
+    /// Round trip on the binary wire: one request frame, one response
+    /// frame's JSON body.
+    pub fn request_frame(&mut self, frame: &[u8]) -> String {
+        self.send_frame(frame);
+        self.recv_frame()
+    }
+
+    /// Blocks until the server closes this connection (EOF or reset);
+    /// panics if a response arrives instead.
+    pub fn expect_closed(&mut self) {
+        use std::io::Read;
+        let mut byte = [0u8; 1];
+        match self.reader.read(&mut byte) {
+            Ok(0) | Err(_) => {}
+            Ok(_) => panic!("expected the server to close the connection"),
+        }
+    }
 }
 
 /// Parses a response line and returns the envelope map.

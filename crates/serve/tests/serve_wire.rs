@@ -1,0 +1,196 @@
+//! Dual-wire integration tests: the binary frame format must carry the
+//! exact same envelopes as NDJSON — byte-identical `result` payloads,
+//! the same typed errors — and both formats must interleave freely on a
+//! single connection, at any thread count.
+
+mod common;
+
+use common::{envelope, error_kind, field, is_ok, result_json, test_config, Conn, TestServer};
+use oftec_power::Benchmark;
+use oftec_serve::wire;
+use oftec_serve::{SolveKind, SolveSpec};
+
+fn steady_spec(rpm: f64, amps: f64, no_cache: bool) -> SolveSpec {
+    SolveSpec {
+        kind: SolveKind::Steady,
+        benchmark: Benchmark::Quicksort,
+        scale: 1.0,
+        rpm,
+        amps,
+        omega_points: 0,
+        current_points: 0,
+        no_cache,
+        deadline_ms: None,
+    }
+}
+
+fn sweep_spec(omega: usize, current: usize) -> SolveSpec {
+    SolveSpec {
+        kind: SolveKind::Sweep,
+        benchmark: Benchmark::Quicksort,
+        scale: 1.0,
+        rpm: 0.0,
+        amps: 0.0,
+        omega_points: omega,
+        current_points: current,
+        no_cache: true,
+        deadline_ms: None,
+    }
+}
+
+#[test]
+fn binary_and_ndjson_solve_results_are_byte_identical() {
+    let server = TestServer::start(test_config());
+    let mut conn = Conn::open(server.addr);
+
+    // Both wires solve fresh (no_cache), so equality means the solve
+    // pipeline itself is wire-agnostic — not just the cache replay.
+    let nd = conn.request(
+        r#"{"cmd":"steady","id":7,"benchmark":"qsort","rpm":3000,"amps":1.0,"no_cache":true}"#,
+    );
+    assert!(is_ok(&nd), "ndjson steady failed: {nd}");
+    let frame = wire::encode_solve_frame(Some(7), &steady_spec(3000.0, 1.0, true));
+    let bin = conn.request_frame(&frame);
+    assert!(is_ok(&bin), "binary steady failed: {bin}");
+    assert_eq!(
+        result_json(&nd),
+        result_json(&bin),
+        "steady results must be byte-identical across wires"
+    );
+
+    let nd = conn.request(
+        r#"{"cmd":"sweep","id":8,"benchmark":"qsort","omega_points":3,"current_points":3,"no_cache":true}"#,
+    );
+    let bin = conn.request_frame(&wire::encode_solve_frame(Some(8), &sweep_spec(3, 3)));
+    assert!(is_ok(&nd) && is_ok(&bin));
+    assert_eq!(
+        result_json(&nd),
+        result_json(&bin),
+        "sweep results must be byte-identical across wires"
+    );
+
+    // The id echoes back on both wires.
+    assert_eq!(field(&envelope(&bin), "id").as_f64(), Some(8.0));
+    conn.send("{\"cmd\":\"shutdown\"}");
+    server.stop();
+}
+
+#[test]
+fn wires_interleave_on_one_connection() {
+    let server = TestServer::start(test_config());
+    let mut conn = Conn::open(server.addr);
+
+    // NDJSON, then binary, then NDJSON again — responses come back in
+    // order, each on its request's wire.
+    let nd1 = conn.request(r#"{"cmd":"steady","id":1,"benchmark":"qsort","rpm":2600,"amps":0.8}"#);
+    assert!(is_ok(&nd1));
+    let bin = conn.request_frame(&wire::encode_solve_frame(
+        Some(2),
+        &steady_spec(2600.0, 0.8, false),
+    ));
+    assert!(is_ok(&bin));
+    // Same operating point: the binary request must hit the cache the
+    // NDJSON request populated, with the identical payload bytes.
+    assert_eq!(
+        field(&envelope(&bin), "cached").as_bool(),
+        Some(true),
+        "binary request must share the NDJSON-populated cache"
+    );
+    assert_eq!(result_json(&nd1), result_json(&bin));
+    let health = conn.request(r#"{"cmd":"health"}"#);
+    assert!(is_ok(&health));
+
+    // Binary probes work too.
+    let bin_health = conn.request_frame(&wire::encode_probe_frame(wire::CMD_HEALTH, Some(9)));
+    assert!(is_ok(&bin_health));
+    server.stop();
+}
+
+#[test]
+fn oversized_and_malformed_frames_are_typed_and_recoverable() {
+    let mut config = test_config();
+    config.max_line_bytes = 4096;
+    let server = TestServer::start(config);
+    let mut conn = Conn::open(server.addr);
+
+    // A frame announcing a body over the cap: typed error, body bytes
+    // discarded, connection stays usable.
+    let body_len: u32 = 10_000;
+    let mut oversized = vec![wire::FRAME_MAGIC, wire::FRAME_VERSION];
+    oversized.extend_from_slice(&body_len.to_le_bytes());
+    oversized.extend(std::iter::repeat_n(0xAA, body_len as usize));
+    conn.send_frame(&oversized);
+    let resp = conn.recv_frame();
+    assert_eq!(error_kind(&resp), "frame_too_long");
+
+    // A well-formed header with a corrupt body (nonzero reserved byte).
+    let mut frame = wire::encode_solve_frame(None, &steady_spec(3000.0, 1.0, true));
+    frame[wire::FRAME_HEADER_LEN + 3] = 0x5A;
+    let resp = conn.request_frame(&frame);
+    assert_eq!(error_kind(&resp), "bad_frame");
+
+    // An unknown benchmark index.
+    let mut frame = wire::encode_solve_frame(None, &steady_spec(3000.0, 1.0, true));
+    frame[wire::FRAME_HEADER_LEN + 2] = 255;
+    let resp = conn.request_frame(&frame);
+    assert_eq!(error_kind(&resp), "unknown_benchmark");
+
+    // After all that, a clean request still solves.
+    let ok = conn.request_frame(&wire::encode_solve_frame(
+        None,
+        &steady_spec(3000.0, 1.0, false),
+    ));
+    assert!(is_ok(&ok), "connection must recover: {ok}");
+    server.stop();
+}
+
+#[test]
+fn unsupported_frame_version_answers_then_closes() {
+    use std::io::{Read, Write};
+    let server = TestServer::start(test_config());
+    let stream = std::net::TcpStream::connect(server.addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut stream = stream;
+
+    // Version 9 frames cannot be resynchronized (the length field's
+    // layout is unknown), so the server answers `bad_frame` and closes.
+    let header = [wire::FRAME_MAGIC, 9, 4, 0, 0, 0];
+    stream.write_all(&header).expect("write header");
+    let mut reply = [0u8; 6];
+    stream.read_exact(&mut reply).expect("error frame header");
+    assert_eq!(reply[0], wire::FRAME_MAGIC);
+    assert_eq!(reply[1], wire::FRAME_VERSION);
+    let len = u32::from_le_bytes([reply[2], reply[3], reply[4], reply[5]]) as usize;
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).expect("error frame body");
+    let body = String::from_utf8(body).expect("utf8");
+    assert_eq!(error_kind(&body), "bad_frame");
+
+    // Then EOF: the stream cannot be trusted past this point.
+    let mut probe = [0u8; 1];
+    let n = stream.read(&mut probe).expect("post-error read");
+    assert_eq!(n, 0, "server must close after an unframeable stream");
+    server.stop();
+}
+
+#[test]
+fn binary_results_do_not_depend_on_thread_count() {
+    let mut results = Vec::new();
+    for threads in [1, 4] {
+        let mut config = test_config();
+        config.threads = threads;
+        let server = TestServer::start(config);
+        let mut conn = Conn::open(server.addr);
+        let resp = conn.request_frame(&wire::encode_solve_frame(
+            Some(1),
+            &steady_spec(3200.0, 1.2, true),
+        ));
+        assert!(is_ok(&resp));
+        results.push(result_json(&resp));
+        server.stop();
+    }
+    assert_eq!(
+        results[0], results[1],
+        "binary results must be identical at any OFTEC_THREADS"
+    );
+}
