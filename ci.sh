@@ -362,3 +362,54 @@ print("reduction smoke ok:",
       "max err %.2e K," % bench["max_abs_error_k"],
       "speedup %.1fx" % bench["latency"]["speedup"])
 PY
+
+# Fleet smoke (DESIGN.md §17): a small sharded sweep of the seeded
+# scenario population. Asserts the verdict partition sums to the scenario
+# count with zero out-of-tolerance discrepancies, that a run killed
+# mid-shard (with a torn tail past its checkpoint) resumes to the exact
+# bytes of an uninterrupted run, and that a seeded fault injection exits
+# nonzero with a reproducer that replays.
+fleetdir=$(mktemp -d)
+FLEET_SEED=20260808
+./target/release/oftec-fleet run --seed "$FLEET_SEED" --shards 2 --per-shard 200 \
+    --out "$fleetdir/full" --cross-check-divisor 16 > "$fleetdir/summary.json"
+python3 - "$fleetdir/summary.json" <<'PY'
+import json, sys
+s = json.load(open(sys.argv[1]))
+v = s["verdicts"]
+total = sum(v[k] for k in ("feasible", "fan_only", "tec_required",
+                           "runaway", "solver_error"))
+assert s["scenarios"] == 400, f"expected 400 scenarios, got {s['scenarios']}"
+assert total == s["scenarios"], "verdict partition does not sum to scenario count"
+assert s["cross_checks"] > 0, "subsample selected no cross-checks"
+assert s["discrepancies"] == 0, f"{s['discrepancies']} solver discrepancies"
+assert not s["stopped_early"]
+print("fleet sweep ok:", s["scenarios"], "scenarios,",
+      s["cross_checks"], "cross-checked,", v["tec_required"], "tec_required")
+PY
+# Kill-then-resume: stop mid-shard, corrupt the tail past the checkpoint,
+# resume, and compare the concatenated verdict stream byte for byte.
+./target/release/oftec-fleet run --seed "$FLEET_SEED" --shards 2 --per-shard 200 \
+    --out "$fleetdir/resumed" --cross-check-divisor 16 --stop-after 130 > /dev/null
+printf '{"torn":' >> "$fleetdir/resumed/shard-0000.jsonl"
+./target/release/oftec-fleet run --seed "$FLEET_SEED" --shards 2 --per-shard 200 \
+    --out "$fleetdir/resumed" --cross-check-divisor 16 > /dev/null
+cat "$fleetdir/full"/shard-*.jsonl > "$fleetdir/full.cat"
+cat "$fleetdir/resumed"/shard-*.jsonl > "$fleetdir/resumed.cat"
+cmp "$fleetdir/full.cat" "$fleetdir/resumed.cat" \
+    || { echo "resumed fleet stream differs from uninterrupted run"; rm -rf "$fleetdir"; exit 1; }
+echo "fleet resume ok: $(wc -c < "$fleetdir/full.cat") bytes identical"
+# The differential gate must bite: a seeded NaN fault in the SQP path
+# (seed 9000's scenario 0/0 is comfortably feasible, so the poisoned
+# solver visibly diverges from the grid oracle) exits 3 and leaves a
+# minimized reproducer that replays with exit 0.
+if ./target/release/oftec-fleet run --seed 9000 --shards 1 --per-shard 1 \
+    --out "$fleetdir/fault" --fault 0:0:sqp:non_finite:0 > /dev/null 2>&1; then
+    echo "fleet gate failed to flag a seeded solver fault"
+    rm -rf "$fleetdir"
+    exit 1
+fi
+./target/release/oftec-fleet repro "$fleetdir/fault"/repro_*.json > /dev/null \
+    || { echo "fleet reproducer did not replay"; rm -rf "$fleetdir"; exit 1; }
+echo "fleet fault gate ok: seeded discrepancy caught, minimized and replayed"
+rm -rf "$fleetdir"

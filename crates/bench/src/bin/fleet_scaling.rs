@@ -1,0 +1,244 @@
+//! `fleet-scaling` — throughput and determinism benchmark of the fleet
+//! scenario engine.
+//!
+//! ```text
+//! cargo run --release -p oftec-bench --bin fleet_scaling -- [options]
+//!
+//! Options:
+//!   --seed <n>        run seed (default 42)
+//!   --scenarios <n>   total scenarios per sweep (default 10000)
+//!   --shards <n>      shard count (default 8)
+//!   --smoke           small sweep (2 shards × 200) for the CI gate
+//!   --out <path>      report file (default BENCH_fleet.json)
+//! ```
+//!
+//! The report (`BENCH_fleet.json`) records, for the same seeded scenario
+//! population swept at 1, 4 and 8 worker threads:
+//!
+//! - scenarios/second per thread count (on a multi-core host the ratio is
+//!   the parallel speedup; `cpu_cores` says how many cores were there to
+//!   scale onto — on a single-core host parity is the correct result),
+//! - the verdict-partition mix (identical across thread counts by the
+//!   determinism contract, asserted here),
+//! - the differential-fuzzing tally (acceptance: `discrepancies == 0`),
+//! - byte-identity of the concatenated verdict streams at 1 vs 8 threads
+//!   and across a kill-then-resume of the 8-thread sweep.
+
+use oftec_fleet::runner::{concatenated_verdicts, run, RunConfig, RunSummary};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Config {
+    seed: u64,
+    scenarios: u32,
+    shards: u32,
+    smoke: bool,
+    out: String,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            scenarios: 10_000,
+            shards: 8,
+            smoke: false,
+            out: "BENCH_fleet.json".into(),
+        }
+    }
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut config = Config::default();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        let mut value = |name: &str| -> Result<String, String> {
+            match inline.clone() {
+                Some(v) => Ok(v),
+                None => it.next().cloned().ok_or(format!("{name} requires a value")),
+            }
+        };
+        match flag {
+            "--seed" => {
+                config.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed: not an integer".to_string())?;
+            }
+            "--scenarios" => {
+                config.scenarios = value("--scenarios")?
+                    .parse()
+                    .map_err(|_| "--scenarios: not an integer".to_string())?;
+            }
+            "--shards" => {
+                config.shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| "--shards: not an integer".to_string())?;
+            }
+            "--smoke" => config.smoke = true,
+            "--out" => config.out = value("--out")?,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if config.smoke {
+        config.scenarios = 400;
+        config.shards = 2;
+    }
+    Ok(config)
+}
+
+fn sweep_config(config: &Config, dir: PathBuf, threads: usize) -> RunConfig {
+    let mut c = RunConfig::new(
+        config.seed,
+        config.shards,
+        config.scenarios / config.shards.max(1),
+        dir,
+    );
+    c.threads = threads;
+    c.cross_check_divisor = 64;
+    c
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("oftec-fleet-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("fleet-scaling: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    oftec_telemetry::set_collecting(true);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    // One sweep of the same population per thread count, each in a fresh
+    // directory so every sweep pays the full cost.
+    let thread_counts = [1usize, 4, 8];
+    let mut sweeps: Vec<(usize, f64, RunSummary, PathBuf)> = Vec::new();
+    for &threads in &thread_counts {
+        let dir = fresh_dir(&format!("t{threads}"));
+        let c = sweep_config(&config, dir.clone(), threads);
+        let started = Instant::now();
+        let summary = match run(&c) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fleet-scaling: {threads}-thread sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let seconds = started.elapsed().as_secs_f64();
+        eprintln!(
+            "fleet-scaling: {} scenarios at {threads} thread(s) in {seconds:.1}s \
+             ({:.0}/s), {} cross-checked, {} discrepancies",
+            summary.scenarios,
+            summary.scenarios as f64 / seconds.max(1e-9),
+            summary.cross_checks,
+            summary.discrepancies
+        );
+        sweeps.push((threads, seconds, summary, dir));
+    }
+
+    // Determinism: identical summaries and identical bytes at 1 vs 8.
+    let base = &sweeps[0].2;
+    for (threads, _, summary, _) in &sweeps[1..] {
+        if summary != base {
+            eprintln!("fleet-scaling: {threads}-thread summary diverged from 1-thread");
+            return ExitCode::FAILURE;
+        }
+    }
+    let bytes_1 = concatenated_verdicts(&sweeps[0].3, config.shards);
+    let bytes_8 = concatenated_verdicts(&sweeps[2].3, config.shards);
+    let identical = match (&bytes_1, &bytes_8) {
+        (Ok(a), Ok(b)) => a == b,
+        _ => false,
+    };
+    if !identical {
+        eprintln!("fleet-scaling: verdict streams differ between 1 and 8 threads");
+        return ExitCode::FAILURE;
+    }
+
+    // Kill-then-resume: stop the 8-thread sweep a third of the way into a
+    // fresh directory, resume it, and compare against the full stream.
+    let resume_dir = fresh_dir("resume");
+    let mut first_leg = sweep_config(&config, resume_dir.clone(), 8);
+    first_leg.stop_after = Some(u64::from(config.scenarios) / 3);
+    let resume_ok = match run(&first_leg) {
+        Ok(partial) => {
+            let mut second_leg = sweep_config(&config, resume_dir.clone(), 8);
+            second_leg.stop_after = None;
+            partial.stopped_early
+                && match (run(&second_leg), &bytes_8) {
+                    (Ok(_), Ok(reference)) => concatenated_verdicts(&resume_dir, config.shards)
+                        .map(|resumed| &resumed == reference)
+                        .unwrap_or(false),
+                    _ => false,
+                }
+        }
+        Err(e) => {
+            eprintln!("fleet-scaling: interrupted sweep failed: {e}");
+            false
+        }
+    };
+    if !resume_ok {
+        eprintln!("fleet-scaling: kill-then-resume stream diverged");
+        return ExitCode::FAILURE;
+    }
+
+    let throughput = |i: usize| {
+        let (_, seconds, summary, _) = &sweeps[i];
+        summary.scenarios as f64 / seconds.max(1e-9)
+    };
+    let report = format!(
+        "{{\n  \"config\": {{\"seed\":{},\"scenarios\":{},\"shards\":{},\"smoke\":{},\
+         \"cross_check_divisor\":64,\"cpu_cores\":{}}},\n  \
+         \"throughput_per_s\": {{\"threads_1\":{:.1},\"threads_4\":{:.1},\"threads_8\":{:.1}}},\n  \
+         \"speedup_vs_1\": {{\"threads_4\":{:.2},\"threads_8\":{:.2}}},\n  \
+         \"verdicts\": {{\"feasible\":{},\"fan_only\":{},\"tec_required\":{},\
+         \"runaway\":{},\"solver_error\":{}}},\n  \
+         \"cross_checks\": {},\n  \"discrepancies\": {},\n  \
+         \"determinism\": {{\"bytes_identical_1_vs_8\":{},\"resume_identical\":{}}}\n}}\n",
+        config.seed,
+        base.scenarios,
+        config.shards,
+        config.smoke,
+        cores,
+        throughput(0),
+        throughput(1),
+        throughput(2),
+        throughput(1) / throughput(0).max(1e-9),
+        throughput(2) / throughput(0).max(1e-9),
+        base.verdicts.feasible,
+        base.verdicts.fan_only,
+        base.verdicts.tec_required,
+        base.verdicts.runaway,
+        base.verdicts.solver_error,
+        base.cross_checks,
+        base.discrepancies,
+        identical,
+        resume_ok,
+    );
+    for (_, _, _, dir) in &sweeps {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    let _ = std::fs::remove_dir_all(&resume_dir);
+    if let Err(e) = std::fs::write(&config.out, &report) {
+        eprintln!("fleet-scaling: cannot write {}: {e}", config.out);
+        return ExitCode::FAILURE;
+    }
+    println!("{report}");
+    if base.discrepancies > 0 {
+        eprintln!("fleet-scaling: {} discrepancies found", base.discrepancies);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

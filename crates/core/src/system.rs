@@ -11,6 +11,12 @@ use oftec_thermal::{
 };
 use oftec_units::{Power, Temperature};
 
+/// Evaluation count at which a POD basis build pays for itself: the build
+/// costs roughly this many full steady solves (BENCH_reduction.json
+/// measures the break-even at ≈ 44 on the dac14 package), so callers
+/// expecting fewer evaluations should stay on the full path.
+pub const REDUCED_BUILD_AMORTIZATION_EVALS: usize = 44;
+
 /// Everything OFTEC needs for one workload: the die, the Table 1 package,
 /// the per-unit maximum dynamic power vector, the leakage model, and the
 /// thermal limit — with pre-built thermal models for both the hybrid
@@ -201,6 +207,26 @@ impl CoolingSystem {
         ReducedCoolingModel::new(&self.tec_model, reduced)
     }
 
+    /// [`CoolingSystem::reduced_tec_model`] with an evaluation-budget
+    /// hint: `expected_evals` is how many steady solves the caller
+    /// expects to perform against the returned model.
+    ///
+    /// Building the POD basis costs a few dozen warm-started full solves
+    /// (≈ [`REDUCED_BUILD_AMORTIZATION_EVALS`] per BENCH_reduction.json),
+    /// so a caller that will only make a handful of evaluations is better
+    /// served by the full model. Below the amortization point this skips
+    /// the build (counting `reduction.builds_skipped`) and returns a
+    /// wrapper that delegates to the full model — unless a basis is
+    /// already cached, in which case using it is free and the budget is
+    /// irrelevant.
+    pub fn reduced_tec_model_with_budget(&self, expected_evals: usize) -> ReducedCoolingModel<'_> {
+        if self.reduced.get().is_none() && expected_evals < REDUCED_BUILD_AMORTIZATION_EVALS {
+            oftec_telemetry::counter_add("reduction.builds_skipped", 1);
+            return ReducedCoolingModel::new(&self.tec_model, None);
+        }
+        self.reduced_tec_model()
+    }
+
     /// The fan-only baseline thermal model (fairness-boosted TIM1, §6.1).
     pub fn fan_model(&self) -> &HybridCoolingModel {
         &self.fan_model
@@ -302,6 +328,32 @@ mod tests {
             (fast.max_chip_temperature().kelvin() - full.max_chip_temperature().kelvin()).abs()
                 < 0.1
         );
+    }
+
+    #[test]
+    fn short_eval_budget_skips_the_basis_build() {
+        oftec_telemetry::set_collecting(true);
+        let s = CoolingSystem::for_benchmark_with_config(
+            Benchmark::Crc32,
+            &PackageConfig::dac14_coarse(),
+        );
+        let (_, buf) = oftec_telemetry::capture(|| {
+            let m = s.reduced_tec_model_with_budget(REDUCED_BUILD_AMORTIZATION_EVALS - 1);
+            assert!(
+                m.reduced_model().is_none(),
+                "a budget below the amortization point must not build"
+            );
+        });
+        assert_eq!(buf.counter("reduction.builds_skipped"), 1);
+        // At the amortization point the build happens; afterwards even a
+        // one-eval budget rides the cached basis for free.
+        let m = s.reduced_tec_model_with_budget(REDUCED_BUILD_AMORTIZATION_EVALS);
+        assert!(m.reduced_model().is_some());
+        let (_, buf) = oftec_telemetry::capture(|| {
+            let m = s.reduced_tec_model_with_budget(1);
+            assert!(m.reduced_model().is_some(), "cached basis is free");
+        });
+        assert_eq!(buf.counter("reduction.builds_skipped"), 0);
     }
 
     #[test]

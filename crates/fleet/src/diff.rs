@@ -1,0 +1,474 @@
+//! The differential-fuzzing layer: cross-checks the four optimizers and
+//! the reduced/full steady-solve paths on one scenario under the typed
+//! [`TolerancePolicy`].
+//!
+//! Grid search is the trusted oracle (exhaustive over the 2-D box, every
+//! returned point feasible by construction); the three NLP methods and
+//! the reduced-order path are the subjects. A [`FaultPlan`] can wrap one
+//! subject in the PR-3 [`FaultyModel`] harness so tests and the CI gate
+//! can prove an injected divergence is caught, minimized and replayed.
+
+use crate::tolerance::TolerancePolicy;
+use crate::verdict::CROSS_CHECK_EVAL_BUDGET;
+use oftec::faults::{FaultKind, FaultyModel};
+use oftec::problems::{CoolingObjective, CoolingProblem};
+use oftec::CoolingSystem;
+use oftec_optim::{ActiveSetSqp, GridSearch, InteriorPoint, NlpProblem, SolveOptions, TrustRegion};
+use oftec_thermal::CoolingModel;
+use serde::{Deserialize, Serialize};
+
+/// Which differential subject a [`FaultPlan`] corrupts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultTarget {
+    /// The model evaluated by the active-set SQP run.
+    Sqp,
+    /// The model evaluated by the interior-point run.
+    InteriorPoint,
+    /// The model evaluated by the trust-region run.
+    TrustRegion,
+    /// The reduced-order path of the reduced-vs-full probes.
+    Reduced,
+}
+
+/// Which corruption the [`FaultyModel`] wrapper injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKindSpec {
+    /// NaN-poisoned solutions (a silently corrupted solver).
+    NonFinite,
+    /// Typed `ThermalError`s.
+    Error,
+    /// Mid-solve panics (contained by the evaluation boundary).
+    Panic,
+}
+
+impl FaultKindSpec {
+    fn kind(self) -> FaultKind {
+        match self {
+            FaultKindSpec::NonFinite => FaultKind::NonFinite,
+            FaultKindSpec::Error => FaultKind::Error,
+            FaultKindSpec::Panic => FaultKind::Panic,
+        }
+    }
+}
+
+/// A seeded fault injection: corrupt `target` with `kind` from solve call
+/// `fail_at` on (sticky, like [`FaultyModel::new`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The corrupted subject.
+    pub target: FaultTarget,
+    /// The injected corruption.
+    pub kind: FaultKindSpec,
+    /// Zero-based solve-call index at which the fault starts firing.
+    pub fail_at: u32,
+}
+
+/// One out-of-tolerance disagreement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Discrepancy {
+    /// Which check failed (stable snake-case name).
+    pub check: String,
+    /// The measured quantity (absent when the subject produced nothing
+    /// measurable, e.g. a poisoned solver with no feasible endpoint).
+    pub measured: Option<f64>,
+    /// The policy bound the measurement violated.
+    pub allowed: f64,
+    /// Human-readable context.
+    pub detail: String,
+}
+
+/// Outcome of one scenario's cross-check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossCheckReport {
+    /// Checks that actually ran (boundary-riding scenarios skip some).
+    pub checks_run: u32,
+    /// Out-of-tolerance disagreements.
+    pub failures: Vec<Discrepancy>,
+}
+
+impl CrossCheckReport {
+    /// `true` when every executed check stayed within tolerance.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn solve_options() -> SolveOptions {
+    SolveOptions {
+        max_iterations: 60,
+        tolerance: 1e-6,
+    }
+}
+
+/// `Some(x)` if finite, else `None` (the JSONL writer rejects NaN/inf).
+fn finite(x: f64) -> Option<f64> {
+    x.is_finite().then_some(x)
+}
+
+/// Out-of-tolerance test that treats NaN as a violation: a poisoned
+/// solver must not slip through on an incomparable measurement.
+fn exceeds(measured: f64, bound: f64) -> bool {
+    measured.is_nan() || measured > bound
+}
+
+/// The strictly feasible objective at `x`, by the paper's real constraint
+/// (`T < T_max`), mirroring the seed cross-solver tests.
+fn feasible_power<M: CoolingModel>(
+    p: &CoolingProblem<'_, M>,
+    x: &[f64],
+    t_max: oftec_units::Temperature,
+) -> Option<f64> {
+    let t = p.max_temperature(x)?;
+    if t.kelvin() < t_max.kelvin() {
+        p.objective(x)
+    } else {
+        None
+    }
+}
+
+/// One NLP subject's result: its best strictly feasible objective, if any.
+struct SubjectRun {
+    name: &'static str,
+    feasible_objective: Option<f64>,
+}
+
+/// Runs one NLP subject on (a possibly fault-wrapped view of) the model.
+fn run_subject<M: CoolingModel>(
+    name: &'static str,
+    model: &M,
+    t_max: oftec_units::Temperature,
+    solver: Solver,
+) -> SubjectRun {
+    let problem = CoolingProblem::new(model, CoolingObjective::Power, t_max);
+    let x0 = vec![0.5; problem.dim()];
+    let opts = solve_options();
+    let result = match solver {
+        Solver::Sqp => ActiveSetSqp::default().solve(&problem, &x0, &opts),
+        Solver::InteriorPoint => InteriorPoint::default().solve(&problem, &x0, &opts),
+        Solver::TrustRegion => TrustRegion::default().solve(&problem, &x0, &opts),
+    };
+    let feasible_objective = result
+        .ok()
+        .and_then(|r| feasible_power(&problem, &r.x, t_max))
+        .or_else(|| feasible_power(&problem, &x0, t_max));
+    SubjectRun {
+        name,
+        feasible_objective,
+    }
+}
+
+enum Solver {
+    Sqp,
+    InteriorPoint,
+    TrustRegion,
+}
+
+/// Cross-checks every solver path on `system`'s hybrid model under
+/// `policy`, optionally corrupting one subject per `fault`.
+pub fn cross_check(
+    system: &CoolingSystem,
+    policy: &TolerancePolicy,
+    fault: Option<&FaultPlan>,
+) -> CrossCheckReport {
+    let mut report = CrossCheckReport {
+        checks_run: 0,
+        failures: Vec::new(),
+    };
+    let full = system.tec_model();
+    let t_max = system.t_max();
+
+    // Ground truth: exhaustive grid search on the clean full model.
+    let grid_problem = CoolingProblem::new(full, CoolingObjective::Power, t_max);
+    let x0 = vec![0.5; grid_problem.dim()];
+    let grid = GridSearch {
+        points_per_dim: 17,
+        ..GridSearch::default()
+    }
+    .solve(&grid_problem, &x0, &solve_options());
+    let Ok(grid) = grid else {
+        // No feasible grid point: the scenario is (close to) infeasible
+        // and small feasible islands below the 17×17 resolution cannot be
+        // distinguished from solver luck — the NLP comparisons are
+        // skipped rather than risking a false alarm. The reduced/full
+        // probes below still run.
+        report.checks_run += 1;
+        check_reduced_vs_full(
+            system,
+            policy,
+            fault,
+            std::slice::from_ref(&x0),
+            &mut report,
+        );
+        return report;
+    };
+    let grid_temp = grid_problem
+        .max_temperature(&grid.x)
+        .map_or(f64::MAX, |t| t.kelvin());
+    let comfortable = grid_temp < t_max.kelvin() - policy.solver_must_succeed_margin_k;
+
+    // The three NLP subjects, one of them possibly fault-wrapped.
+    let wrap = |target: FaultTarget, name: &'static str, solver: Solver| -> SubjectRun {
+        match fault {
+            Some(plan) if plan.target == target => {
+                let faulty = FaultyModel::new(full, plan.kind.kind(), plan.fail_at as usize);
+                run_subject(name, &faulty, t_max, solver)
+            }
+            _ => run_subject(name, full, t_max, solver),
+        }
+    };
+    let subjects = [
+        wrap(FaultTarget::Sqp, "sqp", Solver::Sqp),
+        wrap(
+            FaultTarget::InteriorPoint,
+            "interior_point",
+            Solver::InteriorPoint,
+        ),
+        wrap(
+            FaultTarget::TrustRegion,
+            "trust_region",
+            Solver::TrustRegion,
+        ),
+    ];
+
+    // Check 1: each subject vs the grid oracle.
+    for s in &subjects {
+        report.checks_run += 1;
+        match s.feasible_objective {
+            Some(p) => {
+                let gap = (p - grid.objective) / grid.objective;
+                let bound = if s.name == "sqp" {
+                    policy.sqp_grid_rel_gap
+                } else {
+                    // IP/TR carry the looser cross-method bound vs the
+                    // oracle; the tight pairwise bound is check 2.
+                    policy.sqp_grid_rel_gap + policy.nlp_rel_gap
+                };
+                if exceeds(gap, bound) {
+                    report.failures.push(Discrepancy {
+                        check: format!("{}_vs_grid", s.name),
+                        measured: finite(gap),
+                        allowed: bound,
+                        detail: format!(
+                            "{} found {:.4} W vs grid {:.4} W",
+                            s.name, p, grid.objective
+                        ),
+                    });
+                }
+            }
+            None if comfortable => {
+                report.failures.push(Discrepancy {
+                    check: format!("{}_missing_feasible", s.name),
+                    measured: None,
+                    allowed: policy.solver_must_succeed_margin_k,
+                    detail: format!(
+                        "{} found no strictly feasible point while the grid \
+                         optimum sits {:.2} K below T_max",
+                        s.name,
+                        t_max.kelvin() - grid_temp
+                    ),
+                });
+            }
+            None => {} // boundary-riding scenario: absence is not evidence
+        }
+    }
+
+    // Check 2: mutual spread of the NLP methods.
+    let feasible: Vec<(&str, f64)> = subjects
+        .iter()
+        .filter_map(|s| s.feasible_objective.map(|p| (s.name, p)))
+        .collect();
+    if feasible.len() >= 2 {
+        report.checks_run += 1;
+        let min = feasible
+            .iter()
+            .map(|(_, p)| *p)
+            .fold(f64::INFINITY, f64::min);
+        let max = feasible.iter().map(|(_, p)| *p).fold(0.0_f64, f64::max);
+        let spread = (max - min) / min;
+        if exceeds(spread, policy.nlp_rel_gap) {
+            report.failures.push(Discrepancy {
+                check: "nlp_spread".to_owned(),
+                measured: finite(spread),
+                allowed: policy.nlp_rel_gap,
+                detail: feasible
+                    .iter()
+                    .map(|(n, p)| format!("{n} {p:.4} W"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            });
+        }
+    }
+
+    // Check 3: the continuum must beat or match the discrete oracle.
+    if let Some(sqp_p) = subjects[0].feasible_objective {
+        report.checks_run += 1;
+        let headroom = sqp_p / grid.objective - 1.0;
+        if exceeds(headroom, policy.continuous_headroom) {
+            report.failures.push(Discrepancy {
+                check: "continuous_headroom".to_owned(),
+                measured: finite(headroom),
+                allowed: policy.continuous_headroom,
+                detail: format!(
+                    "SQP (continuous) {:.4} W above grid (discrete) {:.4} W",
+                    sqp_p, grid.objective
+                ),
+            });
+        }
+    }
+
+    // Check 4: reduced vs full steady solves at deterministic probes.
+    let probes = [x0.clone(), grid.x.clone(), vec![0.75, 0.25]];
+    check_reduced_vs_full(system, policy, fault, &probes, &mut report);
+
+    report
+}
+
+/// Solves each probe point on the full and the reduced path and compares
+/// maximum die temperatures under the policy bound.
+fn check_reduced_vs_full(
+    system: &CoolingSystem,
+    policy: &TolerancePolicy,
+    fault: Option<&FaultPlan>,
+    probes: &[Vec<f64>],
+    report: &mut CrossCheckReport,
+) {
+    let full = system.tec_model();
+    let t_max = system.t_max();
+    let reduced = system.reduced_tec_model_with_budget(CROSS_CHECK_EVAL_BUDGET);
+    // The probe coordinates are in the problem's scaled space; decode
+    // through a problem built on the full model.
+    let problem = CoolingProblem::new(full, CoolingObjective::Power, t_max);
+    for (i, probe) in probes.iter().enumerate() {
+        report.checks_run += 1;
+        let op = problem.operating_point(probe);
+        let full_t = full
+            .solve(op)
+            .ok()
+            .map(|s| s.max_chip_temperature().kelvin());
+        let reduced_t = match fault {
+            Some(plan) if plan.target == FaultTarget::Reduced => {
+                let faulty = FaultyModel::new(&reduced, plan.kind.kind(), plan.fail_at as usize);
+                solve_contained(&faulty, op)
+            }
+            _ => solve_contained(&reduced, op),
+        };
+        match (full_t, reduced_t) {
+            (Some(f), Some(r)) => {
+                let diff = (f - r).abs();
+                if exceeds(diff, policy.reduced_full_max_temp_k) {
+                    report.failures.push(Discrepancy {
+                        check: "reduced_vs_full".to_owned(),
+                        measured: finite(diff),
+                        allowed: policy.reduced_full_max_temp_k,
+                        detail: format!(
+                            "probe {i}: full {f:.3} K vs reduced {r:.3} K at \
+                             ω = {:.0} RPM, I = {:.2} A",
+                            op.fan_speed.rpm(),
+                            op.tec_current.amperes()
+                        ),
+                    });
+                }
+            }
+            (Some(f), None) => {
+                report.failures.push(Discrepancy {
+                    check: "reduced_vs_full".to_owned(),
+                    measured: None,
+                    allowed: policy.reduced_full_max_temp_k,
+                    detail: format!(
+                        "probe {i}: full path solved ({f:.3} K) but the \
+                         reduced path returned no finite solution"
+                    ),
+                });
+            }
+            // Full path failing is a scenario property (runaway probe),
+            // not a divergence — both paths see the same physics.
+            _ => {}
+        }
+    }
+}
+
+/// A steady solve behind a panic boundary and a finite screen: `None` for
+/// errors, panics, and poisoned solutions alike.
+fn solve_contained<M: CoolingModel>(model: &M, op: oftec_thermal::OperatingPoint) -> Option<f64> {
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| model.solve(op)));
+    match caught {
+        Ok(Ok(sol)) => finite(sol.max_chip_temperature().kelvin()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Seed;
+    use crate::scenario::{ScenarioId, ScenarioSpec};
+
+    fn feasible_system() -> CoolingSystem {
+        // A scenario with a comfortably feasible optimum: the clean checks
+        // must pass and the injected-fault checks must fail.
+        (0..60)
+            .map(|i| {
+                ScenarioSpec::generate(ScenarioId {
+                    run_seed: Seed(21),
+                    shard: 0,
+                    index: i,
+                })
+            })
+            .filter_map(|s| s.build().ok())
+            .find(|sys| {
+                let p = CoolingProblem::new(sys.tec_model(), CoolingObjective::Power, sys.t_max());
+                p.max_temperature(&[0.5, 0.5])
+                    .is_some_and(|t| t.kelvin() < sys.t_max().kelvin() - 3.0)
+            })
+            .expect("population contains comfortably feasible scenarios")
+    }
+
+    #[test]
+    fn clean_scenario_is_clean() {
+        let system = feasible_system();
+        let report = cross_check(&system, &TolerancePolicy::default(), None);
+        assert!(report.checks_run >= 5, "ran {} checks", report.checks_run);
+        assert!(report.clean(), "unexpected failures: {:?}", report.failures);
+    }
+
+    #[test]
+    fn injected_sqp_fault_is_caught() {
+        let system = feasible_system();
+        let plan = FaultPlan {
+            target: FaultTarget::Sqp,
+            kind: FaultKindSpec::NonFinite,
+            fail_at: 0,
+        };
+        let report = cross_check(&system, &TolerancePolicy::default(), Some(&plan));
+        assert!(
+            report.failures.iter().any(|f| f.check.starts_with("sqp")),
+            "fault not caught: {:?}",
+            report.failures
+        );
+    }
+
+    #[test]
+    fn injected_reduced_fault_is_caught() {
+        let system = feasible_system();
+        let plan = FaultPlan {
+            target: FaultTarget::Reduced,
+            kind: FaultKindSpec::Error,
+            fail_at: 0,
+        };
+        let report = cross_check(&system, &TolerancePolicy::default(), Some(&plan));
+        assert!(
+            report.failures.iter().any(|f| f.check == "reduced_vs_full"),
+            "fault not caught: {:?}",
+            report.failures
+        );
+    }
+
+    #[test]
+    fn reports_serialize() {
+        let system = feasible_system();
+        let report = cross_check(&system, &TolerancePolicy::default(), None);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: CrossCheckReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

@@ -1,0 +1,62 @@
+//! **oftec-fleet** — deterministic fleet-scale scenario engine with
+//! differential solver fuzzing.
+//!
+//! The substrate crates solve *one* cooling problem well; this crate asks
+//! whether they solve *every* problem in a seeded population consistently:
+//!
+//! - [`scenario`] — a pure generator from `(run_seed, shard, index)`
+//!   addresses to synthetic packages, workloads and ambient conditions;
+//! - [`runner`] — a sharded, checkpointed batch sweep whose concatenated
+//!   verdict stream is byte-identical at any thread count and across
+//!   kill-then-resume;
+//! - [`diff`] — differential fuzzing of SQP vs interior point vs trust
+//!   region vs grid search, and reduced vs full steady solves, under the
+//!   typed [`tolerance::TolerancePolicy`];
+//! - [`minimize`] — shrinks an out-of-tolerance scenario into a
+//!   self-contained `repro_*.json` replayed by `oftec-fleet repro`.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use oftec_fleet::runner::{run, RunConfig};
+//!
+//! # fn main() -> Result<(), oftec_fleet::FleetError> {
+//! let config = RunConfig::new(42, 4, 250, "fleet-out".into());
+//! let summary = run(&config)?;
+//! assert_eq!(summary.discrepancies, 0, "solver divergence detected");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod diff;
+pub mod minimize;
+pub mod rng;
+pub mod runner;
+pub mod scenario;
+pub mod tolerance;
+pub mod verdict;
+
+/// Errors surfaced by the fleet engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// A scenario spec cannot be materialized (unknown benchmark,
+    /// inconsistent hand-edited fields).
+    Scenario(String),
+    /// A filesystem operation on the run directory failed.
+    Io(String),
+    /// The run directory's manifests/checkpoints are inconsistent with
+    /// the requested run.
+    Manifest(String),
+}
+
+impl core::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FleetError::Scenario(m) => write!(f, "scenario error: {m}"),
+            FleetError::Io(m) => write!(f, "io error: {m}"),
+            FleetError::Manifest(m) => write!(f, "manifest error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}

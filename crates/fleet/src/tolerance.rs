@@ -1,0 +1,75 @@
+//! The typed tolerance policy shared by the differential-fuzzing layer
+//! and the seed cross-solver tests.
+//!
+//! Before this crate existed the agreement tolerances lived as literals
+//! inside `tests/cross_solver.rs`; the fuzzing layer would inevitably
+//! have grown its own copies and drifted. Both now read this one type:
+//! loosening a bound for the fuzzer loosens the seed tests' documented
+//! contract too, and the diff shows it.
+
+use serde::{Deserialize, Serialize};
+
+/// Out-of-tolerance thresholds for the solver-agreement checks.
+///
+/// All relative quantities are fractions (0.02 = 2 %); absolute
+/// temperature slacks are in kelvin.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TolerancePolicy {
+    /// Maximum relative spread of the feasible objectives found by the
+    /// three NLP methods (SQP, interior point, trust region).
+    pub nlp_rel_gap: f64,
+    /// Maximum relative gap between the SQP optimum and the exhaustive
+    /// grid-search optimum (ground truth) on Optimization 1.
+    pub sqp_grid_rel_gap: f64,
+    /// How far above the *discrete* grid optimum the continuous SQP
+    /// optimum may sit (the continuum should beat or match the grid).
+    pub continuous_headroom: f64,
+    /// Slack (K) when comparing the Optimization 2 minimum against box
+    /// corners and centre probes.
+    pub opt2_corner_slack_k: f64,
+    /// Maximum |ΔT_max| (K) between the reduced-order and full steady
+    /// solves at the same operating point.
+    pub reduced_full_max_temp_k: f64,
+    /// Feasibility margin (K) below `T_max` the grid optimum must clear
+    /// before the fuzzer insists that every NLP method also find a
+    /// feasible point; boundary-riding scenarios are compared on
+    /// objectives only.
+    pub solver_must_succeed_margin_k: f64,
+}
+
+impl Default for TolerancePolicy {
+    fn default() -> Self {
+        Self {
+            nlp_rel_gap: 0.02,
+            sqp_grid_rel_gap: 0.02,
+            continuous_headroom: 0.005,
+            opt2_corner_slack_k: 0.35,
+            reduced_full_max_temp_k: 0.1,
+            solver_must_succeed_margin_k: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_round_trips() {
+        let p = TolerancePolicy::default();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: TolerancePolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn default_bounds_are_sane() {
+        let p = TolerancePolicy::default();
+        assert!(p.nlp_rel_gap > 0.0 && p.nlp_rel_gap < 0.5);
+        assert!(p.sqp_grid_rel_gap > 0.0 && p.sqp_grid_rel_gap < 0.5);
+        assert!(p.continuous_headroom > 0.0 && p.continuous_headroom < p.sqp_grid_rel_gap);
+        assert!(p.opt2_corner_slack_k > 0.0);
+        assert!(p.reduced_full_max_temp_k > 0.0);
+        assert!(p.solver_must_succeed_margin_k > 0.0);
+    }
+}

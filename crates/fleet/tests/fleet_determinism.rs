@@ -1,0 +1,148 @@
+//! The fleet engine's headline contracts, end to end:
+//!
+//! 1. the concatenated verdict stream is byte-identical at 1 vs 8 worker
+//!    threads;
+//! 2. a run killed mid-shard (and even one with a torn tail past its
+//!    checkpoint) resumes to the same bytes as an uninterrupted run;
+//! 3. a seeded injected fault produces a discrepancy, a written
+//!    reproducer file, and a replay that still fails.
+
+use oftec_fleet::diff::{FaultKindSpec, FaultPlan, FaultTarget};
+use oftec_fleet::minimize::ReproCase;
+use oftec_fleet::runner::{concatenated_verdicts, run, RunConfig, TargetedFault};
+use std::io::Write;
+use std::path::PathBuf;
+
+const SEED: u64 = 20260808;
+const SHARDS: u32 = 2;
+const PER_SHARD: u32 = 30;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("oftec-fleet-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(dir: &std::path::Path) -> RunConfig {
+    let mut c = RunConfig::new(SEED, SHARDS, PER_SHARD, dir.to_path_buf());
+    c.cross_check_divisor = 8;
+    c.batch = 7; // deliberately not a divisor of per_shard
+    c
+}
+
+#[test]
+fn verdict_stream_is_byte_identical_across_thread_counts() {
+    let dir1 = tmp_dir("threads1");
+    let dir8 = tmp_dir("threads8");
+    let mut c1 = config(&dir1);
+    c1.threads = 1;
+    let mut c8 = config(&dir8);
+    c8.threads = 8;
+    let s1 = run(&c1).expect("single-threaded run");
+    let s8 = run(&c8).expect("eight-threaded run");
+    assert_eq!(s1.scenarios, u64::from(SHARDS * PER_SHARD));
+    assert_eq!(s1, s8, "summaries must match exactly");
+    let b1 = concatenated_verdicts(&dir1, SHARDS).expect("read 1-thread stream");
+    let b8 = concatenated_verdicts(&dir8, SHARDS).expect("read 8-thread stream");
+    assert!(!b1.is_empty());
+    assert_eq!(b1, b8, "verdict bytes must not depend on thread count");
+    let _ = std::fs::remove_dir_all(&dir1);
+    let _ = std::fs::remove_dir_all(&dir8);
+}
+
+#[test]
+fn killed_run_resumes_to_identical_bytes() {
+    let full_dir = tmp_dir("uninterrupted");
+    let resumed_dir = tmp_dir("resumed");
+    let full = run(&config(&full_dir)).expect("uninterrupted run");
+    assert!(!full.stopped_early);
+
+    // "Kill" the second run mid-shard: 13 scenarios is inside shard 0
+    // (30 per shard) and not on a batch boundary of 7.
+    let mut first_leg = config(&resumed_dir);
+    first_leg.stop_after = Some(13);
+    let partial = run(&first_leg).expect("first leg");
+    assert!(partial.stopped_early, "stop_after must report early stop");
+    assert!(partial.scenarios < full.scenarios);
+
+    // Simulate a crash that appended bytes the checkpoint never claimed:
+    // resume must truncate the torn tail, not double-count it.
+    let shard0 = resumed_dir.join("shard-0000.jsonl");
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&shard0)
+        .expect("open shard 0");
+    f.write_all(b"{\"torn\":")
+        .and_then(|()| f.sync_all())
+        .expect("append torn tail");
+
+    let resumed = run(&config(&resumed_dir)).expect("resume leg");
+    assert!(!resumed.stopped_early);
+    assert_eq!(resumed, full, "resumed summary must equal uninterrupted");
+    let a = concatenated_verdicts(&full_dir, SHARDS).expect("read full");
+    let b = concatenated_verdicts(&resumed_dir, SHARDS).expect("read resumed");
+    assert_eq!(a, b, "kill-then-resume must reproduce the exact bytes");
+    let _ = std::fs::remove_dir_all(&full_dir);
+    let _ = std::fs::remove_dir_all(&resumed_dir);
+}
+
+#[test]
+fn injected_fault_yields_a_replayable_reproducer() {
+    let dir = tmp_dir("fault");
+    let mut c = config(&dir);
+    // Find a scenario address the sweep cross-checks anyway is not
+    // required — a targeted fault forces the cross-check at its address.
+    // Pick an address whose scenario is comfortably feasible so the
+    // poisoned SQP visibly diverges; scan a few indices for one that
+    // produces a discrepancy.
+    let mut hit = None;
+    for index in 0..PER_SHARD {
+        let mut probe = c.clone();
+        probe.out_dir = tmp_dir("fault-probe");
+        probe.per_shard = 1; // unused; we call the diff layer directly below
+        let id = oftec_fleet::scenario::ScenarioId {
+            run_seed: oftec_fleet::rng::Seed(SEED),
+            shard: 1,
+            index,
+        };
+        let spec = oftec_fleet::scenario::ScenarioSpec::generate(id);
+        let plan = FaultPlan {
+            target: FaultTarget::Sqp,
+            kind: FaultKindSpec::NonFinite,
+            fail_at: 0,
+        };
+        if let Ok(system) = spec.build() {
+            let report = oftec_fleet::diff::cross_check(&system, &c.policy, Some(&plan));
+            if !report.failures.is_empty() {
+                hit = Some((index, plan));
+                break;
+            }
+        }
+        let _ = std::fs::remove_dir_all(&probe.out_dir);
+    }
+    let (index, plan) = hit.expect("population contains fault-sensitive scenarios");
+
+    c.fault = Some(TargetedFault {
+        shard: 1,
+        index,
+        plan,
+    });
+    let summary = run(&c).expect("faulted run");
+    assert!(
+        summary.discrepancies > 0,
+        "injected fault must surface as a discrepancy"
+    );
+    assert!(
+        !summary.repro_files.is_empty(),
+        "discrepancy must be minimized into a reproducer"
+    );
+    let repro_path = dir.join(&summary.repro_files[0]);
+    let text = std::fs::read_to_string(&repro_path).expect("read reproducer");
+    let case: ReproCase = serde_json::from_str(&text).expect("parse reproducer");
+    assert_eq!(case.fault, Some(plan), "reproducer must carry the fault");
+    assert!(
+        !case.replay().is_empty(),
+        "reproducer must still reproduce on replay"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

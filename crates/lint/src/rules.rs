@@ -105,7 +105,7 @@ pub const RULES: &[Rule] = &[
                     a tolerance bug; intentional exact-zero fast paths carry an \
                     inline allow with the justification.",
         kinds: &[Lib],
-        crates: Only(&["linalg", "optim", "thermal", "serve", "telemetry"]),
+        crates: Only(&["linalg", "optim", "thermal", "serve", "telemetry", "fleet"]),
         counter: "lint.findings.L004",
     },
     Rule {
@@ -136,7 +136,15 @@ pub const RULES: &[Rule] = &[
                     entry points (`pub fn solve*`/`run`) in the solver crates must \
                     be annotated so callers cannot ignore the outcome.",
         kinds: &[Lib],
-        crates: Only(&["linalg", "optim", "thermal", "core", "serve", "telemetry"]),
+        crates: Only(&[
+            "linalg",
+            "optim",
+            "thermal",
+            "core",
+            "serve",
+            "telemetry",
+            "fleet",
+        ]),
         counter: "lint.findings.L007",
     },
 ];
