@@ -12,14 +12,26 @@ cargo clippy --workspace --lib --bins -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 cargo fmt --all --check
 
-# Workspace static analysis (oftec-lint, DESIGN.md §13): the invariants
-# the compiler cannot see — typed errors on solve paths, scoped-executor-
-# only parallelism, no wall clock in deterministic crates, tolerance-
-# checked float compares, telemetry instead of printing, #[must_use] on
-# solver entry points. Hard gate: any denied finding or stale baseline
-# entry fails the build; the JSONL report is kept as a CI artifact.
-./target/release/oftec-lint --format json --deny all > target/oftec-lint-report.jsonl
-python3 - target/oftec-lint-report.jsonl <<'PY'
+# Workspace static analysis (oftec-lint, DESIGN.md §13 + §18): the
+# invariants the compiler cannot see — typed errors on solve paths,
+# scoped-executor-only parallelism, no wall clock in deterministic
+# crates, tolerance-checked float compares, telemetry instead of
+# printing, #[must_use] on solver entry points — plus the semantic layer:
+# determinism taint (L008), relaxed-publication atomics (L009),
+# lock-order cycles (L010), blocking-under-lock on serve hot paths
+# (L011), lossy solver casts (L012), hot-path allocations (L013).
+# Hard gate, run in parallel mode: any denied finding or stale baseline
+# entry fails the build; the JSONL report and a SARIF 2.1.0 artifact are
+# both kept.
+./target/release/oftec-lint --format json --deny all --threads 8 \
+    --sarif-out target/oftec-lint-report.sarif > target/oftec-lint-report.jsonl
+# Determinism: a serial, warm-cache rerun must reproduce the parallel
+# cold-cache report byte for byte (DESIGN.md §18 engine contract).
+./target/release/oftec-lint --format json --deny all --threads 1 \
+    > target/oftec-lint-rerun.jsonl
+cmp target/oftec-lint-report.jsonl target/oftec-lint-rerun.jsonl \
+    || { echo "lint report differs across thread counts / cache states"; exit 1; }
+python3 - target/oftec-lint-report.jsonl target/oftec-lint-report.sarif <<'PY'
 import json, sys
 records = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
 summaries = [r for r in records if r["type"] == "summary"]
@@ -29,29 +41,123 @@ assert s["files_scanned"] > 0, "lint scanned no files"
 assert s["active"] == 0, f"{s['active']} active findings"
 assert s["stale_baseline"] == 0, "stale baseline entries"
 assert not any(r["type"] == "stale_baseline" for r in records)
-assert not any(r["type"] == "finding" and r["status"] == "active" for r in records)
+active = [r for r in records if r["type"] == "finding" and r["status"] == "active"]
+assert not active
 # The baseline may only grandfather L004 tolerance work; the panic/print
 # rules ship with an empty baseline.
 for rule in ("L001", "L005", "L006"):
     assert not any(r["type"] == "finding" and r["rule"] == rule
                    and r["status"] == "baselined" for r in records), \
         f"{rule} findings may not be baselined"
+# The SARIF artifact is valid JSON and its result count agrees with the
+# JSONL active-finding count (SARIF carries active findings only).
+sarif = json.load(open(sys.argv[2]))
+assert sarif["version"] == "2.1.0", "SARIF artifact version"
+sarif_results = open(sys.argv[2]).read().count('{"ruleId": "')
+assert sarif_results == len(active), \
+    f"SARIF has {sarif_results} results, JSONL has {len(active)} active findings"
 print("lint gate ok:", s["files_scanned"], "files,",
-      s["suppressed"], "suppressed,", s["baselined"], "baselined")
+      s["suppressed"], "suppressed,", s["baselined"], "baselined,",
+      sarif_results, "SARIF results")
 PY
-# Every rule id the binary knows must be documented in DESIGN.md.
-./target/release/oftec-lint --list-rules | awk '/^L[0-9]/ {print $1}' | while read -r id; do
+# Rule ids and DESIGN.md must agree in both directions: every id the
+# binary knows is documented, and every documented table row is a rule
+# the binary knows.
+./target/release/oftec-lint --list-rules | awk '/^L[0-9]/ {print $1}' | sort -u \
+    > target/oftec-lint-rules.txt
+while read -r id; do
     grep -q "$id" DESIGN.md || { echo "rule $id missing from DESIGN.md"; exit 1; }
+done < target/oftec-lint-rules.txt
+grep -hoE '^\| L[0-9]{3} ' DESIGN.md | awk '{print $2}' | sort -u | while read -r id; do
+    grep -q "^$id\$" target/oftec-lint-rules.txt \
+        || { echo "DESIGN.md documents $id but the binary does not know it"; exit 1; }
 done
-# The gate must actually bite: a seeded violation exits non-zero.
+# The gate must actually bite: a seeded violation per rule family — the
+# token layer (L001) and every semantic rule (L008–L013) — must all be
+# detected in one scratch workspace, and the run must exit non-zero.
 scratch=$(mktemp -d)
-mkdir -p "$scratch/crates/core/src"
-printf 'fn f() { x.unwrap(); }\n' > "$scratch/crates/core/src/seeded.rs"
-if ./target/release/oftec-lint --root "$scratch" --deny all > /dev/null; then
-    echo "oftec-lint failed to flag a seeded violation"
+mkdir -p "$scratch/crates/core/src" "$scratch/crates/serve/src" "$scratch/crates/thermal/src"
+printf 'fn f() { x.unwrap(); }\n' > "$scratch/crates/core/src/seeded_l001.rs"
+cat > "$scratch/crates/core/src/seeded_l008.rs" <<'EOF'
+use std::collections::HashMap;
+pub struct Registry { map: HashMap<u32, u32> }
+impl Registry {
+    pub fn snapshot(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (_k, v) in self.map.iter() { out.push(*v); }
+        out
+    }
+}
+EOF
+cat > "$scratch/crates/core/src/seeded_l009.rs" <<'EOF'
+use std::sync::atomic::{AtomicU64, Ordering};
+pub struct Flag { ready: AtomicU64, data: AtomicU64 }
+impl Flag {
+    pub fn publish(&self, v: u64) {
+        self.data.store(v, Ordering::Relaxed);
+        self.ready.store(1, Ordering::Relaxed);
+    }
+    pub fn consume(&self) -> u64 {
+        if self.ready.load(Ordering::Relaxed) == 1 {
+            return self.data.load(Ordering::Relaxed);
+        }
+        0
+    }
+}
+EOF
+cat > "$scratch/crates/core/src/seeded_l010.rs" <<'EOF'
+use std::sync::Mutex;
+pub struct Pair { a: Mutex<u32>, b: Mutex<u32> }
+impl Pair {
+    pub fn ab(&self) {
+        let Ok(ga) = self.a.lock() else { return };
+        let Ok(gb) = self.b.lock() else { return };
+        let _ = (ga, gb);
+    }
+    pub fn ba(&self) {
+        let Ok(gb) = self.b.lock() else { return };
+        let Ok(ga) = self.a.lock() else { return };
+        let _ = (ga, gb);
+    }
+}
+EOF
+cat > "$scratch/crates/serve/src/seeded_l011.rs" <<'EOF'
+use std::sync::Mutex;
+pub struct Shard { state: Mutex<u32> }
+impl Shard {
+    pub fn stall(&self) {
+        let Ok(g) = self.state.lock() else { return };
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let _ = g;
+    }
+}
+EOF
+printf 'pub fn quantize(x: f64) -> u32 { x as u32 }\n' \
+    > "$scratch/crates/thermal/src/seeded_l012.rs"
+cat > "$scratch/crates/core/src/seeded_l013.rs" <<'EOF'
+// oftec-lint: hot
+pub fn hot_entry(n: usize) -> usize { helper(n) }
+fn helper(n: usize) -> usize {
+    let v: Vec<usize> = Vec::new();
+    let _ = v;
+    n
+}
+EOF
+if ./target/release/oftec-lint --root "$scratch" --no-cache --format json \
+    --deny all > "$scratch/report.jsonl"; then
+    echo "oftec-lint failed to flag the seeded violations"
     rm -rf "$scratch"
     exit 1
 fi
+python3 - "$scratch/report.jsonl" <<'PY'
+import json, sys
+records = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+fired = {r["rule"] for r in records
+         if r["type"] == "finding" and r["status"] == "active"}
+missing = {"L001", "L008", "L009", "L010", "L011", "L012", "L013"} - fired
+assert not missing, f"seeded violations not detected: {sorted(missing)}"
+print("seeded-violation smoke ok:", len(fired), "rules fired")
+PY
 rm -rf "$scratch"
 
 # Fault-injection smoke: the no-panic robustness suite must hold on the

@@ -1,0 +1,170 @@
+//! `lint_bench` — wall-clock and determinism benchmark of the oftec-lint
+//! analysis pipeline.
+//!
+//! ```text
+//! cargo run --release -p oftec-bench --bin lint_bench -- [options]
+//!
+//! Options:
+//!   --root <dir>   workspace root to lint (default ".")
+//!   --reps <n>     timed repetitions per configuration (default 3)
+//!   --out <path>   report file (default BENCH_lint.json)
+//! ```
+//!
+//! The report (`BENCH_lint.json`) records, for the same workspace:
+//!
+//! - cold-cache wall time and files/second at 1 and 8 analysis threads
+//!   (cold = cache file deleted before every repetition),
+//! - warm-cache wall time (cache fully populated, so the per-file phase
+//!   is pure replay and only the crate phase recomputes),
+//! - byte-identity of the JSONL report across thread counts and cache
+//!   states (asserted — a mismatch is a benchmark failure, not a number),
+//! - the warm/cold ratio (acceptance: warm < 0.25 × cold).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use oftec_lint::{render_jsonl, run, DenySet, RunConfig};
+
+struct Config {
+    root: PathBuf,
+    reps: u32,
+    out: String,
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut config = Config {
+        root: PathBuf::from("."),
+        reps: 3,
+        out: "BENCH_lint.json".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+        match arg.as_str() {
+            "--root" => config.root = PathBuf::from(value("--root")?),
+            "--reps" => {
+                config.reps = value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?
+            }
+            "--out" => config.out = value("--out")?,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    config.reps = config.reps.max(1);
+    Ok(config)
+}
+
+struct Timed {
+    best_ms: f64,
+    report_jsonl: String,
+    files: usize,
+}
+
+/// Best-of-`reps` timed run. `cold` deletes the cache before every
+/// repetition; warm runs leave the populated cache in place.
+fn timed(config: &RunConfig, reps: u32, cold: bool) -> Result<Timed, String> {
+    let mut best_ms = f64::INFINITY;
+    let mut report_jsonl = String::new();
+    let mut files = 0;
+    for _ in 0..reps {
+        if cold {
+            if let Some(path) = &config.cache {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        let start = Instant::now();
+        let report = run(config)?;
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        best_ms = best_ms.min(elapsed_ms);
+        files = report.files_scanned;
+        report_jsonl = render_jsonl(&report);
+    }
+    Ok(Timed {
+        best_ms,
+        report_jsonl,
+        files,
+    })
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("lint_bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cache_path = std::env::temp_dir().join(format!("oftec-lint-bench-{}", std::process::id()));
+    let run_config = |threads: usize| RunConfig {
+        root: config.root.clone(),
+        baseline: config.root.join("lint-baseline.toml"),
+        deny: DenySet::All,
+        threads: Some(threads),
+        cache: Some(cache_path.clone()),
+    };
+
+    let result = (|| -> Result<String, String> {
+        let cold_t1 = timed(&run_config(1), config.reps, true)?;
+        let cold_t8 = timed(&run_config(8), config.reps, true)?;
+        // The last cold repetition left the cache fully populated.
+        let warm_t8 = timed(&run_config(8), config.reps, false)?;
+
+        let identical = cold_t1.report_jsonl == cold_t8.report_jsonl
+            && cold_t8.report_jsonl == warm_t8.report_jsonl;
+        if !identical {
+            return Err("reports diverge across thread counts or cache states".into());
+        }
+        let warm_over_cold = warm_t8.best_ms / cold_t8.best_ms;
+        let findings = cold_t1
+            .report_jsonl
+            .lines()
+            .filter(|l| l.starts_with("{\"type\":\"finding\""))
+            .count();
+
+        let json = format!(
+            "{{\n  \"config\": {{\"reps\":{},\"files\":{}}},\n  \
+             \"cold_ms\": {{\"threads_1\":{:.1},\"threads_8\":{:.1}}},\n  \
+             \"warm_ms\": {{\"threads_8\":{:.1}}},\n  \
+             \"files_per_s\": {{\"cold_1\":{:.0},\"cold_8\":{:.0},\"warm_8\":{:.0}}},\n  \
+             \"warm_over_cold\": {:.3},\n  \
+             \"findings\": {},\n  \
+             \"determinism\": {{\"bytes_identical\":{}}}\n}}\n",
+            config.reps,
+            cold_t1.files,
+            cold_t1.best_ms,
+            cold_t8.best_ms,
+            warm_t8.best_ms,
+            cold_t1.files as f64 / (cold_t1.best_ms / 1e3),
+            cold_t8.files as f64 / (cold_t8.best_ms / 1e3),
+            warm_t8.files as f64 / (warm_t8.best_ms / 1e3),
+            warm_over_cold,
+            findings,
+            identical,
+        );
+        println!("{json}");
+        if warm_over_cold >= 0.25 {
+            return Err(format!(
+                "warm-cache run took {warm_over_cold:.2}x the cold run; the \
+                 incremental cache must replay in under 0.25x"
+            ));
+        }
+        Ok(json)
+    })();
+    let _ = std::fs::remove_file(&cache_path);
+
+    match result {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&config.out, json) {
+                eprintln!("lint_bench: cannot write {}: {e}", config.out);
+                return ExitCode::from(2);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("lint_bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -67,6 +67,7 @@ impl SellMatrix {
             let base = chunk_ptr[c];
             for (e, (col, v)) in csr.row_iter(r).enumerate() {
                 let slot = base + e * chunk + lane;
+                // oftec-lint: allow(L012, SELL-C-sigma stores u32 column indices by format; col < cols <= u32::MAX is checked at construction)
                 col_idx[slot] = col as u32;
                 vals[slot] = v;
             }

@@ -1,0 +1,329 @@
+//! A lightweight Rust AST for the semantic lint rules.
+//!
+//! This is deliberately **not** a faithful Rust grammar: the dataflow
+//! rules only need items, function bodies, expressions with receiver /
+//! argument structure, and source positions. Everything the parser cannot
+//! shape — exotic generics, macros with non-expression bodies, const
+//! generics — degrades to [`Expr::Opaque`] rather than failing the file,
+//! so a single unparseable construct never blinds the rest of the
+//! analysis. Types are carried as normalized token text (`"Mutex < Inner >"`
+//! becomes `"Mutex<Inner>"`), which is all the resolver needs to extract
+//! head types and generic arguments.
+
+/// One parsed source file: a flat list of top-level items.
+#[derive(Debug, Default)]
+pub struct File {
+    pub items: Vec<Item>,
+}
+
+/// A top-level or nested item. Only the item kinds the rules consume are
+/// represented; the rest parse as [`Item::Other`] (body skipped).
+#[derive(Debug)]
+pub enum Item {
+    /// One leaf of a `use` tree: `use a::b::{C, D as E}` expands to two
+    /// entries with `path = ["a","b","C"]` / `["a","b","D"]`.
+    Use {
+        path: Vec<String>,
+        alias: Option<String>,
+        line: u32,
+    },
+    /// A struct with its named fields (tuple structs keep positional
+    /// names `"0"`, `"1"`, …).
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+        line: u32,
+    },
+    /// An `impl` block: the self type's head name and the functions
+    /// inside.
+    Impl { type_name: String, items: Vec<Item> },
+    /// A free or associated function.
+    Fn(FnDef),
+    /// An inline module and its items.
+    Mod {
+        name: String,
+        items: Vec<Item>,
+        cfg_test: bool,
+    },
+    /// A `static` or `const` item with its type text.
+    Static { name: String, ty: String, line: u32 },
+    /// Anything else (enum, trait, type alias, macro definition, …).
+    Other,
+}
+
+/// One struct field: name and normalized type text.
+#[derive(Debug, Clone)]
+pub struct Field {
+    pub name: String,
+    pub ty: String,
+    pub line: u32,
+}
+
+/// A function definition with enough signature structure for local type
+/// guesses, plus its (optional) parsed body.
+#[derive(Debug)]
+pub struct FnDef {
+    pub name: String,
+    /// Head name of the enclosing `impl` type, when inside one.
+    pub self_ty: Option<String>,
+    /// `(pattern name, normalized type text)` per parameter; a `self`
+    /// receiver appears as `("self", "Self")`.
+    pub params: Vec<(String, String)>,
+    /// Normalized return type text, when declared.
+    pub ret: Option<String>,
+    pub body: Option<Block>,
+    pub line: u32,
+    pub col: u32,
+    /// Under `#[cfg(test)]` / `#[test]`: excluded from semantic rules.
+    pub is_test: bool,
+}
+
+/// A `{ … }` block of statements.
+#[derive(Debug, Default)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement.
+#[derive(Debug)]
+pub enum Stmt {
+    /// `let <pat>[: ty] = init;` — `pats` lists the bound names.
+    Let {
+        pats: Vec<String>,
+        ty: Option<String>,
+        init: Option<Expr>,
+        line: u32,
+    },
+    /// An expression statement (with or without `;`).
+    Expr(Expr),
+    /// A nested item (inner `fn`, `struct`, …).
+    Item(Box<Item>),
+}
+
+/// An expression. Position fields are carried where rules report
+/// findings; structural children are always walkable so taint and lock
+/// tracking see every sub-expression.
+#[derive(Debug)]
+pub enum Expr {
+    /// A (possibly qualified) path: `x`, `self.0` is Field, `a::b::c`.
+    Path {
+        segs: Vec<String>,
+        line: u32,
+        col: u32,
+    },
+    /// Any literal (number, string, char, bool via path).
+    Lit,
+    /// `callee(args…)`.
+    Call {
+        callee: Box<Expr>,
+        args: Vec<Expr>,
+        line: u32,
+        col: u32,
+    },
+    /// `recv.method(args…)`.
+    MethodCall {
+        recv: Box<Expr>,
+        method: String,
+        args: Vec<Expr>,
+        line: u32,
+        col: u32,
+    },
+    /// `base.field` (also tuple indices: `base.0`).
+    FieldAccess {
+        base: Box<Expr>,
+        name: String,
+        line: u32,
+        col: u32,
+    },
+    /// `base[index]`.
+    Index { base: Box<Expr>, index: Box<Expr> },
+    /// `expr as Ty` with normalized target type text.
+    Cast {
+        expr: Box<Expr>,
+        ty: String,
+        line: u32,
+        col: u32,
+    },
+    /// Any binary operator (left-assoc parse; precedence is irrelevant to
+    /// the rules, operand structure is preserved).
+    Binary {
+        op: String,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    /// Prefix `& && * - !` (operator dropped; only the operand matters).
+    Unary(Box<Expr>),
+    /// `place = value` (compound assignments keep the operator in `op`).
+    Assign {
+        place: Box<Expr>,
+        value: Box<Expr>,
+        line: u32,
+    },
+    /// `for <pats> in iter { body }`.
+    For {
+        pats: Vec<String>,
+        iter: Box<Expr>,
+        body: Block,
+        line: u32,
+        col: u32,
+    },
+    /// `if cond { then } [else …]` (`else if` chains nest in `els`).
+    If {
+        cond: Box<Expr>,
+        then: Block,
+        els: Option<Box<Expr>>,
+    },
+    /// `while cond { body }` (`while let` parses its scrutinee as cond).
+    While { cond: Box<Expr>, body: Block },
+    /// `loop { body }`.
+    Loop { body: Block },
+    /// `match scrutinee { pat => expr, … }` — arms keep bound names and
+    /// the arm expression.
+    Match {
+        scrutinee: Box<Expr>,
+        arms: Vec<(Vec<String>, Expr)>,
+    },
+    /// `return [expr]`.
+    Return { value: Option<Box<Expr>>, line: u32 },
+    /// A block expression.
+    BlockExpr(Block),
+    /// `|args| body` or `move |args| body`.
+    Closure { pats: Vec<String>, body: Box<Expr> },
+    /// `name!(args…)` with best-effort expression arguments.
+    MacroCall {
+        name: String,
+        args: Vec<Expr>,
+        line: u32,
+        col: u32,
+    },
+    /// `Path { field: expr, … }`.
+    StructLit {
+        path: Vec<String>,
+        fields: Vec<(String, Expr)>,
+    },
+    /// `(a, b, …)` and `[a, b, …]`.
+    Tuple(Vec<Expr>),
+    /// Anything the parser could not shape. Terminates a sub-tree.
+    Opaque,
+}
+
+impl Expr {
+    /// Best-effort position of an expression, for anchoring findings.
+    pub fn pos(&self) -> Option<(u32, u32)> {
+        match self {
+            Expr::Path { line, col, .. }
+            | Expr::Call { line, col, .. }
+            | Expr::MethodCall { line, col, .. }
+            | Expr::FieldAccess { line, col, .. }
+            | Expr::Cast { line, col, .. }
+            | Expr::For { line, col, .. }
+            | Expr::MacroCall { line, col, .. } => Some((*line, *col)),
+            Expr::Return { line, .. } | Expr::Assign { line, .. } => Some((*line, 1)),
+            Expr::Unary(e) => e.pos(),
+            Expr::Binary { lhs, .. } => lhs.pos(),
+            Expr::Index { base, .. } => base.pos(),
+            _ => None,
+        }
+    }
+}
+
+/// Walks every expression in a block, depth-first, in source order.
+pub fn walk_block<'a>(block: &'a Block, f: &mut dyn FnMut(&'a Expr)) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let { init, .. } => {
+                if let Some(e) = init {
+                    walk_expr(e, f);
+                }
+            }
+            Stmt::Expr(e) => walk_expr(e, f),
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+/// Walks `expr` and all its children, depth-first pre-order.
+pub fn walk_expr<'a>(expr: &'a Expr, f: &mut dyn FnMut(&'a Expr)) {
+    f(expr);
+    match expr {
+        Expr::Call { callee, args, .. } => {
+            walk_expr(callee, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::MethodCall { recv, args, .. } => {
+            walk_expr(recv, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::FieldAccess { base, .. } => walk_expr(base, f),
+        Expr::Index { base, index } => {
+            walk_expr(base, f);
+            walk_expr(index, f);
+        }
+        Expr::Cast { expr, .. } | Expr::Unary(expr) => walk_expr(expr, f),
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        Expr::Assign { place, value, .. } => {
+            walk_expr(place, f);
+            walk_expr(value, f);
+        }
+        Expr::For { iter, body, .. } => {
+            walk_expr(iter, f);
+            walk_block(body, f);
+        }
+        Expr::If { cond, then, els } => {
+            walk_expr(cond, f);
+            walk_block(then, f);
+            if let Some(e) = els {
+                walk_expr(e, f);
+            }
+        }
+        Expr::While { cond, body } => {
+            walk_expr(cond, f);
+            walk_block(body, f);
+        }
+        Expr::Loop { body } => walk_block(body, f),
+        Expr::Match { scrutinee, arms } => {
+            walk_expr(scrutinee, f);
+            for (_, e) in arms {
+                walk_expr(e, f);
+            }
+        }
+        Expr::Return { value: Some(v), .. } => walk_expr(v, f),
+        Expr::BlockExpr(b) => walk_block(b, f),
+        Expr::Closure { body, .. } => walk_expr(body, f),
+        Expr::MacroCall { args, .. } | Expr::Tuple(args) => {
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::StructLit { fields, .. } => {
+            for (_, e) in fields {
+                walk_expr(e, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Visits every function in an item tree (skipping `cfg(test)` modules),
+/// yielding the enclosing impl type head alongside each definition.
+pub fn for_each_fn<'a>(items: &'a [Item], f: &mut dyn FnMut(&'a FnDef)) {
+    for item in items {
+        match item {
+            Item::Fn(def) => f(def),
+            Item::Impl { items, .. }
+            | Item::Mod {
+                items,
+                cfg_test: false,
+                ..
+            } => for_each_fn(items, f),
+            _ => {}
+        }
+    }
+}

@@ -101,7 +101,7 @@ fn quote(s: &str) -> String {
 /// Serializes a baseline, sorted for stable diffs.
 pub fn render(entries: &[BaselineEntry]) -> String {
     let mut sorted: Vec<&BaselineEntry> = entries.iter().collect();
-    sorted.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    sorted.sort_by(|a, b| (&a.file, &a.rule, a.line).cmp(&(&b.file, &b.rule, b.line)));
     let mut out = String::from(
         "# oftec-lint baseline: grandfathered findings, matched on (rule, file, line).\n\
          # Entries may only be removed (a non-matching entry is *stale* and fails the\n\

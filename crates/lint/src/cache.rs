@@ -1,0 +1,484 @@
+//! Incremental analysis cache: per-file findings and dataflow summaries
+//! keyed by content hash.
+//!
+//! The per-file phase (lex → parse → resolve → summarize → file-local
+//! rules) depends only on a file's own bytes, so its [`FileAnalysis`] can
+//! be replayed verbatim when the bytes have not changed. The crate phase
+//! (L009–L011, L013) is recomputed every run from the (cached or fresh)
+//! summaries — it is cheap and composes cross-file facts the cache must
+//! not freeze.
+//!
+//! Storage is one line-oriented text file, `target/oftec-lint-cache.v1`,
+//! with a header carrying the format version and a fingerprint of the
+//! rule table; any mismatch discards the whole cache. A corrupt or
+//! truncated file is treated as empty — the cache can only ever cost a
+//! re-analysis, never change a verdict.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::dataflow::{
+    AllocSite, AtomicKind, AtomicOp, BlockSite, CallSite, CastSite, FnSummary, HashIterSite,
+    LockAcq, LockId,
+};
+use crate::engine::{FileAnalysis, Finding, ScanStats, Status, Suppression};
+use crate::rules::RULES;
+
+const FORMAT: &str = "oftec-lint-cache v1";
+
+/// FNV-1a 64-bit content hash — stable across platforms and runs.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of the rule table: a rule added, removed, or re-scoped
+/// invalidates every cached verdict.
+fn rules_fingerprint() -> u64 {
+    let mut text = String::from(env!("CARGO_PKG_VERSION"));
+    for r in RULES {
+        text.push_str(r.id);
+        text.push_str(r.title);
+        text.push_str(&format!("{:?}{:?}", r.kinds, r.crates));
+    }
+    content_hash(text.as_bytes())
+}
+
+/// Default cache location for a workspace root.
+pub fn default_path(root: &Path) -> PathBuf {
+    root.join("target").join("oftec-lint-cache.v1")
+}
+
+/// The loaded cache: per-path hash and analysis.
+#[derive(Debug, Default)]
+pub struct Cache {
+    hashes: BTreeMap<String, u64>,
+    analyses: BTreeMap<String, FileAnalysis>,
+}
+
+impl Cache {
+    /// Whether `rel` at `hash` has a cached analysis.
+    pub fn hit(&self, rel: &str, hash: u64) -> bool {
+        self.hashes.get(rel) == Some(&hash) && self.analyses.contains_key(rel)
+    }
+
+    /// Removes and returns the cached analysis for `rel`.
+    pub fn take(&mut self, rel: &str) -> Option<FileAnalysis> {
+        self.analyses.remove(rel)
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(c) => out.push(c),
+            None => break,
+        }
+    }
+    out
+}
+
+fn lock_to_str(id: &LockId) -> String {
+    format!("{}\u{1f}{}", esc(&id.0), esc(&id.1))
+}
+
+fn lock_from_str(s: &str) -> Option<LockId> {
+    let (a, b) = s.split_once('\u{1f}')?;
+    Some((unesc(a), unesc(b)))
+}
+
+fn locks_to_str(ids: &[LockId]) -> String {
+    ids.iter()
+        .map(lock_to_str)
+        .collect::<Vec<_>>()
+        .join("\u{1e}")
+}
+
+fn locks_from_str(s: &str) -> Vec<LockId> {
+    if s.is_empty() {
+        return Vec::new();
+    }
+    s.split('\u{1e}').filter_map(lock_from_str).collect()
+}
+
+/// Serializes one file's analysis into the cache text format.
+fn write_file(out: &mut String, rel: &str, hash: u64, a: &FileAnalysis) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "file\t{}\t{hash:016x}", esc(rel));
+    for f in &a.findings {
+        let _ = writeln!(
+            out,
+            "finding\t{}\t{}\t{}\t{}\t{}",
+            f.rule,
+            f.line,
+            f.col,
+            f.status.name(),
+            esc(&f.message)
+        );
+    }
+    for s in &a.suppressions {
+        let _ = writeln!(out, "sup\t{}\t{}", s.line, s.rules.join(","));
+    }
+    for &h in &a.hot_lines {
+        let _ = writeln!(out, "hot\t{h}");
+    }
+    for s in &a.summaries {
+        let _ = writeln!(
+            out,
+            "fn\t{}\t{}\t{}\t{}\t{}\t{}",
+            esc(&s.key),
+            esc(&s.bare),
+            s.line,
+            u8::from(s.is_test),
+            u8::from(s.has_acquire_fence),
+            u8::from(s.has_release_fence),
+        );
+        for c in &s.calls {
+            let _ = writeln!(
+                out,
+                "call\t{}\t{}\t{}",
+                esc(&c.callee),
+                c.line,
+                locks_to_str(&c.locks_held)
+            );
+        }
+        for q in &s.lock_acqs {
+            let _ = writeln!(
+                out,
+                "acq\t{}\t{}\t{}\t{}",
+                lock_to_str(&q.id),
+                q.line,
+                q.col,
+                locks_to_str(&q.held_before)
+            );
+        }
+        for op in &s.atomics {
+            let kind = match op.kind {
+                AtomicKind::Store => "store",
+                AtomicKind::Load => "load",
+                AtomicKind::Rmw => "rmw",
+            };
+            let _ = writeln!(
+                out,
+                "atom\t{}\t{kind}\t{}\t{}\t{}\t{}\t{}",
+                esc(&op.field),
+                esc(&op.ordering),
+                u8::from(op.gating),
+                u8::from(op.after_write),
+                op.line,
+                op.col,
+            );
+        }
+        for al in &s.allocs {
+            let _ = writeln!(out, "alloc\t{}\t{}\t{}", esc(&al.what), al.line, al.col);
+        }
+        for c in &s.casts {
+            let _ = writeln!(out, "cast\t{}\t{}\t{}", esc(&c.ty), c.line, c.col);
+        }
+        for h in &s.hash_iters {
+            let _ = writeln!(
+                out,
+                "hiter\t{}\t{}\t{}\t{}",
+                h.line,
+                h.col,
+                esc(h.sink.as_deref().unwrap_or("")),
+                esc(&h.desc)
+            );
+        }
+        for b in &s.blocking {
+            let _ = writeln!(
+                out,
+                "blockop\t{}\t{}\t{}\t{}",
+                esc(&b.what),
+                b.line,
+                b.col,
+                lock_to_str(&b.held)
+            );
+        }
+        for (desc, line) in &s.unordered_decls {
+            let _ = writeln!(out, "udecl\t{}\t{line}", esc(desc));
+        }
+    }
+    let _ = writeln!(out, "end\t{}\t{}", a.stats.suppressed, a.findings.len());
+}
+
+/// Saves the cache (atomically via a temp file; failures are ignored —
+/// caching is best-effort).
+pub fn save(path: &Path, entries: &[(String, u64, &FileAnalysis)]) {
+    let mut out = String::new();
+    out.push_str(&format!("{FORMAT}\t{:016x}\n", rules_fingerprint()));
+    for (rel, hash, a) in entries {
+        write_file(&mut out, rel, *hash, a);
+    }
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let tmp = path.with_extension("tmp");
+    if std::fs::write(&tmp, &out).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+/// Loads the cache; any header mismatch, parse error, or I/O error
+/// yields an empty cache.
+pub fn load(path: &Path) -> Cache {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Cache::default();
+    };
+    parse(&text).unwrap_or_default()
+}
+
+fn parse(text: &str) -> Option<Cache> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let (fmt, fp) = header.split_once('\t')?;
+    if fmt != FORMAT || fp != format!("{:016x}", rules_fingerprint()) {
+        return None;
+    }
+    let mut cache = Cache::default();
+    let mut rel: Option<String> = None;
+    let mut hash = 0u64;
+    let mut a = FileAnalysis::default();
+    let mut closed = true;
+    for line in lines {
+        let mut parts = line.split('\t');
+        let tag = parts.next()?;
+        let rest: Vec<&str> = parts.collect();
+        match tag {
+            "file" => {
+                if rel.is_some() {
+                    // Previous block never hit `end`: discard everything.
+                    return None;
+                }
+                rel = Some(unesc(rest.first()?));
+                hash = u64::from_str_radix(rest.get(1)?, 16).ok()?;
+                a = FileAnalysis::default();
+                closed = false;
+            }
+            "finding" => {
+                let id = *rest.first()?;
+                let rule = RULES.iter().find(|r| r.id == id)?.id;
+                let status = match *rest.get(3)? {
+                    "active" => Status::Active,
+                    "suppressed" => Status::Suppressed,
+                    "baselined" => Status::Active, // baseline re-applies per run
+                    _ => return None,
+                };
+                a.findings.push(Finding {
+                    rule,
+                    file: rel.clone()?,
+                    line: rest.get(1)?.parse().ok()?,
+                    col: rest.get(2)?.parse().ok()?,
+                    message: unesc(rest.get(4)?),
+                    status,
+                });
+            }
+            "sup" => {
+                a.suppressions.push(Suppression {
+                    line: rest.first()?.parse().ok()?,
+                    rules: rest
+                        .get(1)?
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect(),
+                });
+            }
+            "hot" => a.hot_lines.push(rest.first()?.parse().ok()?),
+            "fn" => {
+                a.summaries.push(FnSummary {
+                    key: unesc(rest.first()?),
+                    bare: unesc(rest.get(1)?),
+                    file: rel.clone()?,
+                    line: rest.get(2)?.parse().ok()?,
+                    is_test: *rest.get(3)? == "1",
+                    has_acquire_fence: *rest.get(4)? == "1",
+                    has_release_fence: *rest.get(5)? == "1",
+                    ..FnSummary::default()
+                });
+            }
+            "call" => {
+                a.summaries.last_mut()?.calls.push(CallSite {
+                    callee: unesc(rest.first()?),
+                    line: rest.get(1)?.parse().ok()?,
+                    locks_held: locks_from_str(rest.get(2).copied().unwrap_or("")),
+                });
+            }
+            "acq" => {
+                a.summaries.last_mut()?.lock_acqs.push(LockAcq {
+                    id: lock_from_str(rest.first()?)?,
+                    line: rest.get(1)?.parse().ok()?,
+                    col: rest.get(2)?.parse().ok()?,
+                    held_before: locks_from_str(rest.get(3).copied().unwrap_or("")),
+                });
+            }
+            "atom" => {
+                let kind = match *rest.get(1)? {
+                    "store" => AtomicKind::Store,
+                    "load" => AtomicKind::Load,
+                    "rmw" => AtomicKind::Rmw,
+                    _ => return None,
+                };
+                a.summaries.last_mut()?.atomics.push(AtomicOp {
+                    field: unesc(rest.first()?),
+                    kind,
+                    ordering: unesc(rest.get(2)?),
+                    gating: *rest.get(3)? == "1",
+                    after_write: *rest.get(4)? == "1",
+                    line: rest.get(5)?.parse().ok()?,
+                    col: rest.get(6)?.parse().ok()?,
+                });
+            }
+            "alloc" => {
+                a.summaries.last_mut()?.allocs.push(AllocSite {
+                    what: unesc(rest.first()?),
+                    line: rest.get(1)?.parse().ok()?,
+                    col: rest.get(2)?.parse().ok()?,
+                });
+            }
+            "cast" => {
+                a.summaries.last_mut()?.casts.push(CastSite {
+                    ty: unesc(rest.first()?),
+                    line: rest.get(1)?.parse().ok()?,
+                    col: rest.get(2)?.parse().ok()?,
+                });
+            }
+            "hiter" => {
+                let sink = unesc(rest.get(2)?);
+                a.summaries.last_mut()?.hash_iters.push(HashIterSite {
+                    line: rest.first()?.parse().ok()?,
+                    col: rest.get(1)?.parse().ok()?,
+                    sink: (!sink.is_empty()).then_some(sink),
+                    desc: unesc(rest.get(3)?),
+                });
+            }
+            "blockop" => {
+                a.summaries.last_mut()?.blocking.push(BlockSite {
+                    what: unesc(rest.first()?),
+                    line: rest.get(1)?.parse().ok()?,
+                    col: rest.get(2)?.parse().ok()?,
+                    held: lock_from_str(rest.get(3)?)?,
+                });
+            }
+            "udecl" => {
+                a.summaries
+                    .last_mut()?
+                    .unordered_decls
+                    .push((unesc(rest.first()?), rest.get(1)?.parse().ok()?));
+            }
+            "end" => {
+                let r = rel.take()?;
+                a.stats = ScanStats {
+                    suppressed: rest.first()?.parse().ok()?,
+                };
+                let count: usize = rest.get(1)?.parse().ok()?;
+                if a.findings.len() != count {
+                    return None;
+                }
+                let done = std::mem::take(&mut a);
+                cache.hashes.insert(r.clone(), hash);
+                cache.analyses.insert(r, done);
+                closed = true;
+            }
+            _ => return None,
+        }
+    }
+    // A trailing unterminated block (crash mid-write) poisons nothing:
+    // it was never inserted. But a dangling `rel` means truncation.
+    if !closed {
+        return None;
+    }
+    Some(cache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::analyze_source;
+    use crate::rules::FileKind;
+
+    fn sample_analysis() -> FileAnalysis {
+        let src = "use std::collections::HashMap;\n\
+                   use std::sync::Mutex;\n\
+                   // oftec-lint: hot\n\
+                   pub fn hot_path(n: usize) -> usize { n }\n\
+                   pub struct S { map: Mutex<HashMap<u32, u32>> }\n\
+                   impl S {\n\
+                       // oftec-lint: allow(L008, exercised by the cache round-trip test)\n\
+                       pub fn count(&self) -> usize {\n\
+                           let g = self.map.lock();\n\
+                           let _ = g;\n\
+                           0\n\
+                       }\n\
+                   }\n";
+        analyze_source("crates/serve/src/x.rs", src, "serve", FileKind::Lib)
+    }
+
+    #[test]
+    fn round_trips_analysis_byte_identically() {
+        let a = sample_analysis();
+        let rel = "crates/serve/src/x.rs".to_string();
+        let mut serialized = String::new();
+        serialized.push_str(&format!("{FORMAT}\t{:016x}\n", rules_fingerprint()));
+        write_file(&mut serialized, &rel, 0xabcd, &a);
+        let mut cache = parse(&serialized).expect("parse back");
+        assert!(cache.hit(&rel, 0xabcd));
+        assert!(!cache.hit(&rel, 0xabce), "hash mismatch must miss");
+        let b = cache.take(&rel).expect("entry");
+
+        // Round-tripped analysis must reproduce the serialized form
+        // exactly — this is what makes warm-cache output byte-identical.
+        let mut reserialized = String::new();
+        reserialized.push_str(&format!("{FORMAT}\t{:016x}\n", rules_fingerprint()));
+        write_file(&mut reserialized, &rel, 0xabcd, &b);
+        assert_eq!(serialized, reserialized);
+        assert_eq!(a.findings.len(), b.findings.len());
+        assert_eq!(a.summaries.len(), b.summaries.len());
+        assert_eq!(a.hot_lines, b.hot_lines);
+        assert_eq!(a.stats.suppressed, b.stats.suppressed);
+    }
+
+    #[test]
+    fn header_mismatch_and_corruption_yield_empty() {
+        assert!(parse("bogus\t123\n").is_none());
+        let good_header = format!("{FORMAT}\t{:016x}\n", rules_fingerprint());
+        assert!(parse(&format!("{good_header}file\tx.rs\tnothex\n")).is_none());
+        // Truncated block (no `end`).
+        assert!(parse(&format!("{good_header}file\tx.rs\t00000000000000ab\n")).is_none());
+        // Empty cache is fine.
+        assert!(parse(&good_header).is_some());
+    }
+
+    #[test]
+    fn escaping_survives_tabs_and_newlines() {
+        let s = "a\tb\nc\\d\u{1f}e";
+        assert_eq!(unesc(&esc(s)), s);
+    }
+}

@@ -3,7 +3,7 @@
 
 use crate::lexer::{lex, Tok, TokKind};
 use crate::rules::{FileKind, Rule, RULES};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Lifecycle of a finding through suppression and baseline matching.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,10 +40,10 @@ pub struct Finding {
 
 /// An `// oftec-lint: allow(L00X, reason)` directive; covers its own
 /// line and the next.
-#[derive(Debug)]
-struct Suppression {
-    rules: Vec<String>,
-    line: u32,
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    pub rules: Vec<String>,
+    pub line: u32,
 }
 
 /// Classifies a workspace-relative path into its owning crate and target
@@ -79,43 +79,97 @@ pub struct ScanStats {
     pub suppressed: usize,
 }
 
+/// Everything one file's analysis produces: findings with suppression
+/// status applied, the suppression table (the crate phase re-applies it
+/// to cross-function findings), `// oftec-lint: hot` marker lines, and
+/// the per-function dataflow summaries. Depends only on the file's own
+/// bytes, which is what makes it cacheable by content hash.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    pub findings: Vec<Finding>,
+    pub suppressions: Vec<Suppression>,
+    pub hot_lines: Vec<u32>,
+    pub summaries: Vec<crate::dataflow::FnSummary>,
+    pub stats: ScanStats,
+}
+
 /// Scans one file's source, returning every finding (active and
 /// suppressed) for the rules that apply to `(krate, kind)`.
 pub fn scan_source(rel: &str, src: &str, krate: &str, kind: FileKind) -> (Vec<Finding>, ScanStats) {
+    let analysis = analyze_source(rel, src, krate, kind);
+    (analysis.findings, analysis.stats)
+}
+
+/// Full per-file analysis: token rules (L001–L007), the AST/dataflow
+/// semantic rules that are file-local (L008, L012), suppression
+/// handling, and function summaries for the crate phase (L009–L011,
+/// L013).
+pub fn analyze_source(rel: &str, src: &str, krate: &str, kind: FileKind) -> FileAnalysis {
     let toks = lex(src);
     let mut findings = Vec::new();
 
-    // Pass 1: suppression directives (and their own diagnostics) from
-    // line comments.
+    // Pass 1: suppression and hot-marker directives (and their own
+    // diagnostics) from line comments.
     let mut sups: Vec<Suppression> = Vec::new();
+    let mut hot_lines: Vec<u32> = Vec::new();
     for t in &toks {
         if t.kind != TokKind::LineComment {
             continue;
         }
-        parse_suppression(t, &mut sups, &mut findings, rel);
+        parse_suppression(t, &mut sups, &mut hot_lines, &mut findings, rel);
     }
 
     // Pass 2: rule matchers over the code tokens.
-    let code: Vec<&Tok> = toks
-        .iter()
+    let code: Vec<Tok> = toks
+        .into_iter()
         .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
         .collect();
+    let code_refs: Vec<&Tok> = code.iter().collect();
     let active: Vec<&'static Rule> = RULES
         .iter()
         .filter(|r| r.id != "L000" && r.applies(krate, kind))
         .collect();
-    match_rules(&code, &active, rel, &mut findings);
+    match_rules(&code_refs, &active, rel, &mut findings);
 
-    // Pass 3: apply suppressions. A directive covers findings on its own
+    // Pass 3: parse, resolve, summarize, and run the file-local semantic
+    // rules.
+    let ast = crate::parser::parse_file(&code);
+    let syms = crate::resolve::collect(&ast);
+    let mut summaries = Vec::new();
+    crate::ast::for_each_fn(&ast.items, &mut |def| {
+        summaries.push(crate::dataflow::summarize(def, &syms, rel));
+    });
+    findings.extend(crate::semantic::file_findings(
+        rel, krate, kind, &ast, &syms, &summaries,
+    ));
+
+    // Pass 4: apply suppressions. A directive covers findings on its own
     // line and the line below it.
-    let mut stats = ScanStats::default();
-    let mut by_line: HashMap<u32, Vec<&Suppression>> = HashMap::new();
-    for s in &sups {
+    let stats = ScanStats {
+        suppressed: apply_suppressions(&mut findings, &sups),
+    };
+    findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    FileAnalysis {
+        findings,
+        suppressions: sups,
+        hot_lines,
+        summaries,
+        stats,
+    }
+}
+
+/// Marks findings covered by an allow directive (own line or the line
+/// above) as suppressed; returns how many were. Also used by the crate
+/// phase on cross-function findings.
+pub fn apply_suppressions(findings: &mut [Finding], sups: &[Suppression]) -> usize {
+    let mut by_line: BTreeMap<u32, Vec<&Suppression>> = BTreeMap::new();
+    for s in sups {
         by_line.entry(s.line).or_default().push(s);
         by_line.entry(s.line + 1).or_default().push(s);
     }
-    for f in &mut findings {
-        if f.rule == "L000" {
+    let mut suppressed = 0;
+    for f in findings {
+        if f.rule == "L000" || f.status != Status::Active {
             continue;
         }
         let covered = by_line
@@ -123,20 +177,32 @@ pub fn scan_source(rel: &str, src: &str, krate: &str, kind: FileKind) -> (Vec<Fi
             .is_some_and(|list| list.iter().any(|s| s.rules.iter().any(|r| r == f.rule)));
         if covered {
             f.status = Status::Suppressed;
-            stats.suppressed += 1;
+            suppressed += 1;
         }
     }
-    findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
-    (findings, stats)
+    suppressed
 }
 
-/// Parses `// oftec-lint: allow(L00X[, L00Y…], reason)` out of a line
-/// comment. Malformed directives become `L000` findings.
-fn parse_suppression(t: &Tok, sups: &mut Vec<Suppression>, findings: &mut Vec<Finding>, rel: &str) {
+/// Parses `// oftec-lint: allow(L00X[, L00Y…], reason)` and
+/// `// oftec-lint: hot` out of a line comment. Malformed directives
+/// become `L000` findings.
+fn parse_suppression(
+    t: &Tok,
+    sups: &mut Vec<Suppression>,
+    hot_lines: &mut Vec<u32>,
+    findings: &mut Vec<Finding>,
+    rel: &str,
+) {
     let body = t.text.trim_start_matches('/').trim();
     let Some(rest) = body.strip_prefix("oftec-lint:") else {
         return;
     };
+    if rest.trim() == "hot" {
+        // Marks the next function as per-request hot: L013 forbids heap
+        // allocation in it and everything it (transitively) calls.
+        hot_lines.push(t.line);
+        return;
+    }
     let mut bad = |message: String| {
         findings.push(Finding {
             rule: "L000",

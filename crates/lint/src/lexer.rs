@@ -34,13 +34,16 @@ pub enum TokKind {
     BlockComment,
 }
 
-/// One lexed token with its 1-based source position.
+/// One lexed token with its 1-based source position and half-open
+/// char-index span `[lo, hi)` into the source's `char` sequence.
 #[derive(Debug, Clone)]
 pub struct Tok {
     pub kind: TokKind,
     pub text: String,
     pub line: u32,
     pub col: u32,
+    pub lo: u32,
+    pub hi: u32,
 }
 
 struct Cursor {
@@ -97,16 +100,20 @@ pub fn lex(src: &str) -> Vec<Tok> {
     let mut toks = Vec::new();
     while let Some(c) = cur.peek(0) {
         let (line, col) = (cur.line, cur.col);
+        let lo = cur.i;
         let tok = |kind: TokKind, text: String| Tok {
             kind,
             text,
             line,
             col,
+            lo: 0,
+            hi: 0,
         };
         if c.is_whitespace() {
             cur.bump();
             continue;
         }
+        let before = toks.len();
         match c {
             '/' if cur.peek(1) == Some('/') => {
                 let mut text = String::new();
@@ -179,6 +186,12 @@ pub fn lex(src: &str) -> Vec<Tok> {
                     toks.push(tok(TokKind::Punct, c.to_string()));
                 }
             }
+        }
+        // Each iteration pushes at most one token; stamp its span now that
+        // the cursor sits just past it.
+        for t in toks.iter_mut().skip(before) {
+            t.lo = lo as u32;
+            t.hi = cur.i as u32;
         }
     }
     toks
@@ -467,6 +480,25 @@ mod tests {
         let toks = lex("a\n  == b");
         assert_eq!(toks[1].text, "==");
         assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn spans_round_trip_against_the_source() {
+        let src = "fn f(x: u32) -> u32 { x == 1 } // done\nr#type 'a 1.5e3";
+        let chars: Vec<char> = src.chars().collect();
+        let mut prev_hi = 0u32;
+        for t in lex(src) {
+            assert!(t.lo >= prev_hi, "token spans must be ordered");
+            assert!(t.lo < t.hi, "every token covers at least one char");
+            assert!((t.hi as usize) <= chars.len());
+            let slice: String = chars[t.lo as usize..t.hi as usize].iter().collect();
+            if !t.text.is_empty() {
+                // Raw identifiers strip their `r#` fence; everything else
+                // reproduces the slice exactly.
+                assert!(slice.ends_with(&t.text), "{slice:?} vs {:?}", t.text);
+            }
+            prev_hi = t.hi;
+        }
     }
 
     #[test]

@@ -20,15 +20,23 @@
 //!
 //! See DESIGN.md §13 for the rule table and rationale.
 
+pub mod ast;
 pub mod baseline;
+pub mod cache;
+pub mod dataflow;
 pub mod engine;
 pub mod lexer;
+pub mod parser;
+pub mod resolve;
 pub mod rules;
+pub mod sarif;
+pub mod semantic;
 
 pub use baseline::BaselineEntry;
 pub use engine::{classify, scan_source, Finding, Status};
 pub use rules::{FileKind, Rule, RULES};
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// Which rules fail the gate.
@@ -59,6 +67,25 @@ pub struct RunConfig {
     pub baseline: PathBuf,
     /// Rules that fail the gate.
     pub deny: DenySet,
+    /// Worker threads for the per-file phase; `None` follows
+    /// `OFTEC_THREADS` like every other workspace batch.
+    pub threads: Option<usize>,
+    /// Incremental cache path; `None` disables caching.
+    pub cache: Option<PathBuf>,
+}
+
+impl RunConfig {
+    /// The standard configuration for a workspace root: baseline beside
+    /// the manifest, cache under `target/`, deny-all gate.
+    pub fn for_root(root: PathBuf) -> Self {
+        RunConfig {
+            baseline: root.join("lint-baseline.toml"),
+            cache: Some(cache::default_path(&root)),
+            root,
+            deny: DenySet::All,
+            threads: None,
+        }
+    }
 }
 
 /// Everything one run produced, for both report formats and the gate
@@ -133,31 +160,111 @@ pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Runs the full analysis: walk, scan, suppress, baseline-match.
-/// Telemetry counters (`lint.*`) are recorded on the calling thread.
+/// Runs the full analysis.
+///
+/// The per-file phase (lex/parse/dataflow and the file-local rules) runs
+/// in parallel over `oftec-parallel` with results assembled in path
+/// order, so the report is byte-identical at any `OFTEC_THREADS`. Files
+/// whose content hash matches the incremental cache skip analysis
+/// entirely. The crate phase (L009–L011, L013) composes the (cached or
+/// fresh) function summaries and always recomputes. Telemetry counters
+/// (`lint.*`) are recorded on the calling thread.
 pub fn run(config: &RunConfig) -> Result<RunReport, String> {
     let _span = oftec_telemetry::span("lint.scan");
     let baseline_entries = baseline::load(&config.baseline)?;
     let files = collect_files(&config.root).map_err(|e| format!("walking workspace: {e}"))?;
 
-    let mut findings = Vec::new();
-    let mut files_scanned = 0usize;
-    let mut suppressed = 0usize;
-    for path in &files {
-        let rel = path
-            .strip_prefix(&config.root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let Some((krate, kind)) = classify(&rel) else {
-            continue;
+    // Classify every path up front; unclassifiable files are out of scope.
+    let work: Vec<(PathBuf, String, String, FileKind)> = files
+        .into_iter()
+        .filter_map(|path| {
+            let rel = path
+                .strip_prefix(&config.root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let (krate, kind) = classify(&rel)?;
+            Some((path, rel, krate, kind))
+        })
+        .collect();
+
+    let mut cached = config
+        .cache
+        .as_ref()
+        .map(|p| cache::load(p))
+        .unwrap_or_default();
+
+    // Per-file phase, parallel. Each worker depends only on its own
+    // file's bytes; hits return `None` and are replayed from the cache
+    // during the in-order assembly below.
+    let threads = config.threads.unwrap_or_else(oftec_parallel::thread_count);
+    type FileOut = Result<(u64, Option<engine::FileAnalysis>), String>;
+    let cache_ref = &cached;
+    let results = oftec_parallel::par_try_map_indexed_with(
+        threads,
+        &work,
+        |_, (path, rel, krate, kind)| -> FileOut {
+            let src = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            let hash = cache::content_hash(src.as_bytes());
+            if cache_ref.hit(rel, hash) {
+                return Ok((hash, None));
+            }
+            Ok((hash, Some(engine::analyze_source(rel, &src, krate, *kind))))
+        },
+    );
+
+    // In-order assembly: path order, independent of worker scheduling.
+    let mut per_file: Vec<(String, String, FileKind, u64, engine::FileAnalysis)> =
+        Vec::with_capacity(work.len());
+    let mut cache_hits = 0usize;
+    for ((_, rel, krate, kind), result) in work.into_iter().zip(results) {
+        let (hash, fresh) = result.map_err(|p| format!("lint worker for {rel}: {p}"))??;
+        let analysis = match fresh {
+            Some(a) => a,
+            None => {
+                cache_hits += 1;
+                cached
+                    .take(&rel)
+                    .ok_or_else(|| format!("cache hit for {rel} vanished"))?
+            }
         };
-        let src = std::fs::read_to_string(path)
-            .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        let (file_findings, stats) = scan_source(&rel, &src, &krate, kind);
-        files_scanned += 1;
-        suppressed += stats.suppressed;
-        findings.extend(file_findings);
+        per_file.push((rel, krate, kind, hash, analysis));
+    }
+
+    let files_scanned = per_file.len();
+    let mut suppressed = 0usize;
+    let mut findings: Vec<Finding> = Vec::new();
+    for (_, _, _, _, a) in &per_file {
+        suppressed += a.stats.suppressed;
+        findings.extend(a.findings.iter().cloned());
+    }
+
+    // Crate phase over the composed summaries, then the per-file
+    // suppression tables applied to its cross-function findings.
+    let facts: Vec<semantic::FileFacts> = per_file
+        .iter()
+        .map(|(rel, krate, kind, _, a)| semantic::FileFacts {
+            rel,
+            krate,
+            kind: *kind,
+            summaries: &a.summaries,
+            hot_lines: &a.hot_lines,
+        })
+        .collect();
+    let mut by_file: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for f in semantic::crate_findings(&facts) {
+        by_file.entry(f.file.clone()).or_default().push(f);
+    }
+    let sup_of: BTreeMap<&str, &Vec<engine::Suppression>> = per_file
+        .iter()
+        .map(|(rel, _, _, _, a)| (rel.as_str(), &a.suppressions))
+        .collect();
+    for (file, mut group) in by_file {
+        if let Some(sups) = sup_of.get(file.as_str()) {
+            suppressed += engine::apply_suppressions(&mut group, sups);
+        }
+        findings.append(&mut group);
     }
 
     // Baseline matching: an entry absorbs at most one finding.
@@ -184,7 +291,16 @@ pub fn run(config: &RunConfig) -> Result<RunReport, String> {
         .map(|(e, _)| e.clone())
         .collect();
 
-    findings.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+
+    if let Some(path) = &config.cache {
+        let entries: Vec<(String, u64, &engine::FileAnalysis)> = per_file
+            .iter()
+            .map(|(rel, _, _, hash, a)| (rel.clone(), *hash, a))
+            .collect();
+        cache::save(path, &entries);
+    }
 
     let report = RunReport {
         findings,
@@ -193,6 +309,7 @@ pub fn run(config: &RunConfig) -> Result<RunReport, String> {
         suppressed,
         baselined,
     };
+    oftec_telemetry::counter_add("lint.cache_hits", cache_hits as u64);
     record_telemetry(&report);
     Ok(report)
 }

@@ -1,25 +1,38 @@
 //! The `oftec-lint` binary: CI gate and developer tool.
 //!
 //! ```text
-//! oftec-lint [--root DIR] [--format human|json] [--deny all|L001,L005]
+//! oftec-lint [--root DIR] [--format human|json|sarif] [--deny all|L001,L005]
 //!            [--baseline PATH] [--update-baseline] [--list-rules]
+//!            [--threads N] [--no-cache] [--cache PATH] [--sarif-out PATH]
 //!            [--telemetry-json PATH]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 denied findings or stale baseline entries,
 //! 2 usage or I/O error.
 
-use oftec_lint::{baseline, render_human, render_jsonl, run, DenySet, RunConfig, Status, RULES};
+use oftec_lint::{
+    baseline, cache, render_human, render_jsonl, run, sarif, DenySet, RunConfig, Status, RULES,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
 
 struct Args {
     root: PathBuf,
     baseline: Option<PathBuf>,
     deny: DenySet,
-    json: bool,
+    format: Format,
     list_rules: bool,
     update_baseline: bool,
+    threads: Option<usize>,
+    no_cache: bool,
+    cache: Option<PathBuf>,
+    sarif_out: Option<PathBuf>,
     telemetry_json: Option<String>,
 }
 
@@ -28,9 +41,13 @@ fn parse_args() -> Result<Args, String> {
         root: PathBuf::from("."),
         baseline: None,
         deny: DenySet::All,
-        json: false,
+        format: Format::Human,
         list_rules: false,
         update_baseline: false,
+        threads: None,
+        no_cache: false,
+        cache: None,
+        sarif_out: None,
         telemetry_json: None,
     };
     let mut it = std::env::args().skip(1);
@@ -48,19 +65,31 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--format" => {
-                args.json = match value("--format")?.as_str() {
-                    "json" => true,
-                    "human" => false,
+                args.format = match value("--format")?.as_str() {
+                    "json" => Format::Json,
+                    "human" => Format::Human,
+                    "sarif" => Format::Sarif,
                     other => return Err(format!("unknown format `{other}`")),
                 };
             }
+            "--threads" => {
+                let v = value("--threads")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--threads expects a count, got `{v}`"))?;
+                args.threads = Some(n.max(1));
+            }
+            "--no-cache" => args.no_cache = true,
+            "--cache" => args.cache = Some(PathBuf::from(value("--cache")?)),
+            "--sarif-out" => args.sarif_out = Some(PathBuf::from(value("--sarif-out")?)),
             "--list-rules" => args.list_rules = true,
             "--update-baseline" => args.update_baseline = true,
             "--telemetry-json" => args.telemetry_json = Some(value("--telemetry-json")?),
             "--help" | "-h" => {
                 println!(
-                    "usage: oftec-lint [--root DIR] [--format human|json] \
+                    "usage: oftec-lint [--root DIR] [--format human|json|sarif] \
                      [--deny all|L001,...] [--baseline PATH] [--update-baseline] \
+                     [--threads N] [--no-cache] [--cache PATH] [--sarif-out PATH] \
                      [--list-rules] [--telemetry-json PATH]"
                 );
                 std::process::exit(0);
@@ -116,10 +145,21 @@ fn main() -> ExitCode {
         .baseline
         .clone()
         .unwrap_or_else(|| args.root.join("lint-baseline.toml"));
+    let cache_path = if args.no_cache {
+        None
+    } else {
+        Some(
+            args.cache
+                .clone()
+                .unwrap_or_else(|| cache::default_path(&args.root)),
+        )
+    };
     let config = RunConfig {
         root: args.root.clone(),
         baseline: baseline_path.clone(),
         deny: args.deny.clone(),
+        threads: args.threads,
+        cache: cache_path,
     };
     let report = match run(&config) {
         Ok(r) => r,
@@ -153,10 +193,17 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    if args.json {
-        print!("{}", render_jsonl(&report));
-    } else {
-        print!("{}", render_human(&report, &args.deny));
+    if let Some(path) = &args.sarif_out {
+        if let Err(e) = std::fs::write(path, sarif::render(&report, &args.deny)) {
+            eprintln!("oftec-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    match args.format {
+        Format::Json => print!("{}", render_jsonl(&report)),
+        Format::Sarif => print!("{}", sarif::render(&report, &args.deny)),
+        Format::Human => print!("{}", render_human(&report, &args.deny)),
     }
 
     if let Some(path) = &args.telemetry_json {

@@ -1,0 +1,1690 @@
+//! Tolerant recursive-descent parser producing the [`crate::ast`] tree.
+//!
+//! Invariants, in priority order:
+//!
+//! 1. **Never panic, always terminate.** Every loop provably consumes a
+//!    token or breaks; recursion carries a depth guard (pathological
+//!    nesting degrades to [`Expr::Opaque`] instead of blowing the stack —
+//!    the fuzz suite feeds this parser arbitrary bytes).
+//! 2. **Degrade locally.** An unparseable construct becomes `Opaque` or
+//!    `Item::Other` and the parser resynchronizes at the next `;` or
+//!    balanced brace; one weird macro never blinds the rest of the file.
+//! 3. **Keep positions.** Findings anchor on the `line:col` of the token
+//!    that opened the expression.
+//!
+//! The grammar is intentionally partial: generics are skipped (balanced
+//! angle tracking), patterns reduce to their bound names, binary operators
+//! parse left-associative with no precedence (the semantic rules only care
+//! about operand structure, never about evaluation order).
+
+use crate::ast::{Block, Expr, Field, File, FnDef, Item, Stmt};
+use crate::lexer::{Tok, TokKind};
+
+/// Maximum expression/item nesting depth before degrading to `Opaque`.
+const MAX_DEPTH: usize = 160;
+
+/// Parses a comment-free token stream into a [`File`]. Never fails:
+/// unparseable regions degrade to opaque nodes.
+pub fn parse_file(toks: &[Tok]) -> File {
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
+    let mut items = Vec::new();
+    while p.pos < p.toks.len() {
+        let before = p.pos;
+        p.parse_item_into(&mut items, None);
+        if p.pos == before {
+            p.pos += 1; // stray token (e.g. an unmatched `}`): skip it
+        }
+    }
+    File { items }
+}
+
+struct Attrs {
+    cfg_test: bool,
+    is_test: bool,
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self, ahead: usize) -> Option<&'a Tok> {
+        self.toks.get(self.pos + ahead)
+    }
+
+    fn bump(&mut self) -> Option<&'a Tok> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, s: &str) -> bool {
+        self.peek(0)
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text == s)
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        self.peek(0)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == s)
+    }
+
+    fn eat_punct(&mut self, s: &str) -> bool {
+        if self.at_punct(s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, s: &str) -> bool {
+        if self.at_ident(s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes a balanced `(…)`, `[…]`, or `{…}` group whose opener is
+    /// the current token. No-op if the current token is not `open`.
+    fn skip_balanced(&mut self, open: &str, close: &str) {
+        if !self.at_punct(open) {
+            return;
+        }
+        let mut depth = 0i64;
+        while let Some(t) = self.bump() {
+            if t.kind == TokKind::Punct {
+                if t.text == open {
+                    depth += 1;
+                } else if t.text == close {
+                    depth -= 1;
+                    if depth == 0 {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consumes a balanced generic argument list starting at `<`. Bails
+    /// out at `;` or `{` so a stray `<` in malformed input cannot swallow
+    /// the rest of the file.
+    fn skip_angles(&mut self) {
+        if !self.at_punct("<") {
+            return;
+        }
+        let mut depth = 0i64;
+        while let Some(t) = self.peek(0) {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "<" => depth += 1,
+                    ">" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            self.pos += 1;
+                            return;
+                        }
+                    }
+                    ";" | "{" => return,
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Parses contiguous outer/inner attributes, noting `cfg(test)` and
+    /// `#[test]`.
+    fn parse_attrs(&mut self) -> Attrs {
+        let mut attrs = Attrs {
+            cfg_test: false,
+            is_test: false,
+        };
+        loop {
+            if !self.at_punct("#") {
+                return attrs;
+            }
+            let bracket = if self.peek(1).is_some_and(|t| t.text == "[") {
+                1
+            } else if self.peek(1).is_some_and(|t| t.text == "!")
+                && self.peek(2).is_some_and(|t| t.text == "[")
+            {
+                2
+            } else {
+                self.pos += 1;
+                return attrs;
+            };
+            let start = self.pos + bracket;
+            self.pos = start;
+            let before = self.pos;
+            self.skip_balanced("[", "]");
+            let group = &self.toks[before..self.pos];
+            let first = group.get(1).map(|t| t.text.as_str());
+            let is_cfg = first == Some("cfg");
+            let negated = group.iter().any(|t| t.text == "not");
+            let has_test = group
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text == "test");
+            if is_cfg && has_test && !negated {
+                attrs.cfg_test = true;
+            }
+            if first == Some("test") {
+                attrs.is_test = true;
+            }
+        }
+    }
+
+    /// Collects normalized type text: path segments, balanced generics,
+    /// references, tuples, slices. Stops at the first token that cannot
+    /// be part of a type.
+    fn type_text(&mut self) -> String {
+        let mut out = String::new();
+        let mut angle = 0i64;
+        let mut fuel = self.toks.len().saturating_sub(self.pos) + 1;
+        while let Some(t) = self.peek(0) {
+            fuel = fuel.saturating_sub(1);
+            if fuel == 0 {
+                break;
+            }
+            let ok = match t.kind {
+                TokKind::Ident | TokKind::Lifetime | TokKind::Int => true,
+                TokKind::Punct => match t.text.as_str() {
+                    "::" | "<" | "&" | "*" | "'" | "!" => true,
+                    ">" => angle > 0,
+                    "(" => {
+                        self.skip_balanced("(", ")");
+                        out.push_str("()");
+                        continue;
+                    }
+                    "[" => {
+                        self.skip_balanced("[", "]");
+                        out.push_str("[]");
+                        continue;
+                    }
+                    "," | ";" | "+" => angle > 0,
+                    "->" | "=>" => angle > 0,
+                    _ => false,
+                },
+                _ => false,
+            };
+            if !ok {
+                break;
+            }
+            if t.text == "<" {
+                angle += 1;
+            } else if t.text == ">" {
+                angle -= 1;
+            }
+            // `dyn`/`impl`/`mut` noise is kept: head extraction skips it.
+            // Separate adjacent word tokens so `dyn Trait` does not glue
+            // into `dynTrait`.
+            let word = |c: char| c.is_alphanumeric() || c == '_';
+            if out.chars().next_back().is_some_and(word) && t.text.chars().next().is_some_and(word)
+            {
+                out.push(' ');
+            }
+            out.push_str(&t.text);
+            self.pos += 1;
+            if angle == 0
+                && t.kind == TokKind::Ident
+                && !self.peek(0).is_some_and(|n| {
+                    n.kind == TokKind::Punct && matches!(n.text.as_str(), "::" | "<")
+                })
+                && !self.peek(0).is_some_and(|n| n.kind == TokKind::Ident)
+            {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Parses one item (possibly expanding to several, for `use` trees)
+    /// into `out`. `self_ty` is the enclosing impl's type head.
+    fn parse_item_into(&mut self, out: &mut Vec<Item>, self_ty: Option<&str>) {
+        if self.depth >= MAX_DEPTH {
+            self.pos += 1;
+            return;
+        }
+        let attrs = self.parse_attrs();
+        // Visibility and function qualifiers.
+        if self.eat_ident("pub") && self.at_punct("(") {
+            self.skip_balanced("(", ")");
+        }
+        loop {
+            if self.at_ident("unsafe") || self.at_ident("async") {
+                self.pos += 1;
+            } else if self.at_ident("extern")
+                && self.peek(1).is_some_and(|t| t.kind == TokKind::Str)
+                && self.peek(2).is_some_and(|t| t.text == "fn")
+            {
+                self.pos += 2;
+            } else if self.at_ident("const") && self.peek(1).is_some_and(|t| t.text == "fn") {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let Some(kw) = self.peek(0) else { return };
+        if kw.kind != TokKind::Ident {
+            // Not an item start: resynchronize past one token.
+            self.pos += 1;
+            return;
+        }
+        match kw.text.as_str() {
+            "use" => {
+                self.pos += 1;
+                let line = kw.line;
+                let mut prefix = Vec::new();
+                self.parse_use_tree(&mut prefix, out, line);
+                while !self.at_punct(";") && self.peek(0).is_some() {
+                    self.pos += 1;
+                }
+                self.eat_punct(";");
+            }
+            "struct" => {
+                self.pos += 1;
+                let (name, line) = match self.peek(0) {
+                    Some(t) if t.kind == TokKind::Ident => {
+                        let v = (t.text.clone(), t.line);
+                        self.pos += 1;
+                        v
+                    }
+                    _ => return,
+                };
+                self.skip_angles();
+                let mut fields = Vec::new();
+                if self.at_punct("(") {
+                    self.parse_tuple_fields(&mut fields);
+                    while !self.at_punct(";") && self.peek(0).is_some() {
+                        self.pos += 1;
+                    }
+                    self.eat_punct(";");
+                } else if self.at_ident("where") {
+                    while !self.at_punct("{") && !self.at_punct(";") && self.peek(0).is_some() {
+                        self.pos += 1;
+                    }
+                }
+                if self.at_punct("{") {
+                    self.parse_named_fields(&mut fields);
+                } else {
+                    self.eat_punct(";");
+                }
+                out.push(Item::Struct { name, fields, line });
+            }
+            "impl" => {
+                self.pos += 1;
+                self.skip_angles();
+                // `impl Trait for Type` / `impl Type`: the self type is the
+                // last path before the body.
+                let mut head = String::new();
+                while let Some(t) = self.peek(0) {
+                    if t.kind == TokKind::Punct && t.text == "{" {
+                        break;
+                    }
+                    if t.kind == TokKind::Ident && t.text == "for" {
+                        self.pos += 1;
+                        head.clear();
+                        continue;
+                    }
+                    if t.kind == TokKind::Ident && t.text == "where" {
+                        while !self.at_punct("{") && self.peek(0).is_some() {
+                            self.pos += 1;
+                        }
+                        break;
+                    }
+                    if t.kind == TokKind::Ident && head.is_empty() && t.text != "dyn" {
+                        head = t.text.clone();
+                    }
+                    if t.kind == TokKind::Punct && t.text == "<" {
+                        self.skip_angles();
+                        continue;
+                    }
+                    self.pos += 1;
+                }
+                let mut inner = Vec::new();
+                if self.eat_punct("{") {
+                    self.depth += 1;
+                    while !self.at_punct("}") && self.peek(0).is_some() {
+                        let before = self.pos;
+                        self.parse_item_into(&mut inner, Some(&head));
+                        if self.pos == before {
+                            self.pos += 1;
+                        }
+                    }
+                    self.depth -= 1;
+                    self.eat_punct("}");
+                }
+                out.push(Item::Impl {
+                    type_name: head,
+                    items: inner,
+                });
+            }
+            "fn" => {
+                self.pos += 1;
+                if let Some(def) = self.parse_fn(&attrs, self_ty) {
+                    out.push(Item::Fn(def));
+                }
+            }
+            "mod" => {
+                self.pos += 1;
+                let name = match self.peek(0) {
+                    Some(t) if t.kind == TokKind::Ident => {
+                        let n = t.text.clone();
+                        self.pos += 1;
+                        n
+                    }
+                    _ => return,
+                };
+                let mut inner = Vec::new();
+                if self.eat_punct("{") {
+                    self.depth += 1;
+                    while !self.at_punct("}") && self.peek(0).is_some() {
+                        let before = self.pos;
+                        self.parse_item_into(&mut inner, None);
+                        if self.pos == before {
+                            self.pos += 1;
+                        }
+                    }
+                    self.depth -= 1;
+                    self.eat_punct("}");
+                } else {
+                    self.eat_punct(";");
+                }
+                out.push(Item::Mod {
+                    name,
+                    items: inner,
+                    cfg_test: attrs.cfg_test,
+                });
+            }
+            "static" | "const" => {
+                self.pos += 1;
+                self.eat_ident("mut");
+                let (name, line) = match self.peek(0) {
+                    Some(t) if t.kind == TokKind::Ident => {
+                        let v = (t.text.clone(), t.line);
+                        self.pos += 1;
+                        v
+                    }
+                    _ => return,
+                };
+                let ty = if self.eat_punct(":") {
+                    self.type_text()
+                } else {
+                    String::new()
+                };
+                self.skip_to_semi();
+                out.push(Item::Static { name, ty, line });
+            }
+            "enum" | "trait" | "union" => {
+                self.pos += 1;
+                while self.peek(0).is_some() && !self.at_punct("{") && !self.at_punct(";") {
+                    self.pos += 1;
+                }
+                self.skip_balanced("{", "}");
+                self.eat_punct(";");
+                out.push(Item::Other);
+            }
+            "type" => {
+                self.pos += 1;
+                self.skip_to_semi();
+                out.push(Item::Other);
+            }
+            "extern" | "macro_rules" | "macro" => {
+                self.pos += 1;
+                while self.peek(0).is_some() && !self.at_punct("{") && !self.at_punct(";") {
+                    self.pos += 1;
+                }
+                self.skip_balanced("{", "}");
+                self.eat_punct(";");
+                out.push(Item::Other);
+            }
+            _ => {
+                // Unknown construct: resynchronize at `;` or a balanced
+                // brace group.
+                self.pos += 1;
+                self.skip_to_semi();
+                out.push(Item::Other);
+            }
+        }
+    }
+
+    /// Skips forward to just past the next `;` at bracket depth zero,
+    /// also stopping after a balanced top-level `{…}` group.
+    fn skip_to_semi(&mut self) {
+        let mut depth = 0i64;
+        while let Some(t) = self.peek(0) {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => {
+                        self.skip_balanced("{", "}");
+                        self.eat_punct(";");
+                        return;
+                    }
+                    "{" => depth += 1,
+                    "}" if depth <= 0 => return,
+                    "}" => depth -= 1,
+                    ";" if depth <= 0 => {
+                        self.pos += 1;
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Expands one `use` tree into leaf [`Item::Use`] entries.
+    fn parse_use_tree(&mut self, prefix: &mut Vec<String>, out: &mut Vec<Item>, line: u32) {
+        if self.depth >= MAX_DEPTH {
+            return;
+        }
+        let start_len = prefix.len();
+        loop {
+            match self.peek(0) {
+                Some(t) if t.kind == TokKind::Ident && t.text == "as" => {
+                    self.pos += 1;
+                    let alias = self
+                        .peek(0)
+                        .and_then(|t| (t.kind == TokKind::Ident).then(|| t.text.clone()));
+                    if alias.is_some() {
+                        self.pos += 1;
+                    }
+                    out.push(Item::Use {
+                        path: prefix.clone(),
+                        alias,
+                        line,
+                    });
+                    break;
+                }
+                Some(t) if t.kind == TokKind::Ident => {
+                    prefix.push(t.text.clone());
+                    self.pos += 1;
+                    if !self.eat_punct("::") {
+                        // A trailing `as alias` belongs to this leaf; let
+                        // the `as` arm consume it with the full prefix.
+                        if self
+                            .peek(0)
+                            .is_some_and(|t| t.kind == TokKind::Ident && t.text == "as")
+                        {
+                            continue;
+                        }
+                        out.push(Item::Use {
+                            path: prefix.clone(),
+                            alias: None,
+                            line,
+                        });
+                        break;
+                    }
+                }
+                Some(t) if t.kind == TokKind::Punct && t.text == "{" => {
+                    self.pos += 1;
+                    self.depth += 1;
+                    while !self.at_punct("}") && self.peek(0).is_some() {
+                        let before = self.pos;
+                        self.parse_use_tree(prefix, out, line);
+                        if self.pos == before {
+                            self.pos += 1;
+                        }
+                        self.eat_punct(",");
+                    }
+                    self.depth -= 1;
+                    self.eat_punct("}");
+                    break;
+                }
+                Some(t) if t.kind == TokKind::Punct && t.text == "*" => {
+                    self.pos += 1;
+                    break; // glob imports resolve nothing
+                }
+                _ => break,
+            }
+        }
+        prefix.truncate(start_len);
+    }
+
+    fn parse_named_fields(&mut self, fields: &mut Vec<Field>) {
+        if !self.eat_punct("{") {
+            return;
+        }
+        while !self.at_punct("}") && self.peek(0).is_some() {
+            let before = self.pos;
+            self.parse_attrs();
+            if self.eat_ident("pub") && self.at_punct("(") {
+                self.skip_balanced("(", ")");
+            }
+            if let Some(t) = self.peek(0) {
+                if t.kind == TokKind::Ident && self.peek(1).is_some_and(|n| n.text == ":") {
+                    let (name, line) = (t.text.clone(), t.line);
+                    self.pos += 2;
+                    let ty = self.type_text();
+                    fields.push(Field { name, ty, line });
+                }
+            }
+            while !self.at_punct(",") && !self.at_punct("}") && self.peek(0).is_some() {
+                self.pos += 1;
+            }
+            self.eat_punct(",");
+            if self.pos == before {
+                self.pos += 1;
+            }
+        }
+        self.eat_punct("}");
+    }
+
+    fn parse_tuple_fields(&mut self, fields: &mut Vec<Field>) {
+        if !self.eat_punct("(") {
+            return;
+        }
+        let mut index = 0usize;
+        while !self.at_punct(")") && self.peek(0).is_some() {
+            let before = self.pos;
+            self.parse_attrs();
+            if self.eat_ident("pub") && self.at_punct("(") {
+                self.skip_balanced("(", ")");
+            }
+            let line = self.peek(0).map_or(0, |t| t.line);
+            let ty = self.type_text();
+            if !ty.is_empty() {
+                fields.push(Field {
+                    name: index.to_string(),
+                    ty,
+                    line,
+                });
+                index += 1;
+            }
+            while !self.at_punct(",") && !self.at_punct(")") && self.peek(0).is_some() {
+                self.pos += 1;
+            }
+            self.eat_punct(",");
+            if self.pos == before {
+                self.pos += 1;
+            }
+        }
+        self.eat_punct(")");
+    }
+
+    /// Parses a function from just past the `fn` keyword.
+    fn parse_fn(&mut self, attrs: &Attrs, self_ty: Option<&str>) -> Option<FnDef> {
+        let name_tok = self.peek(0)?;
+        if name_tok.kind != TokKind::Ident {
+            return None;
+        }
+        let (name, line, col) = (name_tok.text.clone(), name_tok.line, name_tok.col);
+        self.pos += 1;
+        self.skip_angles();
+        let mut params = Vec::new();
+        if self.eat_punct("(") {
+            while !self.at_punct(")") && self.peek(0).is_some() {
+                let before = self.pos;
+                self.parse_attrs();
+                // Pattern: everything up to the top-level `:`; its first
+                // plain identifier is the binding name.
+                let mut pat_name: Option<String> = None;
+                let mut is_self = false;
+                let mut depth = 0i64;
+                while let Some(t) = self.peek(0) {
+                    if t.kind == TokKind::Punct {
+                        match t.text.as_str() {
+                            "(" | "[" | "<" => depth += 1,
+                            ")" if depth == 0 => break,
+                            ")" | "]" | ">" => depth -= 1,
+                            ":" if depth == 0 => break,
+                            "," if depth == 0 => break,
+                            _ => {}
+                        }
+                    }
+                    if t.kind == TokKind::Ident {
+                        if t.text == "self" {
+                            is_self = true;
+                        } else if pat_name.is_none() && !matches!(t.text.as_str(), "mut" | "ref") {
+                            pat_name = Some(t.text.clone());
+                        }
+                    }
+                    self.pos += 1;
+                }
+                let ty = if self.eat_punct(":") {
+                    self.type_text()
+                } else {
+                    String::new()
+                };
+                if is_self {
+                    params.push(("self".to_string(), "Self".to_string()));
+                } else if let Some(n) = pat_name {
+                    params.push((n, ty));
+                }
+                while !self.at_punct(",") && !self.at_punct(")") && self.peek(0).is_some() {
+                    self.pos += 1;
+                }
+                self.eat_punct(",");
+                if self.pos == before {
+                    self.pos += 1;
+                }
+            }
+            self.eat_punct(")");
+        }
+        let ret = if self.eat_punct("->") {
+            Some(self.type_text())
+        } else {
+            None
+        };
+        if self.at_ident("where") {
+            while self.peek(0).is_some() && !self.at_punct("{") && !self.at_punct(";") {
+                self.pos += 1;
+            }
+        }
+        let body = if self.at_punct("{") {
+            Some(self.parse_block())
+        } else {
+            self.eat_punct(";");
+            None
+        };
+        Some(FnDef {
+            name,
+            self_ty: self_ty.map(str::to_string),
+            params,
+            ret,
+            body,
+            line,
+            col,
+            is_test: attrs.is_test || attrs.cfg_test,
+        })
+    }
+
+    /// Parses a `{ … }` block. The opening brace must be current.
+    fn parse_block(&mut self) -> Block {
+        let mut block = Block::default();
+        if !self.eat_punct("{") {
+            return block;
+        }
+        if self.depth >= MAX_DEPTH {
+            self.skip_block_rest();
+            return block;
+        }
+        self.depth += 1;
+        while !self.at_punct("}") && self.peek(0).is_some() {
+            let before = self.pos;
+            self.parse_stmt(&mut block.stmts);
+            if self.pos == before {
+                self.pos += 1;
+            }
+        }
+        self.depth -= 1;
+        self.eat_punct("}");
+        block
+    }
+
+    /// Consumes the remainder of an already-open block (depth overflow
+    /// path).
+    fn skip_block_rest(&mut self) {
+        let mut depth = 1i64;
+        while let Some(t) = self.bump() {
+            if t.kind == TokKind::Punct {
+                if t.text == "{" {
+                    depth += 1;
+                } else if t.text == "}" {
+                    depth -= 1;
+                    if depth == 0 {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_stmt(&mut self, stmts: &mut Vec<Stmt>) {
+        if self.eat_punct(";") {
+            return;
+        }
+        // Attribute on a statement or nested item.
+        let checkpoint = self.pos;
+        if self.at_punct("#") {
+            let mut items = Vec::new();
+            self.parse_item_into(&mut items, None);
+            for it in items {
+                stmts.push(Stmt::Item(Box::new(it)));
+            }
+            if self.pos != checkpoint {
+                return;
+            }
+        }
+        if let Some(t) = self.peek(0) {
+            if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    "let" => {
+                        self.parse_let(stmts, t.line);
+                        return;
+                    }
+                    "fn" | "struct" | "enum" | "impl" | "mod" | "use" | "trait" | "static"
+                    | "type" | "union" | "macro_rules" => {
+                        let mut items = Vec::new();
+                        self.parse_item_into(&mut items, None);
+                        for it in items {
+                            stmts.push(Stmt::Item(Box::new(it)));
+                        }
+                        return;
+                    }
+                    "const"
+                        if self
+                            .peek(1)
+                            .is_some_and(|n| n.kind == TokKind::Ident && n.text != "fn") =>
+                    {
+                        let mut items = Vec::new();
+                        self.parse_item_into(&mut items, None);
+                        for it in items {
+                            stmts.push(Stmt::Item(Box::new(it)));
+                        }
+                        return;
+                    }
+                    "pub" => {
+                        let mut items = Vec::new();
+                        self.parse_item_into(&mut items, None);
+                        for it in items {
+                            stmts.push(Stmt::Item(Box::new(it)));
+                        }
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let e = self.parse_expr(false);
+        stmts.push(Stmt::Expr(e));
+        self.eat_punct(";");
+    }
+
+    fn parse_let(&mut self, stmts: &mut Vec<Stmt>, line: u32) {
+        self.pos += 1; // `let`
+        let pats = self.parse_pattern_names(&["=", ":", ";"]);
+        let ty = if self.eat_punct(":") {
+            Some(self.type_text())
+        } else {
+            None
+        };
+        let init = if self.eat_punct("=") {
+            Some(self.parse_expr(false))
+        } else {
+            None
+        };
+        // let-else diverging block.
+        if self.at_ident("else") {
+            self.pos += 1;
+            let blk = self.parse_block();
+            stmts.push(Stmt::Let {
+                pats,
+                ty,
+                init,
+                line,
+            });
+            stmts.push(Stmt::Expr(Expr::BlockExpr(blk)));
+            self.eat_punct(";");
+            return;
+        }
+        self.eat_punct(";");
+        stmts.push(Stmt::Let {
+            pats,
+            ty,
+            init,
+            line,
+        });
+    }
+
+    /// Collects the bound names of a pattern, consuming tokens until one
+    /// of `stops` at bracket depth zero. Constructor paths (`Some`,
+    /// `Ok`, `cache::Entry`) are excluded by the lowercase heuristic and
+    /// by skipping path segments.
+    fn parse_pattern_names(&mut self, stops: &[&str]) -> Vec<String> {
+        let mut names = Vec::new();
+        let mut depth = 0i64;
+        while let Some(t) = self.peek(0) {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" | "<" => depth += 1,
+                    ")" | "]" | "}" | ">" => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    s if depth == 0 && stops.contains(&s) => break,
+                    _ => {}
+                }
+            }
+            if t.kind == TokKind::Ident {
+                if depth == 0 && stops.contains(&t.text.as_str()) {
+                    break;
+                }
+                let first_upper = t.text.chars().next().is_some_and(char::is_uppercase);
+                let is_path_seg = self
+                    .peek(1)
+                    .is_some_and(|n| n.kind == TokKind::Punct && n.text == "::");
+                let keyword = matches!(t.text.as_str(), "mut" | "ref" | "box" | "in" | "_");
+                if !first_upper && !is_path_seg && !keyword {
+                    names.push(t.text.clone());
+                }
+            }
+            self.pos += 1;
+        }
+        names
+    }
+
+    /// Parses one expression. `no_struct` forbids `Path { … }` struct
+    /// literals (condition position, where `{` opens the body instead).
+    fn parse_expr(&mut self, no_struct: bool) -> Expr {
+        if self.depth >= MAX_DEPTH {
+            self.pos += 1;
+            return Expr::Opaque;
+        }
+        self.depth += 1;
+        let e = self.parse_binary(no_struct);
+        self.depth -= 1;
+        e
+    }
+
+    fn parse_binary(&mut self, no_struct: bool) -> Expr {
+        let mut lhs = self.parse_prefix(no_struct);
+        while let Some(t) = self.peek(0) {
+            if t.kind != TokKind::Punct {
+                break;
+            }
+            match t.text.as_str() {
+                "=" => {
+                    let line = t.line;
+                    self.pos += 1;
+                    let value = self.parse_expr(no_struct);
+                    lhs = Expr::Assign {
+                        place: Box::new(lhs),
+                        value: Box::new(value),
+                        line,
+                    };
+                }
+                "==" | "!=" | "<=" | ">=" | "&&" | "||" | "<" | ">" | "+" | "-" | "*" | "/"
+                | "%" | "^" | "&" | "|" => {
+                    let op = t.text.clone();
+                    self.pos += 1;
+                    // Compound assignment: `+=`, `-=`, `&=`, …
+                    if self.at_punct("=") && !matches!(op.as_str(), "==" | "!=" | "<=" | ">=") {
+                        let line = t.line;
+                        self.pos += 1;
+                        let value = self.parse_expr(no_struct);
+                        lhs = Expr::Assign {
+                            place: Box::new(lhs),
+                            value: Box::new(value),
+                            line,
+                        };
+                        continue;
+                    }
+                    let rhs = self.parse_prefix(no_struct);
+                    lhs = Expr::Binary {
+                        op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    };
+                }
+                "." if self.peek(1).is_some_and(|n| n.text == ".") => {
+                    // Range `a..b` / `a..=b` / `a..`.
+                    self.pos += 2;
+                    self.eat_punct("=");
+                    if self.at_expr_start() {
+                        let rhs = self.parse_prefix(no_struct);
+                        lhs = Expr::Binary {
+                            op: "..".to_string(),
+                            lhs: Box::new(lhs),
+                            rhs: Box::new(rhs),
+                        };
+                    }
+                }
+                _ => break,
+            }
+        }
+        lhs
+    }
+
+    /// Whether the current token can start an expression (used for open
+    /// ranges).
+    fn at_expr_start(&self) -> bool {
+        match self.peek(0) {
+            Some(t) => match t.kind {
+                TokKind::Ident => !matches!(t.text.as_str(), "else" | "in" | "where"),
+                TokKind::Int | TokKind::Float | TokKind::Str | TokKind::Char => true,
+                TokKind::Punct => {
+                    matches!(t.text.as_str(), "(" | "[" | "{" | "&" | "*" | "-" | "!")
+                }
+                _ => false,
+            },
+            None => false,
+        }
+    }
+
+    fn parse_prefix(&mut self, no_struct: bool) -> Expr {
+        let Some(t) = self.peek(0) else {
+            return Expr::Opaque;
+        };
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "&" | "&&" | "*" | "-" | "!" => {
+                    self.pos += 1;
+                    self.eat_ident("mut");
+                    if self.depth >= MAX_DEPTH {
+                        return Expr::Opaque;
+                    }
+                    self.depth += 1;
+                    let inner = self.parse_prefix(no_struct);
+                    self.depth -= 1;
+                    return Expr::Unary(Box::new(self.parse_postfix(inner, no_struct)));
+                }
+                "." if self.peek(1).is_some_and(|n| n.text == ".") => {
+                    // Prefix range `..n`.
+                    self.pos += 2;
+                    self.eat_punct("=");
+                    if self.at_expr_start() {
+                        let rhs = self.parse_prefix(no_struct);
+                        return Expr::Unary(Box::new(rhs));
+                    }
+                    return Expr::Opaque;
+                }
+                _ => {}
+            }
+        }
+        let primary = self.parse_primary(no_struct);
+        self.parse_postfix(primary, no_struct)
+    }
+
+    fn parse_primary(&mut self, no_struct: bool) -> Expr {
+        let Some(t) = self.peek(0) else {
+            return Expr::Opaque;
+        };
+        let (line, col) = (t.line, t.col);
+        match t.kind {
+            TokKind::Int | TokKind::Float | TokKind::Str | TokKind::Char => {
+                self.pos += 1;
+                Expr::Lit
+            }
+            TokKind::Lifetime => {
+                // Loop label `'a: loop { … }`.
+                self.pos += 1;
+                self.eat_punct(":");
+                self.parse_primary(no_struct)
+            }
+            TokKind::Punct => match t.text.as_str() {
+                "(" => {
+                    self.pos += 1;
+                    let items = self.parse_comma_exprs(")");
+                    self.eat_punct(")");
+                    match items.len() {
+                        1 => items.into_iter().next().unwrap_or(Expr::Opaque),
+                        _ => Expr::Tuple(items),
+                    }
+                }
+                "[" => {
+                    self.pos += 1;
+                    let items = self.parse_comma_exprs("]");
+                    self.eat_punct("]");
+                    Expr::Tuple(items)
+                }
+                "{" => Expr::BlockExpr(self.parse_block()),
+                "|" => self.parse_closure(),
+                "||" => {
+                    // Zero-parameter closure: `|| body`.
+                    self.pos += 1;
+                    let body = self.parse_expr(false);
+                    Expr::Closure {
+                        pats: Vec::new(),
+                        body: Box::new(body),
+                    }
+                }
+                _ => {
+                    self.pos += 1;
+                    Expr::Opaque
+                }
+            },
+            TokKind::Ident => match t.text.as_str() {
+                "if" => {
+                    self.pos += 1;
+                    // `if let pat = scrutinee`: keep the scrutinee as the
+                    // condition (bindings are lost, flow is preserved).
+                    if self.eat_ident("let") {
+                        self.parse_pattern_names(&["="]);
+                        self.eat_punct("=");
+                    }
+                    let cond = self.parse_expr(true);
+                    let then = self.parse_block();
+                    let els = if self.eat_ident("else") {
+                        Some(Box::new(if self.at_ident("if") {
+                            self.parse_expr(no_struct)
+                        } else {
+                            Expr::BlockExpr(self.parse_block())
+                        }))
+                    } else {
+                        None
+                    };
+                    Expr::If {
+                        cond: Box::new(cond),
+                        then,
+                        els,
+                    }
+                }
+                "while" => {
+                    self.pos += 1;
+                    if self.eat_ident("let") {
+                        self.parse_pattern_names(&["="]);
+                        self.eat_punct("=");
+                    }
+                    let cond = self.parse_expr(true);
+                    let body = self.parse_block();
+                    Expr::While {
+                        cond: Box::new(cond),
+                        body,
+                    }
+                }
+                "loop" => {
+                    self.pos += 1;
+                    Expr::Loop {
+                        body: self.parse_block(),
+                    }
+                }
+                "for" => {
+                    self.pos += 1;
+                    let pats = self.parse_pattern_names(&["in"]);
+                    self.eat_ident("in");
+                    let iter = self.parse_expr(true);
+                    let body = self.parse_block();
+                    Expr::For {
+                        pats,
+                        iter: Box::new(iter),
+                        body,
+                        line,
+                        col,
+                    }
+                }
+                "match" => {
+                    self.pos += 1;
+                    let scrutinee = self.parse_expr(true);
+                    let mut arms = Vec::new();
+                    if self.eat_punct("{") {
+                        self.depth += 1;
+                        while !self.at_punct("}") && self.peek(0).is_some() {
+                            let before = self.pos;
+                            let pats = self.parse_pattern_names(&["=>"]);
+                            // Arm guard: `pat if guard => …` leaves `if`
+                            // unconsumed by the pattern scan.
+                            if self.at_ident("if") {
+                                self.pos += 1;
+                                let _guard = self.parse_expr(true);
+                            }
+                            if self.eat_punct("=>") {
+                                let body = self.parse_expr(false);
+                                arms.push((pats, body));
+                            }
+                            self.eat_punct(",");
+                            if self.pos == before {
+                                self.pos += 1;
+                            }
+                        }
+                        self.depth -= 1;
+                        self.eat_punct("}");
+                    }
+                    Expr::Match {
+                        scrutinee: Box::new(scrutinee),
+                        arms,
+                    }
+                }
+                "return" => {
+                    self.pos += 1;
+                    let value = if self.at_expr_start() {
+                        Some(Box::new(self.parse_expr(no_struct)))
+                    } else {
+                        None
+                    };
+                    Expr::Return { value, line }
+                }
+                "break" | "continue" => {
+                    self.pos += 1;
+                    if self.peek(0).is_some_and(|n| n.kind == TokKind::Lifetime) {
+                        self.pos += 1;
+                    }
+                    if self.at_expr_start() {
+                        Expr::Unary(Box::new(self.parse_expr(no_struct)))
+                    } else {
+                        Expr::Opaque
+                    }
+                }
+                "unsafe" => {
+                    self.pos += 1;
+                    Expr::BlockExpr(self.parse_block())
+                }
+                "move" => {
+                    self.pos += 1;
+                    if self.at_punct("|") {
+                        self.parse_closure()
+                    } else if self.at_punct("||") {
+                        self.pos += 1;
+                        let body = self.parse_expr(false);
+                        Expr::Closure {
+                            pats: Vec::new(),
+                            body: Box::new(body),
+                        }
+                    } else {
+                        Expr::Opaque
+                    }
+                }
+                "true" | "false" => {
+                    self.pos += 1;
+                    Expr::Lit
+                }
+                _ => self.parse_path_expr(no_struct),
+            },
+            _ => {
+                self.pos += 1;
+                Expr::Opaque
+            }
+        }
+    }
+
+    fn parse_closure(&mut self) -> Expr {
+        // At `|`: parameters up to the closing `|`, then the body.
+        self.pos += 1;
+        let pats = self.parse_pattern_names(&["|"]);
+        self.eat_punct("|");
+        // Optional return type `-> T`.
+        if self.eat_punct("->") {
+            self.type_text();
+        }
+        let body = self.parse_expr(false);
+        Expr::Closure {
+            pats,
+            body: Box::new(body),
+        }
+    }
+
+    /// A path expression, possibly a macro call or struct literal.
+    fn parse_path_expr(&mut self, no_struct: bool) -> Expr {
+        let Some(first) = self.peek(0) else {
+            return Expr::Opaque;
+        };
+        let (line, col) = (first.line, first.col);
+        let mut segs = vec![first.text.clone()];
+        self.pos += 1;
+        loop {
+            if self.at_punct("::") {
+                if self.peek(1).is_some_and(|n| n.text == "<") {
+                    // Turbofish: `::<T>` — skip the generics.
+                    self.pos += 1;
+                    self.skip_angles();
+                    continue;
+                }
+                if self.peek(1).is_some_and(|n| n.kind == TokKind::Ident) {
+                    segs.push(self.toks[self.pos + 1].text.clone());
+                    self.pos += 2;
+                    continue;
+                }
+                self.pos += 1;
+                continue;
+            }
+            break;
+        }
+        // Macro invocation.
+        if self.at_punct("!")
+            && self
+                .peek(1)
+                .is_some_and(|n| matches!(n.text.as_str(), "(" | "[" | "{"))
+        {
+            self.pos += 1;
+            let (open, close) = match self.peek(0).map(|t| t.text.as_str()) {
+                Some("[") => ("[", "]"),
+                Some("{") => ("{", "}"),
+                _ => ("(", ")"),
+            };
+            self.pos += 1;
+            let args = self.parse_macro_args(open, close);
+            let name = segs.last().cloned().unwrap_or_default();
+            return Expr::MacroCall {
+                name,
+                args,
+                line,
+                col,
+            };
+        }
+        // Struct literal.
+        let head_upper = segs
+            .last()
+            .and_then(|s| s.chars().next())
+            .is_some_and(char::is_uppercase);
+        if !no_struct && self.at_punct("{") && (head_upper || segs.len() > 1) {
+            self.pos += 1;
+            let mut fields = Vec::new();
+            self.depth += 1;
+            while !self.at_punct("}") && self.peek(0).is_some() {
+                let before = self.pos;
+                if self.at_punct(".") && self.peek(1).is_some_and(|n| n.text == ".") {
+                    // Spread `..base`.
+                    self.pos += 2;
+                    let base = self.parse_expr(false);
+                    fields.push(("..".to_string(), base));
+                } else if let Some(t) = self.peek(0) {
+                    if t.kind == TokKind::Ident {
+                        let fname = t.text.clone();
+                        self.pos += 1;
+                        let value = if self.eat_punct(":") {
+                            self.parse_expr(false)
+                        } else {
+                            Expr::Path {
+                                segs: vec![fname.clone()],
+                                line: t.line,
+                                col: t.col,
+                            }
+                        };
+                        fields.push((fname, value));
+                    }
+                }
+                while !self.at_punct(",") && !self.at_punct("}") && self.peek(0).is_some() {
+                    self.pos += 1;
+                }
+                self.eat_punct(",");
+                if self.pos == before {
+                    self.pos += 1;
+                }
+            }
+            self.depth -= 1;
+            self.eat_punct("}");
+            return Expr::StructLit { path: segs, fields };
+        }
+        Expr::Path { segs, line, col }
+    }
+
+    /// Best-effort comma-separated expressions inside an already-open
+    /// macro delimiter; resynchronizes at top-level commas so arbitrary
+    /// token soup (matcher fragments, format strings) cannot derail it.
+    fn parse_macro_args(&mut self, open: &str, close: &str) -> Vec<Expr> {
+        let mut args = Vec::new();
+        let mut guard = self.toks.len().saturating_sub(self.pos) + 1;
+        while self.peek(0).is_some() && !self.at_punct(close) {
+            guard = guard.saturating_sub(1);
+            if guard == 0 {
+                break;
+            }
+            let before = self.pos;
+            let e = self.parse_expr(false);
+            args.push(e);
+            // Skip whatever the expression parser did not consume, up to
+            // the next top-level comma or the closing delimiter.
+            let mut depth = 0i64;
+            while let Some(t) = self.peek(0) {
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        s if s == open || s == "(" || s == "[" || s == "{" => depth += 1,
+                        s if s == close && depth == 0 => break,
+                        ")" | "]" | "}" => {
+                            if depth == 0 {
+                                break;
+                            }
+                            depth -= 1;
+                        }
+                        "," if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                self.pos += 1;
+            }
+            self.eat_punct(",");
+            if self.pos == before {
+                self.pos += 1;
+            }
+        }
+        self.eat_punct(close);
+        args
+    }
+
+    fn parse_postfix(&mut self, mut e: Expr, no_struct: bool) -> Expr {
+        while let Some(t) = self.peek(0) {
+            if t.kind == TokKind::Ident && t.text == "as" {
+                let (line, col) = (t.line, t.col);
+                self.pos += 1;
+                let ty = self.type_text();
+                e = Expr::Cast {
+                    expr: Box::new(e),
+                    ty,
+                    line,
+                    col,
+                };
+                continue;
+            }
+            if t.kind != TokKind::Punct {
+                break;
+            }
+            match t.text.as_str() {
+                "?" => {
+                    self.pos += 1;
+                }
+                "(" => {
+                    let (line, col) = match e.pos() {
+                        Some(p) => p,
+                        None => (t.line, t.col),
+                    };
+                    self.pos += 1;
+                    let args = self.parse_comma_exprs(")");
+                    self.eat_punct(")");
+                    e = Expr::Call {
+                        callee: Box::new(e),
+                        args,
+                        line,
+                        col,
+                    };
+                }
+                "[" => {
+                    self.pos += 1;
+                    let idx = self.parse_expr(false);
+                    // Consume anything an opaque index left behind.
+                    let mut depth = 0i64;
+                    while let Some(n) = self.peek(0) {
+                        if n.kind == TokKind::Punct {
+                            match n.text.as_str() {
+                                "[" | "(" | "{" => depth += 1,
+                                "]" if depth == 0 => break,
+                                "]" | ")" | "}" => depth -= 1,
+                                _ => {}
+                            }
+                        }
+                        self.pos += 1;
+                    }
+                    self.eat_punct("]");
+                    e = Expr::Index {
+                        base: Box::new(e),
+                        index: Box::new(idx),
+                    };
+                }
+                "." => {
+                    let Some(n) = self.peek(1) else {
+                        self.pos += 1;
+                        break;
+                    };
+                    if n.kind == TokKind::Ident {
+                        if n.text == "await" {
+                            self.pos += 2;
+                            continue;
+                        }
+                        let (mut name, line, col) = (n.text.clone(), n.line, n.col);
+                        self.pos += 2;
+                        // Method turbofish: keep the text — rules inspect
+                        // collect targets (`collect::<BTreeMap<_,_>>`).
+                        if self.at_punct("::") && self.peek(1).is_some_and(|x| x.text == "<") {
+                            self.pos += 1;
+                            let start = self.pos;
+                            self.skip_angles();
+                            name.push_str("::");
+                            for tok in &self.toks[start..self.pos] {
+                                name.push_str(&tok.text);
+                            }
+                        }
+                        if self.at_punct("(") {
+                            self.pos += 1;
+                            let args = self.parse_comma_exprs(")");
+                            self.eat_punct(")");
+                            e = Expr::MethodCall {
+                                recv: Box::new(e),
+                                method: name,
+                                args,
+                                line,
+                                col,
+                            };
+                        } else {
+                            e = Expr::FieldAccess {
+                                base: Box::new(e),
+                                name,
+                                line,
+                                col,
+                            };
+                        }
+                    } else if n.kind == TokKind::Int {
+                        let (name, line, col) = (n.text.clone(), n.line, n.col);
+                        self.pos += 2;
+                        e = Expr::FieldAccess {
+                            base: Box::new(e),
+                            name,
+                            line,
+                            col,
+                        };
+                    } else if n.kind == TokKind::Punct && n.text == "." {
+                        break; // range: handled by parse_binary
+                    } else {
+                        self.pos += 1;
+                        break;
+                    }
+                }
+                _ => break,
+            }
+            let _ = no_struct;
+        }
+        e
+    }
+
+    /// Comma-separated expressions up to (not past) `close`, with
+    /// per-element resynchronization.
+    fn parse_comma_exprs(&mut self, close: &str) -> Vec<Expr> {
+        let mut out = Vec::new();
+        let mut guard = self.toks.len().saturating_sub(self.pos) + 1;
+        while self.peek(0).is_some() && !self.at_punct(close) {
+            guard = guard.saturating_sub(1);
+            if guard == 0 {
+                break;
+            }
+            let before = self.pos;
+            out.push(self.parse_expr(false));
+            let mut depth = 0i64;
+            while let Some(t) = self.peek(0) {
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        s if s == close && depth == 0 => break,
+                        ")" | "]" | "}" => {
+                            if depth == 0 {
+                                break;
+                            }
+                            depth -= 1;
+                        }
+                        "," | ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                self.pos += 1;
+            }
+            if self.at_punct(";") {
+                // Array repeat `[expr; len]`.
+                self.pos += 1;
+                continue;
+            }
+            self.eat_punct(",");
+            if self.pos == before {
+                self.pos += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> File {
+        let toks = lex(src);
+        let code: Vec<Tok> = toks
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .collect();
+        parse_file(&code)
+    }
+
+    fn fns(file: &File) -> Vec<&FnDef> {
+        let mut out = Vec::new();
+        ast::for_each_fn(&file.items, &mut |f| out.push(f));
+        out
+    }
+
+    #[test]
+    fn parses_items_and_functions() {
+        let file = parse(
+            "use std::collections::{HashMap, hash_map::DefaultHasher};\n\
+             pub struct S { pub map: HashMap<u32, String>, n: usize }\n\
+             impl S {\n    pub fn get(&self, k: u32) -> Option<&String> { self.map.get(&k) }\n}\n\
+             fn free(x: usize) -> u32 { x as u32 }\n",
+        );
+        let uses: Vec<String> = file
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Use { path, .. } => Some(path.join("::")),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            uses,
+            [
+                "std::collections::HashMap",
+                "std::collections::hash_map::DefaultHasher"
+            ]
+        );
+        let structs: Vec<(&str, usize)> = file
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Struct { name, fields, .. } => Some((name.as_str(), fields.len())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(structs, [("S", 2)]);
+        let names: Vec<&str> = fns(&file).iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["get", "free"]);
+        let get = fns(&file)[0];
+        assert_eq!(get.self_ty.as_deref(), Some("S"));
+        assert_eq!(get.params[0].0, "self");
+    }
+
+    #[test]
+    fn field_types_are_normalized() {
+        let file = parse("struct T { m: Mutex < HashMap < K , V > > }\n");
+        match &file.items[0] {
+            Item::Struct { fields, .. } => {
+                assert_eq!(fields[0].ty, "Mutex<HashMap<K,V>>");
+            }
+            other => panic!("expected struct, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_loop_and_method_chain() {
+        let file = parse(
+            "fn f(m: &HashMap<u32, u32>) -> Vec<u32> {\n    let mut out = Vec::new();\n    \
+             for (k, v) in m.iter() { out.push(*v); }\n    out\n}\n",
+        );
+        let def = fns(&file)[0];
+        let body = def.body.as_ref().expect("body");
+        let mut saw_for = false;
+        ast::walk_block(body, &mut |e| {
+            if let Expr::For { pats, iter, .. } = e {
+                saw_for = true;
+                assert_eq!(pats, &["k", "v"]);
+                assert!(matches!(**iter, Expr::MethodCall { ref method, .. } if method == "iter"));
+            }
+        });
+        assert!(saw_for);
+    }
+
+    #[test]
+    fn casts_and_orderings() {
+        let file = parse(
+            "fn g(n: usize, x: f64) {\n    let a = n as u32;\n    \
+             self.flag.store(true, Ordering::Relaxed);\n    let b = x as f32;\n}\n",
+        );
+        let body = fns(&file)[0].body.as_ref().expect("body");
+        let mut casts = Vec::new();
+        let mut stores = 0;
+        ast::walk_block(body, &mut |e| match e {
+            Expr::Cast { ty, .. } => casts.push(ty.clone()),
+            Expr::MethodCall { method, args, .. } if method == "store" => {
+                stores += 1;
+                assert!(args.iter().any(|a| matches!(
+                    a,
+                    Expr::Path { segs, .. } if segs.last().is_some_and(|s| s == "Relaxed")
+                )));
+            }
+            _ => {}
+        });
+        assert_eq!(casts, ["u32", "f32"]);
+        assert_eq!(stores, 1);
+    }
+
+    #[test]
+    fn struct_literal_vs_condition_block() {
+        let file =
+            parse("fn h(c: bool) -> P {\n    if c { return P { x: 1 }; }\n    P { x: 2 }\n}\n");
+        let body = fns(&file)[0].body.as_ref().expect("body");
+        let mut lits = 0;
+        ast::walk_block(body, &mut |e| {
+            if matches!(e, Expr::StructLit { .. }) {
+                lits += 1;
+            }
+        });
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn cfg_test_functions_are_marked() {
+        let file = parse(
+            "#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn live() {}\n\
+             #[test]\nfn unit() {}\n",
+        );
+        // for_each_fn skips cfg(test) modules entirely.
+        let names: Vec<(&str, bool)> = fns(&file)
+            .iter()
+            .map(|f| (f.name.as_str(), f.is_test))
+            .collect();
+        assert_eq!(names, [("live", false), ("unit", true)]);
+    }
+
+    #[test]
+    fn degenerate_input_terminates() {
+        for src in [
+            "((((((((((((((((((((((((((((",
+            "fn f( { ] } ) impl impl impl",
+            "match { => , => } else",
+            "}}}}}}}",
+            "fn f() { a = = = ; }",
+            "let x",
+            "use ;",
+            "macro_rules! m { ($x:expr) => { $x } }",
+        ] {
+            let _ = parse(src);
+        }
+    }
+
+    #[test]
+    fn closures_and_macros() {
+        let file = parse(
+            "fn f(v: Vec<u32>) -> String {\n    let s: u32 = v.iter().map(|x| x + 1).sum();\n    \
+             format!(\"{}\", s)\n}\n",
+        );
+        let body = fns(&file)[0].body.as_ref().expect("body");
+        let mut macros = Vec::new();
+        let mut closures = 0;
+        ast::walk_block(body, &mut |e| match e {
+            Expr::MacroCall { name, .. } => macros.push(name.clone()),
+            Expr::Closure { .. } => closures += 1,
+            _ => {}
+        });
+        assert_eq!(macros, ["format"]);
+        assert_eq!(closures, 1);
+    }
+}

@@ -147,6 +147,86 @@ pub const RULES: &[Rule] = &[
         ]),
         counter: "lint.findings.L007",
     },
+    Rule {
+        id: "L008",
+        title: "unordered `HashMap`/`HashSet` in determinism-contract code",
+        rationale: "Iteration order of hashed collections depends on hasher state, \
+                    so any map iteration that reaches returned values, telemetry, \
+                    or serialized output breaks the bit-identical contract. The \
+                    rule flags both declarations (imports, fields, constructors) \
+                    and iterations whose values the dataflow pass tracks into a \
+                    sink; explicit sorting or `.collect::<BTreeMap<_,_>>()` \
+                    sanitizes the flow.",
+        kinds: &[Lib, Bin],
+        crates: AllExcept(&["bench"]),
+        counter: "lint.findings.L008",
+    },
+    Rule {
+        id: "L009",
+        title: "`Ordering::Relaxed` in an atomic publication/handoff pattern",
+        rationale: "A Relaxed store that publishes earlier non-atomic writes, or a \
+                    Relaxed load that gates data reads against a Release store, \
+                    permits the CPU and compiler to reorder the data access past \
+                    the flag — torn reads under contention. Standalone counters \
+                    (no paired gating load) and RMW operations stay Relaxed; \
+                    fence-based protocols (seqlock readers) are recognized via \
+                    `fence(Acquire)`/`fence(Release)`.",
+        kinds: &[Lib, Bin],
+        crates: AllExcept(&[]),
+        counter: "lint.findings.L009",
+    },
+    Rule {
+        id: "L010",
+        title: "lock-order cycle across `Mutex`/`RwLock` acquisition chains",
+        rationale: "Two functions acquiring the same pair of locks in opposite \
+                    orders deadlock under concurrency the moment both chains run; \
+                    the lock graph composes per-function \"locks held at call\" \
+                    summaries through the intra-crate call graph, so indirect \
+                    A→call→B orderings are seen too. Fix by choosing one global \
+                    acquisition order.",
+        kinds: &[Lib, Bin],
+        crates: AllExcept(&[]),
+        counter: "lint.findings.L010",
+    },
+    Rule {
+        id: "L011",
+        title: "blocking call while holding a lock on a serve hot path",
+        rationale: "`thread::sleep`, channel `recv`, `join`, socket accept/connect, \
+                    or a second lock acquisition while a `Mutex`/`RwLock` guard is \
+                    live serializes every thread contending on that lock — at \
+                    100k+ rps a single blocked guard holder collapses tail \
+                    latency. Confined to `serve`, whose request path owns the \
+                    latency SLO.",
+        kinds: &[Lib],
+        crates: Only(&["serve"]),
+        counter: "lint.findings.L011",
+    },
+    Rule {
+        id: "L012",
+        title: "lossy numeric `as` cast on a solver path",
+        rationale: "Narrowing casts (`f64→f32`, `usize→u32`) silently lose \
+                    precision or truncate; solver-path numerics stay f64/usize \
+                    except in the sanctioned mixed-precision module \
+                    (`crates/linalg/src/iterative.rs`), where the f32 \
+                    preconditioner's error is certified by the iterative \
+                    refinement loop around it.",
+        kinds: &[Lib],
+        crates: Only(&["linalg", "optim", "thermal", "core", "power"]),
+        counter: "lint.findings.L012",
+    },
+    Rule {
+        id: "L013",
+        title: "heap allocation in a function reachable from a `hot` marker",
+        rationale: "Functions annotated `// oftec-lint: hot` (and everything they \
+                    call, via the intra-crate call graph) run per request or per \
+                    telemetry record; `Vec::new`/`format!`/`Box::new`/`.clone()` \
+                    there turns a lock-free fast path into an allocator \
+                    rendezvous. Preallocate in the constructor or use fixed \
+                    buffers.",
+        kinds: &[Lib, Bin],
+        crates: AllExcept(&[]),
+        counter: "lint.findings.L013",
+    },
 ];
 
 /// Looks up a rule by id.

@@ -1,0 +1,141 @@
+//! SARIF 2.1.0 rendering of a lint run, for editor and code-scanning
+//! integrations.
+//!
+//! The document carries the full rule table (`tool.driver.rules`) and one
+//! `result` per **active** finding — suppressed and baselined findings are
+//! deliberately absent, matching the gate's view. Severity mirrors the
+//! deny set: denied rules render as `error`, the rest as `warning`.
+//! Output is hand-rolled JSON (the workspace is std-only) and fully
+//! deterministic: findings arrive pre-sorted from the run.
+
+use crate::engine::Status;
+use crate::json_escape;
+use crate::rules::RULES;
+use crate::{DenySet, RunReport};
+
+const SCHEMA: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+/// Renders the report as a single-run SARIF 2.1.0 document.
+pub fn render(report: &RunReport, deny: &DenySet) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"$schema\": \"{SCHEMA}\",");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"oftec-lint\",\n");
+    let _ = writeln!(
+        out,
+        "          \"version\": \"{}\",",
+        env!("CARGO_PKG_VERSION")
+    );
+    out.push_str("          \"informationUri\": \"https://example.invalid/oftec-repro\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, r) in RULES.iter().enumerate() {
+        let comma = if i + 1 < RULES.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "            {{\"id\": \"{}\", \"name\": \"{}\", \
+             \"shortDescription\": {{\"text\": \"{}\"}}, \
+             \"fullDescription\": {{\"text\": \"{}\"}}}}{comma}",
+            r.id,
+            r.id,
+            json_escape(r.title),
+            json_escape(r.rationale),
+        );
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    let active: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.status == Status::Active)
+        .collect();
+    for (i, f) in active.iter().enumerate() {
+        let comma = if i + 1 < active.len() { "," } else { "" };
+        let level = if deny.denies(f.rule) {
+            "error"
+        } else {
+            "warning"
+        };
+        let _ = writeln!(
+            out,
+            "        {{\"ruleId\": \"{}\", \"level\": \"{level}\", \
+             \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\
+             \"physicalLocation\": {{\
+             \"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}{comma}",
+            f.rule,
+            json_escape(&f.message),
+            json_escape(&f.file),
+            f.line,
+            f.col.max(1),
+        );
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+/// Counts `result` records in a SARIF document rendered by [`render`].
+/// Used by CI to cross-check the SARIF artifact against the JSONL
+/// report without a JSON parser.
+pub fn count_results(sarif: &str) -> usize {
+    sarif.matches("{\"ruleId\": \"").count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Finding;
+
+    fn report_with(findings: Vec<Finding>) -> RunReport {
+        RunReport {
+            findings,
+            stale: Vec::new(),
+            files_scanned: 1,
+            suppressed: 0,
+            baselined: 0,
+        }
+    }
+
+    fn finding(rule: &'static str, status: Status) -> Finding {
+        Finding {
+            rule,
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 3,
+            col: 7,
+            message: "msg with \"quotes\" and \\ backslash".to_string(),
+            status,
+        }
+    }
+
+    #[test]
+    fn renders_active_findings_only_with_deny_levels() {
+        let report = report_with(vec![
+            finding("L001", Status::Active),
+            finding("L005", Status::Suppressed),
+            finding("L008", Status::Baselined),
+        ]);
+        let doc = render(&report, &DenySet::Rules(vec!["L001".to_string()]));
+        assert_eq!(count_results(&doc), 1);
+        assert!(doc.contains("\"level\": \"error\""));
+        assert!(
+            !doc.contains("\"ruleId\": \"L005\""),
+            "suppressed findings are omitted"
+        );
+        let warn = render(&report, &DenySet::Rules(vec![]));
+        assert!(warn.contains("\"level\": \"warning\""));
+    }
+
+    #[test]
+    fn rule_table_and_schema_are_present() {
+        let doc = render(&report_with(Vec::new()), &DenySet::All);
+        assert!(doc.contains("sarif-schema-2.1.0.json"));
+        for r in RULES {
+            assert!(doc.contains(&format!("\"id\": \"{}\"", r.id)));
+        }
+        assert_eq!(count_results(&doc), 0);
+    }
+}

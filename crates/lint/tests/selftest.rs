@@ -1,9 +1,11 @@
 //! The tool is subject to its own gate: a full workspace run must report
 //! no active findings in `crates/lint/`, and with the checked-in baseline
-//! the whole workspace must be clean under `--deny all`.
+//! the whole workspace must be clean under `--deny all`. The run itself
+//! is under the determinism contract: byte-identical reports at any
+//! thread count, and warm-cache runs replay the cold run exactly.
 
-use oftec_lint::{run, DenySet, RunConfig, Status};
-use std::path::PathBuf;
+use oftec_lint::{render_jsonl, run, DenySet, RunConfig, Status};
+use std::path::{Path, PathBuf};
 
 fn workspace_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -12,15 +14,20 @@ fn workspace_root() -> PathBuf {
         .expect("workspace root exists")
 }
 
+fn config(root: &Path) -> RunConfig {
+    RunConfig {
+        root: root.to_path_buf(),
+        baseline: root.join("lint-baseline.toml"),
+        deny: DenySet::All,
+        threads: None,
+        cache: None,
+    }
+}
+
 #[test]
 fn lint_is_clean_on_its_own_source() {
     let root = workspace_root();
-    let config = RunConfig {
-        root: root.clone(),
-        baseline: root.join("lint-baseline.toml"),
-        deny: DenySet::All,
-    };
-    let report = run(&config).expect("workspace scan succeeds");
+    let report = run(&config(&root)).expect("workspace scan succeeds");
     assert!(report.files_scanned > 0, "scan walked no files");
 
     let own: Vec<String> = report
@@ -40,12 +47,7 @@ fn lint_is_clean_on_its_own_source() {
 fn workspace_is_clean_under_deny_all() {
     let root = workspace_root();
     let deny = DenySet::All;
-    let config = RunConfig {
-        root: root.clone(),
-        baseline: root.join("lint-baseline.toml"),
-        deny: deny.clone(),
-    };
-    let report = run(&config).expect("workspace scan succeeds");
+    let report = run(&config(&root)).expect("workspace scan succeeds");
     let denied: Vec<String> = report
         .denied(&deny)
         .map(|f| format!("{}:{}:{} {} {}", f.file, f.line, f.col, f.rule, f.message))
@@ -56,4 +58,29 @@ fn workspace_is_clean_under_deny_all() {
         denied.join("\n"),
         report.stale.len()
     );
+}
+
+#[test]
+fn report_is_byte_identical_across_thread_counts_and_cache_states() {
+    let root = workspace_root();
+    let tmp = std::env::temp_dir().join(format!("oftec-lint-selftest-{}", std::process::id()));
+    let cache_path = tmp.join("cache.v1");
+
+    let mut serial = config(&root);
+    serial.threads = Some(1);
+    let baseline_report = render_jsonl(&run(&serial).expect("serial run"));
+
+    let mut wide = config(&root);
+    wide.threads = Some(8);
+    wide.cache = Some(cache_path.clone());
+    let cold = render_jsonl(&run(&wide).expect("cold 8-thread run"));
+    assert_eq!(
+        baseline_report, cold,
+        "8-thread report diverges from the serial report"
+    );
+    assert!(cache_path.exists(), "cold run populated no cache");
+
+    let warm = render_jsonl(&run(&wide).expect("warm 8-thread run"));
+    assert_eq!(cold, warm, "warm-cache report diverges from the cold run");
+    let _ = std::fs::remove_dir_all(&tmp);
 }

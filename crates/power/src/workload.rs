@@ -20,7 +20,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// The eight MiBench benchmarks of the paper's Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum Benchmark {
     /// `basicmath` — mixed integer/floating-point math (cool benchmark).
     Basicmath,

@@ -24,7 +24,7 @@
 use crate::protocol::{SolveKind, SolveSpec};
 use oftec_power::Benchmark;
 use oftec_telemetry::Counter;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
@@ -75,7 +75,7 @@ fn quantize(v: f64, grid: f64) -> i64 {
 }
 
 /// A fully quantized lookup key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CacheKey {
     kind: SolveKind,
     benchmark: Benchmark,
@@ -139,7 +139,9 @@ struct Entry {
 }
 
 struct Inner {
-    map: HashMap<CacheKey, Entry>,
+    /// Ordered map: iteration order is the key order, not hasher state,
+    /// keeping every walk over the store deterministic (L008).
+    map: BTreeMap<CacheKey, Entry>,
     /// Recency markers, oldest first. Stale markers (seq != entry.touched)
     /// are skipped during eviction and compaction.
     order: VecDeque<(u64, CacheKey)>,
@@ -164,7 +166,7 @@ impl QuantizedCache {
         let shards = (0..nshards)
             .map(|_| {
                 Mutex::new(Inner {
-                    map: HashMap::new(),
+                    map: BTreeMap::new(),
                     order: VecDeque::new(),
                     seq: 0,
                 })
@@ -183,6 +185,7 @@ impl QuantizedCache {
         &self.cfg
     }
 
+    // oftec-lint: hot
     pub fn key_for(&self, spec: &SolveSpec) -> CacheKey {
         CacheKey::for_spec(spec, &self.cfg)
     }
@@ -192,6 +195,7 @@ impl QuantizedCache {
     /// the serve determinism contract (eviction patterns, and therefore
     /// hit/miss sequences under capacity pressure, must not depend on
     /// process-random hash seeds).
+    // oftec-lint: hot
     fn shard_of(&self, key: &CacheKey) -> usize {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);

@@ -26,7 +26,7 @@ use oftec_thermal::{
     TransientTrace,
 };
 use oftec_units::{AngularVelocity, Current, Temperature};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
@@ -58,7 +58,7 @@ pub struct FaultPlan {
 struct SystemRegistry {
     package: PackageConfig,
     scale_grid: f64,
-    systems: Mutex<HashMap<(oftec_power::Benchmark, i64), Arc<CoolingSystem>>>,
+    systems: Mutex<BTreeMap<(oftec_power::Benchmark, i64), Arc<CoolingSystem>>>,
 }
 
 impl SystemRegistry {
@@ -100,6 +100,7 @@ impl<'a> DeadlineModel<'a> {
         }
     }
 
+    // oftec-lint: hot
     fn check(&self) -> Result<(), ThermalError> {
         if Instant::now() >= self.deadline {
             self.expired.store(true, Ordering::Relaxed);
@@ -253,7 +254,7 @@ impl Engine {
             registry: SystemRegistry {
                 package,
                 scale_grid,
-                systems: Mutex::new(HashMap::new()),
+                systems: Mutex::new(BTreeMap::new()),
             },
             cache,
             oftec: Oftec::default(),
@@ -277,7 +278,7 @@ impl Engine {
         // previous batch may have filled after this job's admission.
         let mut items: Vec<WorkItem> = Vec::with_capacity(batch.len());
         let mut groups: Vec<Vec<Job>> = Vec::with_capacity(batch.len());
-        let mut by_key: HashMap<crate::cache::CacheKey, usize> = HashMap::new();
+        let mut by_key: BTreeMap<crate::cache::CacheKey, usize> = BTreeMap::new();
         for mut job in batch {
             // Close the queue stage: everything between admission on the
             // connection thread and this dequeue.

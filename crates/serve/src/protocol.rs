@@ -86,7 +86,7 @@ pub struct SolveSpec {
 }
 
 /// Solve-command discriminator (also the first cache-key component).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SolveKind {
     Optimize,
     Steady,

@@ -115,6 +115,7 @@ impl JobQueue {
 
     /// Feeds one per-job service-time sample (dispatcher wall time divided
     /// by batch size) into the admission EWMA.
+    // oftec-lint: hot
     pub fn record_service(&self, ns_per_job: u64) {
         let prev = self.service_ewma_ns.load(Ordering::Relaxed);
         let next = if prev == 0 {
@@ -126,6 +127,7 @@ impl JobQueue {
     }
 
     /// Current per-job service-time estimate (0 until the first sample).
+    // oftec-lint: hot
     pub fn service_estimate_ns(&self) -> u64 {
         self.service_ewma_ns.load(Ordering::Relaxed)
     }
